@@ -1,0 +1,98 @@
+// Shared experiment rig for the figure benches: assembles the simulated
+// testbed (kernel + machine model + NIC + policy module + driver +
+// socket + packet gun), runs throughput/latency trials the way §4.2
+// describes, and renders the series each figure plots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kop/e1000e/driver.hpp"
+#include "kop/kernel/kernel.hpp"
+#include "kop/net/packet_gun.hpp"
+#include "kop/nic/e1000_device.hpp"
+#include "kop/policy/policy_module.hpp"
+#include "kop/sim/machine.hpp"
+#include "kop/sim/stats.hpp"
+
+namespace kop::bench {
+
+enum class Technique { kBaseline, kCarat };
+
+inline const char* TechniqueName(Technique technique) {
+  return technique == Technique::kBaseline ? "baseline" : "carat";
+}
+
+struct RigConfig {
+  sim::MachineModel machine = sim::MachineModel::R350();
+  Technique technique = Technique::kCarat;
+  /// Number of regions in the policy. Region 1 is the paper's two-region
+  /// rule's "allow the kernel high half"; regions beyond are decoys so
+  /// the guard scans exactly `regions` entries. 0 means default-allow
+  /// with an empty table.
+  uint32_t regions = 2;
+  uint64_t seed = 1;
+};
+
+/// A fully assembled testbed. Construction order matters; keep fields in
+/// dependency order.
+class Rig {
+ public:
+  explicit Rig(const RigConfig& config);
+  ~Rig();
+  Rig(const Rig&) = delete;
+  Rig& operator=(const Rig&) = delete;
+
+  /// One trial: launch `packets` frames of `frame_bytes`, with per-trial
+  /// jitter applied (trial index seeds the noise). Returns packets/s.
+  double ThroughputTrial(uint64_t packets, uint32_t frame_bytes,
+                         uint32_t trial_index);
+
+  /// Collect per-packet sendmsg latencies (cycles).
+  std::vector<double> LatencyTrial(uint64_t packets, uint32_t frame_bytes);
+
+  uint64_t GuardCalls() const;
+
+  kernel::Kernel& kernel() { return *kernel_; }
+
+ private:
+  RigConfig config_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<nic::CountingSink> sink_;
+  std::unique_ptr<nic::E1000Device> device_;
+  std::unique_ptr<policy::PolicyModule> policy_;
+  std::unique_ptr<e1000e::BaselineDriver> baseline_driver_;
+  std::unique_ptr<e1000e::CaratDriver> carat_driver_;
+  std::unique_ptr<net::NetDevice> netdev_;
+};
+
+/// CDF experiment output for one technique.
+struct CdfSeries {
+  std::string label;
+  std::vector<double> trial_pps;
+};
+
+/// Render one or more CDF series as the table the paper's figures plot:
+/// rows of "percentile,<label1>,<label2>,..." (values = pps at that
+/// percentile).
+std::string RenderCdfTable(const std::vector<CdfSeries>& series,
+                           size_t points = 21);
+
+/// Print a header for a figure bench.
+void PrintFigureHeader(const std::string& figure, const std::string& title,
+                       const std::string& setup);
+
+/// Parse "--trials=N --packets=N" style overrides (very small parser for
+/// the bench binaries; unknown flags are ignored).
+struct BenchArgs {
+  uint32_t trials = 31;
+  uint64_t packets = 20000;
+  static BenchArgs Parse(int argc, char** argv);
+};
+
+/// Write `content` to bench_results/<name> (best effort; prints a note).
+void WriteResultsFile(const std::string& name, const std::string& content);
+
+}  // namespace kop::bench

@@ -1,0 +1,15 @@
+// Shared figure runners (Figures 3 and 4 differ only in machine).
+#pragma once
+
+#include "experiment.hpp"
+
+namespace kop::bench {
+
+/// Figures 3/4: throughput CDF, carat vs baseline, 2 regions, 128 B.
+/// Prints the CDF table, the medians and the relative delta; returns the
+/// rendered table for bench_results.
+std::string RunThroughputCdfFigure(const std::string& figure,
+                                   const sim::MachineModel& machine,
+                                   const BenchArgs& args);
+
+}  // namespace kop::bench

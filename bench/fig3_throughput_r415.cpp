@@ -1,0 +1,13 @@
+// Figure 3: CARAT KOP effect on packet launch throughput on the slow
+// R415 machine. Two regions, 128 B packets. Expected shape: the carat
+// CDF sits ~1000 pps (<0.8%) left of baseline at the median.
+#include "common/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kop::bench;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const std::string table = RunThroughputCdfFigure(
+      "Figure 3", kop::sim::MachineModel::R415(), args);
+  WriteResultsFile("fig3_throughput_r415.csv", table);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 4: CARAT KOP effect on packet launch throughput on the faster
+// R350 machine. Two regions, 128 B packets. Expected shape: the curves
+// nearly coincide — median delta <0.1%, "almost unmeasurable".
+#include "common/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kop::bench;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const std::string table = RunThroughputCdfFigure(
+      "Figure 4", kop::sim::MachineModel::R350(), args);
+  WriteResultsFile("fig4_throughput_r350.csv", table);
+  return 0;
+}

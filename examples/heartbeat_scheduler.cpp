@@ -1,0 +1,83 @@
+// heartbeat_scheduler: the paper's own motivating module (§1 cites the
+// authors' "fast timer delivery for heartbeat scheduling") running under
+// CARAT KOP. A periodic HPET-class timer drives the module's ISR; the
+// policy confines the module to its state page and the timer's MMIO
+// window — and when the operator tightens the policy, the very first
+// out-of-policy beat is stopped.
+#include <cstdio>
+
+#include "kop/hpet/heartbeat.hpp"
+#include "kop/kernel/kernel.hpp"
+#include "kop/policy/policy_module.hpp"
+#include "kop/policy/rules.hpp"
+
+int main() {
+  using namespace kop;
+
+  kernel::Kernel kernel;
+  hpet::TimerDevice timer;
+  const uint64_t mmio = kernel::kVmallocBase + 0x100000;
+  if (!timer.MapAt(&kernel.mem(), mmio).ok()) return 1;
+
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultDeny);
+  if (!policy.ok()) return 1;
+
+  // The operator's firewall file for this module: its state lives in the
+  // kernel heap (direct map), its device is the timer BAR — nothing else.
+  const std::string rules =
+      "mode deny\n"
+      "allow direct-map rw      # module state page\n"
+      "allow 0xffffc90000100000 +0x400 rw   # the HPET BAR\n";
+  auto spec = policy::ParsePolicyRules(rules,
+                                       policy::DefaultNamedRanges(kernel));
+  if (!spec.ok()) return 1;
+  if (!policy::ApplyPolicySpec(*spec, (*policy)->engine()).ok()) return 1;
+  std::printf("policy loaded:\n%s\n",
+              policy::RenderPolicyRules((*policy)->engine()).c_str());
+
+  auto module = hpet::CaratHeartbeat::Probe(
+      modrt::GuardedMemOps(&kernel, &(*policy)->engine()), mmio,
+      /*period_ticks=*/1000);
+  if (!module.ok()) {
+    std::printf("probe failed: %s\n", module.status().ToString().c_str());
+    return 1;
+  }
+  timer.SetIsr([&] { (void)module->Isr(); });
+
+  // Run one simulated second at 10 MHz: 10,000 heartbeats.
+  const double cycles_before = kernel.clock().NowCycles();
+  timer.Tick(10'000'000);
+  const double isr_cycles = kernel.clock().NowCycles() - cycles_before;
+
+  auto counters = module->Counters();
+  if (!counters.ok()) return 1;
+  std::printf("one simulated second at 10 MHz, period 1000 ticks:\n");
+  std::printf("  heartbeats delivered: %llu (overruns: %llu)\n",
+              static_cast<unsigned long long>(counters->beats),
+              static_cast<unsigned long long>(counters->overruns));
+  std::printf("  ISR cost: %.1f cycles/beat under CARAT KOP "
+              "(%llu guard checks, 0 denied)\n",
+              isr_cycles / static_cast<double>(counters->beats),
+              static_cast<unsigned long long>(
+                  (*policy)->engine().stats().guard_calls));
+
+  // Now the operator revokes the module's device access mid-flight.
+  std::printf("\noperator revokes the HPET window (policy swap)...\n");
+  (*policy)->engine().store().Clear();
+  (void)(*policy)->engine().store().Add(
+      policy::Region{kernel.direct_map_base(), kernel.direct_map_size(),
+                     policy::kProtRW});
+  try {
+    timer.Tick(1000);  // next beat: ISR touches MMIO -> guard fires
+    std::printf("!! beat went through\n");
+  } catch (const kernel::KernelPanic& panic) {
+    std::printf("next heartbeat: %s\n", panic.what());
+    std::printf("dmesg: %s",
+                kernel.log().Dmesg().empty()
+                    ? "\n"
+                    : (kernel.log().Dmesg().end() - 2)->text.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

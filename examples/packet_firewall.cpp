@@ -1,0 +1,127 @@
+// packet_firewall: the paper's headline scenario end to end. Brings up
+// the simulated 82574L NIC with the CARAT-KOP-transformed e1000e driver
+// under the two-region policy (kernel half allowed, user half denied),
+// pushes traffic through the full sendmsg path, and reports throughput,
+// latency and guard statistics next to an unprotected baseline run.
+// Finally, tightens the policy to exclude the NIC's MMIO window and
+// shows the protected driver being stopped cold.
+#include <algorithm>
+#include <cstdio>
+
+#include "kop/e1000e/driver.hpp"
+#include "kop/kernel/kernel.hpp"
+#include "kop/net/packet_gun.hpp"
+#include "kop/nic/e1000_device.hpp"
+#include "kop/policy/policy_module.hpp"
+
+namespace {
+
+using namespace kop;
+
+constexpr uint64_t kMmioBase = kernel::kVmallocBase;
+constexpr uint64_t kPackets = 20000;
+constexpr uint32_t kFrameBytes = 128;
+
+struct RunReport {
+  double pps = 0.0;
+  double median_latency = 0.0;
+  uint64_t guard_calls = 0;
+  uint64_t frames_on_wire = 0;
+};
+
+template <typename DriverT, typename OpsT>
+RunReport Run(OpsT ops, policy::PolicyModule* policy) {
+  kernel::Kernel* kernel = ops.kernel();
+  nic::CountingSink sink;
+  nic::E1000Device device(&kernel->mem(), &sink);
+  if (!device.MapAt(kMmioBase).ok()) std::abort();
+
+  auto driver = DriverT::Probe(ops, kMmioBase);
+  if (!driver.ok()) std::abort();
+  net::DriverNetDevice<DriverT> netdev(&*driver);
+  net::PacketSocket socket(kernel, &netdev, /*noise_seed=*/1);
+  net::PacketGun gun(kernel, &socket);
+
+  net::TrialConfig config;
+  config.packets = kPackets;
+  config.frame_bytes = kFrameBytes;
+  config.collect_latencies = true;
+  auto trial = gun.RunTrial(config);
+  if (!trial.ok()) std::abort();
+
+  RunReport report;
+  report.pps = trial->packets_per_second;
+  std::vector<double> latencies = std::move(trial->latencies_cycles);
+  std::sort(latencies.begin(), latencies.end());
+  report.median_latency = latencies[latencies.size() / 2];
+  report.guard_calls =
+      policy != nullptr ? policy->engine().stats().guard_calls : 0;
+  report.frames_on_wire = sink.packets();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("packet_firewall: e1000e + CARAT KOP on the %s model\n\n",
+              sim::MachineModel::R350().name.c_str());
+
+  // ---- baseline (unprotected) run ----
+  kernel::Kernel base_kernel;
+  const RunReport baseline =
+      Run<e1000e::BaselineDriver>(e1000e::RawMemOps(&base_kernel), nullptr);
+
+  // ---- protected run under the two-region policy ----
+  kernel::Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultDeny);
+  if (!policy.ok()) return 1;
+  (void)(*policy)->engine().store().Add(
+      policy::Region{kernel::kKernelHalfBase,
+                     ~uint64_t{0} - kernel::kKernelHalfBase,
+                     policy::kProtRW});
+  (void)(*policy)->engine().store().Add(
+      policy::Region{0, kernel::kUserSpaceEnd, policy::kProtNone});
+  const RunReport carat = Run<e1000e::CaratDriver>(
+      e1000e::GuardedMemOps(&kernel, &(*policy)->engine()), policy->get());
+
+  std::printf("%-22s %12s %12s\n", "", "baseline", "carat");
+  std::printf("%-22s %12.0f %12.0f\n", "throughput (pps)", baseline.pps,
+              carat.pps);
+  std::printf("%-22s %12.0f %12.0f\n", "median sendmsg (cyc)",
+              baseline.median_latency, carat.median_latency);
+  std::printf("%-22s %12llu %12llu\n", "frames on the wire",
+              static_cast<unsigned long long>(baseline.frames_on_wire),
+              static_cast<unsigned long long>(carat.frames_on_wire));
+  std::printf("%-22s %12llu %12llu\n", "guard calls",
+              static_cast<unsigned long long>(baseline.guard_calls),
+              static_cast<unsigned long long>(carat.guard_calls));
+  std::printf("%-22s %12s %11.3f%%\n", "overhead", "-",
+              (baseline.pps - carat.pps) / baseline.pps * 100.0);
+
+  // ---- now firewall the device itself ----
+  std::printf("\ntightening policy: carve the NIC MMIO window out of the "
+              "allowed set...\n");
+  (*policy)->engine().store().Clear();
+  (void)(*policy)->engine().store().Add(
+      policy::Region{kMmioBase, nic::kMmioBarSize, policy::kProtNone});
+  (void)(*policy)->engine().store().Add(
+      policy::Region{kernel::kKernelHalfBase,
+                     ~uint64_t{0} - kernel::kKernelHalfBase,
+                     policy::kProtRW});
+  nic::CountingSink sink;
+  nic::E1000Device device(&kernel.mem(), &sink);
+  // A second NIC instance cannot map over the first; reuse the address
+  // space mapping by probing a fresh driver against the same window.
+  try {
+    auto driver = e1000e::CaratDriver::Probe(
+        e1000e::GuardedMemOps(&kernel, &(*policy)->engine()), kMmioBase);
+    (void)driver;
+    std::printf("!! probe unexpectedly succeeded\n");
+  } catch (const kernel::KernelPanic& panic) {
+    std::printf("protected driver probe: %s\n", panic.what());
+    std::printf("(the unprotected baseline driver would have reached the "
+                "device unimpeded — that is the point)\n");
+  }
+  return 0;
+}

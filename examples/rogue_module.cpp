@@ -1,0 +1,135 @@
+// rogue_module: what CARAT KOP is for. Walks through the ways a hostile
+// or buggy module tries to get at the core kernel, and how each is shut
+// down:
+//   1. inline assembly            -> refused by the compiler (no cert)
+//   2. unsigned / tampered image  -> refused at insmod
+//   3. guard stripped post-sign   -> refused at insmod (re-validation)
+//   4. direct-map scribbling      -> guard violation -> kernel panic
+//   5. privileged intrinsics      -> intrinsic guard -> kernel panic
+#include <cstdio>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/kernel/module_loader.hpp"
+#include "kop/kirmods/corpus.hpp"
+#include "kop/policy/policy_module.hpp"
+#include "kop/signing/signer.hpp"
+#include "kop/transform/compiler.hpp"
+#include "kop/transform/privileged.hpp"
+
+namespace {
+
+using namespace kop;
+
+void Banner(int step, const char* title) {
+  std::printf("\n[%d] %s\n", step, title);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("rogue_module: attack surface walk-through\n");
+
+  kernel::Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  if (!policy.ok()) return 1;
+  // Restrict the direct map (where core kernel data lives) to read-only
+  // for modules — the paper's "restrict access to the heap" example.
+  (void)(*policy)->engine().store().Add(
+      policy::Region{kernel.direct_map_base(), kernel.direct_map_size(),
+                     policy::kProtRead});
+
+  signing::Keyring keyring;
+  keyring.Trust(signing::SigningKey::DevelopmentKey());
+  kernel::ModuleLoader loader(&kernel, keyring);
+
+  Banner(1, "module with inline assembly");
+  auto sneaky = transform::CompileModuleText(kirmods::InlineAsmSource());
+  std::printf("    compile -> %s\n", sneaky.status().ToString().c_str());
+
+  Banner(2, "module signed with an untrusted key");
+  auto compiled = transform::CompileModuleText(kirmods::ScribblerSource());
+  if (!compiled.ok()) return 1;
+  {
+    const auto rogue_image =
+        signing::SignModule(compiled->text, compiled->attestation,
+                            signing::SigningKey{"evil-vendor", "hunter2"});
+    auto loaded = loader.Insmod(rogue_image);
+    std::printf("    insmod -> %s\n", loaded.status().ToString().c_str());
+  }
+
+  Banner(3, "properly signed image with a guard stripped afterwards");
+  {
+    std::string stripped = compiled->text;
+    const size_t pos = stripped.find("  call void @carat_guard");
+    if (pos != std::string::npos) {
+      stripped.erase(pos, stripped.find('\n', pos) - pos + 1);
+    }
+    const auto tampered =
+        signing::SignModule(stripped, compiled->attestation,
+                            signing::SigningKey::DevelopmentKey());
+    auto loaded = loader.Insmod(tampered);
+    std::printf("    insmod -> %s\n", loaded.status().ToString().c_str());
+  }
+
+  Banner(4, "legitimate-looking module scribbles over kernel data");
+  {
+    const auto image =
+        signing::SignModule(compiled->text, compiled->attestation,
+                            signing::SigningKey::DevelopmentKey());
+    auto loaded = loader.Insmod(image);
+    if (!loaded.ok()) return 1;
+    auto core_data = kernel.heap().Kmalloc(4096);
+    if (!core_data.ok()) return 1;
+    std::printf("    module reads core data at 0x%llx: ",
+                static_cast<unsigned long long>(*core_data));
+    auto peek = (*loaded)->Call("peek", {*core_data});
+    std::printf("%s\n", peek.ok() ? "allowed (read-only policy)" : "error");
+    std::printf("    module writes the same address: ");
+    try {
+      (void)(*loaded)->Call("scribble_range", {*core_data, 512, 0x41414141});
+      std::printf("!! not blocked\n");
+    } catch (const kernel::KernelPanic& panic) {
+      std::printf("%s\n", panic.what());
+      kernel.ClearPanic();
+    }
+  }
+
+  Banner(5, "module uses privileged intrinsics (cli)");
+  {
+    transform::CompileOptions options;
+    options.wrap_privileged_intrinsics = true;
+    auto priv = transform::CompileModuleText(kirmods::PrivuserSource(),
+                                             options);
+    if (!priv.ok()) return 1;
+    auto loaded = loader.Insmod(
+        signing::SignModule(priv->text, priv->attestation,
+                            signing::SigningKey::DevelopmentKey()));
+    if (!loaded.ok()) return 1;
+    (*policy)->engine().SetIntrinsicDefaultAllow(false);
+    std::printf("    disable_interrupts(): ");
+    try {
+      (void)(*loaded)->Call("disable_interrupts", {});
+      std::printf("!! not blocked\n");
+    } catch (const kernel::KernelPanic& panic) {
+      std::printf("%s\n", panic.what());
+      kernel.ClearPanic();
+    }
+  }
+
+  std::printf("\nfinal dmesg (the operator's forensic trail):\n");
+  for (const auto& record : kernel.log().Dmesg()) {
+    std::printf("  %s\n", record.text.c_str());
+  }
+  std::printf("\nguard stats: %llu calls, %llu denied; %llu intrinsic "
+              "checks, %llu denied\n",
+              static_cast<unsigned long long>(
+                  (*policy)->engine().stats().guard_calls),
+              static_cast<unsigned long long>(
+                  (*policy)->engine().stats().denied),
+              static_cast<unsigned long long>(
+                  (*policy)->engine().stats().intrinsic_calls),
+              static_cast<unsigned long long>(
+                  (*policy)->engine().stats().intrinsic_denied));
+  return 0;
+}

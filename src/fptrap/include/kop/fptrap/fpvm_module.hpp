@@ -1,0 +1,57 @@
+// The FPVM-style trap-handler module (paper §1, citing the authors'
+// HPDC'22 FPVM paper): emulates the faulting floating-point instruction
+// from the trap frame. One source, two builds — FpvmModule<RawMemOps> is
+// the unprotected baseline, FpvmModule<GuardedMemOps> the CARAT KOP
+// build — so the guard tax on a trap-delivery fast path is measurable
+// (bench/ext2_fpvm).
+#pragma once
+
+#include <cstdint>
+
+#include "kop/fptrap/trap_controller.hpp"
+#include "kop/modrt/memops.hpp"
+
+namespace kop::fptrap {
+
+/// Module state-page layout (counters the module keeps).
+namespace fpvm {
+inline constexpr uint64_t kTrapsHandled = 0x00;  // u64
+inline constexpr uint64_t kAddCount = 0x08;      // u64
+inline constexpr uint64_t kDivCount = 0x10;      // u64
+inline constexpr uint64_t kSize = 0x18;
+}  // namespace fpvm
+
+struct FpvmCounters {
+  uint64_t traps_handled = 0;
+  uint64_t adds = 0;
+  uint64_t divs = 0;
+};
+
+template <typename Ops>
+class FpvmModule {
+ public:
+  static Result<FpvmModule> Probe(Ops ops);
+  Status Remove();
+
+  /// The trap handler fast path: read the frame through guarded ops,
+  /// emulate the op in software, patch the result back.
+  Status HandleTrap(uint64_t frame_addr);
+
+  Result<FpvmCounters> Counters();
+
+  uint64_t state_addr() const { return state_; }
+
+ private:
+  explicit FpvmModule(Ops ops, uint64_t state) : ops_(ops), state_(state) {}
+
+  Ops ops_;
+  uint64_t state_ = 0;
+};
+
+extern template class FpvmModule<modrt::RawMemOps>;
+extern template class FpvmModule<modrt::GuardedMemOps>;
+
+using BaselineFpvm = FpvmModule<modrt::RawMemOps>;
+using CaratFpvm = FpvmModule<modrt::GuardedMemOps>;
+
+}  // namespace kop::fptrap

@@ -1,0 +1,77 @@
+// Floating-point trap delivery — the substrate for the paper's other §1
+// motivating module: "Linux kernel modules for fast high-performance
+// floating point trap delivery as part of FPVM". When an application
+// instruction raises an FP exception the hardware cannot (or should not)
+// resolve, the kernel builds a trap frame and hands it to the registered
+// handler module, which emulates the instruction and patches the result
+// back into the frame.
+//
+// The controller owns the frame page in simulated memory; the handler
+// module reads and writes it through its (guarded, on carat builds)
+// memory ops — exactly the accesses CARAT KOP would tax on the FPVM
+// fast path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::fptrap {
+
+/// Trap-frame layout within the controller's frame page (all u64).
+namespace frame {
+inline constexpr uint64_t kRip = 0x00;      // faulting instruction address
+inline constexpr uint64_t kOpcode = 0x08;   // FpOp below
+inline constexpr uint64_t kSrc1 = 0x10;     // IEEE-754 bits
+inline constexpr uint64_t kSrc2 = 0x18;     // IEEE-754 bits
+inline constexpr uint64_t kResult = 0x20;   // written by the handler
+inline constexpr uint64_t kHandled = 0x28;  // 1 when the handler resolved it
+inline constexpr uint64_t kSize = 0x30;
+}  // namespace frame
+
+enum class FpOp : uint64_t {
+  kAdd = 0,
+  kSub = 1,
+  kMul = 2,
+  kDiv = 3,
+  kSqrt = 4,  // unary: src2 ignored
+};
+
+struct TrapStats {
+  uint64_t delivered = 0;
+  uint64_t handled = 0;
+  uint64_t unhandled = 0;
+};
+
+class TrapController {
+ public:
+  /// Handler contract: given the simulated address of the trap frame,
+  /// emulate the instruction and fill kResult/kHandled.
+  using Handler = std::function<Status(uint64_t frame_addr)>;
+
+  explicit TrapController(kernel::Kernel* kernel) : kernel_(kernel) {}
+
+  /// Allocate the frame page. Call once before delivering traps.
+  Status Init();
+
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Deliver one trap: stage the frame, invoke the handler, read the
+  /// patched result back. Returns the result bits; kUnimplemented when
+  /// no handler resolved it (the kernel would fall back to SIGFPE).
+  Result<uint64_t> DeliverTrap(uint64_t rip, FpOp op, uint64_t src1_bits,
+                               uint64_t src2_bits);
+
+  uint64_t frame_addr() const { return frame_addr_; }
+  const TrapStats& stats() const { return stats_; }
+
+ private:
+  kernel::Kernel* kernel_;
+  Handler handler_;
+  uint64_t frame_addr_ = 0;
+  TrapStats stats_;
+};
+
+}  // namespace kop::fptrap

@@ -1,0 +1,47 @@
+#include "kop/fptrap/trap_controller.hpp"
+
+namespace kop::fptrap {
+
+Status TrapController::Init() {
+  if (frame_addr_ != 0) return OkStatus();
+  KOP_ASSIGN_OR_RETURN(frame_addr_,
+                       kernel_->heap().Kmalloc(frame::kSize, 64));
+  return OkStatus();
+}
+
+Result<uint64_t> TrapController::DeliverTrap(uint64_t rip, FpOp op,
+                                             uint64_t src1_bits,
+                                             uint64_t src2_bits) {
+  if (frame_addr_ == 0) return Internal("trap controller not initialized");
+  ++stats_.delivered;
+
+  // The hardware exception round trip plus the core kernel's frame
+  // staging (unguarded, but not free: ~8 kernel memory accesses).
+  auto& clock = kernel_->clock();
+  const auto& machine = kernel_->machine();
+  clock.Advance(machine.trap_entry_cycles);
+  clock.Advance(6 * machine.mem_write_cycles + 2 * machine.mem_read_cycles);
+  auto& mem = kernel_->mem();
+  KOP_RETURN_IF_ERROR(mem.Write64(frame_addr_ + frame::kRip, rip));
+  KOP_RETURN_IF_ERROR(mem.Write64(frame_addr_ + frame::kOpcode,
+                                  static_cast<uint64_t>(op)));
+  KOP_RETURN_IF_ERROR(mem.Write64(frame_addr_ + frame::kSrc1, src1_bits));
+  KOP_RETURN_IF_ERROR(mem.Write64(frame_addr_ + frame::kSrc2, src2_bits));
+  KOP_RETURN_IF_ERROR(mem.Write64(frame_addr_ + frame::kResult, 0));
+  KOP_RETURN_IF_ERROR(mem.Write64(frame_addr_ + frame::kHandled, 0));
+
+  if (handler_) {
+    KOP_RETURN_IF_ERROR(handler_(frame_addr_));
+  }
+
+  KOP_ASSIGN_OR_RETURN(uint64_t handled,
+                       mem.Read64(frame_addr_ + frame::kHandled));
+  if (handled == 0) {
+    ++stats_.unhandled;
+    return Unimplemented("FP trap not handled (would raise SIGFPE)");
+  }
+  ++stats_.handled;
+  return mem.Read64(frame_addr_ + frame::kResult);
+}
+
+}  // namespace kop::fptrap

@@ -1,0 +1,74 @@
+// The heartbeat-scheduling module — the paper's own motivating example
+// of a specialized HPC kernel module (§1, citing their PLDI'21 heartbeat
+// scheduling work). Like the e1000e driver, one source builds two ways:
+// HeartbeatModule<RawMemOps> is the unprotected baseline and
+// HeartbeatModule<GuardedMemOps> the CARAT KOP build, so the cost of
+// guarding a *timer-interrupt fast path* can be measured directly
+// (bench/ext1_heartbeat).
+//
+// The module programs the HPET-class timer for periodic interrupts and
+// its ISR — the latency-critical part of heartbeat scheduling — does a
+// handful of guarded MMIO and state accesses per beat: acknowledge the
+// interrupt, read the counter, detect overruns, update bookkeeping.
+#pragma once
+
+#include <cstdint>
+
+#include "kop/modrt/memops.hpp"
+#include "kop/hpet/timer_device.hpp"
+
+namespace kop::hpet {
+
+/// Layout of the module's state page in simulated kernel memory.
+namespace hb {
+inline constexpr uint64_t kTimerBase = 0x00;     // u64 (MMIO base)
+inline constexpr uint64_t kPeriod = 0x08;        // u64 (counter ticks)
+inline constexpr uint64_t kBeats = 0x10;         // u64
+inline constexpr uint64_t kLastCounter = 0x18;   // u64
+inline constexpr uint64_t kOverruns = 0x20;      // u64 (late beats)
+inline constexpr uint64_t kNextDeadline = 0x28;  // u64
+inline constexpr uint64_t kSize = 0x30;
+}  // namespace hb
+
+struct HeartbeatCounters {
+  uint64_t beats = 0;
+  uint64_t overruns = 0;
+  uint64_t last_counter = 0;
+};
+
+template <typename Ops>
+class HeartbeatModule {
+ public:
+  /// Allocate the state page, program the timer for periodic interrupts
+  /// every `period_ticks`, and enable it. The caller wires
+  /// TimerDevice::SetIsr to Isr() (the kernel's IRQ plumbing).
+  static Result<HeartbeatModule> Probe(Ops ops, uint64_t mmio_base,
+                                       uint64_t period_ticks);
+
+  /// Disable the timer and free the state page.
+  Status Remove();
+
+  /// The timer interrupt handler — the hot path heartbeat scheduling
+  /// cares about. Every access goes through Ops (guarded on the carat
+  /// build).
+  Status Isr();
+
+  Result<HeartbeatCounters> Counters();
+
+  uint64_t state_addr() const { return state_; }
+  Ops& ops() { return ops_; }
+
+ private:
+  HeartbeatModule(Ops ops, uint64_t state) : ops_(ops), state_(state) {}
+
+  Ops ops_;
+  uint64_t state_ = 0;
+};
+
+extern template class HeartbeatModule<modrt::RawMemOps>;
+extern template class HeartbeatModule<modrt::GuardedMemOps>;
+
+using BaselineHeartbeat = HeartbeatModule<modrt::RawMemOps>;
+using CaratHeartbeat = HeartbeatModule<modrt::GuardedMemOps>;
+
+}  // namespace kop::hpet

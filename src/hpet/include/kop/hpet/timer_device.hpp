@@ -1,0 +1,86 @@
+// An HPET-class high-precision timer device. This is the substrate for
+// the paper's *motivating* module (§1): the authors built Linux kernel
+// modules for "fast timer delivery for heartbeat scheduling" — exactly
+// the kind of specialized HPC module CARAT KOP exists to make deployable.
+//
+// Register layout (a simplified single-comparator HPET):
+//   0x000 CAP        RO  counter period in femtoseconds (low 32 bits)
+//   0x010 CONFIG     RW  bit 0: ENABLE (main counter runs)
+//   0x020 ISR        RW1C bit 0: timer 0 interrupt status
+//   0x0F0 COUNTER    RW  64-bit main counter
+//   0x100 T0_CONFIG  RW  bit 2: INT_ENB, bit 3: PERIODIC
+//   0x108 T0_CMP     RW  64-bit comparator (in PERIODIC mode, writes also
+//                        latch the period)
+//
+// Time advances only via Tick(n) — the simulation's clock edge — so tests
+// and benches are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "kop/kernel/address_space.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::hpet {
+
+inline constexpr uint64_t REG_CAP = 0x000;
+inline constexpr uint64_t REG_CONFIG = 0x010;
+inline constexpr uint64_t REG_ISR = 0x020;
+inline constexpr uint64_t REG_COUNTER = 0x0f0;
+inline constexpr uint64_t REG_T0_CONFIG = 0x100;
+inline constexpr uint64_t REG_T0_CMP = 0x108;
+
+inline constexpr uint32_t CONFIG_ENABLE = 1u << 0;
+inline constexpr uint32_t T0_INT_ENB = 1u << 2;
+inline constexpr uint32_t T0_PERIODIC = 1u << 3;
+inline constexpr uint32_t ISR_T0 = 1u << 0;
+
+inline constexpr uint64_t kTimerBarSize = 0x400;
+/// 10 MHz counter: 100,000,000 fs per tick (a typical HPET-ish rate).
+inline constexpr uint32_t kCounterPeriodFs = 100000000;
+
+struct TimerStats {
+  uint64_t ticks = 0;
+  uint64_t interrupts_raised = 0;
+  uint64_t interrupts_suppressed = 0;  // comparator hit, INT_ENB clear
+};
+
+class TimerDevice final : public kernel::MmioDevice {
+ public:
+  /// The interrupt wire: invoked (synchronously, "in IRQ context") each
+  /// time timer 0 fires with interrupts enabled.
+  using IsrCallback = std::function<void()>;
+
+  TimerDevice() = default;
+
+  Status MapAt(kernel::AddressSpace* memory, uint64_t mmio_base);
+
+  void SetIsr(IsrCallback isr) { isr_ = std::move(isr); }
+
+  /// Advance the main counter by `ticks` clock edges, firing the
+  /// comparator as it is crossed (multiple times in periodic mode).
+  void Tick(uint64_t ticks);
+
+  // kernel::MmioDevice:
+  uint64_t MmioRead(uint64_t offset, uint32_t size) override;
+  void MmioWrite(uint64_t offset, uint64_t value, uint32_t size) override;
+
+  const TimerStats& stats() const { return stats_; }
+  uint64_t counter() const { return counter_; }
+  bool interrupt_pending() const { return (isr_status_ & ISR_T0) != 0; }
+
+ private:
+  void FireTimer();
+
+  uint32_t config_ = 0;
+  uint32_t isr_status_ = 0;
+  uint64_t counter_ = 0;
+  uint32_t t0_config_ = 0;
+  uint64_t t0_cmp_ = ~uint64_t{0};
+  uint64_t t0_period_ = 0;  // latched by comparator writes in periodic mode
+  IsrCallback isr_;
+  TimerStats stats_;
+};
+
+}  // namespace kop::hpet

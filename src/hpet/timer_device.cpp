@@ -1,0 +1,82 @@
+#include "kop/hpet/timer_device.hpp"
+
+namespace kop::hpet {
+
+Status TimerDevice::MapAt(kernel::AddressSpace* memory, uint64_t mmio_base) {
+  return memory->MapMmio("hpet", mmio_base, kTimerBarSize, this);
+}
+
+uint64_t TimerDevice::MmioRead(uint64_t offset, uint32_t size) {
+  (void)size;
+  switch (offset) {
+    case REG_CAP: return kCounterPeriodFs;
+    case REG_CONFIG: return config_;
+    case REG_ISR: return isr_status_;
+    case REG_COUNTER: return counter_;
+    case REG_T0_CONFIG: return t0_config_;
+    case REG_T0_CMP: return t0_cmp_;
+    default: return 0;
+  }
+}
+
+void TimerDevice::MmioWrite(uint64_t offset, uint64_t value, uint32_t size) {
+  (void)size;
+  switch (offset) {
+    case REG_CONFIG:
+      config_ = static_cast<uint32_t>(value);
+      break;
+    case REG_ISR:
+      // Write-1-to-clear, like the real part's level-triggered status.
+      isr_status_ &= ~static_cast<uint32_t>(value);
+      break;
+    case REG_COUNTER:
+      counter_ = value;
+      break;
+    case REG_T0_CONFIG:
+      t0_config_ = static_cast<uint32_t>(value);
+      break;
+    case REG_T0_CMP:
+      t0_cmp_ = value;
+      // HPET quirk kept: in periodic mode a comparator write latches the
+      // period used for automatic re-arming.
+      if (t0_config_ & T0_PERIODIC) t0_period_ = value - counter_;
+      break;
+    default:
+      break;
+  }
+}
+
+void TimerDevice::FireTimer() {
+  if ((t0_config_ & T0_INT_ENB) == 0) {
+    ++stats_.interrupts_suppressed;
+    return;
+  }
+  isr_status_ |= ISR_T0;
+  ++stats_.interrupts_raised;
+  if (isr_) isr_();
+}
+
+void TimerDevice::Tick(uint64_t ticks) {
+  if ((config_ & CONFIG_ENABLE) == 0) return;
+  stats_.ticks += ticks;
+  while (ticks > 0) {
+    // Distance to the comparator, in counter ticks (wrap-around safe).
+    const uint64_t distance = t0_cmp_ - counter_;
+    if (distance == 0 || distance > ticks) {
+      // No crossing within this batch (distance 0 means "just written
+      // equal": fires after a full wrap, as on hardware).
+      counter_ += ticks;
+      return;
+    }
+    counter_ += distance;
+    ticks -= distance;
+    FireTimer();
+    if (t0_config_ & T0_PERIODIC) {
+      t0_cmp_ += t0_period_ == 0 ? 1 : t0_period_;
+    }
+    // One-shot comparators stay put; the next crossing is a full wrap
+    // away, so the loop exits via the distance check.
+  }
+}
+
+}  // namespace kop::hpet

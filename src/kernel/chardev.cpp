@@ -1,0 +1,40 @@
+#include "kop/kernel/chardev.hpp"
+
+namespace kop::kernel {
+
+Status CharDeviceRegistry::Register(const std::string& path,
+                                    IoctlHandler handler) {
+  if (!handler) return InvalidArgument("null ioctl handler for " + path);
+  if (devices_.count(path)) {
+    return AlreadyExists("device node exists: " + path);
+  }
+  devices_[path] = std::move(handler);
+  return OkStatus();
+}
+
+Status CharDeviceRegistry::Unregister(const std::string& path) {
+  if (devices_.erase(path) == 0) {
+    return NotFound("no device node: " + path);
+  }
+  return OkStatus();
+}
+
+bool CharDeviceRegistry::Exists(const std::string& path) const {
+  return devices_.count(path) > 0;
+}
+
+Status CharDeviceRegistry::Ioctl(const std::string& path, uint32_t cmd,
+                                 std::vector<uint8_t>& arg) const {
+  auto it = devices_.find(path);
+  if (it == devices_.end()) return NotFound("no device node: " + path);
+  return it->second(cmd, arg);
+}
+
+std::vector<std::string> CharDeviceRegistry::Paths() const {
+  std::vector<std::string> out;
+  out.reserve(devices_.size());
+  for (const auto& [path, handler] : devices_) out.push_back(path);
+  return out;
+}
+
+}  // namespace kop::kernel

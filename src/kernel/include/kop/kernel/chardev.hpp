@@ -1,0 +1,41 @@
+// Character-device registry: the simulated /dev tree. The CARAT KOP
+// policy module registers /dev/carat here; the policy-manager example
+// drives it through Ioctl(), mirroring Figure 1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kop/util/status.hpp"
+
+namespace kop::kernel {
+
+/// An ioctl handler: (cmd, arg buffer in/out) -> status. The arg buffer
+/// plays the role of the userspace struct passed by pointer; handlers
+/// may read and rewrite it (copy_in/copy_out semantics).
+using IoctlHandler =
+    std::function<Status(uint32_t cmd, std::vector<uint8_t>& arg)>;
+
+class CharDeviceRegistry {
+ public:
+  /// Register a device node, e.g. "/dev/carat".
+  Status Register(const std::string& path, IoctlHandler handler);
+
+  Status Unregister(const std::string& path);
+
+  bool Exists(const std::string& path) const;
+
+  /// Issue an ioctl as userspace would. `arg` is copied in and out.
+  Status Ioctl(const std::string& path, uint32_t cmd,
+               std::vector<uint8_t>& arg) const;
+
+  std::vector<std::string> Paths() const;
+
+ private:
+  std::map<std::string, IoctlHandler> devices_;
+};
+
+}  // namespace kop::kernel

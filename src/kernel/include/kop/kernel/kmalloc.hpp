@@ -1,0 +1,62 @@
+// A kmalloc-style allocator carving the simulated direct-map region.
+// First-fit free list with coalescing; allocation metadata lives on the
+// host side so a module scribbling over simulated memory can corrupt
+// *data* but never the allocator itself (we want deterministic tests even
+// for misbehaving modules — the kernel's own survival is what CARAT KOP
+// guards provide on real hardware).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kop/util/status.hpp"
+
+namespace kop::kernel {
+
+struct KmallocStats {
+  uint64_t total_bytes = 0;
+  uint64_t allocated_bytes = 0;
+  uint64_t free_bytes = 0;
+  uint64_t allocation_count = 0;  // currently live
+  uint64_t total_allocs = 0;      // lifetime
+  uint64_t total_frees = 0;
+  uint64_t failed_allocs = 0;
+  uint64_t largest_free_chunk = 0;
+};
+
+class KmallocArena {
+ public:
+  /// Manages [base, base+size) of already-mapped simulated memory.
+  KmallocArena(uint64_t base, uint64_t size);
+
+  /// Allocate `size` bytes aligned to `alignment` (power of two, >= 8).
+  /// Returns the simulated address.
+  Result<uint64_t> Kmalloc(uint64_t size, uint64_t alignment = 16);
+
+  /// Free a previous allocation. Double frees and wild frees fail.
+  Status Kfree(uint64_t addr);
+
+  /// Size of the live allocation at `addr`, if any.
+  Result<uint64_t> AllocationSize(uint64_t addr) const;
+
+  KmallocStats Stats() const;
+
+  uint64_t base() const { return base_; }
+  uint64_t size() const { return size_; }
+
+ private:
+  struct FreeChunk {
+    uint64_t size = 0;
+  };
+
+  uint64_t base_;
+  uint64_t size_;
+  // addr -> size. Free chunks sorted by address for coalescing.
+  std::map<uint64_t, uint64_t> free_chunks_;
+  std::map<uint64_t, uint64_t> live_allocs_;
+  KmallocStats stats_;
+};
+
+}  // namespace kop::kernel

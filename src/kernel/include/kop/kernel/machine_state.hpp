@@ -1,0 +1,91 @@
+// Privileged machine state behind the kir.* hardware intrinsics: the
+// model-specific-register file, the port-I/O bus, and the interrupt-flag
+// bit. The module loader's resolver routes kir.rdmsr/wrmsr/inb/outb/
+// cli/sti here, so a module granted an intrinsic really changes machine
+// state (and a test can observe exactly what a rogue module would have
+// done).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "kop/util/status.hpp"
+
+namespace kop::kernel {
+
+/// A handful of architecturally interesting MSR numbers for tests/demos.
+inline constexpr uint64_t MSR_APIC_BASE = 0x1b;
+inline constexpr uint64_t MSR_EFER = 0xc0000080;
+inline constexpr uint64_t MSR_STAR = 0xc0000081;
+inline constexpr uint64_t MSR_LSTAR = 0xc0000082;
+
+class MsrFile {
+ public:
+  MsrFile();
+
+  /// Unknown MSRs read as zero (a permissive model; real hardware #GPs,
+  /// which is beyond what an intrinsic-permission demo needs).
+  uint64_t Read(uint64_t msr) const;
+  void Write(uint64_t msr, uint64_t value);
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  std::map<uint64_t, uint64_t> values_;
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// Port-mapped I/O. Devices claim ports with in/out handlers; unclaimed
+/// ports read 0xff (floating bus) and swallow writes.
+class PortBus {
+ public:
+  using InHandler = std::function<uint8_t(uint16_t port)>;
+  using OutHandler = std::function<void(uint16_t port, uint8_t value)>;
+
+  Status Claim(uint16_t first_port, uint16_t count, InHandler in,
+               OutHandler out);
+  void Release(uint16_t first_port);
+
+  uint8_t In(uint16_t port);
+  void Out(uint16_t port, uint8_t value);
+
+  uint64_t ins() const { return ins_; }
+  uint64_t outs() const { return outs_; }
+
+ private:
+  struct Claimed {
+    uint16_t count = 0;
+    InHandler in;
+    OutHandler out;
+  };
+  /// first_port -> claim; lookup walks to the covering claim.
+  std::map<uint16_t, Claimed> claims_;
+  uint64_t ins_ = 0;
+  uint64_t outs_ = 0;
+
+  const Claimed* Find(uint16_t port, uint16_t* base) const;
+};
+
+/// CPU interrupt-flag model for cli/sti/hlt.
+class CpuFlags {
+ public:
+  bool interrupts_enabled() const { return interrupts_enabled_; }
+  void Cli() { interrupts_enabled_ = false; ++cli_count_; }
+  void Sti() { interrupts_enabled_ = true; ++sti_count_; }
+  void Halt() { ++halt_count_; }
+
+  uint64_t cli_count() const { return cli_count_; }
+  uint64_t sti_count() const { return sti_count_; }
+  uint64_t halt_count() const { return halt_count_; }
+
+ private:
+  bool interrupts_enabled_ = true;
+  uint64_t cli_count_ = 0;
+  uint64_t sti_count_ = 0;
+  uint64_t halt_count_ = 0;
+};
+
+}  // namespace kop::kernel

@@ -1,0 +1,45 @@
+// Canonical layout of the simulated kernel virtual address space.
+//
+// CARAT KOP guards check *kernel virtual* addresses (on Linux the physical
+// address space is remapped at a known offset — the direct map), so the
+// simulator models the kernel's view: a low user half, and in the high
+// half the direct map, kernel text, vmalloc/ioremap space and the module
+// area. The constants mirror x86-64 Linux (Documentation/x86/x86_64/mm.rst)
+// closely enough that policy rules like "deny the low half" read naturally.
+#pragma once
+
+#include <cstdint>
+
+namespace kop::kernel {
+
+// Low (user) half: 0 .. 0x0000_7fff_ffff_ffff.
+inline constexpr uint64_t kUserSpaceBase = 0x0000000000000000ULL;
+inline constexpr uint64_t kUserSpaceEnd = 0x0000800000000000ULL;
+
+// Start of the canonical high half.
+inline constexpr uint64_t kKernelHalfBase = 0xffff800000000000ULL;
+
+// Direct map of all physical RAM (page_offset_base on real Linux).
+inline constexpr uint64_t kDirectMapBase = 0xffff888000000000ULL;
+
+// vmalloc / ioremap space: where MMIO BARs get mapped.
+inline constexpr uint64_t kVmallocBase = 0xffffc90000000000ULL;
+
+// Kernel text/rodata/data.
+inline constexpr uint64_t kKernelTextBase = 0xffffffff81000000ULL;
+
+// Module mapping space (where .ko text+data land).
+inline constexpr uint64_t kModuleBase = 0xffffffffa0000000ULL;
+inline constexpr uint64_t kModuleEnd = 0xffffffffc0000000ULL;
+
+/// True when `addr` is in the canonical low (user) half.
+inline constexpr bool IsUserAddress(uint64_t addr) {
+  return addr < kUserSpaceEnd;
+}
+
+/// True when `addr` is in the canonical high (kernel) half.
+inline constexpr bool IsKernelAddress(uint64_t addr) {
+  return addr >= kKernelHalfBase;
+}
+
+}  // namespace kop::kernel

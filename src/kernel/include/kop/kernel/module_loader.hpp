@@ -1,0 +1,96 @@
+// insmod/rmmod for signed KIR modules. The paper's load path (§3.2):
+// "When a protected module is inserted into the kernel (after validating
+// its signature), it is linked against the policy module's implementation
+// of carat_guard."
+//
+// Insmod: verify signature + attestation (signing::ValidateSignedModule),
+// resolve every external against the exported-symbol table (unknown
+// symbol -> refuse, like real insmod), lay the module's globals and stack
+// out in the module area, and wire an interpreter so the module can run.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/kir/interp.hpp"
+#include "kop/kir/module.hpp"
+#include "kop/signing/signer.hpp"
+#include "kop/signing/validator.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::kernel {
+
+class LoadedModule {
+ public:
+  ~LoadedModule();
+  LoadedModule(const LoadedModule&) = delete;
+  LoadedModule& operator=(const LoadedModule&) = delete;
+
+  const std::string& name() const { return name_; }
+  const kir::Module& ir() const { return *ir_; }
+  const transform::AttestationRecord& attestation() const {
+    return attestation_;
+  }
+
+  /// Call an exported entry point of the module. Under the policy
+  /// engine's kQuarantine action, a guard violation during the call
+  /// quarantines this module: the call returns kPermissionDenied and
+  /// every later Call refuses immediately. The module is NOT forcibly
+  /// unloaded — the paper's §3.1 warning stands: any lock it held when
+  /// the violating call unwound is still held.
+  Result<uint64_t> Call(const std::string& function,
+                        const std::vector<uint64_t>& args);
+
+  bool quarantined() const { return quarantined_; }
+  const std::string& quarantine_reason() const { return quarantine_reason_; }
+
+  /// Simulated address of one of the module's globals.
+  Result<uint64_t> GlobalAddress(const std::string& global) const;
+
+  const kir::InterpStats& exec_stats() const { return interp_->stats(); }
+  void ResetExecStats() { interp_->ResetStats(); }
+
+ private:
+  friend class ModuleLoader;
+  LoadedModule() = default;
+
+  std::string name_;
+  bool quarantined_ = false;
+  std::string quarantine_reason_;
+  Kernel* kernel_ = nullptr;
+  std::unique_ptr<kir::Module> ir_;
+  transform::AttestationRecord attestation_;
+  std::map<std::string, uint64_t> global_addresses_;
+  std::vector<uint64_t> allocations_;  // module-area blocks to free
+  std::unique_ptr<kir::MemoryInterface> memory_;
+  std::unique_ptr<kir::ExternalResolver> resolver_;
+  std::unique_ptr<kir::Interpreter> interp_;
+};
+
+class ModuleLoader {
+ public:
+  ModuleLoader(Kernel* kernel, signing::Keyring keyring)
+      : kernel_(kernel), keyring_(std::move(keyring)) {}
+
+  /// Load a signed module image. Fails without side effects on any
+  /// validation/link error.
+  Result<LoadedModule*> Insmod(const signing::SignedModule& image);
+
+  /// Unload. Frees module-area allocations.
+  Status Rmmod(const std::string& name);
+
+  LoadedModule* Find(const std::string& name);
+  std::vector<std::string> LoadedNames() const;
+
+  signing::Keyring& keyring() { return keyring_; }
+
+ private:
+  Kernel* kernel_;
+  signing::Keyring keyring_;
+  std::map<std::string, std::unique_ptr<LoadedModule>> modules_;
+};
+
+}  // namespace kop::kernel

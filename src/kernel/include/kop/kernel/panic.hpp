@@ -1,0 +1,38 @@
+// Kernel panic machinery. The paper's policy module responds to a
+// forbidden access by logging it and panicking (§3.1): "a kernel panic is
+// actually a reasonable response for the HPC use cases we focus on".
+// In the simulator a panic is a C++ exception the test/bench harness
+// catches — the simulated kernel is dead afterwards until Reset().
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace kop::kernel {
+
+/// Thrown by Kernel::Panic. Carries the panic reason string.
+class KernelPanic : public std::runtime_error {
+ public:
+  explicit KernelPanic(const std::string& reason)
+      : std::runtime_error("kernel panic: " + reason) {}
+};
+
+/// Thrown by the policy engine under ViolationAction::kQuarantine: the
+/// violating module call unwinds and the module loader quarantines the
+/// offender instead of panicking the machine. Defined here (not in
+/// kop::policy) so the loader can catch it without a dependency cycle.
+class GuardViolation : public std::runtime_error {
+ public:
+  GuardViolation(uint64_t addr, uint64_t size, uint64_t access_flags)
+      : std::runtime_error("CARAT KOP guard violation"),
+        addr(addr),
+        size(size),
+        access_flags(access_flags) {}
+
+  uint64_t addr;
+  uint64_t size;
+  uint64_t access_flags;
+};
+
+}  // namespace kop::kernel

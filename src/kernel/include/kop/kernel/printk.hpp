@@ -1,0 +1,60 @@
+// The simulated kernel's log: a fixed-size printk ring with severities,
+// readable like `dmesg`. The policy module logs forbidden accesses here
+// before panicking, exactly as the paper's policy module does.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+#include "kop/util/ring_buffer.hpp"
+#include "kop/util/spinlock.hpp"
+
+namespace kop::kernel {
+
+enum class KernLevel {
+  kEmerg = 0,
+  kAlert = 1,
+  kCrit = 2,
+  kErr = 3,
+  kWarning = 4,
+  kNotice = 5,
+  kInfo = 6,
+  kDebug = 7,
+};
+
+struct PrintkRecord {
+  KernLevel level = KernLevel::kInfo;
+  uint64_t seq = 0;
+  std::string text;
+};
+
+class PrintkRing {
+ public:
+  explicit PrintkRing(size_t capacity = 1024) : ring_(capacity) {}
+
+  /// printf-style, like the kernel's printk(KERN_ERR "...").
+  void Printk(KernLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  void Emit(KernLevel level, std::string text);
+
+  /// Oldest-first snapshot (dmesg).
+  std::vector<PrintkRecord> Dmesg() const;
+
+  /// Dmesg rendered as "<level>: text" lines — convenient for tests.
+  std::string DmesgText() const;
+
+  /// True when any record at `level` or more severe contains `needle`.
+  bool Contains(std::string_view needle) const;
+
+  uint64_t total_emitted() const;
+  void Clear();
+
+ private:
+  mutable Spinlock lock_;
+  RingBuffer<PrintkRecord> ring_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace kop::kernel

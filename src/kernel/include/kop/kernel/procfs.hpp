@@ -1,0 +1,26 @@
+// /proc-style introspection: the text views an operator uses to see what
+// is going on inside the simulated kernel — loaded modules (lsmod),
+// exported symbols (kallsyms), the memory map (iomem) and allocator
+// state (meminfo). Pure renderers over existing state.
+#pragma once
+
+#include <string>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/kernel/module_loader.hpp"
+
+namespace kop::kernel {
+
+/// lsmod: name, instruction count, guard count, quarantine state.
+std::string ProcModules(const ModuleLoader& loader);
+
+/// kallsyms: exported function/data symbols, sorted.
+std::string ProcKallsyms(const Kernel& kernel);
+
+/// iomem: the address-space map (RAM/MMIO regions with permissions).
+std::string ProcIomem(const Kernel& kernel);
+
+/// meminfo: heap and module-area allocator statistics.
+std::string ProcMeminfo(const Kernel& kernel);
+
+}  // namespace kop::kernel

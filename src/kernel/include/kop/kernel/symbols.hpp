@@ -1,0 +1,51 @@
+// The kernel's exported-symbol table (EXPORT_SYMBOL). Protected modules
+// link against it at insmod time: notably the policy module's single
+// export, `carat_guard`, plus printk-style helpers. Function symbols are
+// host closures so the KIR interpreter can call straight into simulated
+// kernel services; data symbols are simulated addresses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kop/util/status.hpp"
+
+namespace kop::kernel {
+
+/// Host implementation of an exported kernel function. Arguments and the
+/// return value follow a simple 64-bit integer ABI (pointers are simulated
+/// addresses), which is what KIR call instructions produce.
+using KernelFunction = std::function<uint64_t(const std::vector<uint64_t>&)>;
+
+class SymbolTable {
+ public:
+  /// Export a function symbol. Fails if the name is taken.
+  Status ExportFunction(const std::string& name, KernelFunction fn);
+
+  /// Export a data symbol at a simulated address.
+  Status ExportData(const std::string& name, uint64_t address);
+
+  /// Remove an export (module unload).
+  Status Unexport(const std::string& name);
+
+  bool HasFunction(const std::string& name) const;
+  bool HasData(const std::string& name) const;
+
+  /// Call an exported function.
+  Result<uint64_t> Call(const std::string& name,
+                        const std::vector<uint64_t>& args) const;
+
+  Result<uint64_t> DataAddress(const std::string& name) const;
+
+  /// All exported names, sorted (for /proc/kallsyms-style dumps).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, KernelFunction> functions_;
+  std::unordered_map<std::string, uint64_t> data_;
+};
+
+}  // namespace kop::kernel

@@ -1,0 +1,64 @@
+#include "kop/kernel/kernel.hpp"
+
+#include <cassert>
+
+namespace kop::kernel {
+
+Kernel::Kernel(const KernelConfig& config) : config_(config) {
+  // Build the canonical memory map. These mappings cannot fail unless the
+  // config is nonsensical (overlapping sizes), which is programmer error.
+  Status status = mem_.MapRam("direct-map", kDirectMapBase, config_.ram_bytes);
+  assert(status.ok());
+  status = mem_.MapRam("kernel-text", kKernelTextBase,
+                       config_.kernel_text_bytes, /*writable=*/false);
+  assert(status.ok());
+  status = mem_.MapRam("module-area", kModuleBase, config_.module_area_bytes);
+  assert(status.ok());
+  status = mem_.MapRam("user", config_.user_base, config_.user_bytes);
+  assert(status.ok());
+  (void)status;
+
+  // The heap carves the direct map; the module area has its own arena.
+  heap_ = std::make_unique<KmallocArena>(kDirectMapBase, config_.ram_bytes);
+  module_area_ =
+      std::make_unique<KmallocArena>(kModuleBase, config_.module_area_bytes);
+
+  // Baseline kernel exports available to any module.
+  status = symbols_.ExportFunction(
+      "printk_str", [this](const std::vector<uint64_t>& args) -> uint64_t {
+        if (args.empty()) return 0;
+        // Read a NUL-terminated string (bounded) from simulated memory.
+        std::string text;
+        uint64_t addr = args[0];
+        for (int i = 0; i < 512; ++i) {
+          auto byte = mem_.Read8(addr + i);
+          if (!byte.ok() || *byte == 0) break;
+          text.push_back(static_cast<char>(*byte));
+        }
+        log_.Emit(KernLevel::kInfo, text);
+        return 0;
+      });
+  assert(status.ok());
+  status = symbols_.ExportFunction(
+      "kmalloc", [this](const std::vector<uint64_t>& args) -> uint64_t {
+        if (args.empty()) return 0;
+        auto result = heap_->Kmalloc(args[0]);
+        return result.ok() ? *result : 0;
+      });
+  assert(status.ok());
+  status = symbols_.ExportFunction(
+      "kfree", [this](const std::vector<uint64_t>& args) -> uint64_t {
+        if (!args.empty()) (void)heap_->Kfree(args[0]);
+        return 0;
+      });
+  assert(status.ok());
+}
+
+void Kernel::Panic(const std::string& reason) {
+  panicked_ = true;
+  panic_reason_ = reason;
+  log_.Emit(KernLevel::kEmerg, "Kernel panic - not syncing: " + reason);
+  throw KernelPanic(reason);
+}
+
+}  // namespace kop::kernel

@@ -1,0 +1,100 @@
+#include "kop/kernel/kmalloc.hpp"
+
+#include <algorithm>
+
+#include "kop/util/bits.hpp"
+
+namespace kop::kernel {
+
+KmallocArena::KmallocArena(uint64_t base, uint64_t size)
+    : base_(base), size_(size) {
+  free_chunks_[base] = size;
+  stats_.total_bytes = size;
+  stats_.free_bytes = size;
+}
+
+Result<uint64_t> KmallocArena::Kmalloc(uint64_t size, uint64_t alignment) {
+  if (size == 0) return InvalidArgument("kmalloc of zero bytes");
+  if (!IsPowerOfTwo(alignment) || alignment < 8) {
+    return InvalidArgument("kmalloc alignment must be a power of two >= 8");
+  }
+  size = AlignUp(size, 8);
+
+  for (auto it = free_chunks_.begin(); it != free_chunks_.end(); ++it) {
+    const uint64_t chunk_base = it->first;
+    const uint64_t chunk_size = it->second;
+    const uint64_t aligned = AlignUp(chunk_base, alignment);
+    const uint64_t waste = aligned - chunk_base;
+    if (chunk_size < waste || chunk_size - waste < size) continue;
+
+    // Split: [chunk_base, aligned) stays free, [aligned, aligned+size)
+    // becomes live, the rest stays free.
+    free_chunks_.erase(it);
+    if (waste > 0) free_chunks_[chunk_base] = waste;
+    const uint64_t remainder = chunk_size - waste - size;
+    if (remainder > 0) free_chunks_[aligned + size] = remainder;
+
+    live_allocs_[aligned] = size;
+    stats_.allocated_bytes += size;
+    stats_.free_bytes -= size;
+    ++stats_.allocation_count;
+    ++stats_.total_allocs;
+    return aligned;
+  }
+  ++stats_.failed_allocs;
+  return OutOfMemory("kmalloc(" + std::to_string(size) + ") failed");
+}
+
+Status KmallocArena::Kfree(uint64_t addr) {
+  auto it = live_allocs_.find(addr);
+  if (it == live_allocs_.end()) {
+    return InvalidArgument("kfree of address not returned by kmalloc: 0x" +
+                           std::to_string(addr));
+  }
+  uint64_t free_base = addr;
+  uint64_t free_size = it->second;
+  live_allocs_.erase(it);
+
+  stats_.allocated_bytes -= free_size;
+  stats_.free_bytes += free_size;
+  --stats_.allocation_count;
+  ++stats_.total_frees;
+
+  // Coalesce with the following free chunk.
+  auto next = free_chunks_.lower_bound(free_base);
+  if (next != free_chunks_.end() && free_base + free_size == next->first) {
+    free_size += next->second;
+    free_chunks_.erase(next);
+  }
+  // Coalesce with the preceding free chunk.
+  auto prev = free_chunks_.lower_bound(free_base);
+  if (prev != free_chunks_.begin()) {
+    --prev;
+    if (prev->first + prev->second == free_base) {
+      free_base = prev->first;
+      free_size += prev->second;
+      free_chunks_.erase(prev);
+    }
+  }
+  free_chunks_[free_base] = free_size;
+  return OkStatus();
+}
+
+Result<uint64_t> KmallocArena::AllocationSize(uint64_t addr) const {
+  auto it = live_allocs_.find(addr);
+  if (it == live_allocs_.end()) {
+    return NotFound("no live allocation at that address");
+  }
+  return it->second;
+}
+
+KmallocStats KmallocArena::Stats() const {
+  KmallocStats out = stats_;
+  out.largest_free_chunk = 0;
+  for (const auto& [base, size] : free_chunks_) {
+    out.largest_free_chunk = std::max(out.largest_free_chunk, size);
+  }
+  return out;
+}
+
+}  // namespace kop::kernel

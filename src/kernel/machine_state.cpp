@@ -1,0 +1,64 @@
+#include "kop/kernel/machine_state.hpp"
+
+namespace kop::kernel {
+
+MsrFile::MsrFile() {
+  // A plausible boot state for the interesting registers.
+  values_[MSR_APIC_BASE] = 0xfee00900;  // xAPIC enabled, BSP
+  values_[MSR_EFER] = 0xd01;            // LME|LMA|SCE|NXE
+}
+
+uint64_t MsrFile::Read(uint64_t msr) const {
+  ++reads_;
+  auto it = values_.find(msr);
+  return it == values_.end() ? 0 : it->second;
+}
+
+void MsrFile::Write(uint64_t msr, uint64_t value) {
+  ++writes_;
+  values_[msr] = value;
+}
+
+const PortBus::Claimed* PortBus::Find(uint16_t port, uint16_t* base) const {
+  auto it = claims_.upper_bound(port);
+  if (it == claims_.begin()) return nullptr;
+  --it;
+  if (port >= it->first && port < it->first + it->second.count) {
+    *base = it->first;
+    return &it->second;
+  }
+  return nullptr;
+}
+
+Status PortBus::Claim(uint16_t first_port, uint16_t count, InHandler in,
+                      OutHandler out) {
+  if (count == 0) return InvalidArgument("empty port range");
+  uint16_t base = 0;
+  for (uint32_t p = first_port; p < uint32_t{first_port} + count; ++p) {
+    if (Find(static_cast<uint16_t>(p), &base) != nullptr) {
+      return AlreadyExists("port 0x" + std::to_string(p) +
+                           " already claimed");
+    }
+  }
+  claims_[first_port] = Claimed{count, std::move(in), std::move(out)};
+  return OkStatus();
+}
+
+void PortBus::Release(uint16_t first_port) { claims_.erase(first_port); }
+
+uint8_t PortBus::In(uint16_t port) {
+  ++ins_;
+  uint16_t base = 0;
+  const Claimed* claim = Find(port, &base);
+  if (claim == nullptr || !claim->in) return 0xff;  // floating bus
+  return claim->in(port);
+}
+
+void PortBus::Out(uint16_t port, uint8_t value) {
+  ++outs_;
+  uint16_t base = 0;
+  const Claimed* claim = Find(port, &base);
+  if (claim != nullptr && claim->out) claim->out(port, value);
+}
+
+}  // namespace kop::kernel

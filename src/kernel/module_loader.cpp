@@ -1,0 +1,263 @@
+#include "kop/kernel/module_loader.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "kop/util/bits.hpp"
+
+namespace kop::kernel {
+namespace {
+
+/// Interpreter memory backed by the kernel address space, charging the
+/// machine model's access costs. Guards are NOT implied here: in a
+/// transformed module they are explicit call instructions in the IR.
+class KernelMemory final : public kir::MemoryInterface {
+ public:
+  explicit KernelMemory(Kernel* kernel) : kernel_(kernel) {}
+
+  Result<uint64_t> Load(uint64_t addr, uint32_t size) override {
+    kernel_->clock().Advance(kernel_->machine().mem_read_cycles);
+    switch (size) {
+      case 1: {
+        auto v = kernel_->mem().Read8(addr);
+        if (!v.ok()) return v.status();
+        return uint64_t{*v};
+      }
+      case 2: {
+        auto v = kernel_->mem().Read16(addr);
+        if (!v.ok()) return v.status();
+        return uint64_t{*v};
+      }
+      case 4: {
+        auto v = kernel_->mem().Read32(addr);
+        if (!v.ok()) return v.status();
+        return uint64_t{*v};
+      }
+      default:
+        return kernel_->mem().Read64(addr);
+    }
+  }
+
+  Status Store(uint64_t addr, uint64_t value, uint32_t size) override {
+    kernel_->clock().Advance(kernel_->machine().mem_write_cycles);
+    switch (size) {
+      case 1: return kernel_->mem().Write8(addr, static_cast<uint8_t>(value));
+      case 2: return kernel_->mem().Write16(addr,
+                                            static_cast<uint16_t>(value));
+      case 4: return kernel_->mem().Write32(addr,
+                                            static_cast<uint32_t>(value));
+      default: return kernel_->mem().Write64(addr, value);
+    }
+  }
+
+ private:
+  Kernel* kernel_;
+};
+
+/// Routes external calls to the exported-symbol table; provides benign
+/// host fallbacks for the hardware intrinsics so un-wrapped intrinsics
+/// still "execute" (the §5 wrap pass adds the permission check in front).
+class KernelResolver final : public kir::ExternalResolver {
+ public:
+  explicit KernelResolver(Kernel* kernel) : kernel_(kernel) {}
+
+  Result<uint64_t> CallExternal(const std::string& name,
+                                const std::vector<uint64_t>& args) override {
+    if (kernel_->symbols().HasFunction(name)) {
+      return kernel_->symbols().Call(name, args);
+    }
+    if (name.rfind("kir.", 0) == 0) {
+      // Hardware intrinsics hit real (simulated) machine state, so a
+      // permitted privileged operation has observable effects.
+      if (name == "kir.rdmsr") {
+        return kernel_->msrs().Read(args.empty() ? 0 : args[0]);
+      }
+      if (name == "kir.wrmsr") {
+        if (args.size() >= 2) kernel_->msrs().Write(args[0], args[1]);
+        return uint64_t{0};
+      }
+      if (name == "kir.inb") {
+        return uint64_t{kernel_->ports().In(
+            static_cast<uint16_t>(args.empty() ? 0 : args[0]))};
+      }
+      if (name == "kir.outb") {
+        if (args.size() >= 2) {
+          kernel_->ports().Out(static_cast<uint16_t>(args[0]),
+                               static_cast<uint8_t>(args[1]));
+        }
+        return uint64_t{0};
+      }
+      if (name == "kir.cli") {
+        kernel_->cpu().Cli();
+        return uint64_t{0};
+      }
+      if (name == "kir.sti") {
+        kernel_->cpu().Sti();
+        return uint64_t{0};
+      }
+      if (name == "kir.hlt") {
+        kernel_->cpu().Halt();
+        return uint64_t{0};
+      }
+      return uint64_t{0};  // invlpg etc.: no modeled state
+    }
+    return NotFound("undefined kernel symbol: " + name);
+  }
+
+ private:
+  Kernel* kernel_;
+};
+
+}  // namespace
+
+LoadedModule::~LoadedModule() {
+  if (kernel_ == nullptr) return;
+  for (uint64_t addr : allocations_) {
+    (void)kernel_->module_area().Kfree(addr);
+  }
+}
+
+Result<uint64_t> LoadedModule::Call(const std::string& function,
+                                    const std::vector<uint64_t>& args) {
+  if (quarantined_) {
+    return PermissionDenied("module '" + name_ +
+                            "' is quarantined: " + quarantine_reason_);
+  }
+  try {
+    return interp_->Call(function, args);
+  } catch (const GuardViolation& violation) {
+    quarantined_ = true;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "guard violation at 0x%llx (size %llu, flags %llu)",
+                  static_cast<unsigned long long>(violation.addr),
+                  static_cast<unsigned long long>(violation.size),
+                  static_cast<unsigned long long>(violation.access_flags));
+    quarantine_reason_ = buf;
+    kernel_->log().Printk(
+        KernLevel::kErr,
+        "carat_kop: quarantined module '%s' after %s; the module was NOT "
+        "ejected (it may hold locks)",
+        name_.c_str(), buf);
+    return PermissionDenied("module '" + name_ + "' quarantined: " + buf);
+  }
+}
+
+Result<uint64_t> LoadedModule::GlobalAddress(const std::string& global) const {
+  auto it = global_addresses_.find(global);
+  if (it == global_addresses_.end()) {
+    return NotFound("module " + name_ + " has no global @" + global);
+  }
+  return it->second;
+}
+
+Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
+  // 1. Signature + attestation + IR verification + guard re-check.
+  auto validated = signing::ValidateSignedModule(image, keyring_);
+  if (!validated.ok()) {
+    kernel_->log().Printk(KernLevel::kErr, "insmod: rejected module: %s",
+                          validated.status().ToString().c_str());
+    return validated.status();
+  }
+  std::unique_ptr<kir::Module> ir = std::move(validated->module);
+  const std::string name = ir->name();
+  if (modules_.count(name)) {
+    return AlreadyExists("module '" + name + "' already loaded");
+  }
+
+  // 2. Symbol resolution: every external must be exported by the kernel
+  //    (the policy module's carat_guard chief among them) or be a known
+  //    hardware intrinsic.
+  for (const std::string& external : ir->ExternalFunctionNames()) {
+    if (!kernel_->symbols().HasFunction(external) &&
+        external.rfind("kir.", 0) != 0) {
+      kernel_->log().Printk(KernLevel::kErr,
+                            "insmod: %s: Unknown symbol %s", name.c_str(),
+                            external.c_str());
+      return BadModule("unknown symbol '" + external + "' needed by '" +
+                       name + "'");
+    }
+  }
+
+  auto loaded = std::unique_ptr<LoadedModule>(new LoadedModule());
+  loaded->name_ = name;
+  loaded->kernel_ = kernel_;
+  loaded->attestation_ = validated->attestation;
+
+  // 3. Lay out globals in the module area.
+  for (const auto& global : ir->globals()) {
+    auto addr = kernel_->module_area().Kmalloc(
+        std::max<uint64_t>(global->size_bytes(), 8), 16);
+    if (!addr.ok()) return addr.status();
+    loaded->allocations_.push_back(*addr);
+    loaded->global_addresses_[global->name()] = *addr;
+    KOP_RETURN_IF_ERROR(
+        kernel_->mem().Memset(*addr, 0, global->size_bytes()));
+    if (!global->init_bytes().empty()) {
+      KOP_RETURN_IF_ERROR(kernel_->mem().Write(*addr,
+                                               global->init_bytes().data(),
+                                               global->init_bytes().size()));
+    }
+  }
+
+  // 4. Module text footprint + interpreter stack in the module area.
+  //    (Text bytes are symbolic — the IR is the code — but the footprint
+  //    is allocated so the memory map reflects a loaded module.)
+  const uint64_t text_bytes =
+      AlignUp(std::max<uint64_t>(ir->InstructionCount() * 8, 64), 64);
+  auto text = kernel_->module_area().Kmalloc(text_bytes, 64);
+  if (!text.ok()) return text.status();
+  loaded->allocations_.push_back(*text);
+
+  constexpr uint64_t kStackBytes = 64 * 1024;
+  auto stack = kernel_->module_area().Kmalloc(kStackBytes, 64);
+  if (!stack.ok()) return stack.status();
+  loaded->allocations_.push_back(*stack);
+
+  kir::InterpConfig config;
+  config.stack_base = *stack;
+  config.stack_size = kStackBytes;
+
+  loaded->memory_ = std::make_unique<KernelMemory>(kernel_);
+  loaded->resolver_ = std::make_unique<KernelResolver>(kernel_);
+  std::unordered_map<std::string, uint64_t> addresses(
+      loaded->global_addresses_.begin(), loaded->global_addresses_.end());
+  loaded->ir_ = std::move(ir);
+  loaded->interp_ = std::make_unique<kir::Interpreter>(
+      *loaded->ir_, *loaded->memory_, *loaded->resolver_,
+      std::move(addresses), config);
+
+  kernel_->log().Printk(
+      KernLevel::kInfo,
+      "insmod: loaded module '%s' (%zu instructions, %llu guards, key %s)",
+      name.c_str(), loaded->ir_->InstructionCount(),
+      static_cast<unsigned long long>(loaded->attestation_.guard_count),
+      image.key_id.c_str());
+
+  LoadedModule* raw = loaded.get();
+  modules_[name] = std::move(loaded);
+  return raw;
+}
+
+Status ModuleLoader::Rmmod(const std::string& name) {
+  auto it = modules_.find(name);
+  if (it == modules_.end()) return NotFound("module '" + name + "' not loaded");
+  modules_.erase(it);
+  kernel_->log().Printk(KernLevel::kInfo, "rmmod: unloaded module '%s'",
+                        name.c_str());
+  return OkStatus();
+}
+
+LoadedModule* ModuleLoader::Find(const std::string& name) {
+  auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ModuleLoader::LoadedNames() const {
+  std::vector<std::string> out;
+  out.reserve(modules_.size());
+  for (const auto& [name, module] : modules_) out.push_back(name);
+  return out;
+}
+
+}  // namespace kop::kernel

@@ -1,0 +1,72 @@
+#include "kop/kernel/printk.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace kop::kernel {
+namespace {
+
+const char* LevelName(KernLevel level) {
+  switch (level) {
+    case KernLevel::kEmerg: return "EMERG";
+    case KernLevel::kAlert: return "ALERT";
+    case KernLevel::kCrit: return "CRIT";
+    case KernLevel::kErr: return "ERR";
+    case KernLevel::kWarning: return "WARNING";
+    case KernLevel::kNotice: return "NOTICE";
+    case KernLevel::kInfo: return "INFO";
+    case KernLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void PrintkRing::Printk(KernLevel level, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  Emit(level, buf);
+}
+
+void PrintkRing::Emit(KernLevel level, std::string text) {
+  std::lock_guard<Spinlock> guard(lock_);
+  ring_.push(PrintkRecord{level, seq_++, std::move(text)});
+}
+
+std::vector<PrintkRecord> PrintkRing::Dmesg() const {
+  std::lock_guard<Spinlock> guard(lock_);
+  return ring_.snapshot();
+}
+
+std::string PrintkRing::DmesgText() const {
+  std::string out;
+  for (const PrintkRecord& rec : Dmesg()) {
+    out += LevelName(rec.level);
+    out += ": ";
+    out += rec.text;
+    out += '\n';
+  }
+  return out;
+}
+
+bool PrintkRing::Contains(std::string_view needle) const {
+  for (const PrintkRecord& rec : Dmesg()) {
+    if (rec.text.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+uint64_t PrintkRing::total_emitted() const {
+  std::lock_guard<Spinlock> guard(lock_);
+  return seq_;
+}
+
+void PrintkRing::Clear() {
+  std::lock_guard<Spinlock> guard(lock_);
+  ring_.clear();
+}
+
+}  // namespace kop::kernel

@@ -1,0 +1,78 @@
+#include "kop/kernel/procfs.hpp"
+
+#include <cstdio>
+
+namespace kop::kernel {
+namespace {
+
+std::string FormatKmallocStats(const char* label, const KmallocStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-12s total %10llu B, used %10llu B in %llu allocations, "
+                "largest free chunk %llu B\n",
+                label, static_cast<unsigned long long>(stats.total_bytes),
+                static_cast<unsigned long long>(stats.allocated_bytes),
+                static_cast<unsigned long long>(stats.allocation_count),
+                static_cast<unsigned long long>(stats.largest_free_chunk));
+  return buf;
+}
+
+}  // namespace
+
+std::string ProcModules(const ModuleLoader& loader) {
+  std::string out = "Module            Insts  Guards  State\n";
+  char line[160];
+  for (const std::string& name : loader.LoadedNames()) {
+    const LoadedModule* module =
+        const_cast<ModuleLoader&>(loader).Find(name);
+    if (module == nullptr) continue;
+    std::snprintf(line, sizeof(line), "%-16s %6zu %7llu  %s\n", name.c_str(),
+                  module->ir().InstructionCount(),
+                  static_cast<unsigned long long>(
+                      module->attestation().guard_count),
+                  module->quarantined() ? "QUARANTINED" : "Live");
+    out += line;
+  }
+  return out;
+}
+
+std::string ProcKallsyms(const Kernel& kernel) {
+  std::string out;
+  for (const std::string& name :
+       const_cast<Kernel&>(kernel).symbols().Names()) {
+    // Function symbols print as T (text), data as D.
+    const bool is_function =
+        const_cast<Kernel&>(kernel).symbols().HasFunction(name);
+    out += is_function ? "T " : "D ";
+    out += name;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ProcIomem(const Kernel& kernel) {
+  std::string out;
+  char line[160];
+  for (const RegionInfo& region : kernel.mem().Regions()) {
+    std::snprintf(line, sizeof(line), "%016llx-%016llx : %s (%s%s)\n",
+                  static_cast<unsigned long long>(region.base),
+                  static_cast<unsigned long long>(region.base + region.size -
+                                                  1),
+                  region.name.c_str(),
+                  region.backing == RegionBacking::kRam ? "ram" : "mmio",
+                  region.writable ? "" : ", ro");
+    out += line;
+  }
+  return out;
+}
+
+std::string ProcMeminfo(const Kernel& kernel) {
+  Kernel& mutable_kernel = const_cast<Kernel&>(kernel);
+  std::string out;
+  out += FormatKmallocStats("heap:", mutable_kernel.heap().Stats());
+  out += FormatKmallocStats("module-area:",
+                            mutable_kernel.module_area().Stats());
+  return out;
+}
+
+}  // namespace kop::kernel

@@ -1,0 +1,63 @@
+#include "kop/kernel/symbols.hpp"
+
+#include <algorithm>
+
+namespace kop::kernel {
+
+Status SymbolTable::ExportFunction(const std::string& name,
+                                   KernelFunction fn) {
+  if (!fn) return InvalidArgument("null function for symbol " + name);
+  if (functions_.count(name) || data_.count(name)) {
+    return AlreadyExists("symbol already exported: " + name);
+  }
+  functions_[name] = std::move(fn);
+  return OkStatus();
+}
+
+Status SymbolTable::ExportData(const std::string& name, uint64_t address) {
+  if (functions_.count(name) || data_.count(name)) {
+    return AlreadyExists("symbol already exported: " + name);
+  }
+  data_[name] = address;
+  return OkStatus();
+}
+
+Status SymbolTable::Unexport(const std::string& name) {
+  if (functions_.erase(name) > 0) return OkStatus();
+  if (data_.erase(name) > 0) return OkStatus();
+  return NotFound("symbol not exported: " + name);
+}
+
+bool SymbolTable::HasFunction(const std::string& name) const {
+  return functions_.count(name) > 0;
+}
+
+bool SymbolTable::HasData(const std::string& name) const {
+  return data_.count(name) > 0;
+}
+
+Result<uint64_t> SymbolTable::Call(const std::string& name,
+                                   const std::vector<uint64_t>& args) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return NotFound("undefined kernel symbol: " + name);
+  }
+  return it->second(args);
+}
+
+Result<uint64_t> SymbolTable::DataAddress(const std::string& name) const {
+  auto it = data_.find(name);
+  if (it == data_.end()) return NotFound("undefined data symbol: " + name);
+  return it->second;
+}
+
+std::vector<std::string> SymbolTable::Names() const {
+  std::vector<std::string> out;
+  out.reserve(functions_.size() + data_.size());
+  for (const auto& [name, fn] : functions_) out.push_back(name);
+  for (const auto& [name, addr] : data_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kop::kernel

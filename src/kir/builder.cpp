@@ -1,0 +1,140 @@
+#include "kop/kir/builder.hpp"
+
+#include <cassert>
+
+namespace kop::kir {
+
+Instruction* IRBuilder::Insert(std::unique_ptr<Instruction> inst,
+                               const std::string& name) {
+  assert(block_ != nullptr && "no insertion point set");
+  if (inst->type() != Type::kVoid) {
+    if (!name.empty()) {
+      inst->set_name(name);
+    } else {
+      inst->set_name("t" +
+                     std::to_string(block_->parent()->TakeNextTempId()));
+    }
+  }
+  if (has_pos_) {
+    auto it = block_->InsertBefore(pos_, std::move(inst));
+    return it->get();
+  }
+  return block_->Append(std::move(inst));
+}
+
+Instruction* IRBuilder::CreateAlloca(uint64_t size_bytes,
+                                     const std::string& name) {
+  auto inst =
+      std::make_unique<Instruction>(Opcode::kAlloca, Type::kPtr, "");
+  inst->set_alloca_size(size_bytes);
+  return Insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::CreateLoad(Type type, Value* ptr,
+                                   const std::string& name) {
+  assert(IsFirstClass(type));
+  auto inst = std::make_unique<Instruction>(Opcode::kLoad, type, "");
+  inst->set_memory_type(type);
+  inst->AddOperand(ptr);
+  return Insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::CreateStore(Value* value, Value* ptr) {
+  auto inst = std::make_unique<Instruction>(Opcode::kStore, Type::kVoid, "");
+  inst->set_memory_type(value->type());
+  inst->AddOperand(value);
+  inst->AddOperand(ptr);
+  return Insert(std::move(inst), "");
+}
+
+Instruction* IRBuilder::CreateGep(Value* base, Value* index, uint64_t scale,
+                                  uint64_t offset, const std::string& name) {
+  auto inst = std::make_unique<Instruction>(Opcode::kGep, Type::kPtr, "");
+  inst->AddOperand(base);
+  inst->AddOperand(index);
+  inst->set_gep_scale(scale);
+  inst->set_gep_offset(offset);
+  return Insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::CreateBinOp(Opcode op, Value* lhs, Value* rhs,
+                                    const std::string& name) {
+  auto inst = std::make_unique<Instruction>(op, lhs->type(), "");
+  inst->AddOperand(lhs);
+  inst->AddOperand(rhs);
+  return Insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::CreateICmp(ICmpPred pred, Value* lhs, Value* rhs,
+                                   const std::string& name) {
+  auto inst = std::make_unique<Instruction>(Opcode::kICmp, Type::kI1, "");
+  inst->set_icmp_pred(pred);
+  inst->AddOperand(lhs);
+  inst->AddOperand(rhs);
+  return Insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::CreateCast(Opcode op, Value* value, Type to,
+                                   const std::string& name) {
+  assert(op == Opcode::kZExt || op == Opcode::kSExt ||
+         op == Opcode::kTrunc || op == Opcode::kPtrToInt ||
+         op == Opcode::kIntToPtr);
+  auto inst = std::make_unique<Instruction>(op, to, "");
+  inst->AddOperand(value);
+  return Insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::CreateSelect(Value* cond, Value* if_true,
+                                     Value* if_false,
+                                     const std::string& name) {
+  auto inst =
+      std::make_unique<Instruction>(Opcode::kSelect, if_true->type(), "");
+  inst->AddOperand(cond);
+  inst->AddOperand(if_true);
+  inst->AddOperand(if_false);
+  return Insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::CreateBr(Value* cond, BasicBlock* if_true,
+                                 BasicBlock* if_false) {
+  auto inst = std::make_unique<Instruction>(Opcode::kBr, Type::kVoid, "");
+  inst->AddOperand(cond);
+  inst->set_true_block(if_true);
+  inst->set_false_block(if_false);
+  return Insert(std::move(inst), "");
+}
+
+Instruction* IRBuilder::CreateJmp(BasicBlock* target) {
+  auto inst = std::make_unique<Instruction>(Opcode::kJmp, Type::kVoid, "");
+  inst->set_true_block(target);
+  return Insert(std::move(inst), "");
+}
+
+Instruction* IRBuilder::CreateRet(Value* value) {
+  auto inst = std::make_unique<Instruction>(Opcode::kRet, Type::kVoid, "");
+  if (value != nullptr) inst->AddOperand(value);
+  return Insert(std::move(inst), "");
+}
+
+Instruction* IRBuilder::CreatePhi(Type type, const std::string& name) {
+  auto inst = std::make_unique<Instruction>(Opcode::kPhi, type, "");
+  return Insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::CreateCall(const std::string& callee,
+                                   Type result_type, std::vector<Value*> args,
+                                   const std::string& name) {
+  auto inst = std::make_unique<Instruction>(Opcode::kCall, result_type, "");
+  inst->set_callee(callee);
+  for (Value* arg : args) inst->AddOperand(arg);
+  return Insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::CreateInlineAsm(const std::string& asm_text) {
+  auto inst =
+      std::make_unique<Instruction>(Opcode::kInlineAsm, Type::kVoid, "");
+  inst->set_asm_text(asm_text);
+  return Insert(std::move(inst), "");
+}
+
+}  // namespace kop::kir

@@ -1,0 +1,117 @@
+// IRBuilder: the convenience layer used by the kirmods corpus and by the
+// transform passes to materialize instructions. Mirrors llvm::IRBuilder's
+// insertion-point model: either append to a block or insert before an
+// existing instruction (how guards land in front of loads and stores).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kop/kir/module.hpp"
+
+namespace kop::kir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module* module) : module_(module) {}
+
+  /// Append new instructions at the end of `block`.
+  void SetInsertPoint(BasicBlock* block) {
+    block_ = block;
+    has_pos_ = false;
+  }
+
+  /// Insert new instructions before `pos` in `block`.
+  void SetInsertPoint(BasicBlock* block, BasicBlock::iterator pos) {
+    block_ = block;
+    pos_ = pos;
+    has_pos_ = true;
+  }
+
+  BasicBlock* insert_block() const { return block_; }
+  Module* module() const { return module_; }
+
+  // --- constants ---
+  Constant* Int(Type type, uint64_t bits) {
+    return module_->GetConstant(type, bits);
+  }
+  Constant* I64(uint64_t bits) { return module_->GetConstant(Type::kI64, bits); }
+  Constant* I32(uint64_t bits) { return module_->GetConstant(Type::kI32, bits); }
+  Constant* I1(bool b) { return module_->GetConstant(Type::kI1, b ? 1 : 0); }
+  Constant* NullPtr() { return module_->GetConstant(Type::kPtr, 0); }
+
+  // --- memory ---
+  Instruction* CreateAlloca(uint64_t size_bytes, const std::string& name = "");
+  Instruction* CreateLoad(Type type, Value* ptr, const std::string& name = "");
+  Instruction* CreateStore(Value* value, Value* ptr);
+  /// ptr + index * scale + offset.
+  Instruction* CreateGep(Value* base, Value* index, uint64_t scale,
+                         uint64_t offset = 0, const std::string& name = "");
+
+  // --- arithmetic ---
+  Instruction* CreateBinOp(Opcode op, Value* lhs, Value* rhs,
+                           const std::string& name = "");
+  Instruction* CreateAdd(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kAdd, l, r, n);
+  }
+  Instruction* CreateSub(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kSub, l, r, n);
+  }
+  Instruction* CreateMul(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kMul, l, r, n);
+  }
+  Instruction* CreateUDiv(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kUDiv, l, r, n);
+  }
+  Instruction* CreateURem(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kURem, l, r, n);
+  }
+  Instruction* CreateAnd(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kAnd, l, r, n);
+  }
+  Instruction* CreateOr(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kOr, l, r, n);
+  }
+  Instruction* CreateXor(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kXor, l, r, n);
+  }
+  Instruction* CreateShl(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kShl, l, r, n);
+  }
+  Instruction* CreateLShr(Value* l, Value* r, const std::string& n = "") {
+    return CreateBinOp(Opcode::kLShr, l, r, n);
+  }
+
+  // --- comparisons / conversions / select ---
+  Instruction* CreateICmp(ICmpPred pred, Value* lhs, Value* rhs,
+                          const std::string& name = "");
+  Instruction* CreateCast(Opcode op, Value* value, Type to,
+                          const std::string& name = "");
+  Instruction* CreateSelect(Value* cond, Value* if_true, Value* if_false,
+                            const std::string& name = "");
+
+  // --- control flow ---
+  Instruction* CreateBr(Value* cond, BasicBlock* if_true,
+                        BasicBlock* if_false);
+  Instruction* CreateJmp(BasicBlock* target);
+  Instruction* CreateRet(Value* value = nullptr);
+  Instruction* CreatePhi(Type type, const std::string& name = "");
+
+  // --- calls ---
+  Instruction* CreateCall(const std::string& callee, Type result_type,
+                          std::vector<Value*> args,
+                          const std::string& name = "");
+  Instruction* CreateInlineAsm(const std::string& asm_text);
+
+ private:
+  Instruction* Insert(std::unique_ptr<Instruction> inst,
+                      const std::string& name);
+
+  Module* module_;
+  BasicBlock* block_ = nullptr;
+  BasicBlock::iterator pos_{};
+  bool has_pos_ = false;
+};
+
+}  // namespace kop::kir

@@ -1,0 +1,67 @@
+// Functions: a signature plus (for definitions) an ordered list of basic
+// blocks. External declarations — e.g. `carat_guard`, resolved against
+// the kernel's exported-symbol table at insmod — have no blocks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kop/kir/basic_block.hpp"
+#include "kop/kir/value.hpp"
+
+namespace kop::kir {
+
+class Module;
+
+class Function {
+ public:
+  Function(std::string name, Type return_type,
+           std::vector<std::pair<Type, std::string>> params, bool is_external,
+           Module* parent);
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  const std::string& name() const { return name_; }
+  Type return_type() const { return return_type_; }
+  bool is_external() const { return is_external_; }
+  Module* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<Argument>>& args() const { return args_; }
+  Argument* arg(size_t i) { return args_[i].get(); }
+  size_t arg_count() const { return args_.size(); }
+
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+  BasicBlock* entry() { return blocks_.empty() ? nullptr : blocks_[0].get(); }
+
+  /// Create and append a block with a unique label within the function.
+  BasicBlock* CreateBlock(const std::string& label);
+
+  /// Find a block by label; nullptr when absent.
+  BasicBlock* FindBlock(const std::string& label);
+
+  /// Total instruction count across all blocks.
+  size_t InstructionCount() const;
+
+  /// Next unique temp id for naming pass-created values (%t0, %t1, ...).
+  unsigned TakeNextTempId() { return next_temp_id_++; }
+
+  /// Ensure future temp ids are all > `id` (the parser calls this when it
+  /// sees an explicit %tN name, so pass-inserted values never collide).
+  void ReserveTempId(unsigned id) {
+    if (id >= next_temp_id_) next_temp_id_ = id + 1;
+  }
+
+ private:
+  std::string name_;
+  Type return_type_;
+  bool is_external_;
+  Module* parent_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  unsigned next_temp_id_ = 0;
+};
+
+}  // namespace kop::kir

@@ -1,0 +1,85 @@
+// The KIR interpreter: executes a loaded module against an abstract
+// memory (the simulated kernel address space) and an external-call
+// resolver (the kernel's exported-symbol table). This is how a protected
+// module "runs inside the kernel" in the simulation — its loads and
+// stores really happen, and the guard calls the transform injected really
+// reach the policy module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kop/kir/module.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::kir {
+
+/// Abstract memory the interpreter loads from / stores to. `size` is the
+/// access width in bytes (1/2/4/8).
+class MemoryInterface {
+ public:
+  virtual ~MemoryInterface() = default;
+  virtual Result<uint64_t> Load(uint64_t addr, uint32_t size) = 0;
+  virtual Status Store(uint64_t addr, uint64_t value, uint32_t size) = 0;
+};
+
+/// Resolves calls that leave the module (kernel exports and intrinsics).
+class ExternalResolver {
+ public:
+  virtual ~ExternalResolver() = default;
+  virtual Result<uint64_t> CallExternal(const std::string& name,
+                                        const std::vector<uint64_t>& args) = 0;
+};
+
+struct InterpConfig {
+  /// Stack arena in simulated memory for allocas (provided by the loader).
+  uint64_t stack_base = 0;
+  uint64_t stack_size = 64 * 1024;
+  /// Execution budget; exceeded -> error (kernel would watchdog).
+  uint64_t max_steps = 50'000'000;
+  /// Intra-module call depth limit.
+  uint32_t max_call_depth = 256;
+};
+
+struct InterpStats {
+  uint64_t steps = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t calls_internal = 0;
+  uint64_t calls_external = 0;
+};
+
+class Interpreter {
+ public:
+  /// `global_addresses` maps each module global to its simulated address,
+  /// as assigned by the module loader.
+  Interpreter(const Module& module, MemoryInterface& memory,
+              ExternalResolver& resolver,
+              std::unordered_map<std::string, uint64_t> global_addresses,
+              const InterpConfig& config = InterpConfig());
+
+  /// Call a defined function by name with integer/pointer arguments.
+  Result<uint64_t> Call(const std::string& fn_name,
+                        const std::vector<uint64_t>& args);
+
+  const InterpStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = InterpStats(); }
+
+ private:
+  Result<uint64_t> Execute(const Function& fn,
+                           const std::vector<uint64_t>& args, uint32_t depth,
+                           uint64_t stack_top);
+
+  Result<uint64_t> GlobalAddress(const GlobalVariable* global) const;
+
+  const Module& module_;
+  MemoryInterface& memory_;
+  ExternalResolver& resolver_;
+  std::unordered_map<std::string, uint64_t> global_addresses_;
+  InterpConfig config_;
+  InterpStats stats_;
+};
+
+}  // namespace kop::kir

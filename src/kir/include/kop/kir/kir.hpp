@@ -1,0 +1,14 @@
+// Umbrella header for the KIR library.
+#pragma once
+
+#include "kop/kir/basic_block.hpp"   // IWYU pragma: export
+#include "kop/kir/builder.hpp"       // IWYU pragma: export
+#include "kop/kir/function.hpp"      // IWYU pragma: export
+#include "kop/kir/instruction.hpp"   // IWYU pragma: export
+#include "kop/kir/interp.hpp"        // IWYU pragma: export
+#include "kop/kir/module.hpp"        // IWYU pragma: export
+#include "kop/kir/parser.hpp"        // IWYU pragma: export
+#include "kop/kir/printer.hpp"       // IWYU pragma: export
+#include "kop/kir/type.hpp"          // IWYU pragma: export
+#include "kop/kir/value.hpp"         // IWYU pragma: export
+#include "kop/kir/verifier.hpp"      // IWYU pragma: export

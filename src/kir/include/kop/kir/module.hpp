@@ -1,0 +1,65 @@
+// A KIR module: the unit CARAT KOP compiles, signs, validates and loads —
+// the analogue of one .ko. Owns globals, functions and the uniqued
+// constant pool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kop/kir/function.hpp"
+#include "kop/kir/value.hpp"
+
+namespace kop::kir {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Uniqued integer/pointer constant.
+  Constant* GetConstant(Type type, uint64_t bits);
+  Constant* GetI64(uint64_t bits) { return GetConstant(Type::kI64, bits); }
+
+  /// Define a global variable. Fails (returns nullptr) on duplicate name.
+  GlobalVariable* AddGlobal(const std::string& name, uint64_t size_bytes,
+                            bool writable, std::string init_bytes = {});
+  GlobalVariable* FindGlobal(const std::string& name);
+  const std::vector<std::unique_ptr<GlobalVariable>>& globals() const {
+    return globals_;
+  }
+
+  /// Create a function (definition or external declaration). Fails
+  /// (nullptr) on duplicate name.
+  Function* CreateFunction(const std::string& name, Type return_type,
+                           std::vector<std::pair<Type, std::string>> params,
+                           bool is_external = false);
+  Function* FindFunction(const std::string& name);
+  const Function* FindFunction(const std::string& name) const;
+  const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+
+  /// Names of external declarations (the module's import list).
+  std::vector<std::string> ExternalFunctionNames() const;
+
+  /// Total instruction count over all defined functions.
+  size_t InstructionCount() const;
+
+  /// Count of load + store instructions (the transform's work list).
+  size_t MemoryAccessCount() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<GlobalVariable>> globals_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::map<std::pair<Type, uint64_t>, std::unique_ptr<Constant>> constants_;
+};
+
+}  // namespace kop::kir

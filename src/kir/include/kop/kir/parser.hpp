@@ -1,0 +1,19 @@
+// Parser for the textual KIR form produced by PrintModule. The kernel's
+// module loader parses the signed text at insmod time; the kirmods corpus
+// is written directly in this syntax.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "kop/kir/module.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::kir {
+
+/// Parse a module from text. Errors carry a line number and what was
+/// expected. The returned module has been name-resolved (all operand and
+/// block references patched) but not verified — run the Verifier next.
+Result<std::unique_ptr<Module>> ParseModule(std::string_view text);
+
+}  // namespace kop::kir

@@ -1,0 +1,16 @@
+// Textual form of KIR. PrintModule and the parser round-trip: the printed
+// text is the canonical serialization that gets signed by the CARAT KOP
+// compiler and re-validated by the kernel at insmod.
+#pragma once
+
+#include <string>
+
+#include "kop/kir/module.hpp"
+
+namespace kop::kir {
+
+std::string PrintInstruction(const Instruction& inst);
+std::string PrintFunction(const Function& fn);
+std::string PrintModule(const Module& module);
+
+}  // namespace kop::kir

@@ -1,0 +1,97 @@
+// KIR type system. Deliberately small: CARAT KOP's transform operates on
+// loads and stores of scalar values, so KIR has scalar integer types and
+// an opaque 64-bit pointer. Aggregates are handled the way the LLVM
+// middle-end ultimately handles them for memory purposes: as byte offsets
+// computed by `gep`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace kop::kir {
+
+enum class Type : uint8_t {
+  kVoid,
+  kI1,
+  kI8,
+  kI16,
+  kI32,
+  kI64,
+  kPtr,  // opaque pointer; 64-bit
+};
+
+/// Width in bits; void is 0, ptr is 64.
+constexpr unsigned BitWidth(Type type) {
+  switch (type) {
+    case Type::kVoid: return 0;
+    case Type::kI1: return 1;
+    case Type::kI8: return 8;
+    case Type::kI16: return 16;
+    case Type::kI32: return 32;
+    case Type::kI64: return 64;
+    case Type::kPtr: return 64;
+  }
+  return 0;
+}
+
+/// Size in bytes as stored in memory (i1 occupies one byte).
+constexpr unsigned StoreSize(Type type) {
+  switch (type) {
+    case Type::kVoid: return 0;
+    case Type::kI1: return 1;
+    case Type::kI8: return 1;
+    case Type::kI16: return 2;
+    case Type::kI32: return 4;
+    case Type::kI64: return 8;
+    case Type::kPtr: return 8;
+  }
+  return 0;
+}
+
+constexpr bool IsInteger(Type type) {
+  return type == Type::kI1 || type == Type::kI8 || type == Type::kI16 ||
+         type == Type::kI32 || type == Type::kI64;
+}
+
+constexpr bool IsFirstClass(Type type) {
+  return type != Type::kVoid;
+}
+
+constexpr std::string_view TypeName(Type type) {
+  switch (type) {
+    case Type::kVoid: return "void";
+    case Type::kI1: return "i1";
+    case Type::kI8: return "i8";
+    case Type::kI16: return "i16";
+    case Type::kI32: return "i32";
+    case Type::kI64: return "i64";
+    case Type::kPtr: return "ptr";
+  }
+  return "?";
+}
+
+/// Parse a type name; nullopt when not a type token.
+std::optional<Type> ParseTypeName(std::string_view token);
+
+/// Truncate/extend `raw` to the value domain of `type` (e.g. i1 -> 0/1,
+/// i8 -> low byte). Pointers and i64 pass through.
+constexpr uint64_t ClampToType(uint64_t raw, Type type) {
+  const unsigned bits = BitWidth(type);
+  if (bits == 0) return 0;
+  if (bits >= 64) return raw;
+  return raw & ((uint64_t{1} << bits) - 1);
+}
+
+/// Sign-extend a value of `type` to a signed 64-bit integer.
+constexpr int64_t SignExtend(uint64_t raw, Type type) {
+  const unsigned bits = BitWidth(type);
+  if (bits == 0 || bits >= 64) return static_cast<int64_t>(raw);
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  raw &= mask;
+  const uint64_t sign_bit = uint64_t{1} << (bits - 1);
+  if (raw & sign_bit) raw |= ~mask;
+  return static_cast<int64_t>(raw);
+}
+
+}  // namespace kop::kir

@@ -1,0 +1,33 @@
+// KIR module verifier. Run after parsing and after every transform pass;
+// the kernel's loader also runs it at insmod time — malformed IR must
+// never reach the interpreter. Checks structural well-formedness, type
+// consistency, call signatures against in-module declarations, and SSA
+// dominance (computed from a real dominator tree).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kop/kir/module.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::kir {
+
+/// Verify the whole module. The status message of a failure names the
+/// function, block and instruction at fault.
+Status VerifyModule(const Module& module);
+
+/// Verify one function (used by unit tests for targeted checks).
+Status VerifyFunction(const Function& fn);
+
+/// Compute the immediate dominator of every block (entry maps to itself).
+/// Exposed for tests and for the guard-hoisting ablation pass.
+std::vector<const BasicBlock*> ComputeImmediateDominators(const Function& fn);
+
+/// True when block `a` dominates block `b` under `idom` from
+/// ComputeImmediateDominators (blocks identified by function block index).
+bool BlockDominates(const Function& fn,
+                    const std::vector<const BasicBlock*>& idom,
+                    const BasicBlock* a, const BasicBlock* b);
+
+}  // namespace kop::kir

@@ -1,0 +1,745 @@
+#include "kop/kir/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace kop::kir {
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+enum class TokKind {
+  kEof,
+  kIdent,    // keywords, type names, labels
+  kLocal,    // %name
+  kGlobal,   // @name
+  kInt,      // 123, 0x7b, -5
+  kString,   // "..."
+  kPunct,    // single char: ( ) { } , : [ ] =
+  kArrow,    // ->
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;   // ident/local/global name (without sigil), string body
+  uint64_t int_value = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      const char c = text_[pos_];
+      if (c == '%' || c == '@') {
+        ++pos_;
+        std::string name = LexIdentBody();
+        if (name.empty()) return Error("empty name after sigil");
+        out.push_back({c == '%' ? TokKind::kLocal : TokKind::kGlobal,
+                       std::move(name), 0, line_});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                 c == '.') {
+        out.push_back({TokKind::kIdent, LexIdentBody(), 0, line_});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        auto tok = LexNumber();
+        if (!tok.ok()) return tok.status();
+        out.push_back(*tok);
+      } else if (c == '"') {
+        auto tok = LexString();
+        if (!tok.ok()) return tok.status();
+        out.push_back(*tok);
+      } else if (c == '-' ) {
+        return Error("unexpected '-'");
+      } else if (c == '(' || c == ')' || c == '{' || c == '}' || c == ',' ||
+                 c == ':' || c == '[' || c == ']' || c == '=') {
+        out.push_back({TokKind::kPunct, std::string(1, c), 0, line_});
+        ++pos_;
+      } else {
+        return Error(std::string("unexpected character '") + c + "'");
+      }
+    }
+    out.push_back({TokKind::kEof, "", 0, line_});
+    return out;
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return InvalidArgument("kir lex error at line " + std::to_string(line_) +
+                           ": " + msg);
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == ';') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '-' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '>') {
+        // handled by caller as arrow; but we lex it here for simplicity
+        break;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string LexIdentBody() {
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '$') {
+        out.push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<Token> LexNumber() {
+    // '-' might start "->" (arrow) instead of a negative number.
+    if (text_[pos_] == '-') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+        pos_ += 2;
+        return Token{TokKind::kArrow, "->", 0, line_};
+      }
+    }
+    bool negative = false;
+    size_t start = pos_;
+    if (text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    int base = 10;
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+      base = 16;
+      pos_ += 2;
+    }
+    std::string digits;
+    while (pos_ < text_.size() &&
+           (std::isxdigit(static_cast<unsigned char>(text_[pos_])) ||
+            (base == 16 && text_[pos_] == '_'))) {
+      if (text_[pos_] != '_') digits.push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (digits.empty()) {
+      pos_ = start;
+      return Error("malformed number");
+    }
+    const uint64_t magnitude = std::strtoull(digits.c_str(), nullptr, base);
+    const uint64_t value =
+        negative ? static_cast<uint64_t>(-static_cast<int64_t>(magnitude))
+                 : magnitude;
+    return Token{TokKind::kInt, "", value, line_};
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    std::string body;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') return Error("unterminated string");
+      body.push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return Token{TokKind::kString, std::move(body), 0, line_};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// --------------------------------------------------------------- parser --
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Module>> Run() {
+    KOP_RETURN_IF_ERROR(ExpectIdent("module"));
+    auto name = ExpectString();
+    if (!name.ok()) return name.status();
+    module_ = std::make_unique<Module>(*name);
+
+    while (!AtEof()) {
+      if (PeekIdent("global")) {
+        KOP_RETURN_IF_ERROR(ParseGlobal());
+      } else if (PeekIdent("extern")) {
+        KOP_RETURN_IF_ERROR(ParseExtern());
+      } else if (PeekIdent("func")) {
+        KOP_RETURN_IF_ERROR(ParseFunction());
+      } else {
+        return Err("expected 'global', 'extern' or 'func'");
+      }
+    }
+    return std::move(module_);
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEof() const { return Peek().kind == TokKind::kEof; }
+
+  Status Err(const std::string& msg) const {
+    return InvalidArgument("kir parse error at line " +
+                           std::to_string(Peek().line) + ": " + msg);
+  }
+
+  bool PeekIdent(std::string_view ident) const {
+    return Peek().kind == TokKind::kIdent && Peek().text == ident;
+  }
+  bool PeekPunct(char c) const {
+    return Peek().kind == TokKind::kPunct && Peek().text[0] == c;
+  }
+
+  Status ExpectIdent(std::string_view ident) {
+    if (!PeekIdent(ident)) return Err("expected '" + std::string(ident) + "'");
+    Take();
+    return OkStatus();
+  }
+  Status ExpectPunct(char c) {
+    if (!PeekPunct(c)) return Err(std::string("expected '") + c + "'");
+    Take();
+    return OkStatus();
+  }
+  Status ExpectArrow() {
+    if (Peek().kind != TokKind::kArrow) return Err("expected '->'");
+    Take();
+    return OkStatus();
+  }
+  Result<std::string> ExpectString() {
+    if (Peek().kind != TokKind::kString) return Err("expected string literal");
+    return Take().text;
+  }
+  Result<uint64_t> ExpectInt() {
+    if (Peek().kind != TokKind::kInt) return Err("expected integer");
+    return Take().int_value;
+  }
+  Result<std::string> ExpectAnyIdent() {
+    if (Peek().kind != TokKind::kIdent) return Err("expected identifier");
+    return Take().text;
+  }
+  Result<std::string> ExpectLocal() {
+    if (Peek().kind != TokKind::kLocal) return Err("expected %name");
+    return Take().text;
+  }
+  Result<std::string> ExpectGlobalName() {
+    if (Peek().kind != TokKind::kGlobal) return Err("expected @name");
+    return Take().text;
+  }
+  Result<Type> ExpectType() {
+    if (Peek().kind != TokKind::kIdent) return Err("expected a type");
+    auto type = ParseTypeName(Peek().text);
+    if (!type) return Err("unknown type '" + Peek().text + "'");
+    Take();
+    return *type;
+  }
+
+  // --- top-level items ---
+  Status ParseGlobal() {
+    Take();  // 'global'
+    auto name = ExpectGlobalName();
+    if (!name.ok()) return name.status();
+    KOP_RETURN_IF_ERROR(ExpectIdent("size"));
+    auto size = ExpectInt();
+    if (!size.ok()) return size.status();
+    bool writable;
+    if (PeekIdent("rw")) {
+      writable = true;
+      Take();
+    } else if (PeekIdent("ro")) {
+      writable = false;
+      Take();
+    } else {
+      return Err("expected 'rw' or 'ro'");
+    }
+    std::string init;
+    if (PeekIdent("init")) {
+      Take();
+      // init x"<hex>"
+      if (!PeekIdent("x")) return Err("expected x\"...\" after init");
+      Take();
+      auto hex = ExpectString();
+      if (!hex.ok()) return hex.status();
+      if (hex->size() % 2 != 0) return Err("odd-length hex init");
+      for (size_t i = 0; i < hex->size(); i += 2) {
+        auto nibble = [&](char c) -> int {
+          if (c >= '0' && c <= '9') return c - '0';
+          if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+          if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+          return -1;
+        };
+        const int hi = nibble((*hex)[i]);
+        const int lo = nibble((*hex)[i + 1]);
+        if (hi < 0 || lo < 0) return Err("bad hex digit in init");
+        init.push_back(static_cast<char>((hi << 4) | lo));
+      }
+      if (init.size() > *size) return Err("init longer than global size");
+    }
+    if (module_->AddGlobal(*name, *size, writable, std::move(init)) ==
+        nullptr) {
+      return Err("duplicate global @" + *name);
+    }
+    return OkStatus();
+  }
+
+  Status ParseExtern() {
+    Take();  // 'extern'
+    KOP_RETURN_IF_ERROR(ExpectIdent("func"));
+    auto name = ExpectGlobalName();
+    if (!name.ok()) return name.status();
+    KOP_RETURN_IF_ERROR(ExpectPunct('('));
+    std::vector<std::pair<Type, std::string>> params;
+    if (!PeekPunct(')')) {
+      while (true) {
+        auto type = ExpectType();
+        if (!type.ok()) return type.status();
+        params.emplace_back(*type, "a" + std::to_string(params.size()));
+        if (PeekPunct(',')) {
+          Take();
+          continue;
+        }
+        break;
+      }
+    }
+    KOP_RETURN_IF_ERROR(ExpectPunct(')'));
+    KOP_RETURN_IF_ERROR(ExpectArrow());
+    auto ret = ExpectType();
+    if (!ret.ok()) return ret.status();
+    if (module_->CreateFunction(*name, *ret, std::move(params),
+                                /*is_external=*/true) == nullptr) {
+      return Err("duplicate function @" + *name);
+    }
+    return OkStatus();
+  }
+
+  Status ParseFunction() {
+    Take();  // 'func'
+    auto name = ExpectGlobalName();
+    if (!name.ok()) return name.status();
+    KOP_RETURN_IF_ERROR(ExpectPunct('('));
+    std::vector<std::pair<Type, std::string>> params;
+    if (!PeekPunct(')')) {
+      while (true) {
+        auto type = ExpectType();
+        if (!type.ok()) return type.status();
+        auto param = ExpectLocal();
+        if (!param.ok()) return param.status();
+        params.emplace_back(*type, *param);
+        if (PeekPunct(',')) {
+          Take();
+          continue;
+        }
+        break;
+      }
+    }
+    KOP_RETURN_IF_ERROR(ExpectPunct(')'));
+    KOP_RETURN_IF_ERROR(ExpectArrow());
+    auto ret = ExpectType();
+    if (!ret.ok()) return ret.status();
+
+    Function* fn = module_->CreateFunction(*name, *ret, params,
+                                           /*is_external=*/false);
+    if (fn == nullptr) return Err("duplicate function @" + *name);
+    KOP_RETURN_IF_ERROR(ExpectPunct('{'));
+
+    // Pre-scan for labels (ident ':') so blocks exist in source order and
+    // branch targets resolve forward.
+    size_t scan = pos_;
+    int depth = 1;
+    while (scan < tokens_.size() && depth > 0) {
+      const Token& tok = tokens_[scan];
+      if (tok.kind == TokKind::kPunct && tok.text[0] == '{') ++depth;
+      if (tok.kind == TokKind::kPunct && tok.text[0] == '}') --depth;
+      if (depth > 0 && tok.kind == TokKind::kIdent && scan + 1 < tokens_.size() &&
+          tokens_[scan + 1].kind == TokKind::kPunct &&
+          tokens_[scan + 1].text[0] == ':') {
+        if (fn->FindBlock(tok.text) != nullptr) {
+          return Err("duplicate label '" + tok.text + "'");
+        }
+        fn->CreateBlock(tok.text);
+      }
+      ++scan;
+    }
+    if (fn->blocks().empty()) return Err("function has no blocks");
+
+    // Value environment: arguments first.
+    locals_.clear();
+    pending_.clear();
+    for (auto& arg : fn->args()) locals_[arg->name()] = arg.get();
+
+    BasicBlock* current = nullptr;
+    while (!PeekPunct('}')) {
+      if (AtEof()) return Err("unexpected end of input inside function");
+      if (Peek().kind == TokKind::kIdent && Peek(1).kind == TokKind::kPunct &&
+          Peek(1).text[0] == ':') {
+        std::string label = Take().text;
+        Take();  // ':'
+        current = fn->FindBlock(label);
+        continue;
+      }
+      if (current == nullptr) return Err("instruction before first label");
+      KOP_RETURN_IF_ERROR(ParseInstruction(fn, current));
+    }
+    Take();  // '}'
+
+    // Patch forward references to locals (phis).
+    for (auto& [inst, index, ref_name] : pending_) {
+      auto it = locals_.find(ref_name);
+      if (it == locals_.end()) {
+        return InvalidArgument("kir parse error: undefined value %" +
+                               ref_name + " in @" + fn->name());
+      }
+      inst->SetOperand(index, it->second);
+    }
+    return OkStatus();
+  }
+
+  // --- instruction parsing ---
+
+  /// Parse an operand of known type. May leave a pending patch when the
+  /// operand is a local defined later (legal only in phis, verified later).
+  Status ParseOperand(Type type, Instruction* inst) {
+    const Token& tok = Peek();
+    if (tok.kind == TokKind::kInt) {
+      Take();
+      inst->AddOperand(module_->GetConstant(type, tok.int_value));
+      return OkStatus();
+    }
+    if (tok.kind == TokKind::kLocal) {
+      Take();
+      auto it = locals_.find(tok.text);
+      if (it != locals_.end()) {
+        inst->AddOperand(it->second);
+      } else {
+        inst->AddOperand(nullptr);
+        pending_.emplace_back(inst, inst->operand_count() - 1, tok.text);
+      }
+      return OkStatus();
+    }
+    if (tok.kind == TokKind::kGlobal) {
+      Take();
+      GlobalVariable* global = module_->FindGlobal(tok.text);
+      if (global == nullptr) return Err("undefined global @" + tok.text);
+      inst->AddOperand(global);
+      return OkStatus();
+    }
+    return Err("expected operand");
+  }
+
+  Result<BasicBlock*> ParseLabelRef(Function* fn) {
+    auto label = ExpectAnyIdent();
+    if (!label.ok()) return label.status();
+    BasicBlock* block = fn->FindBlock(*label);
+    if (block == nullptr) return Err("unknown label '" + *label + "'");
+    return block;
+  }
+
+  static std::optional<Opcode> BinOpFromName(const std::string& name) {
+    static const std::unordered_map<std::string, Opcode> kMap = {
+        {"add", Opcode::kAdd},   {"sub", Opcode::kSub},
+        {"mul", Opcode::kMul},   {"udiv", Opcode::kUDiv},
+        {"sdiv", Opcode::kSDiv}, {"urem", Opcode::kURem},
+        {"srem", Opcode::kSRem}, {"and", Opcode::kAnd},
+        {"or", Opcode::kOr},     {"xor", Opcode::kXor},
+        {"shl", Opcode::kShl},   {"lshr", Opcode::kLShr},
+        {"ashr", Opcode::kAShr},
+    };
+    auto it = kMap.find(name);
+    return it == kMap.end() ? std::nullopt : std::make_optional(it->second);
+  }
+
+  static std::optional<ICmpPred> PredFromName(const std::string& name) {
+    static const std::unordered_map<std::string, ICmpPred> kMap = {
+        {"eq", ICmpPred::kEq},   {"ne", ICmpPred::kNe},
+        {"ult", ICmpPred::kULt}, {"ule", ICmpPred::kULe},
+        {"ugt", ICmpPred::kUGt}, {"uge", ICmpPred::kUGe},
+        {"slt", ICmpPred::kSLt}, {"sle", ICmpPred::kSLe},
+        {"sgt", ICmpPred::kSGt}, {"sge", ICmpPred::kSGe},
+    };
+    auto it = kMap.find(name);
+    return it == kMap.end() ? std::nullopt : std::make_optional(it->second);
+  }
+
+  Status DefineLocal(const std::string& name, Instruction* inst) {
+    if (locals_.count(name)) return Err("redefinition of %" + name);
+    // Keep the function's temp-id counter ahead of explicit %tN names so
+    // pass-inserted temporaries never collide with parsed ones.
+    if (name.size() > 1 && name[0] == 't' &&
+        name.find_first_not_of("0123456789", 1) == std::string::npos) {
+      inst->parent()->parent()->ReserveTempId(
+          static_cast<unsigned>(std::strtoul(name.c_str() + 1, nullptr, 10)));
+    }
+    inst->set_name(name);
+    locals_[name] = inst;
+    return OkStatus();
+  }
+
+  Status ParseInstruction(Function* fn, BasicBlock* block) {
+    // Form 1: "%name = op ..."; Form 2: "op ..." (void ops).
+    std::string def_name;
+    if (Peek().kind == TokKind::kLocal) {
+      def_name = Take().text;
+      KOP_RETURN_IF_ERROR(ExpectPunct('='));
+    }
+    auto op_name = ExpectAnyIdent();
+    if (!op_name.ok()) return op_name.status();
+    const std::string& op = *op_name;
+
+    auto finish = [&](std::unique_ptr<Instruction> inst) -> Status {
+      Instruction* raw = block->Append(std::move(inst));
+      if (!def_name.empty()) {
+        if (raw->type() == Type::kVoid) {
+          return Err("cannot name a void-valued instruction");
+        }
+        return DefineLocal(def_name, raw);
+      }
+      if (raw->type() != Type::kVoid) {
+        if (raw->opcode() != Opcode::kCall) {
+          return Err("value-producing instruction must be named");
+        }
+        // A call whose result is discarded still needs a printable name.
+        std::string auto_name;
+        do {
+          auto_name = "t" + std::to_string(fn->TakeNextTempId());
+        } while (locals_.count(auto_name));
+        raw->set_name(auto_name);
+        locals_[auto_name] = raw;
+      }
+      return OkStatus();
+    };
+
+    if (op == "alloca") {
+      auto size = ExpectInt();
+      if (!size.ok()) return size.status();
+      auto inst = std::make_unique<Instruction>(Opcode::kAlloca, Type::kPtr, "");
+      inst->set_alloca_size(*size);
+      return finish(std::move(inst));
+    }
+    if (op == "load") {
+      auto type = ExpectType();
+      if (!type.ok()) return type.status();
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      auto inst = std::make_unique<Instruction>(Opcode::kLoad, *type, "");
+      inst->set_memory_type(*type);
+      KOP_RETURN_IF_ERROR(ParseOperand(Type::kPtr, inst.get()));
+      return finish(std::move(inst));
+    }
+    if (op == "store") {
+      auto type = ExpectType();
+      if (!type.ok()) return type.status();
+      auto inst = std::make_unique<Instruction>(Opcode::kStore, Type::kVoid, "");
+      inst->set_memory_type(*type);
+      KOP_RETURN_IF_ERROR(ParseOperand(*type, inst.get()));
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      KOP_RETURN_IF_ERROR(ParseOperand(Type::kPtr, inst.get()));
+      return finish(std::move(inst));
+    }
+    if (op == "gep") {
+      auto inst = std::make_unique<Instruction>(Opcode::kGep, Type::kPtr, "");
+      KOP_RETURN_IF_ERROR(ParseOperand(Type::kPtr, inst.get()));
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      auto index_type = ExpectType();
+      if (!index_type.ok()) return index_type.status();
+      KOP_RETURN_IF_ERROR(ParseOperand(*index_type, inst.get()));
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      auto scale = ExpectInt();
+      if (!scale.ok()) return scale.status();
+      inst->set_gep_scale(*scale);
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      auto offset = ExpectInt();
+      if (!offset.ok()) return offset.status();
+      inst->set_gep_offset(*offset);
+      return finish(std::move(inst));
+    }
+    if (auto binop = BinOpFromName(op)) {
+      auto type = ExpectType();
+      if (!type.ok()) return type.status();
+      auto inst = std::make_unique<Instruction>(*binop, *type, "");
+      KOP_RETURN_IF_ERROR(ParseOperand(*type, inst.get()));
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      KOP_RETURN_IF_ERROR(ParseOperand(*type, inst.get()));
+      return finish(std::move(inst));
+    }
+    if (op == "icmp") {
+      auto pred_name = ExpectAnyIdent();
+      if (!pred_name.ok()) return pred_name.status();
+      auto pred = PredFromName(*pred_name);
+      if (!pred) return Err("unknown icmp predicate '" + *pred_name + "'");
+      auto type = ExpectType();
+      if (!type.ok()) return type.status();
+      auto inst = std::make_unique<Instruction>(Opcode::kICmp, Type::kI1, "");
+      inst->set_icmp_pred(*pred);
+      KOP_RETURN_IF_ERROR(ParseOperand(*type, inst.get()));
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      KOP_RETURN_IF_ERROR(ParseOperand(*type, inst.get()));
+      return finish(std::move(inst));
+    }
+    if (op == "zext" || op == "sext" || op == "trunc" ||
+        op == "ptrtoint" || op == "inttoptr") {
+      const Opcode opcode = op == "zext"       ? Opcode::kZExt
+                            : op == "sext"     ? Opcode::kSExt
+                            : op == "trunc"    ? Opcode::kTrunc
+                            : op == "ptrtoint" ? Opcode::kPtrToInt
+                                               : Opcode::kIntToPtr;
+      auto from = ExpectType();
+      if (!from.ok()) return from.status();
+      // Parse operand into a temp holder, then 'to TYPE'.
+      auto inst = std::make_unique<Instruction>(opcode, Type::kVoid, "");
+      KOP_RETURN_IF_ERROR(ParseOperand(*from, inst.get()));
+      KOP_RETURN_IF_ERROR(ExpectIdent("to"));
+      auto to = ExpectType();
+      if (!to.ok()) return to.status();
+      // Rebuild with the right result type (type is immutable on Value).
+      auto typed = std::make_unique<Instruction>(opcode, *to, "");
+      typed->AddOperand(inst->operand(0));
+      if (inst->operand(0) == nullptr && !pending_.empty() &&
+          std::get<0>(pending_.back()) == inst.get()) {
+        std::get<0>(pending_.back()) = typed.get();
+      }
+      return finish(std::move(typed));
+    }
+    if (op == "br") {
+      auto inst = std::make_unique<Instruction>(Opcode::kBr, Type::kVoid, "");
+      KOP_RETURN_IF_ERROR(ParseOperand(Type::kI1, inst.get()));
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      auto t = ParseLabelRef(fn);
+      if (!t.ok()) return t.status();
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      auto f = ParseLabelRef(fn);
+      if (!f.ok()) return f.status();
+      inst->set_true_block(*t);
+      inst->set_false_block(*f);
+      return finish(std::move(inst));
+    }
+    if (op == "jmp") {
+      auto target = ParseLabelRef(fn);
+      if (!target.ok()) return target.status();
+      auto inst = std::make_unique<Instruction>(Opcode::kJmp, Type::kVoid, "");
+      inst->set_true_block(*target);
+      return finish(std::move(inst));
+    }
+    if (op == "ret") {
+      auto inst = std::make_unique<Instruction>(Opcode::kRet, Type::kVoid, "");
+      if (PeekIdent("void")) {
+        Take();
+      } else {
+        auto type = ExpectType();
+        if (!type.ok()) return type.status();
+        KOP_RETURN_IF_ERROR(ParseOperand(*type, inst.get()));
+      }
+      return finish(std::move(inst));
+    }
+    if (op == "phi") {
+      auto type = ExpectType();
+      if (!type.ok()) return type.status();
+      auto inst = std::make_unique<Instruction>(Opcode::kPhi, *type, "");
+      while (true) {
+        KOP_RETURN_IF_ERROR(ExpectPunct('['));
+        KOP_RETURN_IF_ERROR(ParseOperand(*type, inst.get()));
+        KOP_RETURN_IF_ERROR(ExpectPunct(','));
+        auto block = ParseLabelRef(fn);
+        if (!block.ok()) return block.status();
+        const_cast<std::vector<BasicBlock*>&>(inst->incoming_blocks())
+            .push_back(*block);
+        KOP_RETURN_IF_ERROR(ExpectPunct(']'));
+        if (PeekPunct(',')) {
+          Take();
+          continue;
+        }
+        break;
+      }
+      return finish(std::move(inst));
+    }
+    if (op == "select") {
+      auto inst = std::make_unique<Instruction>(Opcode::kSelect, Type::kVoid, "");
+      KOP_RETURN_IF_ERROR(ParseOperand(Type::kI1, inst.get()));
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      auto type = ExpectType();
+      if (!type.ok()) return type.status();
+      auto typed =
+          std::make_unique<Instruction>(Opcode::kSelect, *type, "");
+      typed->AddOperand(inst->operand(0));
+      if (inst->operand(0) == nullptr && !pending_.empty() &&
+          std::get<0>(pending_.back()) == inst.get()) {
+        std::get<0>(pending_.back()) = typed.get();
+      }
+      KOP_RETURN_IF_ERROR(ParseOperand(*type, typed.get()));
+      KOP_RETURN_IF_ERROR(ExpectPunct(','));
+      KOP_RETURN_IF_ERROR(ParseOperand(*type, typed.get()));
+      return finish(std::move(typed));
+    }
+    if (op == "call") {
+      auto type = ExpectType();
+      if (!type.ok()) return type.status();
+      auto callee = ExpectGlobalName();
+      if (!callee.ok()) return callee.status();
+      auto inst = std::make_unique<Instruction>(Opcode::kCall, *type, "");
+      inst->set_callee(*callee);
+      KOP_RETURN_IF_ERROR(ExpectPunct('('));
+      if (!PeekPunct(')')) {
+        while (true) {
+          auto arg_type = ExpectType();
+          if (!arg_type.ok()) return arg_type.status();
+          KOP_RETURN_IF_ERROR(ParseOperand(*arg_type, inst.get()));
+          if (PeekPunct(',')) {
+            Take();
+            continue;
+          }
+          break;
+        }
+      }
+      KOP_RETURN_IF_ERROR(ExpectPunct(')'));
+      return finish(std::move(inst));
+    }
+    if (op == "asm") {
+      auto text = ExpectString();
+      if (!text.ok()) return text.status();
+      auto inst =
+          std::make_unique<Instruction>(Opcode::kInlineAsm, Type::kVoid, "");
+      inst->set_asm_text(*text);
+      return finish(std::move(inst));
+    }
+    return Err("unknown instruction '" + op + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unique_ptr<Module> module_;
+  std::unordered_map<std::string, Value*> locals_;
+  std::vector<std::tuple<Instruction*, size_t, std::string>> pending_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Module>> ParseModule(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.Run();
+}
+
+}  // namespace kop::kir

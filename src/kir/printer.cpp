@@ -1,0 +1,249 @@
+#include "kop/kir/printer.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+#include "kop/kir/type.hpp"
+
+namespace kop::kir {
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kAlloca: return "alloca";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kGep: return "gep";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kUDiv: return "udiv";
+    case Opcode::kSDiv: return "sdiv";
+    case Opcode::kURem: return "urem";
+    case Opcode::kSRem: return "srem";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kLShr: return "lshr";
+    case Opcode::kAShr: return "ashr";
+    case Opcode::kICmp: return "icmp";
+    case Opcode::kZExt: return "zext";
+    case Opcode::kSExt: return "sext";
+    case Opcode::kTrunc: return "trunc";
+    case Opcode::kPtrToInt: return "ptrtoint";
+    case Opcode::kIntToPtr: return "inttoptr";
+    case Opcode::kBr: return "br";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kRet: return "ret";
+    case Opcode::kPhi: return "phi";
+    case Opcode::kSelect: return "select";
+    case Opcode::kCall: return "call";
+    case Opcode::kInlineAsm: return "asm";
+  }
+  return "?";
+}
+
+std::string_view ICmpPredName(ICmpPred pred) {
+  switch (pred) {
+    case ICmpPred::kEq: return "eq";
+    case ICmpPred::kNe: return "ne";
+    case ICmpPred::kULt: return "ult";
+    case ICmpPred::kULe: return "ule";
+    case ICmpPred::kUGt: return "ugt";
+    case ICmpPred::kUGe: return "uge";
+    case ICmpPred::kSLt: return "slt";
+    case ICmpPred::kSLe: return "sle";
+    case ICmpPred::kSGt: return "sgt";
+    case ICmpPred::kSGe: return "sge";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string OperandRef(const Value* v) {
+  switch (v->kind()) {
+    case ValueKind::kConstant: {
+      const auto* c = static_cast<const Constant*>(v);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(c->bits()));
+      return buf;
+    }
+    case ValueKind::kArgument:
+    case ValueKind::kInstruction:
+      return "%" + v->name();
+    case ValueKind::kGlobal:
+      return "@" + v->name();
+  }
+  return "?";
+}
+
+std::string HexBytes(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char byte : bytes) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrintInstruction(const Instruction& inst) {
+  std::string out;
+  const auto def = [&]() { out = "%" + inst.name() + " = "; };
+  const auto type_name = [](Type t) { return std::string(TypeName(t)); };
+
+  switch (inst.opcode()) {
+    case Opcode::kAlloca:
+      def();
+      out += "alloca " + std::to_string(inst.alloca_size());
+      break;
+    case Opcode::kLoad:
+      def();
+      out += "load " + type_name(inst.memory_type()) + ", " +
+             OperandRef(inst.operand(0));
+      break;
+    case Opcode::kStore:
+      out = "store " + type_name(inst.memory_type()) + " " +
+            OperandRef(inst.operand(0)) + ", " + OperandRef(inst.operand(1));
+      break;
+    case Opcode::kGep:
+      def();
+      out += "gep " + OperandRef(inst.operand(0)) + ", i64 " +
+             OperandRef(inst.operand(1)) + ", " +
+             std::to_string(inst.gep_scale()) + ", " +
+             std::to_string(inst.gep_offset());
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kUDiv:
+    case Opcode::kSDiv:
+    case Opcode::kURem:
+    case Opcode::kSRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr:
+      def();
+      out += std::string(OpcodeName(inst.opcode())) + " " +
+             type_name(inst.type()) + " " + OperandRef(inst.operand(0)) +
+             ", " + OperandRef(inst.operand(1));
+      break;
+    case Opcode::kICmp:
+      def();
+      out += "icmp " + std::string(ICmpPredName(inst.icmp_pred())) + " " +
+             type_name(inst.operand(0)->type()) + " " +
+             OperandRef(inst.operand(0)) + ", " + OperandRef(inst.operand(1));
+      break;
+    case Opcode::kZExt:
+    case Opcode::kSExt:
+    case Opcode::kTrunc:
+    case Opcode::kPtrToInt:
+    case Opcode::kIntToPtr:
+      def();
+      out += std::string(OpcodeName(inst.opcode())) + " " +
+             type_name(inst.operand(0)->type()) + " " +
+             OperandRef(inst.operand(0)) + " to " + type_name(inst.type());
+      break;
+    case Opcode::kBr:
+      out = "br " + OperandRef(inst.operand(0)) + ", " +
+            inst.true_block()->label() + ", " + inst.false_block()->label();
+      break;
+    case Opcode::kJmp:
+      out = "jmp " + inst.true_block()->label();
+      break;
+    case Opcode::kRet:
+      if (inst.operand_count() == 0) {
+        out = "ret void";
+      } else {
+        out = "ret " + type_name(inst.operand(0)->type()) + " " +
+              OperandRef(inst.operand(0));
+      }
+      break;
+    case Opcode::kPhi: {
+      def();
+      out += "phi " + type_name(inst.type());
+      for (size_t i = 0; i < inst.operand_count(); ++i) {
+        out += (i == 0 ? " [ " : ", [ ");
+        out += OperandRef(inst.operand(i)) + ", " +
+               inst.incoming_blocks()[i]->label() + " ]";
+      }
+      break;
+    }
+    case Opcode::kSelect:
+      def();
+      out += "select " + OperandRef(inst.operand(0)) + ", " +
+             type_name(inst.type()) + " " + OperandRef(inst.operand(1)) +
+             ", " + OperandRef(inst.operand(2));
+      break;
+    case Opcode::kCall: {
+      if (inst.type() != Type::kVoid) def();
+      out += "call " + type_name(inst.type()) + " @" + inst.callee() + "(";
+      for (size_t i = 0; i < inst.operand_count(); ++i) {
+        if (i > 0) out += ", ";
+        out += type_name(inst.operand(i)->type()) + " " +
+               OperandRef(inst.operand(i));
+      }
+      out += ")";
+      break;
+    }
+    case Opcode::kInlineAsm:
+      out = "asm \"" + inst.asm_text() + "\"";
+      break;
+  }
+  return out;
+}
+
+std::string PrintFunction(const Function& fn) {
+  std::string out;
+  out += fn.is_external() ? "extern func @" : "func @";
+  out += fn.name() + "(";
+  for (size_t i = 0; i < fn.arg_count(); ++i) {
+    const Argument* arg = fn.args()[i].get();
+    if (i > 0) out += ", ";
+    out += std::string(TypeName(arg->type()));
+    if (!fn.is_external()) out += " %" + arg->name();
+  }
+  out += ") -> " + std::string(TypeName(fn.return_type()));
+  if (fn.is_external()) {
+    out += "\n";
+    return out;
+  }
+  out += " {\n";
+  for (const auto& block : fn.blocks()) {
+    out += block->label() + ":\n";
+    for (const auto& inst : *block) {
+      out += "  " + PrintInstruction(*inst) + "\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string PrintModule(const Module& module) {
+  std::string out = "module \"" + module.name() + "\"\n\n";
+  for (const auto& global : module.globals()) {
+    out += "global @" + global->name() + " size " +
+           std::to_string(global->size_bytes()) +
+           (global->writable() ? " rw" : " ro");
+    if (!global->init_bytes().empty()) {
+      out += " init x\"" + HexBytes(global->init_bytes()) + "\"";
+    }
+    out += "\n";
+  }
+  if (!module.globals().empty()) out += "\n";
+  for (const auto& fn : module.functions()) {
+    out += PrintFunction(*fn);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace kop::kir

@@ -1,0 +1,16 @@
+#include "kop/kir/type.hpp"
+
+namespace kop::kir {
+
+std::optional<Type> ParseTypeName(std::string_view token) {
+  if (token == "void") return Type::kVoid;
+  if (token == "i1") return Type::kI1;
+  if (token == "i8") return Type::kI8;
+  if (token == "i16") return Type::kI16;
+  if (token == "i32") return Type::kI32;
+  if (token == "i64") return Type::kI64;
+  if (token == "ptr") return Type::kPtr;
+  return std::nullopt;
+}
+
+}  // namespace kop::kir

@@ -1,0 +1,352 @@
+#include "kop/kirmods/corpus.hpp"
+
+#include <sstream>
+
+namespace kop::kirmods {
+
+std::string HelloSource() {
+  // "hello from CARAT KOP module" + NUL, hex-encoded.
+  return R"(module "kop_hello"
+
+global @greeting size 32 ro init x"68656c6c6f2066726f6d204341524154204b4f50206d6f64756c6500"
+
+extern func @printk_str(ptr) -> i64
+
+func @init() -> i64 {
+entry:
+  %r = call i64 @printk_str(ptr @greeting)
+  ret i64 0
+}
+)";
+}
+
+std::string RingbufSource() {
+  return R"(module "kop_ringbuf"
+
+global @buf size 512 rw
+global @head size 8 rw
+global @tail size 8 rw
+global @count size 8 rw
+
+func @rb_init() -> void {
+entry:
+  store i64 0, @head
+  store i64 0, @tail
+  store i64 0, @count
+  ret void
+}
+
+func @rb_push(i64 %val) -> i64 {
+entry:
+  %cnt = load i64, @count
+  %full = icmp uge i64 %cnt, 64
+  br %full, fail, doit
+doit:
+  %t = load i64, @tail
+  %slot = gep @buf, i64 %t, 8, 0
+  store i64 %val, %slot
+  %t1 = add i64 %t, 1
+  %t2 = urem i64 %t1, 64
+  store i64 %t2, @tail
+  %c1 = add i64 %cnt, 1
+  store i64 %c1, @count
+  ret i64 1
+fail:
+  ret i64 0
+}
+
+func @rb_pop() -> i64 {
+entry:
+  %cnt = load i64, @count
+  %empty = icmp eq i64 %cnt, 0
+  br %empty, fail, doit
+doit:
+  %h = load i64, @head
+  %slot = gep @buf, i64 %h, 8, 0
+  %val = load i64, %slot
+  %h1 = add i64 %h, 1
+  %h2 = urem i64 %h1, 64
+  store i64 %h2, @head
+  %c1 = sub i64 %cnt, 1
+  store i64 %c1, @count
+  ret i64 %val
+fail:
+  ret i64 0
+}
+
+func @rb_size() -> i64 {
+entry:
+  %cnt = load i64, @count
+  ret i64 %cnt
+}
+)";
+}
+
+std::string ScribblerSource() {
+  return R"(module "kop_scribbler"
+
+func @scribble(ptr %addr, i64 %value) -> i64 {
+entry:
+  store i64 %value, %addr
+  ret i64 1
+}
+
+func @peek(ptr %addr) -> i64 {
+entry:
+  %v = load i64, %addr
+  ret i64 %v
+}
+
+func @scribble_range(ptr %base, i64 %words, i64 %value) -> i64 {
+entry:
+  jmp loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i1, body ]
+  %done = icmp uge i64 %i, %words
+  br %done, out, body
+body:
+  %p = gep %base, i64 %i, 8, 0
+  store i64 %value, %p
+  %i1 = add i64 %i, 1
+  jmp loop
+out:
+  ret i64 %words
+}
+)";
+}
+
+std::string MemcopySource() {
+  return R"(module "kop_memcopy"
+
+global @src size 4096 rw
+global @dst size 4096 rw
+global @copied size 8 rw
+
+func @fill(i64 %n, i64 %seed) -> void {
+entry:
+  jmp loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i1, body ]
+  %done = icmp uge i64 %i, %n
+  br %done, out, body
+body:
+  %p = gep @src, i64 %i, 8, 0
+  %v = add i64 %i, %seed
+  store i64 %v, %p
+  %i1 = add i64 %i, 1
+  jmp loop
+out:
+  ret void
+}
+
+func @copy(i64 %n) -> i64 {
+entry:
+  %z = load i64, @copied
+  jmp loop
+loop:
+  %i = phi i64 [ %z, entry ], [ %i1, body ]
+  %done = icmp uge i64 %i, %n
+  br %done, out, body
+body:
+  %sp = gep @src, i64 %i, 8, 0
+  %v = load i64, %sp
+  %dp = gep @dst, i64 %i, 8, 0
+  store i64 %v, %dp
+  %c = load i64, @copied
+  %c1 = add i64 %c, 1
+  store i64 %c1, @copied
+  %w = load i64, @copied
+  %i1 = add i64 %i, 1
+  jmp loop
+out:
+  %total = load i64, @copied
+  ret i64 %total
+}
+
+func @checksum(i64 %n) -> i64 {
+entry:
+  jmp loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i1, body ]
+  %s = phi i64 [ 0, entry ], [ %s1, body ]
+  %done = icmp uge i64 %i, %n
+  br %done, out, body
+body:
+  %p = gep @dst, i64 %i, 8, 0
+  %v = load i64, %p
+  %v2 = load i64, %p
+  %vs = add i64 %v, %v2
+  %s1 = add i64 %s, %vs
+  %i1 = add i64 %i, 1
+  jmp loop
+out:
+  ret i64 %s
+}
+)";
+}
+
+std::string PrivuserSource() {
+  return R"(module "kop_privuser"
+
+global @scratch size 8 rw
+
+func @disable_interrupts() -> i64 {
+entry:
+  call void @kir.cli()
+  store i64 1, @scratch
+  call void @kir.sti()
+  ret i64 1
+}
+
+func @write_msr(i64 %msr, i64 %value) -> i64 {
+entry:
+  call void @kir.wrmsr(i64 %msr, i64 %value)
+  ret i64 1
+}
+
+func @halt() -> void {
+entry:
+  call void @kir.hlt()
+  ret void
+}
+)";
+}
+
+std::string InlineAsmSource() {
+  return R"(module "kop_sneaky"
+
+global @data size 8 rw
+
+func @backdoor() -> i64 {
+entry:
+  asm "mov cr3, rax"
+  %v = load i64, @data
+  ret i64 %v
+}
+)";
+}
+
+std::string KnicSource() {
+  // Register offsets (decimal): CTRL=0, TCTL=1024 (0x400), TDBAL=14336
+  // (0x3800), TDBAH=14340, TDLEN=14344, TDH=14352, TDT=14360,
+  // GPTC=16512 (0x4080). CTRL_SLU=64, TCTL EN|PSP=10, cmd EOP|IFCS|RS=11.
+  return R"(module "kop_knic"
+
+global @txring size 128 rw
+global @txbuf size 256 rw
+global @tail size 8 rw
+global @sent size 8 rw
+
+func @knic_init(ptr %mmio) -> i64 {
+entry:
+  %ctrl = gep %mmio, i64 0, 1, 0
+  store i32 64, %ctrl
+  %ringint = ptrtoint ptr @txring to i64
+  %lo64 = and i64 %ringint, 0xffffffff
+  %lo = trunc i64 %lo64 to i32
+  %hi64 = lshr i64 %ringint, 32
+  %hi = trunc i64 %hi64 to i32
+  %tdbal = gep %mmio, i64 0, 1, 14336
+  store i32 %lo, %tdbal
+  %tdbah = gep %mmio, i64 0, 1, 14340
+  store i32 %hi, %tdbah
+  %tdlen = gep %mmio, i64 0, 1, 14344
+  store i32 128, %tdlen
+  %tdh = gep %mmio, i64 0, 1, 14352
+  store i32 0, %tdh
+  %tdt = gep %mmio, i64 0, 1, 14360
+  store i32 0, %tdt
+  %tctl = gep %mmio, i64 0, 1, 1024
+  store i32 10, %tctl
+  store i64 0, @tail
+  store i64 0, @sent
+  ret i64 1
+}
+
+func @knic_fill(i64 %len, i64 %seed) -> void {
+entry:
+  jmp loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i1, body ]
+  %done = icmp uge i64 %i, %len
+  br %done, out, body
+body:
+  %p = gep @txbuf, i64 %i, 1, 0
+  %v0 = add i64 %i, %seed
+  %v = trunc i64 %v0 to i8
+  store i8 %v, %p
+  %i1 = add i64 %i, 1
+  jmp loop
+out:
+  ret void
+}
+
+func @knic_send(ptr %mmio, i64 %len) -> i64 {
+entry:
+  %t = load i64, @tail
+  %slot = urem i64 %t, 8
+  %desc = gep @txring, i64 %slot, 16, 0
+  %bufint = ptrtoint ptr @txbuf to i64
+  store i64 %bufint, %desc
+  %cmd = shl i64 11, 24
+  %w2 = or i64 %len, %cmd
+  %d2 = gep %desc, i64 0, 1, 8
+  store i64 %w2, %d2
+  %t1 = add i64 %t, 1
+  store i64 %t1, @tail
+  %newtail = urem i64 %t1, 8
+  %nt32 = trunc i64 %newtail to i32
+  %tdt = gep %mmio, i64 0, 1, 14360
+  store i32 %nt32, %tdt
+  %s = load i64, @sent
+  %s1 = add i64 %s, 1
+  store i64 %s1, @sent
+  ret i64 %s1
+}
+
+func @knic_sent_hw(ptr %mmio) -> i64 {
+entry:
+  %gptc = gep %mmio, i64 0, 1, 16512
+  %v = load i32, %gptc
+  %z = zext i32 %v to i64
+  ret i64 %z
+}
+)";
+}
+
+std::string SyntheticModuleSource(uint32_t functions,
+                                  uint32_t accesses_per_fn) {
+  std::ostringstream out;
+  out << "module \"kop_synth\"\n\n";
+  out << "global @state size " << (accesses_per_fn * 8 + 8) << " rw\n\n";
+  for (uint32_t f = 0; f < functions; ++f) {
+    out << "func @work" << f << "(i64 %x) -> i64 {\nentry:\n";
+    out << "  %acc0 = add i64 %x, " << f << "\n";
+    for (uint32_t a = 0; a < accesses_per_fn; ++a) {
+      out << "  %p" << a << " = gep @state, i64 " << a << ", 8, 0\n";
+      if (a % 2 == 0) {
+        out << "  %v" << a << " = load i64, %p" << a << "\n";
+        out << "  %acc" << (a + 1) << " = add i64 %acc" << a << ", %v" << a
+            << "\n";
+      } else {
+        out << "  store i64 %acc" << a << ", %p" << a << "\n";
+        out << "  %acc" << (a + 1) << " = add i64 %acc" << a << ", 1\n";
+      }
+    }
+    out << "  ret i64 %acc" << accesses_per_fn << "\n}\n\n";
+  }
+  return out.str();
+}
+
+std::vector<CorpusEntry> AllCorpusModules() {
+  return {
+      {"kop_hello", HelloSource()},
+      {"kop_ringbuf", RingbufSource()},
+      {"kop_scribbler", ScribblerSource()},
+      {"kop_memcopy", MemcopySource()},
+      {"kop_privuser", PrivuserSource()},
+      {"kop_knic", KnicSource()},
+  };
+}
+
+}  // namespace kop::kirmods

@@ -1,0 +1,57 @@
+// The KIR kernel-module corpus: module sources used by the end-to-end
+// compile -> sign -> validate -> insmod -> run pipeline in tests,
+// examples and benches. Each returns the module's textual IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kop::kirmods {
+
+/// "hello world" module: prints a greeting via the kernel's printk_str
+/// export from its init function.
+std::string HelloSource();
+
+/// A ring-buffer driver: head/tail/count state plus a 64-slot buffer,
+/// with init/push/pop/size entry points. The workhorse for guard tests.
+std::string RingbufSource();
+
+/// A buggy-or-malicious module: scribbles over / reads from arbitrary
+/// addresses handed to it. The rogue module of the violation demos.
+std::string ScribblerSource();
+
+/// Loop-heavy copy/checksum module with deliberately redundant counter
+/// accesses — the subject of the guard-optimization ablation (Abl 2).
+std::string MemcopySource();
+
+/// Uses privileged intrinsics (cli / wrmsr); the subject of the §5
+/// privileged-intrinsic extension demo (Abl 3).
+std::string PrivuserSource();
+
+/// A miniature NIC driver written entirely in KIR: programs the 82574L
+/// TX ring through MMIO and launches frames from its own buffer. The
+/// end-to-end demonstration that the *compiler path* can protect a real
+/// device driver — every MMIO register write it performs is a guarded
+/// store.
+std::string KnicSource();
+
+/// A module containing inline assembly, which the CARAT KOP compiler
+/// must refuse to certify (§2: attestation asserts its absence).
+std::string InlineAsmSource();
+
+/// Synthetic module with `functions` functions of `accesses_per_fn`
+/// loads+stores each over a shared global — scales the static guard
+/// count for Table E and stress tests.
+std::string SyntheticModuleSource(uint32_t functions,
+                                  uint32_t accesses_per_fn);
+
+struct CorpusEntry {
+  std::string name;
+  std::string source;
+};
+
+/// The whole corpus (excluding the synthetic generator), for sweeps.
+std::vector<CorpusEntry> AllCorpusModules();
+
+}  // namespace kop::kirmods

@@ -1,0 +1,192 @@
+// Memory-access policies for natively-built protected modules (the
+// module runtime). A module template written once against this interface
+// instantiates two ways: RawMemOps is the paper's baseline build,
+// GuardedMemOps the CARAT KOP build — "we built two versions of the
+// driver, one with the CARAT KOP transformation applied, the other
+// without it. In both cases, the same compiler was used... No code was
+// modified in the driver." (§4.1). Used by the e1000e driver and the
+// heartbeat module.
+//
+// GuardedMemOps invokes the policy module's guard before every load and
+// store — including MMIO, which on Linux is just a load/store to an
+// ioremapped address — then performs the access and charges the machine
+// model's access cost on the virtual clock. The guard itself charges the
+// machine's guard cost (see PolicyEngine::Guard).
+#pragma once
+
+#include <cstdint>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/policy/engine.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::modrt {
+
+struct MemOpsStats {
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t mmio_reads = 0;
+  uint64_t mmio_writes = 0;
+  uint64_t accesses() const {
+    return loads + stores + mmio_reads + mmio_writes;
+  }
+};
+
+/// Baseline build: plain accesses, no guards.
+class RawMemOps {
+ public:
+  static constexpr bool kGuarded = false;
+
+  explicit RawMemOps(kernel::Kernel* kernel) : kernel_(kernel) {}
+
+  Result<uint64_t> Load(uint64_t addr, uint32_t size) {
+    ++stats_.loads;
+    kernel_->clock().Advance(kernel_->machine().mem_read_cycles);
+    return DoLoad(addr, size);
+  }
+
+  Status Store(uint64_t addr, uint64_t value, uint32_t size) {
+    ++stats_.stores;
+    kernel_->clock().Advance(kernel_->machine().mem_write_cycles);
+    return DoStore(addr, value, size);
+  }
+
+  Result<uint32_t> MmioRead32(uint64_t addr) {
+    ++stats_.mmio_reads;
+    kernel_->clock().Advance(kernel_->machine().mmio_read_cycles);
+    auto value = DoLoad(addr, 4);
+    if (!value.ok()) return value.status();
+    return static_cast<uint32_t>(*value);
+  }
+
+  Status MmioWrite32(uint64_t addr, uint32_t value) {
+    ++stats_.mmio_writes;
+    kernel_->clock().Advance(kernel_->machine().mmio_write_cycles);
+    return DoStore(addr, value, 4);
+  }
+
+  Result<uint64_t> MmioRead64(uint64_t addr) {
+    ++stats_.mmio_reads;
+    kernel_->clock().Advance(kernel_->machine().mmio_read_cycles);
+    return DoLoad(addr, 8);
+  }
+
+  Status MmioWrite64(uint64_t addr, uint64_t value) {
+    ++stats_.mmio_writes;
+    kernel_->clock().Advance(kernel_->machine().mmio_write_cycles);
+    return DoStore(addr, value, 8);
+  }
+
+  /// Store on a rarely executed path (the short-frame pad/bounce loop).
+  /// Identical semantics to Store; the guarded build charges the cold-
+  /// guard penalty (an unwarmed branch predictor and cache give guards on
+  /// cold paths nothing to hide behind — the machine model's
+  /// pad_guard_cycles_per_byte).
+  Status StoreSlowPath(uint64_t addr, uint64_t value, uint32_t size) {
+    return Store(addr, value, size);
+  }
+  Result<uint64_t> LoadSlowPath(uint64_t addr, uint32_t size) {
+    return Load(addr, size);
+  }
+
+  kernel::Kernel* kernel() { return kernel_; }
+  const MemOpsStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MemOpsStats(); }
+
+ protected:
+  Result<uint64_t> DoLoad(uint64_t addr, uint32_t size) {
+    switch (size) {
+      case 1: {
+        auto v = kernel_->mem().Read8(addr);
+        if (!v.ok()) return v.status();
+        return uint64_t{*v};
+      }
+      case 2: {
+        auto v = kernel_->mem().Read16(addr);
+        if (!v.ok()) return v.status();
+        return uint64_t{*v};
+      }
+      case 4: {
+        auto v = kernel_->mem().Read32(addr);
+        if (!v.ok()) return v.status();
+        return uint64_t{*v};
+      }
+      default:
+        return kernel_->mem().Read64(addr);
+    }
+  }
+
+  Status DoStore(uint64_t addr, uint64_t value, uint32_t size) {
+    switch (size) {
+      case 1: return kernel_->mem().Write8(addr, static_cast<uint8_t>(value));
+      case 2: return kernel_->mem().Write16(addr,
+                                            static_cast<uint16_t>(value));
+      case 4: return kernel_->mem().Write32(addr,
+                                            static_cast<uint32_t>(value));
+      default: return kernel_->mem().Write64(addr, value);
+    }
+  }
+
+  kernel::Kernel* kernel_;
+  MemOpsStats stats_;
+};
+
+/// CARAT KOP build: every access is preceded by a guard call into the
+/// policy module, resolved at "insmod" by handing the driver the engine
+/// behind the kernel's carat_guard export.
+class GuardedMemOps : public RawMemOps {
+ public:
+  static constexpr bool kGuarded = true;
+
+  GuardedMemOps(kernel::Kernel* kernel, policy::PolicyEngine* engine)
+      : RawMemOps(kernel), engine_(engine) {}
+
+  Result<uint64_t> Load(uint64_t addr, uint32_t size) {
+    engine_->Guard(addr, size, kGuardAccessRead);  // panics on violation
+    return RawMemOps::Load(addr, size);
+  }
+
+  Status Store(uint64_t addr, uint64_t value, uint32_t size) {
+    engine_->Guard(addr, size, kGuardAccessWrite);
+    return RawMemOps::Store(addr, value, size);
+  }
+
+  Result<uint32_t> MmioRead32(uint64_t addr) {
+    engine_->Guard(addr, 4, kGuardAccessRead);
+    return RawMemOps::MmioRead32(addr);
+  }
+
+  Status MmioWrite32(uint64_t addr, uint32_t value) {
+    engine_->Guard(addr, 4, kGuardAccessWrite);
+    return RawMemOps::MmioWrite32(addr, value);
+  }
+
+  Result<uint64_t> MmioRead64(uint64_t addr) {
+    engine_->Guard(addr, 8, kGuardAccessRead);
+    return RawMemOps::MmioRead64(addr);
+  }
+
+  Status MmioWrite64(uint64_t addr, uint64_t value) {
+    engine_->Guard(addr, 8, kGuardAccessWrite);
+    return RawMemOps::MmioWrite64(addr, value);
+  }
+
+  Status StoreSlowPath(uint64_t addr, uint64_t value, uint32_t size) {
+    kernel_->clock().Advance(kernel_->machine().pad_guard_cycles_per_byte *
+                             size);
+    return Store(addr, value, size);
+  }
+
+  Result<uint64_t> LoadSlowPath(uint64_t addr, uint32_t size) {
+    kernel_->clock().Advance(kernel_->machine().pad_guard_cycles_per_byte *
+                             size);
+    return Load(addr, size);
+  }
+
+  policy::PolicyEngine* engine() { return engine_; }
+
+ private:
+  policy::PolicyEngine* engine_;
+};
+
+}  // namespace kop::modrt

@@ -1,0 +1,65 @@
+#include "kop/net/frame.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+namespace kop::net {
+
+std::vector<uint8_t> EthernetFrame::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(WireSize());
+  out.insert(out.end(), dst.begin(), dst.end());
+  out.insert(out.end(), src.begin(), src.end());
+  out.push_back(static_cast<uint8_t>(ethertype >> 8));
+  out.push_back(static_cast<uint8_t>(ethertype));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool EthernetFrame::Parse(const std::vector<uint8_t>& wire,
+                          EthernetFrame* out) {
+  if (wire.size() < kEthHeaderBytes) return false;
+  std::memcpy(out->dst.data(), wire.data(), 6);
+  std::memcpy(out->src.data(), wire.data() + 6, 6);
+  out->ethertype = static_cast<uint16_t>((wire[12] << 8) | wire[13]);
+  out->payload.assign(wire.begin() + kEthHeaderBytes, wire.end());
+  return true;
+}
+
+MacAddress MacFromString(const std::string& text) {
+  MacAddress mac{};
+  unsigned bytes[6] = {};
+  const int matched = std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x",
+                                  &bytes[0], &bytes[1], &bytes[2], &bytes[3],
+                                  &bytes[4], &bytes[5]);
+  if (matched != 6) {
+    assert(false && "malformed MAC");
+    return mac;
+  }
+  for (int i = 0; i < 6; ++i) mac[i] = static_cast<uint8_t>(bytes[i]);
+  return mac;
+}
+
+std::string MacToString(const MacAddress& mac) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", mac[0],
+                mac[1], mac[2], mac[3], mac[4], mac[5]);
+  return buf;
+}
+
+EthernetFrame MakeTestFrame(size_t wire_size, uint8_t seed) {
+  assert(wire_size >= kEthHeaderBytes);
+  EthernetFrame frame;
+  frame.dst = MacFromString("02:00:00:00:00:fe");  // fake destination
+  frame.src = MacFromString("02:00:00:00:00:01");
+  frame.payload.resize(wire_size - kEthHeaderBytes);
+  uint8_t value = seed;
+  for (uint8_t& byte : frame.payload) {
+    byte = value;
+    value = static_cast<uint8_t>(value * 167 + 13);
+  }
+  return frame;
+}
+
+}  // namespace kop::net

@@ -1,0 +1,43 @@
+// Ethernet frame construction/parsing for the measurement tool ("a
+// user-level tool that sends raw Ethernet packets to a fake destination",
+// §4.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kop::net {
+
+using MacAddress = std::array<uint8_t, 6>;
+
+inline constexpr uint16_t kEtherTypeExperimental = 0x88B5;
+inline constexpr size_t kEthHeaderBytes = 14;
+
+struct EthernetFrame {
+  MacAddress dst{};
+  MacAddress src{};
+  uint16_t ethertype = kEtherTypeExperimental;
+  std::vector<uint8_t> payload;
+
+  /// Wire form: dst | src | ethertype | payload.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parse wire bytes; false when shorter than a header.
+  static bool Parse(const std::vector<uint8_t>& wire, EthernetFrame* out);
+
+  /// Total wire size.
+  size_t WireSize() const { return kEthHeaderBytes + payload.size(); }
+};
+
+/// "aa:bb:cc:dd:ee:ff" -> MacAddress (asserts on malformed input in
+/// debug; returns zero MAC otherwise).
+MacAddress MacFromString(const std::string& text);
+std::string MacToString(const MacAddress& mac);
+
+/// Deterministic test frame of exactly `wire_size` bytes (header +
+/// patterned payload). wire_size must be >= kEthHeaderBytes.
+EthernetFrame MakeTestFrame(size_t wire_size, uint8_t seed = 0x5a);
+
+}  // namespace kop::net

@@ -1,0 +1,47 @@
+// The measurement tool of §4.2: "The tool can vary the number of packets
+// sent and the size of the packets. The tool measures the throughput of
+// the packet transmissions, and the latency of individual packet
+// launches." Latency is the sendmsg() interior (rdtsc pair around the
+// call); throughput additionally includes the inter-call overhead per
+// packet (userspace loop, interrupt handling, amortized blocking) from
+// the machine model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/net/frame.hpp"
+#include "kop/net/socket.hpp"
+
+namespace kop::net {
+
+struct TrialConfig {
+  uint64_t packets = 1000;
+  uint32_t frame_bytes = 128;
+  bool collect_latencies = false;
+};
+
+struct TrialResult {
+  uint64_t packets = 0;
+  double total_cycles = 0.0;  // whole trial, inter-call overhead included
+  double cycles_per_packet = 0.0;
+  double packets_per_second = 0.0;  // at the machine's core frequency
+  uint64_t blocked = 0;
+  std::vector<double> latencies_cycles;  // when collect_latencies
+};
+
+class PacketGun {
+ public:
+  PacketGun(kernel::Kernel* kernel, PacketSocket* socket)
+      : kernel_(kernel), socket_(socket) {}
+
+  /// Launch `config.packets` frames of `config.frame_bytes` and report.
+  Result<TrialResult> RunTrial(const TrialConfig& config);
+
+ private:
+  kernel::Kernel* kernel_;
+  PacketSocket* socket_;
+};
+
+}  // namespace kop::net

@@ -1,0 +1,82 @@
+// The raw-packet socket layer: the core-kernel path between the test
+// tool's sendmsg() and the driver's xmit_frame. Core-kernel code is NOT
+// transformed by CARAT KOP — only the module is — so this layer performs
+// plain (unguarded) work: syscall entry, copying the frame from user
+// space into the skb, then handing the skb to the bound net device.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/util/rng.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::net {
+
+/// What the socket layer needs from a driver. Adapts both Driver<Ops>
+/// instantiations (and anything else that can transmit).
+class NetDevice {
+ public:
+  virtual ~NetDevice() = default;
+  /// Queue a frame whose bytes sit in simulated memory.
+  virtual Status Xmit(uint64_t frame_addr, uint32_t len) = 0;
+  /// Reclaim completed descriptors (the interrupt path's job).
+  virtual Status CleanTx() = 0;
+};
+
+template <typename DriverT>
+class DriverNetDevice final : public NetDevice {
+ public:
+  explicit DriverNetDevice(DriverT* driver) : driver_(driver) {}
+  Status Xmit(uint64_t frame_addr, uint32_t len) override {
+    return driver_->XmitFrame(frame_addr, len);
+  }
+  Status CleanTx() override {
+    auto cleaned = driver_->CleanTxRing();
+    return cleaned.ok() ? OkStatus() : cleaned.status();
+  }
+
+ private:
+  DriverT* driver_;
+};
+
+struct SendmsgResult {
+  /// Cycles spent inside the call, as the tool's rdtsc pair would see.
+  uint64_t latency_cycles = 0;
+  bool blocked = false;  // hit the ring-full/deschedule path
+};
+
+/// A bound packet socket (one per experiment).
+class PacketSocket {
+ public:
+  /// `noise_seed` drives the per-packet microarchitectural noise drawn
+  /// from the kernel's machine model. The skb buffer is allocated from
+  /// the simulated heap at construction.
+  PacketSocket(kernel::Kernel* kernel, NetDevice* device,
+               uint64_t noise_seed = 1);
+  ~PacketSocket();
+  PacketSocket(const PacketSocket&) = delete;
+  PacketSocket& operator=(const PacketSocket&) = delete;
+
+  /// The syscall: copy `frame` into the skb (charged per byte), invoke
+  /// the driver, apply the machine model's noise terms. Returns the
+  /// interior latency in cycles.
+  Result<SendmsgResult> Sendmsg(const std::vector<uint8_t>& frame);
+
+  /// Toggle the stochastic noise/outlier model (off = fully deterministic
+  /// costs, used by unit tests).
+  void set_noise_enabled(bool on) { noise_enabled_ = on; }
+
+  uint64_t skb_addr() const { return skb_addr_; }
+
+ private:
+  kernel::Kernel* kernel_;
+  NetDevice* device_;
+  uint64_t skb_addr_ = 0;
+  Xoshiro256 rng_;
+  bool noise_enabled_ = true;
+};
+
+}  // namespace kop::net

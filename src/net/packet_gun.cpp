@@ -1,0 +1,39 @@
+#include "kop/net/packet_gun.hpp"
+
+namespace kop::net {
+
+Result<TrialResult> PacketGun::RunTrial(const TrialConfig& config) {
+  if (config.frame_bytes < kEthHeaderBytes) {
+    return InvalidArgument("frame smaller than an Ethernet header");
+  }
+  const EthernetFrame frame = MakeTestFrame(config.frame_bytes);
+  const std::vector<uint8_t> wire = frame.Serialize();
+
+  TrialResult result;
+  if (config.collect_latencies) {
+    result.latencies_cycles.reserve(config.packets);
+  }
+
+  auto& clock = kernel_->clock();
+  const double start = clock.NowCycles();
+  for (uint64_t i = 0; i < config.packets; ++i) {
+    KOP_ASSIGN_OR_RETURN(SendmsgResult send, socket_->Sendmsg(wire));
+    if (send.blocked) ++result.blocked;
+    if (config.collect_latencies) {
+      result.latencies_cycles.push_back(
+          static_cast<double>(send.latency_cycles));
+    }
+    // Between calls: loop overhead, IRQ handling, amortized waits.
+    clock.Advance(kernel_->machine().inter_call_cycles);
+  }
+
+  result.packets = config.packets;
+  result.total_cycles = clock.NowCycles() - start;
+  result.cycles_per_packet =
+      result.total_cycles / static_cast<double>(config.packets);
+  result.packets_per_second =
+      kernel_->machine().freq_hz / result.cycles_per_packet;
+  return result;
+}
+
+}  // namespace kop::net

@@ -1,0 +1,79 @@
+#include "kop/net/socket.hpp"
+
+#include <cmath>
+
+namespace kop::net {
+namespace {
+
+constexpr uint32_t kSkbBytes = 2048;
+
+}  // namespace
+
+PacketSocket::PacketSocket(kernel::Kernel* kernel, NetDevice* device,
+                           uint64_t noise_seed)
+    : kernel_(kernel), device_(device), rng_(noise_seed) {
+  auto skb = kernel_->heap().Kmalloc(kSkbBytes, 64);
+  // Heap exhaustion at socket setup is programmer error in experiments.
+  skb_addr_ = skb.ok() ? *skb : 0;
+}
+
+PacketSocket::~PacketSocket() {
+  if (skb_addr_ != 0) (void)kernel_->heap().Kfree(skb_addr_);
+}
+
+Result<SendmsgResult> PacketSocket::Sendmsg(
+    const std::vector<uint8_t>& frame) {
+  if (skb_addr_ == 0) return OutOfMemory("socket has no skb buffer");
+  if (frame.empty() || frame.size() > kSkbBytes) {
+    return InvalidArgument("frame size out of range");
+  }
+  const auto& machine = kernel_->machine();
+  auto& clock = kernel_->clock();
+
+  SendmsgResult result;
+  const uint64_t t0 = clock.ReadTsc();
+
+  // Syscall entry + socket-layer dispatch (core kernel, unguarded).
+  clock.Advance(machine.syscall_cycles);
+
+  // copy_from_user of the frame into the skb.
+  KOP_RETURN_IF_ERROR(
+      kernel_->mem().Write(skb_addr_, frame.data(), frame.size()));
+  clock.Advance(machine.copy_cycles_per_byte *
+                static_cast<double>(frame.size()));
+
+  // Hand the skb to the driver. A full ring means the socket blocks until
+  // the TX-complete interrupt reclaims descriptors.
+  Status xmit =
+      device_->Xmit(skb_addr_, static_cast<uint32_t>(frame.size()));
+  if (!xmit.ok() && xmit.code() == ErrorCode::kBusy) {
+    result.blocked = true;
+    clock.Advance(machine.outlier_cycles);  // descheduled until the IRQ
+    KOP_RETURN_IF_ERROR(device_->CleanTx());
+    xmit = device_->Xmit(skb_addr_, static_cast<uint32_t>(frame.size()));
+  }
+  KOP_RETURN_IF_ERROR(xmit);
+
+  if (noise_enabled_) {
+    // Per-packet microarchitectural noise: lognormal multiplier applied
+    // to the interior work so far, a secondary cache-miss path, and the
+    // rare deschedule outlier (>10M cycles in the paper).
+    const double interior = clock.NowCycles() - static_cast<double>(t0);
+    const double jitter =
+        std::exp(machine.packet_noise_sigma * rng_.NextGaussian());
+    if (jitter > 1.0) clock.Advance(interior * (jitter - 1.0));
+    if (rng_.NextBernoulli(machine.slowpath_prob)) {
+      clock.Advance(machine.slowpath_extra_cycles *
+                    (0.5 + rng_.NextDouble()));
+    }
+    if (rng_.NextBernoulli(machine.outlier_prob)) {
+      result.blocked = true;
+      clock.Advance(machine.outlier_cycles * (0.5 + rng_.NextDouble()));
+    }
+  }
+
+  result.latency_cycles = clock.ReadTsc() - t0;
+  return result;
+}
+
+}  // namespace kop::net

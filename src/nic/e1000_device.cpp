@@ -1,0 +1,295 @@
+#include "kop/nic/e1000_device.hpp"
+
+#include <cstring>
+
+#include "kop/util/log.hpp"
+
+namespace kop::nic {
+
+E1000Device::E1000Device(kernel::AddressSpace* memory, PacketSink* sink)
+    : memory_(memory), sink_(sink) {
+  static constexpr uint8_t kDefaultMac[6] = {0x02, 0xca, 0x4a,
+                                             0x70, 0x0b, 0x01};
+  SetNvmMac(kDefaultMac);
+  Reset();
+}
+
+void E1000Device::SetNvmMac(const uint8_t mac[6]) {
+  nvm_[0] = static_cast<uint16_t>(mac[0] | (mac[1] << 8));
+  nvm_[1] = static_cast<uint16_t>(mac[2] | (mac[3] << 8));
+  nvm_[2] = static_cast<uint16_t>(mac[4] | (mac[5] << 8));
+}
+
+void E1000Device::ReceiveAddress(uint8_t out[6]) const {
+  out[0] = static_cast<uint8_t>(ral0_);
+  out[1] = static_cast<uint8_t>(ral0_ >> 8);
+  out[2] = static_cast<uint8_t>(ral0_ >> 16);
+  out[3] = static_cast<uint8_t>(ral0_ >> 24);
+  out[4] = static_cast<uint8_t>(rah0_);
+  out[5] = static_cast<uint8_t>(rah0_ >> 8);
+}
+
+Status E1000Device::MapAt(uint64_t mmio_base) {
+  KOP_RETURN_IF_ERROR(
+      memory_->MapMmio("e1000e-bar0", mmio_base, kMmioBarSize, this));
+  mmio_base_ = mmio_base;
+  return OkStatus();
+}
+
+void E1000Device::Reset() {
+  ctrl_ = 0;
+  status_ = 0;  // link down until CTRL.SLU
+  icr_ = 0;
+  ims_ = 0;
+  tctl_ = 0;
+  rctl_ = 0;
+  tipg_ = 0;
+  tdbal_ = tdbah_ = tdlen_ = tdh_ = tdt_ = 0;
+  rdbal_ = rdbah_ = rdlen_ = rdh_ = rdt_ = 0;
+  gptc_ = 0;
+  gprc_ = 0;
+  gotc_ = 0;
+  eerd_ = 0;
+}
+
+uint64_t E1000Device::MmioRead(uint64_t offset, uint32_t size) {
+  (void)size;  // registers are 32-bit; AddressSpace enforces alignment
+  switch (offset) {
+    case REG_CTRL: return ctrl_;
+    case REG_STATUS: return status_;
+    case REG_ICR: {
+      // Read-to-clear, like the real part.
+      const uint32_t causes = icr_;
+      icr_ = 0;
+      return causes;
+    }
+    case REG_IMS: return ims_;
+    case REG_EERD: return eerd_;
+    case REG_TCTL: return tctl_;
+    case REG_RCTL: return rctl_;
+    case REG_TIPG: return tipg_;
+    case REG_TDBAL: return tdbal_;
+    case REG_TDBAH: return tdbah_;
+    case REG_TDLEN: return tdlen_;
+    case REG_TDH: return tdh_;
+    case REG_TDT: return tdt_;
+    case REG_RDBAL: return rdbal_;
+    case REG_RDBAH: return rdbah_;
+    case REG_RDLEN: return rdlen_;
+    case REG_RDH: return rdh_;
+    case REG_RDT: return rdt_;
+    case REG_GPTC: return gptc_;
+    case REG_GPRC: return gprc_;
+    case REG_GOTCL: return static_cast<uint32_t>(gotc_);
+    case REG_GOTCH: return static_cast<uint32_t>(gotc_ >> 32);
+    case REG_RAL0: return ral0_;
+    case REG_RAH0: return rah0_;
+    default:
+      // Unimplemented registers read as zero (matches many real holes).
+      return 0;
+  }
+}
+
+void E1000Device::MmioWrite(uint64_t offset, uint64_t value, uint32_t size) {
+  (void)size;
+  const uint32_t v = static_cast<uint32_t>(value);
+  switch (offset) {
+    case REG_CTRL:
+      if (v & CTRL_RST) {
+        Reset();
+        return;
+      }
+      ctrl_ = v;
+      if (v & CTRL_SLU) {
+        if ((status_ & STATUS_LU) == 0) icr_ |= ICR_LSC;
+        status_ |= STATUS_LU;
+      }
+      break;
+    case REG_EERD:
+      if (v & EERD_START) {
+        // The simulated NVM answers instantly: latch DONE + data.
+        const uint32_t addr = (v >> EERD_ADDR_SHIFT) & 0xff;
+        const uint16_t word = addr < kNvmWords ? nvm_[addr] : 0xffff;
+        eerd_ = EERD_DONE | (uint32_t{word} << EERD_DATA_SHIFT);
+      } else {
+        eerd_ = 0;
+      }
+      break;
+    case REG_IMS:
+      ims_ |= v;
+      break;
+    case REG_IMC:
+      ims_ &= ~v;
+      break;
+    case REG_TCTL:
+      tctl_ = v;
+      break;
+    case REG_RCTL:
+      rctl_ = v;
+      break;
+    case REG_TIPG:
+      tipg_ = v;
+      break;
+    case REG_TDBAL:
+      tdbal_ = v & ~0xfu;  // 16-byte aligned
+      break;
+    case REG_TDBAH:
+      tdbah_ = v;
+      break;
+    case REG_TDLEN:
+      tdlen_ = v & ~0x7fu;  // multiple of 128 bytes
+      break;
+    case REG_TDH:
+      tdh_ = v;
+      break;
+    case REG_TDT:
+      tdt_ = v;
+      ++stats_.tail_writes;
+      if (auto_process_) ProcessTransmitRing();
+      break;
+    case REG_RDBAL:
+      rdbal_ = v & ~0xfu;
+      break;
+    case REG_RDBAH:
+      rdbah_ = v;
+      break;
+    case REG_RDLEN:
+      rdlen_ = v & ~0x7fu;
+      break;
+    case REG_RDH:
+      rdh_ = v;
+      break;
+    case REG_RDT:
+      rdt_ = v;
+      break;
+    case REG_RAL0:
+      ral0_ = v;
+      break;
+    case REG_RAH0:
+      rah0_ = v;
+      break;
+    case REG_ICR:
+      icr_ &= ~v;  // write-1-to-clear
+      break;
+    default:
+      break;  // writes to unimplemented registers are ignored
+  }
+}
+
+bool E1000Device::ReceiveFrame(const std::vector<uint8_t>& frame) {
+  if ((rctl_ & RCTL_EN) == 0 || (status_ & STATUS_LU) == 0 ||
+      frame.empty() || frame.size() > kRxBufferBytes) {
+    ++stats_.rx_dropped;
+    icr_ |= ICR_RXO;
+    return false;
+  }
+  const uint32_t count = RxRingDescriptorCount();
+  if (count == 0 || rdh_ == rdt_) {  // no software-provided buffers
+    ++stats_.rx_dropped;
+    icr_ |= ICR_RXO;
+    return false;
+  }
+  const uint64_t ring_base = (static_cast<uint64_t>(rdbah_) << 32) | rdbal_;
+  const uint64_t desc_addr = ring_base + uint64_t{rdh_} * kRxDescBytes;
+
+  LegacyRxDescriptor desc{};
+  uint8_t raw[kRxDescBytes];
+  ++stats_.dma_descriptor_reads;
+  if (!memory_->Read(desc_addr, raw, sizeof(raw)).ok()) {
+    ++stats_.bad_descriptors;
+    ++stats_.rx_dropped;
+    return false;
+  }
+  std::memcpy(&desc, raw, sizeof(desc));
+
+  // DMA the frame into the software buffer and write the descriptor back.
+  if (!memory_->Write(desc.buffer_addr, frame.data(), frame.size()).ok()) {
+    ++stats_.bad_descriptors;
+    ++stats_.rx_dropped;
+    return false;
+  }
+  desc.length = static_cast<uint16_t>(frame.size());
+  desc.status = RXD_STAT_DD | RXD_STAT_EOP;
+  desc.errors = 0;
+  std::memcpy(raw, &desc, sizeof(desc));
+  if (!memory_->Write(desc_addr, raw, sizeof(raw)).ok()) {
+    ++stats_.bad_descriptors;
+    return false;
+  }
+  ++stats_.writebacks;
+  rdh_ = (rdh_ + 1) % count;
+  ++stats_.frames_received;
+  stats_.bytes_received += frame.size();
+  ++gprc_;
+  icr_ |= ICR_RXT0;
+  return true;
+}
+
+void E1000Device::ProcessTransmitRing() {
+  if ((tctl_ & TCTL_EN) == 0) return;        // transmitter disabled
+  if ((status_ & STATUS_LU) == 0) return;    // no link
+  const uint32_t count = RingDescriptorCount();
+  if (count == 0) return;
+  const uint64_t ring_base =
+      (static_cast<uint64_t>(tdbah_) << 32) | tdbal_;
+
+  std::vector<uint8_t> frame;
+  while (tdh_ != tdt_) {
+    const uint64_t desc_addr = ring_base + uint64_t{tdh_} * kTxDescBytes;
+    LegacyTxDescriptor desc{};
+    uint8_t raw[kTxDescBytes];
+    ++stats_.dma_descriptor_reads;
+    if (!memory_->Read(desc_addr, raw, sizeof(raw)).ok()) {
+      ++stats_.bad_descriptors;
+      KOP_LOG(kWarn) << "e1000e DMA: descriptor fetch failed at 0x"
+                     << std::hex << desc_addr;
+      break;  // hardware would wedge; stop processing
+    }
+    std::memcpy(&desc, raw, sizeof(desc));
+
+    // Pull the payload via DMA (unguarded by design).
+    if (desc.length > 0) {
+      std::vector<uint8_t> chunk(desc.length);
+      ++stats_.dma_payload_reads;
+      if (!memory_->Read(desc.buffer_addr, chunk.data(), chunk.size()).ok()) {
+        ++stats_.bad_descriptors;
+      } else {
+        frame.insert(frame.end(), chunk.begin(), chunk.end());
+      }
+    }
+    ++stats_.descriptors_processed;
+
+    const bool end_of_packet = (desc.cmd & TXD_CMD_EOP) != 0;
+    if (end_of_packet && !frame.empty()) {
+      sink_->Deliver(frame);
+      ++stats_.frames_transmitted;
+      stats_.bytes_transmitted += frame.size();
+      ++gptc_;
+      gotc_ += frame.size();
+      frame.clear();
+    }
+
+    // Write back DD when requested.
+    if (desc.cmd & TXD_CMD_RS) {
+      desc.status |= TXD_STAT_DD;
+      std::memcpy(raw, &desc, sizeof(desc));
+      if (memory_->Write(desc_addr, raw, sizeof(raw)).ok()) {
+        ++stats_.writebacks;
+      }
+    }
+
+    tdh_ = (tdh_ + 1) % count;
+    icr_ |= ICR_TXDW;
+    if (tdh_ == tdt_) icr_ |= ICR_TXQE;
+  }
+}
+
+void LoopbackWire::Deliver(const std::vector<uint8_t>& frame) {
+  if (receiver_ != nullptr && receiver_->ReceiveFrame(frame)) {
+    ++forwarded_;
+  } else {
+    ++dropped_;
+  }
+}
+
+}  // namespace kop::nic

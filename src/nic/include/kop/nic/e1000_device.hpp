@@ -1,0 +1,119 @@
+// The simulated 82574L-class NIC. Implements kernel::MmioDevice: the
+// driver talks to it exclusively through MMIO register reads/writes on
+// the mapped BAR, and the device's DMA engine pulls descriptors and
+// frame payloads straight out of simulated physical memory — unguarded,
+// exactly as the paper notes real DMA is ("the overwhelming amount of
+// data transfer occurs due to the DMA engine on the NIC, which is not
+// checked (and thus not slowed) by CARAT KOP").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kop/kernel/address_space.hpp"
+#include "kop/nic/e1000_regs.hpp"
+#include "kop/nic/packet_sink.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::nic {
+
+struct DeviceStats {
+  uint64_t descriptors_processed = 0;
+  uint64_t frames_transmitted = 0;
+  uint64_t bytes_transmitted = 0;
+  uint64_t dma_descriptor_reads = 0;
+  uint64_t dma_payload_reads = 0;
+  uint64_t writebacks = 0;
+  uint64_t tail_writes = 0;
+  uint64_t bad_descriptors = 0;  // malformed ring entries skipped
+  uint64_t frames_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t rx_dropped = 0;       // RX disabled / ring empty / too big
+};
+
+class E1000Device final : public kernel::MmioDevice {
+ public:
+  /// `memory` is the simulated physical/kernel address space the DMA
+  /// engine reads descriptors and payloads from. `sink` receives frames.
+  /// Neither is owned; both must outlive the device.
+  E1000Device(kernel::AddressSpace* memory, PacketSink* sink);
+
+  /// Map the device's 128 KiB BAR at `mmio_base` in `memory`.
+  Status MapAt(uint64_t mmio_base);
+
+  // kernel::MmioDevice:
+  uint64_t MmioRead(uint64_t offset, uint32_t size) override;
+  void MmioWrite(uint64_t offset, uint64_t value, uint32_t size) override;
+
+  /// Process pending descriptors (TDH..TDT). Called automatically on TDT
+  /// writes when `auto_process` (default); callable directly for tests
+  /// that stage the ring first.
+  void ProcessTransmitRing();
+
+  /// A frame arrives on the wire: DMA it into the next software-provided
+  /// RX buffer (RDH side of the ring), write the descriptor back with
+  /// DD|EOP, and raise RXT0. Returns false (counted as rx_dropped) when
+  /// the receiver is disabled, the link is down, the ring has no free
+  /// buffers, or the frame exceeds the buffer size.
+  bool ReceiveFrame(const std::vector<uint8_t>& frame);
+
+  void set_auto_process(bool on) { auto_process_ = on; }
+
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats(); }
+
+  /// Current interrupt causes that are unmasked (what the INTx line sees).
+  uint32_t PendingInterrupts() const { return icr_ & ims_; }
+
+  uint64_t mmio_base() const { return mmio_base_; }
+
+  /// RX buffer size the device assumes (RCTL.BSIZE fixed at 2048).
+  static constexpr uint32_t kRxBufferBytes = 2048;
+
+  /// Program the NVM's factory MAC (words 0..2). Default is
+  /// 02:ca:4a:70:0b:01 ("CARAT KOP" leetish, locally administered).
+  void SetNvmMac(const uint8_t mac[6]);
+
+  /// The MAC currently programmed into RAL0/RAH0 by the driver.
+  void ReceiveAddress(uint8_t out[6]) const;
+
+ private:
+  void Reset();
+  uint32_t RingDescriptorCount() const { return tdlen_ / kTxDescBytes; }
+  uint32_t RxRingDescriptorCount() const { return rdlen_ / kRxDescBytes; }
+
+  kernel::AddressSpace* memory_;
+  PacketSink* sink_;
+  uint64_t mmio_base_ = 0;
+  bool auto_process_ = true;
+
+  // Register file (the subset the driver uses).
+  uint32_t ctrl_ = 0;
+  uint32_t status_ = 0;
+  uint32_t icr_ = 0;
+  uint32_t ims_ = 0;
+  uint32_t tctl_ = 0;
+  uint32_t rctl_ = 0;
+  uint32_t tipg_ = 0;
+  uint32_t tdbal_ = 0;
+  uint32_t tdbah_ = 0;
+  uint32_t tdlen_ = 0;
+  uint32_t tdh_ = 0;
+  uint32_t tdt_ = 0;
+  uint32_t rdbal_ = 0;
+  uint32_t rdbah_ = 0;
+  uint32_t rdlen_ = 0;
+  uint32_t rdh_ = 0;
+  uint32_t rdt_ = 0;
+  uint32_t ral0_ = 0;
+  uint32_t rah0_ = 0;
+  uint32_t gptc_ = 0;
+  uint32_t gprc_ = 0;
+  uint64_t gotc_ = 0;
+  uint32_t eerd_ = 0;
+  uint16_t nvm_[kNvmWords] = {};
+
+  DeviceStats stats_;
+};
+
+}  // namespace kop::nic

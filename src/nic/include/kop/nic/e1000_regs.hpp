@@ -1,0 +1,112 @@
+// Register map and descriptor layout for the simulated Intel 82574L-class
+// device (the paper's Intel CT / EXPI9301CTBLK test NIC). Offsets and bit
+// positions follow the 8257x software developer's manual closely enough
+// that the driver code reads like the real e1000e.
+#pragma once
+
+#include <cstdint>
+
+namespace kop::nic {
+
+// Register offsets within the MMIO BAR.
+inline constexpr uint64_t REG_CTRL = 0x0000;    // device control
+inline constexpr uint64_t REG_STATUS = 0x0008;  // device status
+inline constexpr uint64_t REG_EERD = 0x0014;    // EEPROM read (EERD)
+inline constexpr uint64_t REG_ICR = 0x00C0;     // interrupt cause read
+inline constexpr uint64_t REG_IMS = 0x00D0;     // interrupt mask set
+inline constexpr uint64_t REG_IMC = 0x00D8;     // interrupt mask clear
+inline constexpr uint64_t REG_RCTL = 0x0100;    // receive control
+inline constexpr uint64_t REG_TCTL = 0x0400;    // transmit control
+inline constexpr uint64_t REG_TIPG = 0x0410;    // transmit IPG
+inline constexpr uint64_t REG_RDBAL = 0x2800;   // RX descriptor base low
+inline constexpr uint64_t REG_RDBAH = 0x2804;   // RX descriptor base high
+inline constexpr uint64_t REG_RDLEN = 0x2808;   // RX descriptor ring bytes
+inline constexpr uint64_t REG_RDH = 0x2810;     // RX descriptor head
+inline constexpr uint64_t REG_RDT = 0x2818;     // RX descriptor tail
+inline constexpr uint64_t REG_TDBAL = 0x3800;   // TX descriptor base low
+inline constexpr uint64_t REG_TDBAH = 0x3804;   // TX descriptor base high
+inline constexpr uint64_t REG_TDLEN = 0x3808;   // TX descriptor ring bytes
+inline constexpr uint64_t REG_TDH = 0x3810;     // TX descriptor head
+inline constexpr uint64_t REG_TDT = 0x3818;     // TX descriptor tail
+inline constexpr uint64_t REG_GPRC = 0x4074;    // good packets received
+inline constexpr uint64_t REG_GPTC = 0x4080;    // good packets transmitted
+inline constexpr uint64_t REG_GOTCL = 0x4088;   // good octets transmitted lo
+inline constexpr uint64_t REG_GOTCH = 0x408C;   // good octets transmitted hi
+inline constexpr uint64_t REG_RAL0 = 0x5400;    // receive address low
+inline constexpr uint64_t REG_RAH0 = 0x5404;    // receive address high
+
+inline constexpr uint64_t kMmioBarSize = 0x20000;  // 128 KiB BAR
+
+// EERD bits: software writes START|(addr<<8), hardware sets DONE and the
+// 16-bit data in [31:16].
+inline constexpr uint32_t EERD_START = 1u << 0;
+inline constexpr uint32_t EERD_DONE = 1u << 4;
+inline constexpr uint32_t EERD_ADDR_SHIFT = 8;
+inline constexpr uint32_t EERD_DATA_SHIFT = 16;
+
+/// NVM word layout: words 0..2 hold the MAC address (little-endian
+/// byte pairs), as on the real part.
+inline constexpr uint32_t kNvmWords = 64;
+
+// CTRL bits.
+inline constexpr uint32_t CTRL_SLU = 1u << 6;   // set link up
+inline constexpr uint32_t CTRL_RST = 1u << 26;  // device reset
+
+// STATUS bits.
+inline constexpr uint32_t STATUS_LU = 1u << 1;  // link up
+
+// TCTL bits.
+inline constexpr uint32_t TCTL_EN = 1u << 1;  // transmit enable
+inline constexpr uint32_t TCTL_PSP = 1u << 3; // pad short packets
+
+// RCTL bits.
+inline constexpr uint32_t RCTL_EN = 1u << 1;   // receive enable
+inline constexpr uint32_t RCTL_BAM = 1u << 15; // accept broadcast
+
+// Interrupt cause bits.
+inline constexpr uint32_t ICR_TXDW = 1u << 0;   // TX descriptor written back
+inline constexpr uint32_t ICR_TXQE = 1u << 1;   // TX queue empty
+inline constexpr uint32_t ICR_LSC = 1u << 2;    // link status change
+inline constexpr uint32_t ICR_RXO = 1u << 6;    // receiver overrun (drop)
+inline constexpr uint32_t ICR_RXT0 = 1u << 7;   // receive timer / frame in
+
+// Legacy TX descriptor command bits.
+inline constexpr uint8_t TXD_CMD_EOP = 1u << 0;  // end of packet
+inline constexpr uint8_t TXD_CMD_IFCS = 1u << 1; // insert FCS
+inline constexpr uint8_t TXD_CMD_RS = 1u << 3;   // report status
+
+// Legacy TX descriptor status bits.
+inline constexpr uint8_t TXD_STAT_DD = 1u << 0;  // descriptor done
+
+/// Legacy transmit descriptor, 16 bytes, exactly as laid out in memory.
+struct LegacyTxDescriptor {
+  uint64_t buffer_addr;
+  uint16_t length;
+  uint8_t cso;
+  uint8_t cmd;
+  uint8_t status;
+  uint8_t css;
+  uint16_t special;
+};
+static_assert(sizeof(LegacyTxDescriptor) == 16);
+
+inline constexpr uint32_t kTxDescBytes = 16;
+
+// Legacy RX descriptor status bits.
+inline constexpr uint8_t RXD_STAT_DD = 1u << 0;   // descriptor done
+inline constexpr uint8_t RXD_STAT_EOP = 1u << 1;  // end of packet
+
+/// Legacy receive descriptor, 16 bytes, exactly as laid out in memory.
+struct LegacyRxDescriptor {
+  uint64_t buffer_addr;
+  uint16_t length;
+  uint16_t csum;
+  uint8_t status;
+  uint8_t errors;
+  uint16_t special;
+};
+static_assert(sizeof(LegacyRxDescriptor) == 16);
+
+inline constexpr uint32_t kRxDescBytes = 16;
+
+}  // namespace kop::nic

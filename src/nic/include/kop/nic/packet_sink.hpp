@@ -1,0 +1,72 @@
+// Where transmitted frames go. The paper's testbed attaches the NIC to
+// "a packet sink"; ours counts frames/bytes, optionally retains the most
+// recent ones for inspection, and models the wire's drain rate so the
+// link can be a bottleneck when an experiment wants it to be.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kop/util/ring_buffer.hpp"
+
+namespace kop::nic {
+
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void Deliver(const std::vector<uint8_t>& frame) = 0;
+};
+
+/// External loopback plug: every transmitted frame reappears on the
+/// receive side of the same (or another) device — the software analogue
+/// of the loopback dongle every NIC lab drawer contains. Optionally
+/// counts what passed through.
+class LoopbackWire : public PacketSink {
+ public:
+  /// `receiver` is set after device construction (the wire and the device
+  /// reference each other).
+  LoopbackWire() = default;
+
+  void AttachReceiver(class E1000Device* receiver) { receiver_ = receiver; }
+
+  void Deliver(const std::vector<uint8_t>& frame) override;
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  class E1000Device* receiver_ = nullptr;
+  uint64_t forwarded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+class CountingSink : public PacketSink {
+ public:
+  /// Retains the last `retain` frames for test inspection.
+  explicit CountingSink(size_t retain = 16) : recent_(retain) {}
+
+  void Deliver(const std::vector<uint8_t>& frame) override {
+    ++packets_;
+    bytes_ += frame.size();
+    recent_.push(frame);
+  }
+
+  uint64_t packets() const { return packets_; }
+  uint64_t bytes() const { return bytes_; }
+  std::vector<std::vector<uint8_t>> RecentFrames() const {
+    return recent_.snapshot();
+  }
+
+  void Reset() {
+    packets_ = 0;
+    bytes_ = 0;
+    recent_.clear();
+  }
+
+ private:
+  uint64_t packets_ = 0;
+  uint64_t bytes_ = 0;
+  RingBuffer<std::vector<uint8_t>> recent_;
+};
+
+}  // namespace kop::nic

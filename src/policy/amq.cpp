@@ -1,0 +1,62 @@
+#include "kop/policy/amq.hpp"
+
+#include <cmath>
+
+#include "kop/util/bits.hpp"
+
+namespace kop::policy {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  // SplitMix64 finalizer: cheap, well-distributed.
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t bits, unsigned hashes) {
+  size_t rounded = 64;
+  while (rounded < bits) rounded <<= 1;
+  words_.assign(rounded / 64, 0);
+  mask_ = rounded - 1;
+  hashes_ = hashes < 1 ? 1 : (hashes > 8 ? 8 : hashes);
+}
+
+uint64_t BloomFilter::HashN(uint64_t key, unsigned n) const {
+  // Kirsch-Mitzenmacher double hashing.
+  const uint64_t h1 = Mix(key);
+  const uint64_t h2 = Mix(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  return (h1 + n * h2) & mask_;
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  for (unsigned n = 0; n < hashes_; ++n) {
+    const uint64_t bit = HashN(key, n);
+    words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  ++insertions_;
+}
+
+bool BloomFilter::MaybeContains(uint64_t key) const {
+  for (unsigned n = 0; n < hashes_; ++n) {
+    const uint64_t bit = HashN(key, n);
+    if ((words_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  insertions_ = 0;
+}
+
+double BloomFilter::EstimatedFalsePositiveRate() const {
+  const double m = static_cast<double>(bit_count());
+  const double k = static_cast<double>(hashes_);
+  const double n = static_cast<double>(insertions_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace kop::policy

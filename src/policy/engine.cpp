@@ -1,0 +1,124 @@
+#include "kop/policy/engine.hpp"
+
+#include <mutex>
+
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::policy {
+
+PolicyEngine::PolicyEngine(kernel::Kernel* kernel,
+                           std::unique_ptr<PolicyStore> store, PolicyMode mode)
+    : kernel_(kernel), store_(std::move(store)), mode_(mode) {}
+
+std::unique_ptr<PolicyStore> PolicyEngine::SwapStore(
+    std::unique_ptr<PolicyStore> store) {
+  std::lock_guard<Spinlock> guard(lock_);
+  std::unique_ptr<PolicyStore> old = std::move(store_);
+  store_ = std::move(store);
+  // Carry the regions over so a live swap preserves the policy.
+  for (const Region& region : old->Snapshot()) {
+    (void)store_->Add(region);
+  }
+  return old;
+}
+
+bool PolicyEngine::Check(uint64_t addr, uint64_t size,
+                         uint64_t access_flags) const {
+  std::lock_guard<Spinlock> guard(lock_);
+  const std::optional<uint32_t> prot = store_->Lookup(addr, size);
+  if (prot.has_value()) {
+    return (*prot & access_flags) == access_flags;
+  }
+  return mode_ == PolicyMode::kDefaultAllow;
+}
+
+bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
+                         uint64_t access_flags) {
+  ++stats_.guard_calls;
+  if (charge_cycles_) {
+    kernel_->clock().Advance(kernel_->machine().GuardCycles(
+        static_cast<uint32_t>(store_->Size())));
+  }
+  if (Check(addr, size, access_flags)) {
+    ++stats_.allowed;
+    return true;
+  }
+  ++stats_.denied;
+  {
+    std::lock_guard<Spinlock> guard(lock_);
+    violations_.push(ViolationRecord{addr, size, access_flags,
+                                     stats_.guard_calls, false});
+  }
+  const char* kind =
+      (access_flags & kGuardAccessWrite)
+          ? ((access_flags & kGuardAccessRead) ? "read-write" : "write")
+          : "read";
+  kernel_->log().Printk(
+      kernel::KernLevel::kAlert,
+      "CARAT KOP: forbidden %s access to 0x%llx (size %llu) blocked by policy",
+      kind, static_cast<unsigned long long>(addr),
+      static_cast<unsigned long long>(size));
+  if (action_ == ViolationAction::kPanic) {
+    kernel_->Panic("CARAT KOP guard violation");  // throws KernelPanic
+  }
+  if (action_ == ViolationAction::kQuarantine) {
+    throw GuardViolation(addr, size, access_flags);
+  }
+  return false;
+}
+
+bool PolicyEngine::IntrinsicGuard(uint64_t intrinsic_id) {
+  ++stats_.intrinsic_calls;
+  bool allowed;
+  {
+    std::lock_guard<Spinlock> guard(lock_);
+    if (intrinsic_denied_.count(intrinsic_id)) {
+      allowed = false;
+    } else if (intrinsic_allowed_.count(intrinsic_id)) {
+      allowed = true;
+    } else {
+      allowed = intrinsic_default_allow_;
+    }
+  }
+  if (allowed) return true;
+  ++stats_.intrinsic_denied;
+  {
+    std::lock_guard<Spinlock> guard(lock_);
+    violations_.push(ViolationRecord{intrinsic_id, 0, 0,
+                                     stats_.intrinsic_calls, true});
+  }
+  kernel_->log().Printk(
+      kernel::KernLevel::kAlert,
+      "CARAT KOP: forbidden privileged intrinsic %llu blocked by policy",
+      static_cast<unsigned long long>(intrinsic_id));
+  if (action_ == ViolationAction::kPanic) {
+    kernel_->Panic("CARAT KOP privileged-intrinsic violation");
+  }
+  return false;
+}
+
+void PolicyEngine::AllowIntrinsic(uint64_t intrinsic_id) {
+  std::lock_guard<Spinlock> guard(lock_);
+  intrinsic_denied_.erase(intrinsic_id);
+  intrinsic_allowed_.insert(intrinsic_id);
+}
+
+void PolicyEngine::DenyIntrinsic(uint64_t intrinsic_id) {
+  std::lock_guard<Spinlock> guard(lock_);
+  intrinsic_allowed_.erase(intrinsic_id);
+  intrinsic_denied_.insert(intrinsic_id);
+}
+
+void PolicyEngine::ResetStats() {
+  stats_ = GuardStats();
+  store_->ResetStats();
+  std::lock_guard<Spinlock> guard(lock_);
+  violations_.clear();
+}
+
+std::vector<ViolationRecord> PolicyEngine::RecentViolations() const {
+  std::lock_guard<Spinlock> guard(lock_);
+  return violations_.snapshot();
+}
+
+}  // namespace kop::policy

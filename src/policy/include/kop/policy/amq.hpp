@@ -1,0 +1,39 @@
+// Approximate-membership-query filter (paper §3.1: "Probabilistic
+// structures, like any of a variety of AMQ-filters, may very well improve
+// average performance, as we expect modules to be compliant with policies
+// for nearly every access"). A classic blocked Bloom filter over
+// page-granular keys; false positives only ever cause a (safe) full
+// lookup, never a wrong answer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kop::policy {
+
+class BloomFilter {
+ public:
+  /// `bits` is rounded up to a power of two; `hashes` in [1, 8].
+  explicit BloomFilter(size_t bits = 1 << 16, unsigned hashes = 3);
+
+  void Insert(uint64_t key);
+  bool MaybeContains(uint64_t key) const;
+  void Clear();
+
+  size_t bit_count() const { return words_.size() * 64; }
+  uint64_t insertions() const { return insertions_; }
+
+  /// Expected false-positive rate for the current load.
+  double EstimatedFalsePositiveRate() const;
+
+ private:
+  uint64_t HashN(uint64_t key, unsigned n) const;
+
+  std::vector<uint64_t> words_;
+  uint64_t mask_;
+  unsigned hashes_;
+  uint64_t insertions_ = 0;
+};
+
+}  // namespace kop::policy

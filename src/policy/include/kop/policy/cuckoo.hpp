@@ -1,0 +1,88 @@
+// Cuckoo filter (Fan et al., CoNEXT '14) — the second AMQ family the
+// paper cites for the guard fast path (§3.1). Unlike the Bloom filter it
+// supports deletion, so removing a policy region does not force a filter
+// rebuild. Partial-key cuckoo hashing: 16-bit fingerprints, 4-way
+// buckets, two candidate buckets per key.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kop/policy/store.hpp"
+
+namespace kop::policy {
+
+class CuckooFilter {
+ public:
+  static constexpr unsigned kSlotsPerBucket = 4;
+  static constexpr unsigned kMaxKicks = 500;
+
+  /// Capacity is rounded up to a power-of-two bucket count holding at
+  /// least `capacity` fingerprints at full load.
+  explicit CuckooFilter(size_t capacity = 4096, uint64_t seed = 0x5eed);
+
+  /// False when the filter is too full (relocation gave up) — callers
+  /// fall back to always consulting the backing store.
+  bool Insert(uint64_t key);
+  bool Contains(uint64_t key) const;
+  /// True when a matching fingerprint was found and removed. Only delete
+  /// keys that were actually inserted (standard cuckoo-filter contract).
+  bool Delete(uint64_t key);
+
+  void Clear();
+  size_t Size() const { return count_; }
+  size_t BucketCount() const { return bucket_count_; }
+  double LoadFactor() const {
+    return static_cast<double>(count_) /
+           static_cast<double>(bucket_count_ * kSlotsPerBucket);
+  }
+
+ private:
+  uint16_t Fingerprint(uint64_t key) const;
+  size_t IndexOf(uint64_t key) const;
+  size_t AltIndex(size_t index, uint16_t fingerprint) const;
+  bool InsertAt(size_t index, uint16_t fingerprint);
+  bool RemoveAt(size_t index, uint16_t fingerprint);
+  bool ContainsAt(size_t index, uint16_t fingerprint) const;
+
+  size_t bucket_count_;
+  uint64_t seed_;
+  uint64_t kick_state_;
+  std::vector<uint16_t> slots_;  // bucket_count_ * kSlotsPerBucket; 0=empty
+  size_t count_ = 0;
+};
+
+/// AMQ front over any PolicyStore using a cuckoo filter of the 4 KiB
+/// pages covered by regions. Functionally identical to BloomFrontStore,
+/// but Remove() deletes the region's pages instead of rebuilding.
+class CuckooFrontStore : public PolicyStore {
+ public:
+  static constexpr uint64_t kPageShift = 12;
+
+  explicit CuckooFrontStore(std::unique_ptr<PolicyStore> inner,
+                            size_t filter_capacity = 1 << 14)
+      : inner_(std::move(inner)), filter_(filter_capacity) {}
+
+  std::string_view name() const override { return "cuckoo-front"; }
+  Status Add(const Region& region) override;
+  Status Remove(uint64_t base) override;
+  void Clear() override;
+  size_t Size() const override { return inner_->Size(); }
+  std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
+  std::vector<Region> Snapshot() const override { return inner_->Snapshot(); }
+
+  const CuckooFilter& filter() const { return filter_; }
+
+ private:
+  /// A page may be covered by several regions; reference-count inserts
+  /// so deleting one region keeps shared pages present.
+  std::unique_ptr<PolicyStore> inner_;
+  CuckooFilter filter_;
+  /// When the filter ever refused an insert, it is no longer a complete
+  /// summary: disable the fast path until Clear().
+  bool degraded_ = false;
+};
+
+}  // namespace kop::policy

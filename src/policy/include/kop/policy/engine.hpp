@@ -1,0 +1,119 @@
+// The guard runtime: decides each access against the region policy,
+// charges the machine model's guard cost on the virtual clock, and on a
+// forbidden access logs to printk and panics the kernel (paper §3.1 —
+// "we currently do not cleanly handle forbidden accesses, and instead log
+// that they occur and cause a kernel panic").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/policy/store.hpp"
+#include "kop/util/ring_buffer.hpp"
+#include "kop/util/spinlock.hpp"
+
+namespace kop::policy {
+
+/// Default-allow or default-deny (paper §1: "using default allow or
+/// default deny policies").
+enum class PolicyMode {
+  /// No covering region -> denied. Covering region must grant the flags.
+  kDefaultDeny,
+  /// No covering region -> allowed. A covering region acts as a
+  /// restriction: the access must stay within its granted flags.
+  kDefaultAllow,
+};
+
+/// What a failed guard does.
+///  - kPanic: the paper's choice — log and halt the machine ("a kernel
+///    panic is actually a reasonable response for the HPC use cases").
+///  - kQuarantine: the alternative the paper discusses and rejects as
+///    dangerous to do *forcibly* (§3.1: a killed module may hold locks).
+///    Here the violating call unwinds via GuardViolation and the module
+///    loader refuses to run the module again — the module is never
+///    forcibly ejected, so the deadlock hazard is acknowledged, not
+///    hidden: any lock the module held at unwind time stays held.
+///  - kLogOnly: audit mode for tests and what-would-break dry runs.
+enum class ViolationAction { kPanic, kQuarantine, kLogOnly };
+
+// GuardViolation (thrown under kQuarantine) lives in kop/kernel/panic.hpp
+// next to KernelPanic so the module loader can catch it without a
+// dependency cycle.
+using kernel::GuardViolation;
+
+struct GuardStats {
+  uint64_t guard_calls = 0;
+  uint64_t allowed = 0;
+  uint64_t denied = 0;
+  uint64_t intrinsic_calls = 0;
+  uint64_t intrinsic_denied = 0;
+};
+
+/// One denied access, kept in the engine's forensic ring (most recent
+/// violations survive even in log-only audit runs).
+struct ViolationRecord {
+  uint64_t addr = 0;
+  uint64_t size = 0;
+  uint64_t access_flags = 0;
+  uint64_t sequence = 0;   // nth guard call overall when this fired
+  bool intrinsic = false;  // true for privileged-intrinsic denials
+};
+
+class PolicyEngine {
+ public:
+  PolicyEngine(kernel::Kernel* kernel, std::unique_ptr<PolicyStore> store,
+               PolicyMode mode = PolicyMode::kDefaultDeny);
+
+  PolicyMode mode() const { return mode_; }
+  void SetMode(PolicyMode mode) { mode_ = mode; }
+  ViolationAction violation_action() const { return action_; }
+  void SetViolationAction(ViolationAction action) { action_ = action; }
+
+  PolicyStore& store() { return *store_; }
+  const PolicyStore& store() const { return *store_; }
+
+  /// Swap the policy structure without touching protected modules — the
+  /// point of the single-symbol guard interface (§3.2).
+  std::unique_ptr<PolicyStore> SwapStore(std::unique_ptr<PolicyStore> store);
+
+  /// Pure decision, no logging/panic/accounting.
+  bool Check(uint64_t addr, uint64_t size, uint64_t access_flags) const;
+
+  /// The guard itself: carat_guard(addr, size, access_flags). Returns
+  /// true when allowed; on denial logs and (by default) panics.
+  bool Guard(uint64_t addr, uint64_t size, uint64_t access_flags);
+
+  /// §5 extension: privileged-intrinsic permission check.
+  bool IntrinsicGuard(uint64_t intrinsic_id);
+  void AllowIntrinsic(uint64_t intrinsic_id);
+  void DenyIntrinsic(uint64_t intrinsic_id);
+  void SetIntrinsicDefaultAllow(bool allow) { intrinsic_default_allow_ = allow; }
+
+  const GuardStats& stats() const { return stats_; }
+  void ResetStats();
+
+  /// The most recent denials, oldest first (capacity 64).
+  std::vector<ViolationRecord> RecentViolations() const;
+
+  /// When false, Guard() skips virtual-clock charging (used by benches
+  /// that account guard cost themselves).
+  void SetChargeCycles(bool charge) { charge_cycles_ = charge; }
+
+ private:
+  kernel::Kernel* kernel_;
+  std::unique_ptr<PolicyStore> store_;
+  PolicyMode mode_;
+  ViolationAction action_ = ViolationAction::kPanic;
+  bool charge_cycles_ = true;
+  bool intrinsic_default_allow_ = false;
+  std::set<uint64_t> intrinsic_allowed_;
+  std::set<uint64_t> intrinsic_denied_;
+  GuardStats stats_;
+  RingBuffer<ViolationRecord> violations_{64};
+  mutable Spinlock lock_;
+};
+
+}  // namespace kop::policy

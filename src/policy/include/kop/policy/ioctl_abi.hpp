@@ -1,0 +1,99 @@
+// The /dev/carat ioctl ABI shared between the policy module and the
+// userspace policy-manager tool (paper Figure 1: "A server owner can
+// configure the CARAT KOP policy through the ioctl interface").
+// Arguments are fixed-layout PODs copied through the arg buffer, like
+// copy_from_user/copy_to_user of a userspace struct.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace kop::policy {
+
+inline constexpr const char* kCaratDevicePath = "/dev/carat";
+
+enum CaratIoctl : uint32_t {
+  KOP_IOCTL_ADD_REGION = 0x4b01,
+  KOP_IOCTL_REMOVE_REGION = 0x4b02,
+  KOP_IOCTL_CLEAR_REGIONS = 0x4b03,
+  KOP_IOCTL_SET_MODE = 0x4b04,        // arg: CaratModeArg
+  KOP_IOCTL_GET_STATS = 0x4b05,       // out: CaratStatsArg
+  KOP_IOCTL_COUNT_REGIONS = 0x4b06,   // out: CaratCountArg
+  KOP_IOCTL_LIST_REGIONS = 0x4b07,    // out: CaratListArg
+  KOP_IOCTL_ALLOW_INTRINSIC = 0x4b08, // arg: CaratIntrinsicArg
+  KOP_IOCTL_DENY_INTRINSIC = 0x4b09,  // arg: CaratIntrinsicArg
+  KOP_IOCTL_RESET_STATS = 0x4b0a,
+  KOP_IOCTL_GET_VIOLATIONS = 0x4b0b,  // out: CaratViolationsArg
+};
+
+struct CaratRegionArg {
+  uint64_t base = 0;
+  uint64_t len = 0;
+  uint32_t prot = 0;
+  uint32_t pad = 0;
+};
+
+struct CaratModeArg {
+  uint32_t default_allow = 0;  // 0 = default deny, 1 = default allow
+  uint32_t pad = 0;
+};
+
+struct CaratStatsArg {
+  uint64_t guard_calls = 0;
+  uint64_t allowed = 0;
+  uint64_t denied = 0;
+  uint64_t intrinsic_calls = 0;
+  uint64_t intrinsic_denied = 0;
+};
+
+struct CaratCountArg {
+  uint64_t count = 0;
+};
+
+struct CaratIntrinsicArg {
+  uint64_t intrinsic_id = 0;
+};
+
+struct CaratListArg {
+  static constexpr uint32_t kMax = 64;
+  uint32_t count = 0;
+  uint32_t pad = 0;
+  CaratRegionArg regions[kMax] = {};
+};
+
+struct CaratViolationArg {
+  uint64_t addr = 0;
+  uint64_t size = 0;
+  uint64_t access_flags = 0;
+  uint64_t sequence = 0;
+  uint32_t intrinsic = 0;
+  uint32_t pad = 0;
+};
+
+struct CaratViolationsArg {
+  static constexpr uint32_t kMax = 64;
+  uint32_t count = 0;
+  uint32_t pad = 0;
+  CaratViolationArg records[kMax] = {};
+};
+
+/// Pack a POD into an ioctl arg buffer.
+template <typename T>
+std::vector<uint8_t> PackArg(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<uint8_t> out(sizeof(T));
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+/// Unpack; false when the buffer is too small.
+template <typename T>
+bool UnpackArg(const std::vector<uint8_t>& buffer, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (buffer.size() < sizeof(T)) return false;
+  std::memcpy(out, buffer.data(), sizeof(T));
+  return true;
+}
+
+}  // namespace kop::policy

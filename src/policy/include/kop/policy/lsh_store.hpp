@@ -1,0 +1,43 @@
+// Locality-sensitive bucket table (paper §3.1): "Modification of the
+// table to use a locality-sensitive hash function, thus finding the
+// 'closest bucket' of policy-defined regions to an arbitrary address in
+// constant time." Addresses are bucketed by their high bits (the LSH for
+// 1-D addresses is plain quantisation); each bucket lists the regions
+// overlapping its span, so a lookup scans one — usually tiny — bucket.
+#pragma once
+
+#include <unordered_map>
+
+#include "kop/policy/store.hpp"
+
+namespace kop::policy {
+
+class LshBucketStore : public PolicyStore {
+ public:
+  /// `bucket_shift`: log2 of the bucket span (default 1 MiB buckets).
+  explicit LshBucketStore(unsigned bucket_shift = 20)
+      : bucket_shift_(bucket_shift) {}
+
+  std::string_view name() const override { return "lsh-buckets"; }
+
+  Status Add(const Region& region) override;
+  Status Remove(uint64_t base) override;
+  void Clear() override;
+  size_t Size() const override { return regions_.size(); }
+  std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
+  std::vector<Region> Snapshot() const override;
+
+  /// Number of buckets currently populated (tests / bench reporting).
+  size_t BucketCount() const { return buckets_.size(); }
+
+ private:
+  uint64_t BucketOf(uint64_t addr) const { return addr >> bucket_shift_; }
+
+  unsigned bucket_shift_;
+  // Insertion-ordered master list (first-match-wins like the table).
+  std::vector<Region> regions_;
+  // bucket id -> indices into regions_, in insertion order.
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
+};
+
+}  // namespace kop::policy

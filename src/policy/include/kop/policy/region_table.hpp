@@ -1,0 +1,32 @@
+// The paper's policy structure: a fixed table of at most 64 regions,
+// scanned linearly. "A table was chosen in order to minimize pointer
+// chasing ... optimized for cache-friendly search of a small number of
+// regions" (§3.1, §4.2). First match wins, so overlapping regions are
+// representable (the tradeoff the fancier structures give up).
+#pragma once
+
+#include <array>
+
+#include "kop/policy/store.hpp"
+
+namespace kop::policy {
+
+class RegionTable64 : public PolicyStore {
+ public:
+  static constexpr size_t kMaxRegions = 64;
+
+  std::string_view name() const override { return "linear-table-64"; }
+
+  Status Add(const Region& region) override;
+  Status Remove(uint64_t base) override;
+  void Clear() override { count_ = 0; }
+  size_t Size() const override { return count_; }
+  std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
+  std::vector<Region> Snapshot() const override;
+
+ private:
+  std::array<Region, kMaxRegions> regions_{};
+  size_t count_ = 0;
+};
+
+}  // namespace kop::policy

@@ -1,0 +1,74 @@
+// The policy rules language: the paper frames region policies as
+// "what amount to firewall rules" set by the operator — this makes that
+// literal. A small line-oriented config compiles to a policy-engine
+// state (mode + region table + intrinsic permissions):
+//
+//   # comments and blank lines are fine
+//   mode deny                      # or: mode allow
+//   allow kernel-half rw           # named range
+//   deny  user-half                # prot none
+//   allow 0xffff888000000000 +0x100000 r     # base +len
+//   allow 0x1000-0x2000 w                    # base-end (end exclusive)
+//   intrinsic allow wrmsr
+//   intrinsic deny  cli
+//
+// Named ranges come from the kernel's memory map. Rules are applied in
+// file order, which is match order for first-match stores (the paper's
+// linear table) — exactly like firewall rule files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/policy/engine.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::policy {
+
+struct IntrinsicRule {
+  uint64_t intrinsic_id = 0;
+  bool allow = false;
+};
+
+/// A parsed policy file: what ApplyPolicySpec feeds into an engine.
+struct PolicySpec {
+  PolicyMode mode = PolicyMode::kDefaultDeny;
+  bool mode_set = false;
+  std::vector<Region> regions;  // in file order
+  std::vector<IntrinsicRule> intrinsics;
+};
+
+/// Named address ranges resolvable in rule files.
+using NamedRanges = std::map<std::string, Region>;
+
+/// The standard names for a kernel's memory map: kernel-half, user-half,
+/// direct-map, kernel-text, module-area, vmalloc.
+NamedRanges DefaultNamedRanges(const kernel::Kernel& kernel);
+
+/// Parse rule text. Errors carry the line number.
+Result<PolicySpec> ParsePolicyRules(const std::string& text,
+                                    const NamedRanges& names);
+
+/// Clear the engine's table and apply the spec (mode, regions in order,
+/// intrinsic permissions).
+Status ApplyPolicySpec(const PolicySpec& spec, PolicyEngine& engine);
+
+/// Render an engine's current policy back as rule text (round-trips
+/// through ParsePolicyRules for table-backed engines).
+std::string RenderPolicyRules(const PolicyEngine& engine);
+
+/// Policy synthesis: the "what would this module need?" audit workflow.
+/// Run the module under default-deny + log-only, then feed the recorded
+/// violations here to get the minimal page-granular default-deny policy
+/// that would have allowed exactly those accesses (adjacent/overlapping
+/// pages coalesce into regions; flags union per region; intrinsic
+/// denials become intrinsic-allow rules). The operator reviews the
+/// generated rules before applying them — synthesis proposes, the human
+/// disposes.
+PolicySpec SynthesizePolicy(const std::vector<ViolationRecord>& trace,
+                            uint64_t granularity = 4096);
+
+}  // namespace kop::policy

@@ -1,0 +1,25 @@
+// The paper's suggested first upgrade (§4.2): "simply ... sort the
+// regions in the policy in order, and then do a binary search over the
+// table instead of a linear scan." Non-overlapping regions only.
+#pragma once
+
+#include "kop/policy/store.hpp"
+
+namespace kop::policy {
+
+class SortedRegionTable : public PolicyStore {
+ public:
+  std::string_view name() const override { return "sorted-binary-search"; }
+
+  Status Add(const Region& region) override;
+  Status Remove(uint64_t base) override;
+  void Clear() override { regions_.clear(); }
+  size_t Size() const override { return regions_.size(); }
+  std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
+  std::vector<Region> Snapshot() const override { return regions_; }
+
+ private:
+  std::vector<Region> regions_;  // sorted by base, non-overlapping
+};
+
+}  // namespace kop::policy

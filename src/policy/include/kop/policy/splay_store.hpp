@@ -1,0 +1,51 @@
+// Popularity-adaptive lookup (paper §4.2): "with a large enough number of
+// regions, a popularity-based data structure such as a splay tree ...
+// might be able to do better than a logarithmic search in the common
+// case." A hand-written bottom-up splay tree keyed by region base; every
+// hit splays the matched region to the root, so hot regions answer in
+// O(1) amortized. Non-overlapping regions only.
+#pragma once
+
+#include <memory>
+
+#include "kop/policy/store.hpp"
+
+namespace kop::policy {
+
+class SplayRegionTree : public PolicyStore {
+ public:
+  SplayRegionTree() = default;
+  ~SplayRegionTree() override;
+  SplayRegionTree(const SplayRegionTree&) = delete;
+  SplayRegionTree& operator=(const SplayRegionTree&) = delete;
+
+  std::string_view name() const override { return "splay-tree"; }
+
+  Status Add(const Region& region) override;
+  Status Remove(uint64_t base) override;
+  void Clear() override;
+  size_t Size() const override { return size_; }
+  std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
+  std::vector<Region> Snapshot() const override;
+
+  /// Depth of the current root-path for `addr` without splaying (tests).
+  size_t ProbeDepth(uint64_t addr) const;
+
+ private:
+  struct Node {
+    Region region;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+  };
+
+  void RotateUp(Node* node) const;
+  void Splay(Node* node) const;
+  Node* FindCandidate(uint64_t addr) const;  // last node with base <= addr
+  static void DestroySubtree(Node* node);
+
+  mutable Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace kop::policy

@@ -1,0 +1,56 @@
+// PolicyStore: the data structure behind the guard's permission check.
+// The paper ships the 64-entry linear table and discusses a zoo of
+// alternatives (§3.1, §4.2); each is implemented here behind this
+// interface so bench/abl1_policy_structures can race them and the policy
+// module can swap them without touching protected modules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "kop/policy/region.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::policy {
+
+struct StoreStats {
+  uint64_t lookups = 0;
+  uint64_t entries_scanned = 0;  // structure-specific work counter
+  uint64_t fast_path_hits = 0;   // cache/AMQ short-circuits
+};
+
+class PolicyStore {
+ public:
+  virtual ~PolicyStore() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Insert a region. Implementations that cannot represent overlapping
+  /// regions reject them (the paper's noted tradeoff); the linear table
+  /// accepts overlaps with first-match-wins semantics.
+  virtual Status Add(const Region& region) = 0;
+
+  /// Remove the region with this exact base. kNotFound when absent.
+  virtual Status Remove(uint64_t base) = 0;
+
+  virtual void Clear() = 0;
+  virtual size_t Size() const = 0;
+
+  /// Find the protection that applies to [addr, addr+size): the matching
+  /// region's prot, or nullopt when no region covers the whole range.
+  virtual std::optional<uint32_t> Lookup(uint64_t addr,
+                                         uint64_t size) const = 0;
+
+  /// All regions, in the structure's iteration order.
+  virtual std::vector<Region> Snapshot() const = 0;
+
+  const StoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StoreStats(); }
+
+ protected:
+  mutable StoreStats stats_;
+};
+
+}  // namespace kop::policy

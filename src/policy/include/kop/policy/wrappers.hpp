@@ -1,0 +1,69 @@
+// Decorator stores: the CARAT-CAKE-style single-entry cache and the
+// AMQ/Bloom front filter (§3.1, §4.2 speculation). Both wrap any inner
+// PolicyStore and preserve its semantics exactly — fast paths only ever
+// short-circuit to the same answer the inner store would give.
+#pragma once
+
+#include <memory>
+
+#include "kop/policy/amq.hpp"
+#include "kop/policy/store.hpp"
+
+namespace kop::policy {
+
+/// "a simple cache over the region data structure (as done in CARAT
+/// CAKE)" — remembers the last matching region; the common case of
+/// consecutive guards hitting the same region answers without touching
+/// the inner structure.
+class SingleEntryCacheStore : public PolicyStore {
+ public:
+  explicit SingleEntryCacheStore(std::unique_ptr<PolicyStore> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string_view name() const override { return "single-entry-cache"; }
+  Status Add(const Region& region) override;
+  Status Remove(uint64_t base) override;
+  void Clear() override;
+  size_t Size() const override { return inner_->Size(); }
+  std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
+  std::vector<Region> Snapshot() const override { return inner_->Snapshot(); }
+
+  const PolicyStore& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<PolicyStore> inner_;
+  mutable Region cached_{};
+  mutable bool cache_valid_ = false;
+};
+
+/// Bloom pre-filter over the 4 KiB pages covered by any region. A
+/// negative answer proves no region covers the page, skipping the inner
+/// lookup entirely — the paper's AMQ idea for default-allow policies
+/// where most accesses fall outside every (restricting) region, and for
+/// fast definitive misses in general.
+class BloomFrontStore : public PolicyStore {
+ public:
+  static constexpr uint64_t kPageShift = 12;
+
+  explicit BloomFrontStore(std::unique_ptr<PolicyStore> inner,
+                           size_t filter_bits = 1 << 16)
+      : inner_(std::move(inner)), filter_(filter_bits) {}
+
+  std::string_view name() const override { return "bloom-front"; }
+  Status Add(const Region& region) override;
+  Status Remove(uint64_t base) override;  // rebuilds the filter
+  void Clear() override;
+  size_t Size() const override { return inner_->Size(); }
+  std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
+  std::vector<Region> Snapshot() const override { return inner_->Snapshot(); }
+
+  const BloomFilter& filter() const { return filter_; }
+
+ private:
+  void InsertRegionPages(const Region& region);
+
+  std::unique_ptr<PolicyStore> inner_;
+  BloomFilter filter_;
+};
+
+}  // namespace kop::policy

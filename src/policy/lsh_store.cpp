@@ -1,0 +1,76 @@
+#include "kop/policy/lsh_store.hpp"
+
+#include <algorithm>
+
+namespace kop::policy {
+
+Status LshBucketStore::Add(const Region& region) {
+  if (region.len == 0) return InvalidArgument("empty region");
+  if (region.base + region.len < region.base) {
+    return InvalidArgument("region wraps the address space");
+  }
+  for (const Region& existing : regions_) {
+    if (existing.base == region.base && existing.len == region.len) {
+      return AlreadyExists("identical region already present");
+    }
+  }
+  const size_t index = regions_.size();
+  regions_.push_back(region);
+  const uint64_t first = BucketOf(region.base);
+  const uint64_t last = BucketOf(region.base + region.len - 1);
+  for (uint64_t bucket = first;; ++bucket) {
+    buckets_[bucket].push_back(index);
+    if (bucket == last) break;
+  }
+  return OkStatus();
+}
+
+Status LshBucketStore::Remove(uint64_t base) {
+  auto pos = std::find_if(regions_.begin(), regions_.end(),
+                          [&](const Region& r) { return r.base == base; });
+  if (pos == regions_.end()) return NotFound("no region with that base");
+  const size_t removed = static_cast<size_t>(pos - regions_.begin());
+  regions_.erase(pos);
+  // Rebuild bucket index (indices shifted); removal is rare and cheap at
+  // policy scale.
+  buckets_.clear();
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    const Region& region = regions_[i];
+    const uint64_t first = BucketOf(region.base);
+    const uint64_t last = BucketOf(region.base + region.len - 1);
+    for (uint64_t bucket = first;; ++bucket) {
+      buckets_[bucket].push_back(i);
+      if (bucket == last) break;
+    }
+  }
+  (void)removed;
+  return OkStatus();
+}
+
+void LshBucketStore::Clear() {
+  regions_.clear();
+  buckets_.clear();
+}
+
+std::optional<uint32_t> LshBucketStore::Lookup(uint64_t addr,
+                                               uint64_t size) const {
+  ++stats_.lookups;
+  auto it = buckets_.find(BucketOf(addr));
+  if (it == buckets_.end()) return std::nullopt;
+  // First match in insertion order within the closest bucket. A region
+  // containing addr necessarily overlaps addr's bucket, so the bucket
+  // list is a complete candidate set.
+  size_t best = SIZE_MAX;
+  for (size_t index : it->second) {
+    ++stats_.entries_scanned;
+    if (regions_[index].Contains(addr, size)) {
+      best = std::min(best, index);
+    }
+  }
+  if (best == SIZE_MAX) return std::nullopt;
+  return regions_[best].prot;
+}
+
+std::vector<Region> LshBucketStore::Snapshot() const { return regions_; }
+
+}  // namespace kop::policy

@@ -1,0 +1,139 @@
+#include "kop/policy/policy_module.hpp"
+
+#include "kop/policy/region_table.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::policy {
+
+PolicyModule::PolicyModule(kernel::Kernel* kernel) : kernel_(kernel) {}
+
+Result<std::unique_ptr<PolicyModule>> PolicyModule::Insert(
+    kernel::Kernel* kernel, std::unique_ptr<PolicyStore> store,
+    PolicyMode mode) {
+  if (store == nullptr) store = std::make_unique<RegionTable64>();
+  auto module = std::unique_ptr<PolicyModule>(new PolicyModule(kernel));
+  module->engine_ =
+      std::make_unique<PolicyEngine>(kernel, std::move(store), mode);
+
+  PolicyEngine* engine = module->engine_.get();
+  KOP_RETURN_IF_ERROR(kernel->symbols().ExportFunction(
+      kCaratGuardSymbol,
+      [engine](const std::vector<uint64_t>& args) -> uint64_t {
+        // void carat_guard(void* addr, size_t size, int access_flags)
+        const uint64_t addr = args.size() > 0 ? args[0] : 0;
+        const uint64_t size = args.size() > 1 ? args[1] : 0;
+        const uint64_t flags = args.size() > 2 ? args[2] : 0;
+        return engine->Guard(addr, size, flags) ? 1 : 0;
+      }));
+  KOP_RETURN_IF_ERROR(kernel->symbols().ExportFunction(
+      kCaratIntrinsicGuardSymbol,
+      [engine](const std::vector<uint64_t>& args) -> uint64_t {
+        return engine->IntrinsicGuard(args.empty() ? 0 : args[0]) ? 1 : 0;
+      }));
+
+  PolicyModule* raw = module.get();
+  KOP_RETURN_IF_ERROR(kernel->devices().Register(
+      kCaratDevicePath,
+      [raw](uint32_t cmd, std::vector<uint8_t>& arg) {
+        return raw->HandleIoctl(cmd, arg);
+      }));
+
+  module->installed_ = true;
+  kernel->log().Printk(kernel::KernLevel::kInfo,
+                       "carat_kop: policy module loaded (%s, %s)",
+                       std::string(engine->store().name()).c_str(),
+                       mode == PolicyMode::kDefaultDeny ? "default-deny"
+                                                        : "default-allow");
+  return module;
+}
+
+PolicyModule::~PolicyModule() {
+  if (!installed_) return;
+  (void)kernel_->symbols().Unexport(kCaratGuardSymbol);
+  (void)kernel_->symbols().Unexport(kCaratIntrinsicGuardSymbol);
+  (void)kernel_->devices().Unregister(kCaratDevicePath);
+}
+
+Status PolicyModule::HandleIoctl(uint32_t cmd, std::vector<uint8_t>& arg) {
+  switch (cmd) {
+    case KOP_IOCTL_ADD_REGION: {
+      CaratRegionArg request;
+      if (!UnpackArg(arg, &request)) return InvalidArgument("short arg");
+      return engine_->store().Add(
+          Region{request.base, request.len, request.prot});
+    }
+    case KOP_IOCTL_REMOVE_REGION: {
+      CaratRegionArg request;
+      if (!UnpackArg(arg, &request)) return InvalidArgument("short arg");
+      return engine_->store().Remove(request.base);
+    }
+    case KOP_IOCTL_CLEAR_REGIONS:
+      engine_->store().Clear();
+      return OkStatus();
+    case KOP_IOCTL_SET_MODE: {
+      CaratModeArg request;
+      if (!UnpackArg(arg, &request)) return InvalidArgument("short arg");
+      engine_->SetMode(request.default_allow != 0 ? PolicyMode::kDefaultAllow
+                                                  : PolicyMode::kDefaultDeny);
+      return OkStatus();
+    }
+    case KOP_IOCTL_GET_STATS: {
+      const GuardStats& stats = engine_->stats();
+      CaratStatsArg reply;
+      reply.guard_calls = stats.guard_calls;
+      reply.allowed = stats.allowed;
+      reply.denied = stats.denied;
+      reply.intrinsic_calls = stats.intrinsic_calls;
+      reply.intrinsic_denied = stats.intrinsic_denied;
+      arg = PackArg(reply);
+      return OkStatus();
+    }
+    case KOP_IOCTL_COUNT_REGIONS: {
+      CaratCountArg reply{engine_->store().Size()};
+      arg = PackArg(reply);
+      return OkStatus();
+    }
+    case KOP_IOCTL_LIST_REGIONS: {
+      CaratListArg reply;
+      const std::vector<Region> regions = engine_->store().Snapshot();
+      for (const Region& region : regions) {
+        if (reply.count == CaratListArg::kMax) break;
+        reply.regions[reply.count++] =
+            CaratRegionArg{region.base, region.len, region.prot, 0};
+      }
+      arg = PackArg(reply);
+      return OkStatus();
+    }
+    case KOP_IOCTL_ALLOW_INTRINSIC: {
+      CaratIntrinsicArg request;
+      if (!UnpackArg(arg, &request)) return InvalidArgument("short arg");
+      engine_->AllowIntrinsic(request.intrinsic_id);
+      return OkStatus();
+    }
+    case KOP_IOCTL_DENY_INTRINSIC: {
+      CaratIntrinsicArg request;
+      if (!UnpackArg(arg, &request)) return InvalidArgument("short arg");
+      engine_->DenyIntrinsic(request.intrinsic_id);
+      return OkStatus();
+    }
+    case KOP_IOCTL_GET_VIOLATIONS: {
+      CaratViolationsArg reply;
+      for (const ViolationRecord& record : engine_->RecentViolations()) {
+        if (reply.count == CaratViolationsArg::kMax) break;
+        reply.records[reply.count++] =
+            CaratViolationArg{record.addr, record.size, record.access_flags,
+                              record.sequence,
+                              record.intrinsic ? 1u : 0u, 0};
+      }
+      arg = PackArg(reply);
+      return OkStatus();
+    }
+    case KOP_IOCTL_RESET_STATS:
+      engine_->ResetStats();
+      return OkStatus();
+    default:
+      return InvalidArgument("unknown carat ioctl 0x" + std::to_string(cmd));
+  }
+}
+
+}  // namespace kop::policy

@@ -1,0 +1,47 @@
+#include "kop/policy/rbtree_store.hpp"
+
+namespace kop::policy {
+
+Status RbTreeRegionStore::Add(const Region& region) {
+  if (region.len == 0) return InvalidArgument("empty region");
+  if (region.base + region.len < region.base) {
+    return InvalidArgument("region wraps the address space");
+  }
+  auto next = regions_.lower_bound(region.base);
+  if (next != regions_.end() && next->second.Overlaps(region)) {
+    return InvalidArgument("overlapping region not representable: " +
+                           next->second.ToString());
+  }
+  if (next != regions_.begin() &&
+      std::prev(next)->second.Overlaps(region)) {
+    return InvalidArgument("overlapping region not representable: " +
+                           std::prev(next)->second.ToString());
+  }
+  regions_.emplace(region.base, region);
+  return OkStatus();
+}
+
+Status RbTreeRegionStore::Remove(uint64_t base) {
+  if (regions_.erase(base) == 0) return NotFound("no region with that base");
+  return OkStatus();
+}
+
+std::optional<uint32_t> RbTreeRegionStore::Lookup(uint64_t addr,
+                                                  uint64_t size) const {
+  ++stats_.lookups;
+  auto next = regions_.upper_bound(addr);
+  if (next == regions_.begin()) return std::nullopt;
+  const Region& candidate = std::prev(next)->second;
+  ++stats_.entries_scanned;
+  if (candidate.Contains(addr, size)) return candidate.prot;
+  return std::nullopt;
+}
+
+std::vector<Region> RbTreeRegionStore::Snapshot() const {
+  std::vector<Region> out;
+  out.reserve(regions_.size());
+  for (const auto& [base, region] : regions_) out.push_back(region);
+  return out;
+}
+
+}  // namespace kop::policy

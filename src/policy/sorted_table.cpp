@@ -1,0 +1,61 @@
+#include "kop/policy/sorted_table.hpp"
+
+#include <algorithm>
+
+namespace kop::policy {
+
+Status SortedRegionTable::Add(const Region& region) {
+  if (region.len == 0) return InvalidArgument("empty region");
+  if (region.base + region.len < region.base) {
+    return InvalidArgument("region wraps the address space");
+  }
+  auto pos = std::lower_bound(
+      regions_.begin(), regions_.end(), region.base,
+      [](const Region& r, uint64_t base) { return r.base < base; });
+  // The sorted table cannot maintain overlapped regions (the paper's
+  // stated tradeoff for the fancier structures).
+  if (pos != regions_.end() && pos->Overlaps(region)) {
+    return InvalidArgument("overlapping region not representable: " +
+                           pos->ToString());
+  }
+  if (pos != regions_.begin() && std::prev(pos)->Overlaps(region)) {
+    return InvalidArgument("overlapping region not representable: " +
+                           std::prev(pos)->ToString());
+  }
+  regions_.insert(pos, region);
+  return OkStatus();
+}
+
+Status SortedRegionTable::Remove(uint64_t base) {
+  auto pos = std::lower_bound(
+      regions_.begin(), regions_.end(), base,
+      [](const Region& r, uint64_t b) { return r.base < b; });
+  if (pos == regions_.end() || pos->base != base) {
+    return NotFound("no region with that base");
+  }
+  regions_.erase(pos);
+  return OkStatus();
+}
+
+std::optional<uint32_t> SortedRegionTable::Lookup(uint64_t addr,
+                                                  uint64_t size) const {
+  ++stats_.lookups;
+  // Binary search for the last region with base <= addr.
+  size_t lo = 0;
+  size_t hi = regions_.size();
+  while (lo < hi) {
+    ++stats_.entries_scanned;
+    const size_t mid = lo + (hi - lo) / 2;
+    if (regions_[mid].base <= addr) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return std::nullopt;
+  const Region& candidate = regions_[lo - 1];
+  if (candidate.Contains(addr, size)) return candidate.prot;
+  return std::nullopt;
+}
+
+}  // namespace kop::policy

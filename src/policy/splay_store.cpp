@@ -1,0 +1,217 @@
+#include "kop/policy/splay_store.hpp"
+
+#include <vector>
+
+namespace kop::policy {
+
+SplayRegionTree::~SplayRegionTree() { DestroySubtree(root_); }
+
+void SplayRegionTree::DestroySubtree(Node* node) {
+  // Iterative to avoid deep recursion on degenerate shapes.
+  std::vector<Node*> stack;
+  if (node != nullptr) stack.push_back(node);
+  while (!stack.empty()) {
+    Node* cur = stack.back();
+    stack.pop_back();
+    if (cur->left != nullptr) stack.push_back(cur->left);
+    if (cur->right != nullptr) stack.push_back(cur->right);
+    delete cur;
+  }
+}
+
+void SplayRegionTree::Clear() {
+  DestroySubtree(root_);
+  root_ = nullptr;
+  size_ = 0;
+}
+
+void SplayRegionTree::RotateUp(Node* node) const {
+  Node* parent = node->parent;
+  Node* grandparent = parent->parent;
+  if (parent->left == node) {
+    parent->left = node->right;
+    if (node->right != nullptr) node->right->parent = parent;
+    node->right = parent;
+  } else {
+    parent->right = node->left;
+    if (node->left != nullptr) node->left->parent = parent;
+    node->left = parent;
+  }
+  parent->parent = node;
+  node->parent = grandparent;
+  if (grandparent != nullptr) {
+    if (grandparent->left == parent) {
+      grandparent->left = node;
+    } else {
+      grandparent->right = node;
+    }
+  } else {
+    root_ = node;
+  }
+}
+
+void SplayRegionTree::Splay(Node* node) const {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    Node* grandparent = parent->parent;
+    if (grandparent == nullptr) {
+      RotateUp(node);  // zig
+    } else if ((grandparent->left == parent) == (parent->left == node)) {
+      RotateUp(parent);  // zig-zig
+      RotateUp(node);
+    } else {
+      RotateUp(node);  // zig-zag
+      RotateUp(node);
+    }
+  }
+}
+
+SplayRegionTree::Node* SplayRegionTree::FindCandidate(uint64_t addr) const {
+  Node* node = root_;
+  Node* candidate = nullptr;
+  while (node != nullptr) {
+    ++stats_.entries_scanned;
+    if (node->region.base <= addr) {
+      candidate = node;
+      node = node->right;
+    } else {
+      node = node->left;
+    }
+  }
+  return candidate;
+}
+
+Status SplayRegionTree::Add(const Region& region) {
+  if (region.len == 0) return InvalidArgument("empty region");
+  if (region.base + region.len < region.base) {
+    return InvalidArgument("region wraps the address space");
+  }
+  // Overlap check against neighbours.
+  Node* below = FindCandidate(region.base);
+  if (below != nullptr && below->region.Overlaps(region)) {
+    return InvalidArgument("overlapping region not representable: " +
+                           below->region.ToString());
+  }
+  // Successor: smallest base > region.base.
+  Node* node = root_;
+  Node* above = nullptr;
+  while (node != nullptr) {
+    if (node->region.base > region.base) {
+      above = node;
+      node = node->left;
+    } else {
+      node = node->right;
+    }
+  }
+  if (above != nullptr && above->region.Overlaps(region)) {
+    return InvalidArgument("overlapping region not representable: " +
+                           above->region.ToString());
+  }
+  if (below != nullptr && below->region.base == region.base) {
+    return AlreadyExists("region with that base exists");
+  }
+
+  // Plain BST insert, then splay the new node.
+  auto* fresh = new Node{region, nullptr, nullptr, nullptr};
+  if (root_ == nullptr) {
+    root_ = fresh;
+  } else {
+    Node* cur = root_;
+    while (true) {
+      if (region.base < cur->region.base) {
+        if (cur->left == nullptr) {
+          cur->left = fresh;
+          fresh->parent = cur;
+          break;
+        }
+        cur = cur->left;
+      } else {
+        if (cur->right == nullptr) {
+          cur->right = fresh;
+          fresh->parent = cur;
+          break;
+        }
+        cur = cur->right;
+      }
+    }
+    Splay(fresh);
+  }
+  ++size_;
+  return OkStatus();
+}
+
+Status SplayRegionTree::Remove(uint64_t base) {
+  Node* candidate = FindCandidate(base);
+  if (candidate == nullptr || candidate->region.base != base) {
+    return NotFound("no region with that base");
+  }
+  Splay(candidate);
+  // Standard splay delete: join left and right subtrees.
+  Node* left = candidate->left;
+  Node* right = candidate->right;
+  if (left != nullptr) left->parent = nullptr;
+  if (right != nullptr) right->parent = nullptr;
+  delete candidate;
+  --size_;
+  if (left == nullptr) {
+    root_ = right;
+    return OkStatus();
+  }
+  // Splay the max of the left subtree to its root, then hang right off it.
+  Node* max = left;
+  while (max->right != nullptr) max = max->right;
+  root_ = left;
+  Splay(max);
+  max->right = right;
+  if (right != nullptr) right->parent = max;
+  root_ = max;
+  return OkStatus();
+}
+
+std::optional<uint32_t> SplayRegionTree::Lookup(uint64_t addr,
+                                                uint64_t size) const {
+  ++stats_.lookups;
+  Node* candidate = FindCandidate(addr);
+  if (candidate == nullptr) return std::nullopt;
+  // Splay even on misses-within-candidate: the access pattern shapes the
+  // tree either way.
+  Splay(candidate);
+  if (candidate->region.Contains(addr, size)) return candidate->region.prot;
+  return std::nullopt;
+}
+
+std::vector<Region> SplayRegionTree::Snapshot() const {
+  std::vector<Region> out;
+  out.reserve(size_);
+  // Iterative in-order walk.
+  std::vector<Node*> stack;
+  Node* node = root_;
+  while (node != nullptr || !stack.empty()) {
+    while (node != nullptr) {
+      stack.push_back(node);
+      node = node->left;
+    }
+    node = stack.back();
+    stack.pop_back();
+    out.push_back(node->region);
+    node = node->right;
+  }
+  return out;
+}
+
+size_t SplayRegionTree::ProbeDepth(uint64_t addr) const {
+  size_t depth = 0;
+  Node* node = root_;
+  while (node != nullptr) {
+    ++depth;
+    if (node->region.base <= addr) {
+      if (node->region.Contains(addr, 1)) return depth;
+      node = node->right;
+    } else {
+      node = node->left;
+    }
+  }
+  return depth;
+}
+
+}  // namespace kop::policy

@@ -1,0 +1,91 @@
+#include "kop/policy/wrappers.hpp"
+
+namespace kop::policy {
+
+Status SingleEntryCacheStore::Add(const Region& region) {
+  cache_valid_ = false;
+  return inner_->Add(region);
+}
+
+Status SingleEntryCacheStore::Remove(uint64_t base) {
+  cache_valid_ = false;
+  return inner_->Remove(base);
+}
+
+void SingleEntryCacheStore::Clear() {
+  cache_valid_ = false;
+  inner_->Clear();
+}
+
+std::optional<uint32_t> SingleEntryCacheStore::Lookup(uint64_t addr,
+                                                      uint64_t size) const {
+  ++stats_.lookups;
+  if (cache_valid_ && cached_.Contains(addr, size)) {
+    ++stats_.fast_path_hits;
+    return cached_.prot;
+  }
+  auto result = inner_->Lookup(addr, size);
+  if (result.has_value()) {
+    // Re-find the matching region to cache its bounds. Snapshot order for
+    // the linear table is table order, so the first container matches the
+    // inner first-match answer.
+    for (const Region& region : inner_->Snapshot()) {
+      if (region.Contains(addr, size)) {
+        cached_ = region;
+        cache_valid_ = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+void BloomFrontStore::InsertRegionPages(const Region& region) {
+  const uint64_t first = region.base >> kPageShift;
+  const uint64_t last = (region.base + region.len - 1) >> kPageShift;
+  for (uint64_t page = first;; ++page) {
+    filter_.Insert(page);
+    if (page == last) break;
+  }
+}
+
+Status BloomFrontStore::Add(const Region& region) {
+  KOP_RETURN_IF_ERROR(inner_->Add(region));
+  InsertRegionPages(region);
+  return OkStatus();
+}
+
+Status BloomFrontStore::Remove(uint64_t base) {
+  KOP_RETURN_IF_ERROR(inner_->Remove(base));
+  // Bloom filters cannot delete; rebuild from the survivors.
+  filter_.Clear();
+  for (const Region& region : inner_->Snapshot()) InsertRegionPages(region);
+  return OkStatus();
+}
+
+void BloomFrontStore::Clear() {
+  inner_->Clear();
+  filter_.Clear();
+}
+
+std::optional<uint32_t> BloomFrontStore::Lookup(uint64_t addr,
+                                                uint64_t size) const {
+  ++stats_.lookups;
+  const uint64_t first = addr >> kPageShift;
+  const uint64_t last = (addr + (size == 0 ? 1 : size) - 1) >> kPageShift;
+  bool any_maybe = false;
+  for (uint64_t page = first;; ++page) {
+    if (filter_.MaybeContains(page)) {
+      any_maybe = true;
+      break;
+    }
+    if (page == last) break;
+  }
+  if (!any_maybe) {
+    ++stats_.fast_path_hits;  // definitive miss, no inner walk
+    return std::nullopt;
+  }
+  return inner_->Lookup(addr, size);
+}
+
+}  // namespace kop::policy

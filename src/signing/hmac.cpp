@@ -1,0 +1,40 @@
+#include "kop/signing/hmac.hpp"
+
+#include <cstring>
+
+namespace kop::signing {
+
+Sha256Digest HmacSha256(std::string_view key, std::string_view message) {
+  uint8_t key_block[64] = {0};
+  if (key.size() > 64) {
+    const Sha256Digest hashed = Sha256::Hash(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[64];
+  uint8_t opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, sizeof(ipad));
+  inner.Update(message.data(), message.size());
+  const Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, sizeof(opad));
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+bool DigestEquals(const Sha256Digest& a, const Sha256Digest& b) {
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace kop::signing

@@ -1,0 +1,20 @@
+// HMAC-SHA-256 (RFC 2104). The CARAT KOP compiler holds a signing key
+// shared with the kernel's keyring (a MAC scheme stands in for the
+// paper's unspecified "cryptographic code signing"; the trust chain —
+// compiler certifies, kernel verifies at insmod — is identical).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "kop/signing/sha256.hpp"
+
+namespace kop::signing {
+
+/// Compute HMAC-SHA-256(key, message).
+Sha256Digest HmacSha256(std::string_view key, std::string_view message);
+
+/// Constant-time digest comparison (avoids signature-oracle timing).
+bool DigestEquals(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace kop::signing

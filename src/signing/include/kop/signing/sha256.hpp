@@ -1,0 +1,43 @@
+// From-scratch SHA-256 (FIPS 180-4). Used to fingerprint module images
+// and as the compression function under HMAC for module signing. No
+// external crypto dependency: the simulated toolchain is self-contained.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace kop::signing {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t size);
+  void Update(std::string_view text) { Update(text.data(), text.size()); }
+  Sha256Digest Finish();
+
+  /// One-shot convenience.
+  static Sha256Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t total_bytes_ = 0;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffered_ = 0;
+};
+
+/// Lowercase hex rendering of a digest.
+std::string DigestHex(const Sha256Digest& digest);
+
+/// Parse hex back to a digest; fails on malformed input.
+bool DigestFromHex(std::string_view hex, Sha256Digest* out);
+
+}  // namespace kop::signing

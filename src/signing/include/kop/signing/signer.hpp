@@ -1,0 +1,61 @@
+// Module signing and the .kko container. The compiler signs
+// (module text || attestation) with a key shared with the kernel's
+// keyring; insmod verifies the MAC, then independently re-validates the
+// attested properties (guard completeness, no inline asm) on the parsed
+// IR — trust, but verify.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kop/signing/sha256.hpp"
+#include "kop/transform/attestation.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::signing {
+
+/// A compiler signing identity.
+struct SigningKey {
+  std::string key_id;   // e.g. "carat-kop-ci-1"
+  std::string secret;   // raw key bytes
+
+  /// Deterministic test/demo key.
+  static SigningKey DevelopmentKey();
+};
+
+/// The signed module image — the analogue of a signed .ko.
+struct SignedModule {
+  std::string module_text;       // canonical KIR serialization
+  std::string attestation_text;  // AttestationRecord::Serialize()
+  std::string key_id;
+  Sha256Digest signature{};      // HMAC(key, module_text || attestation)
+
+  /// Container (de)serialization: a simple length-prefixed text format.
+  std::string Serialize() const;
+  static Result<SignedModule> Deserialize(const std::string& container);
+};
+
+/// Sign a compiled module.
+SignedModule SignModule(const std::string& module_text,
+                        const transform::AttestationRecord& attestation,
+                        const SigningKey& key);
+
+/// The kernel's set of trusted compiler keys.
+class Keyring {
+ public:
+  void Trust(const SigningKey& key);
+  void Revoke(const std::string& key_id);
+  bool Trusts(const std::string& key_id) const;
+
+  /// Verify a signed module's MAC against the trusted keys.
+  Status VerifySignature(const SignedModule& signed_module) const;
+
+ private:
+  std::vector<SigningKey> keys_;
+};
+
+/// The exact byte string covered by the signature.
+std::string SignaturePayload(const std::string& module_text,
+                             const std::string& attestation_text);
+
+}  // namespace kop::signing

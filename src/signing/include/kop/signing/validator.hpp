@@ -1,0 +1,30 @@
+// Load-time validation (kernel side). insmod accepts a module only when:
+//   1. the container parses,
+//   2. the signature verifies against the kernel keyring,
+//   3. the attestation record matches the module it accompanies,
+//   4. the IR parses and verifies, and
+//   5. the attested properties hold when re-checked independently:
+//      no inline assembly, and every load/store guard-preceded (unless
+//      the attestation declares optimized guards — then the compiler's
+//      certification is what the signature vouches for, as in the paper).
+#pragma once
+
+#include <memory>
+
+#include "kop/kir/module.hpp"
+#include "kop/signing/signer.hpp"
+#include "kop/transform/attestation.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::signing {
+
+struct ValidatedModule {
+  std::unique_ptr<kir::Module> module;
+  transform::AttestationRecord attestation;
+};
+
+/// Run the full insmod-time validation pipeline.
+Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
+                                             const Keyring& keyring);
+
+}  // namespace kop::signing

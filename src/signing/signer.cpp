@@ -1,0 +1,133 @@
+#include "kop/signing/signer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "kop/signing/hmac.hpp"
+
+namespace kop::signing {
+
+SigningKey SigningKey::DevelopmentKey() {
+  return SigningKey{"carat-kop-dev-1",
+                    "carat-kop-development-signing-key-0123456789"};
+}
+
+std::string SignaturePayload(const std::string& module_text,
+                             const std::string& attestation_text) {
+  // Unambiguous framing: lengths first, then both byte strings.
+  std::ostringstream out;
+  out << module_text.size() << ':' << attestation_text.size() << ':'
+      << module_text << attestation_text;
+  return out.str();
+}
+
+SignedModule SignModule(const std::string& module_text,
+                        const transform::AttestationRecord& attestation,
+                        const SigningKey& key) {
+  SignedModule out;
+  out.module_text = module_text;
+  out.attestation_text = attestation.Serialize();
+  out.key_id = key.key_id;
+  out.signature = HmacSha256(
+      key.secret, SignaturePayload(out.module_text, out.attestation_text));
+  return out;
+}
+
+std::string SignedModule::Serialize() const {
+  std::ostringstream out;
+  out << "carat-kop-signed-module v1\n"
+      << "key_id: " << key_id << "\n"
+      << "signature: " << DigestHex(signature) << "\n"
+      << "attestation_bytes: " << attestation_text.size() << "\n"
+      << attestation_text
+      << "module_bytes: " << module_text.size() << "\n"
+      << module_text;
+  return out.str();
+}
+
+Result<SignedModule> SignedModule::Deserialize(const std::string& container) {
+  SignedModule out;
+  size_t pos = 0;
+  auto take_line = [&]() -> Result<std::string> {
+    const size_t end = container.find('\n', pos);
+    if (end == std::string::npos) {
+      return BadModule("signed module container truncated");
+    }
+    std::string line = container.substr(pos, end - pos);
+    pos = end + 1;
+    return line;
+  };
+  auto expect_prefix = [](const std::string& line,
+                          const std::string& prefix) -> Result<std::string> {
+    if (line.rfind(prefix, 0) != 0) {
+      return BadModule("signed module container: expected '" + prefix + "'");
+    }
+    return line.substr(prefix.size());
+  };
+
+  KOP_ASSIGN_OR_RETURN(std::string header, take_line());
+  if (header != "carat-kop-signed-module v1") {
+    return BadModule("signed module container: bad magic");
+  }
+  KOP_ASSIGN_OR_RETURN(std::string key_line, take_line());
+  KOP_ASSIGN_OR_RETURN(out.key_id, expect_prefix(key_line, "key_id: "));
+  KOP_ASSIGN_OR_RETURN(std::string sig_line, take_line());
+  KOP_ASSIGN_OR_RETURN(std::string sig_hex,
+                       expect_prefix(sig_line, "signature: "));
+  if (!DigestFromHex(sig_hex, &out.signature)) {
+    return BadModule("signed module container: malformed signature");
+  }
+  KOP_ASSIGN_OR_RETURN(std::string att_line, take_line());
+  KOP_ASSIGN_OR_RETURN(std::string att_size_text,
+                       expect_prefix(att_line, "attestation_bytes: "));
+  const size_t att_size = std::strtoull(att_size_text.c_str(), nullptr, 10);
+  if (pos + att_size > container.size()) {
+    return BadModule("signed module container: attestation truncated");
+  }
+  out.attestation_text = container.substr(pos, att_size);
+  pos += att_size;
+  KOP_ASSIGN_OR_RETURN(std::string mod_line, take_line());
+  KOP_ASSIGN_OR_RETURN(std::string mod_size_text,
+                       expect_prefix(mod_line, "module_bytes: "));
+  const size_t mod_size = std::strtoull(mod_size_text.c_str(), nullptr, 10);
+  if (pos + mod_size > container.size()) {
+    return BadModule("signed module container: module text truncated");
+  }
+  out.module_text = container.substr(pos, mod_size);
+  return out;
+}
+
+void Keyring::Trust(const SigningKey& key) {
+  Revoke(key.key_id);
+  keys_.push_back(key);
+}
+
+void Keyring::Revoke(const std::string& key_id) {
+  keys_.erase(std::remove_if(keys_.begin(), keys_.end(),
+                             [&](const SigningKey& key) {
+                               return key.key_id == key_id;
+                             }),
+              keys_.end());
+}
+
+bool Keyring::Trusts(const std::string& key_id) const {
+  return std::any_of(keys_.begin(), keys_.end(), [&](const SigningKey& key) {
+    return key.key_id == key_id;
+  });
+}
+
+Status Keyring::VerifySignature(const SignedModule& signed_module) const {
+  for (const SigningKey& key : keys_) {
+    if (key.key_id != signed_module.key_id) continue;
+    const Sha256Digest expected = HmacSha256(
+        key.secret, SignaturePayload(signed_module.module_text,
+                                     signed_module.attestation_text));
+    if (DigestEquals(expected, signed_module.signature)) return OkStatus();
+    return PermissionDenied("module signature does not verify under key " +
+                            key.key_id);
+  }
+  return PermissionDenied("module signed with untrusted key '" +
+                          signed_module.key_id + "'");
+}
+
+}  // namespace kop::signing

@@ -1,0 +1,69 @@
+#include "kop/signing/validator.hpp"
+
+#include "kop/kir/parser.hpp"
+#include "kop/kir/verifier.hpp"
+
+namespace kop::signing {
+
+Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
+                                             const Keyring& keyring) {
+  // 2. Signature first: nothing unauthenticated gets parsed further than
+  //    the container framing.
+  KOP_RETURN_IF_ERROR(keyring.VerifySignature(signed_module));
+
+  // 3. Attestation record.
+  auto attestation =
+      transform::AttestationRecord::Deserialize(signed_module.attestation_text);
+  if (!attestation.ok()) return attestation.status();
+
+  if (!attestation->no_inline_asm) {
+    return BadModule("attestation admits inline assembly; refusing module '" +
+                     attestation->module_name + "'");
+  }
+  if (!attestation->guards_complete) {
+    return BadModule("attestation does not certify guard completeness for '" +
+                     attestation->module_name + "'");
+  }
+
+  // 4. Parse + verify the IR.
+  auto module = kir::ParseModule(signed_module.module_text);
+  if (!module.ok()) return module.status();
+  KOP_RETURN_IF_ERROR(kir::VerifyModule(**module));
+
+  if ((*module)->name() != attestation->module_name) {
+    return BadModule("attestation names module '" + attestation->module_name +
+                     "' but image is '" + (*module)->name() + "'");
+  }
+
+  // 5. Independent re-checks of the attested properties.
+  for (const auto& fn : (*module)->functions()) {
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kInlineAsm) {
+          return BadModule("validator found inline assembly in @" +
+                           fn->name() + " despite attestation");
+        }
+      }
+    }
+  }
+  // Strict guard-adjacency can be re-proven only for unoptimized guard
+  // placement; optimized modules carry the compiler's certification,
+  // which the (already verified) signature binds to this exact image.
+  if (transform::Attest(**module).guard_count != attestation->guard_count) {
+    return BadModule("guard count mismatch: image has different guards than "
+                     "the attestation certifies");
+  }
+  if (!attestation->guards_optimized &&
+      !transform::GuardsComplete(**module)) {
+    return BadModule(
+        "validator: unoptimized module has memory accesses without an "
+        "adjacent covering guard");
+  }
+
+  ValidatedModule out;
+  out.module = std::move(*module);
+  out.attestation = *attestation;
+  return out;
+}
+
+}  // namespace kop::signing

@@ -1,0 +1,89 @@
+// Machine cost models standing in for the paper's two testbeds:
+//   R415: dual 2.2 GHz AMD Opteron 4122 (old microarchitecture — weak
+//         branch prediction, small caches: guards are relatively costly).
+//   R350: 2.8 GHz Intel Xeon E-2378G (modern — guards almost free because
+//         the guard branch is perfectly predicted and the region table is
+//         cache resident).
+//
+// The model charges cycles for each simulated operation. It is calibrated
+// so the *shapes* of the paper's Figures 3-7 reproduce: who wins, by what
+// factor, and where the effect concentrates. See DESIGN.md §5 and
+// EXPERIMENTS.md for the calibration targets and rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kop::sim {
+
+struct MachineModel {
+  std::string name;
+  double freq_hz = 2.8e9;
+
+  // ---- sendmsg() interior costs (what Figure 7 measures) ----
+  /// Fixed syscall entry/exit + socket layer dispatch.
+  double syscall_cycles = 400.0;
+  /// Copying the payload from user space into the skb, per byte.
+  double copy_cycles_per_byte = 2.0;
+  /// Plain driver-side memory read/write (descriptor ring, adapter state).
+  double mem_read_cycles = 0.5;
+  double mem_write_cycles = 0.7;
+  /// MMIO register access (uncached, posted write / serialized read).
+  double mmio_read_cycles = 120.0;
+  double mmio_write_cycles = 60.0;
+  /// Hardware exception/trap entry+exit round trip (ring transition,
+  /// frame push/pop) — what FPVM-style trap delivery pays before any
+  /// handler code runs.
+  double trap_entry_cycles = 600.0;
+
+  // ---- guard costs (carat builds only) ----
+  /// Amortized dispatch cost of one carat_guard call (call + flag checks),
+  /// assuming warm caches and a predicted branch.
+  double guard_base_cycles = 0.09;
+  /// Per-region cost of the linear policy-table scan inside one guard.
+  double guard_per_region_cycles = 0.021;
+
+  // ---- costs outside sendmsg() (what Figures 3-6 additionally see) ----
+  /// Amortized inter-call overhead per packet: userspace loop, kernel
+  /// housekeeping, TX-complete interrupt handling, and the amortized share
+  /// of blocking waits when the socket send budget is exhausted. This is
+  /// why a ~700-cycle sendmsg sustains only ~110k packets/s in the paper.
+  double inter_call_cycles = 21000.0;
+
+  // ---- noise model ----
+  /// Per-trial multiplicative jitter (std-dev as a fraction): frequency
+  /// scaling, background daemons, cache state. Gives the CDF its width.
+  double trial_jitter_sigma = 0.07;
+  /// Per-packet lognormal sigma applied to the sendmsg interior.
+  double packet_noise_sigma = 0.08;
+  /// Probability that a packet hits the slow secondary path (cache-miss
+  /// refill on skb/descriptor structures) and its extra cost. Produces the
+  /// right-hand shoulder of the Figure 7 histogram.
+  double slowpath_prob = 0.22;
+  double slowpath_extra_cycles = 280.0;
+  /// Probability and cost of a ring-full deschedule outlier (>10M cycles
+  /// in the paper; excluded from the Figure 7 plot, included in medians).
+  double outlier_prob = 2e-5;
+  double outlier_cycles = 1.2e7;
+
+  // ---- short-frame path (Figure 6's small-packet concentration) ----
+  /// Frames shorter than this take the driver's pad/bounce path, in which
+  /// padding bytes are written (and guarded) one store at a time. Mirrors
+  /// e1000e's explicit short-frame padding.
+  uint32_t short_frame_cutoff = 128;
+  /// Guarded-store cost per padded byte on the carat build (a cold guard
+  /// per byte: this path is rare, so never predicted/cached well).
+  double pad_guard_cycles_per_byte = 8.0;
+
+  /// The paper's outdated AMD box.
+  static MachineModel R415();
+  /// The paper's current Intel box.
+  static MachineModel R350();
+
+  /// Effective cost of one guard invocation against an n-region policy.
+  double GuardCycles(uint32_t n_regions) const {
+    return guard_base_cycles + guard_per_region_cycles * n_regions;
+  }
+};
+
+}  // namespace kop::sim

@@ -1,0 +1,102 @@
+// Statistics used by the benchmark harness: summaries (min/mean/median/
+// percentiles), empirical CDFs (Figures 3-5), and fixed-width histograms
+// (Figure 7). All operate on double samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kop::sim {
+
+/// Streaming mean/variance (Welford) plus min/max.
+class Accumulator {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1); zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample set.
+struct Summary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Linear-interpolated quantile of an unsorted sample vector, q in [0,1].
+double Quantile(std::vector<double> samples, double q);
+
+/// Quantile of an already ascending-sorted vector (no copy).
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Build a Summary from samples.
+Summary Summarize(std::vector<double> samples);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double percentile = 0.0;  // in [0, 100]
+};
+
+/// Empirical CDF of the samples, downsampled to at most `max_points`
+/// evenly spaced percentile steps (enough to plot the paper's curves).
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> samples,
+                                   size_t max_points = 200);
+
+/// Fixed-width histogram over [lo, hi); samples outside are counted
+/// separately (the paper excludes >10M-cycle outliers from Figure 7's
+/// plot but keeps them in the medians).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t bins() const { return counts_.size(); }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  double bin_lo(size_t i) const { return lo_ + i * width_; }
+  double bin_hi(size_t i) const { return lo_ + (i + 1) * width_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+
+  /// Render rows "bin_lo,bin_hi,count" for the bench harness.
+  std::string ToCsv() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace kop::sim

@@ -1,0 +1,72 @@
+#include "kop/sim/machine.hpp"
+
+namespace kop::sim {
+
+// Calibration targets (paper §4.2):
+//  - R415 Fig 3: baseline median ~118k pps (range 105k-130k), carat median
+//    lower by ~1000 pps (<0.8%), 2 regions, 128 B packets.
+//  - R350 Fig 4: baseline median ~112k pps (range 90k-130k), carat delta
+//    <0.1% (almost unmeasurable).
+//  - R350 Fig 5: same guard count for n=2/16/64; worst median delta <1%.
+//  - R350 Fig 6: slowdown <=~1.025, concentrated below 128 B, ~1.00 above.
+//  - R350 Fig 7: sendmsg medians 686 (base) vs 694 (carat) cycles,
+//    histogram mass between ~500 and ~1200 cycles.
+//
+// The e1000e xmit hot path in this repository executes 17 guarded
+// accesses per 128 B packet, plus ~2.3 amortized from the periodic
+// descriptor-ring reclaim — ~19.3 total at steady state (measured by
+// tests/e1000e_test.cpp and the fig benches), so:
+//   R350 guard overhead n=2: ~19.3 * (0.35 + 2*0.03) ~= 8 cycles
+//     -> latency delta ~8 cycles (Fig 7: 694 vs 686), throughput delta
+//        ~0.03% (Fig 4, "almost unmeasurable")
+//   R350 n=16: ~19.3 * 0.83 ~= 16 cycles; n=64: ~19.3 * 2.27 ~= 44
+//     cycles -> ~0.18%, under the paper's <1% worst case (Fig 5)
+//   R415 n=2: ~19.3 * (6.8 + 2*0.2) ~= 139 cycles -> ~0.75% (Fig 3)
+//   64 B frames take the copybreak path: ~128 extra cold-path accesses
+//     at pad_guard_cycles_per_byte -> ~+2.3% on R350 (Fig 6's peak)
+
+MachineModel MachineModel::R415() {
+  MachineModel m;
+  m.name = "R415 (2.2 GHz AMD Opteron 4122)";
+  m.freq_hz = 2.2e9;
+  m.syscall_cycles = 520.0;
+  m.copy_cycles_per_byte = 2.4;
+  m.mem_read_cycles = 0.9;
+  m.mem_write_cycles = 1.1;
+  m.mmio_read_cycles = 160.0;
+  m.mmio_write_cycles = 90.0;
+  m.trap_entry_cycles = 950.0;
+  m.guard_base_cycles = 6.8;        // weak branch prediction, small L1
+  m.guard_per_region_cycles = 0.2;
+  m.inter_call_cycles = 17700.0;    // -> baseline ~118k pps
+  m.trial_jitter_sigma = 0.04;      // Fig 3 range 105k-130k
+  m.packet_noise_sigma = 0.10;
+  m.slowpath_prob = 0.25;
+  m.slowpath_extra_cycles = 380.0;
+  m.pad_guard_cycles_per_byte = 9.0;
+  return m;
+}
+
+MachineModel MachineModel::R350() {
+  MachineModel m;
+  m.name = "R350 (2.8 GHz Intel Xeon E-2378G)";
+  m.freq_hz = 2.8e9;
+  m.syscall_cycles = 340.0;
+  m.copy_cycles_per_byte = 2.0;
+  m.mem_read_cycles = 0.5;
+  m.mem_write_cycles = 0.7;
+  m.mmio_read_cycles = 120.0;
+  m.mmio_write_cycles = 60.0;
+  m.trap_entry_cycles = 600.0;
+  m.guard_base_cycles = 0.35;       // predicted branch, cache-resident table
+  m.guard_per_region_cycles = 0.03;
+  m.inter_call_cycles = 24100.0;    // -> baseline ~112k pps
+  m.trial_jitter_sigma = 0.07;      // Fig 4 range 90k-130k
+  m.packet_noise_sigma = 0.08;
+  m.slowpath_prob = 0.22;
+  m.slowpath_extra_cycles = 280.0;
+  m.pad_guard_cycles_per_byte = 4.0;
+  return m;
+}
+
+}  // namespace kop::sim

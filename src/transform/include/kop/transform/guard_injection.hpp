@@ -1,0 +1,34 @@
+// The CARAT KOP guard-injection transform (paper §3.3): iterate over
+// every load and store and insert a call to carat_guard(addr, size,
+// access_flags) immediately before it. Deliberately unoptimized — every
+// memory access gets a guard, even redundant ones — matching the paper's
+// engineering choice ("we do not optimize guards"; the whole transform is
+// ~200 lines of C++ there, and about that here).
+#pragma once
+
+#include <cstdint>
+
+#include "kop/transform/pass.hpp"
+
+namespace kop::transform {
+
+struct GuardInjectionStats {
+  uint64_t loads_guarded = 0;
+  uint64_t stores_guarded = 0;
+  uint64_t functions_transformed = 0;
+  uint64_t guards_inserted() const { return loads_guarded + stores_guarded; }
+};
+
+class GuardInjectionPass : public ModulePass {
+ public:
+  std::string_view name() const override { return "carat-kop-guard-inject"; }
+
+  Status Run(kir::Module& module) override;
+
+  const GuardInjectionStats& stats() const { return stats_; }
+
+ private:
+  GuardInjectionStats stats_;
+};
+
+}  // namespace kop::transform

@@ -1,0 +1,50 @@
+// CARAT-CAKE-style guard optimizations, built as *ablations*: the paper
+// deliberately ships without them (§3.3) and speculates they are
+// unnecessary for kernel modules. These passes let bench/abl2_guard_opt
+// quantify that choice.
+//
+// Both passes assume the policy is stable while the module runs (the same
+// assumption CARAT CAKE's hoisting makes); they only ever *remove* guards
+// that a covering guard provably dominates, so they can never cause a
+// spurious allow beyond that assumption and never a spurious panic.
+#pragma once
+
+#include <cstdint>
+
+#include "kop/transform/pass.hpp"
+
+namespace kop::transform {
+
+struct GuardOptStats {
+  uint64_t guards_removed = 0;
+  uint64_t guards_kept = 0;
+};
+
+/// Removes a guard when an identical guard (same pointer SSA value, size
+/// >= and flags superset) appears earlier in the same basic block with no
+/// intervening external call (which could change the policy).
+class GuardCoalescePass : public ModulePass {
+ public:
+  std::string_view name() const override { return "carat-guard-coalesce"; }
+  Status Run(kir::Module& module) override;
+  const GuardOptStats& stats() const { return stats_; }
+
+ private:
+  GuardOptStats stats_;
+};
+
+/// Removes a guard when an identical covering guard exists in a strictly
+/// dominating position (dominator-tree walk carrying available guards).
+/// Subsumes coalescing; closer to CARAT CAKE's NOELLE-based hoisting in
+/// effect, without speculation (guards are never moved, only deduped).
+class GuardDominationPass : public ModulePass {
+ public:
+  std::string_view name() const override { return "carat-guard-dominate"; }
+  Status Run(kir::Module& module) override;
+  const GuardOptStats& stats() const { return stats_; }
+
+ private:
+  GuardOptStats stats_;
+};
+
+}  // namespace kop::transform

@@ -1,0 +1,49 @@
+// Pass framework: the CARAT KOP "compiler" is a sequence of module passes
+// run by a PassManager over KIR, exactly as the paper's transform is an
+// LLVM middle-end pass invoked by a wrapper script around clang (§3.3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kop/kir/module.hpp"
+#include "kop/util/status.hpp"
+
+namespace kop::transform {
+
+class ModulePass {
+ public:
+  virtual ~ModulePass() = default;
+  virtual std::string_view name() const = 0;
+  virtual Status Run(kir::Module& module) = 0;
+};
+
+struct PassRunRecord {
+  std::string pass_name;
+  bool ok = false;
+  std::string error;
+};
+
+class PassManager {
+ public:
+  /// When true (default), VerifyModule runs after every pass; a pass that
+  /// breaks the IR fails the pipeline immediately.
+  explicit PassManager(bool verify_each = true) : verify_each_(verify_each) {}
+
+  void Add(std::unique_ptr<ModulePass> pass) {
+    passes_.push_back(std::move(pass));
+  }
+
+  /// Run all passes in order. Stops at the first failure.
+  Status Run(kir::Module& module);
+
+  const std::vector<PassRunRecord>& records() const { return records_; }
+
+ private:
+  bool verify_each_;
+  std::vector<std::unique_ptr<ModulePass>> passes_;
+  std::vector<PassRunRecord> records_;
+};
+
+}  // namespace kop::transform

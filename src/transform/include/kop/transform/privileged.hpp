@@ -1,0 +1,53 @@
+// §5 future-work extension, implemented: "Instrumentation and wrappers to
+// these builtins could be added during compilation, such that a guard is
+// injected and a different policy table could be consulted to determine
+// if a given kernel module has access to a privileged intrinsic."
+//
+// KIR models privileged operations as intrinsic calls ("kir.cli",
+// "kir.wrmsr", ...). This pass inserts a call to
+// carat_intrinsic_guard(intrinsic_id) before each one; the policy module
+// consults its intrinsic permission table and panics on a forbidden use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "kop/transform/pass.hpp"
+
+namespace kop::transform {
+
+/// Stable ids for the privileged intrinsics KIR knows about.
+enum class PrivilegedIntrinsic : uint64_t {
+  kCli = 1,     // disable interrupts
+  kSti = 2,     // enable interrupts
+  kRdmsr = 3,   // read model-specific register
+  kWrmsr = 4,   // write model-specific register
+  kInb = 5,     // port I/O read
+  kOutb = 6,    // port I/O write
+  kInvlpg = 7,  // TLB shootdown
+  kHlt = 8,     // halt
+};
+
+/// Map an intrinsic callee name ("kir.cli") to its id; nullopt when the
+/// callee is not a known privileged intrinsic.
+std::optional<PrivilegedIntrinsic> PrivilegedIntrinsicFromName(
+    std::string_view callee);
+
+std::string_view PrivilegedIntrinsicName(PrivilegedIntrinsic intrinsic);
+
+struct PrivilegedWrapStats {
+  uint64_t intrinsics_wrapped = 0;
+};
+
+class PrivilegedIntrinsicWrapPass : public ModulePass {
+ public:
+  std::string_view name() const override { return "carat-kop-priv-wrap"; }
+  Status Run(kir::Module& module) override;
+  const PrivilegedWrapStats& stats() const { return stats_; }
+
+ private:
+  PrivilegedWrapStats stats_;
+};
+
+}  // namespace kop::transform

@@ -1,0 +1,32 @@
+// SimplifyPass: constant folding, algebraic identities and dead-code
+// elimination. CARAT CAKE runs whole-program optimization over guarded
+// code before linking (§2); this is the KIR-scale equivalent, available
+// to the compiler driver so the ablations can measure guard behaviour on
+// optimized bodies. Never touches loads, stores, calls or control flow —
+// memory behaviour (and therefore guard behaviour) is preserved exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "kop/transform/pass.hpp"
+
+namespace kop::transform {
+
+struct SimplifyStats {
+  uint64_t constants_folded = 0;
+  uint64_t identities_applied = 0;
+  uint64_t dead_removed = 0;
+  uint64_t iterations = 0;
+};
+
+class SimplifyPass : public ModulePass {
+ public:
+  std::string_view name() const override { return "kir-simplify"; }
+  Status Run(kir::Module& module) override;
+  const SimplifyStats& stats() const { return stats_; }
+
+ private:
+  SimplifyStats stats_;
+};
+
+}  // namespace kop::transform

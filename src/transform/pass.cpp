@@ -1,0 +1,28 @@
+#include "kop/transform/pass.hpp"
+
+#include "kop/kir/verifier.hpp"
+
+namespace kop::transform {
+
+Status PassManager::Run(kir::Module& module) {
+  records_.clear();
+  for (auto& pass : passes_) {
+    PassRunRecord record;
+    record.pass_name = std::string(pass->name());
+    Status status = pass->Run(module);
+    if (status.ok() && verify_each_) {
+      Status verify = kir::VerifyModule(module);
+      if (!verify.ok()) {
+        status = Internal("pass '" + record.pass_name +
+                          "' produced invalid IR: " + verify.ToString());
+      }
+    }
+    record.ok = status.ok();
+    record.error = status.ok() ? "" : status.ToString();
+    records_.push_back(record);
+    if (!status.ok()) return status;
+  }
+  return OkStatus();
+}
+
+}  // namespace kop::transform

@@ -1,0 +1,68 @@
+#include "kop/transform/privileged.hpp"
+
+#include "kop/kir/builder.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::transform {
+
+std::optional<PrivilegedIntrinsic> PrivilegedIntrinsicFromName(
+    std::string_view callee) {
+  if (callee == "kir.cli") return PrivilegedIntrinsic::kCli;
+  if (callee == "kir.sti") return PrivilegedIntrinsic::kSti;
+  if (callee == "kir.rdmsr") return PrivilegedIntrinsic::kRdmsr;
+  if (callee == "kir.wrmsr") return PrivilegedIntrinsic::kWrmsr;
+  if (callee == "kir.inb") return PrivilegedIntrinsic::kInb;
+  if (callee == "kir.outb") return PrivilegedIntrinsic::kOutb;
+  if (callee == "kir.invlpg") return PrivilegedIntrinsic::kInvlpg;
+  if (callee == "kir.hlt") return PrivilegedIntrinsic::kHlt;
+  return std::nullopt;
+}
+
+std::string_view PrivilegedIntrinsicName(PrivilegedIntrinsic intrinsic) {
+  switch (intrinsic) {
+    case PrivilegedIntrinsic::kCli: return "kir.cli";
+    case PrivilegedIntrinsic::kSti: return "kir.sti";
+    case PrivilegedIntrinsic::kRdmsr: return "kir.rdmsr";
+    case PrivilegedIntrinsic::kWrmsr: return "kir.wrmsr";
+    case PrivilegedIntrinsic::kInb: return "kir.inb";
+    case PrivilegedIntrinsic::kOutb: return "kir.outb";
+    case PrivilegedIntrinsic::kInvlpg: return "kir.invlpg";
+    case PrivilegedIntrinsic::kHlt: return "kir.hlt";
+  }
+  return "?";
+}
+
+Status PrivilegedIntrinsicWrapPass::Run(kir::Module& module) {
+  stats_ = PrivilegedWrapStats();
+
+  kir::Function* guard = module.FindFunction(kCaratIntrinsicGuardSymbol);
+  if (guard == nullptr) {
+    guard = module.CreateFunction(kCaratIntrinsicGuardSymbol, kir::Type::kVoid,
+                                  {{kir::Type::kI64, "intrinsic_id"}},
+                                  /*is_external=*/true);
+  } else if (!guard->is_external() || guard->arg_count() != 1) {
+    return BadModule("module declares an incompatible @" +
+                     std::string(kCaratIntrinsicGuardSymbol));
+  }
+
+  kir::IRBuilder builder(&module);
+  for (const auto& fn : module.functions()) {
+    if (fn->is_external()) continue;
+    for (const auto& block : fn->blocks()) {
+      for (auto it = block->begin(); it != block->end(); ++it) {
+        const kir::Instruction* inst = it->get();
+        if (inst->opcode() != kir::Opcode::kCall) continue;
+        auto intrinsic = PrivilegedIntrinsicFromName(inst->callee());
+        if (!intrinsic) continue;
+        builder.SetInsertPoint(block.get(), it);
+        builder.CreateCall(
+            kCaratIntrinsicGuardSymbol, kir::Type::kVoid,
+            {builder.I64(static_cast<uint64_t>(*intrinsic))});
+        ++stats_.intrinsics_wrapped;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace kop::transform

@@ -1,0 +1,311 @@
+#include "kop/transform/simplify.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kop::transform {
+namespace {
+
+using kir::ClampToType;
+using kir::Constant;
+using kir::Instruction;
+using kir::Opcode;
+using kir::SignExtend;
+using kir::Type;
+using kir::Value;
+
+std::optional<uint64_t> FoldBinOp(Opcode op, Type type, uint64_t a,
+                                  uint64_t b) {
+  const unsigned bits = kir::BitWidth(type);
+  switch (op) {
+    case Opcode::kAdd: return ClampToType(a + b, type);
+    case Opcode::kSub: return ClampToType(a - b, type);
+    case Opcode::kMul: return ClampToType(a * b, type);
+    case Opcode::kAnd: return a & b;
+    case Opcode::kOr: return a | b;
+    case Opcode::kXor: return a ^ b;
+    case Opcode::kShl: return b >= bits ? 0 : ClampToType(a << b, type);
+    case Opcode::kLShr: return b >= bits ? 0 : ClampToType(a, type) >> b;
+    case Opcode::kAShr: {
+      const uint64_t shift = b >= bits ? bits - 1 : b;
+      return ClampToType(
+          static_cast<uint64_t>(SignExtend(a, type) >> shift), type);
+    }
+    // Division by a constant zero is a trap; leave it for the runtime.
+    case Opcode::kUDiv: return b == 0 ? std::nullopt
+                                      : std::make_optional(a / b);
+    case Opcode::kURem: return b == 0 ? std::nullopt
+                                      : std::make_optional(a % b);
+    case Opcode::kSDiv:
+      return b == 0 ? std::nullopt
+                    : std::make_optional(ClampToType(
+                          static_cast<uint64_t>(SignExtend(a, type) /
+                                                SignExtend(b, type)),
+                          type));
+    case Opcode::kSRem:
+      return b == 0 ? std::nullopt
+                    : std::make_optional(ClampToType(
+                          static_cast<uint64_t>(SignExtend(a, type) %
+                                                SignExtend(b, type)),
+                          type));
+    default: return std::nullopt;
+  }
+}
+
+bool FoldICmp(kir::ICmpPred pred, Type type, uint64_t a, uint64_t b) {
+  a = ClampToType(a, type);
+  b = ClampToType(b, type);
+  const int64_t sa = SignExtend(a, type);
+  const int64_t sb = SignExtend(b, type);
+  switch (pred) {
+    case kir::ICmpPred::kEq: return a == b;
+    case kir::ICmpPred::kNe: return a != b;
+    case kir::ICmpPred::kULt: return a < b;
+    case kir::ICmpPred::kULe: return a <= b;
+    case kir::ICmpPred::kUGt: return a > b;
+    case kir::ICmpPred::kUGe: return a >= b;
+    case kir::ICmpPred::kSLt: return sa < sb;
+    case kir::ICmpPred::kSLe: return sa <= sb;
+    case kir::ICmpPred::kSGt: return sa > sb;
+    case kir::ICmpPred::kSGe: return sa >= sb;
+  }
+  return false;
+}
+
+/// Has no side effects and produces a value: safe to delete when unused.
+/// Loads stay: removing one would remove a (guardable, faultable) memory
+/// access and change observable behaviour under CARAT KOP.
+bool IsDeletableWhenUnused(const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+    case Opcode::kUDiv: case Opcode::kSDiv: case Opcode::kURem:
+    case Opcode::kSRem: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kShl: case Opcode::kLShr:
+    case Opcode::kAShr: case Opcode::kICmp: case Opcode::kZExt:
+    case Opcode::kSExt: case Opcode::kTrunc: case Opcode::kPtrToInt:
+    case Opcode::kIntToPtr: case Opcode::kGep: case Opcode::kSelect:
+    case Opcode::kPhi:
+      return true;
+    // udiv/srem by constant zero would have been left unfolded; deleting
+    // an unused trapping division is still legal (no memory effect), but
+    // keep it conservative and let it execute.
+    default:
+      return false;
+  }
+}
+
+class FunctionSimplifier {
+ public:
+  FunctionSimplifier(kir::Module& module, kir::Function& fn,
+                     SimplifyStats& stats)
+      : module_(module), fn_(fn), stats_(stats) {}
+
+  bool RunOnce() {
+    bool changed = false;
+    changed |= FoldConstants();
+    changed |= RemoveDeadCode();
+    return changed;
+  }
+
+ private:
+  /// Replace every use of `from` with `to` across the function.
+  void ReplaceAllUses(Value* from, Value* to) {
+    for (auto& block : fn_.blocks()) {
+      for (auto& inst : *block) {
+        for (size_t i = 0; i < inst->operand_count(); ++i) {
+          if (inst->operand(i) == from) inst->SetOperand(i, to);
+        }
+      }
+    }
+  }
+
+  bool FoldConstants() {
+    bool changed = false;
+    for (auto& block : fn_.blocks()) {
+      for (auto it = block->begin(); it != block->end();) {
+        Instruction* inst = it->get();
+        Value* replacement = Fold(inst);
+        if (replacement != nullptr) {
+          ReplaceAllUses(inst, replacement);
+          it = block->Erase(it);
+          changed = true;
+          continue;
+        }
+        ++it;
+      }
+    }
+    return changed;
+  }
+
+  /// The folded replacement value, or nullptr when not foldable.
+  Value* Fold(Instruction* inst) {
+    auto constant_of = [&](size_t i) -> const Constant* {
+      return kir::dyn_cast<Constant>(inst->operand(i));
+    };
+    switch (inst->opcode()) {
+      case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+      case Opcode::kUDiv: case Opcode::kSDiv: case Opcode::kURem:
+      case Opcode::kSRem: case Opcode::kAnd: case Opcode::kOr:
+      case Opcode::kXor: case Opcode::kShl: case Opcode::kLShr:
+      case Opcode::kAShr: {
+        const Constant* lhs = constant_of(0);
+        const Constant* rhs = constant_of(1);
+        if (lhs != nullptr && rhs != nullptr) {
+          auto folded = FoldBinOp(inst->opcode(), inst->type(), lhs->bits(),
+                                  rhs->bits());
+          if (folded) {
+            ++stats_.constants_folded;
+            return module_.GetConstant(inst->type(), *folded);
+          }
+          return nullptr;
+        }
+        // Algebraic identities with one constant operand.
+        if (rhs != nullptr) {
+          const uint64_t b = rhs->bits();
+          if ((inst->opcode() == Opcode::kAdd ||
+               inst->opcode() == Opcode::kSub ||
+               inst->opcode() == Opcode::kOr ||
+               inst->opcode() == Opcode::kXor ||
+               inst->opcode() == Opcode::kShl ||
+               inst->opcode() == Opcode::kLShr ||
+               inst->opcode() == Opcode::kAShr) &&
+              b == 0) {
+            ++stats_.identities_applied;
+            return inst->operand(0);  // x op 0 == x
+          }
+          if (inst->opcode() == Opcode::kMul && b == 1) {
+            ++stats_.identities_applied;
+            return inst->operand(0);
+          }
+          if ((inst->opcode() == Opcode::kMul ||
+               inst->opcode() == Opcode::kAnd) &&
+              b == 0) {
+            ++stats_.identities_applied;
+            return module_.GetConstant(inst->type(), 0);  // x*0, x&0
+          }
+          if (inst->opcode() == Opcode::kUDiv && b == 1) {
+            ++stats_.identities_applied;
+            return inst->operand(0);
+          }
+        }
+        if (lhs != nullptr && lhs->bits() == 0 &&
+            (inst->opcode() == Opcode::kAdd ||
+             inst->opcode() == Opcode::kOr ||
+             inst->opcode() == Opcode::kXor)) {
+          ++stats_.identities_applied;
+          return inst->operand(1);  // 0 op x == x (commutative cases)
+        }
+        return nullptr;
+      }
+      case Opcode::kICmp: {
+        const Constant* lhs = constant_of(0);
+        const Constant* rhs = constant_of(1);
+        if (lhs != nullptr && rhs != nullptr) {
+          ++stats_.constants_folded;
+          return module_.GetConstant(
+              Type::kI1,
+              FoldICmp(inst->icmp_pred(), inst->operand(0)->type(),
+                       lhs->bits(), rhs->bits())
+                  ? 1
+                  : 0);
+        }
+        return nullptr;
+      }
+      case Opcode::kZExt:
+      case Opcode::kTrunc:
+      case Opcode::kPtrToInt:
+      case Opcode::kIntToPtr: {
+        const Constant* value = constant_of(0);
+        if (value != nullptr) {
+          ++stats_.constants_folded;
+          return module_.GetConstant(inst->type(), value->bits());
+        }
+        return nullptr;
+      }
+      case Opcode::kSExt: {
+        const Constant* value = constant_of(0);
+        if (value != nullptr) {
+          ++stats_.constants_folded;
+          return module_.GetConstant(
+              inst->type(),
+              static_cast<uint64_t>(
+                  SignExtend(value->bits(), inst->operand(0)->type())));
+        }
+        return nullptr;
+      }
+      case Opcode::kSelect: {
+        const Constant* cond = constant_of(0);
+        if (cond != nullptr) {
+          ++stats_.constants_folded;
+          return inst->operand(cond->bits() != 0 ? 1 : 2);
+        }
+        if (inst->operand(1) == inst->operand(2)) {
+          ++stats_.identities_applied;
+          return inst->operand(1);  // select c, x, x == x
+        }
+        return nullptr;
+      }
+      case Opcode::kPhi: {
+        // All incoming values identical -> that value.
+        Value* first = inst->operand(0);
+        for (size_t i = 1; i < inst->operand_count(); ++i) {
+          if (inst->operand(i) != first) return nullptr;
+        }
+        ++stats_.identities_applied;
+        return first;
+      }
+      default:
+        return nullptr;
+    }
+  }
+
+  bool RemoveDeadCode() {
+    // Collect used values, then erase unused pure instructions. Iterate
+    // within the caller's fixpoint loop so chains die one layer per pass.
+    std::unordered_set<const Value*> used;
+    for (const auto& block : fn_.blocks()) {
+      for (const auto& inst : *block) {
+        for (size_t i = 0; i < inst->operand_count(); ++i) {
+          used.insert(inst->operand(i));
+        }
+      }
+    }
+    bool changed = false;
+    for (auto& block : fn_.blocks()) {
+      for (auto it = block->begin(); it != block->end();) {
+        Instruction* inst = it->get();
+        if (!used.count(inst) && IsDeletableWhenUnused(*inst)) {
+          it = block->Erase(it);
+          ++stats_.dead_removed;
+          changed = true;
+          continue;
+        }
+        ++it;
+      }
+    }
+    return changed;
+  }
+
+  kir::Module& module_;
+  kir::Function& fn_;
+  SimplifyStats& stats_;
+};
+
+}  // namespace
+
+Status SimplifyPass::Run(kir::Module& module) {
+  stats_ = SimplifyStats();
+  for (const auto& fn : module.functions()) {
+    if (fn->is_external()) continue;
+    FunctionSimplifier simplifier(module, *fn, stats_);
+    // Fixpoint with a generous bound (chains fold one layer per pass).
+    for (int i = 0; i < 64; ++i) {
+      ++stats_.iterations;
+      if (!simplifier.RunOnce()) break;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace kop::transform

@@ -1,0 +1,35 @@
+#include "kop/util/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace kop {
+
+std::string Hexdump(const void* data, size_t size, uint64_t base_offset) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  std::string out;
+  char line[96];
+  for (size_t row = 0; row < size; row += 16) {
+    int pos = std::snprintf(line, sizeof(line), "%08llx: ",
+                            static_cast<unsigned long long>(base_offset + row));
+    for (size_t col = 0; col < 16; ++col) {
+      if (row + col < size) {
+        pos += std::snprintf(line + pos, sizeof(line) - pos, "%02x",
+                             bytes[row + col]);
+      } else {
+        pos += std::snprintf(line + pos, sizeof(line) - pos, "  ");
+      }
+      if (col % 2 == 1) line[pos++] = ' ';
+    }
+    line[pos++] = ' ';
+    for (size_t col = 0; col < 16 && row + col < size; ++col) {
+      const uint8_t byte = bytes[row + col];
+      line[pos++] = std::isprint(byte) ? static_cast<char>(byte) : '.';
+    }
+    line[pos++] = '\n';
+    out.append(line, pos);
+  }
+  return out;
+}
+
+}  // namespace kop

@@ -1,0 +1,63 @@
+// Bit and alignment helpers shared by the memory map, allocator, NIC
+// register file and descriptor ring code.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace kop {
+
+/// True when `value` is a power of two (zero is not).
+constexpr bool IsPowerOfTwo(uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Round `value` up to the next multiple of `alignment` (a power of two).
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+/// Round `value` down to a multiple of `alignment` (a power of two).
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  return value & ~(alignment - 1);
+}
+
+/// True when `value` is a multiple of `alignment` (a power of two).
+constexpr bool IsAligned(uint64_t value, uint64_t alignment) {
+  return (value & (alignment - 1)) == 0;
+}
+
+/// Extract bits [lo, hi] (inclusive) of `value`.
+constexpr uint64_t ExtractBits(uint64_t value, unsigned lo, unsigned hi) {
+  const uint64_t width = hi - lo + 1;
+  const uint64_t mask = width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  return (value >> lo) & mask;
+}
+
+/// Overflow-safe "does [base, base+size) contain [addr, addr+len)".
+/// Zero-length inner ranges are contained iff addr lies within the range.
+constexpr bool RangeContains(uint64_t base, uint64_t size, uint64_t addr,
+                             uint64_t len) {
+  if (addr < base) return false;
+  const uint64_t offset = addr - base;
+  if (offset > size) return false;
+  return len <= size - offset;
+}
+
+/// Overflow-safe "do [a, a+asize) and [b, b+bsize) intersect".
+constexpr bool RangesOverlap(uint64_t a, uint64_t asize, uint64_t b,
+                             uint64_t bsize) {
+  if (asize == 0 || bsize == 0) return false;
+  // a < b+bsize && b < a+asize, written without overflow.
+  if (a >= b) return a - b < bsize;
+  return b - a < asize;
+}
+
+/// Ceiling division for unsigned integers.
+template <typename T>
+constexpr T CeilDiv(T num, T den) {
+  static_assert(std::is_unsigned_v<T>);
+  return (num + den - 1) / den;
+}
+
+}  // namespace kop

@@ -1,0 +1,28 @@
+// The CARAT KOP guard ABI — the one contract shared by the compiler-side
+// transform and the runtime policy module (paper §3.1):
+//
+//   void carat_guard(void* addr, size_t size, int access_flags);
+//
+// The transform injects calls with these flag values; the policy module
+// interprets them. Nothing else crosses the boundary, which is what lets
+// one guard implementation be swapped for another without recompiling the
+// protected module.
+#pragma once
+
+#include <cstdint>
+
+namespace kop {
+
+/// Name of the guard symbol the policy module exports and protected
+/// modules import.
+inline constexpr const char* kCaratGuardSymbol = "carat_guard";
+
+/// Name of the privileged-intrinsic guard symbol (§5 extension).
+inline constexpr const char* kCaratIntrinsicGuardSymbol =
+    "carat_intrinsic_guard";
+
+/// access_flags bits.
+inline constexpr uint64_t kGuardAccessRead = 1u << 0;
+inline constexpr uint64_t kGuardAccessWrite = 1u << 1;
+
+}  // namespace kop

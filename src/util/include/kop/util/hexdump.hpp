@@ -1,0 +1,15 @@
+// Hexdump formatting for debugging packet payloads, descriptor rings and
+// module images — output format matches `xxd` (offset, 16 bytes, ASCII).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace kop {
+
+/// Format `size` bytes starting at `data` as a multi-line hexdump.
+/// `base_offset` is printed as the address of the first byte.
+std::string Hexdump(const void* data, size_t size, uint64_t base_offset = 0);
+
+}  // namespace kop

@@ -1,0 +1,55 @@
+// Host-side logging for the simulator itself (the simulated kernel's own
+// printk ring lives in kop::kernel). Severity-filtered, thread-safe,
+// redirectable to any std::ostream for test capture.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace kop {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+std::string_view LogLevelName(LogLevel level);
+
+/// Global minimum severity; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Redirect log output (default: stderr). Pass nullptr to restore stderr.
+/// The stream must outlive all logging calls made while installed.
+void SetLogStream(std::ostream* stream);
+
+namespace internal {
+void Emit(LogLevel level, std::string_view file, int line,
+          const std::string& message);
+
+/// RAII builder so call sites can stream: KOP_LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Emit(level_, file_, line_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define KOP_LOG(severity)                                               \
+  if (::kop::LogLevel::severity < ::kop::GetLogLevel()) {               \
+  } else                                                                \
+    ::kop::internal::LogLine(::kop::LogLevel::severity, __FILE__, __LINE__)
+
+}  // namespace kop

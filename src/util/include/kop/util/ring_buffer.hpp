@@ -1,0 +1,84 @@
+// Fixed-capacity ring buffer. Used for the printk log ring and as the
+// backing store for NIC packet sinks. Overwrites the oldest element when
+// full (kernel printk semantics) unless push_nodrop is used.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace kop {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : storage_(capacity) {
+    assert(capacity > 0);
+  }
+
+  size_t capacity() const { return storage_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == storage_.size(); }
+
+  /// Total number of elements ever pushed, including overwritten ones.
+  uint64_t total_pushed() const { return total_pushed_; }
+  /// Number of elements lost to overwrite.
+  uint64_t dropped() const { return total_pushed_ - size_ - popped_; }
+
+  /// Push, overwriting the oldest element when full (printk semantics).
+  void push(T value) {
+    storage_[(head_ + size_) % storage_.size()] = std::move(value);
+    if (full()) {
+      head_ = (head_ + 1) % storage_.size();
+    } else {
+      ++size_;
+    }
+    ++total_pushed_;
+  }
+
+  /// Push only if there is room; returns false (and drops) when full.
+  bool push_nodrop(T value) {
+    if (full()) return false;
+    push(std::move(value));
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T out = std::move(storage_[head_]);
+    head_ = (head_ + 1) % storage_.size();
+    --size_;
+    ++popped_;
+    return out;
+  }
+
+  /// Peek the i-th oldest element (0 = oldest) without removing it.
+  const T& at(size_t i) const {
+    assert(i < size_);
+    return storage_[(head_ + i) % storage_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copy contents oldest-first into a vector (for log dumps).
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<T> storage_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t total_pushed_ = 0;
+  uint64_t popped_ = 0;
+};
+
+}  // namespace kop

@@ -1,0 +1,40 @@
+// A test-and-test-and-set spinlock mirroring the kernel's spinlock_t usage
+// in the policy module and printk ring. BasicLockable, so it composes with
+// std::lock_guard / std::scoped_lock.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace kop {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Spin on a plain load to avoid cache-line ping-pong, yielding
+      // occasionally so single-core CI machines make progress.
+      unsigned spins = 0;
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins == 1024) {
+          spins = 0;
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace kop

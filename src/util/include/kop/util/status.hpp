@@ -1,0 +1,163 @@
+// Lightweight status / expected-value types used across the CARAT KOP
+// libraries. Kernel-style code paths (module loading, ioctl handling,
+// policy updates) report recoverable errors through these instead of
+// exceptions; exceptions are reserved for simulated kernel panics.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace kop {
+
+/// Error categories, loosely mirroring the errno values the real kernel
+/// module interface would return from init/ioctl paths.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // EINVAL
+  kNotFound,          // ENOENT
+  kAlreadyExists,     // EEXIST
+  kPermissionDenied,  // EACCES
+  kOutOfMemory,       // ENOMEM
+  kOutOfRange,        // EFAULT-ish: address outside the physical map
+  kNoSpace,           // ENOSPC: e.g. region table full
+  kBadModule,         // ENOEXEC: module failed validation
+  kBusy,              // EBUSY
+  kUnimplemented,     // ENOSYS
+  kInternal,          // anything that indicates a bug in the simulator
+};
+
+/// Human-readable name for an error code ("invalid_argument", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// A success-or-error result with a message. Cheap to copy on the success
+/// path (no allocation when ok).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status() / OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(ErrorCode::kPermissionDenied, std::move(msg));
+}
+inline Status OutOfMemory(std::string msg) {
+  return Status(ErrorCode::kOutOfMemory, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(ErrorCode::kOutOfRange, std::move(msg));
+}
+inline Status NoSpace(std::string msg) {
+  return Status(ErrorCode::kNoSpace, std::move(msg));
+}
+inline Status BadModule(std::string msg) {
+  return Status(ErrorCode::kBadModule, std::move(msg));
+}
+inline Status Busy(std::string msg) {
+  return Status(ErrorCode::kBusy, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(ErrorCode::kUnimplemented, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+/// Result<T>: either a value or a Status. Modeled after absl::StatusOr.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}         // NOLINT(implicit)
+  Result(Status status) : rep_(std::move(status)) {   // NOLINT(implicit)
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result<T> must not hold an OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate-on-error helpers, kernel-module-init style.
+#define KOP_RETURN_IF_ERROR(expr)               \
+  do {                                          \
+    ::kop::Status kop_status_ = (expr);         \
+    if (!kop_status_.ok()) return kop_status_;  \
+  } while (0)
+
+#define KOP_INTERNAL_CONCAT_(a, b) a##b
+#define KOP_INTERNAL_CONCAT(a, b) KOP_INTERNAL_CONCAT_(a, b)
+
+#define KOP_ASSIGN_OR_RETURN(lhs, expr) \
+  KOP_ASSIGN_OR_RETURN_IMPL(KOP_INTERNAL_CONCAT(kop_result_, __LINE__), lhs, \
+                            expr)
+
+#define KOP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace kop

@@ -1,0 +1,45 @@
+#include "kop/util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace kop {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<std::ostream*> g_stream{nullptr};
+std::mutex g_emit_mutex;
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogStream(std::ostream* stream) { g_stream.store(stream); }
+
+namespace internal {
+
+void Emit(LogLevel level, std::string_view file, int line,
+          const std::string& message) {
+  // Strip directories: log the basename like kernel log prefixes do.
+  size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) file = file.substr(slash + 1);
+
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::ostream& out = g_stream.load() ? *g_stream.load() : std::cerr;
+  out << '[' << LogLevelName(level) << "] " << file << ':' << line << ": "
+      << message << '\n';
+}
+
+}  // namespace internal
+}  // namespace kop

@@ -1,0 +1,33 @@
+#include "kop/util/status.hpp"
+
+namespace kop {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kOutOfMemory: return "out_of_memory";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kNoSpace: return "no_space";
+    case ErrorCode::kBadModule: return "bad_module";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kUnimplemented: return "unimplemented";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace kop

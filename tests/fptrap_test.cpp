@@ -1,0 +1,175 @@
+// kop::fptrap: trap delivery substrate + the FPVM-style handler module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "kop/fptrap/fpvm_module.hpp"
+#include "kop/fptrap/trap_controller.hpp"
+#include "kop/kernel/kernel.hpp"
+#include "kop/policy/policy_module.hpp"
+
+namespace kop::fptrap {
+namespace {
+
+uint64_t Bits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double FromBits(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+class FptrapTest : public ::testing::Test {
+ protected:
+  FptrapTest() : controller_(&kernel_) {
+    EXPECT_TRUE(controller_.Init().ok());
+    auto policy = policy::PolicyModule::Insert(
+        &kernel_, nullptr, policy::PolicyMode::kDefaultAllow);
+    EXPECT_TRUE(policy.ok());
+    policy_ = std::move(*policy);
+  }
+
+  kernel::Kernel kernel_;
+  TrapController controller_;
+  std::unique_ptr<policy::PolicyModule> policy_;
+};
+
+TEST_F(FptrapTest, UnhandledTrapFallsBackToSigfpe) {
+  auto result = controller_.DeliverTrap(0x401000, FpOp::kAdd, Bits(1.0),
+                                        Bits(2.0));
+  ASSERT_FALSE(result.ok());  // no handler registered
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(controller_.stats().unhandled, 1u);
+}
+
+TEST_F(FptrapTest, ModuleEmulatesArithmetic) {
+  auto module = BaselineFpvm::Probe(modrt::RawMemOps(&kernel_));
+  ASSERT_TRUE(module.ok());
+  controller_.SetHandler(
+      [&](uint64_t frame) { return module->HandleTrap(frame); });
+
+  struct Case {
+    FpOp op;
+    double a, b, expected;
+  };
+  const Case cases[] = {
+      {FpOp::kAdd, 1.5, 2.25, 3.75},
+      {FpOp::kSub, 10.0, 0.5, 9.5},
+      {FpOp::kMul, -3.0, 7.0, -21.0},
+      {FpOp::kDiv, 1.0, 8.0, 0.125},
+      {FpOp::kSqrt, 81.0, 0.0, 9.0},
+  };
+  for (const Case& c : cases) {
+    auto result =
+        controller_.DeliverTrap(0x401000, c.op, Bits(c.a), Bits(c.b));
+    ASSERT_TRUE(result.ok()) << static_cast<int>(c.op);
+    EXPECT_DOUBLE_EQ(FromBits(*result), c.expected);
+  }
+  auto counters = module->Counters();
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->traps_handled, 5u);
+  EXPECT_EQ(counters->adds, 1u);
+  EXPECT_EQ(counters->divs, 1u);
+}
+
+TEST_F(FptrapTest, SpecialValuesFlowThrough) {
+  auto module = BaselineFpvm::Probe(modrt::RawMemOps(&kernel_));
+  ASSERT_TRUE(module.ok());
+  controller_.SetHandler(
+      [&](uint64_t frame) { return module->HandleTrap(frame); });
+
+  // Division by zero -> inf; 0/0 -> NaN; denormal survives.
+  auto inf = controller_.DeliverTrap(0, FpOp::kDiv, Bits(1.0), Bits(0.0));
+  ASSERT_TRUE(inf.ok());
+  EXPECT_TRUE(std::isinf(FromBits(*inf)));
+  auto nan = controller_.DeliverTrap(0, FpOp::kDiv, Bits(0.0), Bits(0.0));
+  ASSERT_TRUE(nan.ok());
+  EXPECT_TRUE(std::isnan(FromBits(*nan)));
+  const double denormal = 5e-324;
+  auto tiny = controller_.DeliverTrap(0, FpOp::kMul, Bits(denormal),
+                                      Bits(1.0));
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(FromBits(*tiny), denormal);
+}
+
+TEST_F(FptrapTest, GuardedBuildCountsGuardsExactly) {
+  auto module = CaratFpvm::Probe(
+      modrt::GuardedMemOps(&kernel_, &policy_->engine()));
+  ASSERT_TRUE(module.ok());
+  controller_.SetHandler(
+      [&](uint64_t frame) { return module->HandleTrap(frame); });
+  policy_->engine().ResetStats();
+  ASSERT_TRUE(
+      controller_.DeliverTrap(0, FpOp::kMul, Bits(2.0), Bits(3.0)).ok());
+  // 3 frame loads + 2 frame stores + counter load/store = 7 guards (mul
+  // touches neither the add nor div counter).
+  EXPECT_EQ(policy_->engine().stats().guard_calls, 7u);
+  EXPECT_EQ(policy_->engine().stats().denied, 0u);
+}
+
+TEST_F(FptrapTest, GuardedAndBaselineAgreeBitExactly) {
+  auto baseline = BaselineFpvm::Probe(modrt::RawMemOps(&kernel_));
+  auto carat = CaratFpvm::Probe(
+      modrt::GuardedMemOps(&kernel_, &policy_->engine()));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(carat.ok());
+  for (double a : {0.0, 1.0, -1.5, 1e300, 5e-324}) {
+    for (double b : {0.5, -2.0, 3.141592653589793}) {
+      controller_.SetHandler(
+          [&](uint64_t frame) { return baseline->HandleTrap(frame); });
+      auto base_result =
+          controller_.DeliverTrap(0, FpOp::kDiv, Bits(a), Bits(b));
+      controller_.SetHandler(
+          [&](uint64_t frame) { return carat->HandleTrap(frame); });
+      auto carat_result =
+          controller_.DeliverTrap(0, FpOp::kDiv, Bits(a), Bits(b));
+      ASSERT_TRUE(base_result.ok());
+      ASSERT_TRUE(carat_result.ok());
+      EXPECT_EQ(*base_result, *carat_result) << a << "/" << b;
+    }
+  }
+}
+
+TEST_F(FptrapTest, PolicyBlocksTrapFrameAccess) {
+  auto module = CaratFpvm::Probe(
+      modrt::GuardedMemOps(&kernel_, &policy_->engine()));
+  ASSERT_TRUE(module.ok());
+  controller_.SetHandler(
+      [&](uint64_t frame) { return module->HandleTrap(frame); });
+  // An operator mistake: the policy denies the module the trap-frame
+  // page. The very first frame load panics; the core kernel's own frame
+  // staging (unguarded) was unaffected.
+  ASSERT_TRUE(policy_->engine()
+                  .store()
+                  .Add(policy::Region{controller_.frame_addr(),
+                                      frame::kSize, policy::kProtNone})
+                  .ok());
+  EXPECT_THROW(
+      (void)controller_.DeliverTrap(0, FpOp::kAdd, Bits(1.0), Bits(2.0)),
+      kernel::KernelPanic);
+  EXPECT_TRUE(kernel_.log().Contains("forbidden read access"));
+}
+
+TEST_F(FptrapTest, ThroughputOfTrapStorm) {
+  auto module = BaselineFpvm::Probe(modrt::RawMemOps(&kernel_));
+  ASSERT_TRUE(module.ok());
+  controller_.SetHandler(
+      [&](uint64_t frame) { return module->HandleTrap(frame); });
+  double acc = 1.0;
+  for (int i = 0; i < 10000; ++i) {
+    auto result = controller_.DeliverTrap(0x400000 + i, FpOp::kAdd,
+                                          Bits(acc), Bits(0.25));
+    ASSERT_TRUE(result.ok());
+    acc = FromBits(*result);
+  }
+  EXPECT_DOUBLE_EQ(acc, 1.0 + 0.25 * 10000);
+  EXPECT_EQ(controller_.stats().handled, 10000u);
+}
+
+}  // namespace
+}  // namespace kop::fptrap

@@ -1,0 +1,217 @@
+// kop::hpet: the timer device's register/comparator semantics and the
+// heartbeat module in both builds.
+#include <gtest/gtest.h>
+
+#include "kop/hpet/heartbeat.hpp"
+#include "kop/hpet/timer_device.hpp"
+#include "kop/kernel/kernel.hpp"
+#include "kop/policy/policy_module.hpp"
+
+namespace kop::hpet {
+namespace {
+
+constexpr uint64_t kMmio = kernel::kVmallocBase + 0x100000;
+
+// ---------------------------------------------------------- device --
+
+class TimerDeviceTest : public ::testing::Test {
+ protected:
+  TimerDeviceTest() {
+    EXPECT_TRUE(mem_.MapRam("ram", 0x1000, 0x1000).ok());
+    EXPECT_TRUE(timer_.MapAt(&mem_, kMmio).ok());
+  }
+
+  uint64_t Read(uint64_t reg, uint32_t size = 4) {
+    uint64_t value = 0;
+    EXPECT_TRUE(mem_.Read(kMmio + reg, &value, size).ok());
+    return value;
+  }
+  void Write(uint64_t reg, uint64_t value, uint32_t size = 4) {
+    EXPECT_TRUE(mem_.Write(kMmio + reg, &value, size).ok());
+  }
+
+  kernel::AddressSpace mem_;
+  TimerDevice timer_;
+};
+
+TEST_F(TimerDeviceTest, CapabilityAndDisabledCounter) {
+  EXPECT_EQ(Read(REG_CAP), kCounterPeriodFs);
+  timer_.Tick(100);  // not enabled: nothing moves
+  EXPECT_EQ(Read(REG_COUNTER, 8), 0u);
+}
+
+TEST_F(TimerDeviceTest, CounterAdvancesWhenEnabled) {
+  Write(REG_CONFIG, CONFIG_ENABLE);
+  timer_.Tick(123);
+  EXPECT_EQ(Read(REG_COUNTER, 8), 123u);
+  timer_.Tick(7);
+  EXPECT_EQ(Read(REG_COUNTER, 8), 130u);
+}
+
+TEST_F(TimerDeviceTest, OneShotComparatorFiresOnce) {
+  int fired = 0;
+  timer_.SetIsr([&] { ++fired; });
+  Write(REG_T0_CONFIG, T0_INT_ENB);
+  Write(REG_T0_CMP, 50, 8);
+  Write(REG_CONFIG, CONFIG_ENABLE);
+  timer_.Tick(49);
+  EXPECT_EQ(fired, 0);
+  timer_.Tick(1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(timer_.interrupt_pending());
+  timer_.Tick(1000);
+  EXPECT_EQ(fired, 1);  // one-shot
+  // Acknowledge via write-1-to-clear.
+  Write(REG_ISR, ISR_T0);
+  EXPECT_FALSE(timer_.interrupt_pending());
+}
+
+TEST_F(TimerDeviceTest, PeriodicComparatorRefires) {
+  int fired = 0;
+  timer_.SetIsr([&] { ++fired; });
+  Write(REG_T0_CONFIG, T0_INT_ENB | T0_PERIODIC);
+  Write(REG_T0_CMP, 100, 8);  // latches period 100
+  Write(REG_CONFIG, CONFIG_ENABLE);
+  timer_.Tick(1000);
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(Read(REG_T0_CMP, 8), 1100u);  // re-armed past the counter
+  timer_.Tick(250);
+  EXPECT_EQ(fired, 12);
+}
+
+TEST_F(TimerDeviceTest, BatchTickCrossingsAreExact) {
+  // A single large Tick must deliver every crossing in order.
+  std::vector<uint64_t> fire_counters;
+  timer_.SetIsr([&] { fire_counters.push_back(timer_.counter()); });
+  Write(REG_T0_CONFIG, T0_INT_ENB | T0_PERIODIC);
+  Write(REG_T0_CMP, 10, 8);
+  Write(REG_CONFIG, CONFIG_ENABLE);
+  timer_.Tick(35);
+  ASSERT_EQ(fire_counters.size(), 3u);
+  EXPECT_EQ(fire_counters[0], 10u);
+  EXPECT_EQ(fire_counters[1], 20u);
+  EXPECT_EQ(fire_counters[2], 30u);
+  EXPECT_EQ(timer_.counter(), 35u);
+}
+
+TEST_F(TimerDeviceTest, SuppressedInterruptsAreCounted) {
+  Write(REG_T0_CONFIG, T0_PERIODIC);  // no INT_ENB
+  Write(REG_T0_CMP, 10, 8);
+  Write(REG_CONFIG, CONFIG_ENABLE);
+  timer_.Tick(100);
+  EXPECT_EQ(timer_.stats().interrupts_raised, 0u);
+  EXPECT_EQ(timer_.stats().interrupts_suppressed, 10u);
+  EXPECT_FALSE(timer_.interrupt_pending());
+}
+
+// -------------------------------------------------------- heartbeat --
+
+class HeartbeatTest : public ::testing::Test {
+ protected:
+  HeartbeatTest() {
+    EXPECT_TRUE(timer_.MapAt(&kernel_.mem(), kMmio).ok());
+    auto policy = policy::PolicyModule::Insert(
+        &kernel_, nullptr, policy::PolicyMode::kDefaultAllow);
+    EXPECT_TRUE(policy.ok());
+    policy_ = std::move(*policy);
+  }
+
+  kernel::Kernel kernel_;
+  TimerDevice timer_;
+  std::unique_ptr<policy::PolicyModule> policy_;
+};
+
+TEST_F(HeartbeatTest, BeatsAccumulateAtThePeriod) {
+  auto module = BaselineHeartbeat::Probe(modrt::RawMemOps(&kernel_), kMmio,
+                                         1000);
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  timer_.SetIsr([&] { EXPECT_TRUE(module->Isr().ok()); });
+  timer_.Tick(10 * 1000);
+  auto counters = module->Counters();
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->beats, 10u);
+  EXPECT_EQ(counters->overruns, 0u);
+  EXPECT_EQ(counters->last_counter, 10000u);
+}
+
+TEST_F(HeartbeatTest, GuardedBuildBehavesIdentically) {
+  auto module = CaratHeartbeat::Probe(
+      modrt::GuardedMemOps(&kernel_, &policy_->engine()), kMmio, 500);
+  ASSERT_TRUE(module.ok());
+  timer_.SetIsr([&] { EXPECT_TRUE(module->Isr().ok()); });
+  policy_->engine().ResetStats();
+  timer_.Tick(5000);
+  auto counters = module->Counters();
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->beats, 10u);
+  // The ISR does exactly 9 guarded accesses per beat (see
+  // GuardedIsrCountsExactly), plus the Counters() readout: 10*9 + 3.
+  EXPECT_EQ(policy_->engine().stats().guard_calls, 10u * 9 + 3);
+  EXPECT_EQ(policy_->engine().stats().denied, 0u);
+}
+
+TEST_F(HeartbeatTest, GuardedIsrCountsExactly) {
+  auto module = CaratHeartbeat::Probe(
+      modrt::GuardedMemOps(&kernel_, &policy_->engine()), kMmio, 100);
+  ASSERT_TRUE(module.ok());
+  policy_->engine().ResetStats();
+  ASSERT_TRUE(module->Isr().ok());
+  // 1 state load (timer base) + ISR ack + counter read (MMIO) + 3 state
+  // loads + 3 stores (no overrun path) = 9 guards.
+  EXPECT_EQ(policy_->engine().stats().guard_calls, 9u);
+}
+
+TEST_F(HeartbeatTest, OverrunsDetectedWhenIsrDelayed) {
+  auto module = BaselineHeartbeat::Probe(modrt::RawMemOps(&kernel_), kMmio,
+                                         100);
+  ASSERT_TRUE(module.ok());
+  // Deliver the first beats on time, then "mask interrupts" for a while
+  // (ticks pass with no ISR) and deliver one late beat manually.
+  timer_.SetIsr([&] { EXPECT_TRUE(module->Isr().ok()); });
+  timer_.Tick(300);  // beats at 100, 200, 300 — on time
+  timer_.SetIsr(nullptr);
+  timer_.Tick(500);  // beats missed at 400..800
+  timer_.SetIsr([&] { EXPECT_TRUE(module->Isr().ok()); });
+  timer_.Tick(100);  // beat at 900, deadline was 400: overrun
+  auto counters = module->Counters();
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->beats, 4u);
+  EXPECT_EQ(counters->overruns, 1u);
+}
+
+TEST_F(HeartbeatTest, PolicyBlocksTimerMmioFromModule) {
+  policy_->engine().SetMode(policy::PolicyMode::kDefaultDeny);
+  // Allow the heap (module state) but not the timer's MMIO window.
+  ASSERT_TRUE(policy_->engine()
+                  .store()
+                  .Add(policy::Region{kernel_.direct_map_base(),
+                                      kernel_.direct_map_size(),
+                                      policy::kProtRW})
+                  .ok());
+  EXPECT_THROW(
+      (void)CaratHeartbeat::Probe(
+          modrt::GuardedMemOps(&kernel_, &policy_->engine()), kMmio, 100),
+      kernel::KernelPanic);
+  EXPECT_TRUE(kernel_.log().Contains("forbidden"));
+}
+
+TEST_F(HeartbeatTest, RemoveDisablesTimerAndFrees) {
+  const uint64_t live_before = kernel_.heap().Stats().allocation_count;
+  auto module = BaselineHeartbeat::Probe(modrt::RawMemOps(&kernel_), kMmio,
+                                         100);
+  ASSERT_TRUE(module.ok());
+  int fired = 0;
+  timer_.SetIsr([&] { ++fired; });
+  ASSERT_TRUE(module->Remove().ok());
+  timer_.Tick(1000);
+  EXPECT_EQ(fired, 0);  // timer disabled
+  EXPECT_EQ(kernel_.heap().Stats().allocation_count, live_before);
+}
+
+TEST_F(HeartbeatTest, RejectsZeroPeriod) {
+  EXPECT_FALSE(
+      BaselineHeartbeat::Probe(modrt::RawMemOps(&kernel_), kMmio, 0).ok());
+}
+
+}  // namespace
+}  // namespace kop::hpet

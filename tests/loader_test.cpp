@@ -1,0 +1,193 @@
+// Module-loader edge cases and failure injection: resource exhaustion at
+// insmod, runaway modules, wild pointers, oops-not-panic semantics.
+#include <gtest/gtest.h>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/kernel/module_loader.hpp"
+#include "kop/kirmods/corpus.hpp"
+#include "kop/policy/policy_module.hpp"
+#include "kop/signing/signer.hpp"
+#include "kop/transform/compiler.hpp"
+
+namespace kop {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelConfig;
+using kernel::ModuleLoader;
+
+signing::SignedModule CompileAndSign(const std::string& source) {
+  auto compiled = transform::CompileModuleText(source);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return signing::SignModule(compiled->text, compiled->attestation,
+                             signing::SigningKey::DevelopmentKey());
+}
+
+signing::Keyring TrustedKeyring() {
+  signing::Keyring keyring;
+  keyring.Trust(signing::SigningKey::DevelopmentKey());
+  return keyring;
+}
+
+KernelConfig SmallKernel(uint64_t module_area_bytes) {
+  KernelConfig config;
+  config.ram_bytes = 4ull << 20;
+  config.kernel_text_bytes = 1ull << 20;
+  config.module_area_bytes = module_area_bytes;
+  config.user_bytes = 1ull << 20;
+  return config;
+}
+
+TEST(LoaderFailureTest, InsmodFailsCleanlyWhenModuleAreaExhausted) {
+  // 16 KiB module area: too small for the 64 KiB interpreter stack.
+  Kernel kernel(SmallKernel(16 * 1024));
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  auto loaded = loader.Insmod(CompileAndSign(kirmods::RingbufSource()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kOutOfMemory);
+  EXPECT_FALSE(kernel.panicked());
+  EXPECT_TRUE(loader.LoadedNames().empty());
+}
+
+TEST(LoaderFailureTest, SequentialInsmodUntilFullThenRecover) {
+  // Fill the module area with synthetic modules until insmod fails, then
+  // rmmod one and verify a new insmod fits again.
+  Kernel kernel(SmallKernel(512 * 1024));
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+
+  // Each module: 64 KiB stack + text + globals; ~6-7 fit in 512 KiB.
+  int loaded_count = 0;
+  std::string first_name;
+  for (int i = 0; i < 32; ++i) {
+    std::string source = kirmods::SyntheticModuleSource(2, 4);
+    // Rename so each loads as a distinct module.
+    const std::string name = "kop_synth_" + std::to_string(i);
+    const size_t pos = source.find("kop_synth");
+    source.replace(pos, strlen("kop_synth"), name);
+    auto loaded = loader.Insmod(CompileAndSign(source));
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), ErrorCode::kOutOfMemory);
+      break;
+    }
+    if (loaded_count == 0) first_name = name;
+    ++loaded_count;
+  }
+  ASSERT_GT(loaded_count, 2);
+  ASSERT_LT(loaded_count, 32);
+
+  // Free one slot; the next insmod succeeds.
+  ASSERT_TRUE(loader.Rmmod(first_name).ok());
+  std::string source = kirmods::SyntheticModuleSource(2, 4);
+  source.replace(source.find("kop_synth"), strlen("kop_synth"),
+                 "kop_synth_retry");
+  EXPECT_TRUE(loader.Insmod(CompileAndSign(source)).ok());
+}
+
+TEST(LoaderFailureTest, RmmodReturnsAllModuleAreaMemory) {
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  const uint64_t live_before = kernel.module_area().Stats().allocation_count;
+  ASSERT_TRUE(loader.Insmod(CompileAndSign(kirmods::MemcopySource())).ok());
+  EXPECT_GT(kernel.module_area().Stats().allocation_count, live_before);
+  ASSERT_TRUE(loader.Rmmod("kop_memcopy").ok());
+  EXPECT_EQ(kernel.module_area().Stats().allocation_count, live_before);
+}
+
+TEST(LoaderFailureTest, RunawayRecursionFailsWithoutPanic) {
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  auto loaded = loader.Insmod(CompileAndSign(R"(module "kop_runaway"
+func @spin(i64 %n) -> i64 {
+entry:
+  %m = add i64 %n, 1
+  %r = call i64 @spin(i64 %m)
+  ret i64 %r
+}
+)"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto result = (*loaded)->Call("spin", {0});
+  ASSERT_FALSE(result.ok());  // call-depth limit, an oops not a crash
+  EXPECT_FALSE(kernel.panicked());
+  // The module and kernel remain usable.
+  EXPECT_TRUE(loader.Rmmod("kop_runaway").ok());
+}
+
+TEST(LoaderFailureTest, InfiniteLoopHitsExecutionBudget) {
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  auto loaded = loader.Insmod(CompileAndSign(R"(module "kop_looper"
+func @forever() -> void {
+entry:
+  jmp entry
+}
+)"));
+  ASSERT_TRUE(loaded.ok());
+  auto result = (*loaded)->Call("forever", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("budget"), std::string::npos);
+}
+
+TEST(LoaderFailureTest, WildPointerIsAnOopsNotACrash) {
+  // Default-allow policy: the guard permits the access, but the address
+  // is unmapped — the simulated fault surfaces as an error return, the
+  // kernel survives, and the module stays loaded (a Linux oops).
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  auto loaded = loader.Insmod(CompileAndSign(kirmods::ScribblerSource()));
+  ASSERT_TRUE(loaded.ok());
+  auto result = (*loaded)->Call("peek", {0xdead00000000ull});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kOutOfRange);
+  EXPECT_FALSE(kernel.panicked());
+  // Still usable afterwards.
+  auto heap = kernel.heap().Kmalloc(64);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_TRUE((*loaded)->Call("peek", {*heap}).ok());
+}
+
+TEST(LoaderFailureTest, CallIntoMissingEntryPointFails) {
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  auto loaded = loader.Insmod(CompileAndSign(kirmods::HelloSource()));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE((*loaded)->Call("does_not_exist", {}).ok());
+  EXPECT_FALSE((*loaded)->Call("init", {1, 2, 3}).ok());  // arity mismatch
+}
+
+TEST(LoaderFailureTest, GlobalAddressLookup) {
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  auto loaded = loader.Insmod(CompileAndSign(kirmods::RingbufSource()));
+  ASSERT_TRUE(loaded.ok());
+  auto buf = (*loaded)->GlobalAddress("buf");
+  ASSERT_TRUE(buf.ok());
+  EXPECT_GE(*buf, kernel.module_area_base());
+  EXPECT_FALSE((*loaded)->GlobalAddress("nonexistent").ok());
+}
+
+}  // namespace
+}  // namespace kop

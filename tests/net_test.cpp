@@ -1,0 +1,262 @@
+// kop::net: frames, the socket layer's cost accounting, the packet gun.
+#include <gtest/gtest.h>
+
+#include "kop/e1000e/driver.hpp"
+#include "kop/kernel/kernel.hpp"
+#include "kop/net/frame.hpp"
+#include "kop/net/packet_gun.hpp"
+#include "kop/net/socket.hpp"
+#include "kop/nic/e1000_device.hpp"
+#include "kop/policy/policy_module.hpp"
+
+namespace kop::net {
+namespace {
+
+// ----------------------------------------------------------------- frame --
+
+TEST(FrameTest, SerializeLayout) {
+  EthernetFrame frame;
+  frame.dst = MacFromString("aa:bb:cc:dd:ee:ff");
+  frame.src = MacFromString("11:22:33:44:55:66");
+  frame.ethertype = 0x0800;
+  frame.payload = {1, 2, 3};
+  const auto wire = frame.Serialize();
+  ASSERT_EQ(wire.size(), 17u);
+  EXPECT_EQ(wire[0], 0xaa);
+  EXPECT_EQ(wire[5], 0xff);
+  EXPECT_EQ(wire[6], 0x11);
+  EXPECT_EQ(wire[12], 0x08);
+  EXPECT_EQ(wire[13], 0x00);
+  EXPECT_EQ(wire[16], 3);
+}
+
+TEST(FrameTest, ParseRoundTrip) {
+  EthernetFrame frame = MakeTestFrame(128);
+  EthernetFrame parsed;
+  ASSERT_TRUE(EthernetFrame::Parse(frame.Serialize(), &parsed));
+  EXPECT_EQ(parsed.dst, frame.dst);
+  EXPECT_EQ(parsed.src, frame.src);
+  EXPECT_EQ(parsed.ethertype, frame.ethertype);
+  EXPECT_EQ(parsed.payload, frame.payload);
+}
+
+TEST(FrameTest, ParseRejectsShortWire) {
+  EthernetFrame parsed;
+  EXPECT_FALSE(EthernetFrame::Parse({1, 2, 3}, &parsed));
+}
+
+TEST(FrameTest, MacStringRoundTrip) {
+  const MacAddress mac = MacFromString("02:00:00:00:00:fe");
+  EXPECT_EQ(MacToString(mac), "02:00:00:00:00:fe");
+}
+
+TEST(FrameTest, TestFrameDeterministicAndSized) {
+  const EthernetFrame a = MakeTestFrame(256);
+  const EthernetFrame b = MakeTestFrame(256);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  EXPECT_EQ(a.WireSize(), 256u);
+  const EthernetFrame c = MakeTestFrame(256, 0x11);
+  EXPECT_NE(a.Serialize(), c.Serialize());
+}
+
+// ---------------------------------------------------------------- socket --
+
+class FakeNetDevice : public NetDevice {
+ public:
+  Status Xmit(uint64_t frame_addr, uint32_t len) override {
+    ++xmits;
+    last_addr = frame_addr;
+    last_len = len;
+    if (busy_times > 0) {
+      --busy_times;
+      return Busy("ring full");
+    }
+    return OkStatus();
+  }
+  Status CleanTx() override {
+    ++cleans;
+    return OkStatus();
+  }
+  int xmits = 0;
+  int cleans = 0;
+  int busy_times = 0;
+  uint64_t last_addr = 0;
+  uint32_t last_len = 0;
+};
+
+class SocketTest : public ::testing::Test {
+ protected:
+  kernel::Kernel kernel_;
+  FakeNetDevice device_;
+};
+
+TEST_F(SocketTest, SendmsgCopiesFrameIntoSkb) {
+  PacketSocket socket(&kernel_, &device_, 1);
+  socket.set_noise_enabled(false);
+  const auto wire = MakeTestFrame(64).Serialize();
+  auto result = socket.Sendmsg(wire);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(device_.xmits, 1);
+  EXPECT_EQ(device_.last_len, 64u);
+  std::vector<uint8_t> skb(64);
+  ASSERT_TRUE(kernel_.mem().Read(socket.skb_addr(), skb.data(), 64).ok());
+  EXPECT_EQ(skb, wire);
+}
+
+TEST_F(SocketTest, DeterministicCostWithoutNoise) {
+  PacketSocket socket(&kernel_, &device_, 1);
+  socket.set_noise_enabled(false);
+  const auto wire = MakeTestFrame(128).Serialize();
+  auto first = socket.Sendmsg(wire);
+  ASSERT_TRUE(first.ok());
+  auto second = socket.Sendmsg(wire);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->latency_cycles, second->latency_cycles);
+  // Interior = syscall + per-byte copy (fake device adds nothing).
+  const auto& machine = kernel_.machine();
+  EXPECT_NEAR(static_cast<double>(first->latency_cycles),
+              machine.syscall_cycles + 128 * machine.copy_cycles_per_byte,
+              2.0);
+}
+
+TEST_F(SocketTest, LargerFramesCostMore) {
+  PacketSocket socket(&kernel_, &device_, 1);
+  socket.set_noise_enabled(false);
+  auto small = socket.Sendmsg(MakeTestFrame(64).Serialize());
+  auto large = socket.Sendmsg(MakeTestFrame(1500).Serialize());
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->latency_cycles, small->latency_cycles);
+}
+
+TEST_F(SocketTest, BusyDeviceBlocksAndRetries) {
+  PacketSocket socket(&kernel_, &device_, 1);
+  socket.set_noise_enabled(false);
+  device_.busy_times = 1;
+  auto result = socket.Sendmsg(MakeTestFrame(64).Serialize());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->blocked);
+  EXPECT_EQ(device_.xmits, 2);   // retried
+  EXPECT_EQ(device_.cleans, 1);  // reclaimed in between
+  // Blocking shows up as a huge latency (the ring-full outlier).
+  EXPECT_GT(result->latency_cycles,
+            static_cast<uint64_t>(kernel_.machine().outlier_cycles));
+}
+
+TEST_F(SocketTest, RejectsOversizeAndEmptyFrames) {
+  PacketSocket socket(&kernel_, &device_, 1);
+  EXPECT_FALSE(socket.Sendmsg({}).ok());
+  EXPECT_FALSE(socket.Sendmsg(std::vector<uint8_t>(4096)).ok());
+}
+
+TEST_F(SocketTest, NoiseIsSeedDeterministic) {
+  const auto wire = MakeTestFrame(128).Serialize();
+  auto run = [&](uint64_t seed) {
+    kernel::Kernel kernel;
+    FakeNetDevice device;
+    PacketSocket socket(&kernel, &device, seed);
+    std::vector<uint64_t> latencies;
+    for (int i = 0; i < 50; ++i) {
+      auto result = socket.Sendmsg(wire);
+      EXPECT_TRUE(result.ok());
+      latencies.push_back(result->latency_cycles);
+    }
+    return latencies;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+// ------------------------------------------------------------ packet gun --
+
+class GunTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kMmio = kernel::kVmallocBase;
+
+  GunTest() : device_(&kernel_.mem(), &sink_) {
+    EXPECT_TRUE(device_.MapAt(kMmio).ok());
+    auto policy = policy::PolicyModule::Insert(
+        &kernel_, nullptr, policy::PolicyMode::kDefaultAllow);
+    EXPECT_TRUE(policy.ok());
+    policy_ = std::move(*policy);
+  }
+
+  kernel::Kernel kernel_;
+  nic::CountingSink sink_;
+  nic::E1000Device device_;
+  std::unique_ptr<policy::PolicyModule> policy_;
+};
+
+TEST_F(GunTest, TrialMetersThroughput) {
+  auto driver = e1000e::BaselineDriver::Probe(
+      e1000e::RawMemOps(&kernel_), kMmio);
+  ASSERT_TRUE(driver.ok());
+  DriverNetDevice<e1000e::BaselineDriver> netdev(&*driver);
+  PacketSocket socket(&kernel_, &netdev, 3);
+  socket.set_noise_enabled(false);
+  PacketGun gun(&kernel_, &socket);
+  TrialConfig config;
+  config.packets = 1000;
+  config.frame_bytes = 128;
+  auto trial = gun.RunTrial(config);
+  ASSERT_TRUE(trial.ok());
+  EXPECT_EQ(trial->packets, 1000u);
+  EXPECT_EQ(sink_.packets(), 1000u);
+  // Baseline R350 calibration: ~112k pps at 128 B.
+  EXPECT_NEAR(trial->packets_per_second, 112000.0, 4000.0);
+  EXPECT_GT(trial->cycles_per_packet,
+            kernel_.machine().inter_call_cycles);
+}
+
+TEST_F(GunTest, LatencyCollectionOptIn) {
+  auto driver = e1000e::BaselineDriver::Probe(
+      e1000e::RawMemOps(&kernel_), kMmio);
+  ASSERT_TRUE(driver.ok());
+  DriverNetDevice<e1000e::BaselineDriver> netdev(&*driver);
+  PacketSocket socket(&kernel_, &netdev, 3);
+  PacketGun gun(&kernel_, &socket);
+  TrialConfig config;
+  config.packets = 100;
+  auto no_latency = gun.RunTrial(config);
+  ASSERT_TRUE(no_latency.ok());
+  EXPECT_TRUE(no_latency->latencies_cycles.empty());
+  config.collect_latencies = true;
+  auto with_latency = gun.RunTrial(config);
+  ASSERT_TRUE(with_latency.ok());
+  EXPECT_EQ(with_latency->latencies_cycles.size(), 100u);
+}
+
+TEST_F(GunTest, RejectsSubHeaderFrames) {
+  auto driver = e1000e::BaselineDriver::Probe(
+      e1000e::RawMemOps(&kernel_), kMmio);
+  ASSERT_TRUE(driver.ok());
+  DriverNetDevice<e1000e::BaselineDriver> netdev(&*driver);
+  PacketSocket socket(&kernel_, &netdev, 3);
+  PacketGun gun(&kernel_, &socket);
+  TrialConfig config;
+  config.frame_bytes = 8;
+  EXPECT_FALSE(gun.RunTrial(config).ok());
+}
+
+TEST_F(GunTest, BaselineLatencyMatchesPaperMedian) {
+  // Fig 7 calibration: baseline sendmsg median ~686 cycles on R350.
+  auto driver = e1000e::BaselineDriver::Probe(
+      e1000e::RawMemOps(&kernel_), kMmio);
+  ASSERT_TRUE(driver.ok());
+  DriverNetDevice<e1000e::BaselineDriver> netdev(&*driver);
+  PacketSocket socket(&kernel_, &netdev, 11);
+  PacketGun gun(&kernel_, &socket);
+  TrialConfig config;
+  config.packets = 5000;
+  config.frame_bytes = 128;
+  config.collect_latencies = true;
+  auto trial = gun.RunTrial(config);
+  ASSERT_TRUE(trial.ok());
+  std::vector<double> latencies = trial->latencies_cycles;
+  std::sort(latencies.begin(), latencies.end());
+  const double median = latencies[latencies.size() / 2];
+  EXPECT_NEAR(median, 686.0, 60.0);
+}
+
+}  // namespace
+}  // namespace kop::net

@@ -1,0 +1,354 @@
+// kop::nic: register file semantics, descriptor-ring DMA engine,
+// writeback, interrupts, packet sink.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "kop/kernel/address_space.hpp"
+#include "kop/nic/e1000_device.hpp"
+
+namespace kop::nic {
+namespace {
+
+class NicTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kMmio = 0xffffc90000000000ull;
+  static constexpr uint64_t kRam = 0xffff888000000000ull;
+  static constexpr uint32_t kRingEntries = 16;
+
+  NicTest() : device_(&mem_, &sink_) {
+    EXPECT_TRUE(mem_.MapRam("ram", kRam, 1 << 20).ok());
+    EXPECT_TRUE(device_.MapAt(kMmio).ok());
+  }
+
+  uint32_t Read32(uint64_t reg) {
+    auto value = mem_.Read32(kMmio + reg);
+    EXPECT_TRUE(value.ok());
+    return value.ok() ? *value : 0;
+  }
+  void Write32(uint64_t reg, uint32_t value) {
+    EXPECT_TRUE(mem_.Write32(kMmio + reg, value).ok());
+  }
+
+  /// Bring the transmitter up with a ring at kRam.
+  void SetupRing() {
+    Write32(REG_CTRL, CTRL_SLU);
+    Write32(REG_TDBAL, static_cast<uint32_t>(kRam));
+    Write32(REG_TDBAH, static_cast<uint32_t>(kRam >> 32));
+    Write32(REG_TDLEN, kRingEntries * kTxDescBytes);
+    Write32(REG_TDH, 0);
+    Write32(REG_TDT, 0);
+    Write32(REG_TCTL, TCTL_EN | TCTL_PSP);
+  }
+
+  /// Stage a descriptor at ring index `i` pointing at `payload`.
+  void StageDescriptor(uint32_t i, uint64_t buffer, uint16_t length,
+                       uint8_t cmd) {
+    LegacyTxDescriptor desc{};
+    desc.buffer_addr = buffer;
+    desc.length = length;
+    desc.cmd = cmd;
+    uint8_t raw[kTxDescBytes];
+    std::memcpy(raw, &desc, sizeof(desc));
+    ASSERT_TRUE(mem_.Write(kRam + i * kTxDescBytes, raw, sizeof(raw)).ok());
+  }
+
+  void WritePayload(uint64_t addr, const std::vector<uint8_t>& bytes) {
+    ASSERT_TRUE(mem_.Write(addr, bytes.data(), bytes.size()).ok());
+  }
+
+  uint8_t DescriptorStatus(uint32_t i) {
+    auto value = mem_.Read8(kRam + i * kTxDescBytes + 12);
+    EXPECT_TRUE(value.ok());
+    return value.ok() ? *value : 0;
+  }
+
+  kernel::AddressSpace mem_;
+  CountingSink sink_;
+  E1000Device device_;
+};
+
+TEST_F(NicTest, ResetClearsState) {
+  Write32(REG_CTRL, CTRL_SLU);
+  EXPECT_EQ(Read32(REG_STATUS) & STATUS_LU, STATUS_LU);
+  Write32(REG_CTRL, CTRL_RST);
+  EXPECT_EQ(Read32(REG_STATUS) & STATUS_LU, 0u);
+  EXPECT_EQ(Read32(REG_TDT), 0u);
+}
+
+TEST_F(NicTest, LinkUpSetsStatusAndCause) {
+  Write32(REG_IMS, ICR_LSC);
+  Write32(REG_CTRL, CTRL_SLU);
+  EXPECT_EQ(Read32(REG_STATUS) & STATUS_LU, STATUS_LU);
+  EXPECT_EQ(device_.PendingInterrupts() & ICR_LSC, ICR_LSC);
+  // ICR is read-to-clear.
+  EXPECT_NE(Read32(REG_ICR) & ICR_LSC, 0u);
+  EXPECT_EQ(Read32(REG_ICR), 0u);
+}
+
+TEST_F(NicTest, TransmitsSingleFrame) {
+  SetupRing();
+  const uint64_t payload = kRam + 0x8000;
+  std::vector<uint8_t> frame(64);
+  for (size_t i = 0; i < frame.size(); ++i) frame[i] = uint8_t(i);
+  WritePayload(payload, frame);
+  StageDescriptor(0, payload, 64, TXD_CMD_EOP | TXD_CMD_RS);
+  Write32(REG_TDT, 1);  // tail bump triggers processing
+
+  EXPECT_EQ(sink_.packets(), 1u);
+  EXPECT_EQ(sink_.bytes(), 64u);
+  EXPECT_EQ(sink_.RecentFrames()[0], frame);
+  EXPECT_EQ(Read32(REG_TDH), 1u);
+  EXPECT_EQ(Read32(REG_GPTC), 1u);
+  EXPECT_EQ(Read32(REG_GOTCL), 64u);
+  // DD written back because RS was set.
+  EXPECT_EQ(DescriptorStatus(0) & TXD_STAT_DD, TXD_STAT_DD);
+}
+
+TEST_F(NicTest, NoWritebackWithoutRs) {
+  SetupRing();
+  const uint64_t payload = kRam + 0x8000;
+  WritePayload(payload, std::vector<uint8_t>(32, 0xaa));
+  StageDescriptor(0, payload, 32, TXD_CMD_EOP);
+  Write32(REG_TDT, 1);
+  EXPECT_EQ(sink_.packets(), 1u);
+  EXPECT_EQ(DescriptorStatus(0) & TXD_STAT_DD, 0u);
+  EXPECT_EQ(device_.stats().writebacks, 0u);
+}
+
+TEST_F(NicTest, MultiDescriptorFrameConcatenates) {
+  SetupRing();
+  const uint64_t part1 = kRam + 0x8000;
+  const uint64_t part2 = kRam + 0x9000;
+  WritePayload(part1, std::vector<uint8_t>(10, 0x11));
+  WritePayload(part2, std::vector<uint8_t>(20, 0x22));
+  StageDescriptor(0, part1, 10, 0);                        // no EOP yet
+  StageDescriptor(1, part2, 20, TXD_CMD_EOP | TXD_CMD_RS);
+  Write32(REG_TDT, 2);
+  ASSERT_EQ(sink_.packets(), 1u);
+  const auto frame = sink_.RecentFrames()[0];
+  ASSERT_EQ(frame.size(), 30u);
+  EXPECT_EQ(frame[0], 0x11);
+  EXPECT_EQ(frame[29], 0x22);
+}
+
+TEST_F(NicTest, RingWrapsAround) {
+  SetupRing();
+  const uint64_t payload = kRam + 0x8000;
+  WritePayload(payload, std::vector<uint8_t>(16, 0x5a));
+  uint32_t tail = 0;
+  // Send 2.5 rings worth of packets one at a time.
+  for (int i = 0; i < 40; ++i) {
+    StageDescriptor(tail, payload, 16, TXD_CMD_EOP | TXD_CMD_RS);
+    tail = (tail + 1) % kRingEntries;
+    Write32(REG_TDT, tail);
+  }
+  EXPECT_EQ(sink_.packets(), 40u);
+  EXPECT_EQ(Read32(REG_TDH), 40u % kRingEntries);
+}
+
+TEST_F(NicTest, DisabledTransmitterDoesNothing) {
+  SetupRing();
+  Write32(REG_TCTL, 0);  // disable
+  StageDescriptor(0, kRam + 0x8000, 16, TXD_CMD_EOP);
+  Write32(REG_TDT, 1);
+  EXPECT_EQ(sink_.packets(), 0u);
+  EXPECT_EQ(Read32(REG_TDH), 0u);
+  // Re-enable and kick: processes now.
+  Write32(REG_TCTL, TCTL_EN);
+  Write32(REG_TDT, 1);
+  EXPECT_EQ(sink_.packets(), 1u);
+}
+
+TEST_F(NicTest, NoLinkNoTransmit) {
+  SetupRing();
+  Write32(REG_CTRL, 0);  // does not clear SLU... set up without link:
+  Write32(REG_CTRL, CTRL_RST);
+  // After reset everything is down; re-program without SLU.
+  Write32(REG_TDBAL, static_cast<uint32_t>(kRam));
+  Write32(REG_TDBAH, static_cast<uint32_t>(kRam >> 32));
+  Write32(REG_TDLEN, kRingEntries * kTxDescBytes);
+  Write32(REG_TCTL, TCTL_EN);
+  StageDescriptor(0, kRam + 0x8000, 16, TXD_CMD_EOP);
+  Write32(REG_TDT, 1);
+  EXPECT_EQ(sink_.packets(), 0u);
+}
+
+TEST_F(NicTest, TxInterruptsAccumulateAndMask) {
+  SetupRing();
+  Write32(REG_IMS, ICR_TXDW);
+  WritePayload(kRam + 0x8000, std::vector<uint8_t>(16, 1));
+  StageDescriptor(0, kRam + 0x8000, 16, TXD_CMD_EOP | TXD_CMD_RS);
+  Write32(REG_TDT, 1);
+  EXPECT_NE(device_.PendingInterrupts() & ICR_TXDW, 0u);
+  // TXQE raised when the ring drained.
+  EXPECT_NE(Read32(REG_ICR) & ICR_TXQE, 0u);
+  // Mask clear: no pending even if causes accumulate.
+  Write32(REG_IMC, ICR_TXDW | ICR_TXQE);
+  StageDescriptor(1, kRam + 0x8000, 16, TXD_CMD_EOP | TXD_CMD_RS);
+  Write32(REG_TDT, 2);
+  EXPECT_EQ(device_.PendingInterrupts(), 0u);
+}
+
+TEST_F(NicTest, BadDescriptorAddressCountsAndStops) {
+  SetupRing();
+  StageDescriptor(0, 0xdeadbeef0000ull, 64, TXD_CMD_EOP);  // unmapped
+  Write32(REG_TDT, 1);
+  EXPECT_EQ(sink_.packets(), 0u);
+  EXPECT_EQ(device_.stats().bad_descriptors, 1u);
+}
+
+TEST_F(NicTest, UnmappedRingStallsDevice) {
+  Write32(REG_CTRL, CTRL_SLU);
+  Write32(REG_TDBAL, 0x12340000u);  // nowhere
+  Write32(REG_TDBAH, 0);
+  Write32(REG_TDLEN, kRingEntries * kTxDescBytes);
+  Write32(REG_TCTL, TCTL_EN);
+  Write32(REG_TDT, 1);
+  EXPECT_EQ(sink_.packets(), 0u);
+  EXPECT_EQ(device_.stats().bad_descriptors, 1u);
+}
+
+TEST_F(NicTest, GoodOctetCounterIs64Bit) {
+  SetupRing();
+  WritePayload(kRam + 0x8000, std::vector<uint8_t>(1024, 7));
+  for (int i = 0; i < 8; ++i) {
+    StageDescriptor(i, kRam + 0x8000, 1024, TXD_CMD_EOP);
+    Write32(REG_TDT, i + 1);
+  }
+  EXPECT_EQ(Read32(REG_GOTCL), 8u * 1024);
+  EXPECT_EQ(Read32(REG_GOTCH), 0u);
+}
+
+TEST_F(NicTest, EepromReadProtocol) {
+  const uint8_t mac[6] = {0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xf0};
+  device_.SetNvmMac(mac);
+  // Read word 0 through EERD: START|(0<<8) -> DONE + data in [31:16].
+  Write32(REG_EERD, EERD_START);
+  uint32_t eerd = Read32(REG_EERD);
+  EXPECT_NE(eerd & EERD_DONE, 0u);
+  EXPECT_EQ(eerd >> EERD_DATA_SHIFT, 0xbbaau);
+  Write32(REG_EERD, EERD_START | (2u << EERD_ADDR_SHIFT));
+  eerd = Read32(REG_EERD);
+  EXPECT_EQ(eerd >> EERD_DATA_SHIFT, 0xf0eeu);
+  // Out-of-range NVM word reads as erased flash.
+  Write32(REG_EERD, EERD_START | (200u << EERD_ADDR_SHIFT));
+  EXPECT_EQ(Read32(REG_EERD) >> EERD_DATA_SHIFT, 0xffffu);
+  // Clearing START clears the latch.
+  Write32(REG_EERD, 0);
+  EXPECT_EQ(Read32(REG_EERD), 0u);
+}
+
+TEST_F(NicTest, MacAddressRegistersStick) {
+  Write32(REG_RAL0, 0x12345678);
+  Write32(REG_RAH0, 0x00009abc);
+  EXPECT_EQ(Read32(REG_RAL0), 0x12345678u);
+  EXPECT_EQ(Read32(REG_RAH0), 0x00009abcu);
+}
+
+TEST_F(NicTest, ManualProcessingMode) {
+  device_.set_auto_process(false);
+  SetupRing();
+  WritePayload(kRam + 0x8000, std::vector<uint8_t>(16, 3));
+  StageDescriptor(0, kRam + 0x8000, 16, TXD_CMD_EOP);
+  Write32(REG_TDT, 1);
+  EXPECT_EQ(sink_.packets(), 0u);  // not yet
+  device_.ProcessTransmitRing();
+  EXPECT_EQ(sink_.packets(), 1u);
+}
+
+class NicRxTest : public NicTest {
+ protected:
+  static constexpr uint64_t kRxRing = kRam + 0x40000;
+  static constexpr uint64_t kRxBufs = kRam + 0x50000;
+
+  void SetupRxRing() {
+    Write32(REG_CTRL, CTRL_SLU);
+    Write32(REG_RDBAL, static_cast<uint32_t>(kRxRing));
+    Write32(REG_RDBAH, static_cast<uint32_t>(kRxRing >> 32));
+    Write32(REG_RDLEN, kRingEntries * kRxDescBytes);
+    Write32(REG_RDH, 0);
+    // Arm all descriptors with buffers; classic one-slot gap.
+    for (uint32_t i = 0; i < kRingEntries; ++i) {
+      LegacyRxDescriptor desc{};
+      desc.buffer_addr = kRxBufs + uint64_t{i} * 2048;
+      uint8_t raw[kRxDescBytes];
+      std::memcpy(raw, &desc, sizeof(desc));
+      ASSERT_TRUE(
+          mem_.Write(kRxRing + i * kRxDescBytes, raw, sizeof(raw)).ok());
+    }
+    Write32(REG_RDT, kRingEntries - 1);
+    Write32(REG_RCTL, RCTL_EN | RCTL_BAM);
+  }
+
+  LegacyRxDescriptor ReadRxDescriptor(uint32_t i) {
+    LegacyRxDescriptor desc{};
+    uint8_t raw[kRxDescBytes];
+    EXPECT_TRUE(mem_.Read(kRxRing + i * kRxDescBytes, raw, sizeof(raw)).ok());
+    std::memcpy(&desc, raw, sizeof(desc));
+    return desc;
+  }
+};
+
+TEST_F(NicRxTest, ReceivesFrameIntoArmedBuffer) {
+  SetupRxRing();
+  Write32(REG_IMS, ICR_RXT0);
+  std::vector<uint8_t> frame(100);
+  for (size_t i = 0; i < frame.size(); ++i) frame[i] = uint8_t(i * 3);
+  ASSERT_TRUE(device_.ReceiveFrame(frame));
+
+  const LegacyRxDescriptor desc = ReadRxDescriptor(0);
+  EXPECT_EQ(desc.length, 100u);
+  EXPECT_EQ(desc.status & RXD_STAT_DD, RXD_STAT_DD);
+  EXPECT_EQ(desc.status & RXD_STAT_EOP, RXD_STAT_EOP);
+  std::vector<uint8_t> stored(100);
+  ASSERT_TRUE(mem_.Read(kRxBufs, stored.data(), stored.size()).ok());
+  EXPECT_EQ(stored, frame);
+  EXPECT_EQ(Read32(REG_RDH), 1u);
+  EXPECT_EQ(Read32(REG_GPRC), 1u);
+  EXPECT_NE(device_.PendingInterrupts() & ICR_RXT0, 0u);
+}
+
+TEST_F(NicRxTest, DropsWhenReceiverDisabled) {
+  Write32(REG_CTRL, CTRL_SLU);
+  EXPECT_FALSE(device_.ReceiveFrame(std::vector<uint8_t>(64, 1)));
+  EXPECT_EQ(device_.stats().rx_dropped, 1u);
+}
+
+TEST_F(NicRxTest, DropsWhenRingExhausted) {
+  SetupRxRing();
+  // Consume all count-1 available slots.
+  for (uint32_t i = 0; i + 1 < kRingEntries; ++i) {
+    ASSERT_TRUE(device_.ReceiveFrame(std::vector<uint8_t>(64, uint8_t(i))))
+        << i;
+  }
+  EXPECT_FALSE(device_.ReceiveFrame(std::vector<uint8_t>(64, 0xff)));
+  EXPECT_EQ(device_.stats().rx_dropped, 1u);
+  EXPECT_NE(Read32(REG_ICR) & ICR_RXO, 0u);
+  // Software returns one slot: the next frame fits again.
+  Write32(REG_RDT, 0);
+  EXPECT_TRUE(device_.ReceiveFrame(std::vector<uint8_t>(64, 0xaa)));
+}
+
+TEST_F(NicRxTest, DropsOversizeFrames) {
+  SetupRxRing();
+  EXPECT_FALSE(device_.ReceiveFrame(std::vector<uint8_t>(4096, 1)));
+  EXPECT_EQ(device_.stats().rx_dropped, 1u);
+}
+
+TEST_F(NicTest, SinkRetainsRecentFrames) {
+  CountingSink sink(2);
+  sink.Deliver({1});
+  sink.Deliver({2});
+  sink.Deliver({3});
+  const auto recent = sink.RecentFrames();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0], std::vector<uint8_t>{2});
+  EXPECT_EQ(recent[1], std::vector<uint8_t>{3});
+  EXPECT_EQ(sink.packets(), 3u);
+  sink.Reset();
+  EXPECT_EQ(sink.packets(), 0u);
+}
+
+}  // namespace
+}  // namespace kop::nic

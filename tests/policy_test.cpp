@@ -1,0 +1,727 @@
+// kop::policy: every policy store implementation (parameterized over the
+// common contract), the bloom filter, the engine and the policy module's
+// ioctl surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/policy/amq.hpp"
+#include "kop/policy/cuckoo.hpp"
+#include "kop/policy/engine.hpp"
+#include "kop/policy/lsh_store.hpp"
+#include "kop/policy/policy_module.hpp"
+#include "kop/policy/rbtree_store.hpp"
+#include "kop/policy/region_table.hpp"
+#include "kop/policy/sorted_table.hpp"
+#include "kop/policy/splay_store.hpp"
+#include "kop/policy/wrappers.hpp"
+#include "kop/util/rng.hpp"
+
+namespace kop::policy {
+namespace {
+
+using StoreFactory = std::function<std::unique_ptr<PolicyStore>()>;
+
+struct StoreParam {
+  std::string name;
+  StoreFactory make;
+  bool supports_overlap;
+};
+
+std::vector<StoreParam> AllStores() {
+  return {
+      {"linear64", [] { return std::unique_ptr<PolicyStore>(
+                            std::make_unique<RegionTable64>()); },
+       true},
+      {"sorted", [] { return std::unique_ptr<PolicyStore>(
+                          std::make_unique<SortedRegionTable>()); },
+       false},
+      {"rbtree", [] { return std::unique_ptr<PolicyStore>(
+                          std::make_unique<RbTreeRegionStore>()); },
+       false},
+      {"splay", [] { return std::unique_ptr<PolicyStore>(
+                         std::make_unique<SplayRegionTree>()); },
+       false},
+      {"lsh", [] { return std::unique_ptr<PolicyStore>(
+                       std::make_unique<LshBucketStore>()); },
+       true},
+      {"cache+linear",
+       [] {
+         return std::unique_ptr<PolicyStore>(
+             std::make_unique<SingleEntryCacheStore>(
+                 std::make_unique<RegionTable64>()));
+       },
+       true},
+      {"bloom+sorted",
+       [] {
+         return std::unique_ptr<PolicyStore>(std::make_unique<BloomFrontStore>(
+             std::make_unique<SortedRegionTable>()));
+       },
+       false},
+      {"cuckoo+rbtree",
+       [] {
+         return std::unique_ptr<PolicyStore>(
+             std::make_unique<CuckooFrontStore>(
+                 std::make_unique<RbTreeRegionStore>()));
+       },
+       false},
+  };
+}
+
+class StoreContractTest : public ::testing::TestWithParam<StoreParam> {};
+
+TEST_P(StoreContractTest, AddLookupRemove) {
+  auto store = GetParam().make();
+  EXPECT_EQ(store->Size(), 0u);
+  ASSERT_TRUE(store->Add(Region{0x1000, 0x1000, kProtRW}).ok());
+  ASSERT_TRUE(store->Add(Region{0x10000, 0x100, kProtRead}).ok());
+  EXPECT_EQ(store->Size(), 2u);
+
+  auto hit = store->Lookup(0x1800, 8);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, kProtRW);
+  auto ro = store->Lookup(0x10000, 4);
+  ASSERT_TRUE(ro.has_value());
+  EXPECT_EQ(*ro, kProtRead);
+  EXPECT_FALSE(store->Lookup(0x3000, 8).has_value());
+
+  ASSERT_TRUE(store->Remove(0x1000).ok());
+  EXPECT_FALSE(store->Lookup(0x1800, 8).has_value());
+  EXPECT_EQ(store->Size(), 1u);
+  EXPECT_FALSE(store->Remove(0x1000).ok());
+}
+
+TEST_P(StoreContractTest, ExactBoundaries) {
+  auto store = GetParam().make();
+  ASSERT_TRUE(store->Add(Region{0x1000, 0x100, kProtRW}).ok());
+  EXPECT_TRUE(store->Lookup(0x1000, 1).has_value());    // first byte
+  EXPECT_TRUE(store->Lookup(0x10ff, 1).has_value());    // last byte
+  EXPECT_TRUE(store->Lookup(0x1000, 0x100).has_value());  // whole region
+  EXPECT_FALSE(store->Lookup(0x0fff, 1).has_value());   // one before
+  EXPECT_FALSE(store->Lookup(0x1100, 1).has_value());   // one after
+  // Range extending past the region is not covered.
+  EXPECT_FALSE(store->Lookup(0x10ff, 2).has_value());
+  EXPECT_FALSE(store->Lookup(0x1000, 0x101).has_value());
+}
+
+TEST_P(StoreContractTest, RejectsDegenerateRegions) {
+  auto store = GetParam().make();
+  EXPECT_FALSE(store->Add(Region{0x1000, 0, kProtRW}).ok());
+  EXPECT_FALSE(store->Add(Region{~0ull - 10, 100, kProtRW}).ok());
+}
+
+TEST_P(StoreContractTest, ClearEmpties) {
+  auto store = GetParam().make();
+  ASSERT_TRUE(store->Add(Region{0x1000, 0x100, kProtRW}).ok());
+  store->Clear();
+  EXPECT_EQ(store->Size(), 0u);
+  EXPECT_FALSE(store->Lookup(0x1000, 1).has_value());
+  // Usable after clear.
+  EXPECT_TRUE(store->Add(Region{0x2000, 0x100, kProtRead}).ok());
+  EXPECT_TRUE(store->Lookup(0x2000, 1).has_value());
+}
+
+TEST_P(StoreContractTest, SnapshotContainsAllRegions) {
+  auto store = GetParam().make();
+  ASSERT_TRUE(store->Add(Region{0x3000, 0x100, kProtRead}).ok());
+  ASSERT_TRUE(store->Add(Region{0x1000, 0x100, kProtRW}).ok());
+  ASSERT_TRUE(store->Add(Region{0x2000, 0x100, kProtWrite}).ok());
+  const auto snapshot = store->Snapshot();
+  EXPECT_EQ(snapshot.size(), 3u);
+  bool found = false;
+  for (const Region& region : snapshot) {
+    if (region.base == 0x2000) {
+      found = true;
+      EXPECT_EQ(region.prot, kProtWrite);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_P(StoreContractTest, AdjacentRegionsDoNotBleed) {
+  auto store = GetParam().make();
+  ASSERT_TRUE(store->Add(Region{0x1000, 0x100, kProtRead}).ok());
+  ASSERT_TRUE(store->Add(Region{0x1100, 0x100, kProtWrite}).ok());
+  EXPECT_EQ(*store->Lookup(0x10ff, 1), kProtRead);
+  EXPECT_EQ(*store->Lookup(0x1100, 1), kProtWrite);
+  // A range spanning both is covered by neither alone.
+  EXPECT_FALSE(store->Lookup(0x10f0, 0x20).has_value());
+}
+
+TEST_P(StoreContractTest, ManyRegionsAgreeWithReferenceModel) {
+  auto store = GetParam().make();
+  // Reference: vector of regions, first-match (insertion order).
+  std::vector<Region> reference;
+  Xoshiro256 rng(99);
+  // Non-overlapping regions (so every store can represent them): grid.
+  for (uint64_t i = 0; i < 48; ++i) {
+    Region region{0x100000 + i * 0x1000,
+                  0x200 + rng.NextBelow(0xe00),
+                  static_cast<uint32_t>(1 + rng.NextBelow(3))};
+    ASSERT_TRUE(store->Add(region).ok());
+    reference.push_back(region);
+  }
+  for (int probe = 0; probe < 4000; ++probe) {
+    const uint64_t addr = 0x100000 + rng.NextBelow(48 * 0x1000 + 0x1000);
+    const uint64_t size = 1 + rng.NextBelow(16);
+    std::optional<uint32_t> expected;
+    for (const Region& region : reference) {
+      if (region.Contains(addr, size)) {
+        expected = region.prot;
+        break;
+      }
+    }
+    EXPECT_EQ(store->Lookup(addr, size), expected)
+        << GetParam().name << " addr=0x" << std::hex << addr << " size="
+        << size;
+  }
+}
+
+TEST_P(StoreContractTest, OverlapPolicyIsDeclared) {
+  auto store = GetParam().make();
+  ASSERT_TRUE(store->Add(Region{0x1000, 0x1000, kProtRW}).ok());
+  const Status status = store->Add(Region{0x1800, 0x1000, kProtRead});
+  if (GetParam().supports_overlap) {
+    EXPECT_TRUE(status.ok()) << GetParam().name;
+    // First match wins.
+    EXPECT_EQ(*store->Lookup(0x1900, 4), kProtRW);
+  } else {
+    EXPECT_FALSE(status.ok()) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, StoreContractTest, ::testing::ValuesIn(AllStores()),
+    [](const ::testing::TestParamInfo<StoreParam>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------- structure specifics --
+
+TEST(RegionTable64Test, CapacityIs64) {
+  RegionTable64 table;
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(table.Add(Region{i * 0x1000, 0x100, kProtRW}).ok()) << i;
+  }
+  const Status status = table.Add(Region{65 * 0x1000, 0x100, kProtRW});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNoSpace);
+}
+
+TEST(RegionTable64Test, RemovePreservesFirstMatchOrder) {
+  RegionTable64 table;
+  ASSERT_TRUE(table.Add(Region{0x1000, 0x1000, kProtRW}).ok());
+  ASSERT_TRUE(table.Add(Region{0x1800, 0x1000, kProtRead}).ok());  // overlap
+  ASSERT_TRUE(table.Add(Region{0x2000, 0x1000, kProtWrite}).ok()); // overlap
+  ASSERT_TRUE(table.Remove(0x1000).ok());
+  // Now the 0x1800 region is first; a probe in the overlap favors it.
+  EXPECT_EQ(*table.Lookup(0x2100, 4), kProtRead);
+}
+
+TEST(RegionTable64Test, ScanCountsEntries) {
+  RegionTable64 table;
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.Add(Region{i * 0x1000, 0x100, kProtRW}).ok());
+  }
+  table.ResetStats();
+  (void)table.Lookup(9 * 0x1000, 4);  // last entry -> 10 scans
+  EXPECT_EQ(table.stats().entries_scanned, 10u);
+  (void)table.Lookup(0, 4);  // first entry -> 1 scan
+  EXPECT_EQ(table.stats().entries_scanned, 11u);
+}
+
+TEST(SplayTest, HotRegionMovesToRoot) {
+  SplayRegionTree tree;
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(tree.Add(Region{i * 0x1000, 0x800, kProtRW}).ok());
+  }
+  const uint64_t hot = 40 * 0x1000 + 16;
+  (void)tree.Lookup(hot, 4);
+  // After splaying, the hot region answers from the root.
+  EXPECT_EQ(tree.ProbeDepth(hot), 1u);
+  // And repeated hot lookups stay O(1) while the tree still answers
+  // everything else correctly.
+  (void)tree.Lookup(hot, 4);
+  EXPECT_EQ(tree.ProbeDepth(hot), 1u);
+  EXPECT_TRUE(tree.Lookup(3 * 0x1000, 4).has_value());
+}
+
+TEST(SplayTest, RemoveKeepsTreeConsistent) {
+  SplayRegionTree tree;
+  for (uint64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(tree.Add(Region{i * 0x1000, 0x800, kProtRW}).ok());
+  }
+  for (uint64_t i = 0; i < 32; i += 2) {
+    ASSERT_TRUE(tree.Remove(i * 0x1000).ok());
+  }
+  EXPECT_EQ(tree.Size(), 16u);
+  for (uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(tree.Lookup(i * 0x1000 + 4, 4).has_value(), i % 2 == 1) << i;
+  }
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1 << 12, 3);
+  Xoshiro256 rng(7);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(rng.Next());
+  for (uint64_t key : keys) filter.Insert(key);
+  for (uint64_t key : keys) EXPECT_TRUE(filter.MaybeContains(key));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateReasonable) {
+  BloomFilter filter(1 << 14, 3);
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 500; ++i) filter.Insert(rng.Next());
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.MaybeContains(rng.Next() | (1ull << 63))) ++false_positives;
+  }
+  const double rate = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(rate, 0.05);
+  EXPECT_LT(filter.EstimatedFalsePositiveRate(), 0.05);
+}
+
+TEST(BloomFrontTest, NegativeLookupSkipsInner) {
+  auto store = std::make_unique<BloomFrontStore>(
+      std::make_unique<SortedRegionTable>());
+  ASSERT_TRUE(store->Add(Region{0x100000, 0x1000, kProtRW}).ok());
+  store->ResetStats();
+  // Far-away address: filter answers definitively.
+  EXPECT_FALSE(store->Lookup(0x900000000ull, 8).has_value());
+  EXPECT_EQ(store->stats().fast_path_hits, 1u);
+}
+
+TEST(BloomFrontTest, RemoveRebuildsFilter) {
+  auto store = std::make_unique<BloomFrontStore>(
+      std::make_unique<SortedRegionTable>());
+  ASSERT_TRUE(store->Add(Region{0x100000, 0x1000, kProtRW}).ok());
+  ASSERT_TRUE(store->Add(Region{0x300000, 0x1000, kProtRead}).ok());
+  ASSERT_TRUE(store->Remove(0x100000).ok());
+  EXPECT_FALSE(store->Lookup(0x100800, 8).has_value());
+  EXPECT_TRUE(store->Lookup(0x300800, 8).has_value());
+}
+
+TEST(CuckooFilterTest, InsertContainsDelete) {
+  CuckooFilter filter(1024);
+  Xoshiro256 rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 400; ++i) keys.push_back(rng.Next());
+  for (uint64_t key : keys) ASSERT_TRUE(filter.Insert(key));
+  for (uint64_t key : keys) EXPECT_TRUE(filter.Contains(key));
+  EXPECT_EQ(filter.Size(), 400u);
+  // Delete half; the rest must remain, the deleted must (mostly) vanish.
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(filter.Delete(keys[i]));
+  }
+  for (size_t i = 1; i < keys.size(); i += 2) {
+    EXPECT_TRUE(filter.Contains(keys[i])) << i;
+  }
+  EXPECT_EQ(filter.Size(), 200u);
+}
+
+TEST(CuckooFilterTest, DuplicateInsertsSurviveOneDelete) {
+  CuckooFilter filter(256);
+  ASSERT_TRUE(filter.Insert(42));
+  ASSERT_TRUE(filter.Insert(42));
+  ASSERT_TRUE(filter.Delete(42));
+  EXPECT_TRUE(filter.Contains(42));  // second copy still present
+  ASSERT_TRUE(filter.Delete(42));
+  EXPECT_FALSE(filter.Contains(42));
+}
+
+TEST(CuckooFilterTest, FalsePositiveRateLow) {
+  CuckooFilter filter(1 << 12);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) filter.Insert(rng.Next());
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.Contains(rng.Next() | (1ull << 63))) ++false_positives;
+  }
+  EXPECT_LT(static_cast<double>(false_positives) / probes, 0.02);
+}
+
+TEST(CuckooFilterTest, RefusesWhenOverfull) {
+  CuckooFilter filter(64);  // tiny
+  Xoshiro256 rng(5);
+  bool refused = false;
+  for (int i = 0; i < 200 && !refused; ++i) {
+    refused = !filter.Insert(rng.Next());
+  }
+  EXPECT_TRUE(refused);
+  EXPECT_GT(filter.LoadFactor(), 0.85);  // refuses only when nearly full
+}
+
+TEST(CuckooFrontTest, RemoveKeepsSharedPagesVisible) {
+  auto store = std::make_unique<CuckooFrontStore>(
+      std::make_unique<RegionTable64>());
+  // Two regions share the 0x100000 page.
+  ASSERT_TRUE(store->Add(Region{0x100000, 0x200, kProtRW}).ok());
+  ASSERT_TRUE(store->Add(Region{0x100800, 0x200, kProtRead}).ok());
+  ASSERT_TRUE(store->Remove(0x100000).ok());
+  // The second region on the shared page must still be found.
+  EXPECT_TRUE(store->Lookup(0x100900, 8).has_value());
+  EXPECT_FALSE(store->Lookup(0x100000, 8).has_value());
+}
+
+TEST(CuckooFrontTest, NegativeLookupSkipsInner) {
+  auto store = std::make_unique<CuckooFrontStore>(
+      std::make_unique<RegionTable64>());
+  ASSERT_TRUE(store->Add(Region{0x100000, 0x1000, kProtRW}).ok());
+  store->ResetStats();
+  EXPECT_FALSE(store->Lookup(0x900000000ull, 8).has_value());
+  EXPECT_EQ(store->stats().fast_path_hits, 1u);
+}
+
+TEST(CacheStoreTest, RepeatHitsUseCache) {
+  auto store = std::make_unique<SingleEntryCacheStore>(
+      std::make_unique<RegionTable64>());
+  ASSERT_TRUE(store->Add(Region{0x1000, 0x1000, kProtRW}).ok());
+  (void)store->Lookup(0x1100, 8);
+  store->ResetStats();
+  for (int i = 0; i < 10; ++i) (void)store->Lookup(0x1200, 8);
+  EXPECT_EQ(store->stats().fast_path_hits, 10u);
+  // Inner store untouched during cached hits.
+  EXPECT_EQ(store->inner().stats().lookups, 1u);
+}
+
+TEST(CacheStoreTest, MutationInvalidatesCache) {
+  auto store = std::make_unique<SingleEntryCacheStore>(
+      std::make_unique<RegionTable64>());
+  ASSERT_TRUE(store->Add(Region{0x1000, 0x1000, kProtRW}).ok());
+  (void)store->Lookup(0x1100, 8);
+  ASSERT_TRUE(store->Remove(0x1000).ok());
+  EXPECT_FALSE(store->Lookup(0x1100, 8).has_value());
+}
+
+TEST(LshStoreTest, RegionsSpanningBucketsFound) {
+  LshBucketStore store(/*bucket_shift=*/12);  // 4 KiB buckets
+  // Region spanning three buckets.
+  ASSERT_TRUE(store.Add(Region{0x1800, 0x2000, kProtRW}).ok());
+  EXPECT_TRUE(store.Lookup(0x1900, 8).has_value());
+  EXPECT_TRUE(store.Lookup(0x2800, 8).has_value());
+  EXPECT_TRUE(store.Lookup(0x3700, 8).has_value());
+  EXPECT_FALSE(store.Lookup(0x3800, 8).has_value());
+  EXPECT_GE(store.BucketCount(), 3u);
+}
+
+TEST(LshStoreTest, FirstMatchOrderAcrossOverlaps) {
+  LshBucketStore store(12);
+  ASSERT_TRUE(store.Add(Region{0x1000, 0x2000, kProtRW}).ok());
+  ASSERT_TRUE(store.Add(Region{0x1800, 0x2000, kProtRead}).ok());
+  EXPECT_EQ(*store.Lookup(0x1900, 4), kProtRW);  // earlier insertion wins
+  ASSERT_TRUE(store.Remove(0x1000).ok());
+  EXPECT_EQ(*store.Lookup(0x1900, 4), kProtRead);
+}
+
+// ------------------------------------------------------------- engine --
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : engine_(&kernel_, std::make_unique<RegionTable64>(),
+                PolicyMode::kDefaultDeny) {
+    engine_.SetViolationAction(ViolationAction::kLogOnly);
+  }
+  kernel::Kernel kernel_;
+  PolicyEngine engine_;
+};
+
+TEST_F(EngineTest, DefaultDenySemantics) {
+  EXPECT_FALSE(engine_.Check(0x1000, 8, kGuardAccessRead));
+  ASSERT_TRUE(engine_.store().Add(Region{0x1000, 0x100, kProtRead}).ok());
+  EXPECT_TRUE(engine_.Check(0x1000, 8, kGuardAccessRead));
+  EXPECT_FALSE(engine_.Check(0x1000, 8, kGuardAccessWrite));
+  EXPECT_FALSE(engine_.Check(0x2000, 8, kGuardAccessRead));
+}
+
+TEST_F(EngineTest, DefaultAllowSemantics) {
+  engine_.SetMode(PolicyMode::kDefaultAllow);
+  EXPECT_TRUE(engine_.Check(0x9000, 8, kGuardAccessWrite));
+  // A restricting region takes away write.
+  ASSERT_TRUE(engine_.store().Add(Region{0x9000, 0x100, kProtRead}).ok());
+  EXPECT_TRUE(engine_.Check(0x9000, 8, kGuardAccessRead));
+  EXPECT_FALSE(engine_.Check(0x9000, 8, kGuardAccessWrite));
+}
+
+TEST_F(EngineTest, GuardCountsAndLogs) {
+  ASSERT_TRUE(engine_.store().Add(Region{0x1000, 0x100, kProtRW}).ok());
+  EXPECT_TRUE(engine_.Guard(0x1000, 8, kGuardAccessRead));
+  EXPECT_FALSE(engine_.Guard(0x5000, 8, kGuardAccessWrite));
+  EXPECT_EQ(engine_.stats().guard_calls, 2u);
+  EXPECT_EQ(engine_.stats().allowed, 1u);
+  EXPECT_EQ(engine_.stats().denied, 1u);
+  EXPECT_TRUE(kernel_.log().Contains("forbidden write access"));
+}
+
+TEST_F(EngineTest, GuardChargesClockByRegionCount) {
+  engine_.SetMode(PolicyMode::kDefaultAllow);
+  const double before = kernel_.clock().NowCycles();
+  EXPECT_TRUE(engine_.Guard(0x1, 8, kGuardAccessRead));
+  const double one_guard = kernel_.clock().NowCycles() - before;
+  EXPECT_NEAR(one_guard, kernel_.machine().GuardCycles(0), 1e-9);
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        engine_.store().Add(Region{i << 20, 0x1000, kProtRW}).ok());
+  }
+  const double before64 = kernel_.clock().NowCycles();
+  EXPECT_TRUE(engine_.Guard(0x1, 8, kGuardAccessRead));
+  EXPECT_NEAR(kernel_.clock().NowCycles() - before64,
+              kernel_.machine().GuardCycles(64), 1e-9);
+}
+
+TEST_F(EngineTest, PanicActionThrows) {
+  engine_.SetViolationAction(ViolationAction::kPanic);
+  EXPECT_THROW((void)engine_.Guard(0x5000, 8, kGuardAccessRead),
+               kernel::KernelPanic);
+  EXPECT_TRUE(kernel_.panicked());
+}
+
+TEST_F(EngineTest, SwapStorePreservesPolicy) {
+  ASSERT_TRUE(engine_.store().Add(Region{0x1000, 0x100, kProtRW}).ok());
+  auto old = engine_.SwapStore(std::make_unique<SplayRegionTree>());
+  EXPECT_EQ(engine_.store().name(), "splay-tree");
+  EXPECT_TRUE(engine_.Check(0x1000, 8, kGuardAccessRead));
+}
+
+TEST_F(EngineTest, IntrinsicTableThreeStates) {
+  engine_.SetIntrinsicDefaultAllow(false);
+  EXPECT_FALSE(engine_.IntrinsicGuard(1));
+  engine_.AllowIntrinsic(1);
+  EXPECT_TRUE(engine_.IntrinsicGuard(1));
+  engine_.DenyIntrinsic(1);
+  EXPECT_FALSE(engine_.IntrinsicGuard(1));
+  engine_.SetIntrinsicDefaultAllow(true);
+  EXPECT_TRUE(engine_.IntrinsicGuard(2));  // unlisted -> default
+  EXPECT_EQ(engine_.stats().intrinsic_calls, 4u);
+  EXPECT_EQ(engine_.stats().intrinsic_denied, 2u);
+}
+
+TEST_F(EngineTest, ViolationRingRecordsDenials) {
+  ASSERT_TRUE(engine_.store().Add(Region{0x1000, 0x100, kProtRead}).ok());
+  EXPECT_TRUE(engine_.Guard(0x1000, 8, kGuardAccessRead));   // allowed
+  EXPECT_FALSE(engine_.Guard(0x1000, 8, kGuardAccessWrite)); // denied
+  EXPECT_FALSE(engine_.Guard(0x9000, 4, kGuardAccessRead));  // denied
+  engine_.SetIntrinsicDefaultAllow(false);
+  EXPECT_FALSE(engine_.IntrinsicGuard(3));                   // denied
+
+  const auto violations = engine_.RecentViolations();
+  ASSERT_EQ(violations.size(), 3u);
+  EXPECT_EQ(violations[0].addr, 0x1000u);
+  EXPECT_EQ(violations[0].access_flags, kGuardAccessWrite);
+  EXPECT_FALSE(violations[0].intrinsic);
+  EXPECT_EQ(violations[1].addr, 0x9000u);
+  EXPECT_EQ(violations[1].size, 4u);
+  EXPECT_TRUE(violations[2].intrinsic);
+  EXPECT_EQ(violations[2].addr, 3u);  // intrinsic id in addr field
+
+  engine_.ResetStats();
+  EXPECT_TRUE(engine_.RecentViolations().empty());
+}
+
+TEST_F(EngineTest, ViolationRingKeepsMostRecent64) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(engine_.Guard(0x10000 + i, 1, kGuardAccessRead));
+  }
+  const auto violations = engine_.RecentViolations();
+  ASSERT_EQ(violations.size(), 64u);
+  EXPECT_EQ(violations.front().addr, 0x10000u + 36);  // oldest kept
+  EXPECT_EQ(violations.back().addr, 0x10000u + 99);
+}
+
+TEST_F(EngineTest, ConcurrentGuardsAndMutationsStaySane) {
+  // Hammer the engine from reader threads while a writer churns the
+  // table; counts must add up and nothing may crash or deadlock.
+  engine_.SetMode(PolicyMode::kDefaultAllow);
+  engine_.SetChargeCycles(false);  // the virtual clock is not the SUT here
+  constexpr int kReaders = 3;
+  constexpr int kGuardsPerReader = 20000;
+  std::atomic<bool> stop{false};
+  std::thread writer([&]() {
+    uint64_t i = 0;
+    while (!stop.load()) {
+      const uint64_t base = 0x100000 + (i % 32) * 0x1000;
+      if (engine_.store().Add(Region{base, 0x800, kProtRW}).ok()) {
+        (void)engine_.store().Remove(base);
+      }
+      ++i;
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      Xoshiro256 rng(uint64_t(t) + 1);
+      for (int i = 0; i < kGuardsPerReader; ++i) {
+        (void)engine_.Guard(0x100000 + rng.NextBelow(32 * 0x1000), 8,
+                            kGuardAccessRead);
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(engine_.stats().guard_calls,
+            uint64_t(kReaders) * kGuardsPerReader);
+  EXPECT_EQ(engine_.stats().allowed + engine_.stats().denied,
+            engine_.stats().guard_calls);
+}
+
+// ------------------------------------------------------- policy module --
+
+class PolicyModuleTest : public ::testing::Test {
+ protected:
+  PolicyModuleTest() {
+    auto module = PolicyModule::Insert(&kernel_);
+    EXPECT_TRUE(module.ok());
+    module_ = std::move(*module);
+    module_->engine().SetViolationAction(ViolationAction::kLogOnly);
+  }
+
+  Status Ioctl(uint32_t cmd, std::vector<uint8_t>& arg) {
+    return kernel_.devices().Ioctl(kCaratDevicePath, cmd, arg);
+  }
+
+  kernel::Kernel kernel_;
+  std::unique_ptr<PolicyModule> module_;
+};
+
+TEST_F(PolicyModuleTest, ExportsGuardSymbols) {
+  EXPECT_TRUE(kernel_.symbols().HasFunction("carat_guard"));
+  EXPECT_TRUE(kernel_.symbols().HasFunction("carat_intrinsic_guard"));
+  EXPECT_TRUE(kernel_.devices().Exists(kCaratDevicePath));
+  EXPECT_TRUE(kernel_.log().Contains("policy module loaded"));
+}
+
+TEST_F(PolicyModuleTest, GuardSymbolRoutesToEngine) {
+  auto arg = PackArg(CaratRegionArg{0x5000, 0x100, kProtRead, 0});
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_ADD_REGION, arg).ok());
+  auto allowed =
+      kernel_.symbols().Call("carat_guard", {0x5000, 8, kGuardAccessRead});
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_EQ(*allowed, 1u);
+  auto denied =
+      kernel_.symbols().Call("carat_guard", {0x5000, 8, kGuardAccessWrite});
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(*denied, 0u);
+}
+
+TEST_F(PolicyModuleTest, SecondInsertFails) {
+  auto second = PolicyModule::Insert(&kernel_);
+  EXPECT_FALSE(second.ok());  // carat_guard already exported
+}
+
+TEST_F(PolicyModuleTest, RmmodUnexports) {
+  module_.reset();
+  EXPECT_FALSE(kernel_.symbols().HasFunction("carat_guard"));
+  EXPECT_FALSE(kernel_.devices().Exists(kCaratDevicePath));
+  // Reinsert works after rmmod.
+  auto again = PolicyModule::Insert(&kernel_);
+  EXPECT_TRUE(again.ok());
+}
+
+TEST_F(PolicyModuleTest, IoctlAddRemoveClearCount) {
+  auto add = PackArg(CaratRegionArg{0x1000, 0x100, kProtRW, 0});
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_ADD_REGION, add).ok());
+  auto add2 = PackArg(CaratRegionArg{0x2000, 0x100, kProtRW, 0});
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_ADD_REGION, add2).ok());
+
+  CaratCountArg count;
+  auto count_arg = PackArg(count);
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_COUNT_REGIONS, count_arg).ok());
+  ASSERT_TRUE(UnpackArg(count_arg, &count));
+  EXPECT_EQ(count.count, 2u);
+
+  auto remove = PackArg(CaratRegionArg{0x1000, 0, 0, 0});
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_REMOVE_REGION, remove).ok());
+  std::vector<uint8_t> empty;
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_CLEAR_REGIONS, empty).ok());
+  count_arg = PackArg(CaratCountArg{});
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_COUNT_REGIONS, count_arg).ok());
+  ASSERT_TRUE(UnpackArg(count_arg, &count));
+  EXPECT_EQ(count.count, 0u);
+}
+
+TEST_F(PolicyModuleTest, IoctlListRegions) {
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto add = PackArg(CaratRegionArg{0x1000 * (i + 1), 0x80, kProtRead, 0});
+    ASSERT_TRUE(Ioctl(KOP_IOCTL_ADD_REGION, add).ok());
+  }
+  CaratListArg list;
+  auto list_arg = PackArg(list);
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_LIST_REGIONS, list_arg).ok());
+  ASSERT_TRUE(UnpackArg(list_arg, &list));
+  ASSERT_EQ(list.count, 3u);
+  EXPECT_EQ(list.regions[1].base, 0x2000u);
+  EXPECT_EQ(list.regions[2].prot, kProtRead);
+}
+
+TEST_F(PolicyModuleTest, IoctlSetModeAndStats) {
+  auto mode = PackArg(CaratModeArg{1, 0});
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_SET_MODE, mode).ok());
+  EXPECT_EQ(module_->engine().mode(), PolicyMode::kDefaultAllow);
+
+  (void)module_->engine().Guard(0x1234, 8, kGuardAccessRead);
+  CaratStatsArg stats;
+  auto stats_arg = PackArg(stats);
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_GET_STATS, stats_arg).ok());
+  ASSERT_TRUE(UnpackArg(stats_arg, &stats));
+  EXPECT_EQ(stats.guard_calls, 1u);
+  EXPECT_EQ(stats.allowed, 1u);
+
+  std::vector<uint8_t> empty;
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_RESET_STATS, empty).ok());
+  stats_arg = PackArg(CaratStatsArg{});
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_GET_STATS, stats_arg).ok());
+  ASSERT_TRUE(UnpackArg(stats_arg, &stats));
+  EXPECT_EQ(stats.guard_calls, 0u);
+}
+
+TEST_F(PolicyModuleTest, IoctlIntrinsicControl) {
+  auto allow = PackArg(CaratIntrinsicArg{4});
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_ALLOW_INTRINSIC, allow).ok());
+  EXPECT_TRUE(module_->engine().IntrinsicGuard(4));
+  auto deny = PackArg(CaratIntrinsicArg{4});
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_DENY_INTRINSIC, deny).ok());
+  EXPECT_FALSE(module_->engine().IntrinsicGuard(4));
+}
+
+TEST_F(PolicyModuleTest, IoctlGetViolations) {
+  (void)module_->engine().Guard(0x1234, 8, kGuardAccessWrite);  // denied
+  (void)module_->engine().Guard(0x5678, 2, kGuardAccessRead);   // denied
+  CaratViolationsArg reply;
+  auto arg = PackArg(reply);
+  ASSERT_TRUE(Ioctl(KOP_IOCTL_GET_VIOLATIONS, arg).ok());
+  ASSERT_TRUE(UnpackArg(arg, &reply));
+  ASSERT_EQ(reply.count, 2u);
+  EXPECT_EQ(reply.records[0].addr, 0x1234u);
+  EXPECT_EQ(reply.records[0].access_flags, kGuardAccessWrite);
+  EXPECT_EQ(reply.records[1].addr, 0x5678u);
+  EXPECT_EQ(reply.records[1].size, 2u);
+}
+
+TEST_F(PolicyModuleTest, IoctlRejectsBadInput) {
+  std::vector<uint8_t> tiny(2);
+  EXPECT_FALSE(Ioctl(KOP_IOCTL_ADD_REGION, tiny).ok());
+  std::vector<uint8_t> empty;
+  EXPECT_FALSE(Ioctl(0x9999, empty).ok());
+}
+
+TEST_F(PolicyModuleTest, RegionToStringReadable) {
+  const Region region{0x1000, 0x200, kProtRead};
+  EXPECT_EQ(region.ToString(), "[0x1000, +0x200) r-");
+  const Region rw{0x0, 0x1, kProtRW};
+  EXPECT_EQ(rw.ToString(), "[0x0, +0x1) rw");
+}
+
+}  // namespace
+}  // namespace kop::policy

@@ -1,0 +1,282 @@
+// kop::signing: SHA-256 (FIPS vectors), HMAC (RFC 4231 vectors), module
+// signing, the container format and the load-time validator.
+#include <gtest/gtest.h>
+
+#include "kop/kirmods/corpus.hpp"
+#include "kop/signing/hmac.hpp"
+#include "kop/signing/sha256.hpp"
+#include "kop/signing/signer.hpp"
+#include "kop/signing/validator.hpp"
+#include "kop/transform/compiler.hpp"
+
+namespace kop::signing {
+namespace {
+
+// ---------------------------------------------------------------- sha256 --
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(DigestHex(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string message = "CARAT KOP protects the core kernel";
+  Sha256 hasher;
+  for (char c : message) hasher.Update(&c, 1);
+  EXPECT_EQ(hasher.Finish(), Sha256::Hash(message));
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Around the 55/56/64-byte padding boundaries.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string message(len, 'x');
+    Sha256 incremental;
+    incremental.Update(message.substr(0, len / 2));
+    incremental.Update(message.substr(len / 2));
+    EXPECT_EQ(incremental.Finish(), Sha256::Hash(message)) << len;
+  }
+}
+
+TEST(Sha256Test, HexRoundTrip) {
+  const Sha256Digest digest = Sha256::Hash("roundtrip");
+  Sha256Digest parsed;
+  ASSERT_TRUE(DigestFromHex(DigestHex(digest), &parsed));
+  EXPECT_EQ(parsed, digest);
+  EXPECT_FALSE(DigestFromHex("zz", &parsed));
+  EXPECT_FALSE(DigestFromHex(std::string(63, 'a'), &parsed));
+  EXPECT_FALSE(DigestFromHex(std::string(63, 'a') + "g", &parsed));
+}
+
+// ------------------------------------------------------------------ hmac --
+
+TEST(HmacTest, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(DigestHex(HmacSha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(DigestHex(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const std::string key(20, '\xaa');
+  const std::string message(50, '\xdd');
+  EXPECT_EQ(DigestHex(HmacSha256(key, message)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(
+      DigestHex(HmacSha256(
+          key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DigestEqualsConstantTimeSemantics) {
+  const Sha256Digest a = Sha256::Hash("a");
+  Sha256Digest b = a;
+  EXPECT_TRUE(DigestEquals(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(DigestEquals(a, b));
+}
+
+// ---------------------------------------------------------------- signer --
+
+transform::CompileOutput Compile(const std::string& source) {
+  auto output = transform::CompileModuleText(source);
+  EXPECT_TRUE(output.ok()) << output.status().ToString();
+  return std::move(*output);
+}
+
+TEST(SignerTest, SignAndVerify) {
+  auto compiled = Compile(kirmods::RingbufSource());
+  const SigningKey key = SigningKey::DevelopmentKey();
+  const SignedModule image =
+      SignModule(compiled.text, compiled.attestation, key);
+  Keyring keyring;
+  keyring.Trust(key);
+  EXPECT_TRUE(keyring.VerifySignature(image).ok());
+}
+
+TEST(SignerTest, WrongKeyFailsVerification) {
+  auto compiled = Compile(kirmods::RingbufSource());
+  const SignedModule image = SignModule(
+      compiled.text, compiled.attestation, SigningKey{"other", "secret-2"});
+  Keyring keyring;
+  keyring.Trust(SigningKey::DevelopmentKey());
+  const Status status = keyring.VerifySignature(image);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("untrusted key"), std::string::npos);
+}
+
+TEST(SignerTest, SameKeyIdDifferentSecretFails) {
+  auto compiled = Compile(kirmods::HelloSource());
+  SigningKey forged = SigningKey::DevelopmentKey();
+  forged.secret = "guessed-wrong";
+  const SignedModule image =
+      SignModule(compiled.text, compiled.attestation, forged);
+  Keyring keyring;
+  keyring.Trust(SigningKey::DevelopmentKey());
+  EXPECT_FALSE(keyring.VerifySignature(image).ok());
+}
+
+TEST(SignerTest, TamperedTextFailsVerification) {
+  auto compiled = Compile(kirmods::HelloSource());
+  SignedModule image = SignModule(compiled.text, compiled.attestation,
+                                  SigningKey::DevelopmentKey());
+  Keyring keyring;
+  keyring.Trust(SigningKey::DevelopmentKey());
+  image.module_text += " ";
+  EXPECT_FALSE(keyring.VerifySignature(image).ok());
+}
+
+TEST(SignerTest, TamperedAttestationFailsVerification) {
+  auto compiled = Compile(kirmods::HelloSource());
+  SignedModule image = SignModule(compiled.text, compiled.attestation,
+                                  SigningKey::DevelopmentKey());
+  Keyring keyring;
+  keyring.Trust(SigningKey::DevelopmentKey());
+  // Swap in an attestation claiming more guards.
+  transform::AttestationRecord forged = compiled.attestation;
+  forged.guard_count += 1;
+  image.attestation_text = forged.Serialize();
+  EXPECT_FALSE(keyring.VerifySignature(image).ok());
+}
+
+TEST(SignerTest, PayloadFramingPreventsSplicing) {
+  // Moving bytes across the text/attestation boundary must change the MAC.
+  EXPECT_NE(SignaturePayload("ab", "c"), SignaturePayload("a", "bc"));
+}
+
+TEST(SignerTest, KeyringRevocation) {
+  Keyring keyring;
+  keyring.Trust(SigningKey::DevelopmentKey());
+  EXPECT_TRUE(keyring.Trusts("carat-kop-dev-1"));
+  keyring.Revoke("carat-kop-dev-1");
+  EXPECT_FALSE(keyring.Trusts("carat-kop-dev-1"));
+}
+
+TEST(SignerTest, ContainerRoundTrips) {
+  auto compiled = Compile(kirmods::MemcopySource());
+  const SignedModule image = SignModule(compiled.text, compiled.attestation,
+                                        SigningKey::DevelopmentKey());
+  auto parsed = SignedModule::Deserialize(image.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->module_text, image.module_text);
+  EXPECT_EQ(parsed->attestation_text, image.attestation_text);
+  EXPECT_EQ(parsed->key_id, image.key_id);
+  EXPECT_EQ(parsed->signature, image.signature);
+}
+
+TEST(SignerTest, ContainerRejectsTruncation) {
+  auto compiled = Compile(kirmods::HelloSource());
+  const SignedModule image = SignModule(compiled.text, compiled.attestation,
+                                        SigningKey::DevelopmentKey());
+  const std::string container = image.Serialize();
+  for (size_t cut : {size_t{10}, size_t{50}, container.size() - 5}) {
+    EXPECT_FALSE(SignedModule::Deserialize(container.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(SignedModule::Deserialize("garbage").ok());
+}
+
+// ------------------------------------------------------------- validator --
+
+Keyring TrustedKeyring() {
+  Keyring keyring;
+  keyring.Trust(SigningKey::DevelopmentKey());
+  return keyring;
+}
+
+TEST(ValidatorTest, AcceptsProperlyCompiledModule) {
+  auto compiled = Compile(kirmods::RingbufSource());
+  const SignedModule image = SignModule(compiled.text, compiled.attestation,
+                                        SigningKey::DevelopmentKey());
+  auto validated = ValidateSignedModule(image, TrustedKeyring());
+  ASSERT_TRUE(validated.ok()) << validated.status().ToString();
+  EXPECT_EQ(validated->module->name(), "kop_ringbuf");
+  EXPECT_EQ(validated->attestation.guard_count,
+            compiled.attestation.guard_count);
+}
+
+TEST(ValidatorTest, RejectsGuardlessAttestation) {
+  transform::CompileOptions options;
+  options.inject_guards = false;
+  auto compiled = transform::CompileModuleText(kirmods::RingbufSource(),
+                                               options);
+  ASSERT_TRUE(compiled.ok());
+  const SignedModule image = SignModule(
+      compiled->text, compiled->attestation, SigningKey::DevelopmentKey());
+  EXPECT_FALSE(ValidateSignedModule(image, TrustedKeyring()).ok());
+}
+
+TEST(ValidatorTest, RejectsGuardStripping) {
+  // An attacker (with the key) signs a module whose text had a guard
+  // removed after attestation: guard_count mismatch must be caught.
+  auto compiled = Compile(kirmods::RingbufSource());
+  // Strip the first guard call line from the text.
+  std::string stripped = compiled.text;
+  const size_t pos = stripped.find("  call void @carat_guard");
+  ASSERT_NE(pos, std::string::npos);
+  stripped.erase(pos, stripped.find('\n', pos) - pos + 1);
+  const SignedModule image = SignModule(stripped, compiled.attestation,
+                                        SigningKey::DevelopmentKey());
+  const auto result = ValidateSignedModule(image, TrustedKeyring());
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ValidatorTest, RejectsNameMismatch) {
+  auto compiled = Compile(kirmods::HelloSource());
+  transform::AttestationRecord wrong_name = compiled.attestation;
+  wrong_name.module_name = "kop_other";
+  const SignedModule image =
+      SignModule(compiled.text, wrong_name, SigningKey::DevelopmentKey());
+  EXPECT_FALSE(ValidateSignedModule(image, TrustedKeyring()).ok());
+}
+
+TEST(ValidatorTest, AcceptsOptimizedGuards) {
+  transform::CompileOptions options;
+  options.dominate_guards = true;
+  auto compiled =
+      transform::CompileModuleText(kirmods::MemcopySource(), options);
+  ASSERT_TRUE(compiled.ok());
+  const SignedModule image = SignModule(
+      compiled->text, compiled->attestation, SigningKey::DevelopmentKey());
+  auto validated = ValidateSignedModule(image, TrustedKeyring());
+  EXPECT_TRUE(validated.ok()) << validated.status().ToString();
+}
+
+TEST(ValidatorTest, RejectsUnparseableImage) {
+  transform::AttestationRecord attestation;
+  attestation.module_name = "junk";
+  attestation.guards_complete = true;
+  attestation.no_inline_asm = true;
+  const SignedModule image =
+      SignModule("not KIR at all", attestation, SigningKey::DevelopmentKey());
+  EXPECT_FALSE(ValidateSignedModule(image, TrustedKeyring()).ok());
+}
+
+}  // namespace
+}  // namespace kop::signing

@@ -1,0 +1,180 @@
+// kop::sim: virtual clock, machine models, statistics.
+#include <gtest/gtest.h>
+
+#include "kop/sim/clock.hpp"
+#include "kop/sim/machine.hpp"
+#include "kop/sim/stats.hpp"
+
+namespace kop::sim {
+namespace {
+
+// ----------------------------------------------------------------- clock --
+
+TEST(ClockTest, AdvancesAndReads) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.ReadTsc(), 0u);
+  clock.Advance(100.5);
+  clock.Advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.NowCycles(), 100.75);
+  EXPECT_EQ(clock.ReadTsc(), 100u);  // truncated like rdtsc sampling
+}
+
+TEST(ClockTest, FractionalChargesAccumulate) {
+  VirtualClock clock;
+  for (int i = 0; i < 1000; ++i) clock.Advance(0.09);
+  EXPECT_NEAR(clock.NowCycles(), 90.0, 1e-9);
+}
+
+TEST(ClockTest, CyclesToSeconds) {
+  EXPECT_DOUBLE_EQ(VirtualClock::CyclesToSeconds(2.8e9, 2.8e9), 1.0);
+  EXPECT_DOUBLE_EQ(VirtualClock::CyclesToSeconds(1.1e9, 2.2e9), 0.5);
+}
+
+TEST(ClockTest, Reset) {
+  VirtualClock clock;
+  clock.Advance(5);
+  clock.Reset();
+  EXPECT_EQ(clock.ReadTsc(), 0u);
+}
+
+// --------------------------------------------------------------- machine --
+
+TEST(MachineTest, PresetsMatchTestbeds) {
+  const MachineModel r415 = MachineModel::R415();
+  const MachineModel r350 = MachineModel::R350();
+  EXPECT_DOUBLE_EQ(r415.freq_hz, 2.2e9);
+  EXPECT_DOUBLE_EQ(r350.freq_hz, 2.8e9);
+  EXPECT_NE(r415.name.find("R415"), std::string::npos);
+  EXPECT_NE(r350.name.find("R350"), std::string::npos);
+}
+
+TEST(MachineTest, OldMachineHasCostlierGuards) {
+  const MachineModel r415 = MachineModel::R415();
+  const MachineModel r350 = MachineModel::R350();
+  EXPECT_GT(r415.GuardCycles(2), r350.GuardCycles(2));
+  EXPECT_GT(r415.GuardCycles(64), r350.GuardCycles(64));
+}
+
+TEST(MachineTest, GuardCostGrowsWithRegions) {
+  const MachineModel m = MachineModel::R350();
+  EXPECT_LT(m.GuardCycles(2), m.GuardCycles(16));
+  EXPECT_LT(m.GuardCycles(16), m.GuardCycles(64));
+  EXPECT_NEAR(m.GuardCycles(64) - m.GuardCycles(2),
+              62 * m.guard_per_region_cycles, 1e-12);
+}
+
+TEST(MachineTest, CalibrationTargetsHold) {
+  // ~19.3 guarded accesses per 128 B packet (see e1000e_test): the
+  // per-packet guard overhead must land on the paper's deltas.
+  const double kGuardsPerPacket = 19.3;
+  const MachineModel r350 = MachineModel::R350();
+  const MachineModel r415 = MachineModel::R415();
+  // Fig 7: carat-baseline median latency delta ~8 cycles on R350.
+  EXPECT_NEAR(kGuardsPerPacket * r350.GuardCycles(2), 8.0, 2.0);
+  // Fig 3: ~0.8% of ~18.6k cycles/packet on R415 -> ~150 cycles.
+  EXPECT_NEAR(kGuardsPerPacket * r415.GuardCycles(2), 150.0, 20.0);
+  // Fig 5: n=64 on R350 stays well under 1% of ~24.8k cycles/packet.
+  EXPECT_LT(kGuardsPerPacket * r350.GuardCycles(64), 248.0);
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(StatsTest, AccumulatorMoments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(StatsTest, AccumulatorEdgeCases) {
+  Accumulator acc;
+  EXPECT_EQ(acc.variance(), 0.0);
+  acc.Add(3.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 3.0);
+  EXPECT_EQ(acc.max(), 3.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> values{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25), 17.5);
+}
+
+TEST(StatsTest, QuantileSingleSample) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(StatsTest, SummaryFields) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  const Summary s = Summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 0.01);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(StatsTest, SummaryEmptyIsZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(StatsTest, EmpiricalCdfMonotone) {
+  std::vector<double> values{5, 1, 3, 2, 4};
+  const auto cdf = EmpiricalCdf(values, 100);
+  ASSERT_EQ(cdf.size(), 5u);  // capped at sample count
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 5.0);
+  EXPECT_DOUBLE_EQ(cdf.front().percentile, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().percentile, 100.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].percentile, cdf[i - 1].percentile);
+  }
+}
+
+TEST(StatsTest, EmpiricalCdfDownsamples) {
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i);
+  const auto cdf = EmpiricalCdf(values, 50);
+  EXPECT_EQ(cdf.size(), 50u);
+}
+
+TEST(StatsTest, HistogramBucketsAndBounds) {
+  Histogram hist(0.0, 100.0, 10);
+  hist.Add(5);     // bin 0
+  hist.Add(15);    // bin 1
+  hist.Add(99.9);  // bin 9
+  hist.Add(-1);    // underflow
+  hist.Add(100);   // overflow (hi is exclusive)
+  hist.Add(1e9);   // overflow
+  EXPECT_EQ(hist.bin_count(0), 1u);
+  EXPECT_EQ(hist.bin_count(1), 1u);
+  EXPECT_EQ(hist.bin_count(9), 1u);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_EQ(hist.total(), 6u);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(1), 10.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(1), 20.0);
+}
+
+TEST(StatsTest, HistogramCsvHasAllRows) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(1);
+  const std::string csv = hist.ToCsv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  EXPECT_NE(csv.find("0.0,2.0,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kop::sim

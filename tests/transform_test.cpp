@@ -1,0 +1,650 @@
+// kop::transform: guard injection, attestation, privileged wrapping,
+// guard-optimization ablations, the pass manager and the compiler driver.
+#include <gtest/gtest.h>
+
+#include "kop/kir/kir.hpp"
+#include "kop/kirmods/corpus.hpp"
+#include "kop/transform/attestation.hpp"
+#include "kop/transform/compiler.hpp"
+#include "kop/transform/guard_injection.hpp"
+#include "kop/transform/guard_opt.hpp"
+#include "kop/transform/pass.hpp"
+#include "kop/transform/privileged.hpp"
+#include "kop/transform/simplify.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::transform {
+namespace {
+
+std::unique_ptr<kir::Module> Parse(const std::string& source) {
+  auto module = kir::ParseModule(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  return std::move(*module);
+}
+
+uint64_t CountGuardCalls(const kir::Module& module) {
+  uint64_t guards = 0;
+  for (const auto& fn : module.functions()) {
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kCall &&
+            inst->callee() == kCaratGuardSymbol) {
+          ++guards;
+        }
+      }
+    }
+  }
+  return guards;
+}
+
+// -------------------------------------------------------- guard injection --
+
+TEST(GuardInjectionTest, OneGuardPerMemoryAccess) {
+  auto module = Parse(kirmods::RingbufSource());
+  const size_t accesses = module->MemoryAccessCount();
+  GuardInjectionPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  EXPECT_EQ(pass.stats().guards_inserted(), accesses);
+  EXPECT_EQ(CountGuardCalls(*module), accesses);
+  EXPECT_TRUE(kir::VerifyModule(*module).ok());
+}
+
+TEST(GuardInjectionTest, GuardPrecedesEveryAccess) {
+  auto module = Parse(kirmods::MemcopySource());
+  GuardInjectionPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  EXPECT_TRUE(GuardsComplete(*module));
+}
+
+TEST(GuardInjectionTest, LoadGetsReadFlagStoreGetsWriteFlag) {
+  auto module = Parse(
+      "module \"m\"\nglobal @g size 8 rw\n"
+      "func @f() -> i64 {\nentry:\n"
+      "  %v = load i64, @g\n  store i64 %v, @g\n  ret i64 %v\n}\n");
+  GuardInjectionPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  const auto& entry = *module->FindFunction("f")->blocks()[0];
+  std::vector<const kir::Instruction*> insts;
+  for (const auto& inst : *&entry) insts.push_back(inst.get());
+  ASSERT_EQ(insts.size(), 5u);  // guard, load, guard, store, ret
+  ASSERT_EQ(insts[0]->callee(), kCaratGuardSymbol);
+  const auto* read_flags = kir::dyn_cast<kir::Constant>(insts[0]->operand(2));
+  ASSERT_NE(read_flags, nullptr);
+  EXPECT_EQ(read_flags->bits(), kGuardAccessRead);
+  ASSERT_EQ(insts[2]->callee(), kCaratGuardSymbol);
+  const auto* write_flags =
+      kir::dyn_cast<kir::Constant>(insts[2]->operand(2));
+  ASSERT_NE(write_flags, nullptr);
+  EXPECT_EQ(write_flags->bits(), kGuardAccessWrite);
+}
+
+TEST(GuardInjectionTest, GuardSizeMatchesAccessWidth) {
+  auto module = Parse(
+      "module \"m\"\nglobal @g size 8 rw\n"
+      "func @f() -> void {\nentry:\n"
+      "  %a = load i8, @g\n  %b = load i32, @g\n"
+      "  store i16 1, @g\n  ret void\n}\n");
+  GuardInjectionPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  std::vector<uint64_t> sizes;
+  for (const auto& inst : *module->FindFunction("f")->blocks()[0]) {
+    if (inst->opcode() == kir::Opcode::kCall) {
+      sizes.push_back(
+          kir::dyn_cast<kir::Constant>(inst->operand(1))->bits());
+    }
+  }
+  EXPECT_EQ(sizes, (std::vector<uint64_t>{1, 4, 2}));
+}
+
+TEST(GuardInjectionTest, GuardedPointerIsTheAccessPointer) {
+  auto module = Parse(kirmods::ScribblerSource());
+  GuardInjectionPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  // GuardsComplete verifies pointer identity between guard and access.
+  EXPECT_TRUE(GuardsComplete(*module));
+}
+
+TEST(GuardInjectionTest, DeclaresExternalGuardOnce) {
+  auto module = Parse(kirmods::RingbufSource());
+  GuardInjectionPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  const kir::Function* guard = module->FindFunction(kCaratGuardSymbol);
+  ASSERT_NE(guard, nullptr);
+  EXPECT_TRUE(guard->is_external());
+  EXPECT_EQ(guard->arg_count(), 3u);
+  // Idempotent re-run doubles guards but must not redeclare the symbol.
+  GuardInjectionPass again;
+  ASSERT_TRUE(again.Run(*module).ok());
+  size_t decls = 0;
+  for (const auto& fn : module->functions()) {
+    if (fn->name() == kCaratGuardSymbol) ++decls;
+  }
+  EXPECT_EQ(decls, 1u);
+}
+
+TEST(GuardInjectionTest, RejectsConflictingGuardSignature) {
+  auto module = Parse(
+      "module \"m\"\nextern func @carat_guard(i64) -> void\n"
+      "func @f() -> void {\nentry:\n  ret void\n}\n");
+  GuardInjectionPass pass;
+  EXPECT_FALSE(pass.Run(*module).ok());
+}
+
+TEST(GuardInjectionTest, ModuleWithNoAccessesGetsNoGuards) {
+  auto module = Parse(
+      "module \"m\"\nfunc @f(i64 %a) -> i64 {\nentry:\n"
+      "  %v = add i64 %a, 1\n  ret i64 %v\n}\n");
+  GuardInjectionPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  EXPECT_EQ(pass.stats().guards_inserted(), 0u);
+  EXPECT_TRUE(GuardsComplete(*module));  // vacuously complete
+}
+
+TEST(GuardInjectionTest, TransformIsAbout200Lines) {
+  // The paper: "the resulting CARAT KOP transforms constitute only about
+  // 200 lines of C++". Keep ours honest (source file under ~250 lines).
+  // This is a documentation-style regression: count via the stats of the
+  // transformed corpus instead of reading files — every module in the
+  // corpus must be fully guarded by the one small pass.
+  for (const auto& entry : kirmods::AllCorpusModules()) {
+    auto module = Parse(entry.source);
+    GuardInjectionPass pass;
+    ASSERT_TRUE(pass.Run(*module).ok()) << entry.name;
+    EXPECT_TRUE(GuardsComplete(*module)) << entry.name;
+  }
+}
+
+// ------------------------------------------------------------ attestation --
+
+TEST(AttestationTest, RefusesInlineAsm) {
+  auto module = Parse(kirmods::InlineAsmSource());
+  AsmAttestationPass pass;
+  const Status status = pass.Run(*module);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("inline assembly"), std::string::npos);
+}
+
+TEST(AttestationTest, RecordRoundTrips) {
+  AttestationRecord record;
+  record.module_name = "kop_test";
+  record.guards_complete = true;
+  record.no_inline_asm = true;
+  record.guards_optimized = true;
+  record.guard_count = 123;
+  auto parsed = AttestationRecord::Deserialize(record.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->module_name, "kop_test");
+  EXPECT_TRUE(parsed->guards_complete);
+  EXPECT_TRUE(parsed->no_inline_asm);
+  EXPECT_TRUE(parsed->guards_optimized);
+  EXPECT_EQ(parsed->guard_count, 123u);
+}
+
+TEST(AttestationTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(AttestationRecord::Deserialize("not an attestation").ok());
+  EXPECT_FALSE(AttestationRecord::Deserialize(
+                   "carat-kop-attestation v1\nmodule: x\n")
+                   .ok());
+}
+
+TEST(AttestationTest, GuardsCompleteDetectsMissingGuard) {
+  auto module = Parse(
+      "module \"m\"\nglobal @g size 8 rw\n"
+      "func @f() -> void {\nentry:\n  store i64 1, @g\n  ret void\n}\n");
+  EXPECT_FALSE(GuardsComplete(*module));
+  GuardInjectionPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  EXPECT_TRUE(GuardsComplete(*module));
+}
+
+TEST(AttestationTest, GuardsCompleteDetectsWrongPointer) {
+  // A guard on a different pointer must not satisfy the checker.
+  auto module = Parse(R"(module "m"
+global @a size 8 rw
+global @b size 8 rw
+extern func @carat_guard(ptr, i64, i64) -> void
+func @f() -> void {
+entry:
+  call void @carat_guard(ptr @a, i64 8, i64 2)
+  store i64 1, @b
+  ret void
+}
+)");
+  EXPECT_FALSE(GuardsComplete(*module));
+}
+
+TEST(AttestationTest, GuardsCompleteAcceptsWiderGuard) {
+  auto module = Parse(R"(module "m"
+global @a size 8 rw
+extern func @carat_guard(ptr, i64, i64) -> void
+func @f() -> void {
+entry:
+  call void @carat_guard(ptr @a, i64 8, i64 3)
+  store i32 1, @a
+  ret void
+}
+)");
+  EXPECT_TRUE(GuardsComplete(*module));
+}
+
+TEST(AttestationTest, AttestSummarizesModule) {
+  auto module = Parse(kirmods::RingbufSource());
+  GuardInjectionPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  const AttestationRecord record = Attest(*module);
+  EXPECT_EQ(record.module_name, "kop_ringbuf");
+  EXPECT_TRUE(record.no_inline_asm);
+  EXPECT_TRUE(record.guards_complete);
+  EXPECT_EQ(record.guard_count, pass.stats().guards_inserted());
+}
+
+// --------------------------------------------------- privileged wrapping --
+
+TEST(PrivilegedTest, NameMapIsBijective) {
+  for (auto intrinsic :
+       {PrivilegedIntrinsic::kCli, PrivilegedIntrinsic::kSti,
+        PrivilegedIntrinsic::kRdmsr, PrivilegedIntrinsic::kWrmsr,
+        PrivilegedIntrinsic::kInb, PrivilegedIntrinsic::kOutb,
+        PrivilegedIntrinsic::kInvlpg, PrivilegedIntrinsic::kHlt}) {
+    auto name = PrivilegedIntrinsicName(intrinsic);
+    auto back = PrivilegedIntrinsicFromName(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, intrinsic);
+  }
+  EXPECT_FALSE(PrivilegedIntrinsicFromName("kir.nothing").has_value());
+  EXPECT_FALSE(PrivilegedIntrinsicFromName("printk_str").has_value());
+}
+
+TEST(PrivilegedTest, WrapsEveryIntrinsicCall) {
+  auto module = Parse(kirmods::PrivuserSource());
+  PrivilegedIntrinsicWrapPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  EXPECT_EQ(pass.stats().intrinsics_wrapped, 4u);  // cli, sti, wrmsr, hlt
+  EXPECT_TRUE(kir::VerifyModule(*module).ok());
+
+  // Each intrinsic call must be directly preceded by the intrinsic guard
+  // carrying the right id.
+  for (const auto& fn : module->functions()) {
+    for (const auto& block : fn->blocks()) {
+      const kir::Instruction* prev = nullptr;
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kCall) {
+          auto id = PrivilegedIntrinsicFromName(inst->callee());
+          if (id) {
+            ASSERT_NE(prev, nullptr);
+            ASSERT_EQ(prev->callee(), kCaratIntrinsicGuardSymbol);
+            EXPECT_EQ(
+                kir::dyn_cast<kir::Constant>(prev->operand(0))->bits(),
+                static_cast<uint64_t>(*id));
+          }
+        }
+        prev = inst.get();
+      }
+    }
+  }
+}
+
+TEST(PrivilegedTest, LeavesOrdinaryCallsAlone) {
+  auto module = Parse(kirmods::HelloSource());
+  PrivilegedIntrinsicWrapPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  EXPECT_EQ(pass.stats().intrinsics_wrapped, 0u);
+}
+
+// ------------------------------------------------------------- guard opt --
+
+TEST(GuardOptTest, CoalesceRemovesDuplicateInBlock) {
+  auto module = Parse(
+      "module \"m\"\nglobal @g size 8 rw\n"
+      "func @f() -> i64 {\nentry:\n"
+      "  %a = load i64, @g\n  %b = load i64, @g\n"
+      "  %s = add i64 %a, %b\n  ret i64 %s\n}\n");
+  GuardInjectionPass inject;
+  ASSERT_TRUE(inject.Run(*module).ok());
+  ASSERT_EQ(CountGuardCalls(*module), 2u);
+  GuardCoalescePass coalesce;
+  ASSERT_TRUE(coalesce.Run(*module).ok());
+  EXPECT_EQ(coalesce.stats().guards_removed, 1u);
+  EXPECT_EQ(CountGuardCalls(*module), 1u);
+  EXPECT_TRUE(kir::VerifyModule(*module).ok());
+}
+
+TEST(GuardOptTest, CoalesceKeepsGuardsAcrossExternalCalls) {
+  // An intervening external call may change the policy; the second guard
+  // must survive.
+  auto module = Parse(R"(module "m"
+global @g size 8 rw
+extern func @helper() -> void
+func @f() -> i64 {
+entry:
+  %a = load i64, @g
+  call void @helper()
+  %b = load i64, @g
+  %s = add i64 %a, %b
+  ret i64 %s
+}
+)");
+  GuardInjectionPass inject;
+  ASSERT_TRUE(inject.Run(*module).ok());
+  GuardCoalescePass coalesce;
+  ASSERT_TRUE(coalesce.Run(*module).ok());
+  EXPECT_EQ(coalesce.stats().guards_removed, 0u);
+  EXPECT_EQ(CountGuardCalls(*module), 2u);
+}
+
+TEST(GuardOptTest, CoalesceDistinguishesReadAndWrite) {
+  auto module = Parse(
+      "module \"m\"\nglobal @g size 8 rw\n"
+      "func @f() -> i64 {\nentry:\n"
+      "  %a = load i64, @g\n  store i64 %a, @g\n  ret i64 %a\n}\n");
+  GuardInjectionPass inject;
+  ASSERT_TRUE(inject.Run(*module).ok());
+  GuardCoalescePass coalesce;
+  ASSERT_TRUE(coalesce.Run(*module).ok());
+  // A read guard does not cover a write guard.
+  EXPECT_EQ(coalesce.stats().guards_removed, 0u);
+}
+
+TEST(GuardOptTest, DominationRemovesGuardsAcrossBlocks) {
+  auto fixed = Parse(R"(module "m"
+global @g size 8 rw
+func @f(i1 %c) -> i64 {
+entry:
+  %a = load i64, @g
+  br %c, left, right
+left:
+  %b = load i64, @g
+  jmp merge
+right:
+  %d = load i64, @g
+  jmp merge
+merge:
+  %m = phi i64 [ %b, left ], [ %d, right ]
+  %e = load i64, @g
+  %s = add i64 %m, %e
+  ret i64 %s
+}
+)");
+  GuardInjectionPass inject;
+  ASSERT_TRUE(inject.Run(*fixed).ok());
+  ASSERT_EQ(CountGuardCalls(*fixed), 4u);
+  GuardDominationPass dominate;
+  ASSERT_TRUE(dominate.Run(*fixed).ok());
+  // The entry guard dominates all three later identical guards.
+  EXPECT_EQ(dominate.stats().guards_removed, 3u);
+  EXPECT_EQ(CountGuardCalls(*fixed), 1u);
+  EXPECT_TRUE(kir::VerifyModule(*fixed).ok());
+}
+
+TEST(GuardOptTest, DominationDoesNotRemoveSiblingGuards) {
+  // left/right don't dominate each other: both keep their guards.
+  auto module = Parse(R"(module "m"
+global @g size 8 rw
+func @f(i1 %c) -> i64 {
+entry:
+  br %c, left, right
+left:
+  %b = load i64, @g
+  jmp merge
+right:
+  %d = load i64, @g
+  jmp merge
+merge:
+  %m = phi i64 [ %b, left ], [ %d, right ]
+  ret i64 %m
+}
+)");
+  GuardInjectionPass inject;
+  ASSERT_TRUE(inject.Run(*module).ok());
+  GuardDominationPass dominate;
+  ASSERT_TRUE(dominate.Run(*module).ok());
+  EXPECT_EQ(dominate.stats().guards_removed, 0u);
+}
+
+TEST(GuardOptTest, DominationPrunesLoopInvariantGuards) {
+  // The same global is guarded every iteration; the loop-body guard is
+  // dominated by... nothing before the loop (first access is inside), so
+  // only iteration-to-iteration redundancy within one pass over the
+  // dominator tree is removed: here the loop body block's guard stays,
+  // but the duplicate access to @copied in the same block collapses.
+  auto module = Parse(kirmods::MemcopySource());
+  GuardInjectionPass inject;
+  ASSERT_TRUE(inject.Run(*module).ok());
+  const uint64_t before = CountGuardCalls(*module);
+  GuardDominationPass dominate;
+  ASSERT_TRUE(dominate.Run(*module).ok());
+  EXPECT_LT(CountGuardCalls(*module), before);
+  EXPECT_TRUE(kir::VerifyModule(*module).ok());
+}
+
+// ---------------------------------------------------------- simplify --
+
+TEST(SimplifyTest, FoldsConstantChains) {
+  auto module = Parse(R"(module "m"
+func @f() -> i64 {
+entry:
+  %a = add i64 2, 3
+  %b = mul i64 %a, 4
+  %c = sub i64 %b, 5
+  ret i64 %c
+}
+)");
+  SimplifyPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  EXPECT_TRUE(kir::VerifyModule(*module).ok());
+  const auto& entry = *module->FindFunction("f")->blocks()[0];
+  ASSERT_EQ(entry.size(), 1u);  // just the ret
+  const kir::Instruction* ret = entry.begin()->get();
+  const auto* folded = kir::dyn_cast<kir::Constant>(ret->operand(0));
+  ASSERT_NE(folded, nullptr);
+  EXPECT_EQ(folded->bits(), (2u + 3u) * 4u - 5u);
+  EXPECT_GE(pass.stats().constants_folded, 3u);
+}
+
+TEST(SimplifyTest, AppliesIdentities) {
+  auto module = Parse(R"(module "m"
+func @f(i64 %x) -> i64 {
+entry:
+  %a = add i64 %x, 0
+  %b = mul i64 %a, 1
+  %c = or i64 %b, 0
+  ret i64 %c
+}
+)");
+  SimplifyPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  const auto& entry = *module->FindFunction("f")->blocks()[0];
+  ASSERT_EQ(entry.size(), 1u);
+  // ret operand is the argument itself.
+  EXPECT_EQ(entry.begin()->get()->operand(0)->kind(),
+            kir::ValueKind::kArgument);
+  EXPECT_GE(pass.stats().identities_applied, 3u);
+}
+
+TEST(SimplifyTest, NeverRemovesMemoryAccesses) {
+  auto module = Parse(R"(module "m"
+global @g size 8 rw
+func @f() -> void {
+entry:
+  %dead = add i64 1, 2
+  %v = load i64, @g
+  store i64 7, @g
+  ret void
+}
+)");
+  const size_t accesses_before = module->MemoryAccessCount();
+  SimplifyPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  // The unused add folds/dies; the unused load and the store stay.
+  EXPECT_EQ(module->MemoryAccessCount(), accesses_before);
+  EXPECT_GE(pass.stats().dead_removed, 0u);
+  const auto& entry = *module->FindFunction("f")->blocks()[0];
+  EXPECT_EQ(entry.size(), 3u);  // load, store, ret
+}
+
+TEST(SimplifyTest, FoldsICmpAndSelect) {
+  auto module = Parse(R"(module "m"
+func @f(i64 %x) -> i64 {
+entry:
+  %c = icmp ult i64 3, 5
+  %v = select %c, i64 %x, 0
+  ret i64 %v
+}
+)");
+  SimplifyPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  const auto& entry = *module->FindFunction("f")->blocks()[0];
+  ASSERT_EQ(entry.size(), 1u);
+  EXPECT_EQ(entry.begin()->get()->operand(0)->kind(),
+            kir::ValueKind::kArgument);
+}
+
+TEST(SimplifyTest, FoldsSignedExtensionsCorrectly) {
+  auto module = Parse(R"(module "m"
+func @f() -> i64 {
+entry:
+  %neg = trunc i64 255 to i8
+  %wide = sext i8 %neg to i64
+  ret i64 %wide
+}
+)");
+  SimplifyPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  const auto& entry = *module->FindFunction("f")->blocks()[0];
+  ASSERT_EQ(entry.size(), 1u);
+  const auto* folded =
+      kir::dyn_cast<kir::Constant>(entry.begin()->get()->operand(0));
+  ASSERT_NE(folded, nullptr);
+  EXPECT_EQ(folded->bits(), ~0ull);  // sext(0xff as i8) == -1
+}
+
+TEST(SimplifyTest, LeavesDivisionByZeroForRuntime) {
+  auto module = Parse(R"(module "m"
+func @f() -> i64 {
+entry:
+  %q = udiv i64 5, 0
+  ret i64 %q
+}
+)");
+  SimplifyPass pass;
+  ASSERT_TRUE(pass.Run(*module).ok());
+  const auto& entry = *module->FindFunction("f")->blocks()[0];
+  EXPECT_EQ(entry.size(), 2u);  // the trapping udiv survives
+}
+
+TEST(SimplifyTest, PreservesBehaviourOnCorpus) {
+  // Simplify then guard-inject across the corpus: IR stays valid and
+  // guard count equals the (possibly reduced) access count.
+  for (const auto& entry : kirmods::AllCorpusModules()) {
+    auto module = Parse(entry.source);
+    SimplifyPass simplify;
+    ASSERT_TRUE(simplify.Run(*module).ok()) << entry.name;
+    ASSERT_TRUE(kir::VerifyModule(*module).ok()) << entry.name;
+    const size_t accesses = module->MemoryAccessCount();
+    GuardInjectionPass inject;
+    ASSERT_TRUE(inject.Run(*module).ok()) << entry.name;
+    EXPECT_EQ(inject.stats().guards_inserted(), accesses) << entry.name;
+    EXPECT_TRUE(GuardsComplete(*module)) << entry.name;
+  }
+}
+
+// -------------------------------------------------------- pass manager --
+
+class FailingPass : public ModulePass {
+ public:
+  std::string_view name() const override { return "failing"; }
+  Status Run(kir::Module&) override { return Internal("boom"); }
+};
+
+class BreakingPass : public ModulePass {
+ public:
+  std::string_view name() const override { return "breaking"; }
+  Status Run(kir::Module& module) override {
+    // Damage the IR: drop the terminator of the first block.
+    for (const auto& fn : module.functions()) {
+      if (fn->is_external() || fn->blocks().empty()) continue;
+      auto* block = fn->blocks()[0].get();
+      auto last = block->end();
+      --last;
+      block->Erase(last);
+      return OkStatus();
+    }
+    return OkStatus();
+  }
+};
+
+TEST(PassManagerTest, StopsAtFirstFailure) {
+  auto module = Parse(kirmods::HelloSource());
+  PassManager pm;
+  pm.Add(std::make_unique<FailingPass>());
+  pm.Add(std::make_unique<GuardInjectionPass>());
+  EXPECT_FALSE(pm.Run(*module).ok());
+  ASSERT_EQ(pm.records().size(), 1u);
+  EXPECT_FALSE(pm.records()[0].ok);
+}
+
+TEST(PassManagerTest, CatchesIrBreakage) {
+  auto module = Parse(kirmods::HelloSource());
+  PassManager pm(/*verify_each=*/true);
+  pm.Add(std::make_unique<BreakingPass>());
+  const Status status = pm.Run(*module);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("produced invalid IR"), std::string::npos);
+}
+
+// ------------------------------------------------------ compiler driver --
+
+TEST(CompilerTest, FullPipelineProducesSignableOutput) {
+  auto output = CompileModuleText(kirmods::RingbufSource());
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  EXPECT_TRUE(output->attestation.guards_complete);
+  EXPECT_TRUE(output->attestation.no_inline_asm);
+  EXPECT_FALSE(output->attestation.guards_optimized);
+  EXPECT_GT(output->attestation.guard_count, 0u);
+  EXPECT_EQ(output->attestation.guard_count,
+            output->guard_stats.guards_inserted());
+  // The canonical text reparses to an identical print.
+  auto reparsed = kir::ParseModule(output->text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(kir::PrintModule(**reparsed), output->text);
+}
+
+TEST(CompilerTest, BaselineBuildSkipsGuards) {
+  CompileOptions options;
+  options.inject_guards = false;
+  auto output = CompileModuleText(kirmods::RingbufSource(), options);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->attestation.guard_count, 0u);
+  EXPECT_FALSE(output->attestation.guards_complete);
+}
+
+TEST(CompilerTest, OptimizedBuildRemovesGuardsAndMarksAttestation) {
+  CompileOptions options;
+  options.dominate_guards = true;
+  auto output = CompileModuleText(kirmods::MemcopySource(), options);
+  ASSERT_TRUE(output.ok());
+  EXPECT_TRUE(output->attestation.guards_optimized);
+  EXPECT_TRUE(output->attestation.guards_complete);
+  EXPECT_GT(output->guards_removed_by_opt, 0u);
+  EXPECT_LT(output->attestation.guard_count,
+            output->guard_stats.guards_inserted());
+}
+
+TEST(CompilerTest, RejectsInlineAsmBeforeTransforming) {
+  auto output = CompileModuleText(kirmods::InlineAsmSource());
+  EXPECT_FALSE(output.ok());
+}
+
+TEST(CompilerTest, RejectsParseErrors) {
+  EXPECT_FALSE(CompileModuleText("this is not KIR").ok());
+}
+
+TEST(CompilerTest, SyntheticModuleScales) {
+  const std::string source = kirmods::SyntheticModuleSource(10, 20);
+  auto output = CompileModuleText(source);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  EXPECT_EQ(output->attestation.guard_count, 10u * 20u);
+}
+
+}  // namespace
+}  // namespace kop::transform

@@ -1,0 +1,168 @@
+// kopcc: the CARAT KOP compiler driver as a command-line tool — the
+// stand-in for the paper's "script that wraps the underlying clang
+// compiler" (§3.3). Compiles textual KIR modules into signed .kko
+// containers, and inspects/validates existing containers.
+//
+//   kopcc compile <in.kir> -o <out.kko> [--no-guards] [--simplify]
+//         [--wrap-priv] [--coalesce] [--dominate]
+//         [--key-id <id> --key-secret <secret>]
+//   kopcc inspect <in.kko>          # header, attestation, disassembly
+//   kopcc verify <in.kko>           # run the insmod-time validator
+//
+// Exit code 0 on success; 1 on failure (diagnostics on stderr).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kop/kir/printer.hpp"
+#include "kop/signing/signer.hpp"
+#include "kop/signing/validator.hpp"
+#include "kop/transform/compiler.hpp"
+
+namespace {
+
+using namespace kop;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "kopcc: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Internal("cannot write " + path);
+  file << content;
+  return OkStatus();
+}
+
+int Compile(const std::vector<std::string>& args) {
+  std::string input;
+  std::string output;
+  transform::CompileOptions options;
+  signing::SigningKey key = signing::SigningKey::DevelopmentKey();
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "-o" && i + 1 < args.size()) {
+      output = args[++i];
+    } else if (arg == "--no-guards") {
+      options.inject_guards = false;
+    } else if (arg == "--simplify") {
+      options.simplify = true;
+    } else if (arg == "--wrap-priv") {
+      options.wrap_privileged_intrinsics = true;
+    } else if (arg == "--coalesce") {
+      options.coalesce_guards = true;
+    } else if (arg == "--dominate") {
+      options.dominate_guards = true;
+    } else if (arg == "--key-id" && i + 1 < args.size()) {
+      key.key_id = args[++i];
+    } else if (arg == "--key-secret" && i + 1 < args.size()) {
+      key.secret = args[++i];
+    } else if (arg[0] == '-') {
+      return Fail("unknown option '" + arg + "'");
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return Fail("multiple inputs");
+    }
+  }
+  if (input.empty()) return Fail("no input file");
+  if (output.empty()) {
+    output = input;
+    const size_t dot = output.rfind('.');
+    if (dot != std::string::npos) output.resize(dot);
+    output += ".kko";
+  }
+
+  auto source = ReadFile(input);
+  if (!source.ok()) return Fail(source.status().ToString());
+  auto compiled = transform::CompileModuleText(*source, options);
+  if (!compiled.ok()) return Fail(compiled.status().ToString());
+  const auto image =
+      signing::SignModule(compiled->text, compiled->attestation, key);
+  if (Status status = WriteFile(output, image.Serialize()); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::printf("kopcc: %s -> %s (%llu guards%s, key %s)\n", input.c_str(),
+              output.c_str(),
+              static_cast<unsigned long long>(
+                  compiled->attestation.guard_count),
+              compiled->attestation.guards_optimized ? ", optimized" : "",
+              key.key_id.c_str());
+  return 0;
+}
+
+int Inspect(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Fail("inspect takes one container");
+  auto container = ReadFile(args[0]);
+  if (!container.ok()) return Fail(container.status().ToString());
+  auto image = signing::SignedModule::Deserialize(*container);
+  if (!image.ok()) return Fail(image.status().ToString());
+  std::printf("container: %s\n", args[0].c_str());
+  std::printf("key id:    %s\n", image->key_id.c_str());
+  std::printf("signature: %s\n",
+              signing::DigestHex(image->signature).c_str());
+  std::printf("--- attestation ---\n%s", image->attestation_text.c_str());
+  std::printf("--- module (%zu bytes) ---\n%s", image->module_text.size(),
+              image->module_text.c_str());
+  return 0;
+}
+
+int Verify(const std::vector<std::string>& args) {
+  if (args.empty()) return Fail("verify takes a container");
+  auto container = ReadFile(args[0]);
+  if (!container.ok()) return Fail(container.status().ToString());
+  auto image = signing::SignedModule::Deserialize(*container);
+  if (!image.ok()) return Fail(image.status().ToString());
+  signing::Keyring keyring;
+  keyring.Trust(signing::SigningKey::DevelopmentKey());
+  // Additional trusted keys: --trust <id> <secret> pairs.
+  for (size_t i = 1; i + 2 < args.size() + 1; ++i) {
+    if (args[i] == "--trust" && i + 2 < args.size() + 1 &&
+        i + 2 <= args.size()) {
+      keyring.Trust(signing::SigningKey{args[i + 1], args[i + 2]});
+      i += 2;
+    }
+  }
+  auto validated = signing::ValidateSignedModule(*image, keyring);
+  if (!validated.ok()) {
+    std::printf("REJECTED: %s\n", validated.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("OK: module '%s', %llu guards, %zu instructions, signed by "
+              "%s\n",
+              validated->module->name().c_str(),
+              static_cast<unsigned long long>(
+                  validated->attestation.guard_count),
+              validated->module->InstructionCount(),
+              image->key_id.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail(
+        "usage: kopcc compile <in.kir> [-o out.kko] [options] | "
+        "inspect <in.kko> | verify <in.kko>");
+  }
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "compile") return Compile(args);
+  if (command == "inspect") return Inspect(args);
+  if (command == "verify") return Verify(args);
+  return Fail("unknown command '" + command + "'");
+}
