@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_policy_structures.dir/abl1_policy_structures.cpp.o"
+  "CMakeFiles/abl1_policy_structures.dir/abl1_policy_structures.cpp.o.d"
+  "abl1_policy_structures"
+  "abl1_policy_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_policy_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

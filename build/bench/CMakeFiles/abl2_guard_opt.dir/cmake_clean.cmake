@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_guard_opt.dir/abl2_guard_opt.cpp.o"
+  "CMakeFiles/abl2_guard_opt.dir/abl2_guard_opt.cpp.o.d"
+  "abl2_guard_opt"
+  "abl2_guard_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_guard_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_extensions.dir/abl3_extensions.cpp.o"
+  "CMakeFiles/abl3_extensions.dir/abl3_extensions.cpp.o.d"
+  "abl3_extensions"
+  "abl3_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

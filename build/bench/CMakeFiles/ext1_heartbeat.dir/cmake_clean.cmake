@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext1_heartbeat.dir/ext1_heartbeat.cpp.o"
+  "CMakeFiles/ext1_heartbeat.dir/ext1_heartbeat.cpp.o.d"
+  "ext1_heartbeat"
+  "ext1_heartbeat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

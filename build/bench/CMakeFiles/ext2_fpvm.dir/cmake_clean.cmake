@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext2_fpvm.dir/ext2_fpvm.cpp.o"
+  "CMakeFiles/ext2_fpvm.dir/ext2_fpvm.cpp.o.d"
+  "ext2_fpvm"
+  "ext2_fpvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext2_fpvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext2_fpvm.
+# This may be replaced when dependencies are built.

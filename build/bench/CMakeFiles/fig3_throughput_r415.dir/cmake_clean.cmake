@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_throughput_r415.dir/fig3_throughput_r415.cpp.o"
+  "CMakeFiles/fig3_throughput_r415.dir/fig3_throughput_r415.cpp.o.d"
+  "fig3_throughput_r415"
+  "fig3_throughput_r415.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_throughput_r415.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_throughput_r350.dir/fig4_throughput_r350.cpp.o"
+  "CMakeFiles/fig4_throughput_r350.dir/fig4_throughput_r350.cpp.o.d"
+  "fig4_throughput_r350"
+  "fig4_throughput_r350.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput_r350.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

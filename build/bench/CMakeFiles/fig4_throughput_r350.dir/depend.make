@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_throughput_r350.
+# This may be replaced when dependencies are built.

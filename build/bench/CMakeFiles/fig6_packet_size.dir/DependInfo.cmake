@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_packet_size.cpp" "bench/CMakeFiles/fig6_packet_size.dir/fig6_packet_size.cpp.o" "gcc" "bench/CMakeFiles/fig6_packet_size.dir/fig6_packet_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/kop_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/kop_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/kop_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/signing/CMakeFiles/kop_signing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kirmods/CMakeFiles/kop_kirmods.dir/DependInfo.cmake"
+  "/root/repo/build/src/e1000e/CMakeFiles/kop_e1000e.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/kop_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpet/CMakeFiles/kop_hpet.dir/DependInfo.cmake"
+  "/root/repo/build/src/fptrap/CMakeFiles/kop_fptrap.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/kop_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kop_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kop_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

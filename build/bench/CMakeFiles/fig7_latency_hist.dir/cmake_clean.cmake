@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_latency_hist.dir/fig7_latency_hist.cpp.o"
+  "CMakeFiles/fig7_latency_hist.dir/fig7_latency_hist.cpp.o.d"
+  "fig7_latency_hist"
+  "fig7_latency_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_latency_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

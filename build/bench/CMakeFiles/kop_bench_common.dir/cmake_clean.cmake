@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_bench_common.dir/common/experiment.cpp.o"
+  "CMakeFiles/kop_bench_common.dir/common/experiment.cpp.o.d"
+  "CMakeFiles/kop_bench_common.dir/common/figures.cpp.o"
+  "CMakeFiles/kop_bench_common.dir/common/figures.cpp.o.d"
+  "libkop_bench_common.a"
+  "libkop_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tblE_engineering.dir/tblE_engineering.cpp.o"
+  "CMakeFiles/tblE_engineering.dir/tblE_engineering.cpp.o.d"
+  "tblE_engineering"
+  "tblE_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tblE_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heartbeat_scheduler.dir/heartbeat_scheduler.cpp.o"
+  "CMakeFiles/heartbeat_scheduler.dir/heartbeat_scheduler.cpp.o.d"
+  "heartbeat_scheduler"
+  "heartbeat_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heartbeat_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

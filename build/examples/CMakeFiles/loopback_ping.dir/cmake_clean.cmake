@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopback_ping.dir/loopback_ping.cpp.o"
+  "CMakeFiles/loopback_ping.dir/loopback_ping.cpp.o.d"
+  "loopback_ping"
+  "loopback_ping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopback_ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

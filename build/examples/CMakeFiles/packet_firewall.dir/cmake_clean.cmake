@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_firewall.dir/packet_firewall.cpp.o"
+  "CMakeFiles/packet_firewall.dir/packet_firewall.cpp.o.d"
+  "packet_firewall"
+  "packet_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

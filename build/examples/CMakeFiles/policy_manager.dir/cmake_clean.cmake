@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_manager.dir/policy_manager.cpp.o"
+  "CMakeFiles/policy_manager.dir/policy_manager.cpp.o.d"
+  "policy_manager"
+  "policy_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rogue_module.dir/rogue_module.cpp.o"
+  "CMakeFiles/rogue_module.dir/rogue_module.cpp.o.d"
+  "rogue_module"
+  "rogue_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rogue_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

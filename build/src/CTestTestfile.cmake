@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("kir")
+subdirs("transform")
+subdirs("signing")
+subdirs("kernel")
+subdirs("policy")
+subdirs("modrt")
+subdirs("nic")
+subdirs("e1000e")
+subdirs("hpet")
+subdirs("fptrap")
+subdirs("net")
+subdirs("kirmods")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_e1000e.dir/driver.cpp.o"
+  "CMakeFiles/kop_e1000e.dir/driver.cpp.o.d"
+  "libkop_e1000e.a"
+  "libkop_e1000e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_e1000e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kop_e1000e.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fptrap/fpvm_module.cpp" "src/fptrap/CMakeFiles/kop_fptrap.dir/fpvm_module.cpp.o" "gcc" "src/fptrap/CMakeFiles/kop_fptrap.dir/fpvm_module.cpp.o.d"
+  "/root/repo/src/fptrap/trap_controller.cpp" "src/fptrap/CMakeFiles/kop_fptrap.dir/trap_controller.cpp.o" "gcc" "src/fptrap/CMakeFiles/kop_fptrap.dir/trap_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/kop_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/kop_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/signing/CMakeFiles/kop_signing.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/kop_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/kop_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

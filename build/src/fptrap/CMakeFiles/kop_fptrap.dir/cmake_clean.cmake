@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_fptrap.dir/fpvm_module.cpp.o"
+  "CMakeFiles/kop_fptrap.dir/fpvm_module.cpp.o.d"
+  "CMakeFiles/kop_fptrap.dir/trap_controller.cpp.o"
+  "CMakeFiles/kop_fptrap.dir/trap_controller.cpp.o.d"
+  "libkop_fptrap.a"
+  "libkop_fptrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_fptrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

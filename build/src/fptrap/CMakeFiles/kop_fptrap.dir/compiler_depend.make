@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kop_fptrap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_hpet.dir/heartbeat.cpp.o"
+  "CMakeFiles/kop_hpet.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/kop_hpet.dir/timer_device.cpp.o"
+  "CMakeFiles/kop_hpet.dir/timer_device.cpp.o.d"
+  "libkop_hpet.a"
+  "libkop_hpet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_hpet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

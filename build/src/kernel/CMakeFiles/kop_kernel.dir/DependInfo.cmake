@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/address_space.cpp" "src/kernel/CMakeFiles/kop_kernel.dir/address_space.cpp.o" "gcc" "src/kernel/CMakeFiles/kop_kernel.dir/address_space.cpp.o.d"
+  "/root/repo/src/kernel/chardev.cpp" "src/kernel/CMakeFiles/kop_kernel.dir/chardev.cpp.o" "gcc" "src/kernel/CMakeFiles/kop_kernel.dir/chardev.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/kop_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/kop_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/kmalloc.cpp" "src/kernel/CMakeFiles/kop_kernel.dir/kmalloc.cpp.o" "gcc" "src/kernel/CMakeFiles/kop_kernel.dir/kmalloc.cpp.o.d"
+  "/root/repo/src/kernel/machine_state.cpp" "src/kernel/CMakeFiles/kop_kernel.dir/machine_state.cpp.o" "gcc" "src/kernel/CMakeFiles/kop_kernel.dir/machine_state.cpp.o.d"
+  "/root/repo/src/kernel/module_loader.cpp" "src/kernel/CMakeFiles/kop_kernel.dir/module_loader.cpp.o" "gcc" "src/kernel/CMakeFiles/kop_kernel.dir/module_loader.cpp.o.d"
+  "/root/repo/src/kernel/printk.cpp" "src/kernel/CMakeFiles/kop_kernel.dir/printk.cpp.o" "gcc" "src/kernel/CMakeFiles/kop_kernel.dir/printk.cpp.o.d"
+  "/root/repo/src/kernel/procfs.cpp" "src/kernel/CMakeFiles/kop_kernel.dir/procfs.cpp.o" "gcc" "src/kernel/CMakeFiles/kop_kernel.dir/procfs.cpp.o.d"
+  "/root/repo/src/kernel/symbols.cpp" "src/kernel/CMakeFiles/kop_kernel.dir/symbols.cpp.o" "gcc" "src/kernel/CMakeFiles/kop_kernel.dir/symbols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/kop_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/signing/CMakeFiles/kop_signing.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/kop_transform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_kernel.dir/address_space.cpp.o"
+  "CMakeFiles/kop_kernel.dir/address_space.cpp.o.d"
+  "CMakeFiles/kop_kernel.dir/chardev.cpp.o"
+  "CMakeFiles/kop_kernel.dir/chardev.cpp.o.d"
+  "CMakeFiles/kop_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/kop_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/kop_kernel.dir/kmalloc.cpp.o"
+  "CMakeFiles/kop_kernel.dir/kmalloc.cpp.o.d"
+  "CMakeFiles/kop_kernel.dir/machine_state.cpp.o"
+  "CMakeFiles/kop_kernel.dir/machine_state.cpp.o.d"
+  "CMakeFiles/kop_kernel.dir/module_loader.cpp.o"
+  "CMakeFiles/kop_kernel.dir/module_loader.cpp.o.d"
+  "CMakeFiles/kop_kernel.dir/printk.cpp.o"
+  "CMakeFiles/kop_kernel.dir/printk.cpp.o.d"
+  "CMakeFiles/kop_kernel.dir/procfs.cpp.o"
+  "CMakeFiles/kop_kernel.dir/procfs.cpp.o.d"
+  "CMakeFiles/kop_kernel.dir/symbols.cpp.o"
+  "CMakeFiles/kop_kernel.dir/symbols.cpp.o.d"
+  "libkop_kernel.a"
+  "libkop_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

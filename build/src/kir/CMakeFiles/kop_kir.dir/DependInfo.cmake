@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kir/builder.cpp" "src/kir/CMakeFiles/kop_kir.dir/builder.cpp.o" "gcc" "src/kir/CMakeFiles/kop_kir.dir/builder.cpp.o.d"
+  "/root/repo/src/kir/interp.cpp" "src/kir/CMakeFiles/kop_kir.dir/interp.cpp.o" "gcc" "src/kir/CMakeFiles/kop_kir.dir/interp.cpp.o.d"
+  "/root/repo/src/kir/module.cpp" "src/kir/CMakeFiles/kop_kir.dir/module.cpp.o" "gcc" "src/kir/CMakeFiles/kop_kir.dir/module.cpp.o.d"
+  "/root/repo/src/kir/parser.cpp" "src/kir/CMakeFiles/kop_kir.dir/parser.cpp.o" "gcc" "src/kir/CMakeFiles/kop_kir.dir/parser.cpp.o.d"
+  "/root/repo/src/kir/printer.cpp" "src/kir/CMakeFiles/kop_kir.dir/printer.cpp.o" "gcc" "src/kir/CMakeFiles/kop_kir.dir/printer.cpp.o.d"
+  "/root/repo/src/kir/type.cpp" "src/kir/CMakeFiles/kop_kir.dir/type.cpp.o" "gcc" "src/kir/CMakeFiles/kop_kir.dir/type.cpp.o.d"
+  "/root/repo/src/kir/verifier.cpp" "src/kir/CMakeFiles/kop_kir.dir/verifier.cpp.o" "gcc" "src/kir/CMakeFiles/kop_kir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_kir.dir/builder.cpp.o"
+  "CMakeFiles/kop_kir.dir/builder.cpp.o.d"
+  "CMakeFiles/kop_kir.dir/interp.cpp.o"
+  "CMakeFiles/kop_kir.dir/interp.cpp.o.d"
+  "CMakeFiles/kop_kir.dir/module.cpp.o"
+  "CMakeFiles/kop_kir.dir/module.cpp.o.d"
+  "CMakeFiles/kop_kir.dir/parser.cpp.o"
+  "CMakeFiles/kop_kir.dir/parser.cpp.o.d"
+  "CMakeFiles/kop_kir.dir/printer.cpp.o"
+  "CMakeFiles/kop_kir.dir/printer.cpp.o.d"
+  "CMakeFiles/kop_kir.dir/type.cpp.o"
+  "CMakeFiles/kop_kir.dir/type.cpp.o.d"
+  "CMakeFiles/kop_kir.dir/verifier.cpp.o"
+  "CMakeFiles/kop_kir.dir/verifier.cpp.o.d"
+  "libkop_kir.a"
+  "libkop_kir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_kir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

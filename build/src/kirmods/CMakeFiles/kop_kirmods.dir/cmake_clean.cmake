@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_kirmods.dir/corpus.cpp.o"
+  "CMakeFiles/kop_kirmods.dir/corpus.cpp.o.d"
+  "libkop_kirmods.a"
+  "libkop_kirmods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_kirmods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

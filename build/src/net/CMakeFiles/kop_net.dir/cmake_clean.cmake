@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_net.dir/frame.cpp.o"
+  "CMakeFiles/kop_net.dir/frame.cpp.o.d"
+  "CMakeFiles/kop_net.dir/packet_gun.cpp.o"
+  "CMakeFiles/kop_net.dir/packet_gun.cpp.o.d"
+  "CMakeFiles/kop_net.dir/socket.cpp.o"
+  "CMakeFiles/kop_net.dir/socket.cpp.o.d"
+  "libkop_net.a"
+  "libkop_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_nic.dir/e1000_device.cpp.o"
+  "CMakeFiles/kop_nic.dir/e1000_device.cpp.o.d"
+  "libkop_nic.a"
+  "libkop_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

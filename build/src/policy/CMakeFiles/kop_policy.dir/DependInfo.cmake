@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/amq.cpp" "src/policy/CMakeFiles/kop_policy.dir/amq.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/amq.cpp.o.d"
+  "/root/repo/src/policy/cuckoo.cpp" "src/policy/CMakeFiles/kop_policy.dir/cuckoo.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/cuckoo.cpp.o.d"
+  "/root/repo/src/policy/engine.cpp" "src/policy/CMakeFiles/kop_policy.dir/engine.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/engine.cpp.o.d"
+  "/root/repo/src/policy/lsh_store.cpp" "src/policy/CMakeFiles/kop_policy.dir/lsh_store.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/lsh_store.cpp.o.d"
+  "/root/repo/src/policy/policy_module.cpp" "src/policy/CMakeFiles/kop_policy.dir/policy_module.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/policy_module.cpp.o.d"
+  "/root/repo/src/policy/rbtree_store.cpp" "src/policy/CMakeFiles/kop_policy.dir/rbtree_store.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/rbtree_store.cpp.o.d"
+  "/root/repo/src/policy/region_table.cpp" "src/policy/CMakeFiles/kop_policy.dir/region_table.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/region_table.cpp.o.d"
+  "/root/repo/src/policy/rules.cpp" "src/policy/CMakeFiles/kop_policy.dir/rules.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/rules.cpp.o.d"
+  "/root/repo/src/policy/sorted_table.cpp" "src/policy/CMakeFiles/kop_policy.dir/sorted_table.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/sorted_table.cpp.o.d"
+  "/root/repo/src/policy/splay_store.cpp" "src/policy/CMakeFiles/kop_policy.dir/splay_store.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/splay_store.cpp.o.d"
+  "/root/repo/src/policy/wrappers.cpp" "src/policy/CMakeFiles/kop_policy.dir/wrappers.cpp.o" "gcc" "src/policy/CMakeFiles/kop_policy.dir/wrappers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/kop_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/kop_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/signing/CMakeFiles/kop_signing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/kop_kir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_policy.dir/amq.cpp.o"
+  "CMakeFiles/kop_policy.dir/amq.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/cuckoo.cpp.o"
+  "CMakeFiles/kop_policy.dir/cuckoo.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/engine.cpp.o"
+  "CMakeFiles/kop_policy.dir/engine.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/lsh_store.cpp.o"
+  "CMakeFiles/kop_policy.dir/lsh_store.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/policy_module.cpp.o"
+  "CMakeFiles/kop_policy.dir/policy_module.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/rbtree_store.cpp.o"
+  "CMakeFiles/kop_policy.dir/rbtree_store.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/region_table.cpp.o"
+  "CMakeFiles/kop_policy.dir/region_table.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/rules.cpp.o"
+  "CMakeFiles/kop_policy.dir/rules.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/sorted_table.cpp.o"
+  "CMakeFiles/kop_policy.dir/sorted_table.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/splay_store.cpp.o"
+  "CMakeFiles/kop_policy.dir/splay_store.cpp.o.d"
+  "CMakeFiles/kop_policy.dir/wrappers.cpp.o"
+  "CMakeFiles/kop_policy.dir/wrappers.cpp.o.d"
+  "libkop_policy.a"
+  "libkop_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

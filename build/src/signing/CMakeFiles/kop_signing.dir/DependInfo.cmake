@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signing/hmac.cpp" "src/signing/CMakeFiles/kop_signing.dir/hmac.cpp.o" "gcc" "src/signing/CMakeFiles/kop_signing.dir/hmac.cpp.o.d"
+  "/root/repo/src/signing/sha256.cpp" "src/signing/CMakeFiles/kop_signing.dir/sha256.cpp.o" "gcc" "src/signing/CMakeFiles/kop_signing.dir/sha256.cpp.o.d"
+  "/root/repo/src/signing/signer.cpp" "src/signing/CMakeFiles/kop_signing.dir/signer.cpp.o" "gcc" "src/signing/CMakeFiles/kop_signing.dir/signer.cpp.o.d"
+  "/root/repo/src/signing/validator.cpp" "src/signing/CMakeFiles/kop_signing.dir/validator.cpp.o" "gcc" "src/signing/CMakeFiles/kop_signing.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kir/CMakeFiles/kop_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/kop_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_signing.dir/hmac.cpp.o"
+  "CMakeFiles/kop_signing.dir/hmac.cpp.o.d"
+  "CMakeFiles/kop_signing.dir/sha256.cpp.o"
+  "CMakeFiles/kop_signing.dir/sha256.cpp.o.d"
+  "CMakeFiles/kop_signing.dir/signer.cpp.o"
+  "CMakeFiles/kop_signing.dir/signer.cpp.o.d"
+  "CMakeFiles/kop_signing.dir/validator.cpp.o"
+  "CMakeFiles/kop_signing.dir/validator.cpp.o.d"
+  "libkop_signing.a"
+  "libkop_signing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_signing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_sim.dir/machine.cpp.o"
+  "CMakeFiles/kop_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/kop_sim.dir/stats.cpp.o"
+  "CMakeFiles/kop_sim.dir/stats.cpp.o.d"
+  "libkop_sim.a"
+  "libkop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

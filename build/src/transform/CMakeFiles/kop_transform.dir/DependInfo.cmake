@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/attestation.cpp" "src/transform/CMakeFiles/kop_transform.dir/attestation.cpp.o" "gcc" "src/transform/CMakeFiles/kop_transform.dir/attestation.cpp.o.d"
+  "/root/repo/src/transform/compiler.cpp" "src/transform/CMakeFiles/kop_transform.dir/compiler.cpp.o" "gcc" "src/transform/CMakeFiles/kop_transform.dir/compiler.cpp.o.d"
+  "/root/repo/src/transform/guard_injection.cpp" "src/transform/CMakeFiles/kop_transform.dir/guard_injection.cpp.o" "gcc" "src/transform/CMakeFiles/kop_transform.dir/guard_injection.cpp.o.d"
+  "/root/repo/src/transform/guard_opt.cpp" "src/transform/CMakeFiles/kop_transform.dir/guard_opt.cpp.o" "gcc" "src/transform/CMakeFiles/kop_transform.dir/guard_opt.cpp.o.d"
+  "/root/repo/src/transform/pass.cpp" "src/transform/CMakeFiles/kop_transform.dir/pass.cpp.o" "gcc" "src/transform/CMakeFiles/kop_transform.dir/pass.cpp.o.d"
+  "/root/repo/src/transform/privileged.cpp" "src/transform/CMakeFiles/kop_transform.dir/privileged.cpp.o" "gcc" "src/transform/CMakeFiles/kop_transform.dir/privileged.cpp.o.d"
+  "/root/repo/src/transform/simplify.cpp" "src/transform/CMakeFiles/kop_transform.dir/simplify.cpp.o" "gcc" "src/transform/CMakeFiles/kop_transform.dir/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kir/CMakeFiles/kop_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

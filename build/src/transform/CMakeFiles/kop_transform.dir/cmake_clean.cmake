@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_transform.dir/attestation.cpp.o"
+  "CMakeFiles/kop_transform.dir/attestation.cpp.o.d"
+  "CMakeFiles/kop_transform.dir/compiler.cpp.o"
+  "CMakeFiles/kop_transform.dir/compiler.cpp.o.d"
+  "CMakeFiles/kop_transform.dir/guard_injection.cpp.o"
+  "CMakeFiles/kop_transform.dir/guard_injection.cpp.o.d"
+  "CMakeFiles/kop_transform.dir/guard_opt.cpp.o"
+  "CMakeFiles/kop_transform.dir/guard_opt.cpp.o.d"
+  "CMakeFiles/kop_transform.dir/pass.cpp.o"
+  "CMakeFiles/kop_transform.dir/pass.cpp.o.d"
+  "CMakeFiles/kop_transform.dir/privileged.cpp.o"
+  "CMakeFiles/kop_transform.dir/privileged.cpp.o.d"
+  "CMakeFiles/kop_transform.dir/simplify.cpp.o"
+  "CMakeFiles/kop_transform.dir/simplify.cpp.o.d"
+  "libkop_transform.a"
+  "libkop_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_util.dir/hexdump.cpp.o"
+  "CMakeFiles/kop_util.dir/hexdump.cpp.o.d"
+  "CMakeFiles/kop_util.dir/log.cpp.o"
+  "CMakeFiles/kop_util.dir/log.cpp.o.d"
+  "CMakeFiles/kop_util.dir/status.cpp.o"
+  "CMakeFiles/kop_util.dir/status.cpp.o.d"
+  "libkop_util.a"
+  "libkop_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1000e_test.dir/e1000e_test.cpp.o"
+  "CMakeFiles/e1000e_test.dir/e1000e_test.cpp.o.d"
+  "e1000e_test"
+  "e1000e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1000e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptrap_test.dir/fptrap_test.cpp.o"
+  "CMakeFiles/fptrap_test.dir/fptrap_test.cpp.o.d"
+  "fptrap_test"
+  "fptrap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpet_test.dir/hpet_test.cpp.o"
+  "CMakeFiles/hpet_test.dir/hpet_test.cpp.o.d"
+  "hpet_test"
+  "hpet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kir_test.dir/kir_test.cpp.o"
+  "CMakeFiles/kir_test.dir/kir_test.cpp.o.d"
+  "kir_test"
+  "kir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

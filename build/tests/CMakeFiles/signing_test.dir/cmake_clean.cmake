@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signing_test.dir/signing_test.cpp.o"
+  "CMakeFiles/signing_test.dir/signing_test.cpp.o.d"
+  "signing_test"
+  "signing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kopcc.dir/kopcc.cpp.o"
+  "CMakeFiles/kopcc.dir/kopcc.cpp.o.d"
+  "kopcc"
+  "kopcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kopcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
