@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "kop/net/socket.hpp"
+#include "kop/trace/metrics.hpp"
 #include "kop/util/rng.hpp"
 
 namespace kop::bench {
@@ -196,6 +197,20 @@ void WriteResultsFile(const std::string& name, const std::string& content) {
   if (out) {
     out << content;
     std::printf("[results written to %s]\n", path.c_str());
+  }
+  // Alongside each figure table, snapshot the metrics registry (guard
+  // latency histogram, lookup depth, ring occupancies) accumulated while
+  // the bench ran — the raw material behind the medians.
+  const size_t dot = name.rfind('.');
+  const std::string metrics_path =
+      "bench_results/" + name.substr(0, dot) + ".metrics.csv";
+  if (metrics_path != path) {
+    std::ofstream metrics(metrics_path);
+    if (metrics) {
+      metrics << trace::GlobalMetrics().RenderCsv();
+      std::printf("[metrics snapshot written to %s]\n",
+                  metrics_path.c_str());
+    }
   }
 }
 

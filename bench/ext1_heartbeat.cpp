@@ -55,7 +55,7 @@ Row RunMachine(const sim::MachineModel& machine, uint32_t regions,
                                      policy::kProtRW});
     }
     for (uint32_t i = 1; i < regions; ++i) {
-      (void)store.Add(policy::Region{0x1000 + uint64_t{i} << 20, 0x100,
+      (void)store.Add(policy::Region{0x1000 + (uint64_t{i} << 20), 0x100,
                                      policy::kProtRead});
     }
     if (guarded) {

@@ -13,6 +13,9 @@
 //                  dump                        (render policy as rules)
 //                  list
 //                  stats
+//                  hotsites                    (per-guard-site hit table)
+//                  trace                       (recent tracepoint records)
+//                  trace-json <out.json>       (Chrome trace-event export)
 //                  probe <addr> <size> <r|w>   (fire a guard check)
 // With no arguments, runs a demonstration session.
 #include <cstdio>
@@ -27,6 +30,8 @@
 #include "kop/policy/ioctl_abi.hpp"
 #include "kop/policy/rules.hpp"
 #include "kop/policy/policy_module.hpp"
+#include "kop/trace/exporters.hpp"
+#include "kop/trace/trace.hpp"
 #include "kop/util/carat_abi.hpp"
 
 namespace {
@@ -163,6 +168,53 @@ int RunCommands(kernel::Kernel& kernel, PolicyModule& policy,
                       static_cast<unsigned long long>(record.size));
         }
       }
+    } else if (command == "hotsites") {
+      CaratHotSitesArg reply;
+      auto arg = PackArg(reply);
+      (void)CaratIoctl(kernel, CARAT_IOC_GET_HOT_SITES, arg);
+      (void)UnpackArg(arg, &reply);
+      std::printf("hot guard sites (%u):\n", reply.count);
+      std::printf("  site     hits     denied   location\n");
+      for (uint32_t s = 0; s < reply.count; ++s) {
+        const auto& row = reply.sites[s];
+        std::printf("  %-8llu %-8llu %-8llu %s\n",
+                    static_cast<unsigned long long>(row.site),
+                    static_cast<unsigned long long>(row.hits),
+                    static_cast<unsigned long long>(row.denied), row.label);
+      }
+    } else if (command == "trace") {
+      CaratTraceArg reply;
+      auto arg = PackArg(reply);
+      (void)CaratIoctl(kernel, CARAT_IOC_READ_TRACE, arg);
+      (void)UnpackArg(arg, &reply);
+      std::printf("trace ring: %llu appended, %llu dropped; newest %u:\n",
+                  static_cast<unsigned long long>(reply.total),
+                  static_cast<unsigned long long>(reply.dropped),
+                  reply.count);
+      for (uint32_t r = 0; r < reply.count; ++r) {
+        const auto& record = reply.records[r];
+        const auto id = static_cast<trace::EventId>(record.event);
+        std::printf("  #%-6llu tsc=%-10llu %-10s %-18s 0x%llx 0x%llx\n",
+                    static_cast<unsigned long long>(record.seq),
+                    static_cast<unsigned long long>(record.tsc),
+                    std::string(trace::EventCategory(id)).c_str(),
+                    std::string(trace::EventName(id)).c_str(),
+                    static_cast<unsigned long long>(record.args[0]),
+                    static_cast<unsigned long long>(record.args[1]));
+      }
+    } else if (command == "trace-json") {
+      const std::string path = next();
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 2;
+      }
+      out << trace::ExportChromeTrace(trace::GlobalTracer());
+      std::printf("trace-json -> %s (%llu records; load in Perfetto / "
+                  "chrome://tracing)\n",
+                  path.c_str(),
+                  static_cast<unsigned long long>(
+                      trace::GlobalTracer().ring().total_appended()));
     } else if (command == "probe") {
       const uint64_t addr = ParseU64(next());
       const uint64_t size = ParseU64(next());
@@ -204,7 +256,9 @@ int main(int argc, char** argv) {
             "probe", "0xffff888000001000", "8", "w",
             "probe", "0x400000",           "8", "w",
             "violations",
-            "stats"};
+            "stats",
+            "hotsites",
+            "trace"};
   }
   return RunCommands(kernel, **policy, args);
 }

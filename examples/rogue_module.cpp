@@ -7,12 +7,17 @@
 //   4. direct-map scribbling      -> guard violation -> kernel panic
 //   5. privileged intrinsics      -> intrinsic guard -> kernel panic
 #include <cstdio>
+#include <fstream>
 
 #include "kop/kernel/kernel.hpp"
 #include "kop/kernel/module_loader.hpp"
+#include "kop/kernel/procfs.hpp"
 #include "kop/kirmods/corpus.hpp"
 #include "kop/policy/policy_module.hpp"
+#include "kop/policy/procfs.hpp"
 #include "kop/signing/signer.hpp"
+#include "kop/trace/exporters.hpp"
+#include "kop/trace/trace.hpp"
 #include "kop/transform/compiler.hpp"
 #include "kop/transform/privileged.hpp"
 
@@ -131,5 +136,17 @@ int main() {
                   (*policy)->engine().stats().intrinsic_calls),
               static_cast<unsigned long long>(
                   (*policy)->engine().stats().intrinsic_denied));
+
+  // Observability: which guard site caught the scribble, and the trace
+  // of the whole session — the forensic view beyond dmesg.
+  std::printf("\nhot guard sites (perf-annotate view):\n%s",
+              policy::ProcHotSites((*policy)->engine()).c_str());
+  std::printf("\ntracepoints:\n%s", kernel::ProcTracepoints().c_str());
+  const char* trace_path = "rogue_module.trace.json";
+  if (std::ofstream out(trace_path); out) {
+    out << trace::ExportChromeTrace(trace::GlobalTracer());
+    std::printf("\nwrote %s (load in Perfetto / chrome://tracing)\n",
+                trace_path);
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kop/trace/trace.hpp"
 #include "kop/util/bits.hpp"
 
 namespace kop::e1000e {
@@ -291,6 +292,7 @@ Status Driver<Ops>::XmitFrame(uint64_t frame_addr, uint32_t len) {
       ops_.Store(adapter_ + adapter::kTxBytes, bytes + dma_len, 8));
 
   // Kick the hardware: posted MMIO write to the tail register.
+  KOP_TRACE(kXmitFrame, dma_len, ntu);
   KOP_RETURN_IF_ERROR(Ew32(mmio_base, nic::REG_TDT, ntu));
   return OkStatus();
 }

@@ -1,5 +1,10 @@
 #include "kop/kernel/chardev.hpp"
 
+#include <iterator>
+
+#include "kop/trace/metrics.hpp"
+#include "kop/trace/trace.hpp"
+
 namespace kop::kernel {
 
 Status CharDeviceRegistry::Register(const std::string& path,
@@ -27,6 +32,9 @@ Status CharDeviceRegistry::Ioctl(const std::string& path, uint32_t cmd,
                                  std::vector<uint8_t>& arg) const {
   auto it = devices_.find(path);
   if (it == devices_.end()) return NotFound("no device node: " + path);
+  KOP_TRACE(kIoctl, cmd,
+            static_cast<uint64_t>(std::distance(devices_.begin(), it)));
+  trace::GlobalMetrics().GetCounter("dev.ioctls")->Add();
   return it->second(cmd, arg);
 }
 

@@ -41,6 +41,7 @@ struct KernelConfig {
 class Kernel {
  public:
   explicit Kernel(const KernelConfig& config = KernelConfig());
+  ~Kernel();
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 

@@ -53,6 +53,10 @@ class LoadedModule {
   const kir::InterpStats& exec_stats() const { return interp_->stats(); }
   void ResetExecStats() { interp_->ResetStats(); }
 
+  /// Guard-site tokens registered for this module at insmod, indexed by
+  /// module-local site id (see trace::GlobalSites()).
+  const std::vector<uint64_t>& site_tokens() const { return site_tokens_; }
+
  private:
   friend class ModuleLoader;
   LoadedModule() = default;
@@ -65,6 +69,7 @@ class LoadedModule {
   transform::AttestationRecord attestation_;
   std::map<std::string, uint64_t> global_addresses_;
   std::vector<uint64_t> allocations_;  // module-area blocks to free
+  std::vector<uint64_t> site_tokens_;  // guard-site tokens by site id
   std::unique_ptr<kir::MemoryInterface> memory_;
   std::unique_ptr<kir::ExternalResolver> resolver_;
   std::unique_ptr<kir::Interpreter> interp_;

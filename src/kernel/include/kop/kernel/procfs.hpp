@@ -23,4 +23,8 @@ std::string ProcIomem(const Kernel& kernel);
 /// meminfo: heap and module-area allocator statistics.
 std::string ProcMeminfo(const Kernel& kernel);
 
+/// available_events + per-event firing counts from the global tracer,
+/// plus ring capacity/appended/dropped — the ftrace directory analogue.
+std::string ProcTracepoints();
+
 }  // namespace kop::kernel

@@ -2,9 +2,15 @@
 
 #include <cassert>
 
+#include "kop/trace/trace.hpp"
+
 namespace kop::kernel {
 
 Kernel::Kernel(const KernelConfig& config) : config_(config) {
+  // Tracepoint timestamps come from this kernel's virtual clock. The
+  // newest kernel wins when tests build several; records from a torn-down
+  // kernel's epoch keep their old timestamps.
+  trace::GlobalTracer().SetClock(&clock_);
   // Build the canonical memory map. These mappings cannot fail unless the
   // config is nonsensical (overlapping sizes), which is programmer error.
   Status status = mem_.MapRam("direct-map", kDirectMapBase, config_.ram_bytes);
@@ -54,9 +60,18 @@ Kernel::Kernel(const KernelConfig& config) : config_(config) {
   assert(status.ok());
 }
 
+Kernel::~Kernel() {
+  // Unhook the clock so later tracepoints (fired between kernels in
+  // tests) don't read freed memory.
+  if (trace::GlobalTracer().clock() == &clock_) {
+    trace::GlobalTracer().SetClock(nullptr);
+  }
+}
+
 void Kernel::Panic(const std::string& reason) {
   panicked_ = true;
   panic_reason_ = reason;
+  KOP_TRACE(kPanic);
   log_.Emit(KernLevel::kEmerg, "Kernel panic - not syncing: " + reason);
   throw KernelPanic(reason);
 }

@@ -2,8 +2,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <unordered_map>
 
+#include "kop/trace/metrics.hpp"
+#include "kop/trace/site.hpp"
+#include "kop/trace/trace.hpp"
+#include "kop/transform/guard_sites.hpp"
 #include "kop/util/bits.hpp"
+#include "kop/util/carat_abi.hpp"
 
 namespace kop::kernel {
 namespace {
@@ -59,7 +65,27 @@ class KernelMemory final : public kir::MemoryInterface {
 /// still "execute" (the §5 wrap pass adds the permission check in front).
 class KernelResolver final : public kir::ExternalResolver {
  public:
-  explicit KernelResolver(Kernel* kernel) : kernel_(kernel) {}
+  /// `site_tokens` maps a module-wide call ordinal to the guard-site
+  /// token registered for that ordinal's guard call (only guard calls
+  /// appear in it).
+  KernelResolver(Kernel* kernel,
+                 std::unordered_map<uint64_t, uint64_t> site_tokens)
+      : kernel_(kernel), site_tokens_(std::move(site_tokens)) {}
+
+  Result<uint64_t> CallExternal(const std::string& name,
+                                const std::vector<uint64_t>& args,
+                                uint64_t call_ordinal) override {
+    // Pin the guard-site context while a guard call is in flight — the
+    // simulated analogue of the return address the guard runtime would
+    // sample on real hardware.
+    auto it = site_tokens_.find(call_ordinal);
+    if (it != site_tokens_.end() &&
+        (name == kCaratGuardSymbol || name == kCaratIntrinsicGuardSymbol)) {
+      trace::ScopedGuardSite scope(it->second);
+      return CallExternal(name, args);
+    }
+    return CallExternal(name, args);
+  }
 
   Result<uint64_t> CallExternal(const std::string& name,
                                 const std::vector<uint64_t>& args) override {
@@ -106,6 +132,7 @@ class KernelResolver final : public kir::ExternalResolver {
 
  private:
   Kernel* kernel_;
+  std::unordered_map<uint64_t, uint64_t> site_tokens_;
 };
 
 }  // namespace
@@ -127,6 +154,8 @@ Result<uint64_t> LoadedModule::Call(const std::string& function,
     return interp_->Call(function, args);
   } catch (const GuardViolation& violation) {
     quarantined_ = true;
+    KOP_TRACE(kModuleQuarantine, violation.addr, violation.size);
+    trace::GlobalMetrics().GetCounter("loader.quarantines")->Add();
     char buf[96];
     std::snprintf(buf, sizeof(buf),
                   "guard violation at 0x%llx (size %llu, flags %llu)",
@@ -218,8 +247,38 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
   config.stack_base = *stack;
   config.stack_size = kStackBytes;
 
+  // 5. Register this module's guard sites for runtime attribution. The
+  //    signed attestation carries the table; older records without one
+  //    fall back to re-enumerating the (already verified) IR.
+  std::vector<transform::GuardSite> sites = validated->attestation.sites;
+  if (sites.empty()) sites = transform::EnumerateGuardSites(*ir);
+  std::unordered_map<uint64_t, uint64_t> site_tokens;
+  site_tokens.reserve(sites.size());
+  loaded->site_tokens_.reserve(sites.size());
+  for (const transform::GuardSite& site : sites) {
+    trace::SiteInfo info;
+    info.module_name = name;
+    info.function = site.function;
+    info.site_id = site.site_id;
+    info.inst_index = site.inst_index;
+    char detail[64];
+    if (site.is_intrinsic) {
+      std::snprintf(detail, sizeof(detail), "intrinsic id=%u",
+                    site.access_flags);
+    } else {
+      std::snprintf(detail, sizeof(detail), "%s size=%u",
+                    (site.access_flags & kGuardAccessWrite) ? "store" : "load",
+                    site.access_size);
+    }
+    info.detail = detail;
+    const uint64_t token = trace::GlobalSites().Register(std::move(info));
+    site_tokens[site.call_ordinal] = token;
+    loaded->site_tokens_.push_back(token);
+  }
+
   loaded->memory_ = std::make_unique<KernelMemory>(kernel_);
-  loaded->resolver_ = std::make_unique<KernelResolver>(kernel_);
+  loaded->resolver_ =
+      std::make_unique<KernelResolver>(kernel_, std::move(site_tokens));
   std::unordered_map<std::string, uint64_t> addresses(
       loaded->global_addresses_.begin(), loaded->global_addresses_.end());
   loaded->ir_ = std::move(ir);
@@ -233,6 +292,9 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
       name.c_str(), loaded->ir_->InstructionCount(),
       static_cast<unsigned long long>(loaded->attestation_.guard_count),
       image.key_id.c_str());
+  KOP_TRACE(kModuleLoad, loaded->ir_->InstructionCount(),
+            loaded->attestation_.guard_count);
+  trace::GlobalMetrics().GetCounter("loader.modules_loaded")->Add();
 
   LoadedModule* raw = loaded.get();
   modules_[name] = std::move(loaded);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "kop/trace/metrics.hpp"
+
 namespace kop::kernel {
 namespace {
 
@@ -34,6 +36,9 @@ void PrintkRing::Printk(KernLevel level, const char* fmt, ...) {
 void PrintkRing::Emit(KernLevel level, std::string text) {
   std::lock_guard<Spinlock> guard(lock_);
   ring_.push(PrintkRecord{level, seq_++, std::move(text)});
+  trace::GlobalMetrics()
+      .GetGauge("printk.ring_occupancy")
+      ->Set(static_cast<int64_t>(ring_.size()));
 }
 
 std::vector<PrintkRecord> PrintkRing::Dmesg() const {

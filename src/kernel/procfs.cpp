@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "kop/trace/trace.hpp"
+
 namespace kop::kernel {
 namespace {
 
@@ -72,6 +74,28 @@ std::string ProcMeminfo(const Kernel& kernel) {
   out += FormatKmallocStats("heap:", mutable_kernel.heap().Stats());
   out += FormatKmallocStats("module-area:",
                             mutable_kernel.module_area().Stats());
+  return out;
+}
+
+std::string ProcTracepoints() {
+  const trace::Tracer& tracer = trace::GlobalTracer();
+  char line[192];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "tracing: %s  ring: %zu slots, %llu appended, %llu dropped\n",
+                tracer.enabled() ? "on" : "off", tracer.ring().capacity(),
+                static_cast<unsigned long long>(
+                    tracer.ring().total_appended()),
+                static_cast<unsigned long long>(tracer.ring().dropped()));
+  out += line;
+  for (size_t i = 1; i < trace::kEventCount; ++i) {
+    const auto id = static_cast<trace::EventId>(i);
+    std::snprintf(line, sizeof(line), "%-10s %-22s %llu\n",
+                  std::string(trace::EventCategory(id)).c_str(),
+                  std::string(trace::EventName(id)).c_str(),
+                  static_cast<unsigned long long>(tracer.event_count(id)));
+    out += line;
+  }
   return out;
 }
 

@@ -31,6 +31,18 @@ class ExternalResolver {
   virtual ~ExternalResolver() = default;
   virtual Result<uint64_t> CallExternal(const std::string& name,
                                         const std::vector<uint64_t>& args) = 0;
+
+  /// Variant carrying the call site's module-wide ordinal: the index of
+  /// this kCall among all kCall instructions in the module, in function /
+  /// block / instruction order. The loader uses it to attribute guard
+  /// calls to the exact injected site (the simulated return address).
+  /// Default forwards to the ordinal-less overload.
+  virtual Result<uint64_t> CallExternal(const std::string& name,
+                                        const std::vector<uint64_t>& args,
+                                        uint64_t call_ordinal) {
+    (void)call_ordinal;
+    return CallExternal(name, args);
+  }
 };
 
 struct InterpConfig {
@@ -80,6 +92,9 @@ class Interpreter {
   std::unordered_map<std::string, uint64_t> global_addresses_;
   InterpConfig config_;
   InterpStats stats_;
+  /// Module-wide ordinal of each kCall instruction (function / block /
+  /// instruction order), precomputed so the hot path is one hash lookup.
+  std::unordered_map<const Instruction*, uint64_t> call_ordinals_;
 };
 
 }  // namespace kop::kir

@@ -15,7 +15,18 @@ Interpreter::Interpreter(
       memory_(memory),
       resolver_(resolver),
       global_addresses_(std::move(global_addresses)),
-      config_(config) {}
+      config_(config) {
+  uint64_t ordinal = 0;
+  for (const auto& fn : module_.functions()) {
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == Opcode::kCall) {
+          call_ordinals_[inst.get()] = ordinal++;
+        }
+      }
+    }
+  }
+}
 
 Result<uint64_t> Interpreter::GlobalAddress(
     const GlobalVariable* global) const {
@@ -310,7 +321,10 @@ Result<uint64_t> Interpreter::Execute(const Function& fn,
             result = Execute(*callee, call_args, depth + 1, sp);
           } else {
             ++stats_.calls_external;
-            result = resolver_.CallExternal(inst.callee(), call_args);
+            auto ord = call_ordinals_.find(&inst);
+            result = resolver_.CallExternal(
+                inst.callee(), call_args,
+                ord == call_ordinals_.end() ? 0 : ord->second);
           }
           if (!result.ok()) return result.status();
           if (inst.type() != Type::kVoid) {

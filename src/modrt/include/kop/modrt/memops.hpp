@@ -18,9 +18,23 @@
 
 #include "kop/kernel/kernel.hpp"
 #include "kop/policy/engine.hpp"
+#include "kop/trace/site.hpp"
 #include "kop/util/carat_abi.hpp"
 
 namespace kop::modrt {
+
+/// Synthetic guard-site for natively-built driver code, one per access
+/// category. Native modules have no IR to derive per-instruction sites
+/// from, so their guards attribute at category granularity ("the guarded
+/// MMIO writes") instead of per call site. Registered process-wide on
+/// first use.
+inline uint64_t NativeCategorySite(const char* category) {
+  trace::SiteInfo info;
+  info.module_name = "native";
+  info.function = category;
+  info.detail = "native-build access category";
+  return trace::GlobalSites().Register(std::move(info));
+}
 
 struct MemOpsStats {
   uint64_t loads = 0;
@@ -142,31 +156,43 @@ class GuardedMemOps : public RawMemOps {
       : RawMemOps(kernel), engine_(engine) {}
 
   Result<uint64_t> Load(uint64_t addr, uint32_t size) {
+    static const uint64_t site = NativeCategorySite("load");
+    trace::ScopedGuardSite scope(site);
     engine_->Guard(addr, size, kGuardAccessRead);  // panics on violation
     return RawMemOps::Load(addr, size);
   }
 
   Status Store(uint64_t addr, uint64_t value, uint32_t size) {
+    static const uint64_t site = NativeCategorySite("store");
+    trace::ScopedGuardSite scope(site);
     engine_->Guard(addr, size, kGuardAccessWrite);
     return RawMemOps::Store(addr, value, size);
   }
 
   Result<uint32_t> MmioRead32(uint64_t addr) {
+    static const uint64_t site = NativeCategorySite("mmio_read");
+    trace::ScopedGuardSite scope(site);
     engine_->Guard(addr, 4, kGuardAccessRead);
     return RawMemOps::MmioRead32(addr);
   }
 
   Status MmioWrite32(uint64_t addr, uint32_t value) {
+    static const uint64_t site = NativeCategorySite("mmio_write");
+    trace::ScopedGuardSite scope(site);
     engine_->Guard(addr, 4, kGuardAccessWrite);
     return RawMemOps::MmioWrite32(addr, value);
   }
 
   Result<uint64_t> MmioRead64(uint64_t addr) {
+    static const uint64_t site = NativeCategorySite("mmio_read");
+    trace::ScopedGuardSite scope(site);
     engine_->Guard(addr, 8, kGuardAccessRead);
     return RawMemOps::MmioRead64(addr);
   }
 
   Status MmioWrite64(uint64_t addr, uint64_t value) {
+    static const uint64_t site = NativeCategorySite("mmio_write");
+    trace::ScopedGuardSite scope(site);
     engine_->Guard(addr, 8, kGuardAccessWrite);
     return RawMemOps::MmioWrite64(addr, value);
   }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "kop/trace/metrics.hpp"
+#include "kop/trace/trace.hpp"
 #include "kop/util/log.hpp"
 
 namespace kop::nic {
@@ -233,12 +235,17 @@ void E1000Device::ProcessTransmitRing() {
   const uint64_t ring_base =
       (static_cast<uint64_t>(tdbah_) << 32) | tdbal_;
 
+  trace::Gauge* occupancy_gauge =
+      trace::GlobalMetrics().GetGauge("nic.tx_ring_occupancy");
+  occupancy_gauge->Set((tdt_ + count - tdh_) % count);
+
   std::vector<uint8_t> frame;
   while (tdh_ != tdt_) {
     const uint64_t desc_addr = ring_base + uint64_t{tdh_} * kTxDescBytes;
     LegacyTxDescriptor desc{};
     uint8_t raw[kTxDescBytes];
     ++stats_.dma_descriptor_reads;
+    KOP_TRACE(kNicDescFetch, desc_addr, tdh_);
     if (!memory_->Read(desc_addr, raw, sizeof(raw)).ok()) {
       ++stats_.bad_descriptors;
       KOP_LOG(kWarn) << "e1000e DMA: descriptor fetch failed at 0x"
@@ -264,6 +271,8 @@ void E1000Device::ProcessTransmitRing() {
       sink_->Deliver(frame);
       ++stats_.frames_transmitted;
       stats_.bytes_transmitted += frame.size();
+      KOP_TRACE(kNicXmit, frame.size(),
+                (tdt_ + count - (tdh_ + 1) % count) % count);
       ++gptc_;
       gotc_ += frame.size();
       frame.clear();
@@ -279,6 +288,7 @@ void E1000Device::ProcessTransmitRing() {
     }
 
     tdh_ = (tdh_ + 1) % count;
+    occupancy_gauge->Set((tdt_ + count - tdh_) % count);
     icr_ |= ICR_TXDW;
     if (tdh_ == tdt_) icr_ |= ICR_TXQE;
   }

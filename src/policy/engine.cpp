@@ -1,14 +1,24 @@
 #include "kop/policy/engine.hpp"
 
+#include <algorithm>
 #include <mutex>
 
+#include "kop/trace/site.hpp"
+#include "kop/trace/trace.hpp"
 #include "kop/util/carat_abi.hpp"
 
 namespace kop::policy {
 
 PolicyEngine::PolicyEngine(kernel::Kernel* kernel,
                            std::unique_ptr<PolicyStore> store, PolicyMode mode)
-    : kernel_(kernel), store_(std::move(store)), mode_(mode) {}
+    : kernel_(kernel),
+      store_(std::move(store)),
+      mode_(mode),
+      latency_hist_(
+          trace::GlobalMetrics().GetHistogram("guard.latency_cycles")),
+      lookup_depth_hist_(
+          trace::GlobalMetrics().GetHistogram("policy.lookup_depth")),
+      denied_counter_(trace::GlobalMetrics().GetCounter("guard.denied")) {}
 
 std::unique_ptr<PolicyStore> PolicyEngine::SwapStore(
     std::unique_ptr<PolicyStore> store) {
@@ -34,21 +44,41 @@ bool PolicyEngine::Check(uint64_t addr, uint64_t size,
 
 bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
                          uint64_t access_flags) {
-  ++stats_.guard_calls;
-  if (charge_cycles_) {
-    kernel_->clock().Advance(kernel_->machine().GuardCycles(
-        static_cast<uint32_t>(store_->Size())));
-  }
-  if (Check(addr, size, access_flags)) {
-    ++stats_.allowed;
-    return true;
-  }
-  ++stats_.denied;
+  const uint64_t site = trace::CurrentGuardSite();
+  bool allowed;
   {
     std::lock_guard<Spinlock> guard(lock_);
-    violations_.push(ViolationRecord{addr, size, access_flags,
-                                     stats_.guard_calls, false});
+    ++stats_.guard_calls;
+    const double guard_cycles =
+        kernel_->machine().GuardCycles(static_cast<uint32_t>(store_->Size()));
+    if (charge_cycles_) kernel_->clock().Advance(guard_cycles);
+    latency_hist_->Observe(guard_cycles);
+
+    const uint64_t scanned_before = store_->stats().entries_scanned;
+    const std::optional<uint32_t> prot = store_->Lookup(addr, size);
+    const uint64_t depth = store_->stats().entries_scanned - scanned_before;
+    lookup_depth_hist_->Observe(static_cast<double>(depth));
+    KOP_TRACE(kPolicyLookup, depth, store_->Size());
+
+    allowed = prot.has_value()
+                  ? (*prot & access_flags) == access_flags
+                  : mode_ == PolicyMode::kDefaultAllow;
+    HotSite& row = site_table_[site];
+    row.site = site;
+    ++row.hits;
+    if (allowed) {
+      ++stats_.allowed;
+    } else {
+      ++stats_.denied;
+      ++row.denied;
+      violations_.push(ViolationRecord{addr, size, access_flags,
+                                       stats_.guard_calls, false, site});
+    }
   }
+  KOP_TRACE(kGuardCheck, addr, size, access_flags, site);
+  if (allowed) return true;
+  KOP_TRACE(kGuardDeny, addr, size, access_flags, site);
+  denied_counter_->Add();
   const char* kind =
       (access_flags & kGuardAccessWrite)
           ? ((access_flags & kGuardAccessRead) ? "read-write" : "write")
@@ -68,10 +98,11 @@ bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
 }
 
 bool PolicyEngine::IntrinsicGuard(uint64_t intrinsic_id) {
-  ++stats_.intrinsic_calls;
+  const uint64_t site = trace::CurrentGuardSite();
   bool allowed;
   {
     std::lock_guard<Spinlock> guard(lock_);
+    ++stats_.intrinsic_calls;
     if (intrinsic_denied_.count(intrinsic_id)) {
       allowed = false;
     } else if (intrinsic_allowed_.count(intrinsic_id)) {
@@ -79,14 +110,19 @@ bool PolicyEngine::IntrinsicGuard(uint64_t intrinsic_id) {
     } else {
       allowed = intrinsic_default_allow_;
     }
+    HotSite& row = site_table_[site];
+    row.site = site;
+    ++row.hits;
+    if (!allowed) {
+      ++stats_.intrinsic_denied;
+      ++row.denied;
+      violations_.push(ViolationRecord{intrinsic_id, 0, 0,
+                                       stats_.intrinsic_calls, true, site});
+    }
   }
+  KOP_TRACE(kIntrinsicCheck, intrinsic_id, allowed ? 1 : 0, 0, site);
   if (allowed) return true;
-  ++stats_.intrinsic_denied;
-  {
-    std::lock_guard<Spinlock> guard(lock_);
-    violations_.push(ViolationRecord{intrinsic_id, 0, 0,
-                                     stats_.intrinsic_calls, true});
-  }
+  denied_counter_->Add();
   kernel_->log().Printk(
       kernel::KernLevel::kAlert,
       "CARAT KOP: forbidden privileged intrinsic %llu blocked by policy",
@@ -109,16 +145,35 @@ void PolicyEngine::DenyIntrinsic(uint64_t intrinsic_id) {
   intrinsic_denied_.insert(intrinsic_id);
 }
 
+GuardStats PolicyEngine::stats() const {
+  std::lock_guard<Spinlock> guard(lock_);
+  return stats_;
+}
+
 void PolicyEngine::ResetStats() {
+  std::lock_guard<Spinlock> guard(lock_);
   stats_ = GuardStats();
   store_->ResetStats();
-  std::lock_guard<Spinlock> guard(lock_);
   violations_.clear();
+  site_table_.clear();
 }
 
 std::vector<ViolationRecord> PolicyEngine::RecentViolations() const {
   std::lock_guard<Spinlock> guard(lock_);
   return violations_.snapshot();
+}
+
+std::vector<HotSite> PolicyEngine::HotSites() const {
+  std::vector<HotSite> out;
+  {
+    std::lock_guard<Spinlock> guard(lock_);
+    out.reserve(site_table_.size());
+    for (const auto& [site, row] : site_table_) out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(), [](const HotSite& a, const HotSite& b) {
+    return a.hits != b.hits ? a.hits > b.hits : a.site < b.site;
+  });
+  return out;
 }
 
 }  // namespace kop::policy

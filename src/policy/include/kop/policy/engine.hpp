@@ -9,9 +9,11 @@
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "kop/kernel/kernel.hpp"
 #include "kop/policy/store.hpp"
+#include "kop/trace/metrics.hpp"
 #include "kop/util/ring_buffer.hpp"
 #include "kop/util/spinlock.hpp"
 
@@ -60,6 +62,15 @@ struct ViolationRecord {
   uint64_t access_flags = 0;
   uint64_t sequence = 0;   // nth guard call overall when this fired
   bool intrinsic = false;  // true for privileged-intrinsic denials
+  uint64_t site = 0;       // guard-site token (trace::GlobalSites)
+};
+
+/// Per-guard-site attribution row — the "perf annotate" view: which exact
+/// injected guard (module / function / instruction) is hot or violating.
+struct HotSite {
+  uint64_t site = 0;  // trace::GlobalSites token; 0 = unattributed
+  uint64_t hits = 0;
+  uint64_t denied = 0;
 };
 
 class PolicyEngine {
@@ -92,11 +103,19 @@ class PolicyEngine {
   void DenyIntrinsic(uint64_t intrinsic_id);
   void SetIntrinsicDefaultAllow(bool allow) { intrinsic_default_allow_ = allow; }
 
-  const GuardStats& stats() const { return stats_; }
+  /// Snapshot of the counters, taken under the engine lock. Returned by
+  /// value: Guard() mutates these concurrently, so handing out a
+  /// reference would let readers observe torn counter sets.
+  GuardStats stats() const;
   void ResetStats();
 
   /// The most recent denials, oldest first (capacity 64).
   std::vector<ViolationRecord> RecentViolations() const;
+
+  /// Per-site hit/deny table, hottest first (ties by token). Sites are
+  /// trace::GlobalSites tokens; token 0 collects unattributed guards
+  /// (direct probes, natively-built drivers without site context).
+  std::vector<HotSite> HotSites() const;
 
   /// When false, Guard() skips virtual-clock charging (used by benches
   /// that account guard cost themselves).
@@ -113,7 +132,13 @@ class PolicyEngine {
   std::set<uint64_t> intrinsic_denied_;
   GuardStats stats_;
   RingBuffer<ViolationRecord> violations_{64};
+  std::unordered_map<uint64_t, HotSite> site_table_;
   mutable Spinlock lock_;
+  // Registered once in the constructor; registry pointers are stable, so
+  // the hot path skips the name lookup.
+  trace::Log2Histogram* latency_hist_;
+  trace::Log2Histogram* lookup_depth_hist_;
+  trace::Counter* denied_counter_;
 };
 
 }  // namespace kop::policy

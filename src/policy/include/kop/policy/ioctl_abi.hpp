@@ -25,7 +25,16 @@ enum CaratIoctl : uint32_t {
   KOP_IOCTL_DENY_INTRINSIC = 0x4b09,  // arg: CaratIntrinsicArg
   KOP_IOCTL_RESET_STATS = 0x4b0a,
   KOP_IOCTL_GET_VIOLATIONS = 0x4b0b,  // out: CaratViolationsArg
+  KOP_IOCTL_READ_TRACE = 0x4b0c,      // out: CaratTraceArg
+  KOP_IOCTL_GET_HOT_SITES = 0x4b0d,   // out: CaratHotSitesArg
 };
+
+// The paper spells the ioctl names CARAT_IOC_*; keep those as aliases so
+// code written against the paper reads naturally.
+inline constexpr uint32_t CARAT_IOC_GET_STATS = KOP_IOCTL_GET_STATS;
+inline constexpr uint32_t CARAT_IOC_GET_VIOLATIONS = KOP_IOCTL_GET_VIOLATIONS;
+inline constexpr uint32_t CARAT_IOC_READ_TRACE = KOP_IOCTL_READ_TRACE;
+inline constexpr uint32_t CARAT_IOC_GET_HOT_SITES = KOP_IOCTL_GET_HOT_SITES;
 
 struct CaratRegionArg {
   uint64_t base = 0;
@@ -76,6 +85,39 @@ struct CaratViolationsArg {
   uint32_t count = 0;
   uint32_t pad = 0;
   CaratViolationArg records[kMax] = {};
+};
+
+/// One tracepoint record as copied out to userspace (mirrors
+/// trace::TraceRecord without the C++ enum).
+struct CaratTraceRecordArg {
+  uint64_t tsc = 0;
+  uint64_t seq = 0;
+  uint32_t event = 0;  // trace::EventId value
+  uint32_t pad = 0;
+  uint64_t args[4] = {};
+};
+
+struct CaratTraceArg {
+  static constexpr uint32_t kMax = 64;
+  uint32_t count = 0;
+  uint32_t pad = 0;
+  uint64_t total = 0;    // records ever appended
+  uint64_t dropped = 0;  // overwritten before this read
+  CaratTraceRecordArg records[kMax] = {};  // newest kMax, oldest first
+};
+
+struct CaratHotSiteArg {
+  uint64_t site = 0;  // trace::GlobalSites token; 0 = unattributed
+  uint64_t hits = 0;
+  uint64_t denied = 0;
+  char label[96] = {};  // "module:@fn+inst" rendered kernel-side
+};
+
+struct CaratHotSitesArg {
+  static constexpr uint32_t kMax = 64;
+  uint32_t count = 0;
+  uint32_t pad = 0;
+  CaratHotSiteArg sites[kMax] = {};  // hottest first
 };
 
 /// Pack a POD into an ioctl arg buffer.

@@ -1,0 +1,20 @@
+// /proc-style views over the guard runtime: the operator-facing text
+// renderings of guard statistics and the per-guard-site profile (the
+// "perf annotate" table for injected guards). Pure renderers, no state.
+#pragma once
+
+#include <string>
+
+#include "kop/policy/engine.hpp"
+
+namespace kop::policy {
+
+/// guard counters, violation ring summary, and the guard-latency /
+/// lookup-depth histograms from the global metrics registry.
+std::string ProcGuardStats(const PolicyEngine& engine);
+
+/// Per-guard-site hit/deny table, hottest first, labeled via
+/// trace::GlobalSites ("module:@fn+inst  hits  denied  detail").
+std::string ProcHotSites(const PolicyEngine& engine);
+
+}  // namespace kop::policy

@@ -1,6 +1,10 @@
 #include "kop/policy/policy_module.hpp"
 
+#include <cstdio>
+
 #include "kop/policy/region_table.hpp"
+#include "kop/trace/site.hpp"
+#include "kop/trace/trace.hpp"
 #include "kop/util/carat_abi.hpp"
 
 namespace kop::policy {
@@ -78,7 +82,7 @@ Status PolicyModule::HandleIoctl(uint32_t cmd, std::vector<uint8_t>& arg) {
       return OkStatus();
     }
     case KOP_IOCTL_GET_STATS: {
-      const GuardStats& stats = engine_->stats();
+      const GuardStats stats = engine_->stats();
       CaratStatsArg reply;
       reply.guard_calls = stats.guard_calls;
       reply.allowed = stats.allowed;
@@ -124,6 +128,40 @@ Status PolicyModule::HandleIoctl(uint32_t cmd, std::vector<uint8_t>& arg) {
             CaratViolationArg{record.addr, record.size, record.access_flags,
                               record.sequence,
                               record.intrinsic ? 1u : 0u, 0};
+      }
+      arg = PackArg(reply);
+      return OkStatus();
+    }
+    case KOP_IOCTL_READ_TRACE: {
+      CaratTraceArg reply;
+      const trace::TraceRing& ring = trace::GlobalTracer().ring();
+      reply.total = ring.total_appended();
+      reply.dropped = ring.dropped();
+      const std::vector<trace::TraceRecord> records = ring.Snapshot();
+      // Newest kMax, oldest first — how dmesg-style readers expect it.
+      const size_t start = records.size() > CaratTraceArg::kMax
+                               ? records.size() - CaratTraceArg::kMax
+                               : 0;
+      for (size_t i = start; i < records.size(); ++i) {
+        CaratTraceRecordArg& out = reply.records[reply.count++];
+        out.tsc = records[i].tsc;
+        out.seq = records[i].seq;
+        out.event = static_cast<uint32_t>(records[i].event);
+        for (int a = 0; a < 4; ++a) out.args[a] = records[i].args[a];
+      }
+      arg = PackArg(reply);
+      return OkStatus();
+    }
+    case KOP_IOCTL_GET_HOT_SITES: {
+      CaratHotSitesArg reply;
+      for (const HotSite& row : engine_->HotSites()) {
+        if (reply.count == CaratHotSitesArg::kMax) break;
+        CaratHotSiteArg& out = reply.sites[reply.count++];
+        out.site = row.site;
+        out.hits = row.hits;
+        out.denied = row.denied;
+        const std::string label = trace::GlobalSites().Label(row.site);
+        std::snprintf(out.label, sizeof(out.label), "%s", label.c_str());
       }
       arg = PackArg(reply);
       return OkStatus();

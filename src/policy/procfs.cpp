@@ -1,0 +1,71 @@
+#include "kop/policy/procfs.hpp"
+
+#include <cstdio>
+
+#include "kop/trace/metrics.hpp"
+#include "kop/trace/site.hpp"
+
+namespace kop::policy {
+
+std::string ProcGuardStats(const PolicyEngine& engine) {
+  const GuardStats stats = engine.stats();
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line), "guard_calls:      %llu\n",
+                static_cast<unsigned long long>(stats.guard_calls));
+  out += line;
+  std::snprintf(line, sizeof(line), "allowed:          %llu\n",
+                static_cast<unsigned long long>(stats.allowed));
+  out += line;
+  std::snprintf(line, sizeof(line), "denied:           %llu\n",
+                static_cast<unsigned long long>(stats.denied));
+  out += line;
+  std::snprintf(line, sizeof(line), "intrinsic_calls:  %llu\n",
+                static_cast<unsigned long long>(stats.intrinsic_calls));
+  out += line;
+  std::snprintf(line, sizeof(line), "intrinsic_denied: %llu\n",
+                static_cast<unsigned long long>(stats.intrinsic_denied));
+  out += line;
+  std::snprintf(line, sizeof(line), "recent_violations: %zu\n",
+                engine.RecentViolations().size());
+  out += line;
+
+  for (const char* name : {"guard.latency_cycles", "policy.lookup_depth"}) {
+    const trace::Log2Histogram* hist =
+        trace::GlobalMetrics().GetHistogram(name);
+    std::snprintf(line, sizeof(line), "%s: n=%llu mean=%.3g\n", name,
+                  static_cast<unsigned long long>(hist->count()),
+                  hist->mean());
+    out += line;
+    for (size_t i = 0; i < trace::Log2Histogram::kBuckets; ++i) {
+      if (hist->bucket(i) == 0) continue;
+      std::snprintf(line, sizeof(line), "  [%11.4g, %11.4g) %llu\n",
+                    trace::Log2Histogram::BucketLo(i),
+                    trace::Log2Histogram::BucketLo(i + 1),
+                    static_cast<unsigned long long>(hist->bucket(i)));
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string ProcHotSites(const PolicyEngine& engine) {
+  std::string out = "site     hits     denied   location\n";
+  char line[256];
+  for (const HotSite& row : engine.HotSites()) {
+    const std::string label = trace::GlobalSites().Label(row.site);
+    std::string detail;
+    if (auto info = trace::GlobalSites().Find(row.site); info.has_value()) {
+      detail = info->detail;
+    }
+    std::snprintf(line, sizeof(line), "%-8llu %-8llu %-8llu %s%s%s\n",
+                  static_cast<unsigned long long>(row.site),
+                  static_cast<unsigned long long>(row.hits),
+                  static_cast<unsigned long long>(row.denied), label.c_str(),
+                  detail.empty() ? "" : "  ", detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace kop::policy

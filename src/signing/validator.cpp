@@ -2,11 +2,14 @@
 
 #include "kop/kir/parser.hpp"
 #include "kop/kir/verifier.hpp"
+#include "kop/trace/metrics.hpp"
+#include "kop/trace/trace.hpp"
 
 namespace kop::signing {
+namespace {
 
-Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
-                                             const Keyring& keyring) {
+Result<ValidatedModule> ValidateSignedModuleImpl(
+    const SignedModule& signed_module, const Keyring& keyring) {
   // 2. Signature first: nothing unauthenticated gets parsed further than
   //    the container framing.
   KOP_RETURN_IF_ERROR(keyring.VerifySignature(signed_module));
@@ -49,9 +52,17 @@ Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
   // Strict guard-adjacency can be re-proven only for unoptimized guard
   // placement; optimized modules carry the compiler's certification,
   // which the (already verified) signature binds to this exact image.
-  if (transform::Attest(**module).guard_count != attestation->guard_count) {
+  const transform::AttestationRecord recomputed = transform::Attest(**module);
+  if (recomputed.guard_count != attestation->guard_count) {
     return BadModule("guard count mismatch: image has different guards than "
                      "the attestation certifies");
+  }
+  // The per-site table is rebuilt from the shipped IR; a signed table that
+  // disagrees means the image or the record was swapped after signing.
+  // Records predating site tables (empty) are accepted as-is.
+  if (!attestation->sites.empty() && recomputed.sites != attestation->sites) {
+    return BadModule("guard-site table mismatch: attestation sites do not "
+                     "match the shipped IR");
   }
   if (!attestation->guards_optimized &&
       !transform::GuardsComplete(**module)) {
@@ -64,6 +75,18 @@ Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
   out.module = std::move(*module);
   out.attestation = *attestation;
   return out;
+}
+
+}  // namespace
+
+Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
+                                             const Keyring& keyring) {
+  auto result = ValidateSignedModuleImpl(signed_module, keyring);
+  KOP_TRACE(kModuleVerify, result.ok() ? 1 : 0);
+  trace::GlobalMetrics()
+      .GetCounter(result.ok() ? "loader.verify_ok" : "loader.verify_fail")
+      ->Add();
+  return result;
 }
 
 }  // namespace kop::signing

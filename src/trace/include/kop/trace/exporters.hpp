@@ -1,0 +1,34 @@
+// Trace exporters: Chrome trace-event JSON (loadable straight into
+// Perfetto / chrome://tracing) and a flat CSV, both over the fixed-size
+// records the tracepoints produce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kop/trace/trace.hpp"
+
+namespace kop::trace {
+
+struct ChromeTraceOptions {
+  /// Virtual cycles per microsecond used for the `ts` field (default:
+  /// the R350 testbed's 2.8 GHz).
+  double cycles_per_us = 2800.0;
+  const char* process_name = "carat-kop-sim";
+};
+
+/// Records as Chrome trace-event JSON: one instant event per record,
+/// categorized by subsystem, args named per event. Timestamps are
+/// virtual-cycle counts scaled to microseconds; addresses render as hex
+/// strings so 64-bit values survive JSON number precision.
+std::string ExportChromeTrace(const std::vector<TraceRecord>& records,
+                              const ChromeTraceOptions& options = {});
+
+/// Convenience: snapshot the tracer's ring and export it.
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const ChromeTraceOptions& options = {});
+
+/// "seq,tsc,event,category,arg0..arg3" rows.
+std::string ExportTraceCsv(const std::vector<TraceRecord>& records);
+
+}  // namespace kop::trace

@@ -1,0 +1,128 @@
+// The metrics registry: named counters, gauges (with high-watermark),
+// and log2-bucket histograms that subsystems register into by name —
+// guard latency, policy lookup depth, printk-ring occupancy, TX-ring
+// occupancy. Get-or-create semantics: the first caller of a name mints
+// the metric, later callers share it, so subsystems need no coordination
+// and a torn-down kernel's successor keeps accumulating into the same
+// process-wide series (exactly how /proc counters behave across
+// module reload).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kop/util/spinlock.hpp"
+
+namespace kop::trace {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A sampled level (ring occupancy, table size). Tracks the most recent
+/// value and the high watermark since reset.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Power-of-two bucket histogram: bucket 0 holds values < 1, bucket k
+/// holds [2^(k-1), 2^k). 64 buckets cover the full uint64 range, so a
+/// cycle-latency histogram never saturates.
+class Log2Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Lower edge of bucket i (0 for bucket 0, else 2^(i-1)).
+  static double BucketLo(size_t i);
+  size_t NonZeroBuckets() const;
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric flattened for export: counters carry `value`; gauges
+/// `value` and `max`; histograms `count`, `sum`, and the bucket vector.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t value = 0;
+  int64_t gauge_value = 0;
+  int64_t gauge_max = 0;
+  uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<uint64_t> buckets;  // histograms only; trailing zeros trimmed
+};
+
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Log2Histogram* GetHistogram(const std::string& name);
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// "name,kind,field,value" rows — the bench snapshot format.
+  std::string RenderCsv() const;
+
+  /// Human-readable table for proc-style dumps.
+  std::string RenderText() const;
+
+  /// Zero every registered metric (registrations survive).
+  void Reset();
+
+ private:
+  mutable Spinlock lock_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Log2Histogram>> histograms_;
+};
+
+/// The registry every subsystem registers into.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace kop::trace

@@ -1,0 +1,164 @@
+// kop::trace — the ftrace analogue for the simulated kernel. Static
+// tracepoints (`KOP_TRACE(event, args...)`) record fixed-size records
+// (virtual-cycle timestamp, event id, up to four integer args) into a
+// lock-free fixed ring. Tracepoints compile out entirely when the build
+// sets KOP_TRACE_ENABLED=0, so the hot seams (guards, descriptor
+// fetches, ioctls) carry zero code when observability is off. All
+// timestamps come from the virtual clock — instrumentation never charges
+// simulated cycles, so enabling tracing cannot perturb an experiment.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "kop/sim/clock.hpp"
+
+namespace kop::trace {
+
+/// Every static tracepoint in the tree. Keep EventName/EventCategory/
+/// EventArgNames in trace.cpp in sync when adding one.
+enum class EventId : uint16_t {
+  kNone = 0,
+  // Guard runtime (policy engine).
+  kGuardCheck,        // addr, size, access_flags, site token
+  kGuardDeny,         // addr, size, access_flags, site token
+  kIntrinsicCheck,    // intrinsic id, allowed, 0, site token
+  kPolicyLookup,      // entries scanned, table size
+  // Module lifecycle (loader + validator).
+  kModuleVerify,      // ok (1/0)
+  kModuleLoad,        // instructions, guard count
+  kModuleQuarantine,  // violating addr, size
+  // NIC hardware (DMA engine) and driver transmit path.
+  kNicDescFetch,      // descriptor addr, head index
+  kNicXmit,           // frame bytes, ring occupancy after
+  kXmitFrame,         // frame bytes, descriptor slot
+  // Kernel core.
+  kPanic,             // 0
+  kIoctl,             // cmd, device ordinal
+  kEventCount,
+};
+
+inline constexpr size_t kEventCount =
+    static_cast<size_t>(EventId::kEventCount);
+
+/// Stable wire name, e.g. "guard.check".
+std::string_view EventName(EventId id);
+
+/// Subsystem bucket, e.g. "guard", "loader", "nic", "kernel".
+std::string_view EventCategory(EventId id);
+
+/// Display names of the four args (nullptr-terminated early when fewer).
+std::array<const char*, 4> EventArgNames(EventId id);
+
+/// One tracepoint firing. Fixed size; `seq` is the global firing ordinal
+/// (monotonic even after the ring wraps).
+struct TraceRecord {
+  uint64_t tsc = 0;   // virtual cycles at firing time
+  uint64_t seq = 0;
+  EventId event = EventId::kNone;
+  uint16_t pad16 = 0;
+  uint32_t pad32 = 0;
+  uint64_t args[4] = {0, 0, 0, 0};
+};
+
+/// Lock-free fixed ring of TraceRecords. Writers reserve a slot with one
+/// atomic fetch_add and copy the record in; the newest `capacity`
+/// records survive, oldest are overwritten (ftrace overwrite mode).
+/// Snapshot() is best-effort against concurrent writers, exact in the
+/// single-simulated-CPU case.
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (min 64).
+  explicit TraceRing(size_t capacity = 1 << 14);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Append(TraceRecord record);
+
+  size_t capacity() const { return slots_.size(); }
+  /// Total records ever appended (including overwritten ones).
+  uint64_t total_appended() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    const uint64_t total = total_appended();
+    return total > slots_.size() ? total - slots_.size() : 0;
+  }
+
+  /// Retained records, oldest first, ordered by seq.
+  std::vector<TraceRecord> Snapshot() const;
+
+  /// Not safe against concurrent Append; fine for the simulator.
+  void Clear();
+
+ private:
+  std::vector<TraceRecord> slots_;
+  uint64_t mask_;
+  std::atomic<uint64_t> next_{0};
+};
+
+/// The process-wide tracer: the ring, an enable switch, per-event
+/// counters, and the virtual clock used for timestamps. The Kernel
+/// registers its clock at construction; with no clock registered,
+/// records carry tsc 0.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  void SetClock(const sim::VirtualClock* clock) {
+    clock_.store(clock, std::memory_order_release);
+  }
+  const sim::VirtualClock* clock() const {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// The tracepoint body. Cheap no-op when runtime-disabled; not emitted
+  /// at all when compile-time disabled (see KOP_TRACE below).
+  void Record(EventId event, uint64_t a0 = 0, uint64_t a1 = 0,
+              uint64_t a2 = 0, uint64_t a3 = 0);
+
+  TraceRing& ring() { return ring_; }
+  const TraceRing& ring() const { return ring_; }
+
+  /// Lifetime firings per event id (index by EventId value).
+  uint64_t event_count(EventId id) const {
+    return counts_[static_cast<size_t>(id)].load(std::memory_order_relaxed);
+  }
+
+  /// Clear the ring and per-event counters (clock and enable kept).
+  void Reset();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<const sim::VirtualClock*> clock_{nullptr};
+  TraceRing ring_;
+  std::array<std::atomic<uint64_t>, kEventCount> counts_{};
+};
+
+/// The tracer every KOP_TRACE site records into.
+Tracer& GlobalTracer();
+
+}  // namespace kop::trace
+
+// Compile-time switch. The build defines KOP_TRACE_ENABLED globally
+// (CMake option, default ON); with it off every KOP_TRACE site compiles
+// to nothing — no load, no branch, no argument evaluation.
+#ifndef KOP_TRACE_ENABLED
+#define KOP_TRACE_ENABLED 1
+#endif
+
+#if KOP_TRACE_ENABLED
+#define KOP_TRACE(event, ...)                       \
+  ::kop::trace::GlobalTracer().Record(              \
+      ::kop::trace::EventId::event __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define KOP_TRACE(event, ...) ((void)0)
+#endif

@@ -1,0 +1,199 @@
+#include "kop/trace/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+namespace kop::trace {
+
+void Log2Histogram::Observe(double value) {
+  size_t bucket = 0;
+  if (value >= 1.0) {
+    const int exponent = static_cast<int>(std::floor(std::log2(value)));
+    bucket = static_cast<size_t>(
+        std::min<int>(exponent + 1, static_cast<int>(kBuckets) - 1));
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20; relaxed is fine, the sum is a
+  // statistic, not a synchronization point.
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Log2Histogram::BucketLo(size_t i) {
+  return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+size_t Log2Histogram::NonZeroBuckets() const {
+  size_t n = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (bucket(i) != 0) ++n;
+  }
+  return n;
+}
+
+void Log2Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<Spinlock> guard(lock_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<Spinlock> guard(lock_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Log2Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<Spinlock> guard(lock_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Log2Histogram>();
+  return slot.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<Spinlock> guard(lock_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricKind::kCounter;
+    sample.value = counter->value();
+    out.push_back(std::move(sample));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricKind::kGauge;
+    sample.gauge_value = gauge->value();
+    sample.gauge_max = gauge->max();
+    out.push_back(std::move(sample));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricKind::kHistogram;
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    size_t last = 0;
+    for (size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+      if (histogram->bucket(i) != 0) last = i + 1;
+    }
+    sample.buckets.reserve(last);
+    for (size_t i = 0; i < last; ++i) {
+      sample.buckets.push_back(histogram->bucket(i));
+    }
+    out.push_back(std::move(sample));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::RenderCsv() const {
+  std::string out = "metric,kind,field,value\n";
+  char line[192];
+  for (const MetricSample& sample : Snapshot()) {
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(line, sizeof(line), "%s,counter,value,%llu\n",
+                      sample.name.c_str(),
+                      static_cast<unsigned long long>(sample.value));
+        out += line;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(line, sizeof(line), "%s,gauge,value,%lld\n",
+                      sample.name.c_str(),
+                      static_cast<long long>(sample.gauge_value));
+        out += line;
+        std::snprintf(line, sizeof(line), "%s,gauge,max,%lld\n",
+                      sample.name.c_str(),
+                      static_cast<long long>(sample.gauge_max));
+        out += line;
+        break;
+      case MetricKind::kHistogram:
+        std::snprintf(line, sizeof(line), "%s,histogram,count,%llu\n",
+                      sample.name.c_str(),
+                      static_cast<unsigned long long>(sample.count));
+        out += line;
+        std::snprintf(line, sizeof(line), "%s,histogram,sum,%.6g\n",
+                      sample.name.c_str(), sample.sum);
+        out += line;
+        for (size_t i = 0; i < sample.buckets.size(); ++i) {
+          if (sample.buckets[i] == 0) continue;
+          std::snprintf(line, sizeof(line), "%s,histogram,le_%.0f,%llu\n",
+                        sample.name.c_str(), Log2Histogram::BucketLo(i + 1),
+                        static_cast<unsigned long long>(sample.buckets[i]));
+          out += line;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::string out;
+  char line[192];
+  for (const MetricSample& sample : Snapshot()) {
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(line, sizeof(line), "%-40s %llu\n", sample.name.c_str(),
+                      static_cast<unsigned long long>(sample.value));
+        out += line;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(line, sizeof(line), "%-40s %lld (max %lld)\n",
+                      sample.name.c_str(),
+                      static_cast<long long>(sample.gauge_value),
+                      static_cast<long long>(sample.gauge_max));
+        out += line;
+        break;
+      case MetricKind::kHistogram: {
+        std::snprintf(line, sizeof(line), "%-40s n=%llu mean=%.3g\n",
+                      sample.name.c_str(),
+                      static_cast<unsigned long long>(sample.count),
+                      sample.count == 0
+                          ? 0.0
+                          : sample.sum / static_cast<double>(sample.count));
+        out += line;
+        for (size_t i = 0; i < sample.buckets.size(); ++i) {
+          if (sample.buckets[i] == 0) continue;
+          std::snprintf(line, sizeof(line), "  [%11.4g, %11.4g) %llu\n",
+                        Log2Histogram::BucketLo(i),
+                        Log2Histogram::BucketLo(i + 1),
+                        static_cast<unsigned long long>(sample.buckets[i]));
+          out += line;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<Spinlock> guard(lock_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace kop::trace

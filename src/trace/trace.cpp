@@ -1,0 +1,103 @@
+#include "kop/trace/trace.hpp"
+
+#include <algorithm>
+
+namespace kop::trace {
+namespace {
+
+struct EventDesc {
+  const char* name;
+  const char* category;
+  std::array<const char*, 4> args;
+};
+
+constexpr EventDesc kEvents[kEventCount] = {
+    {"none", "none", {nullptr, nullptr, nullptr, nullptr}},
+    {"guard.check", "guard", {"addr", "size", "flags", "site"}},
+    {"guard.deny", "guard", {"addr", "size", "flags", "site"}},
+    {"guard.intrinsic", "guard", {"intrinsic", "allowed", nullptr, "site"}},
+    {"policy.lookup", "guard", {"scanned", "regions", nullptr, nullptr}},
+    {"module.verify", "loader", {"ok", nullptr, nullptr, nullptr}},
+    {"module.load", "loader", {"insts", "guards", nullptr, nullptr}},
+    {"module.quarantine", "loader", {"addr", "size", nullptr, nullptr}},
+    {"nic.desc_fetch", "nic", {"desc_addr", "head", nullptr, nullptr}},
+    {"nic.xmit", "nic", {"bytes", "occupancy", nullptr, nullptr}},
+    {"e1000e.xmit_frame", "nic", {"bytes", "slot", nullptr, nullptr}},
+    {"kernel.panic", "kernel", {nullptr, nullptr, nullptr, nullptr}},
+    {"dev.ioctl", "ioctl", {"cmd", nullptr, nullptr, nullptr}},
+};
+
+size_t Index(EventId id) {
+  const size_t i = static_cast<size_t>(id);
+  return i < kEventCount ? i : 0;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string_view EventName(EventId id) { return kEvents[Index(id)].name; }
+
+std::string_view EventCategory(EventId id) {
+  return kEvents[Index(id)].category;
+}
+
+std::array<const char*, 4> EventArgNames(EventId id) {
+  return kEvents[Index(id)].args;
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_(RoundUpPow2(capacity)), mask_(slots_.size() - 1) {}
+
+void TraceRing::Append(TraceRecord record) {
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
+  record.seq = seq;
+  slots_[seq & mask_] = record;
+}
+
+std::vector<TraceRecord> TraceRing::Snapshot() const {
+  const uint64_t total = next_.load(std::memory_order_acquire);
+  const uint64_t retained = std::min<uint64_t>(total, slots_.size());
+  std::vector<TraceRecord> out;
+  out.reserve(retained);
+  for (uint64_t seq = total - retained; seq < total; ++seq) {
+    out.push_back(slots_[seq & mask_]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  next_.store(0, std::memory_order_release);
+  std::fill(slots_.begin(), slots_.end(), TraceRecord{});
+}
+
+void Tracer::Record(EventId event, uint64_t a0, uint64_t a1, uint64_t a2,
+                    uint64_t a3) {
+  if (!enabled()) return;
+  counts_[Index(event)].fetch_add(1, std::memory_order_relaxed);
+  TraceRecord record;
+  const sim::VirtualClock* clock = clock_.load(std::memory_order_acquire);
+  record.tsc = clock != nullptr ? clock->ReadTsc() : 0;
+  record.event = event;
+  record.args[0] = a0;
+  record.args[1] = a1;
+  record.args[2] = a2;
+  record.args[3] = a3;
+  ring_.Append(record);
+}
+
+void Tracer::Reset() {
+  ring_.Clear();
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+}
+
+Tracer& GlobalTracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace kop::trace

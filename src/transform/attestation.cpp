@@ -14,7 +14,14 @@ std::string AttestationRecord::Serialize() const {
       << "guards_complete: " << (guards_complete ? 1 : 0) << "\n"
       << "no_inline_asm: " << (no_inline_asm ? 1 : 0) << "\n"
       << "guards_optimized: " << (guards_optimized ? 1 : 0) << "\n"
-      << "guard_count: " << guard_count << "\n";
+      << "guard_count: " << guard_count << "\n"
+      << "site_count: " << sites.size() << "\n";
+  for (const GuardSite& site : sites) {
+    out << "site: " << site.site_id << " " << site.call_ordinal << " "
+        << site.inst_index << " " << site.access_size << " "
+        << site.access_flags << " " << (site.is_intrinsic ? "i" : "g") << " @"
+        << site.function << "\n";
+  }
   return out.str();
 }
 
@@ -37,16 +44,49 @@ Result<AttestationRecord> AttestationRecord::Deserialize(
     }
     return line.substr(prefix.size());
   };
+  auto bool_field = [&](const char* key) -> Result<bool> {
+    auto value = field(key);
+    if (!value.ok()) return value.status();
+    return *value == "1";
+  };
   KOP_ASSIGN_OR_RETURN(record.module_name, field("module"));
   KOP_ASSIGN_OR_RETURN(record.compiler, field("compiler"));
-  KOP_ASSIGN_OR_RETURN(std::string guards, field("guards_complete"));
-  record.guards_complete = guards == "1";
-  KOP_ASSIGN_OR_RETURN(std::string no_asm, field("no_inline_asm"));
-  record.no_inline_asm = no_asm == "1";
-  KOP_ASSIGN_OR_RETURN(std::string optimized, field("guards_optimized"));
-  record.guards_optimized = optimized == "1";
-  KOP_ASSIGN_OR_RETURN(std::string count, field("guard_count"));
-  record.guard_count = std::strtoull(count.c_str(), nullptr, 10);
+  KOP_ASSIGN_OR_RETURN(record.guards_complete, bool_field("guards_complete"));
+  KOP_ASSIGN_OR_RETURN(record.no_inline_asm, bool_field("no_inline_asm"));
+  KOP_ASSIGN_OR_RETURN(record.guards_optimized,
+                       bool_field("guards_optimized"));
+  const auto count = field("guard_count");
+  if (!count.ok()) return count.status();
+  record.guard_count = std::strtoull(count->c_str(), nullptr, 10);
+  // site_count (and the sites after it) are absent from pre-observability
+  // records; accept both.
+  if (!std::getline(in, line)) return record;
+  const std::string site_count_prefix = "site_count: ";
+  if (line.rfind(site_count_prefix, 0) != 0) {
+    return BadModule("attestation: expected field site_count, got '" + line +
+                     "'");
+  }
+  const uint64_t site_count =
+      std::strtoull(line.c_str() + site_count_prefix.size(), nullptr, 10);
+  record.sites.reserve(site_count);
+  for (uint64_t i = 0; i < site_count; ++i) {
+    if (!std::getline(in, line) || line.rfind("site: ", 0) != 0) {
+      return BadModule("attestation: truncated site table");
+    }
+    std::istringstream fields(line.substr(6));
+    GuardSite site;
+    std::string kind;
+    std::string function;
+    if (!(fields >> site.site_id >> site.call_ordinal >> site.inst_index >>
+          site.access_size >> site.access_flags >> kind >> function) ||
+        (kind != "g" && kind != "i") || function.empty() ||
+        function[0] != '@') {
+      return BadModule("attestation: malformed site entry '" + line + "'");
+    }
+    site.is_intrinsic = kind == "i";
+    site.function = function.substr(1);
+    record.sites.push_back(std::move(site));
+  }
   return record;
 }
 
@@ -126,6 +166,7 @@ AttestationRecord Attest(const kir::Module& module) {
     }
   }
   record.guard_count = guards;
+  record.sites = EnumerateGuardSites(module);
   return record;
 }
 

@@ -1,0 +1,51 @@
+#include "kop/transform/guard_sites.hpp"
+
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::transform {
+
+std::vector<GuardSite> EnumerateGuardSites(const kir::Module& module) {
+  std::vector<GuardSite> sites;
+  uint64_t call_ordinal = 0;
+  for (const auto& fn : module.functions()) {
+    uint32_t inst_index = 0;
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kCall) {
+          const bool is_guard = inst->callee() == kCaratGuardSymbol;
+          const bool is_intrinsic =
+              inst->callee() == kCaratIntrinsicGuardSymbol;
+          if (is_guard || is_intrinsic) {
+            GuardSite site;
+            site.site_id = static_cast<uint32_t>(sites.size());
+            site.call_ordinal = call_ordinal;
+            site.function = fn->name();
+            site.inst_index = inst_index;
+            site.is_intrinsic = is_intrinsic;
+            if (is_guard && inst->operand_count() == 3) {
+              if (const auto* size =
+                      kir::dyn_cast<kir::Constant>(inst->operand(1))) {
+                site.access_size = static_cast<uint32_t>(size->bits());
+              }
+              if (const auto* flags =
+                      kir::dyn_cast<kir::Constant>(inst->operand(2))) {
+                site.access_flags = static_cast<uint32_t>(flags->bits());
+              }
+            } else if (is_intrinsic && inst->operand_count() == 1) {
+              if (const auto* id =
+                      kir::dyn_cast<kir::Constant>(inst->operand(0))) {
+                site.access_flags = static_cast<uint32_t>(id->bits());
+              }
+            }
+            sites.push_back(std::move(site));
+          }
+          ++call_ordinal;
+        }
+        ++inst_index;
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace kop::transform

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "kop/transform/guard_sites.hpp"
 #include "kop/transform/pass.hpp"
 
 namespace kop::transform {
@@ -22,6 +24,10 @@ struct AttestationRecord {
   /// compiler's soundness (the CARAT CAKE trust model).
   bool guards_optimized = false;
   uint64_t guard_count = 0;
+  /// Per-guard-site table (function + instruction index per injected
+  /// guard), covered by the signature; the validator rebuilds it from the
+  /// shipped IR and the loader registers it for runtime attribution.
+  std::vector<GuardSite> sites;
 
   /// Canonical serialization (covered by the signature).
   std::string Serialize() const;

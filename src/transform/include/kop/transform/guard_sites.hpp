@@ -1,0 +1,35 @@
+// Guard-site enumeration — the compile-time half of per-site profiling
+// ("perf annotate" for injected guards). Each guard call in a module gets
+// a stable module-local id derived purely from IR order, so the same
+// module always yields the same table, and the kernel can rebuild it from
+// the signed IR at insmod and cross-check it against the attestation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kop/kir/module.hpp"
+
+namespace kop::transform {
+
+/// One injected guard call site.
+struct GuardSite {
+  uint32_t site_id = 0;       // ordinal among guard calls, module-wide
+  uint64_t call_ordinal = 0;  // ordinal among ALL kCall insts, module-wide —
+                              // matches the interpreter's call-site channel
+  std::string function;       // defining function name (no "@")
+  uint32_t inst_index = 0;    // instruction index within the function
+  uint32_t access_size = 0;   // guarded access width; 0 if non-constant
+  uint32_t access_flags = 0;  // kGuardAccessRead/Write; intrinsic id for
+                              // intrinsic guards
+  bool is_intrinsic = false;  // carat_intrinsic_guard vs carat_guard
+
+  bool operator==(const GuardSite& other) const = default;
+};
+
+/// Walk the module in function / block / instruction order and list every
+/// carat_guard / carat_intrinsic_guard call. Deterministic for a given IR.
+std::vector<GuardSite> EnumerateGuardSites(const kir::Module& module);
+
+}  // namespace kop::transform

@@ -227,9 +227,13 @@ TEST(KmallocTest, CoalescingRebuildsLargeChunk) {
   }
   // Arena is (nearly) full; free everything in mixed order.
   for (size_t i : {1u, 3u, 5u, 0u, 2u, 4u, 6u}) {
-    if (i < blocks.size()) ASSERT_TRUE(arena.Kfree(blocks[i]).ok());
+    if (i < blocks.size()) {
+      ASSERT_TRUE(arena.Kfree(blocks[i]).ok());
+    }
   }
-  if (blocks.size() > 7) ASSERT_TRUE(arena.Kfree(blocks[7]).ok());
+  if (blocks.size() > 7) {
+    ASSERT_TRUE(arena.Kfree(blocks[7]).ok());
+  }
   const KmallocStats stats = arena.Stats();
   EXPECT_EQ(stats.allocation_count, 0u);
   EXPECT_EQ(stats.largest_free_chunk, 0x1000u);  // fully coalesced

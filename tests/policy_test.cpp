@@ -19,6 +19,7 @@
 #include "kop/policy/sorted_table.hpp"
 #include "kop/policy/splay_store.hpp"
 #include "kop/policy/wrappers.hpp"
+#include "kop/trace/site.hpp"
 #include "kop/util/rng.hpp"
 
 namespace kop::policy {
@@ -537,6 +538,49 @@ TEST_F(EngineTest, ViolationRingKeepsMostRecent64) {
   ASSERT_EQ(violations.size(), 64u);
   EXPECT_EQ(violations.front().addr, 0x10000u + 36);  // oldest kept
   EXPECT_EQ(violations.back().addr, 0x10000u + 99);
+}
+
+TEST_F(EngineTest, ViolationRingWrapKeepsMonotonicSequence) {
+  // Log-only audit mode (the fixture default) must still record every
+  // denial; sequences are guard-call ordinals, so they stay strictly
+  // increasing and contiguous even after the 64-entry ring wraps.
+  for (uint64_t i = 0; i < 150; ++i) {
+    EXPECT_FALSE(engine_.Guard(0x20000 + i, 1, kGuardAccessWrite));
+  }
+  const auto violations = engine_.RecentViolations();
+  ASSERT_EQ(violations.size(), 64u);
+  for (size_t i = 1; i < violations.size(); ++i) {
+    EXPECT_EQ(violations[i].sequence, violations[i - 1].sequence + 1);
+  }
+  EXPECT_EQ(violations.back().sequence, 150u);  // nth guard call overall
+  EXPECT_EQ(violations.back().addr, 0x20000u + 149);
+  EXPECT_EQ(engine_.stats().denied, 150u);
+}
+
+TEST_F(EngineTest, ViolationCarriesPinnedGuardSite) {
+  // When a site context is pinned (as the module loader does around
+  // interpreted guard calls), the denial and the hot-site table both
+  // charge that exact site.
+  trace::SiteInfo info;
+  info.module_name = "enginetest";
+  info.function = "poke";
+  const uint64_t token = trace::GlobalSites().Register(info);
+  {
+    trace::ScopedGuardSite scope(token);
+    EXPECT_FALSE(engine_.Guard(0x5000, 8, kGuardAccessWrite));
+  }
+  EXPECT_FALSE(engine_.Guard(0x6000, 8, kGuardAccessWrite));  // unpinned
+
+  const auto violations = engine_.RecentViolations();
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].site, token);
+  EXPECT_EQ(violations[1].site, trace::kUnknownSite);
+
+  uint64_t site_denials = 0;
+  for (const HotSite& row : engine_.HotSites()) {
+    if (row.site == token) site_denials = row.denied;
+  }
+  EXPECT_EQ(site_denials, 1u);
 }
 
 TEST_F(EngineTest, ConcurrentGuardsAndMutationsStaySane) {

@@ -1,0 +1,301 @@
+// kop::trace: the tracepoint ring, metrics registry, guard-site
+// directory, and the Chrome-trace/CSV exporters.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "kop/sim/clock.hpp"
+#include "kop/trace/exporters.hpp"
+#include "kop/trace/metrics.hpp"
+#include "kop/trace/site.hpp"
+#include "kop/trace/trace.hpp"
+
+namespace kop::trace {
+namespace {
+
+// ---------------------------------------------------------- event ids --
+
+TEST(TraceEventTest, EveryEventHasNameAndCategory) {
+  for (size_t i = 1; i < kEventCount; ++i) {
+    const auto id = static_cast<EventId>(i);
+    EXPECT_FALSE(EventName(id).empty()) << i;
+    const std::string_view category = EventCategory(id);
+    EXPECT_TRUE(category == "guard" || category == "loader" ||
+                category == "nic" || category == "kernel" ||
+                category == "ioctl")
+        << "event " << i << " has unexpected category " << category;
+  }
+}
+
+// --------------------------------------------------------------- ring --
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1).capacity(), 64u);
+  EXPECT_EQ(TraceRing(64).capacity(), 64u);
+  EXPECT_EQ(TraceRing(65).capacity(), 128u);
+  EXPECT_EQ(TraceRing(1000).capacity(), 1024u);
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestInOrder) {
+  TraceRing ring(64);
+  for (uint64_t i = 0; i < 200; ++i) {
+    TraceRecord record;
+    record.event = EventId::kGuardCheck;
+    record.args[0] = i;  // payload marker: the append ordinal
+    ring.Append(record);
+  }
+  EXPECT_EQ(ring.total_appended(), 200u);
+  EXPECT_EQ(ring.dropped(), 200u - 64u);
+
+  const auto records = ring.Snapshot();
+  ASSERT_EQ(records.size(), 64u);
+  // The newest 64 survive, oldest first, with monotonic sequence numbers
+  // that keep counting across the wrap.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, 136u + i);
+    EXPECT_EQ(records[i].args[0], 136u + i);
+  }
+}
+
+TEST(TraceRingTest, ClearEmptiesRing) {
+  TraceRing ring(64);
+  for (int i = 0; i < 10; ++i) ring.Append(TraceRecord{});
+  ring.Clear();
+  EXPECT_EQ(ring.total_appended(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+// ------------------------------------------------------------- tracer --
+
+TEST(TracerTest, RecordStampsVirtualCycles) {
+  Tracer tracer;
+  sim::VirtualClock clock;
+  tracer.SetClock(&clock);
+  clock.Advance(100.0);
+  tracer.Record(EventId::kGuardCheck, 0x1000, 8);
+  clock.Advance(50.0);
+  tracer.Record(EventId::kGuardDeny, 0x2000, 4);
+  tracer.SetClock(nullptr);
+
+  const auto records = tracer.ring().Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].tsc, 100u);
+  EXPECT_EQ(records[0].event, EventId::kGuardCheck);
+  EXPECT_EQ(records[0].args[0], 0x1000u);
+  EXPECT_EQ(records[1].tsc, 150u);
+  EXPECT_EQ(tracer.event_count(EventId::kGuardCheck), 1u);
+  EXPECT_EQ(tracer.event_count(EventId::kGuardDeny), 1u);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  tracer.SetEnabled(false);
+  tracer.Record(EventId::kPanic);
+  EXPECT_EQ(tracer.ring().total_appended(), 0u);
+  EXPECT_EQ(tracer.event_count(EventId::kPanic), 0u);
+  tracer.SetEnabled(true);
+  tracer.Record(EventId::kPanic);
+  EXPECT_EQ(tracer.ring().total_appended(), 1u);
+}
+
+TEST(TracerTest, MacroFiresIntoGlobalTracer) {
+  GlobalTracer().Reset();
+  KOP_TRACE(kPanic);
+  KOP_TRACE(kIoctl, 0x4b05, 0);
+#if KOP_TRACE_ENABLED
+  EXPECT_EQ(GlobalTracer().event_count(EventId::kPanic), 1u);
+  EXPECT_EQ(GlobalTracer().event_count(EventId::kIoctl), 1u);
+#else
+  // Compiled out: nothing recorded, and the macro must still parse.
+  EXPECT_EQ(GlobalTracer().ring().total_appended(), 0u);
+#endif
+  GlobalTracer().Reset();
+}
+
+// ------------------------------------------------------------ metrics --
+
+TEST(MetricsTest, CountersAreSharedByName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Add();
+  a->Add(4);
+  EXPECT_EQ(b->value(), 5u);
+}
+
+TEST(MetricsTest, GaugeTracksHighWatermark) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  gauge->Set(3);
+  gauge->Set(17);
+  gauge->Set(5);
+  EXPECT_EQ(gauge->value(), 5);
+  EXPECT_EQ(gauge->max(), 17);
+}
+
+TEST(MetricsTest, Log2HistogramBucketsByPowerOfTwo) {
+  MetricsRegistry registry;
+  Log2Histogram* hist = registry.GetHistogram("test.hist");
+  hist->Observe(0.0);     // bucket 0: < 1
+  hist->Observe(1.0);     // bucket 1: [1, 2)
+  hist->Observe(3.0);     // bucket 2: [2, 4)
+  hist->Observe(1024.0);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(hist->bucket(0), 1u);
+  EXPECT_EQ(hist->bucket(1), 1u);
+  EXPECT_EQ(hist->bucket(2), 1u);
+  EXPECT_EQ(hist->bucket(11), 1u);
+  EXPECT_EQ(hist->count(), 4u);
+  EXPECT_DOUBLE_EQ(hist->mean(), (0.0 + 1.0 + 3.0 + 1024.0) / 4.0);
+  EXPECT_EQ(hist->NonZeroBuckets(), 4u);
+  EXPECT_DOUBLE_EQ(Log2Histogram::BucketLo(0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2Histogram::BucketLo(1), 1.0);
+  EXPECT_DOUBLE_EQ(Log2Histogram::BucketLo(11), 1024.0);
+}
+
+TEST(MetricsTest, CsvSnapshotAndReset) {
+  MetricsRegistry registry;
+  registry.GetCounter("alpha.count")->Add(7);
+  registry.GetGauge("beta.level")->Set(3);
+  registry.GetHistogram("gamma.lat")->Observe(2.0);
+
+  const std::string csv = registry.RenderCsv();
+  EXPECT_NE(csv.find("alpha.count,counter,value,7"), std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("beta.level,gauge,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("gamma.lat,histogram,count,1"), std::string::npos);
+
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("alpha.count")->value(), 0u);
+  // Registrations survive a reset; snapshot still lists all three.
+  EXPECT_EQ(registry.Snapshot().size(), 3u);
+}
+
+// -------------------------------------------------------------- sites --
+
+TEST(SiteTest, RegistryAssignsTokensAndLabels) {
+  // The global registry is append-only; register fresh entries and only
+  // assert on those.
+  SiteInfo info;
+  info.module_name = "testmod";
+  info.function = "@poke";
+  info.site_id = 2;
+  info.inst_index = 5;
+  const uint64_t token = GlobalSites().Register(info);
+  EXPECT_GT(token, kUnknownSite);
+
+  auto found = GlobalSites().Find(token);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->module_name, "testmod");
+  EXPECT_EQ(found->token, token);
+  EXPECT_EQ(GlobalSites().Label(token), "testmod:@poke+5");
+  EXPECT_EQ(GlobalSites().Label(kUnknownSite), "<unattributed>");
+  EXPECT_FALSE(GlobalSites().Find(token + 1000000).has_value());
+}
+
+TEST(SiteTest, ScopedGuardSiteNestsAndRestores) {
+  EXPECT_EQ(CurrentGuardSite(), kUnknownSite);
+  {
+    ScopedGuardSite outer(11);
+    EXPECT_EQ(CurrentGuardSite(), 11u);
+    {
+      ScopedGuardSite inner(22);
+      EXPECT_EQ(CurrentGuardSite(), 22u);
+    }
+    EXPECT_EQ(CurrentGuardSite(), 11u);
+  }
+  EXPECT_EQ(CurrentGuardSite(), kUnknownSite);
+}
+
+// ---------------------------------------------------------- exporters --
+
+/// Minimal structural JSON check: balanced braces/brackets outside
+/// strings, with escape handling. Not a full parser, but catches the
+/// classic exporter bugs (trailing comma text, unescaped quote).
+bool JsonBalanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+std::vector<TraceRecord> SampleRecords() {
+  std::vector<TraceRecord> records;
+  const EventId ids[] = {EventId::kGuardCheck, EventId::kModuleLoad,
+                         EventId::kNicXmit, EventId::kIoctl};
+  uint64_t tsc = 100;
+  uint64_t seq = 0;
+  for (EventId id : ids) {
+    TraceRecord record;
+    record.tsc = tsc;
+    record.seq = seq++;
+    record.event = id;
+    record.args[0] = 0xdeadbeef;
+    records.push_back(record);
+    tsc += 2800;  // 1us at the default 2.8 GHz scale
+  }
+  return records;
+}
+
+TEST(ExporterTest, ChromeTraceIsStructurallyValidJson) {
+  const std::string json = ExportChromeTrace(SampleRecords());
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // One instant event per record, each with its category.
+  for (const char* category : {"guard", "loader", "nic", "ioctl"}) {
+    EXPECT_NE(json.find("\"cat\":\"" + std::string(category) + "\""),
+              std::string::npos)
+        << "missing category " << category << " in:\n"
+        << json;
+  }
+  // Addresses exported as hex strings (JSON numbers would lose bits).
+  EXPECT_NE(json.find("0xdeadbeef"), std::string::npos);
+}
+
+TEST(ExporterTest, ChromeTraceTimestampsMonotonicMicroseconds) {
+  const std::string json = ExportChromeTrace(SampleRecords());
+  std::vector<double> timestamps;
+  size_t pos = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    timestamps.push_back(std::strtod(json.c_str() + pos, nullptr));
+  }
+  ASSERT_EQ(timestamps.size(), 4u);
+  for (size_t i = 1; i < timestamps.size(); ++i) {
+    EXPECT_GT(timestamps[i], timestamps[i - 1]);
+  }
+  // 2800 cycles at 2800 cycles/us = 1us apart.
+  EXPECT_NEAR(timestamps[1] - timestamps[0], 1.0, 1e-6);
+}
+
+TEST(ExporterTest, CsvHasHeaderAndOneRowPerRecord) {
+  const auto records = SampleRecords();
+  const std::string csv = ExportTraceCsv(records);
+  size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 1u + records.size());
+  EXPECT_EQ(csv.rfind("seq,tsc,event,category,", 0), 0u) << csv;
+  EXPECT_NE(csv.find("guard.check"), std::string::npos);
+  EXPECT_NE(csv.find("nic.xmit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kop::trace

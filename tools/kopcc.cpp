@@ -17,10 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "kop/kir/parser.hpp"
 #include "kop/kir/printer.hpp"
 #include "kop/signing/signer.hpp"
 #include "kop/signing/validator.hpp"
 #include "kop/transform/compiler.hpp"
+#include "kop/transform/guard_sites.hpp"
 
 namespace {
 
@@ -105,12 +107,47 @@ int Compile(const std::vector<std::string>& args) {
 }
 
 int Inspect(const std::vector<std::string>& args) {
-  if (args.size() != 1) return Fail("inspect takes one container");
-  auto container = ReadFile(args[0]);
+  bool sites_only = false;
+  std::string path;
+  for (const std::string& arg : args) {
+    if (arg == "--sites") {
+      sites_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown inspect option '" + arg + "'");
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Fail("inspect takes one container");
+    }
+  }
+  if (path.empty()) return Fail("inspect takes one container");
+  auto container = ReadFile(path);
   if (!container.ok()) return Fail(container.status().ToString());
   auto image = signing::SignedModule::Deserialize(*container);
   if (!image.ok()) return Fail(image.status().ToString());
-  std::printf("container: %s\n", args[0].c_str());
+  if (sites_only) {
+    auto attestation =
+        transform::AttestationRecord::Deserialize(image->attestation_text);
+    if (!attestation.ok()) return Fail(attestation.status().ToString());
+    std::vector<transform::GuardSite> sites = attestation->sites;
+    if (sites.empty()) {
+      // Pre-site-table container: derive the table from the shipped IR.
+      auto module = kir::ParseModule(image->module_text);
+      if (!module.ok()) return Fail(module.status().ToString());
+      sites = transform::EnumerateGuardSites(**module);
+    }
+    std::printf("%zu guard sites in '%s':\n", sites.size(),
+                attestation->module_name.c_str());
+    std::printf("site  call  inst  kind       size  flags  function\n");
+    for (const transform::GuardSite& site : sites) {
+      std::printf("%-5u %-5llu %-5u %-10s %-5u %-6u @%s\n", site.site_id,
+                  static_cast<unsigned long long>(site.call_ordinal),
+                  site.inst_index, site.is_intrinsic ? "intrinsic" : "guard",
+                  site.access_size, site.access_flags, site.function.c_str());
+    }
+    return 0;
+  }
+  std::printf("container: %s\n", path.c_str());
   std::printf("key id:    %s\n", image->key_id.c_str());
   std::printf("signature: %s\n",
               signing::DigestHex(image->signature).c_str());
@@ -157,7 +194,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return Fail(
         "usage: kopcc compile <in.kir> [-o out.kko] [options] | "
-        "inspect <in.kko> | verify <in.kko>");
+        "inspect [--sites] <in.kko> | verify <in.kko>");
   }
   const std::string command = argv[1];
   const std::vector<std::string> args(argv + 2, argv + argc);
