@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "kop/kernel/module_loader.hpp"
+
 namespace kop::bench {
 
 std::string RunThroughputCdfFigure(const std::string& figure,
@@ -32,7 +34,7 @@ std::string RunThroughputCdfFigure(const std::string& figure,
     series.push_back(std::move(s));
   }
 
-  const std::string table = RenderCdfTable(series);
+  const std::string table = EngineAnnotation() + RenderCdfTable(series);
   std::fputs(table.c_str(), stdout);
 
   const sim::Summary carat = sim::Summarize(series[0].trial_pps);
@@ -45,6 +47,12 @@ std::string RunThroughputCdfFigure(const std::string& figure,
               machine.freq_hz > 2.5e9 ? "<0.1%, almost unmeasurable"
                                       : "~1000 pps, <0.8%");
   return table;
+}
+
+std::string EngineAnnotation() {
+  return "# kir_engine: " +
+         std::string(kernel::ExecEngineName(kernel::DefaultExecEngine())) +
+         "\n";
 }
 
 }  // namespace kop::bench

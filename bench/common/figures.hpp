@@ -12,4 +12,10 @@ std::string RunThroughputCdfFigure(const std::string& figure,
                                    const sim::MachineModel& machine,
                                    const BenchArgs& args);
 
+/// "# kir_engine: <name>\n" — records which execution engine protected
+/// modules default to when a figure is recorded. Throughput figures are
+/// simulated-cycle results and engine-independent; the annotation makes
+/// that provenance explicit in the CSV.
+std::string EngineAnnotation();
+
 }  // namespace kop::bench

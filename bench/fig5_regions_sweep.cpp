@@ -5,7 +5,7 @@
 // small".
 #include <cstdio>
 
-#include "common/experiment.hpp"
+#include "common/figures.hpp"
 
 int main(int argc, char** argv) {
   using namespace kop::bench;
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     series.push_back(std::move(s));
   }
 
-  const std::string table = RenderCdfTable(series);
+  const std::string table = EngineAnnotation() + RenderCdfTable(series);
   std::fputs(table.c_str(), stdout);
 
   std::printf("\nmedians:\n");

@@ -73,6 +73,7 @@ Status AddressSpace::MapMmio(std::string name, uint64_t base, uint64_t size,
 Status AddressSpace::Unmap(uint64_t base) {
   for (auto it = regions_.begin(); it != regions_.end(); ++it) {
     if ((*it)->info.base == base) {
+      if (last_hit_ == it->get()) last_hit_ = nullptr;
       regions_.erase(it);
       return OkStatus();
     }
@@ -82,6 +83,12 @@ Status AddressSpace::Unmap(uint64_t base) {
 
 const AddressSpace::Region* AddressSpace::Find(uint64_t addr,
                                                uint64_t size) const {
+  const uint64_t span = size == 0 ? 1 : size;
+  const Region* cached = last_hit_;
+  if (cached != nullptr &&
+      RangeContains(cached->info.base, cached->info.size, addr, span)) {
+    return cached;
+  }
   // Binary search over the sorted region list.
   auto pos = std::upper_bound(
       regions_.begin(), regions_.end(), addr,
@@ -90,10 +97,10 @@ const AddressSpace::Region* AddressSpace::Find(uint64_t addr,
       });
   if (pos == regions_.begin()) return nullptr;
   const Region* region = std::prev(pos)->get();
-  if (!RangeContains(region->info.base, region->info.size, addr,
-                     size == 0 ? 1 : size)) {
+  if (!RangeContains(region->info.base, region->info.size, addr, span)) {
     return nullptr;
   }
+  last_hit_ = region;
   return region;
 }
 

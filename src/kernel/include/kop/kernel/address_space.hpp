@@ -101,6 +101,11 @@ class AddressSpace {
 
   // Sorted by base address; regions never overlap.
   std::vector<std::unique_ptr<Region>> regions_;
+  // Most-recently-hit region. Accesses cluster (a driver hammers its
+  // ring, its MMIO window, its globals), so one range check usually
+  // replaces the binary search. Region objects are heap-stable; the
+  // cache only needs invalidating when a region is unmapped.
+  mutable const Region* last_hit_ = nullptr;
 };
 
 }  // namespace kop::kernel

@@ -6,22 +6,40 @@
 // Insmod: verify signature + attestation (signing::ValidateSignedModule),
 // resolve every external against the exported-symbol table (unknown
 // symbol -> refuse, like real insmod), lay the module's globals and stack
-// out in the module area, and wire an interpreter so the module can run.
+// out in the module area, and wire an execution engine so the module can
+// run. The default engine compiles the verified IR to bytecode and runs
+// it on the register VM; KOP_ENGINE=interp selects the reference
+// tree-walking interpreter instead.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "kop/kernel/kernel.hpp"
+#include "kop/kir/engine.hpp"
 #include "kop/kir/interp.hpp"
 #include "kop/kir/module.hpp"
+#include "kop/kir/vm.hpp"
 #include "kop/signing/signer.hpp"
 #include "kop/signing/validator.hpp"
 #include "kop/util/status.hpp"
 
 namespace kop::kernel {
+
+/// Which execution engine Insmod wires a module to.
+enum class ExecEngine {
+  kInterp,    // reference tree-walking interpreter (the oracle)
+  kBytecode,  // register VM over load-time-compiled bytecode (default)
+};
+
+std::string_view ExecEngineName(ExecEngine engine);
+
+/// Engine selected by the KOP_ENGINE environment variable ("interp" or
+/// "bytecode"); kBytecode when unset or unrecognized.
+ExecEngine DefaultExecEngine();
 
 class LoadedModule {
  public:
@@ -50,8 +68,11 @@ class LoadedModule {
   /// Simulated address of one of the module's globals.
   Result<uint64_t> GlobalAddress(const std::string& global) const;
 
-  const kir::InterpStats& exec_stats() const { return interp_->stats(); }
-  void ResetExecStats() { interp_->ResetStats(); }
+  const kir::InterpStats& exec_stats() const { return engine_->stats(); }
+  void ResetExecStats() { engine_->ResetStats(); }
+
+  /// Name of the engine executing this module ("interp" or "bytecode").
+  std::string_view engine_name() const { return engine_->engine_name(); }
 
   /// Guard-site tokens registered for this module at insmod, indexed by
   /// module-local site id (see trace::GlobalSites()).
@@ -72,7 +93,7 @@ class LoadedModule {
   std::vector<uint64_t> site_tokens_;  // guard-site tokens by site id
   std::unique_ptr<kir::MemoryInterface> memory_;
   std::unique_ptr<kir::ExternalResolver> resolver_;
-  std::unique_ptr<kir::Interpreter> interp_;
+  std::unique_ptr<kir::ExecutionEngine> engine_;
 };
 
 class ModuleLoader {
@@ -92,9 +113,15 @@ class ModuleLoader {
 
   signing::Keyring& keyring() { return keyring_; }
 
+  /// Engine future Insmod calls wire modules to (already-loaded modules
+  /// keep the engine they were loaded with).
+  ExecEngine engine() const { return engine_; }
+  void set_engine(ExecEngine engine) { engine_ = engine; }
+
  private:
   Kernel* kernel_;
   signing::Keyring keyring_;
+  ExecEngine engine_ = DefaultExecEngine();
   std::map<std::string, std::unique_ptr<LoadedModule>> modules_;
 };
 

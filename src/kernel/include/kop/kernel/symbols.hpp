@@ -34,6 +34,18 @@ class SymbolTable {
   bool HasFunction(const std::string& name) const;
   bool HasData(const std::string& name) const;
 
+  /// Stable pointer to an exported function's host closure, or nullptr.
+  /// The pointer stays valid until that symbol is unexported; callers
+  /// caching it across calls must revalidate against generation().
+  const KernelFunction* FindFunction(const std::string& name) const;
+
+  /// Monotonic export-set revision: bumped by every successful
+  /// ExportFunction / ExportData / Unexport. A cached FindFunction
+  /// pointer is safe to keep using while generation() is unchanged —
+  /// this is what lets the bytecode engine bind symbols once at insmod
+  /// and still observe a later policy-module unload.
+  uint64_t generation() const { return generation_; }
+
   /// Call an exported function.
   Result<uint64_t> Call(const std::string& name,
                         const std::vector<uint64_t>& args) const;
@@ -46,6 +58,7 @@ class SymbolTable {
  private:
   std::unordered_map<std::string, KernelFunction> functions_;
   std::unordered_map<std::string, uint64_t> data_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace kop::kernel

@@ -1,9 +1,14 @@
 #include "kop/kernel/module_loader.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 
+#include "kop/kir/bytecode.hpp"
+#include "kop/kir/intrinsics.hpp"
 #include "kop/trace/metrics.hpp"
 #include "kop/trace/site.hpp"
 #include "kop/trace/trace.hpp"
@@ -60,82 +65,208 @@ class KernelMemory final : public kir::MemoryInterface {
   Kernel* kernel_;
 };
 
+/// Sentinel: a call ordinal with no registered guard-site token.
+constexpr uint64_t kNoSiteToken = ~uint64_t{0};
+
 /// Routes external calls to the exported-symbol table; provides benign
 /// host fallbacks for the hardware intrinsics so un-wrapped intrinsics
 /// still "execute" (the §5 wrap pass adds the permission check in front).
+///
+/// Two call paths exist. The name-keyed CallExternal path serves the
+/// interpreter: per call, one guard-name compare (cheap; guard calls are
+/// the only ones needing site attribution) and a symbol-table hash
+/// lookup. The bound path serves the bytecode VM: BindExternal resolves a
+/// name ONCE at engine construction — symbol-table closure pointer,
+/// interned intrinsic id, or guard classification — and CallBound then
+/// dispatches on an integer kind with no string in sight. Cached symbol
+/// pointers revalidate against the symbol table's generation counter, so
+/// unloading the policy module (which unexports carat_guard) is observed
+/// exactly as on the name path.
 class KernelResolver final : public kir::ExternalResolver {
  public:
   /// `site_tokens` maps a module-wide call ordinal to the guard-site
   /// token registered for that ordinal's guard call (only guard calls
   /// appear in it).
   KernelResolver(Kernel* kernel,
-                 std::unordered_map<uint64_t, uint64_t> site_tokens)
-      : kernel_(kernel), site_tokens_(std::move(site_tokens)) {}
+                 const std::unordered_map<uint64_t, uint64_t>& site_tokens)
+      : kernel_(kernel) {
+    uint64_t max_ordinal = 0;
+    for (const auto& [ordinal, token] : site_tokens) {
+      max_ordinal = std::max(max_ordinal, ordinal);
+    }
+    if (!site_tokens.empty()) {
+      site_token_by_ordinal_.assign(max_ordinal + 1, kNoSiteToken);
+      for (const auto& [ordinal, token] : site_tokens) {
+        site_token_by_ordinal_[ordinal] = token;
+      }
+    }
+  }
 
   Result<uint64_t> CallExternal(const std::string& name,
                                 const std::vector<uint64_t>& args,
                                 uint64_t call_ordinal) override {
-    // Pin the guard-site context while a guard call is in flight — the
-    // simulated analogue of the return address the guard runtime would
-    // sample on real hardware.
-    auto it = site_tokens_.find(call_ordinal);
-    if (it != site_tokens_.end() &&
-        (name == kCaratGuardSymbol || name == kCaratIntrinsicGuardSymbol)) {
-      trace::ScopedGuardSite scope(it->second);
-      return CallExternal(name, args);
+    // Only guard calls carry site attribution; check the (two) guard
+    // names before touching the token table so every other external —
+    // printk, netdev hooks, ... — pays nothing for this overload.
+    if (name == kCaratGuardSymbol || name == kCaratIntrinsicGuardSymbol) {
+      const uint64_t token = TokenForOrdinal(call_ordinal);
+      if (token != kNoSiteToken) {
+        // Pin the guard-site context while the guard call is in flight —
+        // the simulated analogue of the return address the guard runtime
+        // would sample on real hardware.
+        trace::ScopedGuardSite scope(token);
+        return CallExternal(name, args);
+      }
     }
     return CallExternal(name, args);
   }
 
   Result<uint64_t> CallExternal(const std::string& name,
                                 const std::vector<uint64_t>& args) override {
-    if (kernel_->symbols().HasFunction(name)) {
-      return kernel_->symbols().Call(name, args);
+    if (const KernelFunction* fn = kernel_->symbols().FindFunction(name)) {
+      return (*fn)(args);
     }
-    if (name.rfind("kir.", 0) == 0) {
-      // Hardware intrinsics hit real (simulated) machine state, so a
-      // permitted privileged operation has observable effects.
-      if (name == "kir.rdmsr") {
-        return kernel_->msrs().Read(args.empty() ? 0 : args[0]);
+    if (kir::IsIntrinsicName(name)) {
+      return CallIntrinsic(kir::IntrinsicFromName(name), args);
+    }
+    return NotFound("undefined kernel symbol: " + name);
+  }
+
+  std::optional<uint64_t> BindExternal(const std::string& name) override {
+    Binding binding;
+    binding.name = name;
+    if (name == kCaratGuardSymbol || name == kCaratIntrinsicGuardSymbol) {
+      binding.kind = Binding::Kind::kGuard;
+    } else if (kernel_->symbols().HasFunction(name)) {
+      binding.kind = Binding::Kind::kSymbol;
+    } else if (kir::IsIntrinsicName(name)) {
+      binding.kind = Binding::Kind::kIntrinsic;
+      binding.intrinsic = kir::IntrinsicFromName(name);
+    } else {
+      return std::nullopt;  // unknown symbol: name path reports NotFound
+    }
+    if (binding.kind != Binding::Kind::kIntrinsic) {
+      binding.fn = kernel_->symbols().FindFunction(name);
+      binding.generation = kernel_->symbols().generation();
+    }
+    bindings_.push_back(std::move(binding));
+    return bindings_.size() - 1;
+  }
+
+  Result<uint64_t> CallBound(uint64_t handle,
+                             const std::vector<uint64_t>& args,
+                             uint64_t call_ordinal) override {
+    Binding& binding = bindings_[handle];
+    switch (binding.kind) {
+      case Binding::Kind::kGuard: {
+        KOP_ASSIGN_OR_RETURN(const KernelFunction* fn, Revalidate(binding));
+        const uint64_t token = TokenForOrdinal(call_ordinal);
+        if (token != kNoSiteToken) {
+          trace::ScopedGuardSite scope(token);
+          return (*fn)(args);
+        }
+        return (*fn)(args);
       }
-      if (name == "kir.wrmsr") {
+      case Binding::Kind::kSymbol: {
+        KOP_ASSIGN_OR_RETURN(const KernelFunction* fn, Revalidate(binding));
+        return (*fn)(args);
+      }
+      case Binding::Kind::kIntrinsic:
+        return CallIntrinsic(binding.intrinsic, args);
+    }
+    return Internal("corrupt external binding");
+  }
+
+ private:
+  struct Binding {
+    enum class Kind : uint8_t { kSymbol, kGuard, kIntrinsic };
+    Kind kind = Kind::kSymbol;
+    kir::Intrinsic intrinsic = kir::Intrinsic::kNone;
+    std::string name;
+    const KernelFunction* fn = nullptr;
+    uint64_t generation = 0;
+  };
+
+  uint64_t TokenForOrdinal(uint64_t ordinal) const {
+    return ordinal < site_token_by_ordinal_.size()
+               ? site_token_by_ordinal_[ordinal]
+               : kNoSiteToken;
+  }
+
+  /// The cached closure pointer, re-looked-up iff the export set changed
+  /// since the bind (e.g. the policy module was unloaded).
+  Result<const KernelFunction*> Revalidate(Binding& binding) {
+    const uint64_t generation = kernel_->symbols().generation();
+    if (binding.generation != generation) {
+      binding.fn = kernel_->symbols().FindFunction(binding.name);
+      binding.generation = generation;
+    }
+    if (binding.fn == nullptr) {
+      return NotFound("undefined kernel symbol: " + binding.name);
+    }
+    return binding.fn;
+  }
+
+  /// Hardware intrinsics hit real (simulated) machine state, so a
+  /// permitted privileged operation has observable effects.
+  Result<uint64_t> CallIntrinsic(kir::Intrinsic intrinsic,
+                                 const std::vector<uint64_t>& args) {
+    switch (intrinsic) {
+      case kir::Intrinsic::kRdmsr:
+        return kernel_->msrs().Read(args.empty() ? 0 : args[0]);
+      case kir::Intrinsic::kWrmsr:
         if (args.size() >= 2) kernel_->msrs().Write(args[0], args[1]);
         return uint64_t{0};
-      }
-      if (name == "kir.inb") {
+      case kir::Intrinsic::kInb:
         return uint64_t{kernel_->ports().In(
             static_cast<uint16_t>(args.empty() ? 0 : args[0]))};
-      }
-      if (name == "kir.outb") {
+      case kir::Intrinsic::kOutb:
         if (args.size() >= 2) {
           kernel_->ports().Out(static_cast<uint16_t>(args[0]),
                                static_cast<uint8_t>(args[1]));
         }
         return uint64_t{0};
-      }
-      if (name == "kir.cli") {
+      case kir::Intrinsic::kCli:
         kernel_->cpu().Cli();
         return uint64_t{0};
-      }
-      if (name == "kir.sti") {
+      case kir::Intrinsic::kSti:
         kernel_->cpu().Sti();
         return uint64_t{0};
-      }
-      if (name == "kir.hlt") {
+      case kir::Intrinsic::kHlt:
         kernel_->cpu().Halt();
         return uint64_t{0};
-      }
-      return uint64_t{0};  // invlpg etc.: no modeled state
+      case kir::Intrinsic::kInvlpg:
+      case kir::Intrinsic::kNone:
+        return uint64_t{0};  // invlpg etc.: no modeled state
     }
-    return NotFound("undefined kernel symbol: " + name);
+    return uint64_t{0};
   }
 
- private:
   Kernel* kernel_;
-  std::unordered_map<uint64_t, uint64_t> site_tokens_;
+  /// Guard-site token per module-wide call ordinal (kNoSiteToken for
+  /// non-guard ordinals) — a flat array so the per-guard lookup on both
+  /// call paths is one bounds check and one load.
+  std::vector<uint64_t> site_token_by_ordinal_;
+  std::vector<Binding> bindings_;
 };
 
 }  // namespace
+
+std::string_view ExecEngineName(ExecEngine engine) {
+  switch (engine) {
+    case ExecEngine::kInterp: return "interp";
+    case ExecEngine::kBytecode: return "bytecode";
+  }
+  return "?";
+}
+
+ExecEngine DefaultExecEngine() {
+  const char* env = std::getenv("KOP_ENGINE");
+  if (env != nullptr && std::string_view(env) == "interp") {
+    return ExecEngine::kInterp;
+  }
+  return ExecEngine::kBytecode;
+}
 
 LoadedModule::~LoadedModule() {
   if (kernel_ == nullptr) return;
@@ -151,7 +282,7 @@ Result<uint64_t> LoadedModule::Call(const std::string& function,
                             "' is quarantined: " + quarantine_reason_);
   }
   try {
-    return interp_->Call(function, args);
+    return engine_->Call(function, args);
   } catch (const GuardViolation& violation) {
     quarantined_ = true;
     KOP_TRACE(kModuleQuarantine, violation.addr, violation.size);
@@ -277,21 +408,46 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
   }
 
   loaded->memory_ = std::make_unique<KernelMemory>(kernel_);
-  loaded->resolver_ =
-      std::make_unique<KernelResolver>(kernel_, std::move(site_tokens));
+  loaded->resolver_ = std::make_unique<KernelResolver>(kernel_, site_tokens);
   std::unordered_map<std::string, uint64_t> addresses(
       loaded->global_addresses_.begin(), loaded->global_addresses_.end());
   loaded->ir_ = std::move(ir);
-  loaded->interp_ = std::make_unique<kir::Interpreter>(
-      *loaded->ir_, *loaded->memory_, *loaded->resolver_,
-      std::move(addresses), config);
+
+  if (engine_ == ExecEngine::kBytecode) {
+    auto bytecode = kir::CompileToBytecode(*loaded->ir_);
+    if (!bytecode.ok()) {
+      kernel_->log().Printk(KernLevel::kErr,
+                            "insmod: %s: bytecode compile failed: %s",
+                            name.c_str(),
+                            bytecode.status().ToString().c_str());
+      return bytecode.status();
+    }
+    // Lowering must preserve every guard site's attribution: the table
+    // reconstructed from the bytecode has to equal the one enumerated
+    // from the verified IR (which the attestation was checked against).
+    const std::vector<transform::GuardSite> lowered =
+        transform::EnumerateGuardSites(*bytecode);
+    if (lowered != transform::EnumerateGuardSites(*loaded->ir_)) {
+      return Internal("bytecode guard-site table diverges from IR for '" +
+                      name + "'");
+    }
+    auto vm = kir::VM::Create(std::move(*bytecode), *loaded->memory_,
+                              *loaded->resolver_, addresses, config);
+    if (!vm.ok()) return vm.status();
+    loaded->engine_ = std::move(*vm);
+  } else {
+    loaded->engine_ = std::make_unique<kir::Interpreter>(
+        *loaded->ir_, *loaded->memory_, *loaded->resolver_,
+        std::move(addresses), config);
+  }
 
   kernel_->log().Printk(
       KernLevel::kInfo,
-      "insmod: loaded module '%s' (%zu instructions, %llu guards, key %s)",
+      "insmod: loaded module '%s' (%zu instructions, %llu guards, key %s, "
+      "engine %s)",
       name.c_str(), loaded->ir_->InstructionCount(),
       static_cast<unsigned long long>(loaded->attestation_.guard_count),
-      image.key_id.c_str());
+      image.key_id.c_str(), ExecEngineName(engine_).data());
   KOP_TRACE(kModuleLoad, loaded->ir_->InstructionCount(),
             loaded->attestation_.guard_count);
   trace::GlobalMetrics().GetCounter("loader.modules_loaded")->Add();

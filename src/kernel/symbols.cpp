@@ -11,6 +11,7 @@ Status SymbolTable::ExportFunction(const std::string& name,
     return AlreadyExists("symbol already exported: " + name);
   }
   functions_[name] = std::move(fn);
+  ++generation_;
   return OkStatus();
 }
 
@@ -19,12 +20,19 @@ Status SymbolTable::ExportData(const std::string& name, uint64_t address) {
     return AlreadyExists("symbol already exported: " + name);
   }
   data_[name] = address;
+  ++generation_;
   return OkStatus();
 }
 
 Status SymbolTable::Unexport(const std::string& name) {
-  if (functions_.erase(name) > 0) return OkStatus();
-  if (data_.erase(name) > 0) return OkStatus();
+  if (functions_.erase(name) > 0) {
+    ++generation_;
+    return OkStatus();
+  }
+  if (data_.erase(name) > 0) {
+    ++generation_;
+    return OkStatus();
+  }
   return NotFound("symbol not exported: " + name);
 }
 
@@ -34,6 +42,11 @@ bool SymbolTable::HasFunction(const std::string& name) const {
 
 bool SymbolTable::HasData(const std::string& name) const {
   return data_.count(name) > 0;
+}
+
+const KernelFunction* SymbolTable::FindFunction(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
 }
 
 Result<uint64_t> SymbolTable::Call(const std::string& name,

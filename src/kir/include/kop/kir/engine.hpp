@@ -1,0 +1,107 @@
+// Execution-engine interfaces shared by the two KIR engines: the
+// tree-walking reference interpreter (interp.hpp) and the bytecode VM
+// (vm.hpp). A loaded module runs against an abstract memory (the
+// simulated kernel address space) and an external-call resolver (the
+// kernel's exported-symbol table); which engine drives the IR is the
+// module loader's choice and must be observationally invisible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kop/util/status.hpp"
+
+namespace kop::kir {
+
+/// Abstract memory the engines load from / store to. `size` is the
+/// access width in bytes (1/2/4/8).
+class MemoryInterface {
+ public:
+  virtual ~MemoryInterface() = default;
+  virtual Result<uint64_t> Load(uint64_t addr, uint32_t size) = 0;
+  virtual Status Store(uint64_t addr, uint64_t value, uint32_t size) = 0;
+};
+
+/// Resolves calls that leave the module (kernel exports and intrinsics).
+class ExternalResolver {
+ public:
+  virtual ~ExternalResolver() = default;
+  virtual Result<uint64_t> CallExternal(const std::string& name,
+                                        const std::vector<uint64_t>& args) = 0;
+
+  /// Variant carrying the call site's module-wide ordinal: the index of
+  /// this kCall among all kCall instructions in the module, in function /
+  /// block / instruction order. The loader uses it to attribute guard
+  /// calls to the exact injected site (the simulated return address).
+  /// Default forwards to the ordinal-less overload.
+  virtual Result<uint64_t> CallExternal(const std::string& name,
+                                        const std::vector<uint64_t>& args,
+                                        uint64_t call_ordinal) {
+    (void)call_ordinal;
+    return CallExternal(name, args);
+  }
+
+  /// Compiled-engine fast path. A resolver that can pre-resolve `name`
+  /// (symbol-table entry, intrinsic id, guard hook) returns an opaque
+  /// handle here, bound ONCE when the engine is constructed; every later
+  /// call at that callee goes through CallBound with the handle and never
+  /// re-examines the name. nullopt means no binding is available and the
+  /// engine must use the name-keyed CallExternal path.
+  virtual std::optional<uint64_t> BindExternal(const std::string& name) {
+    (void)name;
+    return std::nullopt;
+  }
+
+  /// Invoke a callee previously bound with BindExternal. `call_ordinal`
+  /// carries the same site-attribution channel as the name-keyed variant.
+  virtual Result<uint64_t> CallBound(uint64_t handle,
+                                     const std::vector<uint64_t>& args,
+                                     uint64_t call_ordinal) {
+    (void)handle;
+    (void)args;
+    (void)call_ordinal;
+    return Internal("CallBound on a resolver without BindExternal");
+  }
+};
+
+struct InterpConfig {
+  /// Stack arena in simulated memory for allocas (provided by the loader).
+  uint64_t stack_base = 0;
+  uint64_t stack_size = 64 * 1024;
+  /// Execution budget; exceeded -> error (kernel would watchdog).
+  uint64_t max_steps = 50'000'000;
+  /// Intra-module call depth limit.
+  uint32_t max_call_depth = 256;
+};
+
+struct InterpStats {
+  uint64_t steps = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t calls_internal = 0;
+  uint64_t calls_external = 0;
+};
+
+/// What the module loader holds: call entry points, read counters. Both
+/// engines implement this and must agree on every observable — results,
+/// memory effects, external-call sequence with ordinals, and the counters
+/// (engine_test.cpp enforces it differentially).
+class ExecutionEngine {
+ public:
+  virtual ~ExecutionEngine() = default;
+
+  /// Call a defined function by name with integer/pointer arguments.
+  virtual Result<uint64_t> Call(const std::string& fn_name,
+                                const std::vector<uint64_t>& args) = 0;
+
+  virtual const InterpStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// "interp" or "bytecode" — for logs and bench annotations.
+  virtual std::string_view engine_name() const = 0;
+};
+
+}  // namespace kop::kir

@@ -1,9 +1,14 @@
-// The KIR interpreter: executes a loaded module against an abstract
-// memory (the simulated kernel address space) and an external-call
-// resolver (the kernel's exported-symbol table). This is how a protected
-// module "runs inside the kernel" in the simulation — its loads and
-// stores really happen, and the guard calls the transform injected really
-// reach the policy module.
+// The KIR tree-walking interpreter: executes a loaded module against an
+// abstract memory (the simulated kernel address space) and an external-
+// call resolver (the kernel's exported-symbol table). This is how a
+// protected module "runs inside the kernel" in the simulation — its loads
+// and stores really happen, and the guard calls the transform injected
+// really reach the policy module.
+//
+// Since the bytecode VM (vm.hpp) became the module loader's default
+// engine, the interpreter's role is reference oracle: it walks the IR
+// directly, which keeps it trivially auditable, and engine_test.cpp holds
+// the VM to bit-identical observable behavior against it.
 #pragma once
 
 #include <cstdint>
@@ -11,59 +16,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kop/kir/engine.hpp"
 #include "kop/kir/module.hpp"
 #include "kop/util/status.hpp"
 
 namespace kop::kir {
 
-/// Abstract memory the interpreter loads from / stores to. `size` is the
-/// access width in bytes (1/2/4/8).
-class MemoryInterface {
- public:
-  virtual ~MemoryInterface() = default;
-  virtual Result<uint64_t> Load(uint64_t addr, uint32_t size) = 0;
-  virtual Status Store(uint64_t addr, uint64_t value, uint32_t size) = 0;
-};
-
-/// Resolves calls that leave the module (kernel exports and intrinsics).
-class ExternalResolver {
- public:
-  virtual ~ExternalResolver() = default;
-  virtual Result<uint64_t> CallExternal(const std::string& name,
-                                        const std::vector<uint64_t>& args) = 0;
-
-  /// Variant carrying the call site's module-wide ordinal: the index of
-  /// this kCall among all kCall instructions in the module, in function /
-  /// block / instruction order. The loader uses it to attribute guard
-  /// calls to the exact injected site (the simulated return address).
-  /// Default forwards to the ordinal-less overload.
-  virtual Result<uint64_t> CallExternal(const std::string& name,
-                                        const std::vector<uint64_t>& args,
-                                        uint64_t call_ordinal) {
-    (void)call_ordinal;
-    return CallExternal(name, args);
-  }
-};
-
-struct InterpConfig {
-  /// Stack arena in simulated memory for allocas (provided by the loader).
-  uint64_t stack_base = 0;
-  uint64_t stack_size = 64 * 1024;
-  /// Execution budget; exceeded -> error (kernel would watchdog).
-  uint64_t max_steps = 50'000'000;
-  /// Intra-module call depth limit.
-  uint32_t max_call_depth = 256;
-};
-
-struct InterpStats {
-  uint64_t steps = 0;
-  uint64_t loads = 0;
-  uint64_t stores = 0;
-  uint64_t calls_internal = 0;
-  uint64_t calls_external = 0;
-};
-
-class Interpreter {
+class Interpreter : public ExecutionEngine {
  public:
   /// `global_addresses` maps each module global to its simulated address,
   /// as assigned by the module loader.
@@ -74,10 +33,11 @@ class Interpreter {
 
   /// Call a defined function by name with integer/pointer arguments.
   Result<uint64_t> Call(const std::string& fn_name,
-                        const std::vector<uint64_t>& args);
+                        const std::vector<uint64_t>& args) override;
 
-  const InterpStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = InterpStats(); }
+  const InterpStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = InterpStats(); }
+  std::string_view engine_name() const override { return "interp"; }
 
  private:
   Result<uint64_t> Execute(const Function& fn,

@@ -1,0 +1,40 @@
+// The "kir.*" hardware-intrinsic namespace, interned once. Three layers
+// dispatch on these names — the transform's §5 wrap pass, the kernel
+// resolver's runtime dispatch, and the bytecode compiler's extern
+// interning — and they must agree on the id of each intrinsic because
+// the id is what carat_intrinsic_guard receives and what the policy
+// module's permission table is keyed by. This table is the single source
+// of truth; transform::PrivilegedIntrinsic aliases these values.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace kop::kir {
+
+/// Stable ids for the privileged intrinsics KIR knows about. kNone means
+/// "a kir.* callee this table does not model" — executed as a no-op, the
+/// way the kernel resolver always treated e.g. an unknown fence.
+enum class Intrinsic : uint64_t {
+  kNone = 0,
+  kCli = 1,     // disable interrupts
+  kSti = 2,     // enable interrupts
+  kRdmsr = 3,   // read model-specific register
+  kWrmsr = 4,   // write model-specific register
+  kInb = 5,     // port I/O read
+  kOutb = 6,    // port I/O write
+  kInvlpg = 7,  // TLB shootdown
+  kHlt = 8,     // halt
+};
+
+/// True when `name` lives in the intrinsic namespace ("kir." prefix).
+bool IsIntrinsicName(std::string_view name);
+
+/// Map an intrinsic callee name ("kir.cli") to its id. kNone both for
+/// names outside the namespace and for unmodeled "kir.*" names — pair
+/// with IsIntrinsicName to tell them apart.
+Intrinsic IntrinsicFromName(std::string_view name);
+
+std::string_view IntrinsicName(Intrinsic intrinsic);
+
+}  // namespace kop::kir

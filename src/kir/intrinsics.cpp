@@ -1,0 +1,47 @@
+#include "kop/kir/intrinsics.hpp"
+
+#include <array>
+
+namespace kop::kir {
+namespace {
+
+struct IntrinsicRow {
+  std::string_view name;
+  Intrinsic id;
+};
+
+// Small and scanned with string_view compares (no allocation, length
+// checked first); a hash map buys nothing at 8 entries.
+constexpr std::array<IntrinsicRow, 8> kIntrinsics = {{
+    {"kir.cli", Intrinsic::kCli},
+    {"kir.sti", Intrinsic::kSti},
+    {"kir.rdmsr", Intrinsic::kRdmsr},
+    {"kir.wrmsr", Intrinsic::kWrmsr},
+    {"kir.inb", Intrinsic::kInb},
+    {"kir.outb", Intrinsic::kOutb},
+    {"kir.invlpg", Intrinsic::kInvlpg},
+    {"kir.hlt", Intrinsic::kHlt},
+}};
+
+}  // namespace
+
+bool IsIntrinsicName(std::string_view name) {
+  return name.substr(0, 4) == "kir.";
+}
+
+Intrinsic IntrinsicFromName(std::string_view name) {
+  if (!IsIntrinsicName(name)) return Intrinsic::kNone;
+  for (const IntrinsicRow& row : kIntrinsics) {
+    if (row.name == name) return row.id;
+  }
+  return Intrinsic::kNone;
+}
+
+std::string_view IntrinsicName(Intrinsic intrinsic) {
+  for (const IntrinsicRow& row : kIntrinsics) {
+    if (row.id == intrinsic) return row.name;
+  }
+  return "?";
+}
+
+}  // namespace kop::kir

@@ -63,7 +63,7 @@ bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
     allowed = prot.has_value()
                   ? (*prot & access_flags) == access_flags
                   : mode_ == PolicyMode::kDefaultAllow;
-    HotSite& row = site_table_[site];
+    HotSite& row = SiteRow(site);
     row.site = site;
     ++row.hits;
     if (allowed) {
@@ -110,7 +110,7 @@ bool PolicyEngine::IntrinsicGuard(uint64_t intrinsic_id) {
     } else {
       allowed = intrinsic_default_allow_;
     }
-    HotSite& row = site_table_[site];
+    HotSite& row = SiteRow(site);
     row.site = site;
     ++row.hits;
     if (!allowed) {
@@ -168,7 +168,9 @@ std::vector<HotSite> PolicyEngine::HotSites() const {
   {
     std::lock_guard<Spinlock> guard(lock_);
     out.reserve(site_table_.size());
-    for (const auto& [site, row] : site_table_) out.push_back(row);
+    for (const HotSite& row : site_table_) {
+      if (row.hits != 0) out.push_back(row);
+    }
   }
   std::sort(out.begin(), out.end(), [](const HotSite& a, const HotSite& b) {
     return a.hits != b.hits ? a.hits > b.hits : a.site < b.site;

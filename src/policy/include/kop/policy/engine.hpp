@@ -9,7 +9,6 @@
 #include <memory>
 #include <set>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "kop/kernel/kernel.hpp"
 #include "kop/policy/store.hpp"
@@ -132,7 +131,17 @@ class PolicyEngine {
   std::set<uint64_t> intrinsic_denied_;
   GuardStats stats_;
   RingBuffer<ViolationRecord> violations_{64};
-  std::unordered_map<uint64_t, HotSite> site_table_;
+  // Per-site rows indexed directly by trace site token: the registry
+  // hands out small sequential tokens (0 = unattributed), so a dense
+  // vector replaces the hash probe on the guard hot path. A row is live
+  // iff hits > 0. Callers must hold lock_.
+  std::vector<HotSite> site_table_;
+  HotSite& SiteRow(uint64_t site) {
+    if (site >= site_table_.size()) {
+      site_table_.resize(static_cast<size_t>(site) + 1);
+    }
+    return site_table_[static_cast<size_t>(site)];
+  }
   mutable Spinlock lock_;
   // Registered once in the constructor; registry pointers are stable, so
   // the hot path skips the name lookup.

@@ -62,7 +62,14 @@ class Log2Histogram {
 
   void Observe(double value);
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Every observation lands in exactly one bucket, so the count is the
+  /// bucket sum — read-side work that keeps Observe down to one counter
+  /// bump plus the sum accumulation.
+  uint64_t count() const {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const {
     const uint64_t n = count();
@@ -78,7 +85,6 @@ class Log2Histogram {
 
  private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
 

@@ -1,6 +1,7 @@
 #include "kop/trace/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <mutex>
@@ -8,14 +9,17 @@
 namespace kop::trace {
 
 void Log2Histogram::Observe(double value) {
+  // Bucket edges are powers of two, so for v in [1, 2^62) the bucket is
+  // bit_width(floor(v)) — no libm on the guard hot path. Anything at or
+  // above 2^62 lands in the clamp bucket either way.
   size_t bucket = 0;
   if (value >= 1.0) {
-    const int exponent = static_cast<int>(std::floor(std::log2(value)));
-    bucket = static_cast<size_t>(
-        std::min<int>(exponent + 1, static_cast<int>(kBuckets) - 1));
+    bucket = value >= 0x1p62
+                 ? kBuckets - 1
+                 : static_cast<size_t>(
+                       std::bit_width(static_cast<uint64_t>(value)));
   }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   // fetch_add on atomic<double> is C++20; relaxed is fine, the sum is a
   // statistic, not a synchronization point.
   sum_.fetch_add(value, std::memory_order_relaxed);
@@ -35,7 +39,6 @@ size_t Log2Histogram::NonZeroBuckets() const {
 
 void Log2Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }
 

@@ -1,5 +1,7 @@
 #include "kop/transform/guard_sites.hpp"
 
+#include <optional>
+
 #include "kop/util/carat_abi.hpp"
 
 namespace kop::transform {
@@ -43,6 +45,52 @@ std::vector<GuardSite> EnumerateGuardSites(const kir::Module& module) {
         }
         ++inst_index;
       }
+    }
+  }
+  return sites;
+}
+
+std::vector<GuardSite> EnumerateGuardSites(
+    const kir::BytecodeModule& bytecode) {
+  std::vector<GuardSite> sites;
+  for (const kir::BytecodeFunction& fn : bytecode.functions) {
+    // A register in the constant range holds a compile-time value, except
+    // when it is a global-address fixup slot (patched at bind time).
+    std::vector<bool> is_global_slot(fn.num_regs, false);
+    for (const kir::BcGlobalFixup& fixup : fn.global_fixups) {
+      is_global_slot[fixup.reg] = true;
+    }
+    auto constant_of = [&](uint16_t reg) -> std::optional<uint64_t> {
+      if (reg < fn.const_reg_begin || reg >= fn.const_reg_end) {
+        return std::nullopt;
+      }
+      if (is_global_slot[reg]) return std::nullopt;
+      return fn.frame_template[reg];
+    };
+
+    for (const kir::BcInst& inst : fn.code) {
+      if (inst.op != kir::BcOp::kGuard) continue;
+      const kir::BcExtern& ext = bytecode.externs[inst.aux];
+      GuardSite site;
+      site.site_id = static_cast<uint32_t>(sites.size());
+      site.call_ordinal = inst.imm2;
+      site.function = fn.name;
+      site.inst_index = inst.src_index;
+      site.is_intrinsic = ext.is_intrinsic_guard;
+      const uint16_t* args = fn.call_args.data() + inst.imm;
+      if (ext.is_guard && inst.b == 3) {
+        if (auto size = constant_of(args[1])) {
+          site.access_size = static_cast<uint32_t>(*size);
+        }
+        if (auto flags = constant_of(args[2])) {
+          site.access_flags = static_cast<uint32_t>(*flags);
+        }
+      } else if (ext.is_intrinsic_guard && inst.b == 1) {
+        if (auto id = constant_of(args[0])) {
+          site.access_flags = static_cast<uint32_t>(*id);
+        }
+      }
+      sites.push_back(std::move(site));
     }
   }
   return sites;

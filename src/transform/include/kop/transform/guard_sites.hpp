@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "kop/kir/bytecode.hpp"
 #include "kop/kir/module.hpp"
 
 namespace kop::transform {
@@ -31,5 +32,13 @@ struct GuardSite {
 /// Walk the module in function / block / instruction order and list every
 /// carat_guard / carat_intrinsic_guard call. Deterministic for a given IR.
 std::vector<GuardSite> EnumerateGuardSites(const kir::Module& module);
+
+/// Reconstruct the same table from compiled bytecode: kGuard instructions
+/// carry the source instruction index and call ordinal, and constant
+/// guard arguments are read back out of the frame template. For bytecode
+/// compiled from a module, this returns exactly EnumerateGuardSites(ir) —
+/// the module loader cross-checks the two at insmod, proving lowering
+/// preserved every site's attribution.
+std::vector<GuardSite> EnumerateGuardSites(const kir::BytecodeModule& bytecode);
 
 }  // namespace kop::transform

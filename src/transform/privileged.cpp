@@ -1,35 +1,40 @@
 #include "kop/transform/privileged.hpp"
 
 #include "kop/kir/builder.hpp"
+#include "kop/kir/intrinsics.hpp"
 #include "kop/util/carat_abi.hpp"
 
 namespace kop::transform {
 
+// PrivilegedIntrinsic aliases the interned kir::Intrinsic ids — the
+// attestation record and the policy module's permission table carry these
+// values, so the two enums may never drift.
+static_assert(static_cast<uint64_t>(PrivilegedIntrinsic::kCli) ==
+              static_cast<uint64_t>(kir::Intrinsic::kCli));
+static_assert(static_cast<uint64_t>(PrivilegedIntrinsic::kSti) ==
+              static_cast<uint64_t>(kir::Intrinsic::kSti));
+static_assert(static_cast<uint64_t>(PrivilegedIntrinsic::kRdmsr) ==
+              static_cast<uint64_t>(kir::Intrinsic::kRdmsr));
+static_assert(static_cast<uint64_t>(PrivilegedIntrinsic::kWrmsr) ==
+              static_cast<uint64_t>(kir::Intrinsic::kWrmsr));
+static_assert(static_cast<uint64_t>(PrivilegedIntrinsic::kInb) ==
+              static_cast<uint64_t>(kir::Intrinsic::kInb));
+static_assert(static_cast<uint64_t>(PrivilegedIntrinsic::kOutb) ==
+              static_cast<uint64_t>(kir::Intrinsic::kOutb));
+static_assert(static_cast<uint64_t>(PrivilegedIntrinsic::kInvlpg) ==
+              static_cast<uint64_t>(kir::Intrinsic::kInvlpg));
+static_assert(static_cast<uint64_t>(PrivilegedIntrinsic::kHlt) ==
+              static_cast<uint64_t>(kir::Intrinsic::kHlt));
+
 std::optional<PrivilegedIntrinsic> PrivilegedIntrinsicFromName(
     std::string_view callee) {
-  if (callee == "kir.cli") return PrivilegedIntrinsic::kCli;
-  if (callee == "kir.sti") return PrivilegedIntrinsic::kSti;
-  if (callee == "kir.rdmsr") return PrivilegedIntrinsic::kRdmsr;
-  if (callee == "kir.wrmsr") return PrivilegedIntrinsic::kWrmsr;
-  if (callee == "kir.inb") return PrivilegedIntrinsic::kInb;
-  if (callee == "kir.outb") return PrivilegedIntrinsic::kOutb;
-  if (callee == "kir.invlpg") return PrivilegedIntrinsic::kInvlpg;
-  if (callee == "kir.hlt") return PrivilegedIntrinsic::kHlt;
-  return std::nullopt;
+  const kir::Intrinsic id = kir::IntrinsicFromName(callee);
+  if (id == kir::Intrinsic::kNone) return std::nullopt;
+  return static_cast<PrivilegedIntrinsic>(id);
 }
 
 std::string_view PrivilegedIntrinsicName(PrivilegedIntrinsic intrinsic) {
-  switch (intrinsic) {
-    case PrivilegedIntrinsic::kCli: return "kir.cli";
-    case PrivilegedIntrinsic::kSti: return "kir.sti";
-    case PrivilegedIntrinsic::kRdmsr: return "kir.rdmsr";
-    case PrivilegedIntrinsic::kWrmsr: return "kir.wrmsr";
-    case PrivilegedIntrinsic::kInb: return "kir.inb";
-    case PrivilegedIntrinsic::kOutb: return "kir.outb";
-    case PrivilegedIntrinsic::kInvlpg: return "kir.invlpg";
-    case PrivilegedIntrinsic::kHlt: return "kir.hlt";
-  }
-  return "?";
+  return kir::IntrinsicName(static_cast<kir::Intrinsic>(intrinsic));
 }
 
 Status PrivilegedIntrinsicWrapPass::Run(kir::Module& module) {

@@ -1,0 +1,712 @@
+// Differential test between the two KIR execution engines: the
+// tree-walking reference interpreter and the bytecode register VM. The
+// loader may wire either one; nothing observable is allowed to differ —
+// return values, error statuses, memory effects, the external-call
+// sequence (names, arguments, call ordinals), and the InterpStats
+// counters must be bit-identical. Every corpus module runs under both
+// engines at the kir level (through the real guard-injecting transform)
+// and the knic driver runs under both at the loader level against the
+// simulated e1000 device.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/kernel/module_loader.hpp"
+#include "kop/kir/bytecode.hpp"
+#include "kop/kir/engine.hpp"
+#include "kop/kir/interp.hpp"
+#include "kop/kir/parser.hpp"
+#include "kop/kir/vm.hpp"
+#include "kop/kirmods/corpus.hpp"
+#include "kop/nic/e1000_device.hpp"
+#include "kop/policy/policy_module.hpp"
+#include "kop/signing/signer.hpp"
+#include "kop/transform/compiler.hpp"
+#include "kop/transform/guard_sites.hpp"
+#include "kop/trace/site.hpp"
+#include "kop/util/bits.hpp"
+
+namespace kop {
+namespace {
+
+using kir::ExecutionEngine;
+using kir::InterpConfig;
+using kir::InterpStats;
+using kir::Interpreter;
+using kir::Module;
+using kir::ParseModule;
+using kir::VM;
+
+// ---------------------------------------------------------------------------
+// kir-level differential harness
+// ---------------------------------------------------------------------------
+
+class FlatMemory : public kir::MemoryInterface {
+ public:
+  static constexpr uint64_t kBase = 0x1000;
+  FlatMemory() : bytes_(64 * 1024, 0) {}
+
+  Result<uint64_t> Load(uint64_t addr, uint32_t size) override {
+    if (addr < kBase || addr + size > kBase + bytes_.size()) {
+      return OutOfRange("load out of test memory");
+    }
+    uint64_t value = 0;
+    for (uint32_t i = 0; i < size; ++i) {
+      value |= uint64_t{bytes_[addr - kBase + i]} << (8 * i);
+    }
+    return value;
+  }
+
+  Status Store(uint64_t addr, uint64_t value, uint32_t size) override {
+    if (addr < kBase || addr + size > kBase + bytes_.size()) {
+      return OutOfRange("store out of test memory");
+    }
+    for (uint32_t i = 0; i < size; ++i) {
+      bytes_[addr - kBase + i] = static_cast<uint8_t>(value >> (8 * i));
+    }
+    return OkStatus();
+  }
+
+  std::vector<uint8_t>& bytes() { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+struct CallRecord {
+  std::string name;
+  std::vector<uint64_t> args;
+  uint64_t ordinal = 0;
+
+  bool operator==(const CallRecord&) const = default;
+};
+
+/// Records every external call with its ordinal and returns a
+/// deterministic per-call value (so result clamping is exercised). When
+/// `offer_bindings` is true it hands out handles through BindExternal, so
+/// a VM run through it covers the bound fast path; when false the VM must
+/// take the name-keyed fallback. Either way the recorded sequence must
+/// match the interpreter's.
+class RecordingResolver : public kir::ExternalResolver {
+ public:
+  explicit RecordingResolver(bool offer_bindings)
+      : offer_bindings_(offer_bindings) {}
+
+  Result<uint64_t> CallExternal(const std::string& name,
+                                const std::vector<uint64_t>& args) override {
+    return Record(name, args, 0);
+  }
+
+  Result<uint64_t> CallExternal(const std::string& name,
+                                const std::vector<uint64_t>& args,
+                                uint64_t call_ordinal) override {
+    return Record(name, args, call_ordinal);
+  }
+
+  std::optional<uint64_t> BindExternal(const std::string& name) override {
+    if (!offer_bindings_) return std::nullopt;
+    bound_names_.push_back(name);
+    return bound_names_.size() - 1;
+  }
+
+  Result<uint64_t> CallBound(uint64_t handle,
+                             const std::vector<uint64_t>& args,
+                             uint64_t call_ordinal) override {
+    return Record(bound_names_[handle], args, call_ordinal);
+  }
+
+  std::vector<CallRecord> calls;
+
+ private:
+  Result<uint64_t> Record(const std::string& name,
+                          const std::vector<uint64_t>& args,
+                          uint64_t ordinal) {
+    calls.push_back({name, args, ordinal});
+    ++sequence_;
+    return sequence_ * 0x9e3779b97f4a7c15ull;  // deterministic, full 64 bits
+  }
+
+  bool offer_bindings_;
+  uint64_t sequence_ = 0;
+  std::vector<std::string> bound_names_;
+};
+
+struct ScriptCall {
+  std::string function;
+  std::vector<uint64_t> args;
+};
+
+/// Memory layout for kir-level runs: globals at kGlobalBase, alloca stack
+/// in the top quarter. (The knic script uses kBase itself as the MMIO
+/// base, which stays below kGlobalBase.)
+constexpr uint64_t kGlobalBase = FlatMemory::kBase + 0x5000;
+constexpr uint64_t kStackBase = FlatMemory::kBase + 0xc000;
+constexpr uint64_t kStackSize = 0x4000;
+
+enum class EngineKind { kInterp, kVmBound, kVmUnbound };
+
+/// One engine instance with everything it runs against.
+struct EngineRun {
+  std::unique_ptr<Module> module;
+  std::unique_ptr<FlatMemory> memory;
+  std::unique_ptr<RecordingResolver> resolver;
+  std::unique_ptr<ExecutionEngine> engine;
+};
+
+EngineRun MakeRun(const std::string& text, EngineKind kind,
+                  const InterpConfig& base_config) {
+  EngineRun run;
+  auto parsed = ParseModule(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  run.module = std::move(*parsed);
+  run.memory = std::make_unique<FlatMemory>();
+  run.resolver =
+      std::make_unique<RecordingResolver>(kind == EngineKind::kVmBound);
+
+  // Deterministic global layout, identical across engines; initializers
+  // written straight into the flat memory the way the loader would.
+  std::unordered_map<std::string, uint64_t> globals;
+  uint64_t next = kGlobalBase;
+  for (const auto& global : run.module->globals()) {
+    globals[global->name()] = next;
+    const std::string& init = global->init_bytes();
+    for (size_t i = 0; i < init.size(); ++i) {
+      run.memory->bytes()[next - FlatMemory::kBase + i] =
+          static_cast<uint8_t>(init[i]);
+    }
+    next += AlignUp(std::max<uint64_t>(global->size_bytes(), 8), 16);
+  }
+  EXPECT_LE(next, kStackBase) << "globals overflow the test data region";
+
+  InterpConfig config = base_config;
+  config.stack_base = kStackBase;
+  config.stack_size = kStackSize;
+
+  if (kind == EngineKind::kInterp) {
+    run.engine = std::make_unique<Interpreter>(
+        *run.module, *run.memory, *run.resolver, std::move(globals), config);
+    return run;
+  }
+  auto bytecode = kir::CompileToBytecode(*run.module);
+  EXPECT_TRUE(bytecode.ok()) << bytecode.status().ToString();
+  auto vm = VM::Create(std::move(*bytecode), *run.memory, *run.resolver,
+                       globals, config);
+  EXPECT_TRUE(vm.ok()) << vm.status().ToString();
+  run.engine = std::move(*vm);
+  return run;
+}
+
+void ExpectStatsEqual(const InterpStats& a, const InterpStats& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.steps, b.steps) << label;
+  EXPECT_EQ(a.loads, b.loads) << label;
+  EXPECT_EQ(a.stores, b.stores) << label;
+  EXPECT_EQ(a.calls_internal, b.calls_internal) << label;
+  EXPECT_EQ(a.calls_external, b.calls_external) << label;
+}
+
+/// Per-call observations ("value" or status string) keyed by run tag, so
+/// the two VM variants can be compared against each other as well as
+/// against the oracle.
+std::map<std::string, std::vector<std::string>> results_by_tag_;
+
+/// Drive the script through the interpreter and through the VM (once with
+/// pre-bound externs, once over the name fallback) and require the three
+/// to be observationally identical.
+void RunDifferential(const std::string& text,
+                     const std::vector<ScriptCall>& script,
+                     const std::string& label,
+                     const InterpConfig& config = InterpConfig()) {
+  EngineRun oracle = MakeRun(text, EngineKind::kInterp, config);
+  for (EngineKind kind : {EngineKind::kVmBound, EngineKind::kVmUnbound}) {
+    EngineRun vm = MakeRun(text, kind, config);
+    const std::string tag =
+        label + (kind == EngineKind::kVmBound ? " [bound]" : " [unbound]");
+    ASSERT_NE(vm.engine, nullptr) << tag;
+    EXPECT_EQ(vm.engine->engine_name(), "bytecode");
+
+    for (size_t i = 0; i < script.size(); ++i) {
+      // Re-running the oracle per VM variant would double-count its
+      // stats; run it only alongside the first variant and replay its
+      // recorded observations for the second.
+      auto expected = (kind == EngineKind::kVmBound)
+                          ? oracle.engine->Call(script[i].function,
+                                                script[i].args)
+                          : Result<uint64_t>(uint64_t{0});
+      auto actual = vm.engine->Call(script[i].function, script[i].args);
+      if (kind == EngineKind::kVmBound) {
+        ASSERT_EQ(expected.ok(), actual.ok())
+            << tag << " call " << i << " @" << script[i].function << ": "
+            << (expected.ok() ? actual.status().ToString()
+                              : expected.status().ToString());
+        if (expected.ok()) {
+          EXPECT_EQ(*expected, *actual)
+              << tag << " call " << i << " @" << script[i].function;
+        } else {
+          EXPECT_EQ(expected.status().ToString(), actual.status().ToString())
+              << tag << " call " << i;
+        }
+      }
+      results_by_tag_[tag].push_back(
+          actual.ok() ? std::to_string(*actual) : actual.status().ToString());
+    }
+
+    EXPECT_EQ(oracle.memory->bytes(), vm.memory->bytes()) << tag;
+    EXPECT_EQ(oracle.resolver->calls.size(), vm.resolver->calls.size()) << tag;
+    const size_t n =
+        std::min(oracle.resolver->calls.size(), vm.resolver->calls.size());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(oracle.resolver->calls[i], vm.resolver->calls[i])
+          << tag << " external call " << i << " ("
+          << oracle.resolver->calls[i].name << " vs "
+          << vm.resolver->calls[i].name << ")";
+    }
+    ExpectStatsEqual(oracle.engine->stats(), vm.engine->stats(), tag);
+  }
+  // The two VM variants must agree with each other too (the unbound one
+  // was not compared against the oracle call-by-call above).
+  EXPECT_EQ(results_by_tag_[label + " [bound]"],
+            results_by_tag_[label + " [unbound]"])
+      << label;
+  results_by_tag_.clear();
+}
+
+/// Per-corpus-module call scripts. Addresses are within the flat test
+/// memory; the knic script uses the memory base itself as its "MMIO" BAR
+/// (no device at kir level — both engines just see plain memory).
+std::vector<ScriptCall> ScriptFor(const std::string& module_name) {
+  if (module_name == "kop_hello") {
+    return {{"init", {}}};
+  }
+  if (module_name == "kop_ringbuf") {
+    std::vector<ScriptCall> script{{"rb_init", {}}};
+    for (uint64_t i = 0; i < 10; ++i) script.push_back({"rb_push", {i * 17}});
+    script.push_back({"rb_pop", {}});
+    script.push_back({"rb_pop", {}});
+    script.push_back({"rb_size", {}});
+    return script;
+  }
+  if (module_name == "kop_scribbler") {
+    return {{"scribble", {0x2000, 0xdeadbeef}},
+            {"peek", {0x2000}},
+            {"scribble_range", {0x2100, 8, 0x55}},
+            {"peek", {0x2110}}};
+  }
+  if (module_name == "kop_memcopy") {
+    return {{"fill", {32, 9}}, {"copy", {32}}, {"checksum", {32}}};
+  }
+  if (module_name == "kop_privuser") {
+    return {{"disable_interrupts", {}}, {"write_msr", {0x1b, 0x1234}},
+            {"halt", {}}};
+  }
+  if (module_name == "kop_knic") {
+    return {{"knic_init", {FlatMemory::kBase}},
+            {"knic_fill", {64, 0x20}},
+            {"knic_send", {FlatMemory::kBase, 64}},
+            {"knic_send", {FlatMemory::kBase, 64}},
+            {"knic_send", {FlatMemory::kBase, 64}},
+            {"knic_sent_hw", {FlatMemory::kBase}}};
+  }
+  ADD_FAILURE() << "no script for corpus module " << module_name;
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// kir-level differential: transformed corpus modules
+// ---------------------------------------------------------------------------
+
+TEST(EngineDifferentialTest, TransformedCorpusModulesMatchUnderBothEngines) {
+  for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
+    SCOPED_TRACE(entry.name);
+    auto compiled = transform::CompileModuleText(entry.source);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    RunDifferential(compiled->text, ScriptFor(entry.name), entry.name);
+  }
+}
+
+TEST(EngineDifferentialTest, UntransformedCorpusModulesMatchToo) {
+  // No guards, so the bytecode path sees modules whose only externals are
+  // printk-style symbols and raw intrinsics.
+  for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
+    SCOPED_TRACE(entry.name);
+    RunDifferential(entry.source, ScriptFor(entry.name),
+                    entry.name + " (untransformed)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kir-level differential: targeted semantics and error paths
+// ---------------------------------------------------------------------------
+
+TEST(EngineDifferentialTest, NarrowTypeArithmeticAndComparisons) {
+  const std::string text = R"(module "m"
+func @mix(i64 %x, i64 %y) -> i64 {
+entry:
+  %a8 = trunc i64 %x to i8
+  %b8 = trunc i64 %y to i8
+  %lt = icmp slt i8 %a8, %b8
+  %ult = icmp ult i8 %a8, %b8
+  %sx = sext i8 %a8 to i64
+  %zx = zext i8 %a8 to i64
+  %sh = shl i8 %a8, %b8
+  %sr = ashr i8 %a8, %b8
+  %lr = lshr i8 %a8, %b8
+  %sum0 = add i64 %sx, %zx
+  %t1 = zext i1 %lt to i64
+  %t2 = zext i1 %ult to i64
+  %s1 = zext i8 %sh to i64
+  %s2 = zext i8 %sr to i64
+  %s3 = zext i8 %lr to i64
+  %sum1 = add i64 %sum0, %t1
+  %sum2 = add i64 %sum1, %t2
+  %sum3 = add i64 %sum2, %s1
+  %sum4 = add i64 %sum3, %s2
+  %sum5 = add i64 %sum4, %s3
+  ret i64 %sum5
+}
+)";
+  std::vector<ScriptCall> script;
+  const uint64_t samples[] = {0,    1,    2,     7,      0x7f, 0x80,
+                              0xff, 0x100, 0xdead, ~uint64_t{0}};
+  for (uint64_t x : samples) {
+    for (uint64_t y : samples) script.push_back({"mix", {x, y}});
+  }
+  RunDifferential(text, script, "narrow-arith");
+}
+
+TEST(EngineDifferentialTest, PhiLoopsAndSelect) {
+  const std::string text = R"(module "m"
+func @collatz_steps(i64 %n) -> i64 {
+entry:
+  jmp head
+head:
+  %v = phi i64 [ %n, entry ], [ %next, body ]
+  %steps = phi i64 [ 0, entry ], [ %steps1, body ]
+  %done = icmp ule i64 %v, 1
+  br %done, out, body
+body:
+  %bit = and i64 %v, 1
+  %odd = icmp eq i64 %bit, 1
+  %half = lshr i64 %v, 1
+  %trip0 = mul i64 %v, 3
+  %trip = add i64 %trip0, 1
+  %next = select %odd, i64 %trip, %half
+  %steps1 = add i64 %steps, 1
+  jmp head
+out:
+  ret i64 %steps
+}
+)";
+  std::vector<ScriptCall> script;
+  for (uint64_t n : {0, 1, 2, 6, 7, 27, 97}) script.push_back(
+      {"collatz_steps", {n}});
+  RunDifferential(text, script, "phi-loops");
+}
+
+TEST(EngineDifferentialTest, InternalCallsAndRecursion) {
+  const std::string text = R"(module "m"
+func @fib(i64 %n) -> i64 {
+entry:
+  %small = icmp ult i64 %n, 2
+  br %small, base, rec
+base:
+  ret i64 %n
+rec:
+  %n1 = sub i64 %n, 1
+  %n2 = sub i64 %n, 2
+  %a = call i64 @fib(i64 %n1)
+  %b = call i64 @fib(i64 %n2)
+  %s = add i64 %a, %b
+  ret i64 %s
+}
+func @entry(i64 %n) -> i64 {
+entry:
+  %r = call i64 @fib(i64 %n)
+  ret i64 %r
+}
+)";
+  RunDifferential(text, {{"entry", {10}}, {"fib", {15}}}, "recursion");
+}
+
+TEST(EngineDifferentialTest, ErrorPathsAreIdentical) {
+  const std::string text = R"(module "m"
+func @div(i64 %a, i64 %b) -> i64 {
+entry:
+  %q = sdiv i64 %a, %b
+  ret i64 %q
+}
+func @spin() -> i64 {
+entry:
+  jmp loop
+loop:
+  jmp loop
+}
+func @deep(i64 %n) -> i64 {
+entry:
+  %r = call i64 @deep(i64 %n)
+  ret i64 %r
+}
+func @bigalloc() -> i64 {
+entry:
+  %p = alloca 1048576
+  %v = ptrtoint ptr %p to i64
+  ret i64 %v
+}
+)";
+  InterpConfig config;
+  config.max_steps = 1000;
+  RunDifferential(text,
+                  {{"div", {10, 0}},
+                   {"div", {10, 3}},
+                   {"bigalloc", {}},
+                   {"missing", {}},
+                   {"div", {1}},
+                   {"deep", {1}},
+                   {"spin", {}}},
+                  "errors", config);
+}
+
+TEST(EngineDifferentialTest, InlineAsmTrapsIdentically) {
+  const std::string text = R"(module "m"
+func @bad() -> i64 {
+entry:
+  asm "cli; mov cr0, rax"
+  ret i64 0
+}
+)";
+  RunDifferential(text, {{"bad", {}}}, "inline-asm");
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode artifacts: guard-site reconstruction and the disassembler
+// ---------------------------------------------------------------------------
+
+TEST(BytecodeTest, GuardSiteTableSurvivesLoweringForWholeCorpus) {
+  for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
+    SCOPED_TRACE(entry.name);
+    auto compiled = transform::CompileModuleText(entry.source);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    auto parsed = ParseModule(compiled->text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto bytecode = kir::CompileToBytecode(**parsed);
+    ASSERT_TRUE(bytecode.ok()) << bytecode.status().ToString();
+
+    const auto from_ir = transform::EnumerateGuardSites(**parsed);
+    const auto from_bc = transform::EnumerateGuardSites(*bytecode);
+    EXPECT_EQ(from_ir, from_bc);
+    // kop_hello only calls printk_str, so zero sites is correct there.
+    if (entry.name != "kop_hello") {
+      EXPECT_FALSE(from_ir.empty());
+    }
+  }
+}
+
+TEST(BytecodeTest, DisassemblyListsGuardsAndFunctions) {
+  auto compiled = transform::CompileModuleText(kirmods::RingbufSource());
+  ASSERT_TRUE(compiled.ok());
+  auto parsed = ParseModule(compiled->text);
+  ASSERT_TRUE(parsed.ok());
+  auto bytecode = kir::CompileToBytecode(**parsed);
+  ASSERT_TRUE(bytecode.ok());
+  const std::string listing = kir::DisassembleBytecode(*bytecode);
+  EXPECT_NE(listing.find("func @rb_push"), std::string::npos);
+  EXPECT_NE(listing.find("[guard]"), std::string::npos);
+  EXPECT_NE(listing.find("guard @carat_guard"), std::string::npos);
+}
+
+TEST(BytecodeTest, CompileRejectsNothingInCorpus) {
+  for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
+    auto parsed = ParseModule(entry.source);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(kir::CompileToBytecode(**parsed).ok()) << entry.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loader-level differential: full pipeline, real device
+// ---------------------------------------------------------------------------
+
+signing::SignedModule CompileAndSign(const std::string& source) {
+  auto compiled = transform::CompileModuleText(source);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return signing::SignModule(compiled->text, compiled->attestation,
+                             signing::SigningKey::DevelopmentKey());
+}
+
+signing::Keyring TrustedKeyring() {
+  signing::Keyring keyring;
+  keyring.Trust(signing::SigningKey::DevelopmentKey());
+  return keyring;
+}
+
+/// One full simulated-kernel stack wired to a chosen engine.
+struct Stack {
+  explicit Stack(kernel::ExecEngine engine)
+      : loader(&kernel, TrustedKeyring()) {
+    loader.set_engine(engine);
+    auto inserted = policy::PolicyModule::Insert(&kernel, nullptr,
+                                                 policy::PolicyMode::kDefaultAllow);
+    EXPECT_TRUE(inserted.ok()) << inserted.status().ToString();
+    policy = std::move(*inserted);
+  }
+
+  kernel::Kernel kernel;
+  kernel::ModuleLoader loader;
+  std::unique_ptr<policy::PolicyModule> policy;
+};
+
+/// Per-guard-site attribution rows for one module, keyed by a stable
+/// label (tokens are process-global and differ between stacks).
+std::map<std::string, std::pair<uint64_t, uint64_t>> SiteHits(
+    policy::PolicyModule& policy, const std::string& module_name) {
+  std::map<std::string, std::pair<uint64_t, uint64_t>> rows;
+  for (const policy::HotSite& row : policy.engine().HotSites()) {
+    auto info = trace::GlobalSites().Find(row.site);
+    if (!info || info->module_name != module_name) continue;
+    rows[info->Label()] = {row.hits, row.denied};
+  }
+  return rows;
+}
+
+TEST(EngineLoaderDifferentialTest, KnicDriverIsIdenticalUnderBothEngines) {
+  Stack interp(kernel::ExecEngine::kInterp);
+  Stack bytecode(kernel::ExecEngine::kBytecode);
+
+  nic::CountingSink interp_sink, bytecode_sink;
+  nic::E1000Device interp_device(&interp.kernel.mem(), &interp_sink);
+  nic::E1000Device bytecode_device(&bytecode.kernel.mem(), &bytecode_sink);
+  ASSERT_TRUE(interp_device.MapAt(kernel::kVmallocBase).ok());
+  ASSERT_TRUE(bytecode_device.MapAt(kernel::kVmallocBase).ok());
+
+  const signing::SignedModule image = CompileAndSign(kirmods::KnicSource());
+  auto interp_mod = interp.loader.Insmod(image);
+  auto bytecode_mod = bytecode.loader.Insmod(image);
+  ASSERT_TRUE(interp_mod.ok()) << interp_mod.status().ToString();
+  ASSERT_TRUE(bytecode_mod.ok()) << bytecode_mod.status().ToString();
+  EXPECT_EQ((*interp_mod)->engine_name(), "interp");
+  EXPECT_EQ((*bytecode_mod)->engine_name(), "bytecode");
+
+  const std::vector<ScriptCall> script = {
+      {"knic_init", {kernel::kVmallocBase}},
+      {"knic_fill", {64, 0x20}},
+      {"knic_send", {kernel::kVmallocBase, 64}},
+      {"knic_send", {kernel::kVmallocBase, 64}},
+      {"knic_send", {kernel::kVmallocBase, 64}},
+      {"knic_sent_hw", {kernel::kVmallocBase}},
+  };
+  for (const ScriptCall& call : script) {
+    auto a = (*interp_mod)->Call(call.function, call.args);
+    auto b = (*bytecode_mod)->Call(call.function, call.args);
+    ASSERT_EQ(a.ok(), b.ok()) << call.function;
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b) << call.function;
+    } else {
+      EXPECT_EQ(a.status().ToString(), b.status().ToString());
+    }
+  }
+
+  // Same frames crossed the simulated wire.
+  EXPECT_EQ(interp_sink.packets(), 3u);
+  EXPECT_EQ(interp_sink.packets(), bytecode_sink.packets());
+  EXPECT_EQ(interp_sink.bytes(), bytecode_sink.bytes());
+  EXPECT_EQ(interp_sink.RecentFrames(), bytecode_sink.RecentFrames());
+
+  // Same guard traffic into the policy engine...
+  const policy::GuardStats interp_stats = interp.policy->engine().stats();
+  const policy::GuardStats bytecode_stats = bytecode.policy->engine().stats();
+  EXPECT_GT(interp_stats.guard_calls, 0u);
+  EXPECT_EQ(interp_stats.guard_calls, bytecode_stats.guard_calls);
+  EXPECT_EQ(interp_stats.allowed, bytecode_stats.allowed);
+  EXPECT_EQ(interp_stats.denied, bytecode_stats.denied);
+  EXPECT_EQ(interp_stats.intrinsic_calls, bytecode_stats.intrinsic_calls);
+
+  // ...attributed to exactly the same guard sites.
+  const auto interp_sites = SiteHits(*interp.policy, "kop_knic");
+  const auto bytecode_sites = SiteHits(*bytecode.policy, "kop_knic");
+  EXPECT_FALSE(interp_sites.empty());
+  EXPECT_EQ(interp_sites, bytecode_sites);
+
+  // And identical execution counters.
+  ExpectStatsEqual((*interp_mod)->exec_stats(), (*bytecode_mod)->exec_stats(),
+                   "knic loader stats");
+}
+
+TEST(EngineLoaderDifferentialTest, QuarantineBehavesIdentically) {
+  Stack interp(kernel::ExecEngine::kInterp);
+  Stack bytecode(kernel::ExecEngine::kBytecode);
+  interp.policy->engine().SetViolationAction(
+      policy::ViolationAction::kQuarantine);
+  bytecode.policy->engine().SetViolationAction(
+      policy::ViolationAction::kQuarantine);
+  interp.policy->engine().SetMode(policy::PolicyMode::kDefaultDeny);
+  bytecode.policy->engine().SetMode(policy::PolicyMode::kDefaultDeny);
+
+  const signing::SignedModule image =
+      CompileAndSign(kirmods::ScribblerSource());
+  auto interp_mod = interp.loader.Insmod(image);
+  auto bytecode_mod = bytecode.loader.Insmod(image);
+  ASSERT_TRUE(interp_mod.ok());
+  ASSERT_TRUE(bytecode_mod.ok());
+
+  auto a = (*interp_mod)->Call("scribble", {0x10, 0x42});
+  auto b = (*bytecode_mod)->Call("scribble", {0x10, 0x42});
+  EXPECT_FALSE(a.ok());
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(a.status().ToString(), b.status().ToString());
+  EXPECT_TRUE((*interp_mod)->quarantined());
+  EXPECT_TRUE((*bytecode_mod)->quarantined());
+  EXPECT_EQ((*interp_mod)->quarantine_reason(),
+            (*bytecode_mod)->quarantine_reason());
+}
+
+TEST(EngineLoaderDifferentialTest,
+     PolicyUnloadIsObservedThroughCachedBindings) {
+  // The VM binds carat_guard once at insmod. Unloading the policy module
+  // unexports the symbol; the generation check must notice and fail the
+  // next guarded call exactly like the interpreter's name lookup does.
+  Stack interp(kernel::ExecEngine::kInterp);
+  Stack bytecode(kernel::ExecEngine::kBytecode);
+
+  const signing::SignedModule image = CompileAndSign(kirmods::RingbufSource());
+  auto interp_mod = interp.loader.Insmod(image);
+  auto bytecode_mod = bytecode.loader.Insmod(image);
+  ASSERT_TRUE(interp_mod.ok());
+  ASSERT_TRUE(bytecode_mod.ok());
+  ASSERT_TRUE((*interp_mod)->Call("rb_init", {}).ok());
+  ASSERT_TRUE((*bytecode_mod)->Call("rb_init", {}).ok());
+
+  interp.policy.reset();    // unexports carat_guard
+  bytecode.policy.reset();
+
+  auto a = (*interp_mod)->Call("rb_push", {1});
+  auto b = (*bytecode_mod)->Call("rb_push", {1});
+  EXPECT_FALSE(a.ok());
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(a.status().ToString(), b.status().ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Engine selection plumbing
+// ---------------------------------------------------------------------------
+
+TEST(EngineSelectionTest, EnvVarSelectsEngine) {
+  ::setenv("KOP_ENGINE", "interp", 1);
+  EXPECT_EQ(kernel::DefaultExecEngine(), kernel::ExecEngine::kInterp);
+  ::setenv("KOP_ENGINE", "bytecode", 1);
+  EXPECT_EQ(kernel::DefaultExecEngine(), kernel::ExecEngine::kBytecode);
+  ::unsetenv("KOP_ENGINE");
+  EXPECT_EQ(kernel::DefaultExecEngine(), kernel::ExecEngine::kBytecode);
+  EXPECT_EQ(kernel::ExecEngineName(kernel::ExecEngine::kInterp), "interp");
+  EXPECT_EQ(kernel::ExecEngineName(kernel::ExecEngine::kBytecode),
+            "bytecode");
+}
+
+}  // namespace
+}  // namespace kop

@@ -7,7 +7,13 @@
 //         [--wrap-priv] [--coalesce] [--dominate]
 //         [--key-id <id> --key-secret <secret>]
 //   kopcc inspect <in.kko>          # header, attestation, disassembly
+//         [--sites]                 # guard-site table only
+//         [--bytecode]              # register-VM bytecode listing
 //   kopcc verify <in.kko>           # run the insmod-time validator
+//   kopcc run <in.kko> [--engine=interp|bytecode] [--entry=fn] [args...]
+//                                   # insmod into a simulated kernel
+//                                   # (default-allow policy) and call an
+//                                   # entry point
 //
 // Exit code 0 on success; 1 on failure (diagnostics on stderr).
 #include <cstdio>
@@ -17,8 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "kop/kernel/kernel.hpp"
+#include "kop/kernel/module_loader.hpp"
+#include "kop/kir/bytecode.hpp"
 #include "kop/kir/parser.hpp"
 #include "kop/kir/printer.hpp"
+#include "kop/policy/policy_module.hpp"
 #include "kop/signing/signer.hpp"
 #include "kop/signing/validator.hpp"
 #include "kop/transform/compiler.hpp"
@@ -108,10 +118,13 @@ int Compile(const std::vector<std::string>& args) {
 
 int Inspect(const std::vector<std::string>& args) {
   bool sites_only = false;
+  bool bytecode_only = false;
   std::string path;
   for (const std::string& arg : args) {
     if (arg == "--sites") {
       sites_only = true;
+    } else if (arg == "--bytecode") {
+      bytecode_only = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown inspect option '" + arg + "'");
     } else if (path.empty()) {
@@ -125,6 +138,14 @@ int Inspect(const std::vector<std::string>& args) {
   if (!container.ok()) return Fail(container.status().ToString());
   auto image = signing::SignedModule::Deserialize(*container);
   if (!image.ok()) return Fail(image.status().ToString());
+  if (bytecode_only) {
+    auto module = kir::ParseModule(image->module_text);
+    if (!module.ok()) return Fail(module.status().ToString());
+    auto bytecode = kir::CompileToBytecode(**module);
+    if (!bytecode.ok()) return Fail(bytecode.status().ToString());
+    std::fputs(kir::DisassembleBytecode(*bytecode).c_str(), stdout);
+    return 0;
+  }
   if (sites_only) {
     auto attestation =
         transform::AttestationRecord::Deserialize(image->attestation_text);
@@ -188,18 +209,87 @@ int Verify(const std::vector<std::string>& args) {
   return 0;
 }
 
+int Run(const std::vector<std::string>& args) {
+  std::string path;
+  std::string entry = "init";
+  kernel::ExecEngine engine = kernel::DefaultExecEngine();
+  std::vector<uint64_t> call_args;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--engine=", 0) == 0) {
+      const std::string name = arg.substr(9);
+      if (name == "interp") {
+        engine = kernel::ExecEngine::kInterp;
+      } else if (name == "bytecode") {
+        engine = kernel::ExecEngine::kBytecode;
+      } else {
+        return Fail("unknown engine '" + name + "'");
+      }
+    } else if (arg.rfind("--entry=", 0) == 0) {
+      entry = arg.substr(8);
+    } else if (!arg.empty() && arg[0] == '-' &&
+               !(arg.size() > 1 && (arg[1] >= '0' && arg[1] <= '9'))) {
+      return Fail("unknown run option '" + arg + "'");
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      try {
+        call_args.push_back(std::stoull(arg, nullptr, 0));
+      } catch (const std::exception&) {
+        return Fail("bad argument '" + arg + "' (expected an integer)");
+      }
+    }
+  }
+  if (path.empty()) return Fail("run takes a container");
+
+  auto container = ReadFile(path);
+  if (!container.ok()) return Fail(container.status().ToString());
+  auto image = signing::SignedModule::Deserialize(*container);
+  if (!image.ok()) return Fail(image.status().ToString());
+
+  kernel::Kernel kernel;
+  signing::Keyring keyring;
+  keyring.Trust(signing::SigningKey::DevelopmentKey());
+  kernel::ModuleLoader loader(&kernel, std::move(keyring));
+  loader.set_engine(engine);
+  auto policy = policy::PolicyModule::Insert(&kernel, nullptr,
+                                             policy::PolicyMode::kDefaultAllow);
+  if (!policy.ok()) return Fail(policy.status().ToString());
+
+  auto loaded = loader.Insmod(*image);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto result = (*loaded)->Call(entry, call_args);
+  if (!result.ok()) return Fail("@" + entry + ": " + result.status().ToString());
+
+  const kir::InterpStats& stats = (*loaded)->exec_stats();
+  const policy::GuardStats guard_stats = (*policy)->engine().stats();
+  std::printf("@%s -> %llu (0x%llx)\n", entry.c_str(),
+              static_cast<unsigned long long>(*result),
+              static_cast<unsigned long long>(*result));
+  std::printf("engine %s: %llu steps, %llu loads, %llu stores, %llu guard "
+              "calls (%llu denied)\n",
+              std::string((*loaded)->engine_name()).c_str(),
+              static_cast<unsigned long long>(stats.steps),
+              static_cast<unsigned long long>(stats.loads),
+              static_cast<unsigned long long>(stats.stores),
+              static_cast<unsigned long long>(guard_stats.guard_calls),
+              static_cast<unsigned long long>(guard_stats.denied));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     return Fail(
         "usage: kopcc compile <in.kir> [-o out.kko] [options] | "
-        "inspect [--sites] <in.kko> | verify <in.kko>");
+        "inspect [--sites|--bytecode] <in.kko> | verify <in.kko> | "
+        "run <in.kko> [--engine=interp|bytecode] [--entry=fn] [args...]");
   }
   const std::string command = argv[1];
   const std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "compile") return Compile(args);
   if (command == "inspect") return Inspect(args);
   if (command == "verify") return Verify(args);
+  if (command == "run") return Run(args);
   return Fail("unknown command '" + command + "'");
 }
