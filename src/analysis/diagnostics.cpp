@@ -1,0 +1,97 @@
+#include "kop/analysis/diagnostics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace kop::analysis {
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+namespace {
+
+size_t CountSeverity(const AnalysisReport& report, Severity severity) {
+  size_t count = 0;
+  for (const Diagnostic& diagnostic : report.diagnostics) {
+    if (diagnostic.severity == severity) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t AnalysisReport::errors() const {
+  return CountSeverity(*this, Severity::kError);
+}
+size_t AnalysisReport::warnings() const {
+  return CountSeverity(*this, Severity::kWarning);
+}
+size_t AnalysisReport::notes() const {
+  return CountSeverity(*this, Severity::kNote);
+}
+
+std::string RenderText(const AnalysisReport& report) {
+  std::ostringstream out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out << SeverityName(d.severity) << ": [" << d.analysis << "] @"
+        << d.function << ", block " << d.block << ", inst " << d.inst_index;
+    if (d.guard_site >= 0) out << ", guard site " << d.guard_site;
+    out << ": " << d.message << "\n";
+  }
+  out << report.module_name << ": " << report.errors() << " error(s), "
+      << report.warnings() << " warning(s), " << report.notes()
+      << " note(s)\n";
+  return out.str();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const AnalysisReport& report) {
+  std::ostringstream out;
+  out << "{\"module\":\"" << JsonEscape(report.module_name) << "\","
+      << "\"errors\":" << report.errors() << ","
+      << "\"warnings\":" << report.warnings() << ","
+      << "\"notes\":" << report.notes() << ",\"diagnostics\":[";
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i != 0) out << ",";
+    out << "{\"severity\":\"" << SeverityName(d.severity) << "\","
+        << "\"analysis\":\"" << JsonEscape(d.analysis) << "\","
+        << "\"function\":\"" << JsonEscape(d.function) << "\","
+        << "\"block\":\"" << JsonEscape(d.block) << "\","
+        << "\"inst_index\":" << d.inst_index << ","
+        << "\"guard_site\":" << d.guard_site << ","
+        << "\"message\":\"" << JsonEscape(d.message) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace kop::analysis

@@ -1,0 +1,111 @@
+#include "kop/analysis/guard_coverage.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "kop/analysis/guard_lattice.hpp"
+#include "kop/kir/printer.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::analysis {
+namespace {
+
+struct Access {
+  const kir::Value* addr;
+  uint64_t size;
+  uint64_t flags;
+};
+
+bool AccessOf(const kir::Instruction& inst, Access* access) {
+  if (inst.opcode() == kir::Opcode::kLoad) {
+    access->addr = inst.operand(0);
+    access->size = kir::StoreSize(inst.memory_type());
+    access->flags = kGuardAccessRead;
+    return true;
+  }
+  if (inst.opcode() == kir::Opcode::kStore) {
+    access->addr = inst.operand(1);
+    access->size = kir::StoreSize(inst.memory_type());
+    access->flags = kGuardAccessWrite;
+    return true;
+  }
+  return false;
+}
+
+std::string Trimmed(std::string text) {
+  const size_t begin = text.find_first_not_of(" \t\n");
+  const size_t end = text.find_last_not_of(" \t\n");
+  if (begin == std::string::npos) return "";
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+void CheckGuardCoverage(const kir::Module& module, AnalysisReport& report) {
+  // Module-wide call ordinals, numbered exactly as the guard-site table
+  // (transform::EnumerateGuardSites) numbers them: every kCall counts.
+  std::unordered_map<const kir::Instruction*, int64_t> call_ordinal;
+  int64_t next_ordinal = 0;
+  for (const auto& fn : module.functions()) {
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kCall) {
+          call_ordinal[inst.get()] = next_ordinal++;
+        }
+      }
+    }
+  }
+
+  for (const auto& fn : module.functions()) {
+    if (fn->is_external() || fn->blocks().empty()) continue;
+
+    // Function-wide instruction indices (block order, the guard-site
+    // numbering).
+    std::unordered_map<const kir::Instruction*, uint32_t> inst_index;
+    uint32_t next_index = 0;
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) inst_index[inst.get()] = next_index++;
+    }
+
+    const kir::Cfg cfg(*fn);
+    const DataflowResult<GuardSet> availability = SolveGuardAvailability(cfg);
+
+    for (const kir::BasicBlock* block : cfg.ReversePostorder()) {
+      GuardSet state = availability.in.at(block);
+      for (const auto& inst : *block) {
+        Access access;
+        if (AccessOf(*inst, &access) &&
+            !state.CoversAccess(access.addr, access.size, access.flags)) {
+          Diagnostic d;
+          d.severity = Severity::kError;
+          d.analysis = "guard-coverage";
+          d.function = fn->name();
+          d.block = block->label();
+          d.inst_index = inst_index.at(inst.get());
+
+          std::ostringstream message;
+          message << "unguarded "
+                  << (access.flags == kGuardAccessWrite ? "store" : "load")
+                  << " of " << access.size << " byte(s): `"
+                  << Trimmed(kir::PrintInstruction(*inst)) << "`";
+          if (const GuardFact* partial = state.FindPartial(access.addr)) {
+            message << "; nearest guard for this address covers size "
+                    << partial->size << " flags " << partial->flags
+                    << " (need size >= " << access.size << " flags "
+                    << access.flags << ")";
+            const auto ordinal = call_ordinal.find(partial->origin);
+            if (ordinal != call_ordinal.end()) d.guard_site = ordinal->second;
+          } else {
+            message << "; no guard for this address is available on every "
+                       "path here";
+          }
+          d.message = message.str();
+          report.diagnostics.push_back(std::move(d));
+        }
+        ApplyGuardStep(*inst, state);
+      }
+    }
+  }
+}
+
+}  // namespace kop::analysis

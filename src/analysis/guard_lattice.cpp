@@ -1,0 +1,194 @@
+#include "kop/analysis/guard_lattice.hpp"
+
+#include <algorithm>
+
+#include "kop/kir/basic_block.hpp"
+#include "kop/kir/intrinsics.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::analysis {
+
+void GuardSet::AddGuard(const GuardFact& fact) {
+  if (universe_) return;
+  for (const GuardFact& have : facts_) {
+    if (have.SameKey(fact)) return;
+  }
+  facts_.push_back(fact);
+}
+
+void GuardSet::AddIntrinsic(uint64_t id, const kir::Instruction* origin) {
+  if (universe_) return;
+  for (const IntrinsicGuardFact& have : intrinsics_) {
+    if (have.id == id) return;
+  }
+  intrinsics_.push_back(IntrinsicGuardFact{id, origin});
+}
+
+void GuardSet::Clear() {
+  universe_ = false;
+  facts_.clear();
+  intrinsics_.clear();
+}
+
+const GuardFact* GuardSet::FindCovering(const kir::Value* addr, uint64_t size,
+                                        uint64_t flags) const {
+  for (const GuardFact& fact : facts_) {
+    if (fact.Covers(addr, size, flags)) return &fact;
+  }
+  return nullptr;
+}
+
+const GuardFact* GuardSet::FindPartial(const kir::Value* addr) const {
+  for (const GuardFact& fact : facts_) {
+    if (fact.addr == addr) return &fact;
+  }
+  return nullptr;
+}
+
+bool GuardSet::CoversIntrinsic(uint64_t id) const {
+  if (universe_) return true;
+  for (const IntrinsicGuardFact& fact : intrinsics_) {
+    if (fact.id == id) return true;
+  }
+  return false;
+}
+
+bool GuardSet::MeetInto(const GuardSet& src) {
+  if (src.universe_) return false;
+  if (universe_) {
+    universe_ = false;
+    facts_ = src.facts_;
+    intrinsics_ = src.intrinsics_;
+    return true;
+  }
+
+  // A fact survives the meet when BOTH sides guarantee it. Candidates are
+  // drawn from both sides: dst's (addr,8,rw) survives against src's
+  // (addr,16,rw), and so does src's larger fact against dst's — covering
+  // is not symmetric, so we check each candidate against the other set.
+  const std::vector<GuardFact> old = std::move(facts_);
+  facts_.clear();
+  bool changed = false;
+  for (const GuardFact& fact : old) {
+    if (src.FindCovering(fact.addr, fact.size, fact.flags) != nullptr) {
+      facts_.push_back(fact);
+    } else {
+      changed = true;
+    }
+  }
+  for (const GuardFact& fact : src.facts_) {
+    bool dst_covers = false;
+    for (const GuardFact& have : old) {
+      if (have.Covers(fact.addr, fact.size, fact.flags)) {
+        dst_covers = true;
+        break;
+      }
+    }
+    if (!dst_covers) continue;
+    bool dup = false;
+    for (const GuardFact& have : facts_) {
+      if (have.SameKey(fact)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      facts_.push_back(fact);
+      changed = true;
+    }
+  }
+
+  const size_t before = intrinsics_.size();
+  intrinsics_.erase(
+      std::remove_if(intrinsics_.begin(), intrinsics_.end(),
+                     [&src](const IntrinsicGuardFact& fact) {
+                       return !src.CoversIntrinsic(fact.id);
+                     }),
+      intrinsics_.end());
+  return changed || intrinsics_.size() != before;
+}
+
+bool GuardSet::operator==(const GuardSet& other) const {
+  if (universe_ != other.universe_) return false;
+  if (facts_.size() != other.facts_.size() ||
+      intrinsics_.size() != other.intrinsics_.size()) {
+    return false;
+  }
+  for (const GuardFact& fact : facts_) {
+    bool found = false;
+    for (const GuardFact& have : other.facts_) {
+      if (have.SameKey(fact)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  for (const IntrinsicGuardFact& fact : intrinsics_) {
+    bool found = false;
+    for (const IntrinsicGuardFact& have : other.intrinsics_) {
+      if (have.id == fact.id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool MatchGuardCall(const kir::Instruction& inst, GuardFact* fact) {
+  if (inst.opcode() != kir::Opcode::kCall ||
+      inst.callee() != kCaratGuardSymbol || inst.operand_count() != 3) {
+    return false;
+  }
+  const auto* size_const = kir::dyn_cast<kir::Constant>(inst.operand(1));
+  const auto* flags_const = kir::dyn_cast<kir::Constant>(inst.operand(2));
+  if (size_const == nullptr || flags_const == nullptr) return false;
+  fact->addr = inst.operand(0);
+  fact->size = size_const->bits();
+  fact->flags = flags_const->bits();
+  fact->origin = &inst;
+  return true;
+}
+
+void ApplyGuardStep(const kir::Instruction& inst, GuardSet& state) {
+  if (inst.opcode() != kir::Opcode::kCall) return;
+  const std::string& callee = inst.callee();
+  if (callee == kCaratGuardSymbol) {
+    GuardFact fact;
+    if (MatchGuardCall(inst, &fact)) state.AddGuard(fact);
+    // A guard with non-constant size/flags contributes no analyzable
+    // fact, but it also cannot mutate the policy table: no kill.
+    return;
+  }
+  if (callee == kCaratIntrinsicGuardSymbol) {
+    if (inst.operand_count() == 1) {
+      if (const auto* id = kir::dyn_cast<kir::Constant>(inst.operand(0))) {
+        state.AddIntrinsic(id->bits(), &inst);
+      }
+    }
+    return;
+  }
+  // kir.* intrinsics are dispatched through the loader's intrinsic table;
+  // none of them can reach the policy module's mutation paths, so guards
+  // stay live across them.
+  if (kir::IsIntrinsicName(callee)) return;
+  // Any other call (intra-module or external) may transitively reach the
+  // policy table; conservatively forget everything.
+  state.Clear();
+}
+
+GuardSet GuardAvailabilityProblem::Transfer(const kir::BasicBlock& block,
+                                            GuardSet state) const {
+  for (const auto& inst : block) {
+    ApplyGuardStep(*inst, state);
+  }
+  return state;
+}
+
+DataflowResult<GuardSet> SolveGuardAvailability(const kir::Cfg& cfg) {
+  return SolveForward(cfg, GuardAvailabilityProblem{});
+}
+
+}  // namespace kop::analysis

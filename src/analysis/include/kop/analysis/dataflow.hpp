@@ -1,0 +1,121 @@
+// kop::analysis — a generic worklist dataflow solver over KIR CFGs.
+//
+// A Problem supplies the lattice and the transfer function:
+//
+//   struct Problem {
+//     using State = ...;
+//     State Boundary() const;   // state at the boundary block (entry for
+//                               // forward, exit for backward)
+//     State Top() const;        // meet identity / optimistic initial state
+//     bool MeetInto(State& dst, const State& src) const;  // dst ⊓= src
+//     bool Equal(const State& a, const State& b) const;
+//     State Transfer(const kir::BasicBlock& block, State state) const;
+//   };
+//
+// Transfer flows the state through a whole block: in program order for
+// forward problems, in reverse program order for backward problems (the
+// problem's Transfer must match the direction it is solved in). The
+// solver iterates to fixpoint from Top, so meets must only move states
+// down the lattice; termination needs finite-height lattices, which every
+// client here has (fact sets drawn from the function's instructions).
+//
+// Results are keyed in PROGRAM order for both directions: `in[B]` is the
+// state at the top of block B, `out[B]` at the bottom. Unreachable blocks
+// are not solved and are absent from the maps — they never execute, so no
+// client should draw conclusions about them.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kop/kir/cfg.hpp"
+
+namespace kop::analysis {
+
+template <typename State>
+struct DataflowResult {
+  std::unordered_map<const kir::BasicBlock*, State> in;
+  std::unordered_map<const kir::BasicBlock*, State> out;
+};
+
+template <typename Problem>
+DataflowResult<typename Problem::State> SolveForward(const kir::Cfg& cfg,
+                                                     const Problem& problem) {
+  using State = typename Problem::State;
+  DataflowResult<State> result;
+  const auto& rpo = cfg.ReversePostorder();
+  if (rpo.empty()) return result;
+  const kir::BasicBlock* entry = rpo.front();
+
+  for (const kir::BasicBlock* block : rpo) {
+    result.out.emplace(block, problem.Top());
+  }
+
+  std::deque<const kir::BasicBlock*> worklist(rpo.begin(), rpo.end());
+  std::unordered_set<const kir::BasicBlock*> queued(rpo.begin(), rpo.end());
+  while (!worklist.empty()) {
+    const kir::BasicBlock* block = worklist.front();
+    worklist.pop_front();
+    queued.erase(block);
+
+    // Entry keeps the boundary state; back edges into the entry (a loop
+    // headed by the first block) still meet in, which is conservative.
+    State in = block == entry ? problem.Boundary() : problem.Top();
+    for (const kir::BasicBlock* pred : cfg.preds(block)) {
+      if (!cfg.IsReachable(pred)) continue;
+      problem.MeetInto(in, result.out.at(pred));
+    }
+
+    State out = problem.Transfer(*block, in);
+    result.in.insert_or_assign(block, std::move(in));
+    if (!problem.Equal(out, result.out.at(block))) {
+      result.out.insert_or_assign(block, std::move(out));
+      for (const kir::BasicBlock* succ : cfg.succs(block)) {
+        if (queued.insert(succ).second) worklist.push_back(succ);
+      }
+    }
+  }
+  return result;
+}
+
+template <typename Problem>
+DataflowResult<typename Problem::State> SolveBackward(const kir::Cfg& cfg,
+                                                      const Problem& problem) {
+  using State = typename Problem::State;
+  DataflowResult<State> result;
+  const auto& rpo = cfg.ReversePostorder();
+  if (rpo.empty()) return result;
+
+  for (const kir::BasicBlock* block : rpo) {
+    result.in.emplace(block, problem.Top());
+  }
+
+  // Postorder (reversed RPO) is the natural seed order for backward flow.
+  std::deque<const kir::BasicBlock*> worklist(rpo.rbegin(), rpo.rend());
+  std::unordered_set<const kir::BasicBlock*> queued(rpo.begin(), rpo.end());
+  while (!worklist.empty()) {
+    const kir::BasicBlock* block = worklist.front();
+    worklist.pop_front();
+    queued.erase(block);
+
+    const auto& succs = cfg.succs(block);
+    State out = succs.empty() ? problem.Boundary() : problem.Top();
+    for (const kir::BasicBlock* succ : succs) {
+      problem.MeetInto(out, result.in.at(succ));
+    }
+
+    State in = problem.Transfer(*block, out);
+    result.out.insert_or_assign(block, std::move(out));
+    if (!problem.Equal(in, result.in.at(block))) {
+      result.in.insert_or_assign(block, std::move(in));
+      for (const kir::BasicBlock* pred : cfg.preds(block)) {
+        if (!cfg.IsReachable(pred)) continue;
+        if (queued.insert(pred).second) worklist.push_back(pred);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kop::analysis

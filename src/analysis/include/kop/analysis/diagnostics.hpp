@@ -1,0 +1,64 @@
+// Structured diagnostics shared by every kop::analysis check and its
+// consumers (kopcc check, the module loader, tests). One diagnostic
+// pinpoints one instruction: function, block label, function-wide
+// instruction index (the same numbering guard-site tables use) and, when
+// the finding is about a specific guard call, that call's module-wide
+// ordinal for attribution against the attestation's site table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kop::analysis {
+
+enum class Severity : uint8_t {
+  kError,    // the module must not be inserted
+  kWarning,  // suspicious but not disqualifying
+  kNote,     // informational
+};
+
+std::string_view SeverityName(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string analysis;  // "guard-coverage" | "provenance" | "privileged"
+  std::string function;  // without '@'
+  std::string block;     // label
+  uint32_t inst_index = 0;  // function-wide instruction index
+  /// Module-wide call ordinal of the guard call this finding attributes
+  /// (e.g. the undersized guard that failed to cover an access); -1 when
+  /// no guard site is involved.
+  int64_t guard_site = -1;
+  std::string message;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// The outcome of running analyses over one module.
+struct AnalysisReport {
+  std::string module_name;
+  std::vector<Diagnostic> diagnostics;
+
+  size_t errors() const;
+  size_t warnings() const;
+  size_t notes() const;
+  /// True when no diagnostic is an error (warnings/notes do not reject).
+  bool ok() const { return errors() == 0; }
+};
+
+/// Human-readable rendering, one line per diagnostic:
+///   error: [guard-coverage] @poke, block merge, inst 5: store i64 ...
+std::string RenderText(const AnalysisReport& report);
+
+/// Stable machine-readable rendering (the `kopcc check --json` contract):
+/// {"module":...,"errors":N,"warnings":N,"notes":N,"diagnostics":[{...}]}
+/// with diagnostic fields severity/analysis/function/block/inst_index/
+/// guard_site/message in that order.
+std::string RenderJson(const AnalysisReport& report);
+
+/// Escape a string for embedding in a JSON string literal.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace kop::analysis

@@ -1,0 +1,22 @@
+// Guard-coverage verification: prove that every load and store in the
+// module executes under an available carat_guard covering its (address,
+// size, access kind) — the property the CARAT KOP compiler promises and
+// the attestation merely asserts. Built on the shared availability
+// lattice, so "covered" here means exactly what the guard optimizer
+// means when it deletes a redundant guard.
+#pragma once
+
+#include "kop/analysis/diagnostics.hpp"
+#include "kop/kir/module.hpp"
+
+namespace kop::analysis {
+
+/// Append guard-coverage diagnostics for `module` to `report`. Every
+/// uncovered memory access yields one kError diagnostic naming the
+/// function, block, function-wide instruction index and the offending
+/// instruction; when a guard for the same address exists but fails to
+/// cover (wrong size or flags), the diagnostic attributes it by its
+/// module-wide guard-site call ordinal.
+void CheckGuardCoverage(const kir::Module& module, AnalysisReport& report);
+
+}  // namespace kop::analysis

@@ -1,0 +1,132 @@
+// The available-guards lattice: the one definition of "which carat_guard
+// facts hold here" shared by the static guard-coverage verifier and the
+// guard-optimization passes. A fact (addr, size, flags) is available at a
+// program point when a guard call with exactly that address SSA value,
+// at least that size, and a flag superset has executed on EVERY path from
+// the entry with no intervening policy-mutating call. Using one lattice
+// for both the optimizer (which deletes redundant guards) and the
+// verifier (which proves the remaining guards sufficient) is what makes
+// the pair sound: they cannot disagree about availability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kop/analysis/dataflow.hpp"
+#include "kop/kir/cfg.hpp"
+#include "kop/kir/instruction.hpp"
+
+namespace kop::analysis {
+
+/// One available memory-guard fact. `origin` is the guard call that
+/// established the fact — kept for diagnostics attribution, excluded from
+/// fact identity (two guards with the same triple are the same fact).
+struct GuardFact {
+  const kir::Value* addr = nullptr;
+  uint64_t size = 0;
+  uint64_t flags = 0;
+  const kir::Instruction* origin = nullptr;
+
+  /// True when this fact licenses an access of (`addr`, `size`, `flags`):
+  /// same SSA address value, at least as large, flag superset.
+  bool Covers(const kir::Value* a, uint64_t s, uint64_t f) const {
+    return addr == a && size >= s && (flags & f) == f;
+  }
+  bool SameKey(const GuardFact& other) const {
+    return addr == other.addr && size == other.size && flags == other.flags;
+  }
+};
+
+/// One available privileged-intrinsic guard fact: carat_intrinsic_guard(id)
+/// has executed on every path here.
+struct IntrinsicGuardFact {
+  uint64_t id = 0;
+  const kir::Instruction* origin = nullptr;
+};
+
+/// A set of available guard facts, or ⊤ (the universe: "every fact
+/// holds"). ⊤ is the optimistic initial state of the fixpoint and only
+/// ever appears mid-iteration; at the fixpoint every reachable block's
+/// state is a concrete set.
+class GuardSet {
+ public:
+  static GuardSet MakeEmpty() { return GuardSet(false); }
+  static GuardSet MakeUniverse() { return GuardSet(true); }
+
+  bool is_universe() const { return universe_; }
+  const std::vector<GuardFact>& facts() const { return facts_; }
+  const std::vector<IntrinsicGuardFact>& intrinsics() const {
+    return intrinsics_;
+  }
+
+  /// Add a fact (no-op on an exact-key duplicate; ⊤ absorbs everything).
+  void AddGuard(const GuardFact& fact);
+  void AddIntrinsic(uint64_t id, const kir::Instruction* origin);
+
+  /// Drop every fact (a policy-mutating call happened).
+  void Clear();
+
+  /// The fact covering (`addr`, `size`, `flags`), or nullptr. Never call
+  /// on ⊤ when attribution matters; CoversAccess answers the pure query.
+  const GuardFact* FindCovering(const kir::Value* addr, uint64_t size,
+                                uint64_t flags) const;
+  bool CoversAccess(const kir::Value* addr, uint64_t size,
+                    uint64_t flags) const {
+    return universe_ || FindCovering(addr, size, flags) != nullptr;
+  }
+
+  /// A fact for the same address that fails to cover — the "you guarded
+  /// this pointer, but not enough" diagnostic hook. Null if none.
+  const GuardFact* FindPartial(const kir::Value* addr) const;
+
+  bool CoversIntrinsic(uint64_t id) const;
+
+  /// dst ⊓= src: keep exactly the facts covered by both sides. Returns
+  /// true when this set changed.
+  bool MeetInto(const GuardSet& src);
+
+  /// Set equality by fact keys (origin is attribution, not identity).
+  bool operator==(const GuardSet& other) const;
+
+ private:
+  explicit GuardSet(bool universe) : universe_(universe) {}
+
+  bool universe_;
+  std::vector<GuardFact> facts_;
+  std::vector<IntrinsicGuardFact> intrinsics_;
+};
+
+/// Decode a well-formed carat_guard(addr, const size, const flags) call
+/// into a fact. False for anything else, including guard calls with
+/// non-constant size/flags (those add no analyzable fact).
+bool MatchGuardCall(const kir::Instruction& inst, GuardFact* fact);
+
+/// The per-instruction transfer function. Exactly four cases:
+///   carat_guard with constant operands      -> gen a GuardFact
+///   carat_intrinsic_guard with constant id  -> gen an IntrinsicGuardFact
+///   kir.* intrinsic call                    -> no effect (the resolver
+///     dispatches these through the intrinsic table; none can reach the
+///     policy module's mutation paths)
+///   any other call                          -> kill everything
+/// Non-call instructions never touch the set.
+void ApplyGuardStep(const kir::Instruction& inst, GuardSet& state);
+
+/// Forward must-analysis problem for SolveForward: boundary = no guards
+/// at the function entry, meet = covering intersection, transfer = the
+/// guard step over the block in program order.
+struct GuardAvailabilityProblem {
+  using State = GuardSet;
+  State Boundary() const { return GuardSet::MakeEmpty(); }
+  State Top() const { return GuardSet::MakeUniverse(); }
+  bool MeetInto(State& dst, const State& src) const {
+    return dst.MeetInto(src);
+  }
+  bool Equal(const State& a, const State& b) const { return a == b; }
+  State Transfer(const kir::BasicBlock& block, State state) const;
+};
+
+/// Solve guard availability for one function over its Cfg. `in[B]` is the
+/// guard set available on entry to B at fixpoint.
+DataflowResult<GuardSet> SolveGuardAvailability(const kir::Cfg& cfg);
+
+}  // namespace kop::analysis

@@ -1,0 +1,37 @@
+// Privileged-operation and callee lint. Folds the checks the
+// PrivilegedIntrinsicWrapPass performs ad hoc into the dataflow
+// framework: every modeled kir.* privileged intrinsic should execute
+// under an available carat_intrinsic_guard fact for its id (the same
+// availability lattice guard coverage uses), and every external callee
+// should be on the known-kernel-API whitelist — an import outside it is
+// how a module reaches symbols the reviewer never considered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kop/analysis/diagnostics.hpp"
+#include "kop/kir/module.hpp"
+
+namespace kop::analysis {
+
+struct PrivilegedLintOptions {
+  /// When true an unwrapped privileged intrinsic is an error (use for
+  /// modules compiled with --wrap-priv, where the wrap pass promised
+  /// every one is guarded); otherwise a warning.
+  bool require_wrapped = false;
+  /// Extra external symbols to accept beyond the built-in kernel API
+  /// whitelist.
+  std::vector<std::string> extra_allowed_externals;
+};
+
+/// The built-in whitelist: guard ABI symbols plus the kernel exports
+/// every in-tree module may import.
+bool IsWhitelistedExternal(const std::string& name,
+                           const PrivilegedLintOptions& options);
+
+/// Append privileged/callee diagnostics for `module` to `report`.
+void CheckPrivileged(const kir::Module& module, AnalysisReport& report,
+                     const PrivilegedLintOptions& options = {});
+
+}  // namespace kop::analysis

@@ -1,0 +1,37 @@
+// Pointer-provenance classification: where does each address a module
+// dereferences come from? Module-local allocations and module globals are
+// the benign cases; kernel-supplied pointers are expected (that is what
+// guards police); a pointer with no traceable origin — materialized from
+// an integer, loaded from memory, or a raw constant — is how a module
+// smuggles a forged address past review, so writes through one are
+// flagged.
+#pragma once
+
+#include <unordered_map>
+
+#include "kop/analysis/diagnostics.hpp"
+#include "kop/kir/module.hpp"
+#include "kop/kir/value.hpp"
+
+namespace kop::analysis {
+
+enum class Provenance : uint8_t {
+  kUnknown,  // inttoptr, ptr load, raw constant, or conflicting joins
+  kLocal,    // alloca in this function
+  kGlobal,   // module global (possibly via gep)
+  kKernel,   // function argument or external-call result
+};
+
+std::string_view ProvenanceName(Provenance provenance);
+
+/// Classify every pointer-typed value in `fn` by a forward fixpoint
+/// (phi/select join to the common class, or kUnknown on conflict).
+/// Values that are not pointers are absent from the result.
+std::unordered_map<const kir::Value*, Provenance> ClassifyPointers(
+    const kir::Function& fn);
+
+/// Append provenance diagnostics: a store through a kUnknown pointer is a
+/// kWarning, a load through one a kNote.
+void CheckProvenance(const kir::Module& module, AnalysisReport& report);
+
+}  // namespace kop::analysis

@@ -1,0 +1,29 @@
+// The load-time static verifier: one entry point that runs every
+// kop::analysis check over a module and returns the aggregated report.
+// This is what replaces "trust the attestation": the kernel can prove
+// guard completeness on the IR it actually received instead of believing
+// a bit the compiler set.
+#pragma once
+
+#include "kop/analysis/diagnostics.hpp"
+#include "kop/analysis/privileged_lint.hpp"
+#include "kop/kir/module.hpp"
+
+namespace kop::analysis {
+
+struct StaticVerifyOptions {
+  /// Run the pointer-provenance check (warnings/notes only).
+  bool provenance = true;
+  /// Run the privileged-intrinsic / callee-whitelist lint.
+  bool privileged = true;
+  PrivilegedLintOptions privileged_options;
+};
+
+/// Run guard-coverage (always) plus the optional checks; diagnostics
+/// arrive in check order: guard-coverage, provenance, privileged. The
+/// report rejects (ok() == false) only on guard-coverage errors unless
+/// `privileged_options.require_wrapped` escalates the lint.
+AnalysisReport AnalyzeModule(const kir::Module& module,
+                             const StaticVerifyOptions& options = {});
+
+}  // namespace kop::analysis

@@ -1,0 +1,98 @@
+#include "kop/analysis/privileged_lint.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "kop/analysis/guard_lattice.hpp"
+#include "kop/kir/cfg.hpp"
+#include "kop/kir/intrinsics.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::analysis {
+
+bool IsWhitelistedExternal(const std::string& name,
+                           const PrivilegedLintOptions& options) {
+  // Guard ABI plus the kernel exports every in-tree module may import.
+  static constexpr const char* kKnown[] = {
+      "printk_str",
+      "kmalloc",
+      "kfree",
+  };
+  if (name == kCaratGuardSymbol || name == kCaratIntrinsicGuardSymbol) {
+    return true;
+  }
+  for (const char* known : kKnown) {
+    if (name == known) return true;
+  }
+  for (const std::string& extra : options.extra_allowed_externals) {
+    if (name == extra) return true;
+  }
+  return false;
+}
+
+void CheckPrivileged(const kir::Module& module, AnalysisReport& report,
+                     const PrivilegedLintOptions& options) {
+  for (const auto& fn : module.functions()) {
+    if (fn->is_external() || fn->blocks().empty()) continue;
+
+    std::unordered_map<const kir::Instruction*, uint32_t> inst_index;
+    uint32_t next_index = 0;
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) inst_index[inst.get()] = next_index++;
+    }
+
+    const kir::Cfg cfg(*fn);
+    const DataflowResult<GuardSet> availability = SolveGuardAvailability(cfg);
+
+    for (const kir::BasicBlock* block : cfg.ReversePostorder()) {
+      GuardSet state = availability.in.at(block);
+      for (const auto& inst : *block) {
+        if (inst->opcode() != kir::Opcode::kCall) {
+          continue;
+        }
+        const std::string& callee = inst->callee();
+
+        const auto emit = [&](Severity severity, std::string message) {
+          Diagnostic d;
+          d.severity = severity;
+          d.analysis = "privileged";
+          d.function = fn->name();
+          d.block = block->label();
+          d.inst_index = inst_index.at(inst.get());
+          d.message = std::move(message);
+          report.diagnostics.push_back(std::move(d));
+        };
+
+        if (kir::IsIntrinsicName(callee)) {
+          const kir::Intrinsic intrinsic = kir::IntrinsicFromName(callee);
+          if (intrinsic == kir::Intrinsic::kNone) {
+            emit(Severity::kNote,
+                 "call to unmodeled kir.* intrinsic `" + callee + "`");
+          } else if (!state.CoversIntrinsic(
+                         static_cast<uint64_t>(intrinsic))) {
+            std::ostringstream message;
+            message << "privileged intrinsic `" << callee
+                    << "` executes without an available "
+                    << kCaratIntrinsicGuardSymbol << "("
+                    << static_cast<uint64_t>(intrinsic) << ") on every path";
+            emit(options.require_wrapped ? Severity::kError
+                                         : Severity::kWarning,
+                 message.str());
+          }
+        } else if (callee != kCaratGuardSymbol &&
+                   callee != kCaratIntrinsicGuardSymbol) {
+          const kir::Function* target = module.FindFunction(callee);
+          const bool external = target == nullptr || target->is_external();
+          if (external && !IsWhitelistedExternal(callee, options)) {
+            emit(Severity::kWarning,
+                 "call to external symbol `" + callee +
+                     "` outside the known kernel API whitelist");
+          }
+        }
+        ApplyGuardStep(*inst, state);
+      }
+    }
+  }
+}
+
+}  // namespace kop::analysis

@@ -1,0 +1,176 @@
+#include "kop/analysis/provenance.hpp"
+
+#include <sstream>
+
+#include "kop/kir/cfg.hpp"
+#include "kop/kir/printer.hpp"
+
+namespace kop::analysis {
+
+std::string_view ProvenanceName(Provenance provenance) {
+  switch (provenance) {
+    case Provenance::kUnknown: return "unknown";
+    case Provenance::kLocal: return "local";
+    case Provenance::kGlobal: return "global";
+    case Provenance::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsPointer(const kir::Value& value) {
+  return value.type() == kir::Type::kPtr;
+}
+
+/// Join for phi/select: agreeing classes keep their class, disagreement
+/// (or any unknown input) degrades to unknown.
+Provenance Join(Provenance a, Provenance b) {
+  if (a == b) return a;
+  return Provenance::kUnknown;
+}
+
+}  // namespace
+
+std::unordered_map<const kir::Value*, Provenance> ClassifyPointers(
+    const kir::Function& fn) {
+  std::unordered_map<const kir::Value*, Provenance> classes;
+
+  // Roots with intrinsic provenance.
+  for (const auto& arg : fn.args()) {
+    if (IsPointer(*arg)) classes[arg.get()] = Provenance::kKernel;
+  }
+
+  // `lookup` treats an unclassified operand optimistically during the
+  // fixpoint: phi inputs from blocks not yet visited stay neutral until
+  // they get a class, so a loop-carried pointer keeps its real class
+  // instead of defaulting to unknown.
+  auto lookup = [&classes](const kir::Value* value,
+                           bool* known) -> Provenance {
+    if (const auto* global = kir::dyn_cast<kir::GlobalVariable>(value)) {
+      (void)global;
+      *known = true;
+      return Provenance::kGlobal;
+    }
+    if (kir::isa<kir::Constant>(value)) {
+      // A raw constant used as an address has no provenance at all.
+      *known = true;
+      return Provenance::kUnknown;
+    }
+    const auto it = classes.find(value);
+    if (it == classes.end()) {
+      *known = false;
+      return Provenance::kUnknown;
+    }
+    *known = true;
+    return it->second;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& block : fn.blocks()) {
+      for (const auto& inst : *block) {
+        if (!IsPointer(*inst)) continue;
+        Provenance next = Provenance::kUnknown;
+        switch (inst->opcode()) {
+          case kir::Opcode::kAlloca:
+            next = Provenance::kLocal;
+            break;
+          case kir::Opcode::kGep: {
+            bool known = false;
+            next = lookup(inst->operand(0), &known);
+            if (!known) continue;  // base not classified yet
+            break;
+          }
+          case kir::Opcode::kCall:
+            // A pointer handed back by a callee is kernel-side memory as
+            // far as this module can tell (kmalloc and friends).
+            next = Provenance::kKernel;
+            break;
+          case kir::Opcode::kPhi:
+          case kir::Opcode::kSelect: {
+            const size_t first =
+                inst->opcode() == kir::Opcode::kSelect ? 1 : 0;
+            bool any_known = false;
+            bool seeded = false;
+            Provenance joined = Provenance::kUnknown;
+            for (size_t i = first; i < inst->operand_count(); ++i) {
+              bool known = false;
+              const Provenance p = lookup(inst->operand(i), &known);
+              if (!known) continue;  // optimistic: skip unvisited inputs
+              any_known = true;
+              joined = seeded ? Join(joined, p) : p;
+              seeded = true;
+            }
+            if (!any_known) continue;
+            next = joined;
+            break;
+          }
+          case kir::Opcode::kIntToPtr:
+          case kir::Opcode::kLoad:
+          default:
+            // Materialized from an integer or fetched from memory: no
+            // traceable origin.
+            next = Provenance::kUnknown;
+            break;
+        }
+        const auto it = classes.find(inst.get());
+        if (it == classes.end()) {
+          classes[inst.get()] = next;
+          changed = true;
+        } else if (it->second != next) {
+          // Monotone refinement: classes only ever degrade toward
+          // unknown once set, which guarantees termination.
+          const Provenance merged = Join(it->second, next);
+          if (merged != it->second) {
+            it->second = merged;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return classes;
+}
+
+void CheckProvenance(const kir::Module& module, AnalysisReport& report) {
+  for (const auto& fn : module.functions()) {
+    if (fn->is_external() || fn->blocks().empty()) continue;
+    const auto classes = ClassifyPointers(*fn);
+
+    uint32_t inst_index = 0;
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        const uint32_t index = inst_index++;
+        if (!inst->IsMemoryAccess()) continue;
+        const bool is_store = inst->opcode() == kir::Opcode::kStore;
+        const kir::Value* addr = inst->operand(is_store ? 1 : 0);
+
+        Provenance provenance = Provenance::kUnknown;
+        if (kir::isa<kir::GlobalVariable>(addr)) {
+          provenance = Provenance::kGlobal;
+        } else {
+          const auto it = classes.find(addr);
+          if (it != classes.end()) provenance = it->second;
+        }
+        if (provenance != Provenance::kUnknown) continue;
+
+        Diagnostic d;
+        d.severity = is_store ? Severity::kWarning : Severity::kNote;
+        d.analysis = "provenance";
+        d.function = fn->name();
+        d.block = block->label();
+        d.inst_index = index;
+        std::ostringstream message;
+        message << (is_store ? "store through" : "load through")
+                << " pointer with no traceable provenance: `"
+                << kir::PrintInstruction(*inst) << "`";
+        d.message = message.str();
+        report.diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+}  // namespace kop::analysis

@@ -1,0 +1,20 @@
+#include "kop/analysis/static_verifier.hpp"
+
+#include "kop/analysis/guard_coverage.hpp"
+#include "kop/analysis/provenance.hpp"
+
+namespace kop::analysis {
+
+AnalysisReport AnalyzeModule(const kir::Module& module,
+                             const StaticVerifyOptions& options) {
+  AnalysisReport report;
+  report.module_name = module.name();
+  CheckGuardCoverage(module, report);
+  if (options.provenance) CheckProvenance(module, report);
+  if (options.privileged) {
+    CheckPrivileged(module, report, options.privileged_options);
+  }
+  return report;
+}
+
+}  // namespace kop::analysis

@@ -41,6 +41,19 @@ std::string_view ExecEngineName(ExecEngine engine);
 /// "bytecode"); kBytecode when unset or unrecognized.
 ExecEngine DefaultExecEngine();
 
+/// How Insmod establishes guard completeness before linking a module.
+enum class VerifyMode {
+  kAttest,  // trust the signed attestation's guard claims (paper baseline)
+  kStatic,  // ignore attested guard claims; require a static proof
+  kBoth,    // demand both: attested claims AND the static proof (default)
+};
+
+std::string_view VerifyModeName(VerifyMode mode);
+
+/// Mode selected by the KOP_VERIFY environment variable ("attest",
+/// "static" or "both"); kBoth when unset or unrecognized.
+VerifyMode DefaultVerifyMode();
+
 class LoadedModule {
  public:
   ~LoadedModule();
@@ -118,10 +131,15 @@ class ModuleLoader {
   ExecEngine engine() const { return engine_; }
   void set_engine(ExecEngine engine) { engine_ = engine; }
 
+  /// How future Insmod calls establish guard completeness.
+  VerifyMode verify_mode() const { return verify_mode_; }
+  void set_verify_mode(VerifyMode mode) { verify_mode_ = mode; }
+
  private:
   Kernel* kernel_;
   signing::Keyring keyring_;
   ExecEngine engine_ = DefaultExecEngine();
+  VerifyMode verify_mode_ = DefaultVerifyMode();
   std::map<std::string, std::unique_ptr<LoadedModule>> modules_;
 };
 

@@ -7,6 +7,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "kop/analysis/static_verifier.hpp"
 #include "kop/kir/bytecode.hpp"
 #include "kop/kir/intrinsics.hpp"
 #include "kop/trace/metrics.hpp"
@@ -268,6 +269,25 @@ ExecEngine DefaultExecEngine() {
   return ExecEngine::kBytecode;
 }
 
+std::string_view VerifyModeName(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kAttest: return "attest";
+    case VerifyMode::kStatic: return "static";
+    case VerifyMode::kBoth: return "both";
+  }
+  return "?";
+}
+
+VerifyMode DefaultVerifyMode() {
+  const char* env = std::getenv("KOP_VERIFY");
+  if (env != nullptr) {
+    const std::string_view mode(env);
+    if (mode == "attest") return VerifyMode::kAttest;
+    if (mode == "static") return VerifyMode::kStatic;
+  }
+  return VerifyMode::kBoth;
+}
+
 LoadedModule::~LoadedModule() {
   if (kernel_ == nullptr) return;
   for (uint64_t addr : allocations_) {
@@ -312,8 +332,12 @@ Result<uint64_t> LoadedModule::GlobalAddress(const std::string& global) const {
 }
 
 Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
-  // 1. Signature + attestation + IR verification + guard re-check.
-  auto validated = signing::ValidateSignedModule(image, keyring_);
+  // 1. Signature + attestation + IR verification + guard re-check. Under
+  //    KOP_VERIFY=static the attestation's guard claims are not trusted
+  //    (nor required) — the static proof below is the sole authority.
+  signing::ValidationOptions validation;
+  validation.check_attested_guards = verify_mode_ != VerifyMode::kStatic;
+  auto validated = signing::ValidateSignedModule(image, keyring_, validation);
   if (!validated.ok()) {
     kernel_->log().Printk(KernLevel::kErr, "insmod: rejected module: %s",
                           validated.status().ToString().c_str());
@@ -321,6 +345,30 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
   }
   std::unique_ptr<kir::Module> ir = std::move(validated->module);
   const std::string name = ir->name();
+
+  // 1b. Static guard-completeness proof over the IR actually received —
+  //     a forged attestation cannot get an unguarded store past this.
+  if (verify_mode_ != VerifyMode::kAttest) {
+    const analysis::AnalysisReport report = analysis::AnalyzeModule(*ir);
+    if (!report.ok()) {
+      const auto first = std::find_if(
+          report.diagnostics.begin(), report.diagnostics.end(),
+          [](const analysis::Diagnostic& d) {
+            return d.severity == analysis::Severity::kError;
+          });
+      KOP_TRACE(kModuleStaticReject, report.errors(), ir->InstructionCount());
+      trace::GlobalMetrics().GetCounter("loader.static_reject")->Add();
+      kernel_->log().Printk(
+          KernLevel::kErr,
+          "insmod: %s: static verifier rejected module (%zu error(s)); "
+          "first: @%s block %s inst %u: %s",
+          name.c_str(), report.errors(), first->function.c_str(),
+          first->block.c_str(), first->inst_index, first->message.c_str());
+      return PermissionDenied(
+          "static verifier rejected module '" + name + "': @" +
+          first->function + " block " + first->block + ": " + first->message);
+    }
+  }
   if (modules_.count(name)) {
     return AlreadyExists("module '" + name + "' already loaded");
   }

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <string>
-#include <vector>
 
+// CFG + dominator utilities historically declared here live in cfg.hpp
+// now; kept included so existing callers keep compiling.
+#include "kop/kir/cfg.hpp"
 #include "kop/kir/module.hpp"
 #include "kop/util/status.hpp"
 
@@ -19,15 +21,5 @@ Status VerifyModule(const Module& module);
 
 /// Verify one function (used by unit tests for targeted checks).
 Status VerifyFunction(const Function& fn);
-
-/// Compute the immediate dominator of every block (entry maps to itself).
-/// Exposed for tests and for the guard-hoisting ablation pass.
-std::vector<const BasicBlock*> ComputeImmediateDominators(const Function& fn);
-
-/// True when block `a` dominates block `b` under `idom` from
-/// ComputeImmediateDominators (blocks identified by function block index).
-bool BlockDominates(const Function& fn,
-                    const std::vector<const BasicBlock*>& idom,
-                    const BasicBlock* a, const BasicBlock* b);
 
 }  // namespace kop::kir

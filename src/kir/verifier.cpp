@@ -4,135 +4,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "kop/kir/cfg.hpp"
 #include "kop/kir/printer.hpp"
 
 namespace kop::kir {
-namespace {
-
-/// Index of each block within its function, for dense dominator arrays.
-std::unordered_map<const BasicBlock*, size_t> BlockIndices(
-    const Function& fn) {
-  std::unordered_map<const BasicBlock*, size_t> out;
-  for (size_t i = 0; i < fn.blocks().size(); ++i) {
-    out[fn.blocks()[i].get()] = i;
-  }
-  return out;
-}
-
-std::vector<std::vector<const BasicBlock*>> Predecessors(const Function& fn) {
-  auto index = BlockIndices(fn);
-  std::vector<std::vector<const BasicBlock*>> preds(fn.blocks().size());
-  for (const auto& block : fn.blocks()) {
-    const Instruction* term = block->Terminator();
-    if (term == nullptr) continue;
-    if (term->true_block() != nullptr) {
-      preds[index.at(term->true_block())].push_back(block.get());
-    }
-    if (term->false_block() != nullptr) {
-      preds[index.at(term->false_block())].push_back(block.get());
-    }
-  }
-  return preds;
-}
-
-/// Reverse postorder over reachable blocks.
-std::vector<const BasicBlock*> ReversePostorder(const Function& fn) {
-  std::vector<const BasicBlock*> order;
-  std::unordered_set<const BasicBlock*> visited;
-  // Iterative DFS with explicit post stack.
-  struct Frame {
-    const BasicBlock* block;
-    int next_succ;
-  };
-  if (fn.blocks().empty()) return order;
-  std::vector<Frame> stack{{fn.blocks()[0].get(), 0}};
-  visited.insert(fn.blocks()[0].get());
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
-    const Instruction* term = frame.block->Terminator();
-    const BasicBlock* succs[2] = {
-        term != nullptr ? term->true_block() : nullptr,
-        term != nullptr ? term->false_block() : nullptr};
-    bool descended = false;
-    while (frame.next_succ < 2) {
-      const BasicBlock* succ = succs[frame.next_succ++];
-      if (succ != nullptr && !visited.count(succ)) {
-        visited.insert(succ);
-        stack.push_back({succ, 0});
-        descended = true;
-        break;
-      }
-    }
-    if (!descended && frame.next_succ >= 2) {
-      order.push_back(frame.block);
-      stack.pop_back();
-    }
-  }
-  std::reverse(order.begin(), order.end());
-  return order;
-}
-
-}  // namespace
-
-std::vector<const BasicBlock*> ComputeImmediateDominators(const Function& fn) {
-  // Cooper-Harvey-Kennedy iterative algorithm on reverse postorder.
-  const auto index = BlockIndices(fn);
-  std::vector<const BasicBlock*> idom(fn.blocks().size(), nullptr);
-  if (fn.blocks().empty()) return idom;
-  const auto rpo = ReversePostorder(fn);
-  std::unordered_map<const BasicBlock*, size_t> rpo_pos;
-  for (size_t i = 0; i < rpo.size(); ++i) rpo_pos[rpo[i]] = i;
-  const auto preds = Predecessors(fn);
-
-  const BasicBlock* entry = fn.blocks()[0].get();
-  idom[index.at(entry)] = entry;
-
-  auto intersect = [&](const BasicBlock* a,
-                       const BasicBlock* b) -> const BasicBlock* {
-    while (a != b) {
-      while (rpo_pos.at(a) > rpo_pos.at(b)) a = idom[index.at(a)];
-      while (rpo_pos.at(b) > rpo_pos.at(a)) b = idom[index.at(b)];
-    }
-    return a;
-  };
-
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const BasicBlock* block : rpo) {
-      if (block == entry) continue;
-      const BasicBlock* new_idom = nullptr;
-      for (const BasicBlock* pred : preds[index.at(block)]) {
-        if (!rpo_pos.count(pred)) continue;  // unreachable predecessor
-        if (idom[index.at(pred)] == nullptr) continue;
-        new_idom = new_idom == nullptr ? pred : intersect(new_idom, pred);
-      }
-      if (new_idom != nullptr && idom[index.at(block)] != new_idom) {
-        idom[index.at(block)] = new_idom;
-        changed = true;
-      }
-    }
-  }
-  return idom;
-}
-
-bool BlockDominates(const Function& fn,
-                    const std::vector<const BasicBlock*>& idom,
-                    const BasicBlock* a, const BasicBlock* b) {
-  const auto index = BlockIndices(fn);
-  const BasicBlock* entry = fn.blocks().empty() ? nullptr
-                                                : fn.blocks()[0].get();
-  const BasicBlock* walk = b;
-  while (walk != nullptr) {
-    if (walk == a) return true;
-    if (walk == entry) return false;
-    const BasicBlock* up = idom[index.at(walk)];
-    if (up == walk) return false;  // detached/unreachable
-    walk = up;
-  }
-  return false;
-}
-
 namespace {
 
 class FunctionVerifier {
@@ -145,8 +20,9 @@ class FunctionVerifier {
       return Fail(nullptr, "function has no blocks");
     }
     KOP_RETURN_IF_ERROR(CheckBlocks());
-    KOP_RETURN_IF_ERROR(CheckInstructions());
-    KOP_RETURN_IF_ERROR(CheckDominance());
+    const Cfg cfg(fn_);
+    KOP_RETURN_IF_ERROR(CheckInstructions(cfg));
+    KOP_RETURN_IF_ERROR(CheckDominance(cfg));
     return OkStatus();
   }
 
@@ -213,9 +89,7 @@ class FunctionVerifier {
     return OkStatus();
   }
 
-  Status CheckInstructions() {
-    const auto preds = Predecessors(fn_);
-    const auto index = BlockIndices(fn_);
+  Status CheckInstructions(const Cfg& cfg) {
     for (const auto& block : fn_.blocks()) {
       for (const auto& inst : *block) {
         for (size_t i = 0; i < inst->operand_count(); ++i) {
@@ -337,7 +211,7 @@ class FunctionVerifier {
             if (incoming.size() != inst->operand_count()) {
               return Fail(inst.get(), "phi operand/block count mismatch");
             }
-            const auto& block_preds = preds[index.at(block.get())];
+            const auto& block_preds = cfg.preds(block.get());
             if (incoming.size() != block_preds.size()) {
               return Fail(inst.get(),
                           "phi incoming count does not match predecessors");
@@ -381,9 +255,8 @@ class FunctionVerifier {
     return OkStatus();
   }
 
-  Status CheckDominance() {
-    const auto idom = ComputeImmediateDominators(fn_);
-    const auto index = BlockIndices(fn_);
+  Status CheckDominance(const Cfg& cfg) {
+    const DominatorTree domtree(cfg);
 
     // Position of each instruction within its block for same-block checks.
     std::unordered_map<const Value*, size_t> position;
@@ -402,13 +275,13 @@ class FunctionVerifier {
         return position.at(def_inst) < use_pos ||
                user->opcode() == Opcode::kPhi;  // phi handled separately
       }
-      return BlockDominates(fn_, idom, def_block, use_block);
+      return domtree.Dominates(def_block, use_block);
     };
 
     for (const auto& block : fn_.blocks()) {
       // Skip unreachable blocks (no idom computed).
       if (block.get() != fn_.blocks()[0].get() &&
-          idom[index.at(block.get())] == nullptr) {
+          domtree.Idom(block.get()) == nullptr) {
         continue;
       }
       size_t pos = 0;
@@ -421,7 +294,7 @@ class FunctionVerifier {
             const auto* def_inst = static_cast<const Instruction*>(def);
             const BasicBlock* in = inst->incoming_blocks()[i];
             if (def_inst->parent() != in &&
-                !BlockDominates(fn_, idom, def_inst->parent(), in)) {
+                !domtree.Dominates(def_inst->parent(), in)) {
               return Fail(inst.get(),
                           "phi incoming value does not dominate edge");
             }

@@ -349,4 +349,75 @@ std::vector<CorpusEntry> AllCorpusModules() {
   };
 }
 
+std::string AdversarialUnguardedSource() {
+  // The guard covers the load of @state; the store through %p (one slot
+  // past the guarded word) has no guard at all.
+  return R"(module "kop_adv_unguarded"
+
+global @state size 16 rw
+
+extern func @carat_guard(ptr, i64, i64) -> void
+
+func @poke(i64 %val) -> i64 {
+entry:
+  call void @carat_guard(ptr @state, i64 8, i64 1)
+  %old = load i64, @state
+  %p = gep @state, i64 1, 8, 0
+  store i64 %val, %p
+  ret i64 %old
+}
+)";
+}
+
+std::string AdversarialUndersizedSource() {
+  // Right address, write flag — but the guard certifies 4 bytes and the
+  // store writes 8.
+  return R"(module "kop_adv_undersized"
+
+global @state size 8 rw
+
+extern func @carat_guard(ptr, i64, i64) -> void
+
+func @poke(i64 %val) -> i64 {
+entry:
+  call void @carat_guard(ptr @state, i64 4, i64 2)
+  store i64 %val, @state
+  ret i64 0
+}
+)";
+}
+
+std::string AdversarialWrongBranchSource() {
+  // The guard sits on the `guarded` branch only; along `skip` the store
+  // in `merge` executes with no guard having run.
+  return R"(module "kop_adv_wrongbranch"
+
+global @state size 8 rw
+
+extern func @carat_guard(ptr, i64, i64) -> void
+
+func @poke(i64 %val, i64 %flag) -> i64 {
+entry:
+  %cond = icmp ne i64 %flag, 0
+  br %cond, guarded, skip
+guarded:
+  call void @carat_guard(ptr @state, i64 8, i64 2)
+  jmp merge
+skip:
+  jmp merge
+merge:
+  store i64 %val, @state
+  ret i64 0
+}
+)";
+}
+
+std::vector<CorpusEntry> AdversarialCorpusModules() {
+  return {
+      {"kop_adv_unguarded", AdversarialUnguardedSource()},
+      {"kop_adv_undersized", AdversarialUndersizedSource()},
+      {"kop_adv_wrongbranch", AdversarialWrongBranchSource()},
+  };
+}
+
 }  // namespace kop::kirmods

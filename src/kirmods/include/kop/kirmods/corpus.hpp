@@ -54,4 +54,25 @@ struct CorpusEntry {
 /// The whole corpus (excluding the synthetic generator), for sweeps.
 std::vector<CorpusEntry> AllCorpusModules();
 
+// --- Adversarial corpus -------------------------------------------------
+//
+// Modules that ship with guards already placed in the IR — as a compiler
+// would emit — but placed WRONG, the way a malicious or buggy toolchain
+// would. Paired with a forged guards-complete attestation they pass
+// attestation-only validation; the static verifier must reject each one
+// with a diagnostic naming the offending instruction.
+
+/// Guards one access, leaves a second store entirely unguarded.
+std::string AdversarialUnguardedSource();
+
+/// Guards the right address with too small a size for the 8-byte store.
+std::string AdversarialUndersizedSource();
+
+/// Places the guard on only one branch; the access in the merge block is
+/// not dominated by it.
+std::string AdversarialWrongBranchSource();
+
+/// All adversarial modules, for sweeps and the kopcc --corpus self-check.
+std::vector<CorpusEntry> AdversarialCorpusModules();
+
 }  // namespace kop::kirmods

@@ -23,8 +23,21 @@ struct ValidatedModule {
   transform::AttestationRecord attestation;
 };
 
+struct ValidationOptions {
+  /// When true (the default, step 5 above) the validator trusts the
+  /// attestation's guard claims: guards_complete must be asserted, and
+  /// the adjacency re-check is skipped for optimized modules. A loader
+  /// that proves guard completeness itself (KOP_VERIFY=static) turns
+  /// this off — the signature then vouches only for image integrity,
+  /// not for guard placement.
+  bool check_attested_guards = true;
+};
+
 /// Run the full insmod-time validation pipeline.
 Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
                                              const Keyring& keyring);
+Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
+                                             const Keyring& keyring,
+                                             const ValidationOptions& options);
 
 }  // namespace kop::signing

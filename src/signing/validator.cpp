@@ -9,7 +9,8 @@ namespace kop::signing {
 namespace {
 
 Result<ValidatedModule> ValidateSignedModuleImpl(
-    const SignedModule& signed_module, const Keyring& keyring) {
+    const SignedModule& signed_module, const Keyring& keyring,
+    const ValidationOptions& options) {
   // 2. Signature first: nothing unauthenticated gets parsed further than
   //    the container framing.
   KOP_RETURN_IF_ERROR(keyring.VerifySignature(signed_module));
@@ -23,7 +24,7 @@ Result<ValidatedModule> ValidateSignedModuleImpl(
     return BadModule("attestation admits inline assembly; refusing module '" +
                      attestation->module_name + "'");
   }
-  if (!attestation->guards_complete) {
+  if (options.check_attested_guards && !attestation->guards_complete) {
     return BadModule("attestation does not certify guard completeness for '" +
                      attestation->module_name + "'");
   }
@@ -64,7 +65,7 @@ Result<ValidatedModule> ValidateSignedModuleImpl(
     return BadModule("guard-site table mismatch: attestation sites do not "
                      "match the shipped IR");
   }
-  if (!attestation->guards_optimized &&
+  if (options.check_attested_guards && !attestation->guards_optimized &&
       !transform::GuardsComplete(**module)) {
     return BadModule(
         "validator: unoptimized module has memory accesses without an "
@@ -81,7 +82,13 @@ Result<ValidatedModule> ValidateSignedModuleImpl(
 
 Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
                                              const Keyring& keyring) {
-  auto result = ValidateSignedModuleImpl(signed_module, keyring);
+  return ValidateSignedModule(signed_module, keyring, ValidationOptions{});
+}
+
+Result<ValidatedModule> ValidateSignedModule(const SignedModule& signed_module,
+                                             const Keyring& keyring,
+                                             const ValidationOptions& options) {
+  auto result = ValidateSignedModuleImpl(signed_module, keyring, options);
   KOP_TRACE(kModuleVerify, result.ok() ? 1 : 0);
   trace::GlobalMetrics()
       .GetCounter(result.ok() ? "loader.verify_ok" : "loader.verify_fail")

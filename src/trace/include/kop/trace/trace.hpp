@@ -31,6 +31,7 @@ enum class EventId : uint16_t {
   kModuleVerify,      // ok (1/0)
   kModuleLoad,        // instructions, guard count
   kModuleQuarantine,  // violating addr, size
+  kModuleStaticReject,  // error count, instruction count
   // NIC hardware (DMA engine) and driver transmit path.
   kNicDescFetch,      // descriptor addr, head index
   kNicXmit,           // frame bytes, ring occupancy after

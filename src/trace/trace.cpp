@@ -20,6 +20,7 @@ constexpr EventDesc kEvents[kEventCount] = {
     {"module.verify", "loader", {"ok", nullptr, nullptr, nullptr}},
     {"module.load", "loader", {"insts", "guards", nullptr, nullptr}},
     {"module.quarantine", "loader", {"addr", "size", nullptr, nullptr}},
+    {"module.static_reject", "loader", {"errors", "insts", nullptr, nullptr}},
     {"nic.desc_fetch", "nic", {"desc_addr", "head", nullptr, nullptr}},
     {"nic.xmit", "nic", {"bytes", "occupancy", nullptr, nullptr}},
     {"e1000e.xmit_frame", "nic", {"bytes", "slot", nullptr, nullptr}},

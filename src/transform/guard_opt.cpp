@@ -1,52 +1,37 @@
+// Both passes are thin clients of the kop::analysis availability lattice:
+// the same GuardSet / ApplyGuardStep the static verifier uses decides
+// here whether a covering guard is available, so the optimizer can never
+// delete a guard the verifier would later miss (and vice versa).
 #include "kop/transform/guard_opt.hpp"
 
-#include <map>
-#include <unordered_map>
-#include <vector>
-
-#include "kop/kir/verifier.hpp"
-#include "kop/util/carat_abi.hpp"
+#include "kop/analysis/guard_lattice.hpp"
+#include "kop/kir/cfg.hpp"
 
 namespace kop::transform {
 namespace {
 
-struct GuardKey {
-  const kir::Value* addr;
-  uint64_t size;
-  uint64_t flags;
+using analysis::ApplyGuardStep;
+using analysis::GuardFact;
+using analysis::GuardSet;
+using analysis::MatchGuardCall;
 
-  bool Covers(const GuardKey& other) const {
-    return addr == other.addr && size >= other.size &&
-           (flags & other.flags) == other.flags;
+/// Walk one block from `state`, erasing guards already covered and
+/// folding kept guards (and kills) into the state.
+void OptimizeBlock(kir::BasicBlock& block, GuardSet state,
+                   GuardOptStats& stats) {
+  for (auto it = block.begin(); it != block.end();) {
+    GuardFact fact;
+    if (MatchGuardCall(**it, &fact)) {
+      if (state.FindCovering(fact.addr, fact.size, fact.flags) != nullptr) {
+        it = block.Erase(it);
+        ++stats.guards_removed;
+        continue;
+      }
+      ++stats.guards_kept;
+    }
+    ApplyGuardStep(**it, state);
+    ++it;
   }
-};
-
-bool IsGuardCall(const kir::Instruction& inst, GuardKey* key) {
-  if (inst.opcode() != kir::Opcode::kCall ||
-      inst.callee() != kCaratGuardSymbol || inst.operand_count() != 3) {
-    return false;
-  }
-  const auto* size_const = kir::dyn_cast<kir::Constant>(inst.operand(1));
-  const auto* flags_const = kir::dyn_cast<kir::Constant>(inst.operand(2));
-  if (size_const == nullptr || flags_const == nullptr) return false;
-  key->addr = inst.operand(0);
-  key->size = size_const->bits();
-  key->flags = flags_const->bits();
-  return true;
-}
-
-/// Any call other than a guard may change the policy table (it could
-/// reach the policy module's ioctl path), so available guards die there.
-bool KillsAvailableGuards(const kir::Instruction& inst) {
-  return inst.opcode() == kir::Opcode::kCall &&
-         inst.callee() != kCaratGuardSymbol;
-}
-
-bool CoveredBy(const std::vector<GuardKey>& available, const GuardKey& key) {
-  for (const GuardKey& have : available) {
-    if (have.Covers(key)) return true;
-  }
-  return false;
 }
 
 }  // namespace
@@ -55,22 +40,7 @@ Status GuardCoalescePass::Run(kir::Module& module) {
   stats_ = GuardOptStats();
   for (const auto& fn : module.functions()) {
     for (const auto& block : fn->blocks()) {
-      std::vector<GuardKey> available;
-      for (auto it = block->begin(); it != block->end();) {
-        GuardKey key;
-        if (IsGuardCall(**it, &key)) {
-          if (CoveredBy(available, key)) {
-            it = block->Erase(it);
-            ++stats_.guards_removed;
-            continue;
-          }
-          available.push_back(key);
-          ++stats_.guards_kept;
-        } else if (KillsAvailableGuards(**it)) {
-          available.clear();
-        }
-        ++it;
-      }
+      OptimizeBlock(*block, GuardSet::MakeEmpty(), stats_);
     }
   }
   return OkStatus();
@@ -81,63 +51,18 @@ Status GuardDominationPass::Run(kir::Module& module) {
   for (const auto& fn : module.functions()) {
     if (fn->is_external() || fn->blocks().empty()) continue;
 
-    const auto idom = kir::ComputeImmediateDominators(*fn);
-    std::unordered_map<const kir::BasicBlock*, size_t> index;
-    for (size_t i = 0; i < fn->blocks().size(); ++i) {
-      index[fn->blocks()[i].get()] = i;
-    }
+    const kir::Cfg cfg(*fn);
+    const auto availability = analysis::SolveGuardAvailability(cfg);
 
-    // Guards still available at the *end* of each processed block. A block
-    // inherits the out-set of its immediate dominator: everything on the
-    // dominator-tree path to the entry has executed on every path here.
-    std::unordered_map<const kir::BasicBlock*, std::vector<GuardKey>> out_sets;
-
-    // Process blocks in an order where idom comes first. Blocks are stored
-    // in creation order which need not be topological, so iterate until
-    // every reachable block is done.
-    std::vector<const kir::BasicBlock*> worklist;
-    for (const auto& block : fn->blocks()) worklist.push_back(block.get());
-
-    const kir::BasicBlock* entry = fn->blocks()[0].get();
-    bool progressed = true;
-    std::unordered_map<const kir::BasicBlock*, bool> done;
-    while (progressed) {
-      progressed = false;
-      for (const kir::BasicBlock* block : worklist) {
-        if (done[block]) continue;
-        const kir::BasicBlock* dom =
-            block == entry ? nullptr : idom[index.at(block)];
-        if (block != entry) {
-          if (dom == nullptr) {  // unreachable: leave untouched
-            done[block] = true;
-            progressed = true;
-            continue;
-          }
-          if (!done[dom]) continue;
-        }
-
-        std::vector<GuardKey> available =
-            dom == nullptr ? std::vector<GuardKey>{} : out_sets[dom];
-        auto* mutable_block = const_cast<kir::BasicBlock*>(block);
-        for (auto it = mutable_block->begin(); it != mutable_block->end();) {
-          GuardKey key;
-          if (IsGuardCall(**it, &key)) {
-            if (CoveredBy(available, key)) {
-              it = mutable_block->Erase(it);
-              ++stats_.guards_removed;
-              continue;
-            }
-            available.push_back(key);
-            ++stats_.guards_kept;
-          } else if (KillsAvailableGuards(**it)) {
-            available.clear();
-          }
-          ++it;
-        }
-        out_sets[block] = std::move(available);
-        done[block] = true;
-        progressed = true;
-      }
+    // Erasing a covered guard never weakens any downstream in-state: the
+    // covering fact was available at the erased guard and flows through
+    // exactly the same kills, so everywhere the erased guard's fact
+    // reached, a covering fact still does. The solved in-states therefore
+    // stay valid as blocks are rewritten. Unreachable blocks are left
+    // untouched (they never execute).
+    for (const kir::BasicBlock* block : cfg.ReversePostorder()) {
+      OptimizeBlock(*const_cast<kir::BasicBlock*>(block),
+                    availability.in.at(block), stats_);
     }
   }
   return OkStatus();

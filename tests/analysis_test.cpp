@@ -1,0 +1,516 @@
+// kop::analysis: the CFG utilities, the generic dataflow solver, the
+// guard-availability lattice and the three static analyses built on it,
+// plus the diagnostics renderings the `kopcc check` CLI exposes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "kop/analysis/dataflow.hpp"
+#include "kop/analysis/diagnostics.hpp"
+#include "kop/analysis/guard_coverage.hpp"
+#include "kop/analysis/guard_lattice.hpp"
+#include "kop/analysis/privileged_lint.hpp"
+#include "kop/analysis/provenance.hpp"
+#include "kop/analysis/static_verifier.hpp"
+#include "kop/kir/cfg.hpp"
+#include "kop/kir/kir.hpp"
+#include "kop/kirmods/corpus.hpp"
+#include "kop/transform/compiler.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::analysis {
+namespace {
+
+std::unique_ptr<kir::Module> Parse(const std::string& source) {
+  auto module = kir::ParseModule(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  EXPECT_TRUE(kir::VerifyModule(**module).ok())
+      << kir::VerifyModule(**module).ToString();
+  return std::move(*module);
+}
+
+std::unique_ptr<kir::Module> Compile(const std::string& source,
+                                     const transform::CompileOptions&
+                                         options = {}) {
+  auto compiled = transform::CompileModuleText(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return std::move(compiled->module);
+}
+
+constexpr const char* kDiamondSource = R"(module "m"
+global @g size 8 rw
+func @f(i64 %x) -> i64 {
+entry:
+  %cond = icmp ne i64 %x, 0
+  br %cond, left, right
+left:
+  jmp merge
+right:
+  jmp merge
+merge:
+  %v = load i64, @g
+  ret i64 %v
+}
+)";
+
+// ---------------------------------------------------------------- CFG --
+
+TEST(CfgTest, EdgesAndReversePostorderOnDiamond) {
+  auto module = Parse(kDiamondSource);
+  const kir::Function* fn = module->FindFunction("f");
+  ASSERT_NE(fn, nullptr);
+  const kir::Cfg cfg(*fn);
+  ASSERT_EQ(cfg.size(), 4u);
+
+  const kir::BasicBlock* entry = fn->blocks()[0].get();
+  const kir::BasicBlock* left = fn->blocks()[1].get();
+  const kir::BasicBlock* right = fn->blocks()[2].get();
+  const kir::BasicBlock* merge = fn->blocks()[3].get();
+
+  EXPECT_TRUE(cfg.preds(entry).empty());
+  EXPECT_EQ(cfg.succs(entry).size(), 2u);
+  EXPECT_EQ(cfg.preds(merge).size(), 2u);
+  EXPECT_TRUE(cfg.succs(merge).empty());
+  EXPECT_EQ(cfg.preds(left).size(), 1u);
+  EXPECT_EQ(cfg.succs(right).size(), 1u);
+
+  const auto& rpo = cfg.ReversePostorder();
+  ASSERT_EQ(rpo.size(), 4u);
+  EXPECT_EQ(rpo.front(), entry);
+  EXPECT_EQ(rpo.back(), merge);
+  for (const auto& block : fn->blocks()) {
+    EXPECT_TRUE(cfg.IsReachable(block.get()));
+  }
+}
+
+TEST(CfgTest, UnreachableBlockExcludedFromRpo) {
+  auto module = Parse(R"(module "m"
+func @f() -> i64 {
+entry:
+  ret i64 0
+island:
+  ret i64 1
+}
+)");
+  const kir::Function* fn = module->FindFunction("f");
+  const kir::Cfg cfg(*fn);
+  EXPECT_FALSE(cfg.IsReachable(fn->blocks()[1].get()));
+  EXPECT_EQ(cfg.ReversePostorder().size(), 1u);
+}
+
+TEST(CfgTest, DominatorTreeOnDiamond) {
+  auto module = Parse(kDiamondSource);
+  const kir::Function* fn = module->FindFunction("f");
+  const kir::Cfg cfg(*fn);
+  const kir::DominatorTree domtree(cfg);
+
+  const kir::BasicBlock* entry = fn->blocks()[0].get();
+  const kir::BasicBlock* left = fn->blocks()[1].get();
+  const kir::BasicBlock* merge = fn->blocks()[3].get();
+
+  EXPECT_EQ(domtree.Idom(entry), entry);
+  EXPECT_EQ(domtree.Idom(left), entry);
+  EXPECT_EQ(domtree.Idom(merge), entry);  // neither branch dominates merge
+  EXPECT_TRUE(domtree.Dominates(entry, merge));
+  EXPECT_FALSE(domtree.Dominates(left, merge));
+  EXPECT_TRUE(domtree.Dominates(merge, merge));
+}
+
+// ----------------------------------------------------- dataflow solver --
+
+TEST(DataflowTest, ForwardGuardAvailabilityThroughLoop) {
+  // Guard hoisted above the loop; nothing in the loop kills it, so it is
+  // available at the access inside the body on every iteration.
+  auto module = Parse(R"(module "m"
+global @g size 8 rw
+extern func @carat_guard(ptr, i64, i64) -> void
+func @f(i64 %n) -> i64 {
+entry:
+  call void @carat_guard(ptr @g, i64 8, i64 3)
+  jmp loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i1, body ]
+  %done = icmp uge i64 %i, %n
+  br %done, out, body
+body:
+  %v = load i64, @g
+  store i64 %v, @g
+  %i1 = add i64 %i, 1
+  jmp loop
+out:
+  ret i64 0
+}
+)");
+  const kir::Function* fn = module->FindFunction("f");
+  const kir::Cfg cfg(*fn);
+  const auto result = SolveGuardAvailability(cfg);
+
+  const kir::BasicBlock* body = fn->blocks()[2].get();
+  const kir::GlobalVariable* g = module->FindGlobal("g");
+  const GuardSet& at_body = result.in.at(body);
+  EXPECT_FALSE(at_body.is_universe());
+  EXPECT_TRUE(at_body.CoversAccess(g, 8, kGuardAccessRead));
+  EXPECT_TRUE(at_body.CoversAccess(g, 8, kGuardAccessWrite));
+
+  const kir::BasicBlock* entry = fn->blocks()[0].get();
+  EXPECT_FALSE(result.in.at(entry).CoversAccess(g, 8, kGuardAccessRead));
+}
+
+TEST(DataflowTest, BackwardSolverComputesReachableLabels) {
+  // A may-analysis (union meet) run backward: which block labels can
+  // execute at-or-after each block.
+  struct ReachProblem {
+    using State = std::set<std::string>;
+    State Boundary() const { return {}; }
+    State Top() const { return {}; }  // union identity
+    bool MeetInto(State& dst, const State& src) const {
+      const size_t before = dst.size();
+      dst.insert(src.begin(), src.end());
+      return dst.size() != before;
+    }
+    bool Equal(const State& a, const State& b) const { return a == b; }
+    State Transfer(const kir::BasicBlock& block, State state) const {
+      state.insert(block.label());
+      return state;
+    }
+  };
+
+  auto module = Parse(kDiamondSource);
+  const kir::Function* fn = module->FindFunction("f");
+  const kir::Cfg cfg(*fn);
+  const auto result = SolveBackward(cfg, ReachProblem{});
+
+  const kir::BasicBlock* entry = fn->blocks()[0].get();
+  const kir::BasicBlock* merge = fn->blocks()[3].get();
+  EXPECT_EQ(result.in.at(entry),
+            (std::set<std::string>{"entry", "left", "right", "merge"}));
+  EXPECT_EQ(result.in.at(merge), (std::set<std::string>{"merge"}));
+  EXPECT_EQ(result.out.at(merge), (std::set<std::string>{}));
+}
+
+// --------------------------------------------------------- guard lattice --
+
+TEST(GuardLatticeTest, CoveringIsSizeAndFlagDirectional) {
+  kir::Module module("m");
+  auto* g = module.AddGlobal("g", 8, true);
+  GuardFact big{g, 16, kGuardAccessRead | kGuardAccessWrite, nullptr};
+  EXPECT_TRUE(big.Covers(g, 8, kGuardAccessRead));
+  EXPECT_TRUE(big.Covers(g, 16, kGuardAccessWrite));
+  EXPECT_FALSE(big.Covers(g, 32, kGuardAccessRead));
+
+  GuardFact small{g, 4, kGuardAccessRead, nullptr};
+  EXPECT_FALSE(small.Covers(g, 8, kGuardAccessRead));
+  EXPECT_FALSE(small.Covers(g, 4, kGuardAccessWrite));
+}
+
+TEST(GuardLatticeTest, MeetKeepsFactsCoveredByBothSides) {
+  kir::Module module("m");
+  auto* g = module.AddGlobal("g", 8, true);
+  auto* h = module.AddGlobal("h", 8, true);
+
+  GuardSet a = GuardSet::MakeEmpty();
+  a.AddGuard(GuardFact{g, 8, kGuardAccessWrite, nullptr});
+  a.AddGuard(GuardFact{h, 8, kGuardAccessRead, nullptr});
+  GuardSet b = GuardSet::MakeEmpty();
+  b.AddGuard(GuardFact{g, 16, kGuardAccessRead | kGuardAccessWrite, nullptr});
+
+  EXPECT_TRUE(a.MeetInto(b));
+  // g's 8-byte write fact is covered by b's larger fact and survives;
+  // h is absent on the b side and dies.
+  EXPECT_TRUE(a.CoversAccess(g, 8, kGuardAccessWrite));
+  EXPECT_FALSE(a.CoversAccess(h, 8, kGuardAccessRead));
+  // b's 16-byte fact is NOT covered by a's smaller one: it must not
+  // survive into the meet (a path through a only guarded 8 bytes).
+  EXPECT_FALSE(a.CoversAccess(g, 16, kGuardAccessRead));
+}
+
+TEST(GuardLatticeTest, UniverseIsMeetIdentity) {
+  kir::Module module("m");
+  auto* g = module.AddGlobal("g", 8, true);
+  GuardSet top = GuardSet::MakeUniverse();
+  GuardSet facts = GuardSet::MakeEmpty();
+  facts.AddGuard(GuardFact{g, 8, kGuardAccessRead, nullptr});
+
+  GuardSet meet = top;
+  EXPECT_TRUE(meet.MeetInto(facts));
+  EXPECT_TRUE(meet == facts);
+  EXPECT_FALSE(facts.MeetInto(top));  // ⊤ changes nothing
+}
+
+TEST(GuardLatticeTest, ExternalCallKillsButKirIntrinsicDoesNot) {
+  auto module = Parse(R"(module "m"
+global @g size 8 rw
+extern func @carat_guard(ptr, i64, i64) -> void
+extern func @helper() -> void
+func @f() -> i64 {
+entry:
+  call void @carat_guard(ptr @g, i64 8, i64 1)
+  call void @kir.invlpg(i64 0)
+  call void @helper()
+  ret i64 0
+}
+)");
+  const kir::Function* fn = module->FindFunction("f");
+  const kir::GlobalVariable* g = module->FindGlobal("g");
+  const kir::BasicBlock* entry = fn->blocks()[0].get();
+
+  GuardSet state = GuardSet::MakeEmpty();
+  auto it = entry->begin();
+  ApplyGuardStep(**it, state);  // guard
+  EXPECT_TRUE(state.CoversAccess(g, 8, kGuardAccessRead));
+  ++it;
+  ApplyGuardStep(**it, state);  // kir.invlpg: intrinsic-table dispatch,
+  EXPECT_TRUE(state.CoversAccess(g, 8, kGuardAccessRead));  // no kill
+  ++it;
+  ApplyGuardStep(**it, state);  // helper(): may mutate the policy table
+  EXPECT_FALSE(state.CoversAccess(g, 8, kGuardAccessRead));
+}
+
+// -------------------------------------------------------- guard coverage --
+
+TEST(GuardCoverageTest, EveryCompiledCorpusModuleProvesClean) {
+  for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
+    auto module = Compile(entry.source);
+    AnalysisReport report;
+    report.module_name = module->name();
+    CheckGuardCoverage(*module, report);
+    EXPECT_EQ(report.errors(), 0u)
+        << entry.name << ":\n" << RenderText(report);
+  }
+}
+
+TEST(GuardCoverageTest, OptimizedModulesStillProveComplete) {
+  // The optimizer and the verifier share one availability lattice: every
+  // guard the optimizer deletes must still be provably covered.
+  transform::CompileOptions options;
+  options.coalesce_guards = true;
+  options.dominate_guards = true;
+  for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
+    auto module = Compile(entry.source, options);
+    AnalysisReport report;
+    CheckGuardCoverage(*module, report);
+    EXPECT_EQ(report.errors(), 0u)
+        << entry.name << ":\n" << RenderText(report);
+  }
+}
+
+TEST(GuardCoverageTest, RejectsUnguardedStoreWithPreciseLocation) {
+  auto module = Parse(kirmods::AdversarialUnguardedSource());
+  AnalysisReport report;
+  CheckGuardCoverage(*module, report);
+  ASSERT_EQ(report.errors(), 1u) << RenderText(report);
+  const Diagnostic& d = report.diagnostics[0];
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.analysis, "guard-coverage");
+  EXPECT_EQ(d.function, "poke");
+  EXPECT_EQ(d.block, "entry");
+  EXPECT_EQ(d.inst_index, 3u);  // guard, load, gep, then the store
+  EXPECT_EQ(d.guard_site, -1);  // the guard is for a different address
+  EXPECT_NE(d.message.find("unguarded store"), std::string::npos);
+}
+
+TEST(GuardCoverageTest, AttributesUndersizedGuardBySite) {
+  auto module = Parse(kirmods::AdversarialUndersizedSource());
+  AnalysisReport report;
+  CheckGuardCoverage(*module, report);
+  ASSERT_EQ(report.errors(), 1u) << RenderText(report);
+  const Diagnostic& d = report.diagnostics[0];
+  EXPECT_EQ(d.function, "poke");
+  EXPECT_EQ(d.guard_site, 0);  // the undersized guard is call ordinal 0
+  EXPECT_NE(d.message.find("covers size 4"), std::string::npos);
+}
+
+TEST(GuardCoverageTest, RejectsNonDominatingGuard) {
+  auto module = Parse(kirmods::AdversarialWrongBranchSource());
+  AnalysisReport report;
+  CheckGuardCoverage(*module, report);
+  ASSERT_EQ(report.errors(), 1u) << RenderText(report);
+  const Diagnostic& d = report.diagnostics[0];
+  EXPECT_EQ(d.function, "poke");
+  EXPECT_EQ(d.block, "merge");
+  EXPECT_NE(d.message.find("every path"), std::string::npos);
+}
+
+TEST(GuardCoverageTest, GuardAfterAccessDoesNotCount) {
+  auto module = Parse(R"(module "m"
+global @g size 8 rw
+extern func @carat_guard(ptr, i64, i64) -> void
+func @f() -> i64 {
+entry:
+  %v = load i64, @g
+  call void @carat_guard(ptr @g, i64 8, i64 1)
+  ret i64 %v
+}
+)");
+  AnalysisReport report;
+  CheckGuardCoverage(*module, report);
+  EXPECT_EQ(report.errors(), 1u) << RenderText(report);
+}
+
+// ----------------------------------------------------------- provenance --
+
+TEST(ProvenanceTest, ClassifiesRootsAndPropagatesThroughGep) {
+  auto module = Parse(R"(module "m"
+global @g size 64 rw
+func @f(ptr %p, i64 %raw) -> i64 {
+entry:
+  %local = alloca 16
+  %slot = gep @g, i64 1, 8, 0
+  %kslot = gep %p, i64 0, 8, 0
+  %forged = inttoptr i64 %raw to ptr
+  ret i64 0
+}
+)");
+  const kir::Function* fn = module->FindFunction("f");
+  const auto classes = ClassifyPointers(*fn);
+
+  const kir::Value* arg = fn->args()[0].get();
+  EXPECT_EQ(classes.at(arg), Provenance::kKernel);
+  const kir::BasicBlock* entry = fn->blocks()[0].get();
+  auto it = entry->begin();
+  EXPECT_EQ(classes.at(it->get()), Provenance::kLocal);   // alloca
+  ++it;
+  EXPECT_EQ(classes.at(it->get()), Provenance::kGlobal);  // gep @g
+  ++it;
+  EXPECT_EQ(classes.at(it->get()), Provenance::kKernel);  // gep %p
+  ++it;
+  EXPECT_EQ(classes.at(it->get()), Provenance::kUnknown);  // inttoptr
+}
+
+TEST(ProvenanceTest, WarnsOnStoreThroughForgedPointer) {
+  auto module = Parse(R"(module "m"
+func @f(i64 %raw) -> i64 {
+entry:
+  %forged = inttoptr i64 %raw to ptr
+  store i64 7, %forged
+  %v = load i64, %forged
+  ret i64 %v
+}
+)");
+  AnalysisReport report;
+  CheckProvenance(*module, report);
+  ASSERT_EQ(report.diagnostics.size(), 2u) << RenderText(report);
+  EXPECT_EQ(report.diagnostics[0].severity, Severity::kWarning);  // store
+  EXPECT_EQ(report.diagnostics[1].severity, Severity::kNote);     // load
+  EXPECT_EQ(report.errors(), 0u);  // advisory, never rejecting
+}
+
+TEST(ProvenanceTest, KernelSuppliedPointersAreNotFlagged) {
+  auto module = Parse(kirmods::ScribblerSource());
+  AnalysisReport report;
+  CheckProvenance(*module, report);
+  EXPECT_TRUE(report.diagnostics.empty()) << RenderText(report);
+}
+
+// ------------------------------------------------------ privileged lint --
+
+TEST(PrivilegedLintTest, UnwrappedIntrinsicWarnsWrappedIsClean) {
+  auto unwrapped = Compile(kirmods::PrivuserSource());
+  AnalysisReport report;
+  CheckPrivileged(*unwrapped, report);
+  EXPECT_EQ(report.errors(), 0u);
+  EXPECT_EQ(report.warnings(), 4u) << RenderText(report);
+
+  transform::CompileOptions options;
+  options.wrap_privileged_intrinsics = true;
+  auto wrapped = Compile(kirmods::PrivuserSource(), options);
+  AnalysisReport wrapped_report;
+  CheckPrivileged(*wrapped, wrapped_report);
+  EXPECT_EQ(wrapped_report.warnings(), 0u) << RenderText(wrapped_report);
+}
+
+TEST(PrivilegedLintTest, RequireWrappedEscalatesToError) {
+  auto module = Compile(kirmods::PrivuserSource());
+  PrivilegedLintOptions options;
+  options.require_wrapped = true;
+  AnalysisReport report;
+  CheckPrivileged(*module, report, options);
+  EXPECT_EQ(report.errors(), 4u) << RenderText(report);
+}
+
+TEST(PrivilegedLintTest, FlagsExternalCalleeOutsideWhitelist) {
+  const std::string source = R"(module "m"
+extern func @mystery_symbol() -> i64
+func @f() -> i64 {
+entry:
+  %v = call i64 @mystery_symbol()
+  ret i64 %v
+}
+)";
+  auto module = Parse(source);
+  AnalysisReport report;
+  CheckPrivileged(*module, report);
+  ASSERT_EQ(report.warnings(), 1u) << RenderText(report);
+  EXPECT_NE(report.diagnostics[0].message.find("mystery_symbol"),
+            std::string::npos);
+
+  PrivilegedLintOptions options;
+  options.extra_allowed_externals.push_back("mystery_symbol");
+  AnalysisReport allowed;
+  CheckPrivileged(*module, allowed, options);
+  EXPECT_TRUE(allowed.diagnostics.empty());
+}
+
+// ------------------------------------------------- aggregate + renderings --
+
+TEST(StaticVerifierTest, AnalyzeModuleAggregatesAllChecks) {
+  auto module = Parse(kirmods::AdversarialUndersizedSource());
+  const AnalysisReport report = AnalyzeModule(*module);
+  EXPECT_EQ(report.module_name, "kop_adv_undersized");
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.errors(), 1u);
+}
+
+TEST(StaticVerifierTest, CleanModulePassesEndToEnd) {
+  auto module = Compile(kirmods::RingbufSource());
+  const AnalysisReport report = AnalyzeModule(*module);
+  EXPECT_TRUE(report.ok()) << RenderText(report);
+  EXPECT_TRUE(report.diagnostics.empty()) << RenderText(report);
+}
+
+TEST(DiagnosticsTest, JsonRenderingIsStable) {
+  AnalysisReport report;
+  report.module_name = "m";
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.analysis = "guard-coverage";
+  d.function = "poke";
+  d.block = "entry";
+  d.inst_index = 3;
+  d.guard_site = 0;
+  d.message = "unguarded store";
+  report.diagnostics.push_back(d);
+
+  EXPECT_EQ(RenderJson(report),
+            "{\"module\":\"m\",\"errors\":1,\"warnings\":0,\"notes\":0,"
+            "\"diagnostics\":[{\"severity\":\"error\","
+            "\"analysis\":\"guard-coverage\",\"function\":\"poke\","
+            "\"block\":\"entry\",\"inst_index\":3,\"guard_site\":0,"
+            "\"message\":\"unguarded store\"}]}");
+}
+
+TEST(DiagnosticsTest, JsonEscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(DiagnosticsTest, TextRenderingNamesEverything) {
+  AnalysisReport report;
+  report.module_name = "m";
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.analysis = "provenance";
+  d.function = "f";
+  d.block = "b";
+  d.inst_index = 2;
+  d.message = "msg";
+  report.diagnostics.push_back(d);
+  const std::string text = RenderText(report);
+  EXPECT_NE(text.find("warning: [provenance] @f, block b, inst 2: msg"),
+            std::string::npos);
+  EXPECT_NE(text.find("1 warning(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kop::analysis

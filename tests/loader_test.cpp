@@ -5,8 +5,11 @@
 #include "kop/kernel/kernel.hpp"
 #include "kop/kernel/module_loader.hpp"
 #include "kop/kirmods/corpus.hpp"
+#include "kop/kir/parser.hpp"
 #include "kop/policy/policy_module.hpp"
 #include "kop/signing/signer.hpp"
+#include "kop/trace/trace.hpp"
+#include "kop/transform/attestation.hpp"
 #include "kop/transform/compiler.hpp"
 
 namespace kop {
@@ -187,6 +190,116 @@ TEST(LoaderFailureTest, GlobalAddressLookup) {
   ASSERT_TRUE(buf.ok());
   EXPECT_GE(*buf, kernel.module_area_base());
   EXPECT_FALSE((*loaded)->GlobalAddress("nonexistent").ok());
+}
+
+// ------------------------------------------------- static verification --
+
+/// Sign `source` as a hostile toolchain would: the attestation claims
+/// complete (and optimized, so adjacency is not re-checked) guards no
+/// matter what the IR contains. The signature itself is genuine.
+signing::SignedModule ForgeAttestationAndSign(const std::string& source) {
+  auto module = kir::ParseModule(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  transform::AttestationRecord attestation = transform::Attest(**module);
+  attestation.guards_complete = true;
+  attestation.guards_optimized = true;
+  return signing::SignModule(source, attestation,
+                             signing::SigningKey::DevelopmentKey());
+}
+
+TEST(LoaderStaticVerifyTest, ForgedAttestationRejectedUnderStaticAndBoth) {
+  for (const kernel::VerifyMode mode :
+       {kernel::VerifyMode::kBoth, kernel::VerifyMode::kStatic}) {
+    Kernel kernel;
+    auto policy = policy::PolicyModule::Insert(
+        &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+    ASSERT_TRUE(policy.ok());
+    ModuleLoader loader(&kernel, TrustedKeyring());
+    loader.set_verify_mode(mode);
+    trace::GlobalTracer().Reset();
+
+    auto loaded = loader.Insmod(
+        ForgeAttestationAndSign(kirmods::AdversarialUnguardedSource()));
+    ASSERT_FALSE(loaded.ok()) << kernel::VerifyModeName(mode);
+    EXPECT_EQ(loaded.status().code(), ErrorCode::kPermissionDenied);
+    EXPECT_NE(loaded.status().ToString().find("static verifier"),
+              std::string::npos)
+        << loaded.status().ToString();
+    EXPECT_TRUE(loader.LoadedNames().empty());
+#if KOP_TRACE_ENABLED
+    EXPECT_EQ(trace::GlobalTracer().event_count(
+                  trace::EventId::kModuleStaticReject),
+              1u);
+#endif
+    trace::GlobalTracer().Reset();
+  }
+}
+
+TEST(LoaderStaticVerifyTest, ForgedAttestationSlipsThroughAttestMode) {
+  // The trust gap the static verifier closes: a forged guards-optimized
+  // attestation over unguarded IR passes attestation-only validation.
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  loader.set_verify_mode(kernel::VerifyMode::kAttest);
+  auto loaded = loader.Insmod(
+      ForgeAttestationAndSign(kirmods::AdversarialUnguardedSource()));
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+TEST(LoaderStaticVerifyTest, EachAdversarialModuleRejectedByDefault) {
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  // The loader honours KOP_VERIFY (the CI matrix sets it); any mode that
+  // runs the static verifier must reject these, so only skip under attest.
+  ASSERT_EQ(loader.verify_mode(), kernel::DefaultVerifyMode());
+  if (loader.verify_mode() == kernel::VerifyMode::kAttest) {
+    loader.set_verify_mode(kernel::VerifyMode::kBoth);
+  }
+  for (const kirmods::CorpusEntry& entry :
+       kirmods::AdversarialCorpusModules()) {
+    auto loaded = loader.Insmod(ForgeAttestationAndSign(entry.source));
+    ASSERT_FALSE(loaded.ok()) << entry.name;
+    EXPECT_EQ(loaded.status().code(), ErrorCode::kPermissionDenied)
+        << entry.name;
+  }
+}
+
+TEST(LoaderStaticVerifyTest, StaticModeAcceptsProofWithoutAttestedClaim) {
+  // A module whose attestation does NOT claim guard completeness but
+  // whose IR is provably guarded: rejected when the attestation is the
+  // authority (kBoth), accepted when the static proof is (kStatic).
+  auto compiled = transform::CompileModuleText(kirmods::RingbufSource());
+  ASSERT_TRUE(compiled.ok());
+  transform::AttestationRecord attestation = compiled->attestation;
+  attestation.guards_complete = false;
+  const signing::SignedModule image = signing::SignModule(
+      compiled->text, attestation, signing::SigningKey::DevelopmentKey());
+
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+
+  loader.set_verify_mode(kernel::VerifyMode::kBoth);
+  EXPECT_FALSE(loader.Insmod(image).ok());
+
+  loader.set_verify_mode(kernel::VerifyMode::kStatic);
+  auto loaded = loader.Insmod(image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->Call("rb_init", {}).ok());
+}
+
+TEST(LoaderStaticVerifyTest, VerifyModeNamesAndDefault) {
+  EXPECT_EQ(kernel::VerifyModeName(kernel::VerifyMode::kAttest), "attest");
+  EXPECT_EQ(kernel::VerifyModeName(kernel::VerifyMode::kStatic), "static");
+  EXPECT_EQ(kernel::VerifyModeName(kernel::VerifyMode::kBoth), "both");
 }
 
 }  // namespace

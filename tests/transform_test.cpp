@@ -332,6 +332,31 @@ entry:
   EXPECT_EQ(CountGuardCalls(*module), 2u);
 }
 
+TEST(GuardOptTest, CoalesceKeepsWorkingAcrossKirIntrinsics) {
+  // kir.* intrinsics dispatch through the loader's intrinsic table and
+  // cannot mutate the policy table — unlike an arbitrary external call,
+  // they must NOT kill available guards.
+  auto module = Parse(R"(module "m"
+global @g size 8 rw
+func @f() -> i64 {
+entry:
+  %a = load i64, @g
+  call void @kir.invlpg(i64 0)
+  %b = load i64, @g
+  %s = add i64 %a, %b
+  ret i64 %s
+}
+)");
+  GuardInjectionPass inject;
+  ASSERT_TRUE(inject.Run(*module).ok());
+  ASSERT_EQ(CountGuardCalls(*module), 2u);
+  GuardCoalescePass coalesce;
+  ASSERT_TRUE(coalesce.Run(*module).ok());
+  EXPECT_EQ(coalesce.stats().guards_removed, 1u);
+  EXPECT_EQ(CountGuardCalls(*module), 1u);
+  EXPECT_TRUE(kir::VerifyModule(*module).ok());
+}
+
 TEST(GuardOptTest, CoalesceDistinguishesReadAndWrite) {
   auto module = Parse(
       "module \"m\"\nglobal @g size 8 rw\n"

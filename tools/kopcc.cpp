@@ -10,6 +10,15 @@
 //         [--sites]                 # guard-site table only
 //         [--bytecode]              # register-VM bytecode listing
 //   kopcc verify <in.kko>           # run the insmod-time validator
+//   kopcc check <in.kir|in.kko> [--json] [compile options]
+//                                   # run the static analyses (guard
+//                                   # coverage, provenance, privileged
+//                                   # lint); .kir inputs are compiled
+//                                   # first, .kko inputs analyzed as
+//                                   # shipped; exit 1 on any error
+//   kopcc check --corpus [--json]   # self-check: every good corpus
+//                                   # module must prove clean, every
+//                                   # adversarial module must be rejected
 //   kopcc run <in.kko> [--engine=interp|bytecode] [--entry=fn] [args...]
 //                                   # insmod into a simulated kernel
 //                                   # (default-allow policy) and call an
@@ -23,8 +32,11 @@
 #include <string>
 #include <vector>
 
+#include "kop/analysis/static_verifier.hpp"
 #include "kop/kernel/kernel.hpp"
 #include "kop/kernel/module_loader.hpp"
+#include "kop/kir/verifier.hpp"
+#include "kop/kirmods/corpus.hpp"
 #include "kop/kir/bytecode.hpp"
 #include "kop/kir/parser.hpp"
 #include "kop/kir/printer.hpp"
@@ -209,6 +221,114 @@ int Verify(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Analyze module source: a .kko container is analyzed exactly as
+/// shipped; anything else is treated as KIR source and compiled first.
+Result<analysis::AnalysisReport> CheckOne(const std::string& content,
+                                          const transform::CompileOptions&
+                                              options) {
+  std::string module_text;
+  if (auto image = signing::SignedModule::Deserialize(content); image.ok()) {
+    module_text = image->module_text;
+  } else {
+    auto compiled = transform::CompileModuleText(content, options);
+    if (!compiled.ok()) return compiled.status();
+    module_text = compiled->text;
+  }
+  auto module = kir::ParseModule(module_text);
+  if (!module.ok()) return module.status();
+  KOP_RETURN_IF_ERROR(kir::VerifyModule(**module));
+  return analysis::AnalyzeModule(**module);
+}
+
+int Check(const std::vector<std::string>& args) {
+  bool json = false;
+  bool corpus = false;
+  std::string input;
+  transform::CompileOptions options;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--corpus") {
+      corpus = true;
+    } else if (arg == "--no-guards") {
+      options.inject_guards = false;
+    } else if (arg == "--simplify") {
+      options.simplify = true;
+    } else if (arg == "--wrap-priv") {
+      options.wrap_privileged_intrinsics = true;
+    } else if (arg == "--coalesce") {
+      options.coalesce_guards = true;
+    } else if (arg == "--dominate") {
+      options.dominate_guards = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown check option '" + arg + "'");
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return Fail("check takes one input");
+    }
+  }
+
+  if (corpus) {
+    if (!input.empty()) return Fail("--corpus takes no input file");
+    bool all_as_expected = true;
+    std::string json_out = "[";
+    bool first = true;
+    const auto record = [&](const std::string& name, bool expect_clean,
+                            const analysis::AnalysisReport& report) {
+      const bool as_expected = expect_clean == report.ok();
+      all_as_expected = all_as_expected && as_expected;
+      if (json) {
+        if (!first) json_out += ",";
+        first = false;
+        json_out += "{\"module\":\"" + analysis::JsonEscape(name) +
+                    "\",\"expect_clean\":" +
+                    (expect_clean ? "true" : "false") +
+                    ",\"as_expected\":" + (as_expected ? "true" : "false") +
+                    ",\"report\":" + analysis::RenderJson(report) + "}";
+      } else {
+        std::fputs(analysis::RenderText(report).c_str(), stdout);
+        std::printf("%s: expected %s, %s\n\n", name.c_str(),
+                    expect_clean ? "clean" : "rejection",
+                    as_expected ? "as expected" : "NOT AS EXPECTED");
+      }
+    };
+    for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
+      auto report = CheckOne(entry.source, options);
+      if (!report.ok()) return Fail(entry.name + ": " +
+                                    report.status().ToString());
+      record(entry.name, /*expect_clean=*/true, *report);
+    }
+    // Adversarial modules ship pre-placed (wrong) guards: analyze the
+    // source as-is, no compile step — the compiler would fix them.
+    for (const kirmods::CorpusEntry& entry :
+         kirmods::AdversarialCorpusModules()) {
+      auto module = kir::ParseModule(entry.source);
+      if (!module.ok()) return Fail(entry.name + ": " +
+                                    module.status().ToString());
+      if (Status status = kir::VerifyModule(**module); !status.ok()) {
+        return Fail(entry.name + ": " + status.ToString());
+      }
+      record(entry.name, /*expect_clean=*/false,
+             analysis::AnalyzeModule(**module));
+    }
+    if (json) std::printf("%s]\n", json_out.c_str());
+    return all_as_expected ? 0 : 1;
+  }
+
+  if (input.empty()) return Fail("check takes an input file or --corpus");
+  auto content = ReadFile(input);
+  if (!content.ok()) return Fail(content.status().ToString());
+  auto report = CheckOne(*content, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+  if (json) {
+    std::printf("%s\n", analysis::RenderJson(*report).c_str());
+  } else {
+    std::fputs(analysis::RenderText(*report).c_str(), stdout);
+  }
+  return report->ok() ? 0 : 1;
+}
+
 int Run(const std::vector<std::string>& args) {
   std::string path;
   std::string entry = "init";
@@ -283,6 +403,7 @@ int main(int argc, char** argv) {
     return Fail(
         "usage: kopcc compile <in.kir> [-o out.kko] [options] | "
         "inspect [--sites|--bytecode] <in.kko> | verify <in.kko> | "
+        "check <in.kir|in.kko> [--json] | check --corpus [--json] | "
         "run <in.kko> [--engine=interp|bytecode] [--entry=fn] [args...]");
   }
   const std::string command = argv[1];
@@ -290,6 +411,7 @@ int main(int argc, char** argv) {
   if (command == "compile") return Compile(args);
   if (command == "inspect") return Inspect(args);
   if (command == "verify") return Verify(args);
+  if (command == "check") return Check(args);
   if (command == "run") return Run(args);
   return Fail("unknown command '" + command + "'");
 }
