@@ -1,0 +1,619 @@
+#include "kop/fault/campaign.hpp"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/kirmods/corpus.hpp"
+#include "kop/nic/e1000_device.hpp"
+#include "kop/nic/packet_sink.hpp"
+#include "kop/policy/policy_module.hpp"
+#include "kop/signing/signer.hpp"
+#include "kop/trace/metrics.hpp"
+#include "kop/trace/site.hpp"
+#include "kop/transform/compiler.hpp"
+#include "kop/util/rng.hpp"
+
+namespace kop::fault {
+namespace {
+
+using kernel::Kernel;
+using kernel::LoadedModule;
+using kernel::ModuleLoader;
+
+std::string SourceFor(const std::string& scenario) {
+  if (scenario == "ringbuf") return kirmods::RingbufSource();
+  if (scenario == "knic") return kirmods::KnicSource();
+  return FaultTargetSource();
+}
+
+/// Injection-point space of one scenario, measured by a fault-free
+/// calibration trial (identical across engines: the interpreter and the
+/// VM issue the same load/store sequence by construction).
+struct Calibration {
+  size_t sites = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+};
+
+/// Trials run under a deliberately small kernel: hundreds of fresh
+/// kernels are built per campaign, and the address-space zeroing cost
+/// dominates wall clock at the default sizes.
+kernel::KernelConfig TrialKernelConfig() {
+  kernel::KernelConfig config;
+  config.ram_bytes = 4ull << 20;
+  config.kernel_text_bytes = 1ull << 20;
+  config.module_area_bytes = 4ull << 20;
+  config.user_bytes = 1ull << 20;
+  return config;
+}
+
+struct TrialContext {
+  CampaignConfig config;
+  FaultPlan plan;
+  Kernel kernel{TrialKernelConfig()};
+  std::unique_ptr<policy::PolicyModule> policy;
+  std::unique_ptr<ModuleLoader> loader;
+  LoadedModule* mod = nullptr;
+  std::unique_ptr<nic::CountingSink> sink;
+  std::unique_ptr<nic::E1000Device> nic;
+  uint64_t heap_baseline = 0;
+  std::vector<policy::Region> policy_baseline;
+  bool check_rollback_bytes = false;
+  bool saw_error = false;
+  TrialResult result;
+};
+
+Status Setup(TrialContext& ctx) {
+  auto policy = policy::PolicyModule::Insert(&ctx.kernel, nullptr,
+                                             policy::PolicyMode::kDefaultAllow);
+  if (!policy.ok()) return policy.status();
+  ctx.policy = std::move(*policy);
+  ctx.policy->engine().SetViolationAction(policy::ViolationAction::kQuarantine);
+  KOP_RETURN_IF_ERROR(ctx.policy->engine().store().Add(
+      policy::Region{0, kernel::kUserSpaceEnd, policy::kProtNone}));
+
+  signing::Keyring keyring;
+  keyring.Trust(signing::SigningKey::DevelopmentKey());
+  ctx.loader = std::make_unique<ModuleLoader>(&ctx.kernel, std::move(keyring));
+  ctx.loader->set_engine(ctx.config.engine);
+  ctx.loader->set_recovery_policy(ctx.config.recovery);
+
+  if (ctx.plan.scenario == "knic") {
+    ctx.sink = std::make_unique<nic::CountingSink>();
+    ctx.nic =
+        std::make_unique<nic::E1000Device>(&ctx.kernel.mem(), ctx.sink.get());
+    KOP_RETURN_IF_ERROR(ctx.nic->MapAt(kernel::kVmallocBase));
+  }
+
+  ctx.heap_baseline = ctx.kernel.heap().Stats().allocation_count;
+
+  auto compiled = transform::CompileModuleText(SourceFor(ctx.plan.scenario));
+  if (!compiled.ok()) return compiled.status();
+  const auto image =
+      signing::SignModule(compiled->text, compiled->attestation,
+                          signing::SigningKey::DevelopmentKey());
+  auto loaded = ctx.loader->Insmod(image);
+  if (!loaded.ok()) return loaded.status();
+  ctx.mod = *loaded;
+  if (ctx.plan.scenario == "knic") {
+    ctx.mod->set_restart_entry("knic_init", {kernel::kVmallocBase});
+  }
+  return OkStatus();
+}
+
+/// Arm the planned fault. Plans are fully materialized up front (point
+/// and bit chosen from the seeded RNG at planning time), so injection
+/// itself draws no randomness — a prerequisite for replay determinism.
+Status Inject(TrialContext& ctx) {
+  const FaultPlan& plan = ctx.plan;
+  switch (plan.kind) {
+    case FaultKind::kSpuriousViolation: {
+      const std::vector<uint64_t>& tokens = ctx.mod->site_tokens();
+      if (tokens.empty()) return Internal("scenario has no guard sites");
+      const uint64_t token = tokens[plan.point % tokens.size()];
+      ctx.policy->engine().ForceDenyAtSite(token);
+      ctx.result.target = trace::GlobalSites().Label(token);
+      return OkStatus();
+    }
+    case FaultKind::kGuardTableCorrupt: {
+      const auto& globals = ctx.mod->ir().globals();
+      if (globals.empty()) return Internal("scenario has no globals");
+      const auto& global = globals[plan.point % globals.size()];
+      auto addr = ctx.mod->GlobalAddress(global->name());
+      if (!addr.ok()) return addr.status();
+      KOP_RETURN_IF_ERROR(ctx.policy->engine().store().Add(
+          policy::Region{*addr, global->size_bytes(), policy::kProtNone}));
+      ctx.result.target = "@" + global->name();
+      return OkStatus();
+    }
+    case FaultKind::kStoreBitFlip:
+    case FaultKind::kLoadBitFlip:
+    case FaultKind::kNicTxError: {
+      const bool store_side = plan.kind != FaultKind::kLoadBitFlip;
+      const uint64_t nth = plan.point;
+      const uint64_t bit = plan.detail;
+      auto seen = std::make_shared<uint64_t>(0);
+      ctx.mod->journaled_memory().SetFaultHook(
+          [store_side, nth, bit, seen](bool is_store, uint64_t /*ordinal*/,
+                                       uint64_t /*addr*/, uint64_t value,
+                                       uint32_t size) -> uint64_t {
+            if (is_store != store_side) return value;
+            if (++*seen != nth) return value;
+            return value ^ (uint64_t{1} << (bit % (size * 8)));
+          });
+      ctx.result.target = std::string(store_side ? "store" : "load") + " #" +
+                          std::to_string(nth) + " bit " + std::to_string(bit);
+      return OkStatus();
+    }
+    case FaultKind::kKmallocFail: {
+      // Replace the kernel's kmalloc export with one that fails (returns
+      // NULL) exactly at the Nth call of this trial.
+      KOP_RETURN_IF_ERROR(ctx.kernel.symbols().Unexport("kmalloc"));
+      Kernel* kernel = &ctx.kernel;
+      auto calls = std::make_shared<uint64_t>(0);
+      const uint64_t fail_at = plan.point;
+      KOP_RETURN_IF_ERROR(ctx.kernel.symbols().ExportFunction(
+          "kmalloc",
+          [kernel, calls, fail_at](const std::vector<uint64_t>& args)
+              -> uint64_t {
+            if (++*calls == fail_at) return 0;
+            auto addr = kernel->heap().Kmalloc(args.empty() ? 0 : args[0]);
+            return addr.ok() ? *addr : 0;
+          }));
+      ctx.result.target = "kmalloc call #" + std::to_string(fail_at);
+      return OkStatus();
+    }
+    case FaultKind::kWatchdogExpiry: {
+      ctx.mod->set_watchdog_steps(plan.point);
+      ctx.result.target = "budget " + std::to_string(plan.point) + " steps";
+      return OkStatus();
+    }
+  }
+  return Internal("corrupt fault kind");
+}
+
+/// Byte image of every module global, read through the host mapping
+/// (invisible to the simulated clock).
+std::vector<std::vector<uint8_t>> SnapshotGlobals(TrialContext& ctx) {
+  std::vector<std::vector<uint8_t>> out;
+  for (const auto& global : ctx.mod->ir().globals()) {
+    auto addr = ctx.mod->GlobalAddress(global->name());
+    if (!addr.ok()) {
+      out.emplace_back();
+      continue;
+    }
+    const uint8_t* host =
+        ctx.kernel.mem().RawHostPointer(*addr, global->size_bytes());
+    if (host == nullptr) {
+      out.emplace_back();
+      continue;
+    }
+    out.emplace_back(host, host + global->size_bytes());
+  }
+  return out;
+}
+
+/// One workload call, bracketed by the containment checks: when the call
+/// is contained (a rollback ran), kernel memory the module can name must
+/// be byte-identical to call entry, and the containment must be visible
+/// in the metrics.
+Result<uint64_t> TrialCall(TrialContext& ctx, const std::string& fn,
+                           const std::vector<uint64_t>& args) {
+  std::vector<std::vector<uint8_t>> before;
+  if (ctx.check_rollback_bytes) before = SnapshotGlobals(ctx);
+  const uint64_t rollbacks_before =
+      ctx.mod->journaled_memory().journal().total_rollbacks();
+  const uint64_t metric_before =
+      trace::GlobalMetrics().GetCounter("resilience.rollbacks")->value();
+
+  Result<uint64_t> result = [&]() -> Result<uint64_t> {
+    try {
+      return ctx.mod->Call(fn, args);
+    } catch (const kernel::KernelPanic& panic) {
+      return Internal(std::string("kernel panic escaped containment: ") +
+                      panic.what());
+    }
+  }();
+  if (!result.ok()) ctx.saw_error = true;
+
+  const uint64_t rollbacks =
+      ctx.mod->journaled_memory().journal().total_rollbacks() -
+      rollbacks_before;
+  if (rollbacks > 0) {
+    ctx.result.contained = true;
+    if (trace::GlobalMetrics().GetCounter("resilience.rollbacks")->value() ==
+        metric_before) {
+      ctx.result.invariant_failures.push_back(
+          "containment at @" + fn + " not visible in metrics");
+    }
+    if (ctx.check_rollback_bytes) {
+      const auto after = SnapshotGlobals(ctx);
+      if (after != before) {
+        ctx.result.invariant_failures.push_back(
+            "rollback residue: module globals differ from entry of @" + fn);
+      }
+    }
+  }
+  return result;
+}
+
+void RunWorkload(TrialContext& ctx) {
+  const std::string& scenario = ctx.plan.scenario;
+  if (scenario == "ringbuf") {
+    (void)TrialCall(ctx, "rb_init", {});
+    for (uint64_t i = 0; i < 12; ++i) {
+      (void)TrialCall(ctx, "rb_push", {i * 7 + 1});
+    }
+    for (int i = 0; i < 6; ++i) (void)TrialCall(ctx, "rb_pop", {});
+    (void)TrialCall(ctx, "rb_size", {});
+    return;
+  }
+  if (scenario == "knic") {
+    (void)TrialCall(ctx, "knic_init", {kernel::kVmallocBase});
+    (void)TrialCall(ctx, "knic_fill", {64, ctx.config.seed & 0xff});
+    for (int i = 0; i < 8; ++i) {
+      (void)TrialCall(ctx, "knic_send", {kernel::kVmallocBase, 64});
+    }
+    (void)TrialCall(ctx, "knic_sent_hw", {kernel::kVmallocBase});
+    return;
+  }
+  // "faulty": heap churn through the kernel's kmalloc/kfree exports.
+  (void)TrialCall(ctx, "init", {});
+  auto a = TrialCall(ctx, "grab", {96});
+  if (a.ok() && *a != 0) {
+    (void)TrialCall(ctx, "poke", {*a, 0x1111});
+  }
+  auto b = TrialCall(ctx, "grab", {160});
+  if (b.ok() && *b != 0) {
+    (void)TrialCall(ctx, "poke", {*b, 0x2222});
+  }
+  (void)TrialCall(ctx, "grab", {224});
+  (void)TrialCall(ctx, "churn", {96});
+  for (int i = 0; i < 3; ++i) (void)TrialCall(ctx, "drop", {});
+}
+
+bool SameRegions(const std::vector<policy::Region>& a,
+                 const std::vector<policy::Region>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].base != b[i].base || a[i].len != b[i].len ||
+        a[i].prot != b[i].prot) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CheckEndInvariants(TrialContext& ctx) {
+  auto& fails = ctx.result.invariant_failures;
+  if (ctx.kernel.panicked()) fails.push_back("kernel panicked");
+  if (ctx.mod->journaled_memory().journal().active()) {
+    fails.push_back("write journal left open after workload");
+  }
+  if (!SameRegions(ctx.policy->engine().store().Snapshot(),
+                   ctx.policy_baseline)) {
+    fails.push_back("policy table mutated by the workload");
+  }
+
+  // Teardown + leak accounting: after rmmod the simulated heap must be
+  // back to its pre-insmod allocation count (quarantine/restart/dtor
+  // reclaim paths all feed this).
+  ctx.mod->journaled_memory().ClearFaultHook();
+  const std::string name = ctx.mod->name();
+  if (Status rm = ctx.loader->Rmmod(name); !rm.ok()) {
+    fails.push_back("rmmod failed: " + rm.ToString());
+  }
+  ctx.mod = nullptr;
+  const uint64_t allocs = ctx.kernel.heap().Stats().allocation_count;
+  if (allocs != ctx.heap_baseline) {
+    fails.push_back("leaked " +
+                    std::to_string(allocs > ctx.heap_baseline
+                                       ? allocs - ctx.heap_baseline
+                                       : ctx.heap_baseline - allocs) +
+                    " heap allocation(s)");
+  }
+}
+
+TrialResult RunTrial(const CampaignConfig& config, const FaultPlan& plan,
+                     Calibration* calibration_out) {
+  auto ctx = std::make_unique<TrialContext>();
+  ctx->config = config;
+  ctx->plan = plan;
+  ctx->result.plan = plan;
+  // Under restart recovery a contained call legitimately re-inits the
+  // globals, so the byte-identical check only pins quarantine trials.
+  ctx->check_rollback_bytes =
+      config.recovery == resilience::RecoveryPolicy::kQuarantine;
+
+  if (Status setup = Setup(*ctx); !setup.ok()) {
+    ctx->result.invariant_failures.push_back("setup failed: " +
+                                             setup.ToString());
+    return ctx->result;
+  }
+  if (Status armed = Inject(*ctx); !armed.ok()) {
+    ctx->result.invariant_failures.push_back("injection failed: " +
+                                             armed.ToString());
+    return ctx->result;
+  }
+  ctx->policy_baseline = ctx->policy->engine().store().Snapshot();
+
+  RunWorkload(*ctx);
+
+  if (calibration_out != nullptr) {
+    calibration_out->sites = ctx->mod->site_tokens().size();
+    calibration_out->loads = ctx->mod->exec_stats().loads;
+    calibration_out->stores = ctx->mod->exec_stats().stores;
+  }
+
+  ctx->result.outcome =
+      ctx->result.contained
+          ? "contained (" +
+                std::string(ctx->mod != nullptr
+                                ? resilience::ModuleStateName(
+                                      ctx->mod->state())
+                                : "?") +
+                ")"
+          : (ctx->saw_error ? "absorbed (call error, no containment)"
+                            : "absorbed (no containment)");
+
+  CheckEndInvariants(*ctx);
+  return ctx->result;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSpuriousViolation: return "spurious-violation";
+    case FaultKind::kGuardTableCorrupt: return "guard-table-corrupt";
+    case FaultKind::kStoreBitFlip: return "store-bit-flip";
+    case FaultKind::kLoadBitFlip: return "load-bit-flip";
+    case FaultKind::kKmallocFail: return "kmalloc-fail";
+    case FaultKind::kWatchdogExpiry: return "watchdog-expiry";
+    case FaultKind::kNicTxError: return "nic-tx-error";
+  }
+  return "?";
+}
+
+std::string FaultTargetSource() {
+  return R"(module "kop_faulty"
+
+global @slots size 64 rw
+global @count size 8 rw
+global @acc size 8 rw
+
+extern func @kmalloc(i64) -> i64
+extern func @kfree(i64) -> i64
+
+func @init() -> i64 {
+entry:
+  store i64 0, @count
+  store i64 0, @acc
+  ret i64 1
+}
+
+func @grab(i64 %bytes) -> i64 {
+entry:
+  %a = call i64 @kmalloc(i64 %bytes)
+  %z = icmp eq i64 %a, 0
+  br %z, fail, keep
+keep:
+  %c = load i64, @count
+  %slot = gep @slots, i64 %c, 8, 0
+  store i64 %a, %slot
+  %c1 = add i64 %c, 1
+  store i64 %c1, @count
+  ret i64 %a
+fail:
+  ret i64 0
+}
+
+func @drop() -> i64 {
+entry:
+  %c = load i64, @count
+  %z = icmp eq i64 %c, 0
+  br %z, none, free
+free:
+  %c1 = sub i64 %c, 1
+  %slot = gep @slots, i64 %c1, 8, 0
+  %a = load i64, %slot
+  %r = call i64 @kfree(i64 %a)
+  store i64 0, %slot
+  store i64 %c1, @count
+  ret i64 1
+none:
+  ret i64 0
+}
+
+func @poke(ptr %addr, i64 %value) -> i64 {
+entry:
+  store i64 %value, %addr
+  %v = load i64, %addr
+  ret i64 %v
+}
+
+func @churn(i64 %n) -> i64 {
+entry:
+  jmp loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i1, body ]
+  %done = icmp uge i64 %i, %n
+  br %done, out, body
+body:
+  %v = load i64, @acc
+  %v1 = add i64 %v, %i
+  store i64 %v1, @acc
+  %i1 = add i64 %i, 1
+  jmp loop
+out:
+  %r = load i64, @acc
+  ret i64 %r
+}
+)";
+}
+
+CampaignReport RunCampaign(const CampaignConfig& config) {
+  CampaignReport report;
+  report.seed = config.seed;
+  report.engine = std::string(kernel::ExecEngineName(config.engine));
+  report.recovery =
+      std::string(resilience::RecoveryPolicyName(config.recovery));
+
+  // Calibration pass: one fault-free trial per scenario (watchdog budget
+  // 0 disables the watchdog) measures the injection-point spaces.
+  const std::vector<std::string> scenarios = {"ringbuf", "faulty", "knic"};
+  std::map<std::string, Calibration> calibration;
+  for (const std::string& scenario : scenarios) {
+    FaultPlan warmup{FaultKind::kWatchdogExpiry, scenario, 0, 0};
+    Calibration measured;
+    TrialResult dry = RunTrial(config, warmup, &measured);
+    if (!dry.invariant_failures.empty() || dry.contained) {
+      TrialResult& bad = report.trials.emplace_back(std::move(dry));
+      bad.outcome = "calibration trial misbehaved: " + bad.outcome;
+      ++report.invariant_violations;
+    }
+    calibration[scenario] = measured;
+  }
+
+  // Materialize the plan list from the seeded RNG. Everything random is
+  // drawn HERE, in a fixed order, so the plan list (and therefore the
+  // whole campaign) replays bit-identically for a given seed.
+  Xoshiro256 rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<FaultPlan> plans;
+  for (const std::string& scenario : scenarios) {
+    for (uint64_t site = 0; site < calibration[scenario].sites; ++site) {
+      plans.push_back({FaultKind::kSpuriousViolation, scenario, site, 0});
+    }
+    for (uint64_t g = 0; g < 3; ++g) {
+      plans.push_back({FaultKind::kGuardTableCorrupt, scenario, g, 0});
+    }
+  }
+  for (const std::string& scenario : {std::string("ringbuf"),
+                                      std::string("faulty")}) {
+    const Calibration& cal = calibration[scenario];
+    for (int i = 0; i < 30 && cal.stores > 0; ++i) {
+      plans.push_back({FaultKind::kStoreBitFlip, scenario,
+                       rng.NextInRange(1, cal.stores), rng.NextBelow(64)});
+    }
+    for (int i = 0; i < 20 && cal.loads > 0; ++i) {
+      plans.push_back({FaultKind::kLoadBitFlip, scenario,
+                       rng.NextInRange(1, cal.loads), rng.NextBelow(64)});
+    }
+  }
+  for (uint64_t call = 1; call <= 3; ++call) {
+    plans.push_back({FaultKind::kKmallocFail, "faulty", call, 0});
+  }
+  for (uint64_t budget : {1ull, 2ull, 5ull, 10ull, 20ull, 50ull, 100ull,
+                          200ull, 500ull, 1000ull, 2000ull, 5000ull,
+                          2000000ull}) {
+    plans.push_back({FaultKind::kWatchdogExpiry, "faulty", budget, 0});
+  }
+  for (uint64_t budget : {1ull, 5ull, 25ull, 125ull, 625ull, 3125ull}) {
+    plans.push_back({FaultKind::kWatchdogExpiry, "ringbuf", budget, 0});
+  }
+  {
+    const Calibration& cal = calibration["knic"];
+    for (int i = 0; i < 20 && cal.stores > 0; ++i) {
+      plans.push_back({FaultKind::kNicTxError, "knic",
+                       rng.NextInRange(1, cal.stores), rng.NextBelow(64)});
+    }
+  }
+  // Pad with extra bit flips until the campaign reaches its floor.
+  size_t round_robin = 0;
+  while (plans.size() < config.min_trials) {
+    const std::string& scenario = scenarios[round_robin++ % scenarios.size()];
+    const Calibration& cal = calibration[scenario];
+    if (cal.stores == 0) continue;
+    plans.push_back({scenario == "knic" ? FaultKind::kNicTxError
+                                        : FaultKind::kStoreBitFlip,
+                     scenario, rng.NextInRange(1, cal.stores),
+                     rng.NextBelow(64)});
+  }
+
+  for (const FaultPlan& plan : plans) {
+    TrialResult result = RunTrial(config, plan, nullptr);
+    result.index = static_cast<uint32_t>(report.trials.size());
+    if (result.contained) {
+      ++report.contained;
+    } else {
+      ++report.absorbed;
+    }
+    if (!result.invariant_failures.empty()) ++report.invariant_violations;
+    report.trials.push_back(std::move(result));
+  }
+  return report;
+}
+
+std::string CampaignReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"seed\":" << seed << ",\"engine\":\"" << engine
+      << "\",\"recovery\":\"" << recovery
+      << "\",\"trials\":" << trials.size() << ",\"contained\":" << contained
+      << ",\"absorbed\":" << absorbed
+      << ",\"invariant_violations\":" << invariant_violations
+      << ",\"results\":[";
+  for (size_t i = 0; i < trials.size(); ++i) {
+    const TrialResult& trial = trials[i];
+    if (i != 0) out << ",";
+    out << "{\"i\":" << trial.index << ",\"kind\":\""
+        << FaultKindName(trial.plan.kind) << "\",\"scenario\":\""
+        << trial.plan.scenario << "\",\"point\":" << trial.plan.point
+        << ",\"detail\":" << trial.plan.detail << ",\"target\":\""
+        << JsonEscape(trial.target) << "\",\"contained\":"
+        << (trial.contained ? "true" : "false") << ",\"outcome\":\""
+        << JsonEscape(trial.outcome) << "\",\"invariant_failures\":[";
+    for (size_t f = 0; f < trial.invariant_failures.size(); ++f) {
+      if (f != 0) out << ",";
+      out << "\"" << JsonEscape(trial.invariant_failures[f]) << "\"";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string CampaignReport::ToText() const {
+  std::ostringstream out;
+  out << "fault campaign: seed " << seed << ", engine " << engine
+      << ", recovery " << recovery << "\n";
+  out << trials.size() << " trials: " << contained << " contained, "
+      << absorbed << " absorbed, " << invariant_violations
+      << " invariant violation(s)\n";
+  std::map<std::string, std::pair<uint32_t, uint32_t>> by_kind;
+  for (const TrialResult& trial : trials) {
+    auto& row = by_kind[std::string(FaultKindName(trial.plan.kind))];
+    ++row.first;
+    if (trial.contained) ++row.second;
+  }
+  for (const auto& [kind, row] : by_kind) {
+    out << "  " << kind << ": " << row.second << "/" << row.first
+        << " contained\n";
+  }
+  for (const TrialResult& trial : trials) {
+    for (const std::string& failure : trial.invariant_failures) {
+      out << "  INVARIANT #" << trial.index << " ["
+          << FaultKindName(trial.plan.kind) << " " << trial.plan.scenario
+          << " " << trial.target << "]: " << failure << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace kop::fault

@@ -1,0 +1,93 @@
+// kop::fault — deterministic fault-injection campaign harness.
+//
+// The resilience layer (transactional module calls, watchdog, recovery
+// policies) makes a containment promise; this library is the adversary
+// that earns it. A campaign enumerates injection points from the loaded
+// module's registered guard sites and from the journaled memory-op
+// ordinal space, injects one fault per trial into a fresh simulated
+// kernel, runs a fixed workload, and checks the kernel invariants:
+//
+//   - the kernel never panics,
+//   - the policy table is exactly what it was before the workload,
+//   - a contained call leaves kernel memory byte-identical to call entry
+//     (no journal residue) and is visible in the metrics/trace,
+//   - the write journal is closed after every call,
+//   - no heap allocation leaks past rmmod.
+//
+// Everything is seeded: two campaigns with the same seed, engine, and
+// recovery policy produce byte-identical reports (the CI smoke runs the
+// campaign twice and diffs the JSON). Exposed via `kopcc faultcamp`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kop/kernel/module_loader.hpp"
+#include "kop/resilience/recovery.hpp"
+
+namespace kop::fault {
+
+enum class FaultKind : uint8_t {
+  kSpuriousViolation,  // policy engine forced to deny at one guard site
+  kGuardTableCorrupt,  // bogus deny region inserted over module state
+  kStoreBitFlip,       // single-bit flip on the Nth store's value
+  kLoadBitFlip,        // single-bit flip on the Nth load's result
+  kKmallocFail,        // kernel kmalloc returns NULL at the Nth call
+  kWatchdogExpiry,     // per-call step budget far below the call's need
+  kNicTxError,         // TX descriptor/doorbell store corrupted mid-send
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One planned injection. `point` is kind-specific: a guard-site index,
+/// a memory-op ordinal, a kmalloc call index, or a step budget. `detail`
+/// carries the bit index for flips.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kSpuriousViolation;
+  std::string scenario;  // "ringbuf" | "faulty" | "knic"
+  uint64_t point = 0;
+  uint64_t detail = 0;
+};
+
+struct TrialResult {
+  uint32_t index = 0;
+  FaultPlan plan;
+  std::string target;  // human-readable injection point (site label, ...)
+  bool contained = false;  // a rollback ran (the call was contained)
+  std::string outcome;
+  std::vector<std::string> invariant_failures;  // empty = all held
+};
+
+struct CampaignConfig {
+  uint64_t seed = 1;
+  uint32_t min_trials = 200;
+  kernel::ExecEngine engine = kernel::DefaultExecEngine();
+  resilience::RecoveryPolicy recovery =
+      resilience::RecoveryPolicy::kQuarantine;
+};
+
+struct CampaignReport {
+  uint64_t seed = 0;
+  std::string engine;
+  std::string recovery;
+  uint32_t contained = 0;
+  uint32_t absorbed = 0;
+  uint32_t invariant_violations = 0;
+  std::vector<TrialResult> trials;
+
+  bool ok() const { return invariant_violations == 0; }
+  /// Deterministic serializations: no timestamps, pointers, host state.
+  std::string ToJson() const;
+  std::string ToText() const;
+};
+
+CampaignReport RunCampaign(const CampaignConfig& config);
+
+/// The campaign's kmalloc-exercising target module (KIR source): grabs
+/// heap blocks, writes through the returned pointers, and runs a bounded
+/// store loop (the watchdog target).
+std::string FaultTargetSource();
+
+}  // namespace kop::fault

@@ -10,6 +10,14 @@
 // run. The default engine compiles the verified IR to bytecode and runs
 // it on the register VM; KOP_ENGINE=interp selects the reference
 // tree-walking interpreter instead.
+//
+// Every call into a loaded module is transactional (kop::resilience): a
+// write journal opens at call entry, and on containment — guard
+// violation, watchdog expiry, in-module panic — it is rolled back before
+// the error propagates, leaving kernel memory byte-identical to call
+// entry. What happens to the module afterwards is the recovery policy:
+// panic, quarantine (default), or restart with bounded exponential
+// backoff (KOP_RECOVERY).
 #pragma once
 
 #include <map>
@@ -23,6 +31,8 @@
 #include "kop/kir/interp.hpp"
 #include "kop/kir/module.hpp"
 #include "kop/kir/vm.hpp"
+#include "kop/resilience/journal.hpp"
+#include "kop/resilience/recovery.hpp"
 #include "kop/signing/signer.hpp"
 #include "kop/signing/validator.hpp"
 #include "kop/util/status.hpp"
@@ -54,6 +64,34 @@ std::string_view VerifyModeName(VerifyMode mode);
 /// "static" or "both"); kBoth when unset or unrecognized.
 VerifyMode DefaultVerifyMode();
 
+/// Runtime heap allocations owned by one module (made through the
+/// kernel's exported kmalloc). The resolver records them so quarantine /
+/// restart / rmmod can reclaim what the module would otherwise leak.
+struct HeapLedger {
+  std::vector<uint64_t> live;      // currently-owned heap addresses
+  std::vector<uint64_t> call_new;  // subset allocated by the open call
+
+  void OnAlloc(uint64_t addr) {
+    if (addr == 0) return;
+    live.push_back(addr);
+    call_new.push_back(addr);
+  }
+  void OnFree(uint64_t addr) {
+    Erase(live, addr);
+    Erase(call_new, addr);
+  }
+
+ private:
+  static void Erase(std::vector<uint64_t>& v, uint64_t addr) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == addr) {
+        v.erase(v.begin() + i);
+        return;
+      }
+    }
+  }
+};
+
 class LoadedModule {
  public:
   ~LoadedModule();
@@ -66,17 +104,60 @@ class LoadedModule {
     return attestation_;
   }
 
-  /// Call an exported entry point of the module. Under the policy
-  /// engine's kQuarantine action, a guard violation during the call
-  /// quarantines this module: the call returns kPermissionDenied and
-  /// every later Call refuses immediately. The module is NOT forcibly
-  /// unloaded — the paper's §3.1 warning stands: any lock it held when
-  /// the violating call unwound is still held.
+  /// Call an exported entry point of the module. The call runs inside a
+  /// write-journal transaction: on guard violation, watchdog expiry or
+  /// in-module panic the journal is rolled back (kernel memory restored
+  /// to call entry) before the error propagates, and the recovery policy
+  /// decides the module's fate — quarantine (every later Call refuses
+  /// immediately; the module is NOT forcibly unloaded — the paper's §3.1
+  /// warning stands: any lock it held when the violating call unwound is
+  /// still held) or restart (teardown + re-init under bounded
+  /// exponential backoff; exhausted -> permanent quarantine).
   Result<uint64_t> Call(const std::string& function,
                         const std::vector<uint64_t>& args);
 
-  bool quarantined() const { return quarantined_; }
+  /// Recovery state machine position (procfs lsmod State column).
+  resilience::ModuleState state() const { return state_; }
+  bool quarantined() const {
+    return state_ == resilience::ModuleState::kQuarantined;
+  }
   const std::string& quarantine_reason() const { return quarantine_reason_; }
+
+  /// Completed restarts / restart attempts consumed from the backoff
+  /// budget (attempts include failed ones).
+  uint32_t restart_count() const { return restarts_completed_; }
+  uint32_t restart_attempts() const { return restart_attempts_; }
+
+  /// Per-module recovery knobs (defaults come from the loader, which
+  /// reads KOP_RECOVERY / KOP_WATCHDOG_STEPS).
+  resilience::RecoveryPolicy recovery_policy() const { return recovery_; }
+  void set_recovery_policy(resilience::RecoveryPolicy policy) {
+    recovery_ = policy;
+  }
+  const resilience::BackoffPolicy& backoff() const { return backoff_; }
+  void set_backoff(const resilience::BackoffPolicy& backoff) {
+    backoff_ = backoff;
+  }
+  uint64_t watchdog_steps() const { return watchdog_steps_; }
+  void set_watchdog_steps(uint64_t steps) {
+    watchdog_steps_ = steps;
+    engine_->set_watchdog_steps(steps);
+  }
+
+  /// Bench-only escape hatch: with journaling off, Call opens no write
+  /// transaction (the pre-resilience configuration), so containment can
+  /// no longer roll anything back. Ships enabled; nothing but the
+  /// resilience overhead bench should ever turn it off.
+  bool journaling_enabled() const { return journaling_enabled_; }
+  void set_journaling_enabled(bool enabled) { journaling_enabled_ = enabled; }
+
+  /// Entry point a restart re-runs after teardown (auto-detected as a
+  /// zero-arg @init when present; override for modules whose init takes
+  /// arguments, e.g. knic_init(mmio_base)).
+  void set_restart_entry(std::string entry, std::vector<uint64_t> args) {
+    restart_entry_ = std::move(entry);
+    restart_args_ = std::move(args);
+  }
 
   /// Simulated address of one of the module's globals.
   Result<uint64_t> GlobalAddress(const std::string& global) const;
@@ -91,12 +172,46 @@ class LoadedModule {
   /// module-local site id (see trace::GlobalSites()).
   const std::vector<uint64_t>& site_tokens() const { return site_tokens_; }
 
+  /// The journaling memory seam (also the fault-injection hook point).
+  resilience::JournaledMemory& journaled_memory() { return *journaled_; }
+  const resilience::JournaledMemory& journaled_memory() const {
+    return *journaled_;
+  }
+
+  /// Heap allocations currently owned by the module (kernel kmalloc).
+  const std::vector<uint64_t>& heap_allocations() const {
+    return heap_ledger_.live;
+  }
+  /// Kernel symbols this module exported at insmod ("<module>.<fn>").
+  const std::vector<std::string>& exported_symbols() const {
+    return exported_symbols_;
+  }
+
  private:
   friend class ModuleLoader;
   LoadedModule() = default;
 
+  /// Containment: roll the journal back, reclaim call-local allocations,
+  /// then apply the recovery policy. Returns the error the contained
+  /// call reports. `violation` is non-null for guard violations.
+  Result<uint64_t> Contain(resilience::RollbackReason reason,
+                           const std::string& what,
+                           const GuardViolation* violation);
+
+  /// One restart attempt (backoff charge + teardown + re-init). Ok when
+  /// the module is running again; error while it stays down (kTimeout /
+  /// kPermissionDenied) or once the budget is exhausted (quarantined).
+  Status TryRestart();
+
+  size_t RollbackJournal(resilience::RollbackReason reason);
+  void ReclaimCallAllocations();
+  void ReclaimHeapAllocations();
+  void UnexportSymbols();
+  Status ResetGlobals();
+  void Quarantine(const std::string& reason, const GuardViolation* violation);
+
   std::string name_;
-  bool quarantined_ = false;
+  resilience::ModuleState state_ = resilience::ModuleState::kLive;
   std::string quarantine_reason_;
   Kernel* kernel_ = nullptr;
   std::unique_ptr<kir::Module> ir_;
@@ -105,8 +220,22 @@ class LoadedModule {
   std::vector<uint64_t> allocations_;  // module-area blocks to free
   std::vector<uint64_t> site_tokens_;  // guard-site tokens by site id
   std::unique_ptr<kir::MemoryInterface> memory_;
+  std::unique_ptr<resilience::JournaledMemory> journaled_;
   std::unique_ptr<kir::ExternalResolver> resolver_;
   std::unique_ptr<kir::ExecutionEngine> engine_;
+
+  resilience::RecoveryPolicy recovery_ =
+      resilience::RecoveryPolicy::kQuarantine;
+  resilience::BackoffPolicy backoff_;
+  uint64_t watchdog_steps_ = 0;
+  bool journaling_enabled_ = true;
+  uint32_t restart_attempts_ = 0;
+  uint32_t restarts_completed_ = 0;
+  std::string restart_entry_;
+  std::vector<uint64_t> restart_args_;
+  uint32_t call_depth_ = 0;  // re-entry via exported module symbols
+  HeapLedger heap_ledger_;
+  std::vector<std::string> exported_symbols_;
 };
 
 class ModuleLoader {
@@ -118,7 +247,8 @@ class ModuleLoader {
   /// validation/link error.
   Result<LoadedModule*> Insmod(const signing::SignedModule& image);
 
-  /// Unload. Frees module-area allocations.
+  /// Unload. Frees module-area allocations, reclaims the module's heap
+  /// allocations, and unexports its symbols.
   Status Rmmod(const std::string& name);
 
   LoadedModule* Find(const std::string& name);
@@ -135,11 +265,26 @@ class ModuleLoader {
   VerifyMode verify_mode() const { return verify_mode_; }
   void set_verify_mode(VerifyMode mode) { verify_mode_ = mode; }
 
+  /// Recovery defaults stamped onto future Insmod'ed modules.
+  resilience::RecoveryPolicy recovery_policy() const { return recovery_; }
+  void set_recovery_policy(resilience::RecoveryPolicy policy) {
+    recovery_ = policy;
+  }
+  uint64_t watchdog_steps() const { return watchdog_steps_; }
+  void set_watchdog_steps(uint64_t steps) { watchdog_steps_ = steps; }
+  const resilience::BackoffPolicy& backoff() const { return backoff_; }
+  void set_backoff(const resilience::BackoffPolicy& backoff) {
+    backoff_ = backoff;
+  }
+
  private:
   Kernel* kernel_;
   signing::Keyring keyring_;
   ExecEngine engine_ = DefaultExecEngine();
   VerifyMode verify_mode_ = DefaultVerifyMode();
+  resilience::RecoveryPolicy recovery_ = resilience::DefaultRecoveryPolicy();
+  uint64_t watchdog_steps_ = resilience::DefaultWatchdogSteps();
+  resilience::BackoffPolicy backoff_;
   std::map<std::string, std::unique_ptr<LoadedModule>> modules_;
 };
 

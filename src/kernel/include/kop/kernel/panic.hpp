@@ -24,15 +24,21 @@ class KernelPanic : public std::runtime_error {
 /// kop::policy) so the loader can catch it without a dependency cycle.
 class GuardViolation : public std::runtime_error {
  public:
-  GuardViolation(uint64_t addr, uint64_t size, uint64_t access_flags)
+  GuardViolation(uint64_t addr, uint64_t size, uint64_t access_flags,
+                 uint64_t site = 0)
       : std::runtime_error("CARAT KOP guard violation"),
         addr(addr),
         size(size),
-        access_flags(access_flags) {}
+        access_flags(access_flags),
+        site(site) {}
 
   uint64_t addr;
   uint64_t size;
   uint64_t access_flags;
+  /// Guard-site token (trace::GlobalSites) the violating guard fired
+  /// from; 0 when the guard ran without site context (direct probes).
+  /// The loader resolves it to "module:@fn+inst" for the quarantine log.
+  uint64_t site;
 };
 
 }  // namespace kop::kernel

@@ -83,14 +83,19 @@ constexpr uint64_t kNoSiteToken = ~uint64_t{0};
 /// pointers revalidate against the symbol table's generation counter, so
 /// unloading the policy module (which unexports carat_guard) is observed
 /// exactly as on the name path.
+///
+/// The resolver also keeps the owning module's HeapLedger honest: calls
+/// through the kernel's kmalloc/kfree exports are recorded so quarantine
+/// and restart can reclaim whatever the module still owns.
 class KernelResolver final : public kir::ExternalResolver {
  public:
   /// `site_tokens` maps a module-wide call ordinal to the guard-site
   /// token registered for that ordinal's guard call (only guard calls
   /// appear in it).
   KernelResolver(Kernel* kernel,
-                 const std::unordered_map<uint64_t, uint64_t>& site_tokens)
-      : kernel_(kernel) {
+                 const std::unordered_map<uint64_t, uint64_t>& site_tokens,
+                 HeapLedger* ledger)
+      : kernel_(kernel), ledger_(ledger) {
     uint64_t max_ordinal = 0;
     for (const auto& [ordinal, token] : site_tokens) {
       max_ordinal = std::max(max_ordinal, ordinal);
@@ -125,7 +130,9 @@ class KernelResolver final : public kir::ExternalResolver {
   Result<uint64_t> CallExternal(const std::string& name,
                                 const std::vector<uint64_t>& args) override {
     if (const KernelFunction* fn = kernel_->symbols().FindFunction(name)) {
-      return (*fn)(args);
+      const uint64_t ret = (*fn)(args);
+      NoteHeapOp(name, args, ret);
+      return ret;
     }
     if (kir::IsIntrinsicName(name)) {
       return CallIntrinsic(kir::IntrinsicFromName(name), args);
@@ -140,6 +147,8 @@ class KernelResolver final : public kir::ExternalResolver {
       binding.kind = Binding::Kind::kGuard;
     } else if (kernel_->symbols().HasFunction(name)) {
       binding.kind = Binding::Kind::kSymbol;
+      if (name == "kmalloc") binding.heap_op = Binding::HeapOp::kMalloc;
+      if (name == "kfree") binding.heap_op = Binding::HeapOp::kFree;
     } else if (kir::IsIntrinsicName(name)) {
       binding.kind = Binding::Kind::kIntrinsic;
       binding.intrinsic = kir::IntrinsicFromName(name);
@@ -170,7 +179,15 @@ class KernelResolver final : public kir::ExternalResolver {
       }
       case Binding::Kind::kSymbol: {
         KOP_ASSIGN_OR_RETURN(const KernelFunction* fn, Revalidate(binding));
-        return (*fn)(args);
+        const uint64_t ret = (*fn)(args);
+        if (binding.heap_op != Binding::HeapOp::kNone && ledger_ != nullptr) {
+          if (binding.heap_op == Binding::HeapOp::kMalloc) {
+            ledger_->OnAlloc(ret);
+          } else if (!args.empty()) {
+            ledger_->OnFree(args[0]);
+          }
+        }
+        return ret;
       }
       case Binding::Kind::kIntrinsic:
         return CallIntrinsic(binding.intrinsic, args);
@@ -181,12 +198,24 @@ class KernelResolver final : public kir::ExternalResolver {
  private:
   struct Binding {
     enum class Kind : uint8_t { kSymbol, kGuard, kIntrinsic };
+    enum class HeapOp : uint8_t { kNone, kMalloc, kFree };
     Kind kind = Kind::kSymbol;
+    HeapOp heap_op = HeapOp::kNone;
     kir::Intrinsic intrinsic = kir::Intrinsic::kNone;
     std::string name;
     const KernelFunction* fn = nullptr;
     uint64_t generation = 0;
   };
+
+  void NoteHeapOp(const std::string& name, const std::vector<uint64_t>& args,
+                  uint64_t ret) {
+    if (ledger_ == nullptr) return;
+    if (name == "kmalloc") {
+      ledger_->OnAlloc(ret);
+    } else if (name == "kfree" && !args.empty()) {
+      ledger_->OnFree(args[0]);
+    }
+  }
 
   uint64_t TokenForOrdinal(uint64_t ordinal) const {
     return ordinal < site_token_by_ordinal_.size()
@@ -244,6 +273,7 @@ class KernelResolver final : public kir::ExternalResolver {
   }
 
   Kernel* kernel_;
+  HeapLedger* ledger_;
   /// Guard-site token per module-wide call ordinal (kNoSiteToken for
   /// non-guard ordinals) — a flat array so the per-guard lookup on both
   /// call paths is one bounds check and one load.
@@ -290,6 +320,8 @@ VerifyMode DefaultVerifyMode() {
 
 LoadedModule::~LoadedModule() {
   if (kernel_ == nullptr) return;
+  UnexportSymbols();
+  ReclaimHeapAllocations();
   for (uint64_t addr : allocations_) {
     (void)kernel_->module_area().Kfree(addr);
   }
@@ -297,30 +329,250 @@ LoadedModule::~LoadedModule() {
 
 Result<uint64_t> LoadedModule::Call(const std::string& function,
                                     const std::vector<uint64_t>& args) {
-  if (quarantined_) {
+  if (state_ == resilience::ModuleState::kQuarantined) {
     return PermissionDenied("module '" + name_ +
                             "' is quarantined: " + quarantine_reason_);
   }
+  if (state_ == resilience::ModuleState::kNeedsRestart && call_depth_ == 0) {
+    // A prior containment left the module down; retry the restart (one
+    // backoff-charged attempt) before letting this call through.
+    KOP_RETURN_IF_ERROR(TryRestart());
+  }
+
+  const bool outermost = call_depth_ == 0;
+  if (outermost) {
+    if (journaling_enabled_) journaled_->journal().Begin();
+    heap_ledger_.call_new.clear();
+  }
+  ++call_depth_;
   try {
-    return engine_->Call(function, args);
+    auto result = engine_->Call(function, args);
+    --call_depth_;
+    if (!outermost) return result;
+    if (!result.ok() && result.status().code() == ErrorCode::kTimeout) {
+      // Watchdog expiry: the module lost its CPU mid-call. Unwind the
+      // call's writes and hand the module to the recovery policy.
+      KOP_TRACE(kModuleTimeout, engine_->stats().steps, watchdog_steps_);
+      trace::GlobalMetrics().GetCounter("resilience.timeouts")->Add();
+      return Contain(resilience::RollbackReason::kTimeout,
+                     result.status().message(), nullptr);
+    }
+    // Success and plain oops-style errors both commit: a wild pointer is
+    // a fault the module observes, not a containment event.
+    if (journaling_enabled_) journaled_->journal().Commit();
+    return result;
   } catch (const GuardViolation& violation) {
-    quarantined_ = true;
-    KOP_TRACE(kModuleQuarantine, violation.addr, violation.size);
-    trace::GlobalMetrics().GetCounter("loader.quarantines")->Add();
+    --call_depth_;
+    if (!outermost) throw;  // the outermost frame owns the transaction
     char buf[96];
     std::snprintf(buf, sizeof(buf),
                   "guard violation at 0x%llx (size %llu, flags %llu)",
                   static_cast<unsigned long long>(violation.addr),
                   static_cast<unsigned long long>(violation.size),
                   static_cast<unsigned long long>(violation.access_flags));
-    quarantine_reason_ = buf;
-    kernel_->log().Printk(
-        KernLevel::kErr,
-        "carat_kop: quarantined module '%s' after %s; the module was NOT "
-        "ejected (it may hold locks)",
-        name_.c_str(), buf);
-    return PermissionDenied("module '" + name_ + "' quarantined: " + buf);
+    std::string what = buf;
+    if (violation.site != 0) {
+      what += " from ";
+      what += trace::GlobalSites().Label(violation.site);
+    }
+    return Contain(resilience::RollbackReason::kGuardViolation, what,
+                   &violation);
+  } catch (const KernelPanic&) {
+    --call_depth_;
+    if (call_depth_ == 0) {
+      // The machine is dead, but the transactional promise holds: the
+      // half-finished call leaves no writes behind (post-mortem dumps of
+      // kernel memory see call-entry state).
+      RollbackJournal(resilience::RollbackReason::kPanic);
+      ReclaimCallAllocations();
+    }
+    throw;
   }
+}
+
+Result<uint64_t> LoadedModule::Contain(resilience::RollbackReason reason,
+                                       const std::string& what,
+                                       const GuardViolation* violation) {
+  RollbackJournal(reason);
+  ReclaimCallAllocations();
+
+  switch (recovery_) {
+    case resilience::RecoveryPolicy::kPanic:
+      kernel_->Panic("carat_kop: module '" + name_ + "' contained after " +
+                     what);  // throws KernelPanic
+    case resilience::RecoveryPolicy::kQuarantine:
+      Quarantine(what, violation);
+      return PermissionDenied("module '" + name_ + "' quarantined: " + what);
+    case resilience::RecoveryPolicy::kRestart: {
+      quarantine_reason_ = what;
+      state_ = resilience::ModuleState::kNeedsRestart;
+      kernel_->log().Printk(
+          KernLevel::kErr,
+          "carat_kop: contained module '%s' after %s; scheduling restart",
+          name_.c_str(), what.c_str());
+      Status restarted = TryRestart();
+      if (!restarted.ok()) return restarted;
+      return PermissionDenied("module '" + name_ + "' call contained (" +
+                              what + "); module restarted");
+    }
+  }
+  return Internal("corrupt recovery policy");
+}
+
+Status LoadedModule::TryRestart() {
+  if (restart_attempts_ >= backoff_.max_attempts) {
+    Quarantine("restart budget exhausted (" +
+                   std::to_string(restart_attempts_) +
+                   " attempts); last containment: " + quarantine_reason_,
+               nullptr);
+    return PermissionDenied("module '" + name_ +
+                            "' is quarantined: " + quarantine_reason_);
+  }
+  const uint32_t attempt = ++restart_attempts_;
+  // Simulated downtime: exponential backoff before the attempt runs.
+  kernel_->clock().Advance(
+      static_cast<double>(backoff_.CyclesFor(attempt)));
+
+  // Teardown: reclaim runtime heap allocations and reset the globals to
+  // their insmod-time image. The engine's counters restart with the
+  // module (a restarted module gets a fresh lifetime step budget).
+  ReclaimHeapAllocations();
+  Status reset = ResetGlobals();
+  if (!reset.ok()) {
+    KOP_TRACE(kModuleRestart, attempt, 0);
+    return reset;  // stays kNeedsRestart; next call retries
+  }
+  engine_->ResetStats();
+
+  bool ok = true;
+  std::string failure;
+  if (!restart_entry_.empty()) {
+    // Re-run init under its own journal transaction: a failing init must
+    // not leave half-initialized state either.
+    journaled_->journal().Begin();
+    heap_ledger_.call_new.clear();
+    ++call_depth_;
+    try {
+      auto init = engine_->Call(restart_entry_, restart_args_);
+      --call_depth_;
+      if (init.ok()) {
+        journaled_->journal().Commit();
+      } else {
+        ok = false;
+        failure = init.status().ToString();
+        RollbackJournal(init.status().code() == ErrorCode::kTimeout
+                            ? resilience::RollbackReason::kTimeout
+                            : resilience::RollbackReason::kFault);
+        ReclaimCallAllocations();
+      }
+    } catch (const GuardViolation& violation) {
+      --call_depth_;
+      ok = false;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "guard violation at 0x%llx during init",
+                    static_cast<unsigned long long>(violation.addr));
+      failure = buf;
+      RollbackJournal(resilience::RollbackReason::kGuardViolation);
+      ReclaimCallAllocations();
+    } catch (const KernelPanic&) {
+      --call_depth_;
+      RollbackJournal(resilience::RollbackReason::kPanic);
+      ReclaimCallAllocations();
+      throw;
+    }
+  }
+
+  KOP_TRACE(kModuleRestart, attempt, ok ? 1 : 0);
+  trace::GlobalMetrics()
+      .GetCounter(ok ? "resilience.restarts" : "resilience.restart_failures")
+      ->Add();
+  if (ok) {
+    state_ = resilience::ModuleState::kRestarted;
+    ++restarts_completed_;
+    kernel_->log().Printk(
+        KernLevel::kInfo,
+        "carat_kop: restarted module '%s' (attempt %u of %u)", name_.c_str(),
+        attempt, backoff_.max_attempts);
+    return OkStatus();
+  }
+  kernel_->log().Printk(
+      KernLevel::kErr,
+      "carat_kop: restart attempt %u of %u for module '%s' failed: %s",
+      attempt, backoff_.max_attempts, name_.c_str(), failure.c_str());
+  return PermissionDenied("module '" + name_ + "' restart attempt " +
+                          std::to_string(attempt) + " failed: " + failure);
+}
+
+size_t LoadedModule::RollbackJournal(resilience::RollbackReason reason) {
+  resilience::WriteJournal& journal = journaled_->journal();
+  if (!journal.active()) return 0;
+  const uint64_t bytes = journal.bytes();
+  // Undo through the UN-journaled inner interface: the replay must not
+  // journal itself or pass through fault hooks.
+  const size_t undone = journal.Rollback(journaled_->inner());
+  KOP_TRACE(kModuleRollback, undone, bytes, static_cast<uint64_t>(reason));
+  trace::GlobalMetrics().GetCounter("resilience.rollbacks")->Add();
+  return undone;
+}
+
+void LoadedModule::ReclaimCallAllocations() {
+  std::vector<uint64_t> pending = std::move(heap_ledger_.call_new);
+  heap_ledger_.call_new.clear();
+  for (uint64_t addr : pending) {
+    (void)kernel_->heap().Kfree(addr);
+    heap_ledger_.OnFree(addr);
+  }
+}
+
+void LoadedModule::ReclaimHeapAllocations() {
+  for (uint64_t addr : heap_ledger_.live) {
+    (void)kernel_->heap().Kfree(addr);
+  }
+  heap_ledger_.live.clear();
+  heap_ledger_.call_new.clear();
+}
+
+void LoadedModule::UnexportSymbols() {
+  for (const std::string& sym : exported_symbols_) {
+    (void)kernel_->symbols().Unexport(sym);
+  }
+  exported_symbols_.clear();
+}
+
+Status LoadedModule::ResetGlobals() {
+  for (const auto& global : ir_->globals()) {
+    auto it = global_addresses_.find(global->name());
+    if (it == global_addresses_.end()) continue;
+    KOP_RETURN_IF_ERROR(
+        kernel_->mem().Memset(it->second, 0, global->size_bytes()));
+    if (!global->init_bytes().empty()) {
+      KOP_RETURN_IF_ERROR(kernel_->mem().Write(it->second,
+                                               global->init_bytes().data(),
+                                               global->init_bytes().size()));
+    }
+  }
+  return OkStatus();
+}
+
+void LoadedModule::Quarantine(const std::string& reason,
+                              const GuardViolation* violation) {
+  state_ = resilience::ModuleState::kQuarantined;
+  quarantine_reason_ = reason;
+  KOP_TRACE(kModuleQuarantine, violation != nullptr ? violation->addr : 0,
+            violation != nullptr ? violation->size : 0,
+            violation != nullptr ? violation->site : 0);
+  trace::GlobalMetrics().GetCounter("loader.quarantines")->Add();
+  // A quarantined module never runs again: reclaim what it would leak —
+  // its runtime heap allocations and its exported symbols (a stale
+  // symbol would let other code call into the quarantined module).
+  ReclaimHeapAllocations();
+  UnexportSymbols();
+  kernel_->log().Printk(
+      KernLevel::kErr,
+      "carat_kop: quarantined module '%s' after %s; the module was NOT "
+      "ejected (it may hold locks)",
+      name_.c_str(), reason.c_str());
 }
 
 Result<uint64_t> LoadedModule::GlobalAddress(const std::string& global) const {
@@ -391,6 +643,9 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
   loaded->name_ = name;
   loaded->kernel_ = kernel_;
   loaded->attestation_ = validated->attestation;
+  loaded->recovery_ = recovery_;
+  loaded->backoff_ = backoff_;
+  loaded->watchdog_steps_ = watchdog_steps_;
 
   // 3. Lay out globals in the module area.
   for (const auto& global : ir->globals()) {
@@ -425,6 +680,7 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
   kir::InterpConfig config;
   config.stack_base = *stack;
   config.stack_size = kStackBytes;
+  config.watchdog_steps = watchdog_steps_;
 
   // 5. Register this module's guard sites for runtime attribution. The
   //    signed attestation carries the table; older records without one
@@ -455,8 +711,18 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
     loaded->site_tokens_.push_back(token);
   }
 
+  // 6. The memory stack both engines execute against: kernel-backed
+  //    memory, wrapped in the resilience journal so every module call is
+  //    a transaction (interpreter and VM journal identically — they
+  //    share this seam).
   loaded->memory_ = std::make_unique<KernelMemory>(kernel_);
-  loaded->resolver_ = std::make_unique<KernelResolver>(kernel_, site_tokens);
+  Kernel* kernel = kernel_;
+  loaded->journaled_ = std::make_unique<resilience::JournaledMemory>(
+      loaded->memory_.get(), [kernel](uint64_t addr, uint32_t size) {
+        return kernel->mem().RawHostPointer(addr, size) != nullptr;
+      });
+  loaded->resolver_ = std::make_unique<KernelResolver>(
+      kernel_, site_tokens, &loaded->heap_ledger_);
   std::unordered_map<std::string, uint64_t> addresses(
       loaded->global_addresses_.begin(), loaded->global_addresses_.end());
   loaded->ir_ = std::move(ir);
@@ -479,14 +745,41 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
       return Internal("bytecode guard-site table diverges from IR for '" +
                       name + "'");
     }
-    auto vm = kir::VM::Create(std::move(*bytecode), *loaded->memory_,
+    auto vm = kir::VM::Create(std::move(*bytecode), *loaded->journaled_,
                               *loaded->resolver_, addresses, config);
     if (!vm.ok()) return vm.status();
     loaded->engine_ = std::move(*vm);
   } else {
     loaded->engine_ = std::make_unique<kir::Interpreter>(
-        *loaded->ir_, *loaded->memory_, *loaded->resolver_,
+        *loaded->ir_, *loaded->journaled_, *loaded->resolver_,
         std::move(addresses), config);
+  }
+
+  // 7. Restart recovery re-runs @init after teardown when the module
+  //    defines a zero-arg one (modules with parameterized inits register
+  //    theirs through set_restart_entry).
+  const kir::Function* init_fn = loaded->ir_->FindFunction("init");
+  if (init_fn != nullptr && !init_fn->is_external() &&
+      init_fn->arg_count() == 0) {
+    loaded->restart_entry_ = "init";
+  }
+
+  // 8. EXPORT_SYMBOL: the module's entry points become kernel symbols
+  //    ("<module>.<fn>") other subsystems and later modules can resolve.
+  //    Quarantine (and rmmod) withdraws them — a stale export must not
+  //    keep routing calls into a dead module.
+  for (const auto& fn : loaded->ir_->functions()) {
+    if (fn->is_external()) continue;
+    const std::string sym = name + "." + fn->name();
+    LoadedModule* raw_module = loaded.get();
+    const std::string fn_name = fn->name();
+    Status exported = kernel_->symbols().ExportFunction(
+        sym,
+        [raw_module, fn_name](const std::vector<uint64_t>& args) -> uint64_t {
+          auto result = raw_module->Call(fn_name, args);
+          return result.ok() ? *result : 0;
+        });
+    if (exported.ok()) loaded->exported_symbols_.push_back(sym);
   }
 
   kernel_->log().Printk(

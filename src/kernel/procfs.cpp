@@ -22,17 +22,18 @@ std::string FormatKmallocStats(const char* label, const KmallocStats& stats) {
 }  // namespace
 
 std::string ProcModules(const ModuleLoader& loader) {
-  std::string out = "Module            Insts  Guards  State\n";
+  std::string out = "Module            Insts  Guards  Restarts  State\n";
   char line[160];
   for (const std::string& name : loader.LoadedNames()) {
     const LoadedModule* module =
         const_cast<ModuleLoader&>(loader).Find(name);
     if (module == nullptr) continue;
-    std::snprintf(line, sizeof(line), "%-16s %6zu %7llu  %s\n", name.c_str(),
-                  module->ir().InstructionCount(),
+    std::snprintf(line, sizeof(line), "%-16s %6zu %7llu  %8u  %s\n",
+                  name.c_str(), module->ir().InstructionCount(),
                   static_cast<unsigned long long>(
                       module->attestation().guard_count),
-                  module->quarantined() ? "QUARANTINED" : "Live");
+                  module->restart_count(),
+                  resilience::ModuleStateName(module->state()).data());
     out += line;
   }
   return out;

@@ -71,8 +71,14 @@ struct InterpConfig {
   /// Stack arena in simulated memory for allocas (provided by the loader).
   uint64_t stack_base = 0;
   uint64_t stack_size = 64 * 1024;
-  /// Execution budget; exceeded -> error (kernel would watchdog).
+  /// Engine-lifetime execution budget; exceeded -> error (kernel would
+  /// watchdog).
   uint64_t max_steps = 50'000'000;
+  /// Per-call watchdog: one top-level Call may run at most this many
+  /// steps before it is cut off with kTimeout (0 = no watchdog). The
+  /// module loader arms this so a module stuck in a loop loses its CPU
+  /// instead of hanging the (simulated) machine.
+  uint64_t watchdog_steps = 0;
   /// Intra-module call depth limit.
   uint32_t max_call_depth = 256;
 };
@@ -100,8 +106,27 @@ class ExecutionEngine {
   virtual const InterpStats& stats() const = 0;
   virtual void ResetStats() = 0;
 
+  /// Re-arm the per-call watchdog (0 disables). Takes effect at the next
+  /// top-level Call; a call already in flight keeps its deadline.
+  virtual void set_watchdog_steps(uint64_t steps) { (void)steps; }
+
   /// "interp" or "bytecode" — for logs and bench annotations.
   virtual std::string_view engine_name() const = 0;
 };
+
+/// The step-budget error both engines report, built in one place so the
+/// text is bit-identical between them (engine_test.cpp pins observable
+/// equality). `step_limit` is the deadline that actually fired: when the
+/// armed watchdog cut the call short of the lifetime budget the error is
+/// kTimeout, otherwise the lifetime-budget kInternal error.
+inline Status StepBudgetExceeded(const InterpConfig& config,
+                                 uint64_t step_limit) {
+  if (config.watchdog_steps != 0 && step_limit < config.max_steps) {
+    return Timeout("module call exceeded its watchdog step budget (" +
+                   std::to_string(config.watchdog_steps) + " steps)");
+  }
+  return Internal("execution budget exceeded (" +
+                  std::to_string(config.max_steps) + " steps)");
+}
 
 }  // namespace kop::kir

@@ -37,6 +37,9 @@ class Interpreter : public ExecutionEngine {
 
   const InterpStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = InterpStats(); }
+  void set_watchdog_steps(uint64_t steps) override {
+    config_.watchdog_steps = steps;
+  }
   std::string_view engine_name() const override { return "interp"; }
 
  private:
@@ -52,6 +55,12 @@ class Interpreter : public ExecutionEngine {
   std::unordered_map<std::string, uint64_t> global_addresses_;
   InterpConfig config_;
   InterpStats stats_;
+  /// Step deadline for the call in flight: min(lifetime budget, steps at
+  /// call entry + watchdog budget). Set at each top-level Call.
+  uint64_t step_limit_ = InterpConfig().max_steps;
+  /// Re-entry depth (a module calling back into itself through a kernel
+  /// export) — only the outermost Call re-arms the watchdog deadline.
+  uint32_t entry_depth_ = 0;
   /// Module-wide ordinal of each kCall instruction (function / block /
   /// instruction order), precomputed so the hot path is one hash lookup.
   std::unordered_map<const Instruction*, uint64_t> call_ordinals_;

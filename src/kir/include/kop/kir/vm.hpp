@@ -41,6 +41,9 @@ class VM : public ExecutionEngine {
 
   const InterpStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = InterpStats(); }
+  void set_watchdog_steps(uint64_t steps) override {
+    config_.watchdog_steps = steps;
+  }
   std::string_view engine_name() const override { return "bytecode"; }
 
   const BytecodeModule& bytecode() const { return bytecode_; }
@@ -60,6 +63,13 @@ class VM : public ExecutionEngine {
   ExternalResolver& resolver_;
   InterpConfig config_;
   InterpStats stats_;
+  /// Step deadline for the call in flight: min(lifetime budget, steps at
+  /// call entry + watchdog budget). Set at each top-level Call; nested
+  /// frames read it through RunFrame (mirrors the interpreter exactly).
+  uint64_t step_limit_ = InterpConfig().max_steps;
+  /// Re-entry depth (resolver calling back into this VM) — only the
+  /// outermost Call re-arms the watchdog deadline.
+  uint32_t entry_depth_ = 0;
 
   /// Per-extern-id resolver handle from BindExternal; nullopt falls back
   /// to the name-keyed CallExternal path.

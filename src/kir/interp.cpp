@@ -47,7 +47,23 @@ Result<uint64_t> Interpreter::Call(const std::string& fn_name,
   if (args.size() != fn->arg_count()) {
     return InvalidArgument("argument count mismatch calling @" + fn_name);
   }
-  return Execute(*fn, args, 0, config_.stack_base + config_.stack_size);
+  if (entry_depth_ == 0) {
+    step_limit_ = config_.max_steps;
+    if (config_.watchdog_steps != 0 &&
+        stats_.steps + config_.watchdog_steps < step_limit_) {
+      step_limit_ = stats_.steps + config_.watchdog_steps;
+    }
+  }
+  ++entry_depth_;
+  try {
+    auto result =
+        Execute(*fn, args, 0, config_.stack_base + config_.stack_size);
+    --entry_depth_;
+    return result;
+  } catch (...) {
+    --entry_depth_;
+    throw;
+  }
 }
 
 Result<uint64_t> Interpreter::Execute(const Function& fn,
@@ -116,9 +132,8 @@ Result<uint64_t> Interpreter::Execute(const Function& fn,
 
     for (; it != block->end(); ++it) {
       const Instruction& inst = **it;
-      if (++stats_.steps > config_.max_steps) {
-        return Internal("execution budget exceeded (" +
-                        std::to_string(config_.max_steps) + " steps)");
+      if (++stats_.steps > step_limit_) {
+        return StepBudgetExceeded(config_, step_limit_);
       }
 
       switch (inst.opcode()) {

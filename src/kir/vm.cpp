@@ -112,13 +112,24 @@ Result<uint64_t> VM::Call(const std::string& fn_name,
   if (args.size() != fn.num_args) {
     return InvalidArgument("argument count mismatch calling @" + fn_name);
   }
+  if (entry_depth_ == 0) {
+    step_limit_ = config_.max_steps;
+    if (config_.watchdog_steps != 0 &&
+        stats_.steps + config_.watchdog_steps < step_limit_) {
+      step_limit_ = stats_.steps + config_.watchdog_steps;
+    }
+  }
   // Guard faults and panics unwind as exceptions through the resolver;
   // restore the register watermark so the VM stays usable afterwards.
   const size_t saved_top = reg_top_;
+  ++entry_depth_;
   try {
-    return ExecuteFunction(it->second, args, 0,
-                           config_.stack_base + config_.stack_size);
+    auto result = ExecuteFunction(it->second, args, 0,
+                                  config_.stack_base + config_.stack_size);
+    --entry_depth_;
+    return result;
   } catch (...) {
+    --entry_depth_;
     reg_top_ = saved_top;
     throw;
   }
@@ -164,7 +175,7 @@ Result<uint64_t> VM::RunFrame(const BytecodeFunction& fn, size_t base,
   // calls out (memory, resolver, nested frames can throw, recurse, or be
   // observed) — so stats_.steps is exact whenever anyone can look.
   uint64_t steps = stats_.steps;
-  const uint64_t max_steps = config_.max_steps;
+  const uint64_t max_steps = step_limit_;
 
 #if KOP_VM_THREADED
   // Indexed by BcOp; order must match the enum declaration.
@@ -413,8 +424,7 @@ dispatch:
 
 budget_exhausted:
   stats_.steps = steps;
-  return Internal("execution budget exceeded (" +
-                  std::to_string(max_steps) + " steps)");
+  return StepBudgetExceeded(config_, max_steps);
 }
 
 #undef VM_NEXT

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "kop/kernel/kernel.hpp"
+#include "kop/kernel/module_loader.hpp"
 #include "kop/util/rng.hpp"
 #include "kop/util/status.hpp"
 
@@ -31,15 +32,76 @@ class DriverNetDevice final : public NetDevice {
  public:
   explicit DriverNetDevice(DriverT* driver) : driver_(driver) {}
   Status Xmit(uint64_t frame_addr, uint32_t len) override {
-    return driver_->XmitFrame(frame_addr, len);
+    if (down_) return PermissionDenied("netdev down: driver contained");
+    try {
+      return driver_->XmitFrame(frame_addr, len);
+    } catch (const kernel::GuardViolation&) {
+      // The driver (or a guarded module it called into) was contained
+      // mid-transmit. Degrade: mark the device down and report a soft
+      // error — core-kernel code must never re-enter a contained driver.
+      down_ = true;
+      return PermissionDenied("netdev down: driver contained during xmit");
+    }
   }
   Status CleanTx() override {
-    auto cleaned = driver_->CleanTxRing();
-    return cleaned.ok() ? OkStatus() : cleaned.status();
+    if (down_) return PermissionDenied("netdev down: driver contained");
+    try {
+      auto cleaned = driver_->CleanTxRing();
+      return cleaned.ok() ? OkStatus() : cleaned.status();
+    } catch (const kernel::GuardViolation&) {
+      down_ = true;
+      return PermissionDenied("netdev down: driver contained during tx clean");
+    }
   }
 
  private:
   DriverT* driver_;
+  bool down_ = false;
+};
+
+/// NetDevice over a loaded (guarded) KIR driver module, e.g. kop_knic.
+/// The module owns the TX path: its xmit entry point builds the
+/// descriptor and rings the doorbell, DMA-ing from the module's own
+/// frame buffer (so `frame_addr` is unused — the frame must already be
+/// staged there, e.g. via knic_fill).
+///
+/// Degradation is the point of this adapter: a quarantined or
+/// mid-restart driver yields an ENETDOWN-style soft error from Xmit
+/// instead of a fault from dereferencing dead driver state. Containment
+/// inside the module (rollback + quarantine/restart) happens in
+/// LoadedModule::Call; this layer only translates the outcome for the
+/// socket path.
+class ModuleNetDevice final : public NetDevice {
+ public:
+  ModuleNetDevice(kernel::LoadedModule* module, uint64_t mmio_base,
+                  std::string xmit_fn = "knic_send")
+      : module_(module), mmio_base_(mmio_base),
+        xmit_fn_(std::move(xmit_fn)) {}
+
+  Status Xmit(uint64_t frame_addr, uint32_t len) override {
+    (void)frame_addr;  // the guarded driver transmits from its own buffer
+    if (module_->quarantined()) {
+      return PermissionDenied("netdev down: driver '" + module_->name() +
+                              "' is quarantined");
+    }
+    auto sent = module_->Call(xmit_fn_, {mmio_base_, len});
+    if (!sent.ok()) {
+      return PermissionDenied("netdev down: driver '" + module_->name() +
+                              "' xmit contained: " + sent.status().message());
+    }
+    return OkStatus();
+  }
+
+  Status CleanTx() override {
+    // The simulated NIC completes descriptors on the doorbell write; a
+    // real driver's IRQ-side reclaim has no work to do here.
+    return OkStatus();
+  }
+
+ private:
+  kernel::LoadedModule* module_;
+  uint64_t mmio_base_;
+  std::string xmit_fn_;
 };
 
 struct SendmsgResult {

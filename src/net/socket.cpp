@@ -43,14 +43,21 @@ Result<SendmsgResult> PacketSocket::Sendmsg(
                 static_cast<double>(frame.size()));
 
   // Hand the skb to the driver. A full ring means the socket blocks until
-  // the TX-complete interrupt reclaims descriptors.
-  Status xmit =
-      device_->Xmit(skb_addr_, static_cast<uint32_t>(frame.size()));
-  if (!xmit.ok() && xmit.code() == ErrorCode::kBusy) {
-    result.blocked = true;
-    clock.Advance(machine.outlier_cycles);  // descheduled until the IRQ
-    KOP_RETURN_IF_ERROR(device_->CleanTx());
+  // the TX-complete interrupt reclaims descriptors. The device call is
+  // additionally fenced against containment escaping a mis-adapted
+  // driver: the socket layer is core kernel and must survive a driver
+  // quarantine with a soft error, never unwind through sendmsg.
+  Status xmit;
+  try {
     xmit = device_->Xmit(skb_addr_, static_cast<uint32_t>(frame.size()));
+    if (!xmit.ok() && xmit.code() == ErrorCode::kBusy) {
+      result.blocked = true;
+      clock.Advance(machine.outlier_cycles);  // descheduled until the IRQ
+      KOP_RETURN_IF_ERROR(device_->CleanTx());
+      xmit = device_->Xmit(skb_addr_, static_cast<uint32_t>(frame.size()));
+    }
+  } catch (const kernel::GuardViolation&) {
+    xmit = PermissionDenied("netdev down: driver contained during sendmsg");
   }
   KOP_RETURN_IF_ERROR(xmit);
 

@@ -232,6 +232,17 @@ void E1000Device::ProcessTransmitRing() {
   if ((status_ & STATUS_LU) == 0) return;    // no link
   const uint32_t count = RingDescriptorCount();
   if (count == 0) return;
+  // A head or tail pointer outside the ring (a corrupted doorbell write)
+  // would make the tdh_ != tdt_ sweep spin forever, because head wraps
+  // modulo the ring size and can never meet an out-of-range tail. Real
+  // hardware wedges on such programming; the model refuses the doorbell.
+  if (tdh_ >= count || tdt_ >= count) {
+    ++stats_.bad_doorbells;
+    KOP_LOG(kWarn) << "e1000e: TX ring pointers out of range (head "
+                   << tdh_ << ", tail " << tdt_ << ", ring " << count
+                   << "); transmitter wedged";
+    return;
+  }
   const uint64_t ring_base =
       (static_cast<uint64_t>(tdbah_) << 32) | tdbal_;
 

@@ -26,6 +26,7 @@ struct DeviceStats {
   uint64_t writebacks = 0;
   uint64_t tail_writes = 0;
   uint64_t bad_descriptors = 0;  // malformed ring entries skipped
+  uint64_t bad_doorbells = 0;    // TDH/TDT outside the ring; TX wedged
   uint64_t frames_received = 0;
   uint64_t bytes_received = 0;
   uint64_t rx_dropped = 0;       // RX disabled / ring empty / too big

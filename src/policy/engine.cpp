@@ -63,6 +63,7 @@ bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
     allowed = prot.has_value()
                   ? (*prot & access_flags) == access_flags
                   : mode_ == PolicyMode::kDefaultAllow;
+    if (site == force_deny_site_) [[unlikely]] allowed = false;
     HotSite& row = SiteRow(site);
     row.site = site;
     ++row.hits;
@@ -92,7 +93,7 @@ bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
     kernel_->Panic("CARAT KOP guard violation");  // throws KernelPanic
   }
   if (action_ == ViolationAction::kQuarantine) {
-    throw GuardViolation(addr, size, access_flags);
+    throw GuardViolation(addr, size, access_flags, site);
   }
   return false;
 }

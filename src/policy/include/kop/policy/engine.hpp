@@ -120,12 +120,20 @@ class PolicyEngine {
   /// that account guard cost themselves).
   void SetChargeCycles(bool charge) { charge_cycles_ = charge; }
 
+  /// Fault-injection hook (kop::fault): guards firing from this
+  /// trace-site token deny unconditionally — a spurious violation, as a
+  /// corrupted guard table would produce. kNoForcedSite disarms.
+  static constexpr uint64_t kNoForcedSite = ~uint64_t{0};
+  void ForceDenyAtSite(uint64_t site) { force_deny_site_ = site; }
+  uint64_t forced_deny_site() const { return force_deny_site_; }
+
  private:
   kernel::Kernel* kernel_;
   std::unique_ptr<PolicyStore> store_;
   PolicyMode mode_;
   ViolationAction action_ = ViolationAction::kPanic;
   bool charge_cycles_ = true;
+  uint64_t force_deny_site_ = kNoForcedSite;
   bool intrinsic_default_allow_ = false;
   std::set<uint64_t> intrinsic_allowed_;
   std::set<uint64_t> intrinsic_denied_;

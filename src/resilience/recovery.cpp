@@ -1,0 +1,47 @@
+#include "kop/resilience/recovery.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace kop::resilience {
+
+std::string_view RecoveryPolicyName(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kPanic: return "panic";
+    case RecoveryPolicy::kQuarantine: return "quarantine";
+    case RecoveryPolicy::kRestart: return "restart";
+  }
+  return "?";
+}
+
+RecoveryPolicy DefaultRecoveryPolicy() {
+  const char* env = std::getenv("KOP_RECOVERY");
+  if (env != nullptr) {
+    const std::string_view policy(env);
+    if (policy == "panic") return RecoveryPolicy::kPanic;
+    if (policy == "restart") return RecoveryPolicy::kRestart;
+  }
+  return RecoveryPolicy::kQuarantine;
+}
+
+uint64_t DefaultWatchdogSteps() {
+  constexpr uint64_t kDefault = 8'000'000;
+  const char* env = std::getenv("KOP_WATCHDOG_STEPS");
+  if (env == nullptr || *env == '\0') return kDefault;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return kDefault;
+  return parsed;
+}
+
+std::string_view ModuleStateName(ModuleState state) {
+  switch (state) {
+    case ModuleState::kLive: return "Live";
+    case ModuleState::kNeedsRestart: return "NEEDS-RESTART";
+    case ModuleState::kRestarted: return "RESTARTED";
+    case ModuleState::kQuarantined: return "QUARANTINED";
+  }
+  return "?";
+}
+
+}  // namespace kop::resilience

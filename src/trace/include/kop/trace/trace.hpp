@@ -30,8 +30,13 @@ enum class EventId : uint16_t {
   // Module lifecycle (loader + validator).
   kModuleVerify,      // ok (1/0)
   kModuleLoad,        // instructions, guard count
-  kModuleQuarantine,  // violating addr, size
+  kModuleQuarantine,  // violating addr, size, site token
   kModuleStaticReject,  // error count, instruction count
+  // Resilience (transactional module calls + recovery).
+  kModuleRollback,    // journal entries undone, bytes restored, reason
+  kModuleTimeout,     // steps at expiry, per-call step budget
+  kModuleRestart,     // attempt number, ok (1/0)
+  kFaultInjected,     // injector kind, injection point, detail
   // NIC hardware (DMA engine) and driver transmit path.
   kNicDescFetch,      // descriptor addr, head index
   kNicXmit,           // frame bytes, ring occupancy after

@@ -19,8 +19,12 @@ constexpr EventDesc kEvents[kEventCount] = {
     {"policy.lookup", "guard", {"scanned", "regions", nullptr, nullptr}},
     {"module.verify", "loader", {"ok", nullptr, nullptr, nullptr}},
     {"module.load", "loader", {"insts", "guards", nullptr, nullptr}},
-    {"module.quarantine", "loader", {"addr", "size", nullptr, nullptr}},
+    {"module.quarantine", "loader", {"addr", "size", "site", nullptr}},
     {"module.static_reject", "loader", {"errors", "insts", nullptr, nullptr}},
+    {"module.rollback", "resilience", {"entries", "bytes", "reason", nullptr}},
+    {"module.timeout", "resilience", {"steps", "budget", nullptr, nullptr}},
+    {"module.restart", "resilience", {"attempt", "ok", nullptr, nullptr}},
+    {"fault.injected", "fault", {"kind", "point", "detail", nullptr}},
     {"nic.desc_fetch", "nic", {"desc_addr", "head", nullptr, nullptr}},
     {"nic.xmit", "nic", {"bytes", "occupancy", nullptr, nullptr}},
     {"e1000e.xmit_frame", "nic", {"bytes", "slot", nullptr, nullptr}},

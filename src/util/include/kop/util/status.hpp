@@ -27,6 +27,7 @@ enum class ErrorCode {
   kBadModule,         // ENOEXEC: module failed validation
   kBusy,              // EBUSY
   kUnimplemented,     // ENOSYS
+  kTimeout,           // ETIME: watchdog/step-budget expiry
   kInternal,          // anything that indicates a bug in the simulator
 };
 
@@ -92,6 +93,9 @@ inline Status Busy(std::string msg) {
 }
 inline Status Unimplemented(std::string msg) {
   return Status(ErrorCode::kUnimplemented, std::move(msg));
+}
+inline Status Timeout(std::string msg) {
+  return Status(ErrorCode::kTimeout, std::move(msg));
 }
 inline Status Internal(std::string msg) {
   return Status(ErrorCode::kInternal, std::move(msg));

@@ -15,6 +15,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kBadModule: return "bad_module";
     case ErrorCode::kBusy: return "busy";
     case ErrorCode::kUnimplemented: return "unimplemented";
+    case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -647,6 +647,9 @@ TEST(EngineLoaderDifferentialTest, QuarantineBehavesIdentically) {
       policy::ViolationAction::kQuarantine);
   interp.policy->engine().SetMode(policy::PolicyMode::kDefaultDeny);
   bytecode.policy->engine().SetMode(policy::PolicyMode::kDefaultDeny);
+  // This test pins quarantine semantics regardless of KOP_RECOVERY.
+  interp.loader.set_recovery_policy(resilience::RecoveryPolicy::kQuarantine);
+  bytecode.loader.set_recovery_policy(resilience::RecoveryPolicy::kQuarantine);
 
   const signing::SignedModule image =
       CompileAndSign(kirmods::ScribblerSource());

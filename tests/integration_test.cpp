@@ -256,6 +256,8 @@ TEST_F(PipelineTest, AuditThenSynthesizeThenEnforce) {
 TEST_F(PipelineTest, QuarantineStopsModuleWithoutPanicking) {
   policy_->engine().SetMode(PolicyMode::kDefaultAllow);
   policy_->engine().SetViolationAction(policy::ViolationAction::kQuarantine);
+  // Pin quarantine semantics regardless of the KOP_RECOVERY env default.
+  loader_.set_recovery_policy(resilience::RecoveryPolicy::kQuarantine);
   ASSERT_TRUE(policy_->engine()
                   .store()
                   .Add(Region{0, kernel::kUserSpaceEnd, policy::kProtNone})

@@ -133,6 +133,8 @@ TEST(LoaderFailureTest, InfiniteLoopHitsExecutionBudget) {
       &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
   ASSERT_TRUE(policy.ok());
   ModuleLoader loader(&kernel, TrustedKeyring());
+  // Pin quarantine semantics regardless of the KOP_RECOVERY env default.
+  loader.set_recovery_policy(resilience::RecoveryPolicy::kQuarantine);
   auto loaded = loader.Insmod(CompileAndSign(R"(module "kop_looper"
 func @forever() -> void {
 entry:

@@ -24,7 +24,8 @@ TEST(TraceEventTest, EveryEventHasNameAndCategory) {
     const std::string_view category = EventCategory(id);
     EXPECT_TRUE(category == "guard" || category == "loader" ||
                 category == "nic" || category == "kernel" ||
-                category == "ioctl")
+                category == "ioctl" || category == "resilience" ||
+                category == "fault")
         << "event " << i << " has unexpected category " << category;
   }
 }

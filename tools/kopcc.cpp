@@ -23,6 +23,12 @@
 //                                   # insmod into a simulated kernel
 //                                   # (default-allow policy) and call an
 //                                   # entry point
+//   kopcc faultcamp [--seed N] [--trials N] [--json]
+//         [--engine=interp|bytecode] [--recovery=quarantine|restart]
+//                                   # deterministic fault-injection
+//                                   # campaign against the resilience
+//                                   # layer; exit 1 on any kernel
+//                                   # invariant violation
 //
 // Exit code 0 on success; 1 on failure (diagnostics on stderr).
 #include <cstdio>
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "kop/analysis/static_verifier.hpp"
+#include "kop/fault/campaign.hpp"
 #include "kop/kernel/kernel.hpp"
 #include "kop/kernel/module_loader.hpp"
 #include "kop/kir/verifier.hpp"
@@ -396,6 +403,57 @@ int Run(const std::vector<std::string>& args) {
   return 0;
 }
 
+int FaultCamp(const std::vector<std::string>& args) {
+  fault::CampaignConfig config;
+  bool json = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--seed" && i + 1 < args.size()) {
+      try {
+        config.seed = std::stoull(args[++i], nullptr, 0);
+      } catch (const std::exception&) {
+        return Fail("bad seed");
+      }
+    } else if (arg == "--trials" && i + 1 < args.size()) {
+      try {
+        config.min_trials =
+            static_cast<uint32_t>(std::stoul(args[++i], nullptr, 0));
+      } catch (const std::exception&) {
+        return Fail("bad trial count");
+      }
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      const std::string name = arg.substr(9);
+      if (name == "interp") {
+        config.engine = kernel::ExecEngine::kInterp;
+      } else if (name == "bytecode") {
+        config.engine = kernel::ExecEngine::kBytecode;
+      } else {
+        return Fail("unknown engine '" + name + "'");
+      }
+    } else if (arg.rfind("--recovery=", 0) == 0) {
+      const std::string name = arg.substr(11);
+      if (name == "quarantine") {
+        config.recovery = resilience::RecoveryPolicy::kQuarantine;
+      } else if (name == "restart") {
+        config.recovery = resilience::RecoveryPolicy::kRestart;
+      } else {
+        return Fail("unknown recovery policy '" + name + "'");
+      }
+    } else {
+      return Fail("unknown faultcamp option '" + arg + "'");
+    }
+  }
+  const fault::CampaignReport report = fault::RunCampaign(config);
+  if (json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::fputs(report.ToText().c_str(), stdout);
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -404,7 +462,9 @@ int main(int argc, char** argv) {
         "usage: kopcc compile <in.kir> [-o out.kko] [options] | "
         "inspect [--sites|--bytecode] <in.kko> | verify <in.kko> | "
         "check <in.kir|in.kko> [--json] | check --corpus [--json] | "
-        "run <in.kko> [--engine=interp|bytecode] [--entry=fn] [args...]");
+        "run <in.kko> [--engine=interp|bytecode] [--entry=fn] [args...] | "
+        "faultcamp [--seed N] [--trials N] [--json] "
+        "[--engine=...] [--recovery=...]");
   }
   const std::string command = argv[1];
   const std::vector<std::string> args(argv + 2, argv + argc);
@@ -413,5 +473,6 @@ int main(int argc, char** argv) {
   if (command == "verify") return Verify(args);
   if (command == "check") return Check(args);
   if (command == "run") return Run(args);
+  if (command == "faultcamp") return FaultCamp(args);
   return Fail("unknown command '" + command + "'");
 }
