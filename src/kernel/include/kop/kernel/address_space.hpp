@@ -6,6 +6,7 @@
 // and are bounds-checked against the map.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -104,8 +105,10 @@ class AddressSpace {
   // Most-recently-hit region. Accesses cluster (a driver hammers its
   // ring, its MMIO window, its globals), so one range check usually
   // replaces the binary search. Region objects are heap-stable; the
-  // cache only needs invalidating when a region is unmapped.
-  mutable const Region* last_hit_ = nullptr;
+  // cache only needs invalidating when a region is unmapped. Atomic so
+  // concurrent CPUs sharing the address space race benignly on the hint
+  // (each CPU's miss just refills it) instead of tearing a pointer.
+  mutable std::atomic<const Region*> last_hit_{nullptr};
 };
 
 }  // namespace kop::kernel

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "kop/util/spinlock.hpp"
 #include "kop/util/status.hpp"
 
 namespace kop::kernel {
@@ -53,6 +54,11 @@ class KmallocArena {
 
   uint64_t base_;
   uint64_t size_;
+  // One arena-wide lock — the slab allocator's list_lock. Per-CPU
+  // magazine caches would hide it entirely, but this simulator's modules
+  // allocate rarely (the guard path never does), so contention here is
+  // not on any measured path.
+  mutable Spinlock lock_;
   // addr -> size. Free chunks sorted by address for coalescing.
   std::map<uint64_t, uint64_t> free_chunks_;
   std::map<uint64_t, uint64_t> live_allocs_;

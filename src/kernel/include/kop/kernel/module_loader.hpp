@@ -20,10 +20,13 @@
 // backoff (KOP_RECOVERY).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "kop/kernel/kernel.hpp"
@@ -35,6 +38,9 @@
 #include "kop/resilience/recovery.hpp"
 #include "kop/signing/signer.hpp"
 #include "kop/signing/validator.hpp"
+#include "kop/smp/cpu.hpp"
+#include "kop/smp/percpu.hpp"
+#include "kop/util/spinlock.hpp"
 #include "kop/util/status.hpp"
 
 namespace kop::kernel {
@@ -67,18 +73,46 @@ VerifyMode DefaultVerifyMode();
 /// Runtime heap allocations owned by one module (made through the
 /// kernel's exported kmalloc). The resolver records them so quarantine /
 /// restart / rmmod can reclaim what the module would otherwise leak.
+/// Internally locked — CPUs allocate concurrently — with the open-call
+/// subset tracked per CPU (each CPU's transaction reclaims only its own
+/// call's allocations on rollback).
 struct HeapLedger {
-  std::vector<uint64_t> live;      // currently-owned heap addresses
-  std::vector<uint64_t> call_new;  // subset allocated by the open call
-
   void OnAlloc(uint64_t addr) {
     if (addr == 0) return;
-    live.push_back(addr);
-    call_new.push_back(addr);
+    std::lock_guard<Spinlock> guard(lock_);
+    live_.push_back(addr);
+    call_new_.Mine().push_back(addr);
   }
   void OnFree(uint64_t addr) {
-    Erase(live, addr);
-    Erase(call_new, addr);
+    std::lock_guard<Spinlock> guard(lock_);
+    Erase(live_, addr);
+    call_new_.ForEach(
+        [addr](uint32_t, std::vector<uint64_t>& v) { Erase(v, addr); });
+  }
+
+  /// Open a transaction on the calling CPU: its call-new set empties.
+  void BeginCall() {
+    std::lock_guard<Spinlock> guard(lock_);
+    call_new_.Mine().clear();
+  }
+  /// Claim the calling CPU's call-new set (rollback reclaims these).
+  std::vector<uint64_t> TakeMyCallNew() {
+    std::lock_guard<Spinlock> guard(lock_);
+    std::vector<uint64_t> out = std::move(call_new_.Mine());
+    call_new_.Mine().clear();
+    return out;
+  }
+  /// Claim everything still owned (quarantine / teardown / rmmod).
+  std::vector<uint64_t> TakeAllLive() {
+    std::lock_guard<Spinlock> guard(lock_);
+    std::vector<uint64_t> out = std::move(live_);
+    live_.clear();
+    call_new_.ForEach([](uint32_t, std::vector<uint64_t>& v) { v.clear(); });
+    return out;
+  }
+  std::vector<uint64_t> LiveSnapshot() const {
+    std::lock_guard<Spinlock> guard(lock_);
+    return live_;
   }
 
  private:
@@ -90,6 +124,10 @@ struct HeapLedger {
       }
     }
   }
+
+  mutable Spinlock lock_;
+  std::vector<uint64_t> live_;  // currently-owned heap addresses
+  smp::PerCpu<std::vector<uint64_t>> call_new_;  // per-CPU open-call subset
 };
 
 class LoadedModule {
@@ -116,17 +154,39 @@ class LoadedModule {
   Result<uint64_t> Call(const std::string& function,
                         const std::vector<uint64_t>& args);
 
-  /// Recovery state machine position (procfs lsmod State column).
-  resilience::ModuleState state() const { return state_; }
-  bool quarantined() const {
-    return state_ == resilience::ModuleState::kQuarantined;
+  /// Build per-CPU execution contexts so `cpus` simulated CPUs can Call
+  /// into the module concurrently. Each CPU gets its own engine, frame
+  /// stack (fresh 64 KiB module-area allocation), write journal, and
+  /// resolver; module globals and the kernel heap stay shared — that
+  /// sharing is exactly what the guard path and the containment protocol
+  /// protect. Idempotent; slot 0 is the context Insmod built, so
+  /// PrepareCpus(1) is a no-op and --cpus 1 stays bit-identical to the
+  /// non-SMP path.
+  Status PrepareCpus(uint32_t cpus);
+  uint32_t prepared_cpus() const {
+    return static_cast<uint32_t>(slots_.size());
   }
-  const std::string& quarantine_reason() const { return quarantine_reason_; }
+
+  /// Recovery state machine position (procfs lsmod State column).
+  resilience::ModuleState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  bool quarantined() const {
+    return state() == resilience::ModuleState::kQuarantined;
+  }
+  std::string quarantine_reason() const {
+    std::lock_guard<Spinlock> guard(state_lock_);
+    return quarantine_reason_;
+  }
 
   /// Completed restarts / restart attempts consumed from the backoff
   /// budget (attempts include failed ones).
-  uint32_t restart_count() const { return restarts_completed_; }
-  uint32_t restart_attempts() const { return restart_attempts_; }
+  uint32_t restart_count() const {
+    return restarts_completed_.load(std::memory_order_acquire);
+  }
+  uint32_t restart_attempts() const {
+    return restart_attempts_.load(std::memory_order_acquire);
+  }
 
   /// Per-module recovery knobs (defaults come from the loader, which
   /// reads KOP_RECOVERY / KOP_WATCHDOG_STEPS).
@@ -141,7 +201,7 @@ class LoadedModule {
   uint64_t watchdog_steps() const { return watchdog_steps_; }
   void set_watchdog_steps(uint64_t steps) {
     watchdog_steps_ = steps;
-    engine_->set_watchdog_steps(steps);
+    for (auto& slot : slots_) slot->engine->set_watchdog_steps(steps);
   }
 
   /// Bench-only escape hatch: with journaling off, Call opens no write
@@ -162,25 +222,40 @@ class LoadedModule {
   /// Simulated address of one of the module's globals.
   Result<uint64_t> GlobalAddress(const std::string& global) const;
 
-  const kir::InterpStats& exec_stats() const { return engine_->stats(); }
-  void ResetExecStats() { engine_->ResetStats(); }
+  /// Boot-CPU (slot 0) engine statistics — the legacy single-CPU view.
+  const kir::InterpStats& exec_stats() const {
+    return slots_[0]->engine->stats();
+  }
+  void ResetExecStats() {
+    for (auto& slot : slots_) slot->engine->ResetStats();
+  }
+  /// One CPU's engine statistics (test introspection for the SMP battery).
+  const kir::InterpStats& CpuExecStats(uint32_t cpu) const {
+    return slots_.at(cpu)->engine->stats();
+  }
 
   /// Name of the engine executing this module ("interp" or "bytecode").
-  std::string_view engine_name() const { return engine_->engine_name(); }
+  std::string_view engine_name() const {
+    return slots_[0]->engine->engine_name();
+  }
 
   /// Guard-site tokens registered for this module at insmod, indexed by
   /// module-local site id (see trace::GlobalSites()).
   const std::vector<uint64_t>& site_tokens() const { return site_tokens_; }
 
   /// The journaling memory seam (also the fault-injection hook point).
-  resilience::JournaledMemory& journaled_memory() { return *journaled_; }
+  /// Boot-CPU slot; fault campaigns are single-CPU.
+  resilience::JournaledMemory& journaled_memory() {
+    return *slots_[0]->journaled;
+  }
   const resilience::JournaledMemory& journaled_memory() const {
-    return *journaled_;
+    return *slots_[0]->journaled;
   }
 
   /// Heap allocations currently owned by the module (kernel kmalloc).
-  const std::vector<uint64_t>& heap_allocations() const {
-    return heap_ledger_.live;
+  /// By value: the ledger mutates under concurrent calls.
+  std::vector<uint64_t> heap_allocations() const {
+    return heap_ledger_.LiveSnapshot();
   }
   /// Kernel symbols this module exported at insmod ("<module>.<fn>").
   const std::vector<std::string>& exported_symbols() const {
@@ -191,19 +266,44 @@ class LoadedModule {
   friend class ModuleLoader;
   LoadedModule() = default;
 
-  /// Containment: roll the journal back, reclaim call-local allocations,
-  /// then apply the recovery policy. Returns the error the contained
-  /// call reports. `violation` is non-null for guard violations.
-  Result<uint64_t> Contain(resilience::RollbackReason reason,
+  /// One simulated CPU's execution context. Engine, frame stack, write
+  /// journal and resolver are private to the CPU; module globals, the
+  /// kernel heap, and the exported-symbol table are shared across slots.
+  /// Slot 0 is built by Insmod (the boot CPU); PrepareCpus adds the rest.
+  struct CpuSlot {
+    std::unique_ptr<kir::MemoryInterface> memory;
+    std::unique_ptr<resilience::JournaledMemory> journaled;
+    std::unique_ptr<kir::ExternalResolver> resolver;
+    std::unique_ptr<kir::ExecutionEngine> engine;
+    uint32_t call_depth = 0;  // re-entry via exported module symbols
+  };
+
+  /// The calling CPU's slot; CPUs beyond prepared_cpus() fall back to
+  /// slot 0 (callers must PrepareCpus before fanning out).
+  CpuSlot& MySlot() {
+    const uint32_t cpu = smp::CurrentCpu();
+    return cpu < slots_.size() ? *slots_[cpu] : *slots_[0];
+  }
+
+  /// Containment: roll the calling CPU's journal back, reclaim its
+  /// call-local allocations, then race for recovery ownership. Exactly
+  /// one contained call per incident wins `containing_` and drives the
+  /// recovery policy after stopping the module machine-wide (every other
+  /// in-flight call aborts at its next memory access and unwinds on its
+  /// own CPU); losers report the violation and return without touching
+  /// the state machine. `violation` is non-null for guard violations.
+  Result<uint64_t> Contain(CpuSlot& slot, resilience::RollbackReason reason,
                            const std::string& what,
                            const GuardViolation* violation);
 
   /// One restart attempt (backoff charge + teardown + re-init). Ok when
   /// the module is running again; error while it stays down (kTimeout /
   /// kPermissionDenied) or once the budget is exhausted (quarantined).
+  /// Serialized on restart_lock_ — concurrent callers that find the
+  /// module already restarted return Ok without consuming budget.
   Status TryRestart();
 
-  size_t RollbackJournal(resilience::RollbackReason reason);
+  size_t RollbackJournal(CpuSlot& slot, resilience::RollbackReason reason);
   void ReclaimCallAllocations();
   void ReclaimHeapAllocations();
   void UnexportSymbols();
@@ -211,7 +311,8 @@ class LoadedModule {
   void Quarantine(const std::string& reason, const GuardViolation* violation);
 
   std::string name_;
-  resilience::ModuleState state_ = resilience::ModuleState::kLive;
+  std::atomic<resilience::ModuleState> state_{resilience::ModuleState::kLive};
+  mutable Spinlock state_lock_;  // quarantine_reason_
   std::string quarantine_reason_;
   Kernel* kernel_ = nullptr;
   std::unique_ptr<kir::Module> ir_;
@@ -219,21 +320,29 @@ class LoadedModule {
   std::map<std::string, uint64_t> global_addresses_;
   std::vector<uint64_t> allocations_;  // module-area blocks to free
   std::vector<uint64_t> site_tokens_;  // guard-site tokens by site id
-  std::unique_ptr<kir::MemoryInterface> memory_;
-  std::unique_ptr<resilience::JournaledMemory> journaled_;
-  std::unique_ptr<kir::ExternalResolver> resolver_;
-  std::unique_ptr<kir::ExecutionEngine> engine_;
+  std::vector<std::unique_ptr<CpuSlot>> slots_;
+
+  // Saved by Insmod so PrepareCpus can stamp out more slots.
+  ExecEngine engine_kind_ = ExecEngine::kBytecode;
+  kir::InterpConfig base_config_;
+  std::unordered_map<uint64_t, uint64_t> site_token_map_;
+  std::unordered_map<std::string, uint64_t> address_map_;
+
+  // Cross-CPU containment protocol (see Contain).
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint32_t> active_calls_{0};
+  std::atomic<bool> containing_{false};
+  std::mutex restart_lock_;
 
   resilience::RecoveryPolicy recovery_ =
       resilience::RecoveryPolicy::kQuarantine;
   resilience::BackoffPolicy backoff_;
   uint64_t watchdog_steps_ = 0;
   bool journaling_enabled_ = true;
-  uint32_t restart_attempts_ = 0;
-  uint32_t restarts_completed_ = 0;
+  std::atomic<uint32_t> restart_attempts_{0};
+  std::atomic<uint32_t> restarts_completed_{0};
   std::string restart_entry_;
   std::vector<uint64_t> restart_args_;
-  uint32_t call_depth_ = 0;  // re-entry via exported module symbols
   HeapLedger heap_ledger_;
   std::vector<std::string> exported_symbols_;
 };
@@ -253,6 +362,10 @@ class ModuleLoader {
 
   LoadedModule* Find(const std::string& name);
   std::vector<std::string> LoadedNames() const;
+
+  /// Build per-CPU execution contexts for every loaded module (see
+  /// LoadedModule::PrepareCpus). Modules Insmod'ed later start with one.
+  Status PrepareCpus(uint32_t cpus);
 
   signing::Keyring& keyring() { return keyring_; }
 

@@ -3,14 +3,26 @@
 // export, `carat_guard`, plus printk-style helpers. Function symbols are
 // host closures so the KIR interpreter can call straight into simulated
 // kernel services; data symbols are simulated addresses.
+//
+// SMP-safe: the table is sharded by name hash, each shard behind its own
+// spinlock, so concurrent insmod/rmmod on different CPUs only contend
+// when their symbols hash together. Unexported closures move to a
+// per-shard graveyard instead of being destroyed — a CPU that cached a
+// FindFunction pointer and races the unexport calls a dead-but-valid
+// closure instead of freed memory, and the generation check catches the
+// staleness on its next revalidation.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "kop/util/spinlock.hpp"
 #include "kop/util/status.hpp"
 
 namespace kop::kernel {
@@ -22,6 +34,10 @@ using KernelFunction = std::function<uint64_t(const std::vector<uint64_t>&)>;
 
 class SymbolTable {
  public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
   /// Export a function symbol. Fails if the name is taken.
   Status ExportFunction(const std::string& name, KernelFunction fn);
 
@@ -35,8 +51,9 @@ class SymbolTable {
   bool HasData(const std::string& name) const;
 
   /// Stable pointer to an exported function's host closure, or nullptr.
-  /// The pointer stays valid until that symbol is unexported; callers
-  /// caching it across calls must revalidate against generation().
+  /// The pointer stays *callable* for the table's lifetime (unexported
+  /// closures are parked, not freed), but callers caching it across calls
+  /// must revalidate against generation() to observe unloads.
   const KernelFunction* FindFunction(const std::string& name) const;
 
   /// Monotonic export-set revision: bumped by every successful
@@ -44,7 +61,9 @@ class SymbolTable {
   /// pointer is safe to keep using while generation() is unchanged —
   /// this is what lets the bytecode engine bind symbols once at insmod
   /// and still observe a later policy-module unload.
-  uint64_t generation() const { return generation_; }
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// Call an exported function.
   Result<uint64_t> Call(const std::string& name,
@@ -56,9 +75,21 @@ class SymbolTable {
   std::vector<std::string> Names() const;
 
  private:
-  std::unordered_map<std::string, KernelFunction> functions_;
-  std::unordered_map<std::string, uint64_t> data_;
-  uint64_t generation_ = 0;
+  static constexpr uint32_t kShardCount = 8;
+
+  struct alignas(64) Shard {
+    mutable Spinlock lock;
+    std::unordered_map<std::string, std::unique_ptr<KernelFunction>>
+        functions;
+    std::unordered_map<std::string, uint64_t> data;
+    // Unexported closures, kept alive for racing cached-pointer callers.
+    std::vector<std::unique_ptr<KernelFunction>> graveyard;
+  };
+
+  Shard& ShardFor(const std::string& name) const;
+
+  mutable std::array<Shard, kShardCount> shards_;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace kop::kernel

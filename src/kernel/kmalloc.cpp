@@ -1,6 +1,7 @@
 #include "kop/kernel/kmalloc.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "kop/util/bits.hpp"
 
@@ -20,6 +21,7 @@ Result<uint64_t> KmallocArena::Kmalloc(uint64_t size, uint64_t alignment) {
   }
   size = AlignUp(size, 8);
 
+  std::lock_guard<Spinlock> guard(lock_);
   for (auto it = free_chunks_.begin(); it != free_chunks_.end(); ++it) {
     const uint64_t chunk_base = it->first;
     const uint64_t chunk_size = it->second;
@@ -46,6 +48,7 @@ Result<uint64_t> KmallocArena::Kmalloc(uint64_t size, uint64_t alignment) {
 }
 
 Status KmallocArena::Kfree(uint64_t addr) {
+  std::lock_guard<Spinlock> guard(lock_);
   auto it = live_allocs_.find(addr);
   if (it == live_allocs_.end()) {
     return InvalidArgument("kfree of address not returned by kmalloc: 0x" +
@@ -81,6 +84,7 @@ Status KmallocArena::Kfree(uint64_t addr) {
 }
 
 Result<uint64_t> KmallocArena::AllocationSize(uint64_t addr) const {
+  std::lock_guard<Spinlock> guard(lock_);
   auto it = live_allocs_.find(addr);
   if (it == live_allocs_.end()) {
     return NotFound("no live allocation at that address");
@@ -89,6 +93,7 @@ Result<uint64_t> KmallocArena::AllocationSize(uint64_t addr) const {
 }
 
 KmallocStats KmallocArena::Stats() const {
+  std::lock_guard<Spinlock> guard(lock_);
   KmallocStats out = stats_;
   out.largest_free_chunk = 0;
   for (const auto& [base, size] : free_chunks_) {

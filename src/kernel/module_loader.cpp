@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 
 #include "kop/analysis/static_verifier.hpp"
@@ -68,6 +69,9 @@ class KernelMemory final : public kir::MemoryInterface {
 
 /// Sentinel: a call ordinal with no registered guard-site token.
 constexpr uint64_t kNoSiteToken = ~uint64_t{0};
+
+/// Per-CPU interpreter/VM frame stack size (module area).
+constexpr uint64_t kStackBytes = 64 * 1024;
 
 /// Routes external calls to the exported-symbol table; provides benign
 /// host fallbacks for the hardware intrinsics so un-wrapped intrinsics
@@ -329,72 +333,145 @@ LoadedModule::~LoadedModule() {
 
 Result<uint64_t> LoadedModule::Call(const std::string& function,
                                     const std::vector<uint64_t>& args) {
-  if (state_ == resilience::ModuleState::kQuarantined) {
+  CpuSlot& slot = MySlot();
+  if (quarantined()) {
     return PermissionDenied("module '" + name_ +
-                            "' is quarantined: " + quarantine_reason_);
+                            "' is quarantined: " + quarantine_reason());
   }
-  if (state_ == resilience::ModuleState::kNeedsRestart && call_depth_ == 0) {
+  if (slot.call_depth == 0 && stop_requested_.load(std::memory_order_acquire)) {
+    // Another CPU is draining in-flight calls to contain the module;
+    // refuse to start a new one (a late starter would be aborted at its
+    // first memory access anyway).
+    return Interrupted("module '" + name_ +
+                       "' call refused: containment in progress");
+  }
+  if (state() == resilience::ModuleState::kNeedsRestart &&
+      slot.call_depth == 0) {
     // A prior containment left the module down; retry the restart (one
     // backoff-charged attempt) before letting this call through.
     KOP_RETURN_IF_ERROR(TryRestart());
   }
 
-  const bool outermost = call_depth_ == 0;
-  if (outermost) {
-    if (journaling_enabled_) journaled_->journal().Begin();
-    heap_ledger_.call_new.clear();
-  }
-  ++call_depth_;
-  try {
-    auto result = engine_->Call(function, args);
-    --call_depth_;
-    if (!outermost) return result;
-    if (!result.ok() && result.status().code() == ErrorCode::kTimeout) {
-      // Watchdog expiry: the module lost its CPU mid-call. Unwind the
-      // call's writes and hand the module to the recovery policy.
-      KOP_TRACE(kModuleTimeout, engine_->stats().steps, watchdog_steps_);
-      trace::GlobalMetrics().GetCounter("resilience.timeouts")->Add();
-      return Contain(resilience::RollbackReason::kTimeout,
-                     result.status().message(), nullptr);
+  if (slot.call_depth != 0) {
+    // Re-entry via an exported module symbol: the outermost frame owns
+    // the transaction; this frame just runs.
+    ++slot.call_depth;
+    try {
+      auto result = slot.engine->Call(function, args);
+      --slot.call_depth;
+      return result;
+    } catch (...) {
+      --slot.call_depth;
+      throw;
     }
-    // Success and plain oops-style errors both commit: a wild pointer is
-    // a fault the module observes, not a containment event.
-    if (journaling_enabled_) journaled_->journal().Commit();
-    return result;
-  } catch (const GuardViolation& violation) {
-    --call_depth_;
-    if (!outermost) throw;  // the outermost frame owns the transaction
+  }
+
+  // Outermost call: open the transaction and register as an occupant
+  // (the containment drain counts occupants). The guard decrements on
+  // every exit, including a KernelPanic thrown out of recovery.
+  active_calls_.fetch_add(1, std::memory_order_acq_rel);
+  struct ActiveGuard {
+    std::atomic<uint32_t>* n;
+    ~ActiveGuard() { n->fetch_sub(1, std::memory_order_acq_rel); }
+  } active{&active_calls_};
+  if (journaling_enabled_) slot.journaled->journal().Begin();
+  heap_ledger_.BeginCall();
+
+  ++slot.call_depth;
+  std::optional<Result<uint64_t>> outcome;
+  std::optional<GuardViolation> violation;
+  try {
+    outcome = slot.engine->Call(function, args);
+    --slot.call_depth;
+  } catch (const GuardViolation& thrown) {
+    --slot.call_depth;
+    violation = thrown;  // contained below, outside the handler
+  } catch (const KernelPanic&) {
+    --slot.call_depth;
+    // The machine is dead, but the transactional promise holds: the
+    // half-finished call leaves no writes behind (post-mortem dumps of
+    // kernel memory see call-entry state).
+    RollbackJournal(slot, resilience::RollbackReason::kPanic);
+    ReclaimCallAllocations();
+    throw;
+  }
+
+  if (violation.has_value()) {
     char buf[96];
     std::snprintf(buf, sizeof(buf),
                   "guard violation at 0x%llx (size %llu, flags %llu)",
-                  static_cast<unsigned long long>(violation.addr),
-                  static_cast<unsigned long long>(violation.size),
-                  static_cast<unsigned long long>(violation.access_flags));
+                  static_cast<unsigned long long>(violation->addr),
+                  static_cast<unsigned long long>(violation->size),
+                  static_cast<unsigned long long>(violation->access_flags));
     std::string what = buf;
-    if (violation.site != 0) {
+    if (violation->site != 0) {
       what += " from ";
-      what += trace::GlobalSites().Label(violation.site);
+      what += trace::GlobalSites().Label(violation->site);
     }
-    return Contain(resilience::RollbackReason::kGuardViolation, what,
-                   &violation);
-  } catch (const KernelPanic&) {
-    --call_depth_;
-    if (call_depth_ == 0) {
-      // The machine is dead, but the transactional promise holds: the
-      // half-finished call leaves no writes behind (post-mortem dumps of
-      // kernel memory see call-entry state).
-      RollbackJournal(resilience::RollbackReason::kPanic);
-      ReclaimCallAllocations();
-    }
-    throw;
+    return Contain(slot, resilience::RollbackReason::kGuardViolation, what,
+                   &*violation);
   }
+  Result<uint64_t> result = std::move(*outcome);
+  if (!result.ok() && result.status().code() == ErrorCode::kTimeout) {
+    // Watchdog expiry: the module lost its CPU mid-call. Unwind the
+    // call's writes and hand the module to the recovery policy.
+    KOP_TRACE(kModuleTimeout, slot.engine->stats().steps, watchdog_steps_);
+    trace::GlobalMetrics().GetCounter("resilience.timeouts")->Add();
+    return Contain(slot, resilience::RollbackReason::kTimeout,
+                   result.status().message(), nullptr);
+  }
+  if (!result.ok() && result.status().code() == ErrorCode::kInterrupted) {
+    // Aborted by a cross-CPU stop: another CPU owns the containment
+    // incident. Unwind this CPU's transaction and report; the state
+    // machine belongs to the winner.
+    RollbackJournal(slot, resilience::RollbackReason::kFault);
+    ReclaimCallAllocations();
+    return Interrupted("module '" + name_ +
+                       "' call aborted by cross-CPU containment");
+  }
+  // Success and plain oops-style errors both commit: a wild pointer is
+  // a fault the module observes, not a containment event.
+  if (journaling_enabled_) slot.journaled->journal().Commit();
+  return result;
 }
 
-Result<uint64_t> LoadedModule::Contain(resilience::RollbackReason reason,
+Result<uint64_t> LoadedModule::Contain(CpuSlot& slot,
+                                       resilience::RollbackReason reason,
                                        const std::string& what,
                                        const GuardViolation* violation) {
-  RollbackJournal(reason);
+  // Every contained call unwinds its OWN transaction on its own CPU,
+  // winner or loser — rollback is per-journal, never delegated.
+  RollbackJournal(slot, reason);
   ReclaimCallAllocations();
+
+  if (containing_.exchange(true, std::memory_order_acq_rel)) {
+    // Another CPU already owns this incident's recovery; this call just
+    // reports its containment. Exactly one winner per incident.
+    return PermissionDenied("module '" + name_ + "' call contained (" + what +
+                            "); recovery owned by another CPU");
+  }
+
+  // Winner: stop the module machine-wide. Every other in-flight call
+  // aborts at its next memory access (kInterrupted through the journal
+  // seam), rolls back on its own CPU, and drops out of active_calls_.
+  // Recovery mutates shared state (heap, symbols, globals) only after
+  // the drain, when this call is the module's sole occupant.
+  struct ContainGuard {
+    LoadedModule* m;
+    ~ContainGuard() {
+      m->stop_requested_.store(false, std::memory_order_release);
+      m->containing_.store(false, std::memory_order_release);
+    }
+  } guard{this};
+  stop_requested_.store(true, std::memory_order_release);
+  while (active_calls_.load(std::memory_order_acquire) > 1) {
+    std::this_thread::yield();
+  }
+  // stop_requested_ stays set through recovery — a call starting now
+  // must refuse at the door until the state machine has settled (else a
+  // second incident could elect a second winner mid-quarantine). The
+  // restart path clears it itself: its re-init runs module code through
+  // the stop-checking journal seam.
 
   switch (recovery_) {
     case resilience::RecoveryPolicy::kPanic:
@@ -404,8 +481,13 @@ Result<uint64_t> LoadedModule::Contain(resilience::RollbackReason reason,
       Quarantine(what, violation);
       return PermissionDenied("module '" + name_ + "' quarantined: " + what);
     case resilience::RecoveryPolicy::kRestart: {
-      quarantine_reason_ = what;
-      state_ = resilience::ModuleState::kNeedsRestart;
+      {
+        std::lock_guard<Spinlock> state_guard(state_lock_);
+        quarantine_reason_ = what;
+      }
+      state_.store(resilience::ModuleState::kNeedsRestart,
+                   std::memory_order_release);
+      stop_requested_.store(false, std::memory_order_release);
       kernel_->log().Printk(
           KernLevel::kErr,
           "carat_kop: contained module '%s' after %s; scheduling restart",
@@ -420,13 +502,24 @@ Result<uint64_t> LoadedModule::Contain(resilience::RollbackReason reason,
 }
 
 Status LoadedModule::TryRestart() {
-  if (restart_attempts_ >= backoff_.max_attempts) {
+  CpuSlot& slot = MySlot();
+  std::lock_guard<std::mutex> lock(restart_lock_);
+  // Concurrent CPUs race here at call entry; whoever lost the lock may
+  // find the module already back up (or quarantined meanwhile).
+  const resilience::ModuleState current = state();
+  if (current == resilience::ModuleState::kQuarantined) {
+    return PermissionDenied("module '" + name_ +
+                            "' is quarantined: " + quarantine_reason());
+  }
+  if (current != resilience::ModuleState::kNeedsRestart) return OkStatus();
+  if (restart_attempts_.load(std::memory_order_acquire) >=
+      backoff_.max_attempts) {
     Quarantine("restart budget exhausted (" +
-                   std::to_string(restart_attempts_) +
-                   " attempts); last containment: " + quarantine_reason_,
+                   std::to_string(restart_attempts_.load()) +
+                   " attempts); last containment: " + quarantine_reason(),
                nullptr);
     return PermissionDenied("module '" + name_ +
-                            "' is quarantined: " + quarantine_reason_);
+                            "' is quarantined: " + quarantine_reason());
   }
   const uint32_t attempt = ++restart_attempts_;
   // Simulated downtime: exponential backoff before the attempt runs.
@@ -442,42 +535,42 @@ Status LoadedModule::TryRestart() {
     KOP_TRACE(kModuleRestart, attempt, 0);
     return reset;  // stays kNeedsRestart; next call retries
   }
-  engine_->ResetStats();
+  for (auto& s : slots_) s->engine->ResetStats();
 
   bool ok = true;
   std::string failure;
   if (!restart_entry_.empty()) {
     // Re-run init under its own journal transaction: a failing init must
     // not leave half-initialized state either.
-    journaled_->journal().Begin();
-    heap_ledger_.call_new.clear();
-    ++call_depth_;
+    slot.journaled->journal().Begin();
+    heap_ledger_.BeginCall();
+    ++slot.call_depth;
     try {
-      auto init = engine_->Call(restart_entry_, restart_args_);
-      --call_depth_;
+      auto init = slot.engine->Call(restart_entry_, restart_args_);
+      --slot.call_depth;
       if (init.ok()) {
-        journaled_->journal().Commit();
+        slot.journaled->journal().Commit();
       } else {
         ok = false;
         failure = init.status().ToString();
-        RollbackJournal(init.status().code() == ErrorCode::kTimeout
-                            ? resilience::RollbackReason::kTimeout
-                            : resilience::RollbackReason::kFault);
+        RollbackJournal(slot, init.status().code() == ErrorCode::kTimeout
+                                  ? resilience::RollbackReason::kTimeout
+                                  : resilience::RollbackReason::kFault);
         ReclaimCallAllocations();
       }
     } catch (const GuardViolation& violation) {
-      --call_depth_;
+      --slot.call_depth;
       ok = false;
       char buf[96];
       std::snprintf(buf, sizeof(buf),
                     "guard violation at 0x%llx during init",
                     static_cast<unsigned long long>(violation.addr));
       failure = buf;
-      RollbackJournal(resilience::RollbackReason::kGuardViolation);
+      RollbackJournal(slot, resilience::RollbackReason::kGuardViolation);
       ReclaimCallAllocations();
     } catch (const KernelPanic&) {
-      --call_depth_;
-      RollbackJournal(resilience::RollbackReason::kPanic);
+      --slot.call_depth;
+      RollbackJournal(slot, resilience::RollbackReason::kPanic);
       ReclaimCallAllocations();
       throw;
     }
@@ -488,7 +581,8 @@ Status LoadedModule::TryRestart() {
       .GetCounter(ok ? "resilience.restarts" : "resilience.restart_failures")
       ->Add();
   if (ok) {
-    state_ = resilience::ModuleState::kRestarted;
+    state_.store(resilience::ModuleState::kRestarted,
+                 std::memory_order_release);
     ++restarts_completed_;
     kernel_->log().Printk(
         KernLevel::kInfo,
@@ -504,21 +598,24 @@ Status LoadedModule::TryRestart() {
                           std::to_string(attempt) + " failed: " + failure);
 }
 
-size_t LoadedModule::RollbackJournal(resilience::RollbackReason reason) {
-  resilience::WriteJournal& journal = journaled_->journal();
+size_t LoadedModule::RollbackJournal(CpuSlot& slot,
+                                     resilience::RollbackReason reason) {
+  resilience::WriteJournal& journal = slot.journaled->journal();
   if (!journal.active()) return 0;
   const uint64_t bytes = journal.bytes();
   // Undo through the UN-journaled inner interface: the replay must not
-  // journal itself or pass through fault hooks.
-  const size_t undone = journal.Rollback(journaled_->inner());
+  // journal itself or pass through fault hooks (and must not be aborted
+  // by a pending cross-CPU stop — the inner interface has no stop flag).
+  const size_t undone = journal.Rollback(slot.journaled->inner());
   KOP_TRACE(kModuleRollback, undone, bytes, static_cast<uint64_t>(reason));
   trace::GlobalMetrics().GetCounter("resilience.rollbacks")->Add();
   return undone;
 }
 
 void LoadedModule::ReclaimCallAllocations() {
-  std::vector<uint64_t> pending = std::move(heap_ledger_.call_new);
-  heap_ledger_.call_new.clear();
+  // Only the calling CPU's open-call allocations: a rollback on one CPU
+  // must not free what a concurrent call on another CPU just allocated.
+  std::vector<uint64_t> pending = heap_ledger_.TakeMyCallNew();
   for (uint64_t addr : pending) {
     (void)kernel_->heap().Kfree(addr);
     heap_ledger_.OnFree(addr);
@@ -526,11 +623,9 @@ void LoadedModule::ReclaimCallAllocations() {
 }
 
 void LoadedModule::ReclaimHeapAllocations() {
-  for (uint64_t addr : heap_ledger_.live) {
+  for (uint64_t addr : heap_ledger_.TakeAllLive()) {
     (void)kernel_->heap().Kfree(addr);
   }
-  heap_ledger_.live.clear();
-  heap_ledger_.call_new.clear();
 }
 
 void LoadedModule::UnexportSymbols() {
@@ -557,8 +652,12 @@ Status LoadedModule::ResetGlobals() {
 
 void LoadedModule::Quarantine(const std::string& reason,
                               const GuardViolation* violation) {
-  state_ = resilience::ModuleState::kQuarantined;
-  quarantine_reason_ = reason;
+  {
+    std::lock_guard<Spinlock> guard(state_lock_);
+    quarantine_reason_ = reason;
+  }
+  state_.store(resilience::ModuleState::kQuarantined,
+               std::memory_order_release);
   KOP_TRACE(kModuleQuarantine, violation != nullptr ? violation->addr : 0,
             violation != nullptr ? violation->size : 0,
             violation != nullptr ? violation->site : 0);
@@ -573,6 +672,47 @@ void LoadedModule::Quarantine(const std::string& reason,
       "carat_kop: quarantined module '%s' after %s; the module was NOT "
       "ejected (it may hold locks)",
       name_.c_str(), reason.c_str());
+}
+
+Status LoadedModule::PrepareCpus(uint32_t cpus) {
+  if (cpus == 0) cpus = 1;
+  if (cpus > smp::kMaxCpus) cpus = smp::kMaxCpus;
+  while (slots_.size() < cpus) {
+    auto slot = std::make_unique<CpuSlot>();
+    slot->memory = std::make_unique<KernelMemory>(kernel_);
+    Kernel* kernel = kernel_;
+    slot->journaled = std::make_unique<resilience::JournaledMemory>(
+        slot->memory.get(), [kernel](uint64_t addr, uint32_t size) {
+          return kernel->mem().RawHostPointer(addr, size) != nullptr;
+        });
+    slot->journaled->SetStopFlag(&stop_requested_);
+    slot->resolver = std::make_unique<KernelResolver>(kernel_, site_token_map_,
+                                                      &heap_ledger_);
+
+    // Each CPU runs on its own frame stack; everything else the config
+    // carries (watchdog budget) is shared policy.
+    kir::InterpConfig config = base_config_;
+    auto stack = kernel_->module_area().Kmalloc(kStackBytes, 64);
+    if (!stack.ok()) return stack.status();
+    allocations_.push_back(*stack);
+    config.stack_base = *stack;
+    config.stack_size = kStackBytes;
+    config.watchdog_steps = watchdog_steps_;
+
+    if (engine_kind_ == ExecEngine::kBytecode) {
+      auto bytecode = kir::CompileToBytecode(*ir_);
+      if (!bytecode.ok()) return bytecode.status();
+      auto vm = kir::VM::Create(std::move(*bytecode), *slot->journaled,
+                                *slot->resolver, address_map_, config);
+      if (!vm.ok()) return vm.status();
+      slot->engine = std::move(*vm);
+    } else {
+      slot->engine = std::make_unique<kir::Interpreter>(
+          *ir_, *slot->journaled, *slot->resolver, address_map_, config);
+    }
+    slots_.push_back(std::move(slot));
+  }
+  return OkStatus();
 }
 
 Result<uint64_t> LoadedModule::GlobalAddress(const std::string& global) const {
@@ -672,7 +812,6 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
   if (!text.ok()) return text.status();
   loaded->allocations_.push_back(*text);
 
-  constexpr uint64_t kStackBytes = 64 * 1024;
   auto stack = kernel_->module_area().Kmalloc(kStackBytes, 64);
   if (!stack.ok()) return stack.status();
   loaded->allocations_.push_back(*stack);
@@ -714,18 +853,25 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
   // 6. The memory stack both engines execute against: kernel-backed
   //    memory, wrapped in the resilience journal so every module call is
   //    a transaction (interpreter and VM journal identically — they
-  //    share this seam).
-  loaded->memory_ = std::make_unique<KernelMemory>(kernel_);
+  //    share this seam). This becomes CPU slot 0 (the boot CPU);
+  //    PrepareCpus stamps out more slots from the saved inputs.
+  auto slot0 = std::make_unique<LoadedModule::CpuSlot>();
+  slot0->memory = std::make_unique<KernelMemory>(kernel_);
   Kernel* kernel = kernel_;
-  loaded->journaled_ = std::make_unique<resilience::JournaledMemory>(
-      loaded->memory_.get(), [kernel](uint64_t addr, uint32_t size) {
+  slot0->journaled = std::make_unique<resilience::JournaledMemory>(
+      slot0->memory.get(), [kernel](uint64_t addr, uint32_t size) {
         return kernel->mem().RawHostPointer(addr, size) != nullptr;
       });
-  loaded->resolver_ = std::make_unique<KernelResolver>(
+  slot0->journaled->SetStopFlag(&loaded->stop_requested_);
+  slot0->resolver = std::make_unique<KernelResolver>(
       kernel_, site_tokens, &loaded->heap_ledger_);
   std::unordered_map<std::string, uint64_t> addresses(
       loaded->global_addresses_.begin(), loaded->global_addresses_.end());
   loaded->ir_ = std::move(ir);
+  loaded->engine_kind_ = engine_;
+  loaded->base_config_ = config;
+  loaded->site_token_map_ = site_tokens;
+  loaded->address_map_ = addresses;
 
   if (engine_ == ExecEngine::kBytecode) {
     auto bytecode = kir::CompileToBytecode(*loaded->ir_);
@@ -745,15 +891,16 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
       return Internal("bytecode guard-site table diverges from IR for '" +
                       name + "'");
     }
-    auto vm = kir::VM::Create(std::move(*bytecode), *loaded->journaled_,
-                              *loaded->resolver_, addresses, config);
+    auto vm = kir::VM::Create(std::move(*bytecode), *slot0->journaled,
+                              *slot0->resolver, addresses, config);
     if (!vm.ok()) return vm.status();
-    loaded->engine_ = std::move(*vm);
+    slot0->engine = std::move(*vm);
   } else {
-    loaded->engine_ = std::make_unique<kir::Interpreter>(
-        *loaded->ir_, *loaded->journaled_, *loaded->resolver_,
+    slot0->engine = std::make_unique<kir::Interpreter>(
+        *loaded->ir_, *slot0->journaled, *slot0->resolver,
         std::move(addresses), config);
   }
+  loaded->slots_.push_back(std::move(slot0));
 
   // 7. Restart recovery re-runs @init after teardown when the module
   //    defines a zero-arg one (modules with parameterized inits register
@@ -793,6 +940,19 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
             loaded->attestation_.guard_count);
   trace::GlobalMetrics().GetCounter("loader.modules_loaded")->Add();
 
+  // CI smoke hook: KOP_SMP_CPUS=N stamps per-CPU execution contexts at
+  // insmod so every existing test scenario runs with the SMP seam
+  // active (calls still land on whatever CPU issues them; --cpus 1
+  // determinism guarantees behavior is unchanged on CPU 0). A failure
+  // here unwinds the module before it is registered.
+  if (const char* env = std::getenv("KOP_SMP_CPUS")) {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    if (n > 1) {
+      KOP_RETURN_IF_ERROR(loaded->PrepareCpus(
+          static_cast<uint32_t>(n > smp::kMaxCpus ? smp::kMaxCpus : n)));
+    }
+  }
+
   LoadedModule* raw = loaded.get();
   modules_[name] = std::move(loaded);
   return raw;
@@ -804,6 +964,13 @@ Status ModuleLoader::Rmmod(const std::string& name) {
   modules_.erase(it);
   kernel_->log().Printk(KernLevel::kInfo, "rmmod: unloaded module '%s'",
                         name.c_str());
+  return OkStatus();
+}
+
+Status ModuleLoader::PrepareCpus(uint32_t cpus) {
+  for (auto& [name, module] : modules_) {
+    KOP_RETURN_IF_ERROR(module->PrepareCpus(cpus));
+  }
   return OkStatus();
 }
 

@@ -1,74 +1,101 @@
 #include "kop/kernel/symbols.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 namespace kop::kernel {
+
+SymbolTable::Shard& SymbolTable::ShardFor(const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kShardCount];
+}
 
 Status SymbolTable::ExportFunction(const std::string& name,
                                    KernelFunction fn) {
   if (!fn) return InvalidArgument("null function for symbol " + name);
-  if (functions_.count(name) || data_.count(name)) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<Spinlock> guard(shard.lock);
+  if (shard.functions.count(name) || shard.data.count(name)) {
     return AlreadyExists("symbol already exported: " + name);
   }
-  functions_[name] = std::move(fn);
-  ++generation_;
+  shard.functions[name] = std::make_unique<KernelFunction>(std::move(fn));
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   return OkStatus();
 }
 
 Status SymbolTable::ExportData(const std::string& name, uint64_t address) {
-  if (functions_.count(name) || data_.count(name)) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<Spinlock> guard(shard.lock);
+  if (shard.functions.count(name) || shard.data.count(name)) {
     return AlreadyExists("symbol already exported: " + name);
   }
-  data_[name] = address;
-  ++generation_;
+  shard.data[name] = address;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   return OkStatus();
 }
 
 Status SymbolTable::Unexport(const std::string& name) {
-  if (functions_.erase(name) > 0) {
-    ++generation_;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<Spinlock> guard(shard.lock);
+  if (auto it = shard.functions.find(name); it != shard.functions.end()) {
+    shard.graveyard.push_back(std::move(it->second));
+    shard.functions.erase(it);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
     return OkStatus();
   }
-  if (data_.erase(name) > 0) {
-    ++generation_;
+  if (shard.data.erase(name) > 0) {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
     return OkStatus();
   }
   return NotFound("symbol not exported: " + name);
 }
 
 bool SymbolTable::HasFunction(const std::string& name) const {
-  return functions_.count(name) > 0;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<Spinlock> guard(shard.lock);
+  return shard.functions.count(name) > 0;
 }
 
 bool SymbolTable::HasData(const std::string& name) const {
-  return data_.count(name) > 0;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<Spinlock> guard(shard.lock);
+  return shard.data.count(name) > 0;
 }
 
 const KernelFunction* SymbolTable::FindFunction(const std::string& name) const {
-  auto it = functions_.find(name);
-  return it == functions_.end() ? nullptr : &it->second;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<Spinlock> guard(shard.lock);
+  auto it = shard.functions.find(name);
+  return it == shard.functions.end() ? nullptr : it->second.get();
 }
 
 Result<uint64_t> SymbolTable::Call(const std::string& name,
                                    const std::vector<uint64_t>& args) const {
-  auto it = functions_.find(name);
-  if (it == functions_.end()) {
-    return NotFound("undefined kernel symbol: " + name);
-  }
-  return it->second(args);
+  // Resolve under the shard lock, invoke outside it: exported closures
+  // may run arbitrarily long (they ARE the kernel services) and must not
+  // serialize unrelated exports; the graveyard keeps the target callable
+  // even if it is unexported between resolve and invoke.
+  const KernelFunction* fn = FindFunction(name);
+  if (fn == nullptr) return NotFound("undefined kernel symbol: " + name);
+  return (*fn)(args);
 }
 
 Result<uint64_t> SymbolTable::DataAddress(const std::string& name) const {
-  auto it = data_.find(name);
-  if (it == data_.end()) return NotFound("undefined data symbol: " + name);
+  Shard& shard = ShardFor(name);
+  std::lock_guard<Spinlock> guard(shard.lock);
+  auto it = shard.data.find(name);
+  if (it == shard.data.end()) {
+    return NotFound("undefined data symbol: " + name);
+  }
   return it->second;
 }
 
 std::vector<std::string> SymbolTable::Names() const {
   std::vector<std::string> out;
-  out.reserve(functions_.size() + data_.size());
-  for (const auto& [name, fn] : functions_) out.push_back(name);
-  for (const auto& [name, addr] : data_) out.push_back(name);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<Spinlock> guard(shard.lock);
+    for (const auto& [name, fn] : shard.functions) out.push_back(name);
+    for (const auto& [name, addr] : shard.data) out.push_back(name);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }

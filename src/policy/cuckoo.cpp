@@ -126,7 +126,7 @@ void CuckooFilter::Clear() {
 
 // ------------------------------------------------------ CuckooFrontStore --
 
-Status CuckooFrontStore::Add(const Region& region) {
+Status CuckooFrontStore::DoAdd(const Region& region) {
   KOP_RETURN_IF_ERROR(inner_->Add(region));
   const uint64_t first = region.base >> kPageShift;
   const uint64_t last = (region.base + region.len - 1) >> kPageShift;
@@ -137,7 +137,7 @@ Status CuckooFrontStore::Add(const Region& region) {
   return OkStatus();
 }
 
-Status CuckooFrontStore::Remove(uint64_t base) {
+Status CuckooFrontStore::DoRemove(uint64_t base) {
   // Find the region first so its pages can be deleted from the filter.
   Region removed{};
   bool found = false;
@@ -160,7 +160,7 @@ Status CuckooFrontStore::Remove(uint64_t base) {
   return OkStatus();
 }
 
-void CuckooFrontStore::Clear() {
+void CuckooFrontStore::DoClear() {
   inner_->Clear();
   filter_.Clear();
   degraded_ = false;

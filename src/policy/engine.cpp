@@ -13,6 +13,7 @@ PolicyEngine::PolicyEngine(kernel::Kernel* kernel,
                            std::unique_ptr<PolicyStore> store, PolicyMode mode)
     : kernel_(kernel),
       store_(std::move(store)),
+      store_ptr_(store_.get()),
       mode_(mode),
       latency_hist_(
           trace::GlobalMetrics().GetHistogram("guard.latency_cycles")),
@@ -20,26 +21,140 @@ PolicyEngine::PolicyEngine(kernel::Kernel* kernel,
           trace::GlobalMetrics().GetHistogram("policy.lookup_depth")),
       denied_counter_(trace::GlobalMetrics().GetCounter("guard.denied")) {}
 
+PolicyEngine::~PolicyEngine() {
+  // No guard may be in flight at destruction. Retired frames drain in
+  // the RCU domain's destructor; the live frame is ours to free.
+  delete frame_.load(std::memory_order_acquire);
+}
+
+const PolicyFrame* PolicyEngine::CurrentFrame() const {
+  const PolicyFrame* frame = frame_.load(std::memory_order_acquire);
+  if (frame != nullptr &&
+      frame->store_generation ==
+          store_ptr_.load(std::memory_order_acquire)->generation() &&
+      frame->config_generation ==
+          config_generation_.load(std::memory_order_acquire)) {
+    return frame;
+  }
+  return RepublishFrame();
+}
+
+const PolicyFrame* PolicyEngine::RepublishFrame() const {
+  std::lock_guard<Spinlock> guard(writer_lock_);
+  // Re-check under the writer lock: the CPU that beat us here may have
+  // already published exactly the frame we came to build.
+  const uint64_t store_gen = store_->generation();
+  const uint64_t config_gen =
+      config_generation_.load(std::memory_order_acquire);
+  const PolicyFrame* frame = frame_.load(std::memory_order_acquire);
+  if (frame != nullptr && frame->store_generation == store_gen &&
+      frame->config_generation == config_gen) {
+    return frame;
+  }
+
+  auto* fresh = new PolicyFrame;
+  fresh->regions = store_->Snapshot();
+  fresh->store_size = fresh->regions.size();
+  fresh->store_generation = store_gen;
+  fresh->config_generation = config_gen;
+  fresh->intrinsic_allowed.assign(intrinsic_allowed_.begin(),
+                                  intrinsic_allowed_.end());
+  fresh->intrinsic_denied.assign(intrinsic_denied_.begin(),
+                                 intrinsic_denied_.end());
+  fresh->intrinsic_default_allow = intrinsic_default_allow_;
+
+  frame_.store(fresh, std::memory_order_release);
+  frames_published_.fetch_add(1, std::memory_order_acq_rel);
+  // We are inside the calling guard's read section, so Retire must not
+  // block; the old frame is freed once every section that could have
+  // loaded it has closed.
+  if (frame != nullptr) rcu_.Retire(frame);
+  return fresh;
+}
+
+std::optional<uint32_t> PolicyEngine::FrameLookup(const PolicyFrame& frame,
+                                                  uint64_t addr, uint64_t size,
+                                                  uint64_t* depth) {
+  uint64_t scanned = 0;
+  for (const Region& region : frame.regions) {
+    ++scanned;
+    if (region.Contains(addr, size)) {
+      *depth = scanned;
+      return region.prot;
+    }
+  }
+  *depth = scanned;
+  return std::nullopt;
+}
+
 std::unique_ptr<PolicyStore> PolicyEngine::SwapStore(
     std::unique_ptr<PolicyStore> store) {
-  std::lock_guard<Spinlock> guard(lock_);
-  std::unique_ptr<PolicyStore> old = std::move(store_);
-  store_ = std::move(store);
-  // Carry the regions over so a live swap preserves the policy.
-  for (const Region& region : old->Snapshot()) {
-    (void)store_->Add(region);
+  std::unique_ptr<PolicyStore> old;
+  {
+    std::lock_guard<Spinlock> guard(writer_lock_);
+    old = std::move(store_);
+    store_ = std::move(store);
+    store_ptr_.store(store_.get(), std::memory_order_release);
+    // Carry the regions over so a live swap preserves the policy.
+    for (const Region& region : old->Snapshot()) {
+      (void)store_->Add(region);
+    }
+    // The frame's store_generation was drawn from the OLD store's
+    // counter; bumping the config generation forces republish even if
+    // the new store's counter happens to coincide.
+    config_generation_.fetch_add(1, std::memory_order_acq_rel);
   }
+  // Grace period: once every in-flight guard has left its read section,
+  // no CPU can still be comparing generations against the old store, and
+  // the caller may destroy it.
+  rcu_.Synchronize();
   return old;
 }
 
 bool PolicyEngine::Check(uint64_t addr, uint64_t size,
                          uint64_t access_flags) const {
-  std::lock_guard<Spinlock> guard(lock_);
-  const std::optional<uint32_t> prot = store_->Lookup(addr, size);
+  smp::RcuDomain::ReadGuard rcu(rcu_);
+  const PolicyFrame* frame = CurrentFrame();
+  uint64_t depth = 0;
+  const std::optional<uint32_t> prot =
+      FrameLookup(*frame, addr, size, &depth);
   if (prot.has_value()) {
     return (*prot & access_flags) == access_flags;
   }
-  return mode_ == PolicyMode::kDefaultAllow;
+  return mode() == PolicyMode::kDefaultAllow;
+}
+
+void PolicyEngine::NoteSite(uint64_t site, bool allowed) {
+  SiteShard& shard = site_shards_.Mine();
+  std::lock_guard<Spinlock> guard(shard.lock);
+  if (site >= shard.rows.size()) {
+    shard.rows.resize(static_cast<size_t>(site) + 1);
+  }
+  HotSite& row = shard.rows[static_cast<size_t>(site)];
+  row.site = site;
+  ++row.hits;
+  if (!allowed) ++row.denied;
+}
+
+uint64_t PolicyEngine::FoldGuardCalls() const {
+  uint64_t total = 0;
+  cpu_stats_.ForEach([&total](uint32_t, const CpuStats& slot) {
+    total += slot.guard_calls.load(std::memory_order_relaxed);
+  });
+  return total;
+}
+
+uint64_t PolicyEngine::FoldIntrinsicCalls() const {
+  uint64_t total = 0;
+  cpu_stats_.ForEach([&total](uint32_t, const CpuStats& slot) {
+    total += slot.intrinsic_calls.load(std::memory_order_relaxed);
+  });
+  return total;
+}
+
+void PolicyEngine::RecordViolation(const ViolationRecord& record) {
+  std::lock_guard<Spinlock> guard(violations_lock_);
+  violations_.push(record);
 }
 
 bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
@@ -47,33 +162,37 @@ bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
   const uint64_t site = trace::CurrentGuardSite();
   bool allowed;
   {
-    std::lock_guard<Spinlock> guard(lock_);
-    ++stats_.guard_calls;
-    const double guard_cycles =
-        kernel_->machine().GuardCycles(static_cast<uint32_t>(store_->Size()));
-    if (charge_cycles_) kernel_->clock().Advance(guard_cycles);
+    smp::RcuDomain::ReadGuard rcu(rcu_);
+    const PolicyFrame* frame = CurrentFrame();
+    CpuStats& my = cpu_stats_.Mine();
+    my.guard_calls.fetch_add(1, std::memory_order_relaxed);
+    const double guard_cycles = kernel_->machine().GuardCycles(
+        static_cast<uint32_t>(frame->store_size));
+    if (charge_cycles_.load(std::memory_order_relaxed)) {
+      kernel_->clock().Advance(guard_cycles);
+    }
     latency_hist_->Observe(guard_cycles);
 
-    const uint64_t scanned_before = store_->stats().entries_scanned;
-    const std::optional<uint32_t> prot = store_->Lookup(addr, size);
-    const uint64_t depth = store_->stats().entries_scanned - scanned_before;
+    uint64_t depth = 0;
+    const std::optional<uint32_t> prot =
+        FrameLookup(*frame, addr, size, &depth);
     lookup_depth_hist_->Observe(static_cast<double>(depth));
-    KOP_TRACE(kPolicyLookup, depth, store_->Size());
+    KOP_TRACE(kPolicyLookup, depth, frame->store_size);
 
     allowed = prot.has_value()
                   ? (*prot & access_flags) == access_flags
-                  : mode_ == PolicyMode::kDefaultAllow;
-    if (site == force_deny_site_) [[unlikely]] allowed = false;
-    HotSite& row = SiteRow(site);
-    row.site = site;
-    ++row.hits;
+                  : mode() == PolicyMode::kDefaultAllow;
+    if (site == force_deny_site_.load(std::memory_order_relaxed))
+        [[unlikely]] {
+      allowed = false;
+    }
+    NoteSite(site, allowed);
     if (allowed) {
-      ++stats_.allowed;
+      my.allowed.fetch_add(1, std::memory_order_relaxed);
     } else {
-      ++stats_.denied;
-      ++row.denied;
-      violations_.push(ViolationRecord{addr, size, access_flags,
-                                       stats_.guard_calls, false, site});
+      my.denied.fetch_add(1, std::memory_order_relaxed);
+      RecordViolation(ViolationRecord{addr, size, access_flags,
+                                      FoldGuardCalls(), false, site});
     }
   }
   KOP_TRACE(kGuardCheck, addr, size, access_flags, site);
@@ -89,10 +208,11 @@ bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
       "CARAT KOP: forbidden %s access to 0x%llx (size %llu) blocked by policy",
       kind, static_cast<unsigned long long>(addr),
       static_cast<unsigned long long>(size));
-  if (action_ == ViolationAction::kPanic) {
+  const ViolationAction action = violation_action();
+  if (action == ViolationAction::kPanic) {
     kernel_->Panic("CARAT KOP guard violation");  // throws KernelPanic
   }
-  if (action_ == ViolationAction::kQuarantine) {
+  if (action == ViolationAction::kQuarantine) {
     throw GuardViolation(addr, size, access_flags, site);
   }
   return false;
@@ -102,23 +222,25 @@ bool PolicyEngine::IntrinsicGuard(uint64_t intrinsic_id) {
   const uint64_t site = trace::CurrentGuardSite();
   bool allowed;
   {
-    std::lock_guard<Spinlock> guard(lock_);
-    ++stats_.intrinsic_calls;
-    if (intrinsic_denied_.count(intrinsic_id)) {
+    smp::RcuDomain::ReadGuard rcu(rcu_);
+    const PolicyFrame* frame = CurrentFrame();
+    CpuStats& my = cpu_stats_.Mine();
+    my.intrinsic_calls.fetch_add(1, std::memory_order_relaxed);
+    if (std::binary_search(frame->intrinsic_denied.begin(),
+                           frame->intrinsic_denied.end(), intrinsic_id)) {
       allowed = false;
-    } else if (intrinsic_allowed_.count(intrinsic_id)) {
+    } else if (std::binary_search(frame->intrinsic_allowed.begin(),
+                                  frame->intrinsic_allowed.end(),
+                                  intrinsic_id)) {
       allowed = true;
     } else {
-      allowed = intrinsic_default_allow_;
+      allowed = frame->intrinsic_default_allow;
     }
-    HotSite& row = SiteRow(site);
-    row.site = site;
-    ++row.hits;
+    NoteSite(site, allowed);
     if (!allowed) {
-      ++stats_.intrinsic_denied;
-      ++row.denied;
-      violations_.push(ViolationRecord{intrinsic_id, 0, 0,
-                                       stats_.intrinsic_calls, true, site});
+      my.intrinsic_denied.fetch_add(1, std::memory_order_relaxed);
+      RecordViolation(ViolationRecord{intrinsic_id, 0, 0,
+                                      FoldIntrinsicCalls(), true, site});
     }
   }
   KOP_TRACE(kIntrinsicCheck, intrinsic_id, allowed ? 1 : 0, 0, site);
@@ -128,50 +250,107 @@ bool PolicyEngine::IntrinsicGuard(uint64_t intrinsic_id) {
       kernel::KernLevel::kAlert,
       "CARAT KOP: forbidden privileged intrinsic %llu blocked by policy",
       static_cast<unsigned long long>(intrinsic_id));
-  if (action_ == ViolationAction::kPanic) {
+  if (violation_action() == ViolationAction::kPanic) {
     kernel_->Panic("CARAT KOP privileged-intrinsic violation");
   }
   return false;
 }
 
 void PolicyEngine::AllowIntrinsic(uint64_t intrinsic_id) {
-  std::lock_guard<Spinlock> guard(lock_);
+  std::lock_guard<Spinlock> guard(writer_lock_);
   intrinsic_denied_.erase(intrinsic_id);
   intrinsic_allowed_.insert(intrinsic_id);
+  config_generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void PolicyEngine::DenyIntrinsic(uint64_t intrinsic_id) {
-  std::lock_guard<Spinlock> guard(lock_);
+  std::lock_guard<Spinlock> guard(writer_lock_);
   intrinsic_allowed_.erase(intrinsic_id);
   intrinsic_denied_.insert(intrinsic_id);
+  config_generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void PolicyEngine::SetIntrinsicDefaultAllow(bool allow) {
+  std::lock_guard<Spinlock> guard(writer_lock_);
+  intrinsic_default_allow_ = allow;
+  config_generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 GuardStats PolicyEngine::stats() const {
-  std::lock_guard<Spinlock> guard(lock_);
-  return stats_;
+  GuardStats out;
+  cpu_stats_.ForEach([&out](uint32_t, const CpuStats& slot) {
+    out.guard_calls += slot.guard_calls.load(std::memory_order_relaxed);
+    out.allowed += slot.allowed.load(std::memory_order_relaxed);
+    out.denied += slot.denied.load(std::memory_order_relaxed);
+    out.intrinsic_calls +=
+        slot.intrinsic_calls.load(std::memory_order_relaxed);
+    out.intrinsic_denied +=
+        slot.intrinsic_denied.load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+GuardStats PolicyEngine::PerCpuStats(uint32_t cpu) const {
+  const CpuStats& slot = cpu_stats_.Get(cpu);
+  GuardStats out;
+  out.guard_calls = slot.guard_calls.load(std::memory_order_relaxed);
+  out.allowed = slot.allowed.load(std::memory_order_relaxed);
+  out.denied = slot.denied.load(std::memory_order_relaxed);
+  out.intrinsic_calls = slot.intrinsic_calls.load(std::memory_order_relaxed);
+  out.intrinsic_denied =
+      slot.intrinsic_denied.load(std::memory_order_relaxed);
+  return out;
 }
 
 void PolicyEngine::ResetStats() {
-  std::lock_guard<Spinlock> guard(lock_);
-  stats_ = GuardStats();
+  cpu_stats_.ForEach([](uint32_t, CpuStats& slot) {
+    slot.guard_calls.store(0, std::memory_order_relaxed);
+    slot.allowed.store(0, std::memory_order_relaxed);
+    slot.denied.store(0, std::memory_order_relaxed);
+    slot.intrinsic_calls.store(0, std::memory_order_relaxed);
+    slot.intrinsic_denied.store(0, std::memory_order_relaxed);
+  });
   store_->ResetStats();
-  violations_.clear();
-  site_table_.clear();
+  {
+    std::lock_guard<Spinlock> guard(violations_lock_);
+    violations_.clear();
+  }
+  site_shards_.ForEach([](uint32_t, SiteShard& shard) {
+    std::lock_guard<Spinlock> guard(shard.lock);
+    shard.rows.clear();
+  });
 }
 
 std::vector<ViolationRecord> PolicyEngine::RecentViolations() const {
-  std::lock_guard<Spinlock> guard(lock_);
+  std::lock_guard<Spinlock> guard(violations_lock_);
   return violations_.snapshot();
 }
 
+std::vector<Region> PolicyEngine::FrameSnapshot() const {
+  smp::RcuDomain::ReadGuard rcu(rcu_);
+  return CurrentFrame()->regions;
+}
+
 std::vector<HotSite> PolicyEngine::HotSites() const {
-  std::vector<HotSite> out;
-  {
-    std::lock_guard<Spinlock> guard(lock_);
-    out.reserve(site_table_.size());
-    for (const HotSite& row : site_table_) {
-      if (row.hits != 0) out.push_back(row);
+  // Fold the per-CPU shards: same token on different CPUs merges.
+  std::vector<HotSite> merged;
+  site_shards_.ForEach([&merged](uint32_t, SiteShard& shard) {
+    std::lock_guard<Spinlock> guard(shard.lock);
+    for (const HotSite& row : shard.rows) {
+      if (row.hits == 0) continue;
+      if (row.site >= merged.size()) {
+        merged.resize(static_cast<size_t>(row.site) + 1);
+      }
+      HotSite& out = merged[static_cast<size_t>(row.site)];
+      out.site = row.site;
+      out.hits += row.hits;
+      out.denied += row.denied;
     }
+  });
+  std::vector<HotSite> out;
+  out.reserve(merged.size());
+  for (const HotSite& row : merged) {
+    if (row.hits != 0) out.push_back(row);
   }
   std::sort(out.begin(), out.end(), [](const HotSite& a, const HotSite& b) {
     return a.hits != b.hits ? a.hits > b.hits : a.site < b.site;

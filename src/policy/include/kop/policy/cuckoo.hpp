@@ -66,14 +66,16 @@ class CuckooFrontStore : public PolicyStore {
       : inner_(std::move(inner)), filter_(filter_capacity) {}
 
   std::string_view name() const override { return "cuckoo-front"; }
-  Status Add(const Region& region) override;
-  Status Remove(uint64_t base) override;
-  void Clear() override;
-  size_t Size() const override { return inner_->Size(); }
   std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
-  std::vector<Region> Snapshot() const override { return inner_->Snapshot(); }
 
   const CuckooFilter& filter() const { return filter_; }
+
+ protected:
+  Status DoAdd(const Region& region) override;
+  Status DoRemove(uint64_t base) override;
+  void DoClear() override;
+  size_t DoSize() const override { return inner_->Size(); }
+  std::vector<Region> DoSnapshot() const override { return inner_->Snapshot(); }
 
  private:
   /// A page may be covered by several regions; reference-count inserts

@@ -3,6 +3,21 @@
 // forbidden access logs to printk and panics the kernel (paper §3.1 —
 // "we currently do not cleanly handle forbidden accesses, and instead log
 // that they occur and cause a kernel panic").
+//
+// SMP read path: guards never take the engine lock. Each guard enters an
+// RCU read section and decides against an immutable PolicyFrame — a
+// flattened copy-published snapshot of the active PolicyStore plus the
+// intrinsic permission sets. Mutators (store Add/Remove/Clear, intrinsic
+// config, store swaps) bump generation counters; the next guard that
+// notices a stale frame republishes a fresh one under the writer lock and
+// retires the old frame to the RCU domain, which frees it only after
+// every in-flight guard that could hold it has left. An in-flight guard
+// therefore always decides against a policy that was atomically current
+// at some point during its execution — fully-old-or-fully-new, never a
+// half-applied update. Counters are per-CPU (folded on read), per-site
+// attribution is per-CPU-sharded, and the forensic violation ring has its
+// own lock, so concurrent guards on different CPUs share no cache line on
+// the allow path.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +27,8 @@
 
 #include "kop/kernel/kernel.hpp"
 #include "kop/policy/store.hpp"
+#include "kop/smp/percpu.hpp"
+#include "kop/smp/rcu.hpp"
 #include "kop/trace/metrics.hpp"
 #include "kop/util/ring_buffer.hpp"
 #include "kop/util/spinlock.hpp"
@@ -72,21 +89,50 @@ struct HotSite {
   uint64_t denied = 0;
 };
 
+/// Immutable snapshot the lock-free guard path decides against. Regions
+/// are flattened into first-match scan order (the linear table's
+/// semantics: overlaps resolve to the earliest insertion), intrinsic
+/// permissions into sorted vectors for binary search. Published via an
+/// atomic pointer, reclaimed through the RCU domain.
+struct PolicyFrame {
+  std::vector<Region> regions;
+  size_t store_size = 0;
+  uint64_t store_generation = 0;
+  uint64_t config_generation = 0;
+  std::vector<uint64_t> intrinsic_allowed;  // sorted
+  std::vector<uint64_t> intrinsic_denied;   // sorted
+  bool intrinsic_default_allow = false;
+};
+
 class PolicyEngine {
  public:
   PolicyEngine(kernel::Kernel* kernel, std::unique_ptr<PolicyStore> store,
                PolicyMode mode = PolicyMode::kDefaultDeny);
+  ~PolicyEngine();
+  PolicyEngine(const PolicyEngine&) = delete;
+  PolicyEngine& operator=(const PolicyEngine&) = delete;
 
-  PolicyMode mode() const { return mode_; }
-  void SetMode(PolicyMode mode) { mode_ = mode; }
-  ViolationAction violation_action() const { return action_; }
-  void SetViolationAction(ViolationAction action) { action_ = action; }
+  PolicyMode mode() const { return mode_.load(std::memory_order_acquire); }
+  void SetMode(PolicyMode mode) {
+    mode_.store(mode, std::memory_order_release);
+  }
+  ViolationAction violation_action() const {
+    return action_.load(std::memory_order_acquire);
+  }
+  void SetViolationAction(ViolationAction action) {
+    action_.store(action, std::memory_order_release);
+  }
 
+  /// The active store. Mutations through this reference are picked up by
+  /// concurrent guards at their next frame-freshness check (the store's
+  /// own generation counter). Must not race SwapStore.
   PolicyStore& store() { return *store_; }
   const PolicyStore& store() const { return *store_; }
 
   /// Swap the policy structure without touching protected modules — the
-  /// point of the single-symbol guard interface (§3.2).
+  /// point of the single-symbol guard interface (§3.2). Blocks for an
+  /// RCU grace period: when it returns, no in-flight guard references
+  /// pre-swap policy and the returned store is safe to destroy.
   std::unique_ptr<PolicyStore> SwapStore(std::unique_ptr<PolicyStore> store);
 
   /// Pure decision, no logging/panic/accounting.
@@ -100,57 +146,123 @@ class PolicyEngine {
   bool IntrinsicGuard(uint64_t intrinsic_id);
   void AllowIntrinsic(uint64_t intrinsic_id);
   void DenyIntrinsic(uint64_t intrinsic_id);
-  void SetIntrinsicDefaultAllow(bool allow) { intrinsic_default_allow_ = allow; }
+  void SetIntrinsicDefaultAllow(bool allow);
 
-  /// Snapshot of the counters, taken under the engine lock. Returned by
-  /// value: Guard() mutates these concurrently, so handing out a
-  /// reference would let readers observe torn counter sets.
+  /// Counter totals folded across the per-CPU slots. Returned by value:
+  /// concurrent Guard()s keep mutating their own slots, so a reference
+  /// would let readers observe torn counter sets.
   GuardStats stats() const;
+  /// One simulated CPU's share of the counters (the concurrency battery
+  /// proves these sum to stats()).
+  GuardStats PerCpuStats(uint32_t cpu) const;
   void ResetStats();
 
   /// The most recent denials, oldest first (capacity 64).
   std::vector<ViolationRecord> RecentViolations() const;
 
-  /// Per-site hit/deny table, hottest first (ties by token). Sites are
-  /// trace::GlobalSites tokens; token 0 collects unattributed guards
-  /// (direct probes, natively-built drivers without site context).
+  /// Per-site hit/deny table, hottest first (ties by token), folded
+  /// across the per-CPU shards. Sites are trace::GlobalSites tokens;
+  /// token 0 collects unattributed guards (direct probes, natively-built
+  /// drivers without site context).
   std::vector<HotSite> HotSites() const;
 
   /// When false, Guard() skips virtual-clock charging (used by benches
   /// that account guard cost themselves).
-  void SetChargeCycles(bool charge) { charge_cycles_ = charge; }
+  void SetChargeCycles(bool charge) {
+    charge_cycles_.store(charge, std::memory_order_release);
+  }
 
   /// Fault-injection hook (kop::fault): guards firing from this
   /// trace-site token deny unconditionally — a spurious violation, as a
   /// corrupted guard table would produce. kNoForcedSite disarms.
   static constexpr uint64_t kNoForcedSite = ~uint64_t{0};
-  void ForceDenyAtSite(uint64_t site) { force_deny_site_ = site; }
-  uint64_t forced_deny_site() const { return force_deny_site_; }
+  void ForceDenyAtSite(uint64_t site) {
+    force_deny_site_.store(site, std::memory_order_release);
+  }
+  uint64_t forced_deny_site() const {
+    return force_deny_site_.load(std::memory_order_acquire);
+  }
+
+  /// Frames published since construction (first guard publishes one).
+  /// Test introspection for update-atomicity proofs.
+  uint64_t frames_published() const {
+    return frames_published_.load(std::memory_order_acquire);
+  }
+
+  /// Copy of the region list in the frame a guard running right now
+  /// would decide against (taken inside an RCU read section). The
+  /// concurrency battery uses this to prove policy updates land
+  /// fully-old-or-fully-new: every snapshot equals one published
+  /// configuration in its entirety, never a mix.
+  std::vector<Region> FrameSnapshot() const;
 
  private:
+  struct CpuStats {
+    std::atomic<uint64_t> guard_calls{0};
+    std::atomic<uint64_t> allowed{0};
+    std::atomic<uint64_t> denied{0};
+    std::atomic<uint64_t> intrinsic_calls{0};
+    std::atomic<uint64_t> intrinsic_denied{0};
+  };
+
+  /// Per-CPU slice of the site-attribution table, dense-indexed by trace
+  /// site token. The owning CPU takes the shard lock per guard (always
+  /// uncontended except against a concurrent HotSites() fold).
+  struct SiteShard {
+    Spinlock lock;
+    std::vector<HotSite> rows;
+  };
+
+  /// Current frame if fresh, else republish. Called inside an RCU read
+  /// section; the returned pointer is valid until the section ends.
+  const PolicyFrame* CurrentFrame() const;
+  const PolicyFrame* RepublishFrame() const;
+
+  /// First-match linear scan, the linear table's exact semantics (depth
+  /// counts every entry examined, including the match).
+  static std::optional<uint32_t> FrameLookup(const PolicyFrame& frame,
+                                             uint64_t addr, uint64_t size,
+                                             uint64_t* depth);
+
+  void NoteSite(uint64_t site, bool allowed);
+  uint64_t FoldGuardCalls() const;
+  uint64_t FoldIntrinsicCalls() const;
+  void RecordViolation(const ViolationRecord& record);
+
   kernel::Kernel* kernel_;
   std::unique_ptr<PolicyStore> store_;
-  PolicyMode mode_;
-  ViolationAction action_ = ViolationAction::kPanic;
-  bool charge_cycles_ = true;
-  uint64_t force_deny_site_ = kNoForcedSite;
+  // Lock-free alias of store_.get() for the guard path's freshness
+  // check: SwapStore reseats store_ while guards are in flight, so the
+  // pointer read must be atomic. Dereferencing is safe because guards
+  // hold an RCU read section and SwapStore synchronizes before the old
+  // store can be destroyed.
+  std::atomic<PolicyStore*> store_ptr_{nullptr};
+  std::atomic<PolicyMode> mode_;
+  std::atomic<ViolationAction> action_{ViolationAction::kPanic};
+  std::atomic<bool> charge_cycles_{true};
+  std::atomic<uint64_t> force_deny_site_{kNoForcedSite};
+
+  // Copy-publish machinery. writer_lock_ serializes republish, store
+  // swaps, and intrinsic-config mutation; config_generation_ covers
+  // everything in the frame that is not the store's own contents.
+  mutable Spinlock writer_lock_;
+  mutable std::atomic<const PolicyFrame*> frame_{nullptr};
+  mutable smp::RcuDomain rcu_;
+  std::atomic<uint64_t> config_generation_{0};
+  mutable std::atomic<uint64_t> frames_published_{0};
+
+  // Intrinsic master sets (guarded by writer_lock_; guards read the
+  // frame's sorted copies).
   bool intrinsic_default_allow_ = false;
   std::set<uint64_t> intrinsic_allowed_;
   std::set<uint64_t> intrinsic_denied_;
-  GuardStats stats_;
+
+  smp::PerCpu<CpuStats> cpu_stats_;
+  mutable smp::PerCpu<SiteShard> site_shards_;
+
+  mutable Spinlock violations_lock_;
   RingBuffer<ViolationRecord> violations_{64};
-  // Per-site rows indexed directly by trace site token: the registry
-  // hands out small sequential tokens (0 = unattributed), so a dense
-  // vector replaces the hash probe on the guard hot path. A row is live
-  // iff hits > 0. Callers must hold lock_.
-  std::vector<HotSite> site_table_;
-  HotSite& SiteRow(uint64_t site) {
-    if (site >= site_table_.size()) {
-      site_table_.resize(static_cast<size_t>(site) + 1);
-    }
-    return site_table_[static_cast<size_t>(site)];
-  }
-  mutable Spinlock lock_;
+
   // Registered once in the constructor; registry pointers are stable, so
   // the hot path skips the name lookup.
   trace::Log2Histogram* latency_hist_;

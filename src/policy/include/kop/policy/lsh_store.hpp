@@ -20,15 +20,17 @@ class LshBucketStore : public PolicyStore {
 
   std::string_view name() const override { return "lsh-buckets"; }
 
-  Status Add(const Region& region) override;
-  Status Remove(uint64_t base) override;
-  void Clear() override;
-  size_t Size() const override { return regions_.size(); }
   std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
-  std::vector<Region> Snapshot() const override;
 
   /// Number of buckets currently populated (tests / bench reporting).
   size_t BucketCount() const { return buckets_.size(); }
+
+ protected:
+  Status DoAdd(const Region& region) override;
+  Status DoRemove(uint64_t base) override;
+  void DoClear() override;
+  size_t DoSize() const override { return regions_.size(); }
+  std::vector<Region> DoSnapshot() const override;
 
  private:
   uint64_t BucketOf(uint64_t addr) const { return addr >> bucket_shift_; }

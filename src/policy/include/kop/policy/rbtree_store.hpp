@@ -15,12 +15,14 @@ class RbTreeRegionStore : public PolicyStore {
  public:
   std::string_view name() const override { return "rbtree"; }
 
-  Status Add(const Region& region) override;
-  Status Remove(uint64_t base) override;
-  void Clear() override { regions_.clear(); }
-  size_t Size() const override { return regions_.size(); }
   std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
-  std::vector<Region> Snapshot() const override;
+
+ protected:
+  Status DoAdd(const Region& region) override;
+  Status DoRemove(uint64_t base) override;
+  void DoClear() override { regions_.clear(); }
+  size_t DoSize() const override { return regions_.size(); }
+  std::vector<Region> DoSnapshot() const override;
 
  private:
   std::map<uint64_t, Region> regions_;  // base -> region

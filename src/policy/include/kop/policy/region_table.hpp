@@ -17,12 +17,14 @@ class RegionTable64 : public PolicyStore {
 
   std::string_view name() const override { return "linear-table-64"; }
 
-  Status Add(const Region& region) override;
-  Status Remove(uint64_t base) override;
-  void Clear() override { count_ = 0; }
-  size_t Size() const override { return count_; }
   std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
-  std::vector<Region> Snapshot() const override;
+
+ protected:
+  Status DoAdd(const Region& region) override;
+  Status DoRemove(uint64_t base) override;
+  void DoClear() override { count_ = 0; }
+  size_t DoSize() const override { return count_; }
+  std::vector<Region> DoSnapshot() const override;
 
  private:
   std::array<Region, kMaxRegions> regions_{};

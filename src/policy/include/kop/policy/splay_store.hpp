@@ -21,15 +21,17 @@ class SplayRegionTree : public PolicyStore {
 
   std::string_view name() const override { return "splay-tree"; }
 
-  Status Add(const Region& region) override;
-  Status Remove(uint64_t base) override;
-  void Clear() override;
-  size_t Size() const override { return size_; }
   std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
-  std::vector<Region> Snapshot() const override;
 
   /// Depth of the current root-path for `addr` without splaying (tests).
   size_t ProbeDepth(uint64_t addr) const;
+
+ protected:
+  Status DoAdd(const Region& region) override;
+  Status DoRemove(uint64_t base) override;
+  void DoClear() override;
+  size_t DoSize() const override { return size_; }
+  std::vector<Region> DoSnapshot() const override;
 
  private:
   struct Node {

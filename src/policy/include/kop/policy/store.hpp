@@ -5,12 +5,15 @@
 // module can swap them without touching protected modules.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "kop/policy/region.hpp"
+#include "kop/util/spinlock.hpp"
 #include "kop/util/status.hpp"
 
 namespace kop::policy {
@@ -30,27 +33,74 @@ class PolicyStore {
   /// Insert a region. Implementations that cannot represent overlapping
   /// regions reject them (the paper's noted tradeoff); the linear table
   /// accepts overlaps with first-match-wins semantics.
-  virtual Status Add(const Region& region) = 0;
+  ///
+  /// Mutators are non-virtual template methods: they serialize under the
+  /// store's structural lock and bump generation() on success, so every
+  /// caller — the policy module's ioctl path, tests poking
+  /// engine.store().Add() directly — invalidates published policy frames
+  /// without knowing frames exist.
+  Status Add(const Region& region) {
+    std::lock_guard<Spinlock> guard(lock_);
+    Status status = DoAdd(region);
+    if (status.ok()) generation_.fetch_add(1, std::memory_order_release);
+    return status;
+  }
 
   /// Remove the region with this exact base. kNotFound when absent.
-  virtual Status Remove(uint64_t base) = 0;
+  Status Remove(uint64_t base) {
+    std::lock_guard<Spinlock> guard(lock_);
+    Status status = DoRemove(base);
+    if (status.ok()) generation_.fetch_add(1, std::memory_order_release);
+    return status;
+  }
 
-  virtual void Clear() = 0;
-  virtual size_t Size() const = 0;
+  void Clear() {
+    std::lock_guard<Spinlock> guard(lock_);
+    DoClear();
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
+  size_t Size() const {
+    std::lock_guard<Spinlock> guard(lock_);
+    return DoSize();
+  }
+
+  /// All regions, in the structure's iteration order.
+  std::vector<Region> Snapshot() const {
+    std::lock_guard<Spinlock> guard(lock_);
+    return DoSnapshot();
+  }
+
+  /// Monotonic mutation counter. A policy frame published at generation G
+  /// is current while generation() == G; guards republish on mismatch.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// Find the protection that applies to [addr, addr+size): the matching
   /// region's prot, or nullopt when no region covers the whole range.
+  /// NOT synchronized against mutators (lookups may restructure — the
+  /// splay tree — or fill caches): direct callers are single-threaded
+  /// benches and tests; the engine's concurrent guard path reads
+  /// immutable frames instead and never calls this.
   virtual std::optional<uint32_t> Lookup(uint64_t addr,
                                          uint64_t size) const = 0;
-
-  /// All regions, in the structure's iteration order.
-  virtual std::vector<Region> Snapshot() const = 0;
 
   const StoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = StoreStats(); }
 
  protected:
+  virtual Status DoAdd(const Region& region) = 0;
+  virtual Status DoRemove(uint64_t base) = 0;
+  virtual void DoClear() = 0;
+  virtual size_t DoSize() const = 0;
+  virtual std::vector<Region> DoSnapshot() const = 0;
+
   mutable StoreStats stats_;
+
+ private:
+  mutable Spinlock lock_;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace kop::policy

@@ -21,14 +21,16 @@ class SingleEntryCacheStore : public PolicyStore {
       : inner_(std::move(inner)) {}
 
   std::string_view name() const override { return "single-entry-cache"; }
-  Status Add(const Region& region) override;
-  Status Remove(uint64_t base) override;
-  void Clear() override;
-  size_t Size() const override { return inner_->Size(); }
   std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
-  std::vector<Region> Snapshot() const override { return inner_->Snapshot(); }
 
   const PolicyStore& inner() const { return *inner_; }
+
+ protected:
+  Status DoAdd(const Region& region) override;
+  Status DoRemove(uint64_t base) override;
+  void DoClear() override;
+  size_t DoSize() const override { return inner_->Size(); }
+  std::vector<Region> DoSnapshot() const override { return inner_->Snapshot(); }
 
  private:
   std::unique_ptr<PolicyStore> inner_;
@@ -50,14 +52,16 @@ class BloomFrontStore : public PolicyStore {
       : inner_(std::move(inner)), filter_(filter_bits) {}
 
   std::string_view name() const override { return "bloom-front"; }
-  Status Add(const Region& region) override;
-  Status Remove(uint64_t base) override;  // rebuilds the filter
-  void Clear() override;
-  size_t Size() const override { return inner_->Size(); }
   std::optional<uint32_t> Lookup(uint64_t addr, uint64_t size) const override;
-  std::vector<Region> Snapshot() const override { return inner_->Snapshot(); }
 
   const BloomFilter& filter() const { return filter_; }
+
+ protected:
+  Status DoAdd(const Region& region) override;
+  Status DoRemove(uint64_t base) override;  // rebuilds the filter
+  void DoClear() override;
+  size_t DoSize() const override { return inner_->Size(); }
+  std::vector<Region> DoSnapshot() const override { return inner_->Snapshot(); }
 
  private:
   void InsertRegionPages(const Region& region);

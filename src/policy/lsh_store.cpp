@@ -4,7 +4,7 @@
 
 namespace kop::policy {
 
-Status LshBucketStore::Add(const Region& region) {
+Status LshBucketStore::DoAdd(const Region& region) {
   if (region.len == 0) return InvalidArgument("empty region");
   if (region.base + region.len < region.base) {
     return InvalidArgument("region wraps the address space");
@@ -25,7 +25,7 @@ Status LshBucketStore::Add(const Region& region) {
   return OkStatus();
 }
 
-Status LshBucketStore::Remove(uint64_t base) {
+Status LshBucketStore::DoRemove(uint64_t base) {
   auto pos = std::find_if(regions_.begin(), regions_.end(),
                           [&](const Region& r) { return r.base == base; });
   if (pos == regions_.end()) return NotFound("no region with that base");
@@ -47,7 +47,7 @@ Status LshBucketStore::Remove(uint64_t base) {
   return OkStatus();
 }
 
-void LshBucketStore::Clear() {
+void LshBucketStore::DoClear() {
   regions_.clear();
   buckets_.clear();
 }
@@ -71,6 +71,6 @@ std::optional<uint32_t> LshBucketStore::Lookup(uint64_t addr,
   return regions_[best].prot;
 }
 
-std::vector<Region> LshBucketStore::Snapshot() const { return regions_; }
+std::vector<Region> LshBucketStore::DoSnapshot() const { return regions_; }
 
 }  // namespace kop::policy

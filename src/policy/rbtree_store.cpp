@@ -2,7 +2,7 @@
 
 namespace kop::policy {
 
-Status RbTreeRegionStore::Add(const Region& region) {
+Status RbTreeRegionStore::DoAdd(const Region& region) {
   if (region.len == 0) return InvalidArgument("empty region");
   if (region.base + region.len < region.base) {
     return InvalidArgument("region wraps the address space");
@@ -21,7 +21,7 @@ Status RbTreeRegionStore::Add(const Region& region) {
   return OkStatus();
 }
 
-Status RbTreeRegionStore::Remove(uint64_t base) {
+Status RbTreeRegionStore::DoRemove(uint64_t base) {
   if (regions_.erase(base) == 0) return NotFound("no region with that base");
   return OkStatus();
 }
@@ -37,7 +37,7 @@ std::optional<uint32_t> RbTreeRegionStore::Lookup(uint64_t addr,
   return std::nullopt;
 }
 
-std::vector<Region> RbTreeRegionStore::Snapshot() const {
+std::vector<Region> RbTreeRegionStore::DoSnapshot() const {
   std::vector<Region> out;
   out.reserve(regions_.size());
   for (const auto& [base, region] : regions_) out.push_back(region);

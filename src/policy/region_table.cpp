@@ -14,7 +14,7 @@ std::string Region::ToString() const {
   return buf;
 }
 
-Status RegionTable64::Add(const Region& region) {
+Status RegionTable64::DoAdd(const Region& region) {
   if (region.len == 0) return InvalidArgument("empty region");
   if (region.base + region.len < region.base) {
     return InvalidArgument("region wraps the address space");
@@ -31,7 +31,7 @@ Status RegionTable64::Add(const Region& region) {
   return OkStatus();
 }
 
-Status RegionTable64::Remove(uint64_t base) {
+Status RegionTable64::DoRemove(uint64_t base) {
   for (size_t i = 0; i < count_; ++i) {
     if (regions_[i].base == base) {
       // Preserve table order (first-match semantics depend on it).
@@ -54,7 +54,7 @@ std::optional<uint32_t> RegionTable64::Lookup(uint64_t addr,
   return std::nullopt;
 }
 
-std::vector<Region> RegionTable64::Snapshot() const {
+std::vector<Region> RegionTable64::DoSnapshot() const {
   return std::vector<Region>(regions_.begin(), regions_.begin() + count_);
 }
 

@@ -4,7 +4,7 @@
 
 namespace kop::policy {
 
-Status SortedRegionTable::Add(const Region& region) {
+Status SortedRegionTable::DoAdd(const Region& region) {
   if (region.len == 0) return InvalidArgument("empty region");
   if (region.base + region.len < region.base) {
     return InvalidArgument("region wraps the address space");
@@ -26,7 +26,7 @@ Status SortedRegionTable::Add(const Region& region) {
   return OkStatus();
 }
 
-Status SortedRegionTable::Remove(uint64_t base) {
+Status SortedRegionTable::DoRemove(uint64_t base) {
   auto pos = std::lower_bound(
       regions_.begin(), regions_.end(), base,
       [](const Region& r, uint64_t b) { return r.base < b; });

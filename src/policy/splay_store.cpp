@@ -19,7 +19,7 @@ void SplayRegionTree::DestroySubtree(Node* node) {
   }
 }
 
-void SplayRegionTree::Clear() {
+void SplayRegionTree::DoClear() {
   DestroySubtree(root_);
   root_ = nullptr;
   size_ = 0;
@@ -81,7 +81,7 @@ SplayRegionTree::Node* SplayRegionTree::FindCandidate(uint64_t addr) const {
   return candidate;
 }
 
-Status SplayRegionTree::Add(const Region& region) {
+Status SplayRegionTree::DoAdd(const Region& region) {
   if (region.len == 0) return InvalidArgument("empty region");
   if (region.base + region.len < region.base) {
     return InvalidArgument("region wraps the address space");
@@ -140,7 +140,7 @@ Status SplayRegionTree::Add(const Region& region) {
   return OkStatus();
 }
 
-Status SplayRegionTree::Remove(uint64_t base) {
+Status SplayRegionTree::DoRemove(uint64_t base) {
   Node* candidate = FindCandidate(base);
   if (candidate == nullptr || candidate->region.base != base) {
     return NotFound("no region with that base");
@@ -180,7 +180,7 @@ std::optional<uint32_t> SplayRegionTree::Lookup(uint64_t addr,
   return std::nullopt;
 }
 
-std::vector<Region> SplayRegionTree::Snapshot() const {
+std::vector<Region> SplayRegionTree::DoSnapshot() const {
   std::vector<Region> out;
   out.reserve(size_);
   // Iterative in-order walk.

@@ -2,17 +2,17 @@
 
 namespace kop::policy {
 
-Status SingleEntryCacheStore::Add(const Region& region) {
+Status SingleEntryCacheStore::DoAdd(const Region& region) {
   cache_valid_ = false;
   return inner_->Add(region);
 }
 
-Status SingleEntryCacheStore::Remove(uint64_t base) {
+Status SingleEntryCacheStore::DoRemove(uint64_t base) {
   cache_valid_ = false;
   return inner_->Remove(base);
 }
 
-void SingleEntryCacheStore::Clear() {
+void SingleEntryCacheStore::DoClear() {
   cache_valid_ = false;
   inner_->Clear();
 }
@@ -49,13 +49,13 @@ void BloomFrontStore::InsertRegionPages(const Region& region) {
   }
 }
 
-Status BloomFrontStore::Add(const Region& region) {
+Status BloomFrontStore::DoAdd(const Region& region) {
   KOP_RETURN_IF_ERROR(inner_->Add(region));
   InsertRegionPages(region);
   return OkStatus();
 }
 
-Status BloomFrontStore::Remove(uint64_t base) {
+Status BloomFrontStore::DoRemove(uint64_t base) {
   KOP_RETURN_IF_ERROR(inner_->Remove(base));
   // Bloom filters cannot delete; rebuild from the survivors.
   filter_.Clear();
@@ -63,7 +63,7 @@ Status BloomFrontStore::Remove(uint64_t base) {
   return OkStatus();
 }
 
-void BloomFrontStore::Clear() {
+void BloomFrontStore::DoClear() {
   inner_->Clear();
   filter_.Clear();
 }

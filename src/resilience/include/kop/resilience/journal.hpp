@@ -12,6 +12,7 @@
 // roll back) identically by construction.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -131,11 +132,23 @@ class JournaledMemory final : public kir::MemoryInterface {
   /// ordinal space fault injection points are drawn from.
   uint64_t op_count() const { return op_count_; }
 
+  /// Arm a cross-CPU stop flag: while set, every Load/Store returns
+  /// kInterrupted instead of touching memory. This is the containment
+  /// seam for SMP stop-the-module — both engines hit it on their next
+  /// memory operation, unwind with an error, and the caller rolls back
+  /// its own journal. Pass nullptr to disarm.
+  void SetStopFlag(const std::atomic<bool>* stop) { stop_ = stop; }
+
  private:
+  bool Stopped() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_acquire);
+  }
+
   kir::MemoryInterface* inner_;
   RamProbe ram_probe_;
   WriteJournal journal_;
   MemFaultHook fault_hook_;
+  const std::atomic<bool>* stop_ = nullptr;
   uint64_t op_count_ = 0;
 };
 

@@ -25,6 +25,7 @@ size_t WriteJournal::Rollback(kir::MemoryInterface& memory) {
 }
 
 Result<uint64_t> JournaledMemory::Load(uint64_t addr, uint32_t size) {
+  if (Stopped()) return Interrupted("module stopped by cross-CPU request");
   const uint64_t ordinal = ++op_count_;
   auto value = inner_->Load(addr, size);
   if (value.ok() && fault_hook_) {
@@ -34,6 +35,7 @@ Result<uint64_t> JournaledMemory::Load(uint64_t addr, uint32_t size) {
 }
 
 Status JournaledMemory::Store(uint64_t addr, uint64_t value, uint32_t size) {
+  if (Stopped()) return Interrupted("module stopped by cross-CPU request");
   const uint64_t ordinal = ++op_count_;
   if (fault_hook_) {
     value = fault_hook_(/*is_store=*/true, ordinal, addr, value, size);

@@ -2,9 +2,21 @@
 // MMIO, guard checks, blocking waits) charges cycles here; throughput and
 // latency are computed from clock deltas, never from wall time, so every
 // experiment is deterministic and machine-independent.
+//
+// The clock is per-CPU: each simulated CPU accumulates cycles in its own
+// cache-line-padded slot, indexed by smp::CurrentCpu(). Single-threaded
+// code only ever touches CPU 0, so NowCycles()/Advance() behave exactly
+// as the scalar clock did. SMP experiments read two aggregate views:
+// MaxCycles() — wall-clock-equivalent elapsed time when CPUs run in
+// parallel — and TotalCycles() — the serialized baseline the same work
+// would cost on one CPU.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+
+#include "kop/smp/cpu.hpp"
+#include "kop/smp/percpu.hpp"
 
 namespace kop::sim {
 
@@ -12,27 +24,62 @@ class VirtualClock {
  public:
   VirtualClock() = default;
 
-  /// Charge `cycles` of simulated work. Fractional cycles are legal: they
-  /// represent amortized cost of superscalar execution (e.g. a predicted
-  /// guard branch costing 0.09 cycles on average).
-  void Advance(double cycles) { cycles_ += cycles; }
+  /// Charge `cycles` of simulated work to the calling CPU. Fractional
+  /// cycles are legal: they represent amortized cost of superscalar
+  /// execution (e.g. a predicted guard branch costing 0.09 cycles).
+  void Advance(double cycles) {
+    std::atomic<double>& mine = cycles_.Mine();
+    mine.store(mine.load(std::memory_order_relaxed) + cycles,
+               std::memory_order_relaxed);
+  }
 
-  /// Current simulated time in cycles (fractional).
-  double NowCycles() const { return cycles_; }
+  /// The calling CPU's simulated time in cycles (fractional).
+  double NowCycles() const {
+    return cycles_.Mine().load(std::memory_order_relaxed);
+  }
+
+  /// One specific CPU's simulated time.
+  double CpuCycles(uint32_t cpu) const {
+    return cycles_.Get(cpu).load(std::memory_order_relaxed);
+  }
+
+  /// Elapsed time of an SMP run: CPUs advance in parallel, so the run is
+  /// as long as its busiest CPU.
+  double MaxCycles() const {
+    double max = 0.0;
+    cycles_.ForEach([&max](uint32_t, const std::atomic<double>& slot) {
+      const double value = slot.load(std::memory_order_relaxed);
+      if (value > max) max = value;
+    });
+    return max;
+  }
+
+  /// Serialized baseline: the same work run back-to-back on one CPU.
+  double TotalCycles() const {
+    double total = 0.0;
+    cycles_.ForEach([&total](uint32_t, const std::atomic<double>& slot) {
+      total += slot.load(std::memory_order_relaxed);
+    });
+    return total;
+  }
 
   /// Current simulated time read the way the paper reads rdtsc: truncated
   /// to an integer cycle count.
-  uint64_t ReadTsc() const { return static_cast<uint64_t>(cycles_); }
+  uint64_t ReadTsc() const { return static_cast<uint64_t>(NowCycles()); }
 
   /// Convert a cycle count to seconds at the given core frequency.
   static double CyclesToSeconds(double cycles, double freq_hz) {
     return cycles / freq_hz;
   }
 
-  void Reset() { cycles_ = 0.0; }
+  void Reset() {
+    cycles_.ForEach([](uint32_t, std::atomic<double>& slot) {
+      slot.store(0.0, std::memory_order_relaxed);
+    });
+  }
 
  private:
-  double cycles_ = 0.0;
+  smp::PerCpu<std::atomic<double>> cycles_;
 };
 
 }  // namespace kop::sim

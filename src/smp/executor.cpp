@@ -1,0 +1,40 @@
+#include "kop/smp/executor.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "kop/smp/cpu.hpp"
+
+namespace kop::smp {
+
+void RunOnCpus(uint32_t cpus, const std::function<void(uint32_t)>& body) {
+  if (cpus == 0) return;
+  if (cpus > kMaxCpus) cpus = kMaxCpus;
+  if (cpus == 1) {
+    // Single-CPU runs stay on the calling thread: no scheduler noise, so
+    // --cpus 1 is bit-identical to the non-SMP path.
+    ScopedCpu bind(0);
+    body(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(cpus);
+  std::vector<std::thread> threads;
+  threads.reserve(cpus);
+  for (uint32_t cpu = 0; cpu < cpus; ++cpu) {
+    threads.emplace_back([cpu, &body, &errors] {
+      ScopedCpu bind(cpu);
+      try {
+        body(cpu);
+      } catch (...) {
+        errors[cpu] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace kop::smp

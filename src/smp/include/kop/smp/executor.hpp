@@ -1,0 +1,18 @@
+// RunOnCpus: the SMP dispatcher. Spawns one host thread per simulated
+// CPU, binds each to its CPU id (ScopedCpu), runs the body, joins, and
+// rethrows the first exception any CPU raised. Deliberately minimal —
+// determinism in the battery comes from the workloads (seeded per-CPU
+// interleavings), not from the dispatcher.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace kop::smp {
+
+/// Run `body(cpu)` concurrently on CPUs [0, cpus). Blocks until every
+/// CPU finishes. If one or more bodies throw, the lowest-numbered CPU's
+/// exception is rethrown after all threads have joined.
+void RunOnCpus(uint32_t cpus, const std::function<void(uint32_t)>& body);
+
+}  // namespace kop::smp

@@ -1,0 +1,96 @@
+// Epoch-based read-copy-update, the guard hot path's synchronization
+// primitive. Readers never take a lock: entering a read-side critical
+// section is one sequentially-consistent store to the thread's own
+// padded epoch slot, leaving it is one release store. Writers publish a
+// new version of the protected data (copy-publish), then either block
+// for a grace period (Synchronize) or retire the old version for
+// deferred reclamation once every reader that could hold it has left —
+// the kernel's synchronize_rcu()/call_rcu() split.
+//
+// Reader slots are process-wide: a thread claims one the first time it
+// enters any read section and releases it at thread exit, so domains can
+// poll a fixed array instead of tracking thread lifetimes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "kop/util/spinlock.hpp"
+
+namespace kop::smp {
+
+/// Upper bound on threads concurrently inside read sections, across the
+/// process (slots are reused as threads exit). Far above any simulated
+/// CPU count; hitting it spins until a slot frees.
+inline constexpr uint32_t kMaxRcuReaders = 64;
+
+class RcuDomain {
+ public:
+  RcuDomain() = default;
+  ~RcuDomain();
+  RcuDomain(const RcuDomain&) = delete;
+  RcuDomain& operator=(const RcuDomain&) = delete;
+
+  /// RAII read-side critical section. Re-entrant: nested guards on the
+  /// same thread keep the outermost epoch pin.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(RcuDomain& domain);
+    ~ReadGuard();
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    RcuDomain& domain_;
+    uint32_t slot_;
+  };
+
+  /// Block until every reader that was inside a read section when this
+  /// call began has left it (a grace period). Must NOT be called from
+  /// inside a read section of this domain.
+  void Synchronize();
+
+  /// Hand `p` to the domain for deferred deletion: it is freed once no
+  /// reader can still hold it. Never blocks, so it is safe to call from
+  /// inside a read section (the lazy-republish path does exactly that).
+  template <typename T>
+  void Retire(const T* p) {
+    RetireRaw(p, [](const void* q) { delete static_cast<const T*>(q); });
+  }
+
+  /// Free every retired object whose grace period has elapsed. Called
+  /// opportunistically by Retire and Synchronize; exposed for tests.
+  void ReclaimQuiescent();
+
+  /// Retired-but-not-yet-freed objects (test introspection).
+  size_t retired_count() const;
+
+ private:
+  struct RetiredObject {
+    const void* ptr;
+    void (*deleter)(const void*);
+    uint64_t retire_epoch;
+  };
+
+  /// One process-wide reader slot's view of THIS domain. `epoch` is the
+  /// global epoch the reader pinned on entry (0 = quiescent); `depth`
+  /// tracks nesting and is only ever touched by the owning thread.
+  struct alignas(64) ReaderSlot {
+    std::atomic<uint64_t> epoch{0};
+    uint32_t depth = 0;
+  };
+
+  void RetireRaw(const void* p, void (*deleter)(const void*));
+
+  /// Oldest epoch a still-active reader entered at (or ~0 when none).
+  uint64_t MinActiveEpoch() const;
+
+  std::atomic<uint64_t> global_epoch_{2};
+  std::array<ReaderSlot, kMaxRcuReaders> readers_{};
+  mutable Spinlock retired_lock_;
+  std::vector<RetiredObject> retired_;
+};
+
+}  // namespace kop::smp

@@ -1,0 +1,131 @@
+#include "kop/smp/rcu.hpp"
+
+#include <thread>
+
+namespace kop::smp {
+namespace {
+
+// Process-wide reader-slot leases. A thread claims a slot index the
+// first time it enters any domain's read section and returns it when the
+// thread exits; every RcuDomain indexes its own epoch array by the same
+// slot, so domains never have to learn about thread creation.
+std::atomic<uint8_t> g_slot_used[kMaxRcuReaders] = {};
+
+struct SlotLease {
+  uint32_t index = 0;
+  SlotLease() {
+    for (;;) {
+      for (uint32_t i = 0; i < kMaxRcuReaders; ++i) {
+        uint8_t expected = 0;
+        if (g_slot_used[i].compare_exchange_strong(
+                expected, 1, std::memory_order_acq_rel)) {
+          index = i;
+          return;
+        }
+      }
+      // Every slot busy: more live threads than kMaxRcuReaders. Wait for
+      // one to exit rather than corrupting a slot.
+      std::this_thread::yield();
+    }
+  }
+  ~SlotLease() { g_slot_used[index].store(0, std::memory_order_release); }
+};
+
+uint32_t ThisThreadSlot() {
+  thread_local SlotLease lease;
+  return lease.index;
+}
+
+}  // namespace
+
+RcuDomain::ReadGuard::ReadGuard(RcuDomain& domain)
+    : domain_(domain), slot_(ThisThreadSlot()) {
+  ReaderSlot& slot = domain_.readers_[slot_];
+  if (slot.depth++ == 0) {
+    // Pin the current epoch with a seq_cst store: it must be globally
+    // visible before any subsequent load of the protected pointer, so a
+    // writer that swapped the pointer and then polls the slots cannot
+    // miss this reader.
+    slot.epoch.store(domain_.global_epoch_.load(std::memory_order_relaxed),
+                     std::memory_order_seq_cst);
+  }
+}
+
+RcuDomain::ReadGuard::~ReadGuard() {
+  ReaderSlot& slot = domain_.readers_[slot_];
+  if (--slot.depth == 0) {
+    slot.epoch.store(0, std::memory_order_release);
+  }
+}
+
+void RcuDomain::Synchronize() {
+  const uint64_t target =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  for (const ReaderSlot& slot : readers_) {
+    for (;;) {
+      const uint64_t epoch = slot.epoch.load(std::memory_order_seq_cst);
+      if (epoch == 0 || epoch >= target) break;
+      std::this_thread::yield();
+    }
+  }
+  ReclaimQuiescent();
+}
+
+void RcuDomain::RetireRaw(const void* p, void (*deleter)(const void*)) {
+  // Bump the epoch so later read sections are distinguishable from any
+  // reader that could still hold `p` — the object is reclaimable once
+  // every active reader entered after this bump.
+  const uint64_t retire_epoch =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<Spinlock> guard(retired_lock_);
+    retired_.push_back(RetiredObject{p, deleter, retire_epoch});
+  }
+  ReclaimQuiescent();
+}
+
+uint64_t RcuDomain::MinActiveEpoch() const {
+  uint64_t min_epoch = ~uint64_t{0};
+  for (const ReaderSlot& slot : readers_) {
+    const uint64_t epoch = slot.epoch.load(std::memory_order_seq_cst);
+    if (epoch != 0 && epoch < min_epoch) min_epoch = epoch;
+  }
+  return min_epoch;
+}
+
+void RcuDomain::ReclaimQuiescent() {
+  std::vector<RetiredObject> to_free;
+  {
+    std::lock_guard<Spinlock> guard(retired_lock_);
+    if (retired_.empty()) return;
+    const uint64_t min_active = MinActiveEpoch();
+    for (size_t i = 0; i < retired_.size();) {
+      if (retired_[i].retire_epoch < min_active) {
+        to_free.push_back(retired_[i]);
+        retired_[i] = retired_.back();
+        retired_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (const RetiredObject& object : to_free) {
+    object.deleter(object.ptr);
+  }
+}
+
+size_t RcuDomain::retired_count() const {
+  std::lock_guard<Spinlock> guard(retired_lock_);
+  return retired_.size();
+}
+
+RcuDomain::~RcuDomain() {
+  // No readers may be active at destruction; free whatever is left.
+  std::lock_guard<Spinlock> guard(retired_lock_);
+  for (const RetiredObject& object : retired_) {
+    object.deleter(object.ptr);
+  }
+  retired_.clear();
+}
+
+}  // namespace kop::smp

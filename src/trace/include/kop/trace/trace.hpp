@@ -11,10 +11,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
 #include "kop/sim/clock.hpp"
+#include "kop/smp/cpu.hpp"
+#include "kop/util/spinlock.hpp"
 
 namespace kop::trace {
 
@@ -70,39 +73,55 @@ struct TraceRecord {
   uint64_t args[4] = {0, 0, 0, 0};
 };
 
-/// Lock-free fixed ring of TraceRecords. Writers reserve a slot with one
-/// atomic fetch_add and copy the record in; the newest `capacity`
-/// records survive, oldest are overwritten (ftrace overwrite mode).
-/// Snapshot() is best-effort against concurrent writers, exact in the
-/// single-simulated-CPU case.
+/// Sharded fixed ring of TraceRecords, ftrace's per-cpu ring buffers.
+/// Each shard holds `capacity` slots behind its own spinlock; a writer
+/// takes one global fetch_add for its seq, then appends to the shard for
+/// its simulated CPU — shards never contend when CPUs stay on their own.
+/// The newest `capacity` records per shard survive, oldest are
+/// overwritten (ftrace overwrite mode). The default single shard makes
+/// single-threaded runs record the exact slot/seq sequence the unsharded
+/// ring did.
 class TraceRing {
  public:
-  /// `capacity` is rounded up to a power of two (min 64).
+  /// `capacity` (per shard) is rounded up to a power of two (min 64).
   explicit TraceRing(size_t capacity = 1 << 14);
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
+  /// Reshape to `shards` shards (clamped to [1, smp::kMaxCpus]) and
+  /// clear. NOT safe against concurrent Append — call at topology-setup
+  /// time, before workers start.
+  void SetShards(uint32_t shards);
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+
   void Append(TraceRecord record);
 
-  size_t capacity() const { return slots_.size(); }
+  /// Total retained slots across shards.
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
   /// Total records ever appended (including overwritten ones).
   uint64_t total_appended() const {
     return next_.load(std::memory_order_relaxed);
   }
-  uint64_t dropped() const {
-    const uint64_t total = total_appended();
-    return total > slots_.size() ? total - slots_.size() : 0;
-  }
+  uint64_t dropped() const;
 
-  /// Retained records, oldest first, ordered by seq.
+  /// Retained records merged across shards, oldest first, ordered by seq.
   std::vector<TraceRecord> Snapshot() const;
 
   /// Not safe against concurrent Append; fine for the simulator.
   void Clear();
 
  private:
-  std::vector<TraceRecord> slots_;
+  struct alignas(64) Shard {
+    mutable Spinlock lock;
+    std::vector<TraceRecord> slots;
+    uint64_t count = 0;  // appends into this shard, ever
+  };
+
+  Shard& MyShard();
+
+  size_t per_shard_capacity_;
   uint64_t mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> next_{0};
 };
 

@@ -6,7 +6,9 @@
 namespace kop::trace {
 namespace {
 
-uint64_t g_current_site = kUnknownSite;
+// Per-thread: each simulated CPU runs on its own host thread, and a
+// guard site is an attribute of the call executing on THAT cpu.
+thread_local uint64_t g_current_site = kUnknownSite;
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #include "kop/trace/trace.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 namespace kop::trace {
 namespace {
@@ -56,28 +57,70 @@ std::array<const char*, 4> EventArgNames(EventId id) {
 }
 
 TraceRing::TraceRing(size_t capacity)
-    : slots_(RoundUpPow2(capacity)), mask_(slots_.size() - 1) {}
+    : per_shard_capacity_(RoundUpPow2(capacity)),
+      mask_(per_shard_capacity_ - 1) {
+  SetShards(1);
+}
+
+void TraceRing::SetShards(uint32_t shards) {
+  if (shards == 0) shards = 1;
+  if (shards > smp::kMaxCpus) shards = smp::kMaxCpus;
+  shards_.clear();
+  for (uint32_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->slots.resize(per_shard_capacity_);
+    shards_.push_back(std::move(shard));
+  }
+  next_.store(0, std::memory_order_release);
+}
+
+TraceRing::Shard& TraceRing::MyShard() {
+  const uint32_t cpu = smp::CurrentCpu();
+  return *shards_[cpu < shards_.size() ? cpu : cpu % shards_.size()];
+}
 
 void TraceRing::Append(TraceRecord record) {
-  const uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
-  record.seq = seq;
-  slots_[seq & mask_] = record;
+  record.seq = next_.fetch_add(1, std::memory_order_acq_rel);
+  Shard& shard = MyShard();
+  std::lock_guard<Spinlock> guard(shard.lock);
+  shard.slots[shard.count & mask_] = record;
+  ++shard.count;
+}
+
+uint64_t TraceRing::dropped() const {
+  const uint64_t total = total_appended();
+  uint64_t retained = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<Spinlock> guard(shard->lock);
+    retained += std::min<uint64_t>(shard->count, per_shard_capacity_);
+  }
+  return total > retained ? total - retained : 0;
 }
 
 std::vector<TraceRecord> TraceRing::Snapshot() const {
-  const uint64_t total = next_.load(std::memory_order_acquire);
-  const uint64_t retained = std::min<uint64_t>(total, slots_.size());
   std::vector<TraceRecord> out;
-  out.reserve(retained);
-  for (uint64_t seq = total - retained; seq < total; ++seq) {
-    out.push_back(slots_[seq & mask_]);
+  for (const auto& shard : shards_) {
+    std::lock_guard<Spinlock> guard(shard->lock);
+    const uint64_t retained =
+        std::min<uint64_t>(shard->count, per_shard_capacity_);
+    for (uint64_t i = shard->count - retained; i < shard->count; ++i) {
+      out.push_back(shard->slots[i & mask_]);
+    }
   }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.seq < b.seq;
+            });
   return out;
 }
 
 void TraceRing::Clear() {
   next_.store(0, std::memory_order_release);
-  std::fill(slots_.begin(), slots_.end(), TraceRecord{});
+  for (const auto& shard : shards_) {
+    std::lock_guard<Spinlock> guard(shard->lock);
+    shard->count = 0;
+    std::fill(shard->slots.begin(), shard->slots.end(), TraceRecord{});
+  }
 }
 
 void Tracer::Record(EventId event, uint64_t a0, uint64_t a1, uint64_t a2,

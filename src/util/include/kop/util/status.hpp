@@ -28,6 +28,7 @@ enum class ErrorCode {
   kBusy,              // EBUSY
   kUnimplemented,     // ENOSYS
   kTimeout,           // ETIME: watchdog/step-budget expiry
+  kInterrupted,       // EINTR: call aborted by a cross-CPU stop request
   kInternal,          // anything that indicates a bug in the simulator
 };
 
@@ -96,6 +97,9 @@ inline Status Unimplemented(std::string msg) {
 }
 inline Status Timeout(std::string msg) {
   return Status(ErrorCode::kTimeout, std::move(msg));
+}
+inline Status Interrupted(std::string msg) {
+  return Status(ErrorCode::kInterrupted, std::move(msg));
 }
 inline Status Internal(std::string msg) {
   return Status(ErrorCode::kInternal, std::move(msg));

@@ -16,6 +16,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kBusy: return "busy";
     case ErrorCode::kUnimplemented: return "unimplemented";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kInterrupted: return "interrupted";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -1,0 +1,473 @@
+// kop::smp — the concurrency battery. Proves the SMP guarded-execution
+// claims: per-CPU counters fold to exact global totals, policy updates
+// land fully-old-or-fully-new (a guard never decides against a
+// half-applied update), concurrent violations elect exactly one
+// containment winner with every CPU's journal rolled back, and the
+// --cpus 1 path is bit-identical to the non-SMP path. Module tests run
+// on both execution engines — the per-CPU slots sit below the engine
+// seam, so behavior must match exactly.
+//
+// Build with -DKOP_SANITIZE=thread to run this battery under TSan; the
+// RCU grace-period test doubles as a use-after-free probe under ASan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kop/kernel/kernel.hpp"
+#include "kop/kernel/module_loader.hpp"
+#include "kop/policy/engine.hpp"
+#include "kop/policy/policy_module.hpp"
+#include "kop/policy/region_table.hpp"
+#include "kop/signing/signer.hpp"
+#include "kop/smp/cpu.hpp"
+#include "kop/smp/executor.hpp"
+#include "kop/smp/rcu.hpp"
+#include "kop/trace/trace.hpp"
+#include "kop/transform/compiler.hpp"
+
+namespace kop {
+namespace {
+
+using kernel::ExecEngine;
+using kernel::Kernel;
+using kernel::KernelConfig;
+using kernel::LoadedModule;
+using kernel::ModuleLoader;
+
+constexpr uint64_t kForbiddenAddr = 0x1000;  // inside the denied user range
+
+const char* kSmpSource = R"(module "kop_smp"
+
+global @scratch size 256 rw
+
+func @init() -> i64 {
+entry:
+  ret i64 1
+}
+
+func @bump(ptr %addr, i64 %n) -> i64 {
+entry:
+  jmp loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i1, body ]
+  %done = icmp uge i64 %i, %n
+  br %done, out, body
+body:
+  %v = load i64, %addr
+  %v1 = add i64 %v, 1
+  store i64 %v1, %addr
+  %i1 = add i64 %i, 1
+  jmp loop
+out:
+  ret i64 %i
+}
+
+func @poke(ptr %addr, i64 %v) -> i64 {
+entry:
+  store i64 %v, %addr
+  ret i64 %v
+}
+
+func @poke_then_violate(ptr %addr, i64 %v, ptr %bad) -> i64 {
+entry:
+  store i64 %v, %addr
+  store i64 %v, %bad
+  ret i64 0
+}
+)";
+
+signing::SignedModule CompileAndSign(const std::string& source) {
+  auto compiled = transform::CompileModuleText(source);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return signing::SignModule(compiled->text, compiled->attestation,
+                             signing::SigningKey::DevelopmentKey());
+}
+
+signing::Keyring TrustedKeyring() {
+  signing::Keyring keyring;
+  keyring.Trust(signing::SigningKey::DevelopmentKey());
+  return keyring;
+}
+
+KernelConfig SmallKernel() {
+  KernelConfig config;
+  config.ram_bytes = 4ull << 20;
+  config.kernel_text_bytes = 1ull << 20;
+  config.module_area_bytes = 4ull << 20;
+  config.user_bytes = 1ull << 20;
+  return config;
+}
+
+/// One kernel + policy + loader + loaded module, on a chosen engine.
+struct Rig {
+  explicit Rig(ExecEngine engine)
+      : kernel(SmallKernel()), loader(&kernel, TrustedKeyring()) {
+    auto inserted = policy::PolicyModule::Insert(
+        &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+    EXPECT_TRUE(inserted.ok()) << inserted.status().ToString();
+    policy = std::move(*inserted);
+    policy->engine().SetViolationAction(policy::ViolationAction::kQuarantine);
+    EXPECT_TRUE(policy->engine()
+                    .store()
+                    .Add(policy::Region{0, kernel::kUserSpaceEnd,
+                                        policy::kProtNone})
+                    .ok());
+    loader.set_engine(engine);
+    auto loaded = loader.Insmod(CompileAndSign(kSmpSource));
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    module = *loaded;
+  }
+
+  uint64_t ScratchSlot(uint32_t cpu) {
+    auto base = module->GlobalAddress("scratch");
+    EXPECT_TRUE(base.ok());
+    return *base + uint64_t{cpu} * 8;
+  }
+
+  uint64_t ReadSlot(uint32_t cpu) {
+    auto value = kernel.mem().Read64(ScratchSlot(cpu));
+    EXPECT_TRUE(value.ok());
+    return *value;
+  }
+
+  Kernel kernel;
+  ModuleLoader loader;
+  std::unique_ptr<policy::PolicyModule> policy;
+  LoadedModule* module = nullptr;
+};
+
+const ExecEngine kEngines[] = {ExecEngine::kBytecode, ExecEngine::kInterp};
+
+// --------------------------------------------------- counter exactness
+
+// N CPUs hammer the module concurrently, each on a disjoint scratch
+// slot. The per-CPU counter slices must fold to EXACT global totals —
+// no lost updates, no double counts — and the per-slot data must show
+// every iteration landed.
+TEST(SmpTest, PerCpuGuardCountsSumToGlobalExactly) {
+  constexpr uint32_t kCpus = 4;
+  constexpr uint64_t kIters = 50;
+  constexpr int kCallsPerCpu = 2;
+  for (ExecEngine engine : kEngines) {
+    Rig rig(engine);
+    ASSERT_TRUE(rig.loader.PrepareCpus(kCpus).ok());
+    ASSERT_EQ(rig.module->prepared_cpus(), kCpus);
+    rig.policy->engine().ResetStats();
+
+    smp::RunOnCpus(kCpus, [&](uint32_t cpu) {
+      for (int call = 0; call < kCallsPerCpu; ++call) {
+        auto result = rig.module->Call("bump", {rig.ScratchSlot(cpu), kIters});
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ASSERT_EQ(*result, kIters);
+      }
+    });
+
+    // Every CPU's every iteration landed on its own slot.
+    for (uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      EXPECT_EQ(rig.ReadSlot(cpu), kIters * kCallsPerCpu)
+          << "cpu " << cpu << " engine " << kernel::ExecEngineName(engine);
+    }
+
+    // The fold equals the sum of the per-CPU slices, field by field.
+    const policy::GuardStats total = rig.policy->engine().stats();
+    policy::GuardStats summed;
+    for (uint32_t cpu = 0; cpu < smp::kMaxCpus; ++cpu) {
+      const policy::GuardStats slice = rig.policy->engine().PerCpuStats(cpu);
+      summed.guard_calls += slice.guard_calls;
+      summed.allowed += slice.allowed;
+      summed.denied += slice.denied;
+      summed.intrinsic_calls += slice.intrinsic_calls;
+      summed.intrinsic_denied += slice.intrinsic_denied;
+    }
+    EXPECT_EQ(total.guard_calls, summed.guard_calls);
+    EXPECT_EQ(total.allowed, summed.allowed);
+    EXPECT_EQ(total.denied, summed.denied);
+    EXPECT_EQ(total.intrinsic_calls, summed.intrinsic_calls);
+    EXPECT_EQ(total.intrinsic_denied, summed.intrinsic_denied);
+
+    // bump guards one load + one store per iteration: exact total.
+    EXPECT_EQ(total.guard_calls, kCpus * kCallsPerCpu * kIters * 2);
+    EXPECT_EQ(total.allowed + total.denied, total.guard_calls);
+    EXPECT_EQ(total.denied, 0u);
+  }
+}
+
+// ------------------------------------------- policy update atomicity
+
+// A writer CPU rewrites the policy (Clear + Adds, plus periodic
+// SwapStore structure swaps) while reader CPUs sample the frame the
+// guard path decides against. Every sampled frame must equal a store
+// state that existed at some instant of the mutation history — {},
+// {a1}, {a1,a2}, or {b1} — never a state that never existed (old/new
+// unions, reordered subsets). Destroying the swapped-out store while
+// readers are mid-frame must be safe (the grace period; ASan/TSan turn
+// a violation into a hard failure).
+TEST(SmpTest, ConcurrentPolicyRewritePublishesFullyOldOrFullyNew) {
+  Kernel kernel(SmallKernel());
+  policy::PolicyEngine engine(&kernel,
+                              std::make_unique<policy::RegionTable64>());
+  engine.SetMode(policy::PolicyMode::kDefaultDeny);
+  engine.SetChargeCycles(false);
+
+  const policy::Region a1{0x1000, 0x100, policy::kProtRW};
+  const policy::Region a2{0x2000, 0x100, policy::kProtRW};
+  const policy::Region b1{0x3000, 0x100, policy::kProtRead};
+  auto matches = [](const std::vector<policy::Region>& got,
+                    const std::vector<policy::Region>& want) {
+    if (got.size() != want.size()) return false;
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (got[i].base != want[i].base || got[i].len != want[i].len ||
+          got[i].prot != want[i].prot) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const std::vector<std::vector<policy::Region>> valid = {
+      {}, {a1}, {a1, a2}, {b1}};
+
+  ASSERT_TRUE(engine.store().Add(a1).ok());
+  ASSERT_TRUE(engine.store().Add(a2).ok());
+
+  constexpr uint32_t kCpus = 4;
+  constexpr int kRounds = 200;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> mixed_frames{0};
+  std::atomic<uint64_t> sampled{0};
+  smp::RunOnCpus(kCpus, [&](uint32_t cpu) {
+    if (cpu == kCpus - 1) {
+      for (int i = 0; i < kRounds; ++i) {
+        if (i % 2 == 0) {
+          // To B: each mutation is atomic; intermediates are real states.
+          engine.store().Clear();
+          ASSERT_TRUE(engine.store().Add(b1).ok());
+        } else {
+          engine.store().Clear();
+          ASSERT_TRUE(engine.store().Add(a1).ok());
+          ASSERT_TRUE(engine.store().Add(a2).ok());
+        }
+        if (i % 16 == 0) {
+          // Structure swap (carries content). The returned old store is
+          // destroyed here, immediately — legal only because SwapStore
+          // blocked for the grace period.
+          (void)engine.SwapStore(
+              std::make_unique<policy::RegionTable64>());
+        }
+      }
+      done.store(true, std::memory_order_release);
+      return;
+    }
+    while (!done.load(std::memory_order_acquire)) {
+      const std::vector<policy::Region> frame = engine.FrameSnapshot();
+      sampled.fetch_add(1, std::memory_order_relaxed);
+      bool ok = false;
+      for (const auto& state : valid) ok = ok || matches(frame, state);
+      if (!ok) mixed_frames.fetch_add(1, std::memory_order_relaxed);
+      // The boolean read path rides the same frame machinery.
+      (void)engine.Check(0x1010, 8, kGuardAccessWrite);
+      (void)engine.Check(0x3010, 8, kGuardAccessRead);
+    }
+  });
+
+  EXPECT_EQ(mixed_frames.load(), 0u)
+      << "a guard observed a policy state that never existed";
+  EXPECT_GT(sampled.load(), 0u);
+  // Final configuration: kRounds-1 = 199 is odd -> last write was A.
+  EXPECT_TRUE(matches(engine.FrameSnapshot(), {a1, a2}));
+  EXPECT_TRUE(engine.Check(0x1010, 8, kGuardAccessWrite));
+  EXPECT_FALSE(engine.Check(0x3010, 8, kGuardAccessRead));
+}
+
+// ---------------------------------------------- one containment winner
+
+// Every CPU violates at once. Exactly one call may win the containment
+// race and drive the quarantine; every CPU's pre-violation write must
+// be rolled back by its own journal regardless of who won.
+TEST(SmpTest, ConcurrentViolationsElectExactlyOneQuarantineWinner) {
+  constexpr uint32_t kCpus = 4;
+  for (ExecEngine engine : kEngines) {
+    Rig rig(engine);
+    ASSERT_TRUE(rig.loader.PrepareCpus(kCpus).ok());
+
+    // Seed every CPU's slot with a known value (single-threaded).
+    for (uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      ASSERT_TRUE(
+          rig.module->Call("poke", {rig.ScratchSlot(cpu), 7 + cpu}).ok());
+    }
+
+    std::vector<Status> results(kCpus, OkStatus());
+    smp::RunOnCpus(kCpus, [&](uint32_t cpu) {
+      auto result = rig.module->Call(
+          "poke_then_violate",
+          {rig.ScratchSlot(cpu), 0xDEAD, kForbiddenAddr});
+      results[cpu] = result.status();
+    });
+
+    EXPECT_TRUE(rig.module->quarantined());
+    int winners = 0;
+    for (uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      EXPECT_FALSE(results[cpu].ok()) << "cpu " << cpu;
+      // The winner's message is "module 'kop_smp' quarantined: ...";
+      // losers report interruption, a foreign owner, or the late-entry
+      // refusal "is quarantined".
+      if (results[cpu].message().find("' quarantined:") !=
+          std::string::npos) {
+        ++winners;
+      }
+    }
+    EXPECT_EQ(winners, 1) << "engine " << kernel::ExecEngineName(engine);
+
+    // Per-CPU rollback: every slot shows its seed, not 0xDEAD.
+    for (uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      EXPECT_EQ(rig.ReadSlot(cpu), 7 + cpu)
+          << "cpu " << cpu << " journal residue, engine "
+          << kernel::ExecEngineName(engine);
+    }
+    EXPECT_FALSE(rig.module->journaled_memory().journal().active());
+    EXPECT_TRUE(rig.module->heap_allocations().empty());
+  }
+}
+
+// ------------------------------------------ --cpus 1 differential run
+
+// The SMP dispatcher at --cpus 1 runs on the calling thread against
+// slot 0: the trace-event sequence, guard counters, and virtual clock
+// must be bit-identical to a plain (pre-SMP) run of the same workload.
+TEST(SmpTest, SingleCpuDispatchIsBitIdenticalToDirectRun) {
+  struct Capture {
+    std::vector<trace::TraceRecord> records;
+    policy::GuardStats stats;
+    double total_cycles = 0;
+    std::vector<uint64_t> slots;
+    uint64_t first_site = 0;  // this rig's lowest guard-site token
+  };
+  auto workload = [](Rig& rig) {
+    ASSERT_TRUE(rig.module->Call("init", {}).ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(rig.module->Call("bump", {rig.ScratchSlot(0), 20}).ok());
+      ASSERT_TRUE(
+          rig.module->Call("poke", {rig.ScratchSlot(1), uint64_t(i)}).ok());
+    }
+  };
+  for (ExecEngine engine : kEngines) {
+    Capture captures[2];
+    for (int smp_path = 0; smp_path < 2; ++smp_path) {
+      trace::GlobalTracer().Reset();
+      Rig rig(engine);
+      if (smp_path == 0) {
+        workload(rig);
+      } else {
+        ASSERT_TRUE(rig.loader.PrepareCpus(1).ok());
+        smp::RunOnCpus(1, [&](uint32_t) { workload(rig); });
+      }
+      Capture& cap = captures[smp_path];
+      cap.records = trace::GlobalTracer().ring().Snapshot();
+      cap.stats = rig.policy->engine().stats();
+      cap.total_cycles = rig.kernel.clock().TotalCycles();
+      cap.slots = {rig.ReadSlot(0), rig.ReadSlot(1)};
+      const std::vector<uint64_t>& tokens = rig.module->site_tokens();
+      cap.first_site = tokens.empty()
+                           ? 0
+                           : *std::min_element(tokens.begin(), tokens.end());
+    }
+
+    // Guard-site tokens are process-global and monotonic, so the second
+    // rig's tokens are offset from the first's by a constant. Args that
+    // carry a token compare by offset from the rig's first token;
+    // everything else must match bit-for-bit.
+    auto args_match = [&](uint64_t a, uint64_t b) {
+      if (a == b) return true;
+      return a >= captures[0].first_site && b >= captures[1].first_site &&
+             a - captures[0].first_site == b - captures[1].first_site;
+    };
+    ASSERT_EQ(captures[0].records.size(), captures[1].records.size())
+        << "trace divergence on engine " << kernel::ExecEngineName(engine);
+    for (size_t i = 0; i < captures[0].records.size(); ++i) {
+      const trace::TraceRecord& a = captures[0].records[i];
+      const trace::TraceRecord& b = captures[1].records[i];
+      EXPECT_EQ(a.event, b.event) << "record " << i;
+      for (int arg = 0; arg < 4; ++arg) {
+        EXPECT_TRUE(args_match(a.args[arg], b.args[arg]))
+            << "record " << i << " arg " << arg << ": " << a.args[arg]
+            << " vs " << b.args[arg];
+      }
+    }
+    EXPECT_EQ(captures[0].stats.guard_calls, captures[1].stats.guard_calls);
+    EXPECT_EQ(captures[0].stats.allowed, captures[1].stats.allowed);
+    EXPECT_EQ(captures[0].stats.denied, captures[1].stats.denied);
+    EXPECT_EQ(captures[0].total_cycles, captures[1].total_cycles);
+    EXPECT_EQ(captures[0].slots, captures[1].slots);
+  }
+}
+
+// ------------------------------------------------ shared-layer churn
+
+// The shared substrate under concurrent load: heap allocate/free and
+// symbol export/unexport/lookup from all CPUs at once. Exactness checks
+// on the ledgers; TSan turns any locking hole into a failure.
+TEST(SmpTest, ConcurrentKmallocAndSymbolChurnStaysConsistent) {
+  constexpr uint32_t kCpus = 4;
+  constexpr int kRounds = 200;
+  Kernel kernel(SmallKernel());
+  const uint64_t live_before = kernel.heap().Stats().allocated_bytes;
+  smp::RunOnCpus(kCpus, [&](uint32_t cpu) {
+    for (int i = 0; i < kRounds; ++i) {
+      auto addr = kernel.heap().Kmalloc(64 + 8 * cpu, 16);
+      ASSERT_TRUE(addr.ok());
+      const std::string sym =
+          "churn.cpu" + std::to_string(cpu) + "." + std::to_string(i % 8);
+      (void)kernel.symbols().ExportFunction(
+          sym, [](const std::vector<uint64_t>&) -> uint64_t { return 1; });
+      ASSERT_NE(kernel.symbols().FindFunction("kmalloc"), nullptr);
+      (void)kernel.symbols().Unexport(sym);
+      ASSERT_TRUE(kernel.heap().Kfree(*addr).ok());
+    }
+  });
+  const kernel::KmallocStats after = kernel.heap().Stats();
+  EXPECT_EQ(after.allocated_bytes, live_before);
+  EXPECT_EQ(after.total_allocs, after.total_frees + after.allocation_count);
+}
+
+// --------------------------------------------------- RCU grace period
+
+// Readers chase a published pointer while a writer retires old values.
+// The epoch machinery must keep every value alive until its last
+// possible reader has left; ASan/TSan turn a premature free into a
+// hard failure. After a final Synchronize, everything retired must
+// have been reclaimed.
+TEST(SmpTest, RcuRetireWaitsForStragglingReaders) {
+  smp::RcuDomain rcu;
+  std::atomic<const uint64_t*> published{new uint64_t{0}};
+  std::atomic<bool> done{false};
+  constexpr uint32_t kCpus = 4;
+  smp::RunOnCpus(kCpus, [&](uint32_t cpu) {
+    if (cpu == 0) {
+      for (uint64_t i = 1; i <= 500; ++i) {
+        const uint64_t* fresh = new uint64_t{i};
+        const uint64_t* old =
+            published.exchange(fresh, std::memory_order_acq_rel);
+        rcu.Retire(old);
+      }
+      done.store(true, std::memory_order_release);
+      return;
+    }
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      smp::RcuDomain::ReadGuard guard(rcu);
+      const uint64_t* current = published.load(std::memory_order_acquire);
+      const uint64_t value = *current;  // UAF here if reclamation is early
+      ASSERT_GE(value, last);  // monotonic publication order
+      last = value;
+    }
+  });
+  rcu.Synchronize();
+  EXPECT_EQ(rcu.retired_count(), 0u);
+  delete published.load();
+}
+
+}  // namespace
+}  // namespace kop

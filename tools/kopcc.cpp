@@ -19,10 +19,13 @@
 //   kopcc check --corpus [--json]   # self-check: every good corpus
 //                                   # module must prove clean, every
 //                                   # adversarial module must be rejected
-//   kopcc run <in.kko> [--engine=interp|bytecode] [--entry=fn] [args...]
+//   kopcc run <in.kko> [--engine=interp|bytecode] [--entry=fn]
+//         [--cpus=N] [args...]
 //                                   # insmod into a simulated kernel
 //                                   # (default-allow policy) and call an
-//                                   # entry point
+//                                   # entry point; --cpus=N calls it
+//                                   # concurrently from N simulated CPUs
+//                                   # on per-CPU execution contexts
 //   kopcc faultcamp [--seed N] [--trials N] [--json]
 //         [--engine=interp|bytecode] [--recovery=quarantine|restart]
 //                                   # deterministic fault-injection
@@ -50,6 +53,9 @@
 #include "kop/policy/policy_module.hpp"
 #include "kop/signing/signer.hpp"
 #include "kop/signing/validator.hpp"
+#include "kop/smp/cpu.hpp"
+#include "kop/smp/executor.hpp"
+#include "kop/trace/trace.hpp"
 #include "kop/transform/compiler.hpp"
 #include "kop/transform/guard_sites.hpp"
 
@@ -340,6 +346,7 @@ int Run(const std::vector<std::string>& args) {
   std::string path;
   std::string entry = "init";
   kernel::ExecEngine engine = kernel::DefaultExecEngine();
+  uint32_t cpus = 1;
   std::vector<uint64_t> call_args;
   for (const std::string& arg : args) {
     if (arg.rfind("--engine=", 0) == 0) {
@@ -353,6 +360,15 @@ int Run(const std::vector<std::string>& args) {
       }
     } else if (arg.rfind("--entry=", 0) == 0) {
       entry = arg.substr(8);
+    } else if (arg.rfind("--cpus=", 0) == 0) {
+      try {
+        cpus = static_cast<uint32_t>(std::stoul(arg.substr(7), nullptr, 0));
+      } catch (const std::exception&) {
+        return Fail("bad --cpus value");
+      }
+      if (cpus == 0 || cpus > smp::kMaxCpus) {
+        return Fail("--cpus must be 1.." + std::to_string(smp::kMaxCpus));
+      }
     } else if (!arg.empty() && arg[0] == '-' &&
                !(arg.size() > 1 && (arg[1] >= '0' && arg[1] <= '9'))) {
       return Fail("unknown run option '" + arg + "'");
@@ -384,6 +400,45 @@ int Run(const std::vector<std::string>& args) {
 
   auto loaded = loader.Insmod(*image);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
+
+  if (cpus > 1) {
+    // SMP run: every simulated CPU calls the same entry concurrently on
+    // its own per-CPU execution context (one trace-ring shard per CPU).
+    if (Status prepared = loader.PrepareCpus(cpus); !prepared.ok()) {
+      return Fail(prepared.ToString());
+    }
+    trace::GlobalTracer().ring().SetShards(cpus);
+    std::vector<Result<uint64_t>> results(cpus, uint64_t{0});
+    smp::RunOnCpus(cpus, [&](uint32_t cpu) {
+      results[cpu] = (*loaded)->Call(entry, call_args);
+    });
+    for (uint32_t cpu = 0; cpu < cpus; ++cpu) {
+      if (results[cpu].ok()) {
+        std::printf("cpu%u: @%s -> %llu (0x%llx)\n", cpu, entry.c_str(),
+                    static_cast<unsigned long long>(*results[cpu]),
+                    static_cast<unsigned long long>(*results[cpu]));
+      } else {
+        std::printf("cpu%u: @%s -> %s\n", cpu, entry.c_str(),
+                    results[cpu].status().ToString().c_str());
+      }
+    }
+    const policy::GuardStats guard_stats = (*policy)->engine().stats();
+    const double elapsed = kernel.clock().MaxCycles();
+    std::printf(
+        "engine %s on %u cpus: %llu guard calls (%llu denied), %.0f "
+        "virtual cycles elapsed, %.2f guards/kcycle\n",
+        std::string((*loaded)->engine_name()).c_str(), cpus,
+        static_cast<unsigned long long>(guard_stats.guard_calls),
+        static_cast<unsigned long long>(guard_stats.denied),
+        elapsed,
+        elapsed > 0
+            ? 1000.0 * static_cast<double>(guard_stats.guard_calls) / elapsed
+            : 0.0);
+    bool any_failed = false;
+    for (const auto& r : results) any_failed = any_failed || !r.ok();
+    return any_failed ? 1 : 0;
+  }
+
   auto result = (*loaded)->Call(entry, call_args);
   if (!result.ok()) return Fail("@" + entry + ": " + result.status().ToString());
 
@@ -462,7 +517,8 @@ int main(int argc, char** argv) {
         "usage: kopcc compile <in.kir> [-o out.kko] [options] | "
         "inspect [--sites|--bytecode] <in.kko> | verify <in.kko> | "
         "check <in.kir|in.kko> [--json] | check --corpus [--json] | "
-        "run <in.kko> [--engine=interp|bytecode] [--entry=fn] [args...] | "
+        "run <in.kko> [--engine=interp|bytecode] [--entry=fn] [--cpus=N] "
+        "[args...] | "
         "faultcamp [--seed N] [--trials N] [--json] "
         "[--engine=...] [--recovery=...]");
   }
