@@ -319,6 +319,9 @@ void CheckEndInvariants(TrialContext& ctx) {
 
 TrialResult RunTrial(const CampaignConfig& config, const FaultPlan& plan,
                      Calibration* calibration_out) {
+  // Fresh incident store per trial: the present-iff-contained invariant
+  // below must see only THIS trial's captures.
+  flight::GlobalPostmortems().Reset();
   auto ctx = std::make_unique<TrialContext>();
   ctx->config = config;
   ctx->plan = plan;
@@ -341,6 +344,16 @@ TrialResult RunTrial(const CampaignConfig& config, const FaultPlan& plan,
   ctx->policy_baseline = ctx->policy->engine().store().Snapshot();
 
   RunWorkload(*ctx);
+
+  // Flight-recorder invariant: every contained trial leaves a postmortem
+  // bundle, and no bundle appears without containment.
+  ctx->result.postmortem = flight::GlobalPostmortems().incidents() > 0;
+  if (ctx->result.postmortem != ctx->result.contained) {
+    ctx->result.invariant_failures.push_back(
+        ctx->result.contained
+            ? "contained trial captured no postmortem bundle"
+            : "postmortem bundle captured without containment");
+  }
 
   if (calibration_out != nullptr) {
     calibration_out->sites = ctx->mod->site_tokens().size();
@@ -561,6 +574,25 @@ CampaignReport RunCampaign(const CampaignConfig& config) {
   return report;
 }
 
+Result<flight::PostmortemBundle> RunPostmortemDemo(
+    const CampaignConfig& config) {
+  const FaultPlan plan{FaultKind::kSpuriousViolation, "ringbuf", config.seed,
+                       0};
+  // The bundle embeds the flight-recorder tails, so the demo's
+  // determinism contract (same seed -> same bundle, any process) needs
+  // the recorder surfaces cleared of whatever ran before us.
+  trace::GlobalTracer().Reset();
+  trace::GlobalTracer().ring().SetShards(1);
+  trace::GlobalSpans().Reset();
+  const TrialResult trial = RunTrial(config, plan, nullptr);
+  flight::PostmortemBundle bundle;
+  if (!flight::GlobalPostmortems().Latest(&bundle)) {
+    return Internal("postmortem demo produced no bundle (outcome: " +
+                    trial.outcome + ")");
+  }
+  return bundle;
+}
+
 std::string CampaignReport::ToJson() const {
   std::ostringstream out;
   out << "{\"seed\":" << seed << ",\"engine\":\"" << engine
@@ -577,7 +609,8 @@ std::string CampaignReport::ToJson() const {
         << trial.plan.scenario << "\",\"point\":" << trial.plan.point
         << ",\"detail\":" << trial.plan.detail << ",\"target\":\""
         << JsonEscape(trial.target) << "\",\"contained\":"
-        << (trial.contained ? "true" : "false") << ",\"outcome\":\""
+        << (trial.contained ? "true" : "false") << ",\"postmortem\":"
+        << (trial.postmortem ? "true" : "false") << ",\"outcome\":\""
         << JsonEscape(trial.outcome) << "\",\"invariant_failures\":[";
     for (size_t f = 0; f < trial.invariant_failures.size(); ++f) {
       if (f != 0) out << ",";

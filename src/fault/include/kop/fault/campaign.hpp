@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "kop/flight/postmortem.hpp"
 #include "kop/kernel/module_loader.hpp"
 #include "kop/resilience/recovery.hpp"
 
@@ -56,6 +57,7 @@ struct TrialResult {
   FaultPlan plan;
   std::string target;  // human-readable injection point (site label, ...)
   bool contained = false;  // a rollback ran (the call was contained)
+  bool postmortem = false;  // a flight-recorder bundle was captured
   std::string outcome;
   std::vector<std::string> invariant_failures;  // empty = all held
 };
@@ -84,6 +86,14 @@ struct CampaignReport {
 };
 
 CampaignReport RunCampaign(const CampaignConfig& config);
+
+/// One forced-violation trial (a spurious guard deny at a seed-chosen
+/// site of the ringbuf scenario) run to containment, returning the
+/// flight-recorder bundle the containment captured. Deterministic for a
+/// given config — the backing for `kopcc postmortem` and the bundle
+/// acceptance tests.
+Result<flight::PostmortemBundle> RunPostmortemDemo(
+    const CampaignConfig& config);
 
 /// The campaign's kmalloc-exercising target module (KIR source): grabs
 /// heap blocks, writes through the returned pointers, and runs a bounded

@@ -1,0 +1,157 @@
+// kop::flight — the black-box layer over kop::trace. When containment
+// fires (guard violation, watchdog expiry, panic, quarantine) the module
+// loader snapshots everything a human needs to diagnose the incident
+// into a PostmortemBundle: the per-CPU flight-recorder tails (trace ring
+// + span ring), the engine's fault state, journal and heap-ledger
+// summaries, the policy-frame generation and guard-site heatmap, and
+// the recovery decision. Bundles render to deterministic JSON — same
+// seed, same bundle, byte for byte, on either engine (the engine name
+// is the one sanctioned difference) — and surface through a procfs
+// node, CARAT_IOC_READ_POSTMORTEM, and `kopcc postmortem`.
+//
+// Layering: flight sits below the kernel (kernel links flight, not the
+// other way round), and the policy-side fields arrive through provider
+// hooks the policy module registers at insert time — flight never
+// depends on kop::policy or kop::kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kop/kir/engine.hpp"
+#include "kop/trace/span.hpp"
+#include "kop/trace/trace.hpp"
+#include "kop/util/spinlock.hpp"
+
+namespace kop::flight {
+
+/// One retained tracepoint firing, resolved to wire names. The global
+/// seq is deliberately dropped: it counts from process start, so it
+/// would make otherwise-identical bundles differ across runs.
+struct TailRecord {
+  uint64_t tsc = 0;
+  std::string event;
+  uint64_t args[4] = {0, 0, 0, 0};
+};
+
+/// One retained span on a CPU's flight-recorder ring.
+struct TailSpan {
+  std::string kind;
+  uint64_t begin_tsc = 0;
+  uint64_t end_tsc = 0;
+  uint32_t depth = 0;
+};
+
+/// The newest events of one CPU, oldest first.
+struct CpuTail {
+  uint32_t cpu = 0;
+  std::vector<TailRecord> records;
+  std::vector<TailSpan> spans;
+};
+
+/// Guard-site heat, as rendered by the policy provider (labels come
+/// from the site registry, so bundles are self-describing).
+struct HeatSite {
+  std::string site;
+  uint64_t hits = 0;
+  uint64_t denied = 0;
+};
+
+/// Policy-engine state at capture time, from the registered provider.
+struct PolicyInfo {
+  bool present = false;
+  uint64_t frames_published = 0;
+  uint64_t store_generation = 0;
+  uint64_t store_size = 0;
+  std::string mode;
+};
+
+/// Everything captured at the containment seam. Field order here is the
+/// key order of the JSON rendering; keep DESIGN.md §14 in sync.
+struct PostmortemBundle {
+  std::string module;
+  std::string engine;
+  std::string reason;    // "violation" | "timeout" | "panic" | ...
+  std::string what;      // human-readable detail (exception text)
+  std::string recovery;  // decision taken: "panic"|"quarantine"|"restart"
+  uint32_t cpu = 0;      // CPU the incident was contained on
+  uint64_t tsc = 0;      // virtual cycles at capture
+
+  // The denied access, when the incident was a guard violation.
+  bool has_violation = false;
+  uint64_t violation_addr = 0;
+  uint64_t violation_size = 0;
+  uint32_t violation_flags = 0;
+  uint64_t site_token = 0;    // process-interned (runtime lookups only)
+  uint32_t site_ordinal = 0;  // module-local guard ordinal (deterministic)
+  std::string site_label;
+
+  // Engine fault state (kir::EngineSnapshot, engine-neutral).
+  kir::EngineSnapshot vm;
+
+  // Journal and heap-ledger summaries for the contained slot.
+  uint64_t journal_rollbacks = 0;
+  uint64_t journal_entries_recorded = 0;
+  uint64_t journal_entries_undone = 0;
+  uint64_t heap_live_blocks = 0;
+  std::vector<uint64_t> heap_live_addrs;  // first 8
+
+  uint32_t restart_attempts = 0;
+  uint32_t restarts_completed = 0;
+
+  PolicyInfo policy;
+  std::vector<HeatSite> heatmap;  // top sites by hits
+  std::vector<CpuTail> tails;     // per-CPU flight-recorder tails
+
+  /// Deterministic JSON (fixed key order, hex for addresses).
+  std::string ToJson() const;
+  /// Human-readable rendering for `kopcc postmortem`.
+  std::string ToText() const;
+};
+
+/// Provider hooks the policy module registers on insert and clears on
+/// removal; flight reads them at capture time. Null clears.
+void SetPolicyProvider(std::function<PolicyInfo()> provider);
+void SetHeatmapProvider(std::function<std::vector<HeatSite>()> provider);
+PolicyInfo QueryPolicy();
+std::vector<HeatSite> QueryHeatmap();
+
+/// Fill the environment-derived fields of a bundle: per-CPU trace and
+/// span tails (newest `tail_len` events per CPU that has any), policy
+/// info, and the guard-site heatmap. The caller (the containment path)
+/// fills the module/engine/journal/heap fields first-hand.
+void FillEnvironment(PostmortemBundle* bundle, size_t tail_len = 16);
+
+/// The process-wide incident store: the newest kKeep bundles plus a
+/// lifetime incident counter. Capture fires the flight.postmortem
+/// tracepoint and bumps the "flight.postmortems" metric.
+class PostmortemStore {
+ public:
+  static constexpr size_t kKeep = 8;
+
+  void Capture(PostmortemBundle bundle);
+
+  /// Lifetime incidents captured (survives the ring wrapping).
+  uint64_t incidents() const;
+
+  /// Copy of the newest bundle; false when none captured yet.
+  bool Latest(PostmortemBundle* out) const;
+
+  /// Retained bundles, oldest first.
+  std::vector<PostmortemBundle> All() const;
+
+  /// Drop retained bundles and zero the incident counter (the fault
+  /// campaign resets between trials for present-iff-contained checks).
+  void Reset();
+
+ private:
+  mutable Spinlock lock_;
+  std::vector<PostmortemBundle> ring_;
+  uint64_t incidents_ = 0;
+};
+
+PostmortemStore& GlobalPostmortems();
+
+}  // namespace kop::flight

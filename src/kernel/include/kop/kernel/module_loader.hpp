@@ -179,6 +179,17 @@ class LoadedModule {
     return quarantine_reason_;
   }
 
+  /// Most recent containment-relevant event on this module, for the
+  /// procfs lsmod LastEvent column: a static reason string ("violation",
+  /// "timeout", "panic", "quarantine", "restart", "restart-failed") plus
+  /// the virtual-clock timestamp it was noted at. Null reason = none yet.
+  const char* last_event_reason() const {
+    return last_event_reason_.load(std::memory_order_acquire);
+  }
+  uint64_t last_event_tsc() const {
+    return last_event_tsc_.load(std::memory_order_acquire);
+  }
+
   /// Completed restarts / restart attempts consumed from the backoff
   /// budget (attempts include failed ones).
   uint32_t restart_count() const {
@@ -304,6 +315,20 @@ class LoadedModule {
   Status TryRestart();
 
   size_t RollbackJournal(CpuSlot& slot, resilience::RollbackReason reason);
+
+  /// Stamp the LastEvent pair (`reason` must be a string literal — the
+  /// pointer is stored as-is and read lock-free by procfs).
+  void NoteEvent(const char* reason);
+
+  /// Snapshot the incident into a flight::PostmortemBundle and hand it
+  /// to the global store. Fired at the containment seams: the Contain
+  /// winner (before recovery runs), the in-module panic unwind, and
+  /// restart-budget exhaustion.
+  void CapturePostmortem(CpuSlot& slot, const char* reason,
+                         const std::string& what,
+                         const GuardViolation* violation,
+                         const char* recovery);
+
   void ReclaimCallAllocations();
   void ReclaimHeapAllocations();
   void UnexportSymbols();
@@ -341,6 +366,8 @@ class LoadedModule {
   bool journaling_enabled_ = true;
   std::atomic<uint32_t> restart_attempts_{0};
   std::atomic<uint32_t> restarts_completed_{0};
+  std::atomic<const char*> last_event_reason_{nullptr};
+  std::atomic<uint64_t> last_event_tsc_{0};
   std::string restart_entry_;
   std::vector<uint64_t> restart_args_;
   HeapLedger heap_ledger_;

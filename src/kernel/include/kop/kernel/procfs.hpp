@@ -11,8 +11,14 @@
 
 namespace kop::kernel {
 
-/// lsmod: name, instruction count, guard count, quarantine state.
+/// lsmod: name, instruction count, guard count, quarantine state, and
+/// the LastEvent column (most recent containment event as reason@tsc on
+/// the virtual clock; "-" before any incident).
 std::string ProcModules(const ModuleLoader& loader);
+
+/// The newest flight-recorder postmortem bundle as deterministic JSON,
+/// or "none\n" when no incident has been captured yet.
+std::string ProcPostmortem();
 
 /// kallsyms: exported function/data symbols, sorted.
 std::string ProcKallsyms(const Kernel& kernel);

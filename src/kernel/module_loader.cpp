@@ -9,9 +9,11 @@
 #include <unordered_map>
 
 #include "kop/analysis/static_verifier.hpp"
+#include "kop/flight/postmortem.hpp"
 #include "kop/kir/bytecode.hpp"
 #include "kop/kir/intrinsics.hpp"
 #include "kop/trace/metrics.hpp"
+#include "kop/trace/span.hpp"
 #include "kop/trace/site.hpp"
 #include "kop/trace/trace.hpp"
 #include "kop/transform/guard_sites.hpp"
@@ -376,23 +378,31 @@ Result<uint64_t> LoadedModule::Call(const std::string& function,
   } active{&active_calls_};
   if (journaling_enabled_) slot.journaled->journal().Begin();
   heap_ledger_.BeginCall();
+  // End-to-end latency of the outermost call, containment included (the
+  // scope unwinds through every return and the KernelPanic rethrow).
+  KOP_SPAN(kModuleCall);
 
   ++slot.call_depth;
   std::optional<Result<uint64_t>> outcome;
   std::optional<GuardViolation> violation;
   try {
-    outcome = slot.engine->Call(function, args);
+    {
+      KOP_SPAN(kEngineDispatch);
+      outcome = slot.engine->Call(function, args);
+    }
     --slot.call_depth;
   } catch (const GuardViolation& thrown) {
     --slot.call_depth;
     violation = thrown;  // contained below, outside the handler
-  } catch (const KernelPanic&) {
+  } catch (const KernelPanic& panic) {
     --slot.call_depth;
     // The machine is dead, but the transactional promise holds: the
     // half-finished call leaves no writes behind (post-mortem dumps of
     // kernel memory see call-entry state).
     RollbackJournal(slot, resilience::RollbackReason::kPanic);
     ReclaimCallAllocations();
+    NoteEvent("panic");
+    CapturePostmortem(slot, "panic", panic.what(), nullptr, "panic");
     throw;
   }
 
@@ -431,7 +441,10 @@ Result<uint64_t> LoadedModule::Call(const std::string& function,
   }
   // Success and plain oops-style errors both commit: a wild pointer is
   // a fault the module observes, not a containment event.
-  if (journaling_enabled_) slot.journaled->journal().Commit();
+  if (journaling_enabled_) {
+    KOP_SPAN(kJournalCommit);
+    slot.journaled->journal().Commit();
+  }
   return result;
 }
 
@@ -473,6 +486,20 @@ Result<uint64_t> LoadedModule::Contain(CpuSlot& slot,
   // restart path clears it itself: its re-init runs module code through
   // the stop-checking journal seam.
 
+  // Sole occupant now: flight-record the incident before recovery
+  // mutates anything, so the bundle sees the state the module died in.
+  const char* incident =
+      reason == resilience::RollbackReason::kTimeout ? "timeout" : "violation";
+  const char* decision = "quarantine";
+  switch (recovery_) {
+    case resilience::RecoveryPolicy::kPanic: decision = "panic"; break;
+    case resilience::RecoveryPolicy::kQuarantine: break;
+    case resilience::RecoveryPolicy::kRestart: decision = "restart"; break;
+  }
+  NoteEvent(incident);
+  CapturePostmortem(slot, incident, what, violation, decision);
+
+  KOP_SPAN(kRecovery);
   switch (recovery_) {
     case resilience::RecoveryPolicy::kPanic:
       kernel_->Panic("carat_kop: module '" + name_ + "' contained after " +
@@ -514,10 +541,12 @@ Status LoadedModule::TryRestart() {
   if (current != resilience::ModuleState::kNeedsRestart) return OkStatus();
   if (restart_attempts_.load(std::memory_order_acquire) >=
       backoff_.max_attempts) {
-    Quarantine("restart budget exhausted (" +
-                   std::to_string(restart_attempts_.load()) +
-                   " attempts); last containment: " + quarantine_reason(),
-               nullptr);
+    const std::string what = "restart budget exhausted (" +
+                             std::to_string(restart_attempts_.load()) +
+                             " attempts); last containment: " +
+                             quarantine_reason();
+    CapturePostmortem(slot, "restart-exhausted", what, nullptr, "quarantine");
+    Quarantine(what, nullptr);
     return PermissionDenied("module '" + name_ +
                             "' is quarantined: " + quarantine_reason());
   }
@@ -580,6 +609,7 @@ Status LoadedModule::TryRestart() {
   trace::GlobalMetrics()
       .GetCounter(ok ? "resilience.restarts" : "resilience.restart_failures")
       ->Add();
+  NoteEvent(ok ? "restart" : "restart-failed");
   if (ok) {
     state_.store(resilience::ModuleState::kRestarted,
                  std::memory_order_release);
@@ -606,7 +636,11 @@ size_t LoadedModule::RollbackJournal(CpuSlot& slot,
   // Undo through the UN-journaled inner interface: the replay must not
   // journal itself or pass through fault hooks (and must not be aborted
   // by a pending cross-CPU stop — the inner interface has no stop flag).
-  const size_t undone = journal.Rollback(slot.journaled->inner());
+  size_t undone = 0;
+  {
+    KOP_SPAN(kJournalRollback, bytes);
+    undone = journal.Rollback(slot.journaled->inner());
+  }
   KOP_TRACE(kModuleRollback, undone, bytes, static_cast<uint64_t>(reason));
   trace::GlobalMetrics().GetCounter("resilience.rollbacks")->Add();
   return undone;
@@ -650,8 +684,54 @@ Status LoadedModule::ResetGlobals() {
   return OkStatus();
 }
 
+void LoadedModule::NoteEvent(const char* reason) {
+  last_event_tsc_.store(kernel_->clock().ReadTsc(),
+                        std::memory_order_relaxed);
+  last_event_reason_.store(reason, std::memory_order_release);
+}
+
+void LoadedModule::CapturePostmortem(CpuSlot& slot, const char* reason,
+                                     const std::string& what,
+                                     const GuardViolation* violation,
+                                     const char* recovery) {
+  flight::PostmortemBundle bundle;
+  bundle.module = name_;
+  bundle.engine = std::string(slot.engine->engine_name());
+  bundle.reason = reason;
+  bundle.what = what;
+  bundle.recovery = recovery;
+  bundle.cpu = smp::CurrentCpu();
+  bundle.tsc = kernel_->clock().ReadTsc();
+  if (violation != nullptr) {
+    bundle.has_violation = true;
+    bundle.violation_addr = violation->addr;
+    bundle.violation_size = violation->size;
+    bundle.violation_flags = static_cast<uint32_t>(violation->access_flags);
+    bundle.site_token = violation->site;
+    if (violation->site != 0) {
+      bundle.site_label = trace::GlobalSites().Label(violation->site);
+    }
+  }
+  bundle.vm = slot.engine->LastFaultState();
+  const resilience::WriteJournal& journal = slot.journaled->journal();
+  bundle.journal_rollbacks = journal.total_rollbacks();
+  bundle.journal_entries_recorded = journal.total_entries_recorded();
+  bundle.journal_entries_undone = journal.total_entries_undone();
+  const std::vector<uint64_t> live = heap_ledger_.LiveSnapshot();
+  bundle.heap_live_blocks = live.size();
+  for (size_t i = 0; i < live.size() && i < 8; ++i) {
+    bundle.heap_live_addrs.push_back(live[i]);
+  }
+  bundle.restart_attempts = restart_attempts_.load(std::memory_order_acquire);
+  bundle.restarts_completed =
+      restarts_completed_.load(std::memory_order_acquire);
+  flight::FillEnvironment(&bundle);
+  flight::GlobalPostmortems().Capture(std::move(bundle));
+}
+
 void LoadedModule::Quarantine(const std::string& reason,
                               const GuardViolation* violation) {
+  NoteEvent("quarantine");
   {
     std::lock_guard<Spinlock> guard(state_lock_);
     quarantine_reason_ = reason;

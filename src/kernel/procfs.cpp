@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "kop/flight/postmortem.hpp"
 #include "kop/trace/trace.hpp"
 
 namespace kop::kernel {
@@ -22,20 +23,35 @@ std::string FormatKmallocStats(const char* label, const KmallocStats& stats) {
 }  // namespace
 
 std::string ProcModules(const ModuleLoader& loader) {
-  std::string out = "Module            Insts  Guards  Restarts  State\n";
-  char line[160];
+  std::string out =
+      "Module            Insts  Guards  Restarts  State        LastEvent\n";
+  char line[224];
   for (const std::string& name : loader.LoadedNames()) {
     const LoadedModule* module =
         const_cast<ModuleLoader&>(loader).Find(name);
     if (module == nullptr) continue;
-    std::snprintf(line, sizeof(line), "%-16s %6zu %7llu  %8u  %s\n",
+    char last_event[64] = "-";
+    if (const char* reason = module->last_event_reason()) {
+      std::snprintf(last_event, sizeof(last_event), "%s@%llu", reason,
+                    static_cast<unsigned long long>(module->last_event_tsc()));
+    }
+    std::snprintf(line, sizeof(line), "%-16s %6zu %7llu  %8u  %-12s %s\n",
                   name.c_str(), module->ir().InstructionCount(),
                   static_cast<unsigned long long>(
                       module->attestation().guard_count),
                   module->restart_count(),
-                  resilience::ModuleStateName(module->state()).data());
+                  resilience::ModuleStateName(module->state()).data(),
+                  last_event);
     out += line;
   }
+  return out;
+}
+
+std::string ProcPostmortem() {
+  flight::PostmortemBundle bundle;
+  if (!flight::GlobalPostmortems().Latest(&bundle)) return "none\n";
+  std::string out = bundle.ToJson();
+  out += '\n';
   return out;
 }
 

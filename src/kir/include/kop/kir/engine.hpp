@@ -91,6 +91,24 @@ struct InterpStats {
   uint64_t calls_external = 0;
 };
 
+/// Fault-state snapshot for postmortem bundles: what the engine was
+/// doing when the most recent top-level call failed (guard violation,
+/// panic, watchdog expiry, or any error result). Deliberately
+/// engine-NEUTRAL — the innermost faulting function, its call depth,
+/// its incoming arguments, and the retired-operation counters at the
+/// instant of the fault — every field the differential contract makes
+/// identical between the interpreter and the VM, so a postmortem bundle
+/// is byte-identical whichever engine produced it. (stats.steps doubles
+/// as the virtual program counter: both engines retire the same
+/// instruction sequence.)
+struct EngineSnapshot {
+  bool valid = false;
+  std::string function;        // innermost frame at fault
+  uint32_t depth = 0;          // intra-module call depth of that frame
+  std::vector<uint64_t> args;  // the frame's incoming args (first 8)
+  InterpStats stats;           // counters at the instant of the fault
+};
+
 /// What the module loader holds: call entry points, read counters. Both
 /// engines implement this and must agree on every observable — results,
 /// memory effects, external-call sequence with ordinals, and the counters
@@ -109,6 +127,11 @@ class ExecutionEngine {
   /// Re-arm the per-call watchdog (0 disables). Takes effect at the next
   /// top-level Call; a call already in flight keeps its deadline.
   virtual void set_watchdog_steps(uint64_t steps) { (void)steps; }
+
+  /// Fault state of the most recent top-level Call, valid only if that
+  /// call failed (cleared at the next top-level entry). The containment
+  /// path reads this into the postmortem bundle.
+  virtual EngineSnapshot LastFaultState() const { return {}; }
 
   /// "interp" or "bytecode" — for logs and bench annotations.
   virtual std::string_view engine_name() const = 0;

@@ -41,11 +41,20 @@ class Interpreter : public ExecutionEngine {
     config_.watchdog_steps = steps;
   }
   std::string_view engine_name() const override { return "interp"; }
+  EngineSnapshot LastFaultState() const override { return fault_state_; }
 
  private:
+  /// ExecuteFrame wrapped with frame-granular fault capture: error
+  /// results and unwinding exceptions both stamp the frame into the
+  /// snapshot (innermost frame wins), mirroring the VM exactly.
   Result<uint64_t> Execute(const Function& fn,
                            const std::vector<uint64_t>& args, uint32_t depth,
                            uint64_t stack_top);
+  Result<uint64_t> ExecuteFrame(const Function& fn,
+                                const std::vector<uint64_t>& args,
+                                uint32_t depth, uint64_t stack_top);
+  void RecordFault(const std::string& fn_name,
+                   const std::vector<uint64_t>& args, uint32_t depth);
 
   Result<uint64_t> GlobalAddress(const GlobalVariable* global) const;
 
@@ -55,6 +64,7 @@ class Interpreter : public ExecutionEngine {
   std::unordered_map<std::string, uint64_t> global_addresses_;
   InterpConfig config_;
   InterpStats stats_;
+  EngineSnapshot fault_state_;
   /// Step deadline for the call in flight: min(lifetime budget, steps at
   /// call entry + watchdog budget). Set at each top-level Call.
   uint64_t step_limit_ = InterpConfig().max_steps;

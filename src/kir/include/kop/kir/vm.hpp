@@ -45,6 +45,7 @@ class VM : public ExecutionEngine {
     config_.watchdog_steps = steps;
   }
   std::string_view engine_name() const override { return "bytecode"; }
+  EngineSnapshot LastFaultState() const override { return fault_state_; }
 
   const BytecodeModule& bytecode() const { return bytecode_; }
 
@@ -58,11 +59,17 @@ class VM : public ExecutionEngine {
   Result<uint64_t> RunFrame(const BytecodeFunction& fn, size_t base,
                             uint32_t depth, uint64_t stack_top);
 
+  /// First (innermost) fault of the call in flight wins; later frames on
+  /// the unwind path see `valid` already set and keep their hands off.
+  void RecordFault(const std::string& fn_name,
+                   const std::vector<uint64_t>& args, uint32_t depth);
+
   BytecodeModule bytecode_;
   MemoryInterface& memory_;
   ExternalResolver& resolver_;
   InterpConfig config_;
   InterpStats stats_;
+  EngineSnapshot fault_state_;
   /// Step deadline for the call in flight: min(lifetime budget, steps at
   /// call entry + watchdog budget). Set at each top-level Call; nested
   /// frames read it through RunFrame (mirrors the interpreter exactly).

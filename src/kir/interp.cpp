@@ -1,5 +1,6 @@
 #include "kop/kir/interp.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "kop/kir/printer.hpp"
@@ -53,6 +54,7 @@ Result<uint64_t> Interpreter::Call(const std::string& fn_name,
         stats_.steps + config_.watchdog_steps < step_limit_) {
       step_limit_ = stats_.steps + config_.watchdog_steps;
     }
+    fault_state_ = EngineSnapshot();
   }
   ++entry_depth_;
   try {
@@ -69,6 +71,31 @@ Result<uint64_t> Interpreter::Call(const std::string& fn_name,
 Result<uint64_t> Interpreter::Execute(const Function& fn,
                                       const std::vector<uint64_t>& args,
                                       uint32_t depth, uint64_t stack_top) {
+  try {
+    auto result = ExecuteFrame(fn, args, depth, stack_top);
+    if (!result.ok()) RecordFault(fn.name(), args, depth);
+    return result;
+  } catch (...) {
+    RecordFault(fn.name(), args, depth);
+    throw;
+  }
+}
+
+void Interpreter::RecordFault(const std::string& fn_name,
+                              const std::vector<uint64_t>& args,
+                              uint32_t depth) {
+  if (fault_state_.valid) return;
+  fault_state_.valid = true;
+  fault_state_.function = fn_name;
+  fault_state_.depth = depth;
+  fault_state_.args.assign(
+      args.begin(), args.begin() + std::min<size_t>(args.size(), 8));
+  fault_state_.stats = stats_;
+}
+
+Result<uint64_t> Interpreter::ExecuteFrame(const Function& fn,
+                                           const std::vector<uint64_t>& args,
+                                           uint32_t depth, uint64_t stack_top) {
   if (depth > config_.max_call_depth) {
     return Internal("call depth limit exceeded in @" + fn.name());
   }

@@ -1,5 +1,6 @@
 #include "kop/kir/vm.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace kop::kir {
@@ -118,6 +119,7 @@ Result<uint64_t> VM::Call(const std::string& fn_name,
         stats_.steps + config_.watchdog_steps < step_limit_) {
       step_limit_ = stats_.steps + config_.watchdog_steps;
     }
+    fault_state_ = EngineSnapshot();
   }
   // Guard faults and panics unwind as exceptions through the resolver;
   // restore the register watermark so the VM stays usable afterwards.
@@ -140,6 +142,7 @@ Result<uint64_t> VM::ExecuteFunction(uint32_t fn_index,
                                      uint32_t depth, uint64_t stack_top) {
   const BytecodeFunction& fn = bytecode_.functions[fn_index];
   if (depth > config_.max_call_depth) {
+    RecordFault(fn.name, args, depth);
     return Internal("call depth limit exceeded in @" + fn.name);
   }
 
@@ -157,9 +160,30 @@ Result<uint64_t> VM::ExecuteFunction(uint32_t fn_index,
     regs[i] = args[i] & fn.arg_masks[i];
   }
 
-  Result<uint64_t> result = RunFrame(fn, base, depth, stack_top);
-  reg_top_ = base;
-  return result;
+  // Frame-granular fault capture: exceptions (guard violations, panics)
+  // and error results both stamp this frame into the snapshot on their
+  // way out; the innermost frame wins.
+  try {
+    Result<uint64_t> result = RunFrame(fn, base, depth, stack_top);
+    reg_top_ = base;
+    if (!result.ok()) RecordFault(fn.name, args, depth);
+    return result;
+  } catch (...) {
+    reg_top_ = base;
+    RecordFault(fn.name, args, depth);
+    throw;
+  }
+}
+
+void VM::RecordFault(const std::string& fn_name,
+                     const std::vector<uint64_t>& args, uint32_t depth) {
+  if (fault_state_.valid) return;
+  fault_state_.valid = true;
+  fault_state_.function = fn_name;
+  fault_state_.depth = depth;
+  fault_state_.args.assign(
+      args.begin(), args.begin() + std::min<size_t>(args.size(), 8));
+  fault_state_.stats = stats_;
 }
 
 Result<uint64_t> VM::RunFrame(const BytecodeFunction& fn, size_t base,

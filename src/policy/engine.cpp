@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "kop/trace/site.hpp"
+#include "kop/trace/span.hpp"
 #include "kop/trace/trace.hpp"
 #include "kop/util/carat_abi.hpp"
 
@@ -159,6 +160,7 @@ void PolicyEngine::RecordViolation(const ViolationRecord& record) {
 
 bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
                          uint64_t access_flags) {
+  KOP_SPAN(kGuardDecision, addr);
   const uint64_t site = trace::CurrentGuardSite();
   bool allowed;
   {

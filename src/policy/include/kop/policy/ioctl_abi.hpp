@@ -27,6 +27,7 @@ enum CaratIoctl : uint32_t {
   KOP_IOCTL_GET_VIOLATIONS = 0x4b0b,  // out: CaratViolationsArg
   KOP_IOCTL_READ_TRACE = 0x4b0c,      // out: CaratTraceArg
   KOP_IOCTL_GET_HOT_SITES = 0x4b0d,   // out: CaratHotSitesArg
+  KOP_IOCTL_READ_POSTMORTEM = 0x4b0e, // out: CaratPostmortemArg
 };
 
 // The paper spells the ioctl names CARAT_IOC_*; keep those as aliases so
@@ -35,6 +36,8 @@ inline constexpr uint32_t CARAT_IOC_GET_STATS = KOP_IOCTL_GET_STATS;
 inline constexpr uint32_t CARAT_IOC_GET_VIOLATIONS = KOP_IOCTL_GET_VIOLATIONS;
 inline constexpr uint32_t CARAT_IOC_READ_TRACE = KOP_IOCTL_READ_TRACE;
 inline constexpr uint32_t CARAT_IOC_GET_HOT_SITES = KOP_IOCTL_GET_HOT_SITES;
+inline constexpr uint32_t CARAT_IOC_READ_POSTMORTEM =
+    KOP_IOCTL_READ_POSTMORTEM;
 
 struct CaratRegionArg {
   uint64_t base = 0;
@@ -93,7 +96,7 @@ struct CaratTraceRecordArg {
   uint64_t tsc = 0;
   uint64_t seq = 0;
   uint32_t event = 0;  // trace::EventId value
-  uint32_t pad = 0;
+  uint32_t cpu = 0;    // simulated CPU the record was appended on
   uint64_t args[4] = {};
 };
 
@@ -118,6 +121,19 @@ struct CaratHotSitesArg {
   uint32_t count = 0;
   uint32_t pad = 0;
   CaratHotSiteArg sites[kMax] = {};  // hottest first
+};
+
+/// The newest flight-recorder postmortem bundle, rendered kernel-side as
+/// deterministic JSON. `present` = 0 when no incident has been captured;
+/// bundles larger than the buffer are truncated (`truncated` = 1,
+/// `total_len` the untruncated length).
+struct CaratPostmortemArg {
+  static constexpr uint32_t kMax = 8192;
+  uint32_t present = 0;
+  uint32_t truncated = 0;
+  uint64_t total_len = 0;
+  uint64_t incidents = 0;  // lifetime incident count
+  char json[kMax] = {};    // NUL-terminated
 };
 
 /// Pack a POD into an ioctl arg buffer.

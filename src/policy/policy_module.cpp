@@ -1,7 +1,9 @@
 #include "kop/policy/policy_module.hpp"
 
 #include <cstdio>
+#include <cstring>
 
+#include "kop/flight/postmortem.hpp"
 #include "kop/policy/region_table.hpp"
 #include "kop/trace/site.hpp"
 #include "kop/trace/trace.hpp"
@@ -42,6 +44,33 @@ Result<std::unique_ptr<PolicyModule>> PolicyModule::Insert(
         return raw->HandleIoctl(cmd, arg);
       }));
 
+  // Register the flight-recorder providers: postmortem bundles captured
+  // while this policy module is inserted carry its frame generation and
+  // guard-site heatmap. The destructor clears them — a bundle captured
+  // after removal reports policy.present = false.
+  flight::SetPolicyProvider([engine]() {
+    flight::PolicyInfo info;
+    info.present = true;
+    info.frames_published = engine->frames_published();
+    info.store_generation = engine->store().generation();
+    info.store_size = engine->store().Size();
+    info.mode = engine->mode() == PolicyMode::kDefaultAllow ? "default-allow"
+                                                            : "default-deny";
+    return info;
+  });
+  flight::SetHeatmapProvider([engine]() {
+    std::vector<flight::HeatSite> out;
+    for (const HotSite& row : engine->HotSites()) {
+      flight::HeatSite site;
+      site.site = row.site != 0 ? trace::GlobalSites().Label(row.site)
+                                : "(unattributed)";
+      site.hits = row.hits;
+      site.denied = row.denied;
+      out.push_back(std::move(site));
+    }
+    return out;
+  });
+
   module->installed_ = true;
   kernel->log().Printk(kernel::KernLevel::kInfo,
                        "carat_kop: policy module loaded (%s, %s)",
@@ -53,6 +82,8 @@ Result<std::unique_ptr<PolicyModule>> PolicyModule::Insert(
 
 PolicyModule::~PolicyModule() {
   if (!installed_) return;
+  flight::SetPolicyProvider(nullptr);
+  flight::SetHeatmapProvider(nullptr);
   (void)kernel_->symbols().Unexport(kCaratGuardSymbol);
   (void)kernel_->symbols().Unexport(kCaratIntrinsicGuardSymbol);
   (void)kernel_->devices().Unregister(kCaratDevicePath);
@@ -147,6 +178,7 @@ Status PolicyModule::HandleIoctl(uint32_t cmd, std::vector<uint8_t>& arg) {
         out.tsc = records[i].tsc;
         out.seq = records[i].seq;
         out.event = static_cast<uint32_t>(records[i].event);
+        out.cpu = records[i].cpu;
         for (int a = 0; a < 4; ++a) out.args[a] = records[i].args[a];
       }
       arg = PackArg(reply);
@@ -162,6 +194,24 @@ Status PolicyModule::HandleIoctl(uint32_t cmd, std::vector<uint8_t>& arg) {
         out.denied = row.denied;
         const std::string label = trace::GlobalSites().Label(row.site);
         std::snprintf(out.label, sizeof(out.label), "%s", label.c_str());
+      }
+      arg = PackArg(reply);
+      return OkStatus();
+    }
+    case KOP_IOCTL_READ_POSTMORTEM: {
+      CaratPostmortemArg reply;
+      reply.incidents = flight::GlobalPostmortems().incidents();
+      flight::PostmortemBundle bundle;
+      if (flight::GlobalPostmortems().Latest(&bundle)) {
+        reply.present = 1;
+        const std::string json = bundle.ToJson();
+        reply.total_len = json.size();
+        if (json.size() >= CaratPostmortemArg::kMax) {
+          reply.truncated = 1;
+          std::memcpy(reply.json, json.data(), CaratPostmortemArg::kMax - 1);
+        } else {
+          std::memcpy(reply.json, json.data(), json.size());
+        }
       }
       arg = PackArg(reply);
       return OkStatus();

@@ -28,23 +28,30 @@ void AppendEscaped(std::string* out, std::string_view text) {
 
 std::string ExportChromeTrace(const std::vector<TraceRecord>& records,
                               const ChromeTraceOptions& options) {
+  return ExportChromeTrace(records, std::vector<SpanEvent>{}, options);
+}
+
+std::string ExportChromeTrace(const std::vector<TraceRecord>& records,
+                              const std::vector<SpanEvent>& spans,
+                              const ChromeTraceOptions& options) {
   std::string out;
-  out.reserve(records.size() * 140 + 256);
+  out.reserve((records.size() + spans.size()) * 140 + 256);
   out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":"
          "{\"name\":\"";
   AppendEscaped(&out, options.process_name);
   out += "\"}}";
-  char buf[96];
+  char buf[128];
   for (const TraceRecord& record : records) {
     out += ",{\"name\":\"";
     AppendEscaped(&out, EventName(record.event));
     out += "\",\"cat\":\"";
     AppendEscaped(&out, EventCategory(record.event));
-    // Instant events, thread-scoped: the sim models one CPU.
+    // Instant events, thread-scoped; tid is the simulated CPU.
     std::snprintf(buf, sizeof(buf),
-                  "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,"
+                  "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
                   "\"ts\":%.3f,\"args\":{\"seq\":%" PRIu64,
+                  static_cast<unsigned>(record.cpu),
                   static_cast<double>(record.tsc) / options.cycles_per_us,
                   record.seq);
     out += buf;
@@ -56,6 +63,21 @@ std::string ExportChromeTrace(const std::vector<TraceRecord>& records,
       out += buf;
     }
     out += "}}";
+  }
+  for (const SpanEvent& span : spans) {
+    out += ",{\"name\":\"";
+    AppendEscaped(&out, SpanKindName(span.kind));
+    // Complete ("X") events carry their real duration; begin/end both
+    // came from the recording CPU's virtual clock.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"seq\":%" PRIu64
+                  ",\"depth\":%u,\"arg\":\"0x%" PRIx64 "\"}}",
+                  static_cast<unsigned>(span.cpu),
+                  static_cast<double>(span.begin_tsc) / options.cycles_per_us,
+                  static_cast<double>(span.duration()) / options.cycles_per_us,
+                  span.seq, static_cast<unsigned>(span.depth), span.arg);
+    out += buf;
   }
   out += "]}";
   return out;

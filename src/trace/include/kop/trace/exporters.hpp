@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "kop/trace/span.hpp"
 #include "kop/trace/trace.hpp"
 
 namespace kop::trace {
@@ -18,10 +19,19 @@ struct ChromeTraceOptions {
 };
 
 /// Records as Chrome trace-event JSON: one instant event per record,
-/// categorized by subsystem, args named per event. Timestamps are
+/// categorized by subsystem, args named per event, with `tid` carrying
+/// the simulated CPU the tracepoint fired on. Timestamps are
 /// virtual-cycle counts scaled to microseconds; addresses render as hex
-/// strings so 64-bit values survive JSON number precision.
+/// strings so 64-bit values survive JSON number precision. Pass the
+/// TraceRing::Snapshot() output for a timestamp-merged SMP timeline.
 std::string ExportChromeTrace(const std::vector<TraceRecord>& records,
+                              const ChromeTraceOptions& options = {});
+
+/// Records plus completed spans: spans export as real-duration "X"
+/// events (`ts` = begin, `dur` = end - begin) on their CPU's `tid` row,
+/// so Perfetto draws the nested module-call → engine → guard scopes.
+std::string ExportChromeTrace(const std::vector<TraceRecord>& records,
+                              const std::vector<SpanEvent>& spans,
                               const ChromeTraceOptions& options = {});
 
 /// Convenience: snapshot the tracer's ring and export it.

@@ -80,6 +80,19 @@ class Log2Histogram {
   }
   /// Lower edge of bucket i (0 for bucket 0, else 2^(i-1)).
   static double BucketLo(size_t i);
+
+  /// Interpolated quantile, p in [0, 100]. Walks cumulative bucket
+  /// counts to the bucket holding rank p/100·n, then interpolates
+  /// linearly inside it (HDR-histogram style): with c observations in a
+  /// bucket [lo, hi) and k of the target rank falling inside it, the
+  /// estimate is lo + k/c·(hi-lo). Returns 0 on an empty histogram.
+  double Percentile(double p) const;
+
+  /// The same interpolation over an externally folded bucket array —
+  /// used to fold per-CPU histograms exactly on read before querying.
+  static double PercentileFromBuckets(
+      const std::array<uint64_t, kBuckets>& buckets, double p);
+
   size_t NonZeroBuckets() const;
   void Reset();
 
@@ -117,6 +130,12 @@ class MetricsRegistry {
 
   /// Human-readable table for proc-style dumps.
   std::string RenderText() const;
+
+  /// Prometheus text exposition format (v0.0.4): counters and gauges as
+  /// plain samples, histograms as cumulative `le` buckets plus `_sum`,
+  /// `_count`, and interpolated p50/p99 quantile samples. Metric names
+  /// have dots rewritten to underscores.
+  std::string RenderPrometheus() const;
 
   /// Zero every registered metric (registrations survive).
   void Reset();

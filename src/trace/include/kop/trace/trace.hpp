@@ -47,6 +47,8 @@ enum class EventId : uint16_t {
   // Kernel core.
   kPanic,             // 0
   kIoctl,             // cmd, device ordinal
+  // Flight recorder (kop::flight).
+  kPostmortemCapture,  // reason ordinal, incident count, cpu
   kEventCount,
 };
 
@@ -63,12 +65,13 @@ std::string_view EventCategory(EventId id);
 std::array<const char*, 4> EventArgNames(EventId id);
 
 /// One tracepoint firing. Fixed size; `seq` is the global firing ordinal
-/// (monotonic even after the ring wraps).
+/// (monotonic even after the ring wraps); `cpu` is the simulated CPU the
+/// tracepoint fired on (thread id in Chrome-trace exports).
 struct TraceRecord {
   uint64_t tsc = 0;   // virtual cycles at firing time
   uint64_t seq = 0;
   EventId event = EventId::kNone;
-  uint16_t pad16 = 0;
+  uint16_t cpu = 0;
   uint32_t pad32 = 0;
   uint64_t args[4] = {0, 0, 0, 0};
 };
@@ -104,7 +107,11 @@ class TraceRing {
   }
   uint64_t dropped() const;
 
-  /// Retained records merged across shards, oldest first, ordered by seq.
+  /// Retained records merged across shards into one stream ordered by
+  /// virtual-clock timestamp (seq breaks ties), so an SMP run exports a
+  /// monotonic timeline instead of shard-concatenation order. Per-CPU
+  /// virtual clocks are monotone, so within a shard this degenerates to
+  /// the append (seq) order the single-CPU ring always had.
   std::vector<TraceRecord> Snapshot() const;
 
   /// Not safe against concurrent Append; fine for the simulator.

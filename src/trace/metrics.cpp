@@ -29,6 +29,39 @@ double Log2Histogram::BucketLo(size_t i) {
   return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
 }
 
+double Log2Histogram::Percentile(double p) const {
+  std::array<uint64_t, kBuckets> snapshot;
+  for (size_t i = 0; i < kBuckets; ++i) snapshot[i] = bucket(i);
+  return PercentileFromBuckets(snapshot, p);
+}
+
+double Log2Histogram::PercentileFromBuckets(
+    const std::array<uint64_t, kBuckets>& buckets, double p) {
+  uint64_t n = 0;
+  for (uint64_t b : buckets) n += b;
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double target = p / 100.0 * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (target <= next) {
+      const double lo = BucketLo(i);
+      const double hi = BucketLo(i + 1);
+      const double within = (target - cumulative) / static_cast<double>(buckets[i]);
+      return lo + within * (hi - lo);
+    }
+    cumulative = next;
+  }
+  // p == 100 with rounding slop: the upper edge of the last nonzero bucket.
+  for (size_t i = kBuckets; i > 0; --i) {
+    if (buckets[i - 1] != 0) return BucketLo(i);
+  }
+  return 0.0;
+}
+
 size_t Log2Histogram::NonZeroBuckets() const {
   size_t n = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
@@ -41,6 +74,31 @@ void Log2Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }
+
+namespace {
+
+/// Percentile over a MetricSample's (trimmed) bucket vector.
+double SamplePercentile(const MetricSample& sample, double p) {
+  std::array<uint64_t, Log2Histogram::kBuckets> buckets{};
+  for (size_t i = 0; i < sample.buckets.size() && i < buckets.size(); ++i) {
+    buckets[i] = sample.buckets[i];
+  }
+  return Log2Histogram::PercentileFromBuckets(buckets, p);
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map
+/// dots (and any other byte) to underscores.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<Spinlock> guard(lock_);
@@ -134,6 +192,12 @@ std::string MetricsRegistry::RenderCsv() const {
         std::snprintf(line, sizeof(line), "%s,histogram,sum,%.6g\n",
                       sample.name.c_str(), sample.sum);
         out += line;
+        std::snprintf(line, sizeof(line), "%s,histogram,p50,%.6g\n",
+                      sample.name.c_str(), SamplePercentile(sample, 50.0));
+        out += line;
+        std::snprintf(line, sizeof(line), "%s,histogram,p99,%.6g\n",
+                      sample.name.c_str(), SamplePercentile(sample, 99.0));
+        out += line;
         for (size_t i = 0; i < sample.buckets.size(); ++i) {
           if (sample.buckets[i] == 0) continue;
           std::snprintf(line, sizeof(line), "%s,histogram,le_%.0f,%llu\n",
@@ -165,12 +229,15 @@ std::string MetricsRegistry::RenderText() const {
         out += line;
         break;
       case MetricKind::kHistogram: {
-        std::snprintf(line, sizeof(line), "%-40s n=%llu mean=%.3g\n",
+        std::snprintf(line, sizeof(line),
+                      "%-40s n=%llu mean=%.3g p50=%.3g p99=%.3g\n",
                       sample.name.c_str(),
                       static_cast<unsigned long long>(sample.count),
                       sample.count == 0
                           ? 0.0
-                          : sample.sum / static_cast<double>(sample.count));
+                          : sample.sum / static_cast<double>(sample.count),
+                      SamplePercentile(sample, 50.0),
+                      SamplePercentile(sample, 99.0));
         out += line;
         for (size_t i = 0; i < sample.buckets.size(); ++i) {
           if (sample.buckets[i] == 0) continue;
@@ -180,6 +247,60 @@ std::string MetricsRegistry::RenderText() const {
                         static_cast<unsigned long long>(sample.buckets[i]));
           out += line;
         }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  char line[256];
+  for (const MetricSample& sample : Snapshot()) {
+    const std::string name = PromName(sample.name);
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %llu\n",
+                      name.c_str(), name.c_str(),
+                      static_cast<unsigned long long>(sample.value));
+        out += line;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(line, sizeof(line),
+                      "# TYPE %s gauge\n%s %lld\n%s_max %lld\n", name.c_str(),
+                      name.c_str(), static_cast<long long>(sample.gauge_value),
+                      name.c_str(), static_cast<long long>(sample.gauge_max));
+        out += line;
+        break;
+      case MetricKind::kHistogram: {
+        std::snprintf(line, sizeof(line), "# TYPE %s histogram\n",
+                      name.c_str());
+        out += line;
+        // Prometheus buckets are cumulative and labelled by upper edge.
+        unsigned long long cumulative = 0;
+        for (size_t i = 0; i < sample.buckets.size(); ++i) {
+          cumulative += sample.buckets[i];
+          if (sample.buckets[i] == 0) continue;
+          std::snprintf(line, sizeof(line), "%s_bucket{le=\"%.0f\"} %llu\n",
+                        name.c_str(), Log2Histogram::BucketLo(i + 1),
+                        cumulative);
+          out += line;
+        }
+        std::snprintf(line, sizeof(line),
+                      "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %.6g\n%s_count "
+                      "%llu\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(sample.count),
+                      name.c_str(), sample.sum, name.c_str(),
+                      static_cast<unsigned long long>(sample.count));
+        out += line;
+        std::snprintf(line, sizeof(line),
+                      "%s{quantile=\"0.5\"} %.6g\n%s{quantile=\"0.99\"} "
+                      "%.6g\n",
+                      name.c_str(), SamplePercentile(sample, 50.0),
+                      name.c_str(), SamplePercentile(sample, 99.0));
+        out += line;
         break;
       }
     }

@@ -31,6 +31,7 @@ constexpr EventDesc kEvents[kEventCount] = {
     {"e1000e.xmit_frame", "nic", {"bytes", "slot", nullptr, nullptr}},
     {"kernel.panic", "kernel", {nullptr, nullptr, nullptr, nullptr}},
     {"dev.ioctl", "ioctl", {"cmd", nullptr, nullptr, nullptr}},
+    {"flight.postmortem", "flight", {"reason", "incidents", "cpu", nullptr}},
 };
 
 size_t Index(EventId id) {
@@ -109,7 +110,7 @@ std::vector<TraceRecord> TraceRing::Snapshot() const {
   }
   std::sort(out.begin(), out.end(),
             [](const TraceRecord& a, const TraceRecord& b) {
-              return a.seq < b.seq;
+              return a.tsc != b.tsc ? a.tsc < b.tsc : a.seq < b.seq;
             });
   return out;
 }
@@ -130,6 +131,7 @@ void Tracer::Record(EventId event, uint64_t a0, uint64_t a1, uint64_t a2,
   TraceRecord record;
   const sim::VirtualClock* clock = clock_.load(std::memory_order_acquire);
   record.tsc = clock != nullptr ? clock->ReadTsc() : 0;
+  record.cpu = static_cast<uint16_t>(smp::CurrentCpu());
   record.event = event;
   record.args[0] = a0;
   record.args[1] = a1;

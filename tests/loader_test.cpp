@@ -4,6 +4,7 @@
 
 #include "kop/kernel/kernel.hpp"
 #include "kop/kernel/module_loader.hpp"
+#include "kop/kernel/procfs.hpp"
 #include "kop/kirmods/corpus.hpp"
 #include "kop/kir/parser.hpp"
 #include "kop/policy/policy_module.hpp"
@@ -145,6 +146,13 @@ entry:
   auto result = (*loaded)->Call("forever", {});
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("budget"), std::string::npos);
+  // lsmod pins the incident: the quarantine that ended it, stamped on
+  // the virtual clock, in the LastEvent column.
+  const std::string lsmod = kernel::ProcModules(loader);
+  EXPECT_NE(lsmod.find("LastEvent"), std::string::npos);
+  const std::string expect =
+      "quarantine@" + std::to_string((*loaded)->last_event_tsc());
+  EXPECT_NE(lsmod.find(expect), std::string::npos) << lsmod;
 }
 
 TEST(LoaderFailureTest, WildPointerIsAnOopsNotACrash) {

@@ -25,7 +25,7 @@ TEST(TraceEventTest, EveryEventHasNameAndCategory) {
     EXPECT_TRUE(category == "guard" || category == "loader" ||
                 category == "nic" || category == "kernel" ||
                 category == "ioctl" || category == "resilience" ||
-                category == "fault")
+                category == "fault" || category == "flight")
         << "event " << i << " has unexpected category " << category;
   }
 }

@@ -32,17 +32,32 @@
 //                                   # campaign against the resilience
 //                                   # layer; exit 1 on any kernel
 //                                   # invariant violation
+//   kopcc postmortem [--json] [--check-schema] [--seed N]
+//         [--engine=interp|bytecode] [--recovery=quarantine|restart]
+//                                   # force one guard violation to
+//                                   # containment and print the flight-
+//                                   # recorder postmortem bundle;
+//                                   # --check-schema exits 1 unless the
+//                                   # JSON carries every documented key
+//   kopcc stats [--watch] [--prom]  # run a canned guarded workload and
+//                                   # print the metrics registry + span
+//                                   # latency table; --prom renders the
+//                                   # Prometheus text exposition;
+//                                   # --watch redraws every second
 //
 // Exit code 0 on success; 1 on failure (diagnostics on stderr).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kop/analysis/static_verifier.hpp"
 #include "kop/fault/campaign.hpp"
+#include "kop/flight/postmortem.hpp"
 #include "kop/kernel/kernel.hpp"
 #include "kop/kernel/module_loader.hpp"
 #include "kop/kir/verifier.hpp"
@@ -55,6 +70,8 @@
 #include "kop/signing/validator.hpp"
 #include "kop/smp/cpu.hpp"
 #include "kop/smp/executor.hpp"
+#include "kop/trace/metrics.hpp"
+#include "kop/trace/span.hpp"
 #include "kop/trace/trace.hpp"
 #include "kop/transform/compiler.hpp"
 #include "kop/transform/guard_sites.hpp"
@@ -506,7 +523,165 @@ int FaultCamp(const std::vector<std::string>& args) {
   } else {
     std::fputs(report.ToText().c_str(), stdout);
   }
-  return report.ok() ? 0 : 1;
+  if (!report.ok()) {
+    // A failing trial is exactly what the flight recorder exists for:
+    // surface the most recent bundle (the store is reset per trial, so
+    // this is the last incident the campaign saw) alongside the report.
+    flight::PostmortemBundle bundle;
+    if (flight::GlobalPostmortems().Latest(&bundle)) {
+      std::fputs("--- latest postmortem bundle ---\n", stderr);
+      std::fputs(bundle.ToText().c_str(), stderr);
+    }
+    return 1;
+  }
+  return 0;
+}
+
+/// The documented bundle schema (DESIGN.md §14): every key that must be
+/// present in a kop.flight.postmortem/v1 rendering.
+const char* const kPostmortemSchemaKeys[] = {
+    "\"schema\":\"kop.flight.postmortem/v1\"",
+    "\"module\":",
+    "\"engine\":",
+    "\"reason\":",
+    "\"what\":",
+    "\"recovery\":",
+    "\"cpu\":",
+    "\"tsc\":",
+    "\"violation\":",
+    "\"vm\":",
+    "\"journal\":{",
+    "\"heap\":{",
+    "\"restarts\":{",
+    "\"policy\":",
+    "\"heatmap\":[",
+    "\"trace\":[",
+};
+
+int Postmortem(const std::vector<std::string>& args) {
+  fault::CampaignConfig config;
+  bool json = false;
+  bool check_schema = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--check-schema") {
+      check_schema = true;
+    } else if (arg == "--seed" && i + 1 < args.size()) {
+      try {
+        config.seed = std::stoull(args[++i], nullptr, 0);
+      } catch (const std::exception&) {
+        return Fail("bad seed");
+      }
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      const std::string name = arg.substr(9);
+      if (name == "interp") {
+        config.engine = kernel::ExecEngine::kInterp;
+      } else if (name == "bytecode") {
+        config.engine = kernel::ExecEngine::kBytecode;
+      } else {
+        return Fail("unknown engine '" + name + "'");
+      }
+    } else if (arg.rfind("--recovery=", 0) == 0) {
+      const std::string name = arg.substr(11);
+      if (name == "quarantine") {
+        config.recovery = resilience::RecoveryPolicy::kQuarantine;
+      } else if (name == "restart") {
+        config.recovery = resilience::RecoveryPolicy::kRestart;
+      } else {
+        return Fail("unknown recovery policy '" + name + "'");
+      }
+    } else {
+      return Fail("unknown postmortem option '" + arg + "'");
+    }
+  }
+
+  auto bundle = fault::RunPostmortemDemo(config);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  const std::string rendered = bundle->ToJson();
+  if (json) {
+    std::printf("%s\n", rendered.c_str());
+  } else {
+    std::fputs(bundle->ToText().c_str(), stdout);
+  }
+  if (check_schema) {
+    int missing = 0;
+    for (const char* key : kPostmortemSchemaKeys) {
+      if (rendered.find(key) == std::string::npos) {
+        std::fprintf(stderr, "kopcc: postmortem bundle missing %s\n", key);
+        ++missing;
+      }
+    }
+    if (missing != 0) return 1;
+    std::fprintf(stderr, "kopcc: postmortem schema OK (%zu keys)\n",
+                 sizeof(kPostmortemSchemaKeys) /
+                     sizeof(kPostmortemSchemaKeys[0]));
+  }
+  return 0;
+}
+
+int Stats(const std::vector<std::string>& args) {
+  bool watch = false;
+  bool prom = false;
+  for (const std::string& arg : args) {
+    if (arg == "--watch") {
+      watch = true;
+    } else if (arg == "--prom") {
+      prom = true;
+    } else {
+      return Fail("unknown stats option '" + arg + "'");
+    }
+  }
+
+  // Canned guarded workload: the ringbuf corpus module under a
+  // default-allow policy, so every push/pop exercises the guard path and
+  // the span seams (module call, engine dispatch, guard decision,
+  // journal commit).
+  kernel::Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(&kernel, nullptr,
+                                             policy::PolicyMode::kDefaultAllow);
+  if (!policy.ok()) return Fail(policy.status().ToString());
+  signing::Keyring keyring;
+  keyring.Trust(signing::SigningKey::DevelopmentKey());
+  kernel::ModuleLoader loader(&kernel, std::move(keyring));
+  auto compiled = transform::CompileModuleText(kirmods::RingbufSource());
+  if (!compiled.ok()) return Fail(compiled.status().ToString());
+  auto loaded = loader.Insmod(
+      signing::SignModule(compiled->text, compiled->attestation,
+                          signing::SigningKey::DevelopmentKey()));
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  kernel::LoadedModule* mod = *loaded;
+  if (auto init = mod->Call("rb_init", {}); !init.ok()) {
+    return Fail(init.status().ToString());
+  }
+
+  uint64_t round = 0;
+  const auto frame = [&]() -> std::string {
+    // A burst per frame so --watch shows the counters moving.
+    for (uint64_t i = 0; i < 16; ++i) {
+      (void)mod->Call("rb_push", {round * 16 + i});
+    }
+    for (int i = 0; i < 8; ++i) (void)mod->Call("rb_pop", {});
+    ++round;
+    if (prom) {
+      return trace::GlobalMetrics().RenderPrometheus() +
+             trace::GlobalSpans().RenderPrometheus();
+    }
+    return trace::GlobalMetrics().RenderText() + "\n" +
+           trace::GlobalSpans().RenderText();
+  };
+
+  if (!watch) {
+    std::fputs(frame().c_str(), stdout);
+    return 0;
+  }
+  for (;;) {
+    const std::string rendered = frame();
+    std::printf("\033[2J\033[H%s", rendered.c_str());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
 }
 
 }  // namespace
@@ -520,7 +695,10 @@ int main(int argc, char** argv) {
         "run <in.kko> [--engine=interp|bytecode] [--entry=fn] [--cpus=N] "
         "[args...] | "
         "faultcamp [--seed N] [--trials N] [--json] "
-        "[--engine=...] [--recovery=...]");
+        "[--engine=...] [--recovery=...] | "
+        "postmortem [--json] [--check-schema] [--seed N] [--engine=...] "
+        "[--recovery=...] | "
+        "stats [--watch] [--prom]");
   }
   const std::string command = argv[1];
   const std::vector<std::string> args(argv + 2, argv + argc);
@@ -530,5 +708,7 @@ int main(int argc, char** argv) {
   if (command == "check") return Check(args);
   if (command == "run") return Run(args);
   if (command == "faultcamp") return FaultCamp(args);
+  if (command == "postmortem") return Postmortem(args);
+  if (command == "stats") return Stats(args);
   return Fail("unknown command '" + command + "'");
 }
