@@ -7,6 +7,29 @@
 #include "kop/util/carat_abi.hpp"
 
 namespace kop::analysis {
+namespace {
+
+/// Exact-value or interval covering of `want` by `have` — the one covering
+/// relation both meet directions and the access query use, so optimizer
+/// and verifier agree on it by construction.
+bool FactCovers(const GuardFact& have, const GuardFact& want) {
+  if (have.Covers(want.addr, want.size, want.flags)) return true;
+  return have.CoversInterval(want.root, want.root_offset, want.size,
+                             want.flags);
+}
+
+}  // namespace
+
+const kir::Value* ResolveConstGep(const kir::Value* addr, uint64_t* offset) {
+  while (true) {
+    const auto* inst = kir::dyn_cast<kir::Instruction>(addr);
+    if (inst == nullptr || inst->opcode() != kir::Opcode::kGep) return addr;
+    const auto* index = kir::dyn_cast<kir::Constant>(inst->operand(1));
+    if (index == nullptr) return addr;
+    *offset += index->bits() * inst->gep_scale() + inst->gep_offset();
+    addr = inst->operand(0);
+  }
+}
 
 void GuardSet::AddGuard(const GuardFact& fact) {
   if (universe_) return;
@@ -34,6 +57,14 @@ const GuardFact* GuardSet::FindCovering(const kir::Value* addr, uint64_t size,
                                         uint64_t flags) const {
   for (const GuardFact& fact : facts_) {
     if (fact.Covers(addr, size, flags)) return &fact;
+  }
+  // Interval covering: the access at a constant gep offset from some root
+  // may fall inside a wider fact on that root (a carat_guard_range cover,
+  // or simply a larger guard of the same object).
+  uint64_t offset = 0;
+  const kir::Value* root = ResolveConstGep(addr, &offset);
+  for (const GuardFact& fact : facts_) {
+    if (fact.CoversInterval(root, offset, size, flags)) return &fact;
   }
   return nullptr;
 }
@@ -70,7 +101,14 @@ bool GuardSet::MeetInto(const GuardSet& src) {
   facts_.clear();
   bool changed = false;
   for (const GuardFact& fact : old) {
-    if (src.FindCovering(fact.addr, fact.size, fact.flags) != nullptr) {
+    bool src_covers = false;
+    for (const GuardFact& have : src.facts_) {
+      if (FactCovers(have, fact)) {
+        src_covers = true;
+        break;
+      }
+    }
+    if (src_covers) {
       facts_.push_back(fact);
     } else {
       changed = true;
@@ -79,7 +117,7 @@ bool GuardSet::MeetInto(const GuardSet& src) {
   for (const GuardFact& fact : src.facts_) {
     bool dst_covers = false;
     for (const GuardFact& have : old) {
-      if (have.Covers(fact.addr, fact.size, fact.flags)) {
+      if (FactCovers(have, fact)) {
         dst_covers = true;
         break;
       }
@@ -149,6 +187,30 @@ bool MatchGuardCall(const kir::Instruction& inst, GuardFact* fact) {
   fact->size = size_const->bits();
   fact->flags = flags_const->bits();
   fact->origin = &inst;
+  fact->root_offset = 0;
+  fact->root = ResolveConstGep(fact->addr, &fact->root_offset);
+  return true;
+}
+
+bool MatchGuardRangeCall(const kir::Instruction& inst, GuardFact* fact) {
+  if (inst.opcode() != kir::Opcode::kCall ||
+      inst.callee() != kCaratGuardRangeSymbol || inst.operand_count() != 4) {
+    return false;
+  }
+  const auto* span_const = kir::dyn_cast<kir::Constant>(inst.operand(1));
+  const auto* flags_const = kir::dyn_cast<kir::Constant>(inst.operand(2));
+  const auto* elided_const = kir::dyn_cast<kir::Constant>(inst.operand(3));
+  if (span_const == nullptr || flags_const == nullptr ||
+      elided_const == nullptr) {
+    return false;
+  }
+  fact->addr = inst.operand(0);
+  fact->size = span_const->bits();
+  fact->flags = flags_const->bits();
+  fact->origin = &inst;
+  fact->root_offset = 0;
+  fact->root = ResolveConstGep(fact->addr, &fact->root_offset);
+  fact->is_range = true;
   return true;
 }
 
@@ -160,6 +222,11 @@ void ApplyGuardStep(const kir::Instruction& inst, GuardSet& state) {
     if (MatchGuardCall(inst, &fact)) state.AddGuard(fact);
     // A guard with non-constant size/flags contributes no analyzable
     // fact, but it also cannot mutate the policy table: no kill.
+    return;
+  }
+  if (callee == kCaratGuardRangeSymbol) {
+    GuardFact fact;
+    if (MatchGuardRangeCall(inst, &fact)) state.AddGuard(fact);
     return;
   }
   if (callee == kCaratIntrinsicGuardSymbol) {

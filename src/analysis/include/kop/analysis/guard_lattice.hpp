@@ -18,19 +18,44 @@
 
 namespace kop::analysis {
 
+/// Peel constant-index kGep chains off an address: returns the root SSA
+/// value and accumulates the constant byte offset into `*offset` (which
+/// must start at the caller's chosen base, normally 0). A gep whose index
+/// is not a kir::Constant stops the walk. For a non-gep value the result
+/// is the value itself with offset 0 — so two addresses compare interval-
+/// wise exactly when they share a root.
+const kir::Value* ResolveConstGep(const kir::Value* addr, uint64_t* offset);
+
 /// One available memory-guard fact. `origin` is the guard call that
 /// established the fact — kept for diagnostics attribution, excluded from
 /// fact identity (two guards with the same triple are the same fact).
+/// Every fact is an interval: carat_guard(addr, size) licenses any access
+/// wholly inside [addr, addr+size), and carat_guard_range covers are just
+/// facts with a wider size. `root`/`root_offset` cache ResolveConstGep of
+/// `addr` so interval covering across distinct gep-derived SSA values is a
+/// root comparison plus arithmetic.
 struct GuardFact {
   const kir::Value* addr = nullptr;
   uint64_t size = 0;
   uint64_t flags = 0;
   const kir::Instruction* origin = nullptr;
+  const kir::Value* root = nullptr;  // ResolveConstGep(addr)
+  uint64_t root_offset = 0;          // constant byte offset of addr from root
+  bool is_range = false;             // fact from a carat_guard_range cover
 
   /// True when this fact licenses an access of (`addr`, `size`, `flags`):
   /// same SSA address value, at least as large, flag superset.
   bool Covers(const kir::Value* a, uint64_t s, uint64_t f) const {
     return addr == a && size >= s && (flags & f) == f;
+  }
+  /// Interval form: the access at constant offset `off` from `r` of `s`
+  /// bytes lies wholly inside this fact's [root_offset, root_offset+size)
+  /// window on the same root, with a flag superset.
+  bool CoversInterval(const kir::Value* r, uint64_t off, uint64_t s,
+                      uint64_t f) const {
+    return root != nullptr && root == r && off >= root_offset &&
+           off - root_offset <= size && size - (off - root_offset) >= s &&
+           (flags & f) == f;
   }
   bool SameKey(const GuardFact& other) const {
     return addr == other.addr && size == other.size && flags == other.flags;
@@ -101,8 +126,13 @@ class GuardSet {
 /// non-constant size/flags (those add no analyzable fact).
 bool MatchGuardCall(const kir::Instruction& inst, GuardFact* fact);
 
-/// The per-instruction transfer function. Exactly four cases:
+/// Decode a carat_guard_range(addr, const span, const flags, const elided)
+/// cover into an interval fact of `span` bytes. False for anything else.
+bool MatchGuardRangeCall(const kir::Instruction& inst, GuardFact* fact);
+
+/// The per-instruction transfer function. Exactly five cases:
 ///   carat_guard with constant operands      -> gen a GuardFact
+///   carat_guard_range with constant operands-> gen an interval GuardFact
 ///   carat_intrinsic_guard with constant id  -> gen an IntrinsicGuardFact
 ///   kir.* intrinsic call                    -> no effect (the resolver
 ///     dispatches these through the intrinsic table; none can reach the

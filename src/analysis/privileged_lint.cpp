@@ -18,7 +18,8 @@ bool IsWhitelistedExternal(const std::string& name,
       "kmalloc",
       "kfree",
   };
-  if (name == kCaratGuardSymbol || name == kCaratIntrinsicGuardSymbol) {
+  if (name == kCaratGuardSymbol || name == kCaratGuardRangeSymbol ||
+      name == kCaratIntrinsicGuardSymbol) {
     return true;
   }
   for (const char* known : kKnown) {
@@ -80,6 +81,7 @@ void CheckPrivileged(const kir::Module& module, AnalysisReport& report,
                  message.str());
           }
         } else if (callee != kCaratGuardSymbol &&
+                   callee != kCaratGuardRangeSymbol &&
                    callee != kCaratIntrinsicGuardSymbol) {
           const kir::Function* target = module.FindFunction(callee);
           const bool external = target == nullptr || target->is_external();

@@ -5,11 +5,13 @@
 // clock + machine cost model used for performance accounting.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "kop/kernel/address_space.hpp"
+#include "kop/kernel/guard_fast.hpp"
 #include "kop/kernel/chardev.hpp"
 #include "kop/kernel/kmalloc.hpp"
 #include "kop/kernel/machine_state.hpp"
@@ -64,6 +66,17 @@ class Kernel {
     config_.machine = machine;
   }
 
+  /// Inline-guard fast-path provider (the policy module while inserted;
+  /// null otherwise, which routes every guard through the slow path —
+  /// unloading the policy module is observed exactly as on the symbol
+  /// path). Registered/cleared by kop::policy::PolicyModule.
+  void SetGuardFastOps(GuardFastOps* ops) {
+    guard_fast_ops_.store(ops, std::memory_order_release);
+  }
+  GuardFastOps* guard_fast_ops() const {
+    return guard_fast_ops_.load(std::memory_order_acquire);
+  }
+
   /// Log the reason at EMERG level, mark the kernel dead, and throw
   /// KernelPanic. [[noreturn]].
   [[noreturn]] void Panic(const std::string& reason);
@@ -97,6 +110,7 @@ class Kernel {
   PortBus ports_;
   CpuFlags cpu_;
   sim::VirtualClock clock_;
+  std::atomic<GuardFastOps*> guard_fast_ops_{nullptr};
   bool panicked_ = false;
   std::string panic_reason_;
 };

@@ -117,10 +117,11 @@ class KernelResolver final : public kir::ExternalResolver {
   Result<uint64_t> CallExternal(const std::string& name,
                                 const std::vector<uint64_t>& args,
                                 uint64_t call_ordinal) override {
-    // Only guard calls carry site attribution; check the (two) guard
+    // Only guard calls carry site attribution; check the (three) guard
     // names before touching the token table so every other external —
     // printk, netdev hooks, ... — pays nothing for this overload.
-    if (name == kCaratGuardSymbol || name == kCaratIntrinsicGuardSymbol) {
+    if (name == kCaratGuardSymbol || name == kCaratGuardRangeSymbol ||
+        name == kCaratIntrinsicGuardSymbol) {
       const uint64_t token = TokenForOrdinal(call_ordinal);
       if (token != kNoSiteToken) {
         // Pin the guard-site context while the guard call is in flight —
@@ -149,7 +150,8 @@ class KernelResolver final : public kir::ExternalResolver {
   std::optional<uint64_t> BindExternal(const std::string& name) override {
     Binding binding;
     binding.name = name;
-    if (name == kCaratGuardSymbol || name == kCaratIntrinsicGuardSymbol) {
+    if (name == kCaratGuardSymbol || name == kCaratGuardRangeSymbol ||
+        name == kCaratIntrinsicGuardSymbol) {
       binding.kind = Binding::Kind::kGuard;
     } else if (kernel_->symbols().HasFunction(name)) {
       binding.kind = Binding::Kind::kSymbol;
@@ -199,6 +201,45 @@ class KernelResolver final : public kir::ExternalResolver {
         return CallIntrinsic(binding.intrinsic, args);
     }
     return Internal("corrupt external binding");
+  }
+
+  // Inline-guard fast path: forward to whatever GuardFastOps the policy
+  // module registered on the kernel. The provider is sampled once per
+  // pin (calls on one resolver are single-threaded — the resolver is a
+  // per-CPU slot), so a module removed mid-call cannot tear the pair.
+  bool PinGuardFrame() override {
+    if (pin_depth_ > 0) {
+      ++pin_depth_;
+      pinned_ops_->PinFrame();
+      return true;
+    }
+    GuardFastOps* ops = kernel_->guard_fast_ops();
+    if (ops == nullptr || !ops->PinFrame()) return false;
+    pinned_ops_ = ops;
+    pin_depth_ = 1;
+    return true;
+  }
+
+  void UnpinGuardFrame() override {
+    if (pin_depth_ == 0) return;
+    pinned_ops_->UnpinFrame();
+    if (--pin_depth_ == 0) pinned_ops_ = nullptr;
+  }
+
+  bool FastGuard(uint64_t addr, uint64_t size, uint64_t flags,
+                 uint64_t call_ordinal) override {
+    if (pinned_ops_ == nullptr) return false;
+    const uint64_t token = TokenForOrdinal(call_ordinal);
+    return pinned_ops_->FastGuard(addr, size, flags,
+                                  token == kNoSiteToken ? 0 : token);
+  }
+
+  bool FastGuardRange(uint64_t addr, uint64_t size, uint64_t flags,
+                      uint64_t elided, uint64_t call_ordinal) override {
+    if (pinned_ops_ == nullptr) return false;
+    const uint64_t token = TokenForOrdinal(call_ordinal);
+    return pinned_ops_->FastGuardRange(addr, size, flags, elided,
+                                       token == kNoSiteToken ? 0 : token);
   }
 
  private:
@@ -285,6 +326,10 @@ class KernelResolver final : public kir::ExternalResolver {
   /// call paths is one bounds check and one load.
   std::vector<uint64_t> site_token_by_ordinal_;
   std::vector<Binding> bindings_;
+  /// Fast-path provider captured by the open pin (null when unpinned or
+  /// no provider was registered), plus the pin's nesting depth.
+  GuardFastOps* pinned_ops_ = nullptr;
+  uint32_t pin_depth_ = 0;
 };
 
 }  // namespace
@@ -919,6 +964,10 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
     if (site.is_intrinsic) {
       std::snprintf(detail, sizeof(detail), "intrinsic id=%u",
                     site.access_flags);
+    } else if (site.is_range) {
+      std::snprintf(detail, sizeof(detail), "range %s span=%u elided=%u",
+                    (site.access_flags & kGuardAccessWrite) ? "store" : "load",
+                    site.access_size, site.elided);
     } else {
       std::snprintf(detail, sizeof(detail), "%s size=%u",
                     (site.access_flags & kGuardAccessWrite) ? "store" : "load",

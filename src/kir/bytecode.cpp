@@ -178,6 +178,7 @@ class FunctionCompiler {
     BcExtern ext;
     ext.name = name;
     ext.is_guard = name == kCaratGuardSymbol;
+    ext.is_range_guard = name == kCaratGuardRangeSymbol;
     ext.is_intrinsic_guard = name == kCaratIntrinsicGuardSymbol;
     if (IsIntrinsicName(name)) ext.intrinsic = IntrinsicFromName(name);
     out_.externs.push_back(std::move(ext));
@@ -323,8 +324,19 @@ class FunctionCompiler {
         } else {
           out.aux = InternExtern(inst.callee());
           const BcExtern& ext = out_.externs[out.aux];
-          out.op = (ext.is_guard || ext.is_intrinsic_guard) ? BcOp::kGuard
-                                                            : BcOp::kCallExternal;
+          // Memory guards with the exact ABI arity get the inline ops;
+          // malformed guard calls (and intrinsic guards, whose check is
+          // not a range test) stay on the out-of-line kGuard path.
+          if (ext.is_guard && inst.operand_count() == 3) {
+            out.op = BcOp::kGuardInline;
+          } else if (ext.is_range_guard && inst.operand_count() == 4) {
+            out.op = BcOp::kGuardRange;
+          } else if (ext.is_guard || ext.is_range_guard ||
+                     ext.is_intrinsic_guard) {
+            out.op = BcOp::kGuard;
+          } else {
+            out.op = BcOp::kCallExternal;
+          }
           out.imm2 = ordinal;
         }
         return out;
@@ -397,6 +409,8 @@ std::string_view BcOpName(BcOp op) {
     case BcOp::kCallInternal: return "call.int";
     case BcOp::kCallExternal: return "call.ext";
     case BcOp::kGuard: return "guard";
+    case BcOp::kGuardInline: return "guard.inline";
+    case BcOp::kGuardRange: return "guard.range";
     case BcOp::kTrap: return "trap";
   }
   return "?";
@@ -430,6 +444,7 @@ std::string DisassembleBytecode(const BytecodeModule& bytecode) {
     const BcExtern& ext = bytecode.externs[i];
     out << "  extern " << i << ": @" << ext.name;
     if (ext.is_guard) out << " [guard]";
+    if (ext.is_range_guard) out << " [range-guard]";
     if (ext.is_intrinsic_guard) out << " [intrinsic-guard]";
     if (ext.intrinsic != Intrinsic::kNone) {
       out << " [intrinsic " << static_cast<uint64_t>(ext.intrinsic) << "]";
@@ -491,7 +506,9 @@ std::string DisassembleBytecode(const BytecodeModule& bytecode) {
           break;
         case BcOp::kCallInternal:
         case BcOp::kCallExternal:
-        case BcOp::kGuard: {
+        case BcOp::kGuard:
+        case BcOp::kGuardInline:
+        case BcOp::kGuardRange: {
           if (inst.op == BcOp::kCallInternal) {
             out << " @" << bytecode.functions[inst.aux].name;
           } else {

@@ -69,6 +69,16 @@ enum class BcOp : uint8_t {
   kGuard,         // kCallExternal whose callee the compiler recognized as
                   // carat_guard / carat_intrinsic_guard
 
+  // Inline-guard fast path (DESIGN.md §15). Same operand layout as
+  // kGuard (aux = extern id, imm = call_args offset, b = argc, imm2 =
+  // call ordinal) — the VM reads the argument registers directly and
+  // runs the resolver's pinned-frame range check; on deopt (no pin,
+  // generation moved, fault injection, or check failure) it falls
+  // through to the kGuard slow path, which re-decides with full
+  // violation attribution and containment semantics.
+  kGuardInline,  // carat_guard(addr, size, flags), exactly 3 args
+  kGuardRange,   // carat_guard_range(addr, size, flags, elided), 4 args
+
   kTrap,    // inline asm reached execution; aux = asm_texts index
 };
 
@@ -107,6 +117,7 @@ struct BcExtern {
   std::string name;
   Intrinsic intrinsic = Intrinsic::kNone;  // for "kir.*" callees
   bool is_guard = false;                   // carat_guard
+  bool is_range_guard = false;             // carat_guard_range
   bool is_intrinsic_guard = false;         // carat_intrinsic_guard
 };
 

@@ -65,6 +65,45 @@ class ExternalResolver {
     (void)call_ordinal;
     return Internal("CallBound on a resolver without BindExternal");
   }
+
+  // ------------------------------------------------------------------
+  // Inline-guard fast path (DESIGN.md §15). The engines bracket every
+  // top-level Call with PinGuardFrame/UnpinGuardFrame and execute
+  // recognized guard calls (kGuardInline/kGuardRange in the VM, the
+  // matching kCall pattern in the interpreter) through FastGuard /
+  // FastGuardRange. A `true` return means the access was proven allowed
+  // against the pinned policy frame AND fully accounted; `false` means
+  // deopt — the engine must fall back to the ordinary CallExternal /
+  // CallBound path, which re-decides with full violation attribution and
+  // containment semantics. The defaults keep resolvers without a fast
+  // path (tests, recording resolvers) on the slow path everywhere, which
+  // preserves observational identity by construction.
+  // ------------------------------------------------------------------
+
+  /// Pin the policy frame for the calling CPU for the duration of one
+  /// top-level call. False = no fast path available (skip Unpin).
+  virtual bool PinGuardFrame() { return false; }
+  virtual void UnpinGuardFrame() {}
+  /// Inline carat_guard(addr, size, flags) at kCall ordinal
+  /// `call_ordinal`. True = allowed and accounted.
+  virtual bool FastGuard(uint64_t addr, uint64_t size, uint64_t flags,
+                         uint64_t call_ordinal) {
+    (void)addr;
+    (void)size;
+    (void)flags;
+    (void)call_ordinal;
+    return false;
+  }
+  /// Inline carat_guard_range(addr, size, flags, elided).
+  virtual bool FastGuardRange(uint64_t addr, uint64_t size, uint64_t flags,
+                              uint64_t elided, uint64_t call_ordinal) {
+    (void)addr;
+    (void)size;
+    (void)flags;
+    (void)elided;
+    (void)call_ordinal;
+    return false;
+  }
 };
 
 struct InterpConfig {

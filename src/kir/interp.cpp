@@ -5,6 +5,7 @@
 
 #include "kop/kir/printer.hpp"
 #include "kop/util/bits.hpp"
+#include "kop/util/carat_abi.hpp"
 
 namespace kop::kir {
 
@@ -56,14 +57,20 @@ Result<uint64_t> Interpreter::Call(const std::string& fn_name,
     }
     fault_state_ = EngineSnapshot();
   }
+  // Outermost entry pins the policy frame for the inline-guard fast
+  // path (the interpreter recognizes guard calls by name + arity at
+  // kCall); nested entries run under the outermost pin.
+  const bool pinned = entry_depth_ == 0 && resolver_.PinGuardFrame();
   ++entry_depth_;
   try {
     auto result =
         Execute(*fn, args, 0, config_.stack_base + config_.stack_size);
     --entry_depth_;
+    if (pinned) resolver_.UnpinGuardFrame();
     return result;
   } catch (...) {
     --entry_depth_;
+    if (pinned) resolver_.UnpinGuardFrame();
     throw;
   }
 }
@@ -364,9 +371,29 @@ Result<uint64_t> Interpreter::ExecuteFrame(const Function& fn,
           } else {
             ++stats_.calls_external;
             auto ord = call_ordinals_.find(&inst);
-            result = resolver_.CallExternal(
-                inst.callee(), call_args,
-                ord == call_ordinals_.end() ? 0 : ord->second);
+            const uint64_t ordinal =
+                ord == call_ordinals_.end() ? 0 : ord->second;
+            // Inline-guard fast path, mirroring the VM's kGuardInline /
+            // kGuardRange: recognized guard calls with the exact ABI
+            // arity try the pinned-frame check first and fall back to
+            // the ordinary external-call path on deopt. The external
+            // call count advanced either way, so InterpStats parity
+            // with the VM holds.
+            if (call_args.size() == 3 &&
+                inst.callee() == kCaratGuardSymbol &&
+                resolver_.FastGuard(call_args[0], call_args[1], call_args[2],
+                                    ordinal)) {
+              result = uint64_t{1};
+            } else if (call_args.size() == 4 &&
+                       inst.callee() == kCaratGuardRangeSymbol &&
+                       resolver_.FastGuardRange(call_args[0], call_args[1],
+                                                call_args[2], call_args[3],
+                                                ordinal)) {
+              result = uint64_t{1};
+            } else {
+              result = resolver_.CallExternal(inst.callee(), call_args,
+                                              ordinal);
+            }
           }
           if (!result.ok()) return result.status();
           if (inst.type() != Type::kVoid) {

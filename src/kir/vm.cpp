@@ -121,6 +121,12 @@ Result<uint64_t> VM::Call(const std::string& fn_name,
     }
     fault_state_ = EngineSnapshot();
   }
+  // Outermost entry pins the policy frame for the inline-guard fast
+  // path; kGuardInline/kGuardRange decide against that pinned frame and
+  // deopt to the bound slow path when anything moved. Nested entries
+  // (module re-entry through an exported symbol) run under the
+  // outermost pin.
+  const bool pinned = entry_depth_ == 0 && resolver_.PinGuardFrame();
   // Guard faults and panics unwind as exceptions through the resolver;
   // restore the register watermark so the VM stays usable afterwards.
   const size_t saved_top = reg_top_;
@@ -129,9 +135,11 @@ Result<uint64_t> VM::Call(const std::string& fn_name,
     auto result = ExecuteFunction(it->second, args, 0,
                                   config_.stack_base + config_.stack_size);
     --entry_depth_;
+    if (pinned) resolver_.UnpinGuardFrame();
     return result;
   } catch (...) {
     --entry_depth_;
+    if (pinned) resolver_.UnpinGuardFrame();
     reg_top_ = saved_top;
     throw;
   }
@@ -211,7 +219,8 @@ Result<uint64_t> VM::RunFrame(const BytecodeFunction& fn, size_t base,
       &&lbl_kAShr,   &&lbl_kICmp,  &&lbl_kMove,  &&lbl_kSExt,
       &&lbl_kSelect, &&lbl_kBr,    &&lbl_kJmp,   &&lbl_kRetVoid,
       &&lbl_kRet,    &&lbl_kCallInternal,        &&lbl_kCallExternal,
-      &&lbl_kGuard,  &&lbl_kTrap};
+      &&lbl_kGuard,  &&lbl_kGuardInline,         &&lbl_kGuardRange,
+      &&lbl_kTrap};
   static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
                 static_cast<size_t>(BcOp::kTrap) + 1);
 #endif
@@ -412,8 +421,41 @@ dispatch:
       if (ip->width != 0) regs[ip->dst] = *result & ip->imm2;
       VM_NEXT();
     }
+    VM_CASE(kGuardInline) : {
+      // Pinned-frame fast path: argument registers read in place, no
+      // vector build, no resolver dispatch. A true return means the
+      // access was proven allowed AND fully accounted; anything else
+      // deopts into the out-of-line call body below (same instruction,
+      // so step/call accounting is identical either way).
+      const uint16_t* arg_regs = fn.call_args.data() + ip->imm;
+      stats_.steps = steps;
+      if (resolver_.FastGuard(regs[arg_regs[0]], regs[arg_regs[1]],
+                              regs[arg_regs[2]], ip->imm2)) [[likely]] {
+        ++stats_.calls_external;
+        if (ip->width != 0) {
+          regs[ip->dst] = uint64_t{1} & MaskOfBits(ip->width);
+        }
+        VM_NEXT();
+      }
+      goto call_external_slow;
+    }
+    VM_CASE(kGuardRange) : {
+      const uint16_t* arg_regs = fn.call_args.data() + ip->imm;
+      stats_.steps = steps;
+      if (resolver_.FastGuardRange(regs[arg_regs[0]], regs[arg_regs[1]],
+                                   regs[arg_regs[2]], regs[arg_regs[3]],
+                                   ip->imm2)) [[likely]] {
+        ++stats_.calls_external;
+        if (ip->width != 0) {
+          regs[ip->dst] = uint64_t{1} & MaskOfBits(ip->width);
+        }
+        VM_NEXT();
+      }
+      goto call_external_slow;
+    }
     VM_CASE(kCallExternal) :
     VM_CASE(kGuard) : {
+    call_external_slow:
       std::vector<uint64_t>& call_args = arg_buffers_[depth];
       call_args.resize(ip->b);
       const uint16_t* arg_regs = fn.call_args.data() + ip->imm;

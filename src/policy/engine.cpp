@@ -20,7 +20,13 @@ PolicyEngine::PolicyEngine(kernel::Kernel* kernel,
           trace::GlobalMetrics().GetHistogram("guard.latency_cycles")),
       lookup_depth_hist_(
           trace::GlobalMetrics().GetHistogram("policy.lookup_depth")),
-      denied_counter_(trace::GlobalMetrics().GetCounter("guard.denied")) {}
+      denied_counter_(trace::GlobalMetrics().GetCounter("guard.denied")),
+      elided_counter_(trace::GlobalMetrics().GetCounter("guard.elided")),
+      deopt_counter_(trace::GlobalMetrics().GetCounter("guard.deopt")) {
+  // Store mutations tick the engine's combined mutation clock so pinned
+  // inline guards see them with a single generation load.
+  store_->AttachMutationCell(&mutation_gen_);
+}
 
 PolicyEngine::~PolicyEngine() {
   // No guard may be in flight at destruction. Retired frames drain in
@@ -96,6 +102,10 @@ std::unique_ptr<PolicyStore> PolicyEngine::SwapStore(
     old = std::move(store_);
     store_ = std::move(store);
     store_ptr_.store(store_.get(), std::memory_order_release);
+    // The outgoing store keeps living in the caller's hands; its future
+    // mutations are no longer policy and must not tick our clock.
+    old->AttachMutationCell(nullptr);
+    store_->AttachMutationCell(&mutation_gen_);
     // Carry the regions over so a live swap preserves the policy.
     for (const Region& region : old->Snapshot()) {
       (void)store_->Add(region);
@@ -104,6 +114,7 @@ std::unique_ptr<PolicyStore> PolicyEngine::SwapStore(
     // counter; bumping the config generation forces republish even if
     // the new store's counter happens to coincide.
     config_generation_.fetch_add(1, std::memory_order_acq_rel);
+    mutation_gen_.fetch_add(1, std::memory_order_acq_rel);
   }
   // Grace period: once every in-flight guard has left its read section,
   // no CPU can still be comparing generations against the old store, and
@@ -125,16 +136,62 @@ bool PolicyEngine::Check(uint64_t addr, uint64_t size,
   return mode() == PolicyMode::kDefaultAllow;
 }
 
-void PolicyEngine::NoteSite(uint64_t site, bool allowed) {
-  SiteShard& shard = site_shards_.Mine();
+void PolicyEngine::GrowSiteTable(SiteShard& shard, uint64_t site) {
   std::lock_guard<Spinlock> guard(shard.lock);
-  if (site >= shard.rows.size()) {
-    shard.rows.resize(static_cast<size_t>(site) + 1);
+  SiteTable* old = shard.table.load(std::memory_order_relaxed);
+  if (old != nullptr && site < old->capacity) return;  // raced a growth
+  auto grown = std::make_unique<SiteTable>();
+  grown->capacity = std::max<size_t>(64, static_cast<size_t>(site) + 1);
+  if (old != nullptr) grown->capacity = std::max(grown->capacity,
+                                                 old->capacity * 2);
+  grown->rows = std::make_unique<SiteRow[]>(grown->capacity);
+  if (old != nullptr) {
+    for (size_t i = 0; i < old->capacity; ++i) {
+      const SiteRow& from = old->rows[i];
+      SiteRow& to = grown->rows[i];
+      to.site.store(from.site.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      to.hits.store(from.hits.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      to.denied.store(from.denied.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      to.elided.store(from.elided.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
   }
-  HotSite& row = shard.rows[static_cast<size_t>(site)];
-  row.site = site;
-  ++row.hits;
-  if (!allowed) ++row.denied;
+  shard.table.store(grown.get(), std::memory_order_release);
+  // Freeing the old table here is safe: the only lock-free readers are
+  // on the shard's own CPU — the thread running this growth — and every
+  // cross-CPU access (folds, resets) holds the shard lock.
+  shard.storage = std::move(grown);
+}
+
+namespace {
+/// Single-writer counter bump: plain load+store compiles to a plain
+/// increment (no lock prefix); the atomic type only keeps concurrent
+/// readers (folds) race-free.
+inline void BumpRelaxed(std::atomic<uint64_t>& counter, uint64_t n = 1) {
+  counter.store(counter.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+}
+}  // namespace
+
+void PolicyEngine::NoteSiteIn(SiteShard& shard, uint64_t site, bool allowed,
+                              uint64_t elided) {
+  SiteTable* table = shard.table.load(std::memory_order_acquire);
+  if (table == nullptr || site >= table->capacity) [[unlikely]] {
+    GrowSiteTable(shard, site);
+    table = shard.table.load(std::memory_order_acquire);
+  }
+  SiteRow& row = table->rows[static_cast<size_t>(site)];
+  row.site.store(site, std::memory_order_relaxed);
+  BumpRelaxed(row.hits);
+  if (elided != 0) BumpRelaxed(row.elided, elided);
+  if (!allowed) BumpRelaxed(row.denied);
+}
+
+void PolicyEngine::NoteSite(uint64_t site, bool allowed, uint64_t elided) {
+  NoteSiteIn(site_shards_.Mine(), site, allowed, elided);
 }
 
 uint64_t PolicyEngine::FoldGuardCalls() const {
@@ -220,6 +277,230 @@ bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
   return false;
 }
 
+bool PolicyEngine::GuardRange(uint64_t addr, uint64_t size,
+                              uint64_t access_flags, uint64_t elided) {
+  KOP_SPAN(kGuardDecision, addr);
+  const uint64_t site = trace::CurrentGuardSite();
+  bool allowed;
+  {
+    smp::RcuDomain::ReadGuard rcu(rcu_);
+    const PolicyFrame* frame = CurrentFrame();
+    CpuStats& my = cpu_stats_.Mine();
+    my.guard_calls.fetch_add(1, std::memory_order_relaxed);
+    const double guard_cycles = kernel_->machine().GuardCycles(
+        static_cast<uint32_t>(frame->store_size));
+    if (charge_cycles_.load(std::memory_order_relaxed)) {
+      kernel_->clock().Advance(guard_cycles);
+    }
+    latency_hist_->Observe(guard_cycles);
+
+    uint64_t depth = 0;
+    const std::optional<uint32_t> prot =
+        FrameLookup(*frame, addr, size, &depth);
+    lookup_depth_hist_->Observe(static_cast<double>(depth));
+    KOP_TRACE(kPolicyLookup, depth, frame->store_size);
+
+    allowed = prot.has_value()
+                  ? (*prot & access_flags) == access_flags
+                  : mode() == PolicyMode::kDefaultAllow;
+    if (site == force_deny_site_.load(std::memory_order_relaxed))
+        [[unlikely]] {
+      allowed = false;
+    }
+    if (allowed) {
+      // The cover proved `elided` member accesses beyond itself; they
+      // count as elided, not as guard calls — guard_calls + elided is
+      // what an unelided build would have reported.
+      NoteSite(site, true, elided);
+      my.allowed.fetch_add(1, std::memory_order_relaxed);
+      if (elided != 0) {
+        my.elided.fetch_add(elided, std::memory_order_relaxed);
+        elided_counter_->Add(elided);
+      }
+    } else {
+      // A denied cover credits no elided members: the violation is the
+      // whole cluster's, attributed to the cover site with the
+      // interval's address and span.
+      NoteSite(site, false);
+      my.denied.fetch_add(1, std::memory_order_relaxed);
+      RecordViolation(ViolationRecord{addr, size, access_flags,
+                                      FoldGuardCalls(), false, site});
+    }
+  }
+  KOP_TRACE(kGuardCheck, addr, size, access_flags, site);
+  if (allowed) return true;
+  KOP_TRACE(kGuardDeny, addr, size, access_flags, site);
+  denied_counter_->Add();
+  const char* kind =
+      (access_flags & kGuardAccessWrite)
+          ? ((access_flags & kGuardAccessRead) ? "read-write" : "write")
+          : "read";
+  kernel_->log().Printk(
+      kernel::KernLevel::kAlert,
+      "CARAT KOP: forbidden %s access to 0x%llx (size %llu) blocked by policy",
+      kind, static_cast<unsigned long long>(addr),
+      static_cast<unsigned long long>(size));
+  const ViolationAction action = violation_action();
+  if (action == ViolationAction::kPanic) {
+    kernel_->Panic("CARAT KOP guard violation");  // throws KernelPanic
+  }
+  if (action == ViolationAction::kQuarantine) {
+    throw GuardViolation(addr, size, access_flags, site);
+  }
+  return false;
+}
+
+bool PolicyEngine::PinFrame() {
+  PinSlot& pin = pin_slots_.Mine();
+  if (pin.depth++ == 0) {
+    pin.rcu.emplace(rcu_);
+    // Resolve the CPU-slot pointers once: every inline guard in the call
+    // then runs without a per-guard CPU-slot lookup.
+    pin.stats = &cpu_stats_.Mine();
+    pin.sites = &site_shards_.Mine();
+    pin.clock_cell = &kernel_->clock().MyCell();
+    pin.spans = &trace::GlobalSpans();
+    RefreshPin(pin);
+  }
+  return true;
+}
+
+void PolicyEngine::UnpinFrame() {
+  PinSlot& pin = pin_slots_.Mine();
+  if (pin.depth == 0) return;  // unbalanced close: tolerate, stay slow
+  if (--pin.depth == 0) {
+    if (pin.elided_batch != 0) {
+      elided_counter_->Add(pin.elided_batch);
+      pin.elided_batch = 0;
+    }
+    pin.frame = nullptr;
+    pin.rcu.reset();
+  }
+}
+
+void PolicyEngine::RefreshPin(PinSlot& pin) {
+  // Snapshot the mutation clock BEFORE resolving the frame: a mutation
+  // that lands between the two reads leaves the snapshot behind the live
+  // clock, so the next inline guard deopts and refreshes — a spurious
+  // deopt, never a stale allow. (Store mutators bump their structural
+  // generation before ticking our cell, so a caught-up snapshot implies
+  // CurrentFrame below sees the new store generation too.)
+  pin.mutation_gen = mutation_gen_.load(std::memory_order_acquire);
+  // Caller holds the slot's read section, so CurrentFrame's result stays
+  // valid for the remainder of the pin even if another CPU republishes.
+  const PolicyFrame* frame = CurrentFrame();
+  pin.frame = frame;
+  pin.guard_cycles = kernel_->machine().GuardCycles(
+      static_cast<uint32_t>(frame->store_size));
+  // Mode is config: SetMode bumps the mutation clock, so this snapshot
+  // can only go stale together with a clock mismatch.
+  pin.default_allow = mode() == PolicyMode::kDefaultAllow;
+}
+
+bool PolicyEngine::FastGuard(uint64_t addr, uint64_t size,
+                             uint64_t access_flags, uint64_t site) {
+  PinSlot& pin = pin_slots_.Mine();
+  if (pin.depth == 0) [[unlikely]] {
+    return false;  // not pinned: fast path unavailable, not a deopt
+  }
+  if (pin.mutation_gen !=
+      mutation_gen_.load(std::memory_order_acquire)) [[unlikely]] {
+    // Policy moved mid-call (store mutation, swap, or config change all
+    // tick the one clock): refresh so later guards in this call are fast
+    // again, and let this one re-decide out of line.
+    deopt_counter_->Add();
+    RefreshPin(pin);
+    return false;
+  }
+  if (site == force_deny_site_.load(std::memory_order_relaxed)) [[unlikely]] {
+    deopt_counter_->Add();
+    return false;  // fault injection: slow path owns the spurious denial
+  }
+  // The flight recorder sees inline decisions too: the span opens after
+  // the deopt checks, so a deopted guard is recorded once, by Guard().
+  // Hand-rolled (vs KOP_SPAN) to use the pinned recorder pointer: a
+  // disabled recorder costs one relaxed load, no out-of-line call.
+#if KOP_SPANS_ENABLED
+  const bool span_active = pin.spans->enabled();
+  const uint64_t span_begin = span_active ? pin.spans->BeginSpan() : 0;
+#endif
+  uint64_t depth = 0;
+  const std::optional<uint32_t> prot =
+      FrameLookup(*pin.frame, addr, size, &depth);
+  const bool allowed = prot.has_value()
+                           ? (*prot & access_flags) == access_flags
+                           : pin.default_allow;
+#if KOP_SPANS_ENABLED
+  if (span_active) {
+    pin.spans->EndSpan(trace::SpanKind::kGuardDecision, span_begin, addr);
+  }
+#endif
+  if (!allowed) [[unlikely]] {
+    deopt_counter_->Add();
+    return false;  // slow path re-decides with full violation semantics
+  }
+  BumpRelaxed(pin.stats->guard_calls);
+  BumpRelaxed(pin.stats->allowed);
+  NoteSiteIn(*pin.sites, site, true, 0);
+  if (charge_cycles_.load(std::memory_order_relaxed)) {
+    pin.clock_cell->store(
+        pin.clock_cell->load(std::memory_order_relaxed) + pin.guard_cycles,
+        std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool PolicyEngine::FastGuardRange(uint64_t addr, uint64_t size,
+                                  uint64_t access_flags, uint64_t elided,
+                                  uint64_t site) {
+  PinSlot& pin = pin_slots_.Mine();
+  if (pin.depth == 0) [[unlikely]] {
+    return false;
+  }
+  if (pin.mutation_gen !=
+      mutation_gen_.load(std::memory_order_acquire)) [[unlikely]] {
+    deopt_counter_->Add();
+    RefreshPin(pin);
+    return false;
+  }
+  if (site == force_deny_site_.load(std::memory_order_relaxed)) [[unlikely]] {
+    deopt_counter_->Add();
+    return false;
+  }
+#if KOP_SPANS_ENABLED
+  const bool span_active = pin.spans->enabled();
+  const uint64_t span_begin = span_active ? pin.spans->BeginSpan() : 0;
+#endif
+  uint64_t depth = 0;
+  const std::optional<uint32_t> prot =
+      FrameLookup(*pin.frame, addr, size, &depth);
+  const bool allowed = prot.has_value()
+                           ? (*prot & access_flags) == access_flags
+                           : pin.default_allow;
+#if KOP_SPANS_ENABLED
+  if (span_active) {
+    pin.spans->EndSpan(trace::SpanKind::kGuardDecision, span_begin, addr);
+  }
+#endif
+  if (!allowed) [[unlikely]] {
+    deopt_counter_->Add();
+    return false;
+  }
+  BumpRelaxed(pin.stats->guard_calls);
+  BumpRelaxed(pin.stats->allowed);
+  NoteSiteIn(*pin.sites, site, true, elided);
+  if (elided != 0) {
+    BumpRelaxed(pin.stats->elided, elided);
+    pin.elided_batch += elided;
+  }
+  if (charge_cycles_.load(std::memory_order_relaxed)) {
+    pin.clock_cell->store(
+        pin.clock_cell->load(std::memory_order_relaxed) + pin.guard_cycles,
+        std::memory_order_relaxed);
+  }
+  return true;
+}
+
 bool PolicyEngine::IntrinsicGuard(uint64_t intrinsic_id) {
   const uint64_t site = trace::CurrentGuardSite();
   bool allowed;
@@ -263,6 +544,7 @@ void PolicyEngine::AllowIntrinsic(uint64_t intrinsic_id) {
   intrinsic_denied_.erase(intrinsic_id);
   intrinsic_allowed_.insert(intrinsic_id);
   config_generation_.fetch_add(1, std::memory_order_acq_rel);
+  mutation_gen_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void PolicyEngine::DenyIntrinsic(uint64_t intrinsic_id) {
@@ -270,12 +552,14 @@ void PolicyEngine::DenyIntrinsic(uint64_t intrinsic_id) {
   intrinsic_allowed_.erase(intrinsic_id);
   intrinsic_denied_.insert(intrinsic_id);
   config_generation_.fetch_add(1, std::memory_order_acq_rel);
+  mutation_gen_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void PolicyEngine::SetIntrinsicDefaultAllow(bool allow) {
   std::lock_guard<Spinlock> guard(writer_lock_);
   intrinsic_default_allow_ = allow;
   config_generation_.fetch_add(1, std::memory_order_acq_rel);
+  mutation_gen_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 GuardStats PolicyEngine::stats() const {
@@ -288,6 +572,7 @@ GuardStats PolicyEngine::stats() const {
         slot.intrinsic_calls.load(std::memory_order_relaxed);
     out.intrinsic_denied +=
         slot.intrinsic_denied.load(std::memory_order_relaxed);
+    out.elided += slot.elided.load(std::memory_order_relaxed);
   });
   return out;
 }
@@ -301,6 +586,7 @@ GuardStats PolicyEngine::PerCpuStats(uint32_t cpu) const {
   out.intrinsic_calls = slot.intrinsic_calls.load(std::memory_order_relaxed);
   out.intrinsic_denied =
       slot.intrinsic_denied.load(std::memory_order_relaxed);
+  out.elided = slot.elided.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -311,6 +597,7 @@ void PolicyEngine::ResetStats() {
     slot.denied.store(0, std::memory_order_relaxed);
     slot.intrinsic_calls.store(0, std::memory_order_relaxed);
     slot.intrinsic_denied.store(0, std::memory_order_relaxed);
+    slot.elided.store(0, std::memory_order_relaxed);
   });
   store_->ResetStats();
   {
@@ -318,8 +605,18 @@ void PolicyEngine::ResetStats() {
     violations_.clear();
   }
   site_shards_.ForEach([](uint32_t, SiteShard& shard) {
+    // Zero in place rather than freeing: another CPU's inline path may
+    // hold the table pointer lock-free, so the allocation must survive.
     std::lock_guard<Spinlock> guard(shard.lock);
-    shard.rows.clear();
+    SiteTable* table = shard.table.load(std::memory_order_relaxed);
+    if (table == nullptr) return;
+    for (size_t i = 0; i < table->capacity; ++i) {
+      SiteRow& row = table->rows[i];
+      row.site.store(0, std::memory_order_relaxed);
+      row.hits.store(0, std::memory_order_relaxed);
+      row.denied.store(0, std::memory_order_relaxed);
+      row.elided.store(0, std::memory_order_relaxed);
+    }
   });
 }
 
@@ -338,15 +635,21 @@ std::vector<HotSite> PolicyEngine::HotSites() const {
   std::vector<HotSite> merged;
   site_shards_.ForEach([&merged](uint32_t, SiteShard& shard) {
     std::lock_guard<Spinlock> guard(shard.lock);
-    for (const HotSite& row : shard.rows) {
-      if (row.hits == 0) continue;
-      if (row.site >= merged.size()) {
-        merged.resize(static_cast<size_t>(row.site) + 1);
+    const SiteTable* table = shard.table.load(std::memory_order_acquire);
+    if (table == nullptr) return;
+    for (size_t i = 0; i < table->capacity; ++i) {
+      const SiteRow& row = table->rows[i];
+      const uint64_t hits = row.hits.load(std::memory_order_relaxed);
+      if (hits == 0) continue;
+      const uint64_t site = row.site.load(std::memory_order_relaxed);
+      if (site >= merged.size()) {
+        merged.resize(static_cast<size_t>(site) + 1);
       }
-      HotSite& out = merged[static_cast<size_t>(row.site)];
-      out.site = row.site;
-      out.hits += row.hits;
-      out.denied += row.denied;
+      HotSite& out = merged[static_cast<size_t>(site)];
+      out.site = site;
+      out.hits += hits;
+      out.denied += row.denied.load(std::memory_order_relaxed);
+      out.elided += row.elided.load(std::memory_order_relaxed);
     }
   });
   std::vector<HotSite> out;

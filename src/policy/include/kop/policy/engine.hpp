@@ -22,14 +22,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
+#include "kop/kernel/guard_fast.hpp"
 #include "kop/kernel/kernel.hpp"
 #include "kop/policy/store.hpp"
 #include "kop/smp/percpu.hpp"
 #include "kop/smp/rcu.hpp"
 #include "kop/trace/metrics.hpp"
+#include "kop/trace/span.hpp"
 #include "kop/util/ring_buffer.hpp"
 #include "kop/util/spinlock.hpp"
 
@@ -68,6 +71,12 @@ struct GuardStats {
   uint64_t denied = 0;
   uint64_t intrinsic_calls = 0;
   uint64_t intrinsic_denied = 0;
+  /// Member accesses proven by a covering-interval guard without a guard
+  /// call of their own (the elision pass's carat_guard_range `elided`
+  /// argument, accumulated per successful cover). guard_calls + elided is
+  /// the access count an unelided build would have reported for
+  /// widening-only modules.
+  uint64_t elided = 0;
 };
 
 /// One denied access, kept in the engine's forensic ring (most recent
@@ -87,6 +96,9 @@ struct HotSite {
   uint64_t site = 0;  // trace::GlobalSites token; 0 = unattributed
   uint64_t hits = 0;
   uint64_t denied = 0;
+  /// Elided member accesses credited to this (covering) site — the
+  /// guards that vanished from the IR still show up in attribution here.
+  uint64_t elided = 0;
 };
 
 /// Immutable snapshot the lock-free guard path decides against. Regions
@@ -104,7 +116,7 @@ struct PolicyFrame {
   bool intrinsic_default_allow = false;
 };
 
-class PolicyEngine {
+class PolicyEngine : public kernel::GuardFastOps {
  public:
   PolicyEngine(kernel::Kernel* kernel, std::unique_ptr<PolicyStore> store,
                PolicyMode mode = PolicyMode::kDefaultDeny);
@@ -115,6 +127,10 @@ class PolicyEngine {
   PolicyMode mode() const { return mode_.load(std::memory_order_acquire); }
   void SetMode(PolicyMode mode) {
     mode_.store(mode, std::memory_order_release);
+    // The mode is part of the frame config: pinned calls snapshot it, so
+    // a change must move the config generation and deopt inline guards.
+    config_generation_.fetch_add(1, std::memory_order_acq_rel);
+    mutation_gen_.fetch_add(1, std::memory_order_acq_rel);
   }
   ViolationAction violation_action() const {
     return action_.load(std::memory_order_acquire);
@@ -141,6 +157,15 @@ class PolicyEngine {
   /// The guard itself: carat_guard(addr, size, access_flags). Returns
   /// true when allowed; on denial logs and (by default) panics.
   bool Guard(uint64_t addr, uint64_t size, uint64_t access_flags);
+
+  /// carat_guard_range(addr, size, access_flags, elided): the covering
+  /// check the elision pass emits for a widened cluster of same-base
+  /// accesses. One decision over the whole interval; on success `elided`
+  /// member accesses are credited to guard.elided (global counter,
+  /// per-CPU stats slice, and the cover's hot-site row). A denial is
+  /// attributed to the cover site with the interval's address and span.
+  bool GuardRange(uint64_t addr, uint64_t size, uint64_t access_flags,
+                  uint64_t elided);
 
   /// §5 extension: privileged-intrinsic permission check.
   bool IntrinsicGuard(uint64_t intrinsic_id);
@@ -196,6 +221,34 @@ class PolicyEngine {
   /// configuration in its entirety, never a mix.
   std::vector<Region> FrameSnapshot() const;
 
+  // ------------------------------------------------------------------
+  // Inline-guard fast path (kernel::GuardFastOps, DESIGN.md §15). A pin
+  // captures the published PolicyFrame once per outermost module call on
+  // the calling CPU: one RCU read section held for the call, the frame
+  // pointer, both generations, and the precomputed guard-cycle charge.
+  // Every inline check then runs against the immutable region index with
+  // no RCU entry, no histogram updates, and no trace events. Any outcome
+  // other than a proven allow deopts (returns false) to Guard()/
+  // GuardRange(), which owns all violation and containment semantics.
+  //
+  // Holding the read section for the whole call means SwapStore's grace
+  // period waits for in-flight module calls to finish — the documented
+  // cost of whole-call pinning (updates between calls are unaffected).
+  // ------------------------------------------------------------------
+
+  /// Open (or nest) the calling CPU's frame pin. Always succeeds.
+  bool PinFrame() override;
+  /// Close one nesting level; outermost close leaves the read section.
+  void UnpinFrame() override;
+  /// True = allowed against the pinned frame and fully accounted.
+  /// False = deopt: not pinned, frame generation moved (the pin is
+  /// refreshed so later guards in the call are fast again), the
+  /// fault-injection forced-deny is armed, or the check failed.
+  bool FastGuard(uint64_t addr, uint64_t size, uint64_t access_flags,
+                 uint64_t site) override;
+  bool FastGuardRange(uint64_t addr, uint64_t size, uint64_t access_flags,
+                      uint64_t elided, uint64_t site) override;
+
  private:
   struct CpuStats {
     std::atomic<uint64_t> guard_calls{0};
@@ -203,14 +256,63 @@ class PolicyEngine {
     std::atomic<uint64_t> denied{0};
     std::atomic<uint64_t> intrinsic_calls{0};
     std::atomic<uint64_t> intrinsic_denied{0};
+    std::atomic<uint64_t> elided{0};
+  };
+
+  /// One row of a shard's site-attribution table. Counters are relaxed
+  /// atomics written with plain load+store: each shard has exactly one
+  /// writer (its own CPU), the atomics only make cross-CPU folds and
+  /// resets race-free.
+  struct SiteRow {
+    std::atomic<uint64_t> site{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> denied{0};
+    std::atomic<uint64_t> elided{0};
+  };
+  struct SiteTable {
+    size_t capacity = 0;
+    std::unique_ptr<SiteRow[]> rows;
   };
 
   /// Per-CPU slice of the site-attribution table, dense-indexed by trace
-  /// site token. The owning CPU takes the shard lock per guard (always
-  /// uncontended except against a concurrent HotSites() fold).
+  /// site token. The hot path bumps an existing row without the lock
+  /// (single writer per shard); the lock serializes growth, folds, and
+  /// resets. Growth frees the old table immediately — safe because only
+  /// the owning CPU reads rows lock-free and it is the one growing.
   struct SiteShard {
     Spinlock lock;
-    std::vector<HotSite> rows;
+    std::atomic<SiteTable*> table{nullptr};
+    std::unique_ptr<SiteTable> storage;
+  };
+
+  /// One CPU's frame pin. `rcu` holds the read section open for the
+  /// whole outermost module call so `frame` stays valid; the captured
+  /// mutation clock tells FastGuard when the pinned frame went stale
+  /// (deopt + refresh). `depth` counts nesting (module-to-module calls).
+  /// The stats / sites / clock / span fields are resolved once per pin so
+  /// the inline path runs no per-guard CPU-slot lookups; `default_allow`
+  /// may go stale only together with `mutation_gen` (SetMode bumps it),
+  /// which deopts the guard first.
+  struct PinSlot {
+    uint32_t depth = 0;
+    std::optional<smp::RcuDomain::ReadGuard> rcu;
+    const PolicyFrame* frame = nullptr;
+    uint64_t mutation_gen = 0;
+    double guard_cycles = 0.0;
+    bool default_allow = false;
+    CpuStats* stats = nullptr;
+    SiteShard* sites = nullptr;
+    // This CPU's clock accumulator, resolved once at pin time so inline
+    // guards charge cycles with one load+store instead of a slot lookup.
+    std::atomic<double>* clock_cell = nullptr;
+    // The global span recorder, cached so the fast path's guard-decision
+    // span costs one relaxed enabled-load instead of an out-of-line
+    // GlobalSpans() call per guard.
+    trace::SpanRecorder* spans = nullptr;
+    // Elision credits accumulated over the pinned call and flushed to the
+    // global guard.elided counter at unpin: one fetch_add per call instead
+    // of one per covering guard. Per-CPU stats stay exact per cover.
+    uint64_t elided_batch = 0;
   };
 
   /// Current frame if fresh, else republish. Called inside an RCU read
@@ -224,7 +326,17 @@ class PolicyEngine {
                                              uint64_t addr, uint64_t size,
                                              uint64_t* depth);
 
-  void NoteSite(uint64_t site, bool allowed);
+  void NoteSite(uint64_t site, bool allowed, uint64_t elided = 0);
+  /// Shard-directed variant for the inline path (shard resolved at pin
+  /// time). Lock-free when the row exists; takes the shard lock only to
+  /// grow the table.
+  void NoteSiteIn(SiteShard& shard, uint64_t site, bool allowed,
+                  uint64_t elided);
+  static void GrowSiteTable(SiteShard& shard, uint64_t site);
+  /// Re-capture the pinned frame after its generations moved (called
+  /// with the slot's read section still open, which keeps the refresh
+  /// race-free against reclamation).
+  void RefreshPin(PinSlot& slot);
   uint64_t FoldGuardCalls() const;
   uint64_t FoldIntrinsicCalls() const;
   void RecordViolation(const ViolationRecord& record);
@@ -249,6 +361,12 @@ class PolicyEngine {
   mutable std::atomic<const PolicyFrame*> frame_{nullptr};
   mutable smp::RcuDomain rcu_;
   std::atomic<uint64_t> config_generation_{0};
+  // Combined mutation clock for the inline fast path: bumped by every
+  // config change here AND by store mutators through the attached cell
+  // (PolicyStore::AttachMutationCell), so a pinned guard validates its
+  // frame with ONE generation load instead of two — the store half of
+  // the old check chased store_ptr_ to reach the store's counter.
+  std::atomic<uint64_t> mutation_gen_{0};
   mutable std::atomic<uint64_t> frames_published_{0};
 
   // Intrinsic master sets (guarded by writer_lock_; guards read the
@@ -258,6 +376,7 @@ class PolicyEngine {
   std::set<uint64_t> intrinsic_denied_;
 
   smp::PerCpu<CpuStats> cpu_stats_;
+  smp::PerCpu<PinSlot> pin_slots_;
   mutable smp::PerCpu<SiteShard> site_shards_;
 
   mutable Spinlock violations_lock_;
@@ -268,6 +387,8 @@ class PolicyEngine {
   trace::Log2Histogram* latency_hist_;
   trace::Log2Histogram* lookup_depth_hist_;
   trace::Counter* denied_counter_;
+  trace::Counter* elided_counter_;
+  trace::Counter* deopt_counter_;
 };
 
 }  // namespace kop::policy

@@ -57,6 +57,9 @@ struct CaratStatsArg {
   uint64_t denied = 0;
   uint64_t intrinsic_calls = 0;
   uint64_t intrinsic_denied = 0;
+  /// Accesses proven by a covering-interval guard (appended field; older
+  /// readers that unpack the shorter struct still see the ones above).
+  uint64_t elided = 0;
 };
 
 struct CaratCountArg {
@@ -113,6 +116,7 @@ struct CaratHotSiteArg {
   uint64_t site = 0;  // trace::GlobalSites token; 0 = unattributed
   uint64_t hits = 0;
   uint64_t denied = 0;
+  uint64_t elided = 0;  // member accesses this covering site proved
   char label[96] = {};  // "module:@fn+inst" rendered kernel-side
 };
 

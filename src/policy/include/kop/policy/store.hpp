@@ -42,7 +42,7 @@ class PolicyStore {
   Status Add(const Region& region) {
     std::lock_guard<Spinlock> guard(lock_);
     Status status = DoAdd(region);
-    if (status.ok()) generation_.fetch_add(1, std::memory_order_release);
+    if (status.ok()) BumpGeneration();
     return status;
   }
 
@@ -50,14 +50,24 @@ class PolicyStore {
   Status Remove(uint64_t base) {
     std::lock_guard<Spinlock> guard(lock_);
     Status status = DoRemove(base);
-    if (status.ok()) generation_.fetch_add(1, std::memory_order_release);
+    if (status.ok()) BumpGeneration();
     return status;
   }
 
   void Clear() {
     std::lock_guard<Spinlock> guard(lock_);
     DoClear();
-    generation_.fetch_add(1, std::memory_order_release);
+    BumpGeneration();
+  }
+
+  /// Attach (or detach, with nullptr) an external mutation clock that
+  /// mutators bump alongside the structural generation. The engine
+  /// attaches its own cell to the active store so pinned inline guards
+  /// can detect BOTH store mutations and config changes with a single
+  /// generation load instead of two (one of them a pointer chase).
+  void AttachMutationCell(std::atomic<uint64_t>* cell) {
+    std::lock_guard<Spinlock> guard(lock_);
+    mutation_cell_ = cell;
   }
 
   size_t Size() const {
@@ -99,8 +109,17 @@ class PolicyStore {
   mutable StoreStats stats_;
 
  private:
+  // Callers hold lock_.
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_release);
+    if (mutation_cell_ != nullptr) {
+      mutation_cell_->fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
   mutable Spinlock lock_;
   std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t>* mutation_cell_ = nullptr;  // guarded by lock_
 };
 
 }  // namespace kop::policy

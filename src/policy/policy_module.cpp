@@ -32,10 +32,26 @@ Result<std::unique_ptr<PolicyModule>> PolicyModule::Insert(
         return engine->Guard(addr, size, flags) ? 1 : 0;
       }));
   KOP_RETURN_IF_ERROR(kernel->symbols().ExportFunction(
+      kCaratGuardRangeSymbol,
+      [engine](const std::vector<uint64_t>& args) -> uint64_t {
+        // void carat_guard_range(void* addr, size_t size, int access_flags,
+        //                        size_t elided)
+        const uint64_t addr = args.size() > 0 ? args[0] : 0;
+        const uint64_t size = args.size() > 1 ? args[1] : 0;
+        const uint64_t flags = args.size() > 2 ? args[2] : 0;
+        const uint64_t elided = args.size() > 3 ? args[3] : 0;
+        return engine->GuardRange(addr, size, flags, elided) ? 1 : 0;
+      }));
+  KOP_RETURN_IF_ERROR(kernel->symbols().ExportFunction(
       kCaratIntrinsicGuardSymbol,
       [engine](const std::vector<uint64_t>& args) -> uint64_t {
         return engine->IntrinsicGuard(args.empty() ? 0 : args[0]) ? 1 : 0;
       }));
+
+  // Publish the inline-guard fast path. Engines reach it through the
+  // kernel facade (kernel::GuardFastOps), never through kop::policy —
+  // clearing it at removal restores the all-slow-path world exactly.
+  kernel->SetGuardFastOps(engine);
 
   PolicyModule* raw = module.get();
   KOP_RETURN_IF_ERROR(kernel->devices().Register(
@@ -82,9 +98,11 @@ Result<std::unique_ptr<PolicyModule>> PolicyModule::Insert(
 
 PolicyModule::~PolicyModule() {
   if (!installed_) return;
+  kernel_->SetGuardFastOps(nullptr);
   flight::SetPolicyProvider(nullptr);
   flight::SetHeatmapProvider(nullptr);
   (void)kernel_->symbols().Unexport(kCaratGuardSymbol);
+  (void)kernel_->symbols().Unexport(kCaratGuardRangeSymbol);
   (void)kernel_->symbols().Unexport(kCaratIntrinsicGuardSymbol);
   (void)kernel_->devices().Unregister(kCaratDevicePath);
 }
@@ -120,6 +138,7 @@ Status PolicyModule::HandleIoctl(uint32_t cmd, std::vector<uint8_t>& arg) {
       reply.denied = stats.denied;
       reply.intrinsic_calls = stats.intrinsic_calls;
       reply.intrinsic_denied = stats.intrinsic_denied;
+      reply.elided = stats.elided;
       arg = PackArg(reply);
       return OkStatus();
     }
@@ -192,6 +211,7 @@ Status PolicyModule::HandleIoctl(uint32_t cmd, std::vector<uint8_t>& arg) {
         out.site = row.site;
         out.hits = row.hits;
         out.denied = row.denied;
+        out.elided = row.elided;
         const std::string label = trace::GlobalSites().Label(row.site);
         std::snprintf(out.label, sizeof(out.label), "%s", label.c_str());
       }

@@ -26,6 +26,13 @@ std::string ProcGuardStats(const PolicyEngine& engine) {
   std::snprintf(line, sizeof(line), "intrinsic_denied: %llu\n",
                 static_cast<unsigned long long>(stats.intrinsic_denied));
   out += line;
+  std::snprintf(line, sizeof(line), "elided:           %llu\n",
+                static_cast<unsigned long long>(stats.elided));
+  out += line;
+  std::snprintf(line, sizeof(line), "deopts:           %llu\n",
+                static_cast<unsigned long long>(
+                    trace::GlobalMetrics().GetCounter("guard.deopt")->value()));
+  out += line;
   std::snprintf(line, sizeof(line), "recent_violations: %zu\n",
                 engine.RecentViolations().size());
   out += line;
@@ -50,7 +57,7 @@ std::string ProcGuardStats(const PolicyEngine& engine) {
 }
 
 std::string ProcHotSites(const PolicyEngine& engine) {
-  std::string out = "site     hits     denied   location\n";
+  std::string out = "site     hits     denied   elided   location\n";
   char line[256];
   for (const HotSite& row : engine.HotSites()) {
     const std::string label = trace::GlobalSites().Label(row.site);
@@ -58,10 +65,11 @@ std::string ProcHotSites(const PolicyEngine& engine) {
     if (auto info = trace::GlobalSites().Find(row.site); info.has_value()) {
       detail = info->detail;
     }
-    std::snprintf(line, sizeof(line), "%-8llu %-8llu %-8llu %s%s%s\n",
+    std::snprintf(line, sizeof(line), "%-8llu %-8llu %-8llu %-8llu %s%s%s\n",
                   static_cast<unsigned long long>(row.site),
                   static_cast<unsigned long long>(row.hits),
-                  static_cast<unsigned long long>(row.denied), label.c_str(),
+                  static_cast<unsigned long long>(row.denied),
+                  static_cast<unsigned long long>(row.elided), label.c_str(),
                   detail.empty() ? "" : "  ", detail.c_str());
     out += line;
   }

@@ -71,6 +71,15 @@ Result<ValidatedModule> ValidateSignedModuleImpl(
         "validator: unoptimized module has memory accesses without an "
         "adjacent covering guard");
   }
+  // Elision provenance is re-proven against the shipped IR in every
+  // verify mode: each claimed cover must exist with the claimed span,
+  // flags and elided count, and its members must tile the interval. This
+  // runs regardless of check_attested_guards because a forged table
+  // corrupts runtime accounting even when static coverage holds.
+  if (!attestation->elisions.empty()) {
+    KOP_RETURN_IF_ERROR(transform::VerifyElisionProvenance(
+        *attestation, recomputed.sites));
+  }
 
   ValidatedModule out;
   out.module = std::move(*module);

@@ -38,6 +38,11 @@ class VirtualClock {
     return cycles_.Mine().load(std::memory_order_relaxed);
   }
 
+  /// The calling CPU's accumulator cell. Single-writer: only the owning
+  /// CPU stores through it. Pinned fast paths cache this pointer once per
+  /// call so each inline guard charges cycles without a per-CPU lookup.
+  std::atomic<double>& MyCell() { return cycles_.Mine(); }
+
   /// One specific CPU's simulated time.
   double CpuCycles(uint32_t cpu) const {
     return cycles_.Get(cpu).load(std::memory_order_relaxed);

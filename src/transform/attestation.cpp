@@ -1,5 +1,6 @@
 #include "kop/transform/attestation.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "kop/util/carat_abi.hpp"
@@ -17,10 +18,24 @@ std::string AttestationRecord::Serialize() const {
       << "guard_count: " << guard_count << "\n"
       << "site_count: " << sites.size() << "\n";
   for (const GuardSite& site : sites) {
+    const char* kind = site.is_intrinsic ? "i" : site.is_range ? "r" : "g";
     out << "site: " << site.site_id << " " << site.call_ordinal << " "
         << site.inst_index << " " << site.access_size << " "
-        << site.access_flags << " " << (site.is_intrinsic ? "i" : "g") << " @"
-        << site.function << "\n";
+        << site.access_flags << " " << kind << " @" << site.function;
+    if (site.is_range) out << " " << site.elided;
+    out << "\n";
+  }
+  if (!elisions.empty()) {
+    out << "elision_count: " << elisions.size() << "\n";
+    for (const ElisionRecord& rec : elisions) {
+      out << "elide: " << rec.site_id << " " << rec.inst_index << " "
+          << rec.kind << " " << rec.span << " " << rec.flags << " "
+          << rec.members.size() << " @" << rec.function << "\n";
+      for (const ElisionMember& member : rec.members) {
+        out << "member: " << member.offset << " " << member.size << " "
+            << member.flags << "\n";
+      }
+    }
   }
   return out.str();
 }
@@ -79,13 +94,60 @@ Result<AttestationRecord> AttestationRecord::Deserialize(
     std::string function;
     if (!(fields >> site.site_id >> site.call_ordinal >> site.inst_index >>
           site.access_size >> site.access_flags >> kind >> function) ||
-        (kind != "g" && kind != "i") || function.empty() ||
+        (kind != "g" && kind != "i" && kind != "r") || function.empty() ||
         function[0] != '@') {
       return BadModule("attestation: malformed site entry '" + line + "'");
     }
     site.is_intrinsic = kind == "i";
+    site.is_range = kind == "r";
+    if (site.is_range && !(fields >> site.elided)) {
+      return BadModule("attestation: range site missing elided count '" +
+                       line + "'");
+    }
     site.function = function.substr(1);
     record.sites.push_back(std::move(site));
+  }
+  // elision_count (and the records after it) are absent both from
+  // pre-elision attestations and from modules compiled with elision off;
+  // accept both.
+  if (!std::getline(in, line)) return record;
+  const std::string elision_count_prefix = "elision_count: ";
+  if (line.rfind(elision_count_prefix, 0) != 0) {
+    return BadModule("attestation: expected field elision_count, got '" +
+                     line + "'");
+  }
+  const uint64_t elision_count =
+      std::strtoull(line.c_str() + elision_count_prefix.size(), nullptr, 10);
+  record.elisions.reserve(elision_count);
+  for (uint64_t i = 0; i < elision_count; ++i) {
+    if (!std::getline(in, line) || line.rfind("elide: ", 0) != 0) {
+      return BadModule("attestation: truncated elision table");
+    }
+    std::istringstream fields(line.substr(7));
+    ElisionRecord rec;
+    uint64_t member_count = 0;
+    std::string function;
+    if (!(fields >> rec.site_id >> rec.inst_index >> rec.kind >> rec.span >>
+          rec.flags >> member_count >> function) ||
+        (rec.kind != "widen" && rec.kind != "hoist") || function.empty() ||
+        function[0] != '@' || member_count == 0) {
+      return BadModule("attestation: malformed elision entry '" + line + "'");
+    }
+    rec.function = function.substr(1);
+    rec.members.reserve(member_count);
+    for (uint64_t m = 0; m < member_count; ++m) {
+      if (!std::getline(in, line) || line.rfind("member: ", 0) != 0) {
+        return BadModule("attestation: truncated elision member table");
+      }
+      std::istringstream mf(line.substr(8));
+      ElisionMember member;
+      if (!(mf >> member.offset >> member.size >> member.flags)) {
+        return BadModule("attestation: malformed elision member '" + line +
+                         "'");
+      }
+      rec.members.push_back(member);
+    }
+    record.elisions.push_back(std::move(rec));
   }
   return record;
 }
@@ -159,7 +221,8 @@ AttestationRecord Attest(const kir::Module& module) {
     for (const auto& block : fn->blocks()) {
       for (const auto& inst : *block) {
         if (inst->opcode() == kir::Opcode::kCall &&
-            inst->callee() == kCaratGuardSymbol) {
+            (inst->callee() == kCaratGuardSymbol ||
+             inst->callee() == kCaratGuardRangeSymbol)) {
           ++guards;
         }
       }
@@ -168,6 +231,61 @@ AttestationRecord Attest(const kir::Module& module) {
   record.guard_count = guards;
   record.sites = EnumerateGuardSites(module);
   return record;
+}
+
+Status VerifyElisionProvenance(const AttestationRecord& record,
+                               const std::vector<GuardSite>& sites) {
+  std::vector<bool> claimed(sites.size(), false);
+  for (const ElisionRecord& rec : record.elisions) {
+    const std::string where =
+        "elision record for site " + std::to_string(rec.site_id);
+    if (rec.site_id >= sites.size()) {
+      return BadModule(where + ": no such guard site in the shipped IR");
+    }
+    if (claimed[rec.site_id]) {
+      return BadModule(where + ": duplicate provenance for one cover");
+    }
+    claimed[rec.site_id] = true;
+    const GuardSite& site = sites[rec.site_id];
+    if (!site.is_range) {
+      return BadModule(where + ": site is not a carat_guard_range cover");
+    }
+    if (site.function != rec.function || site.inst_index != rec.inst_index) {
+      return BadModule(where + ": cover position does not match the IR (@" +
+                       site.function + " inst " +
+                       std::to_string(site.inst_index) + ")");
+    }
+    if (site.access_size != rec.span || site.access_flags != rec.flags) {
+      return BadModule(where + ": cover span/flags do not match the IR");
+    }
+    if (rec.members.empty() ||
+        site.elided != static_cast<uint32_t>(rec.members.size() - 1)) {
+      return BadModule(where + ": cover's elided count does not equal its "
+                       "subsumed members");
+    }
+    // The members must tile [0, span): every byte the cover demands
+    // permission for was demanded by some replaced guard, with flags the
+    // cover also checks.
+    std::vector<ElisionMember> members = rec.members;
+    std::sort(members.begin(), members.end(),
+              [](const ElisionMember& a, const ElisionMember& b) {
+                return a.offset < b.offset;
+              });
+    uint64_t covered_end = 0;
+    for (const ElisionMember& member : members) {
+      if (member.size == 0 || member.offset > covered_end) {
+        return BadModule(where + ": members leave a hole in the cover");
+      }
+      if ((rec.flags & member.flags) != member.flags) {
+        return BadModule(where + ": member flags exceed the cover's");
+      }
+      covered_end = std::max(covered_end, member.offset + member.size);
+    }
+    if (covered_end != rec.span) {
+      return BadModule(where + ": members do not tile the cover's span");
+    }
+  }
+  return OkStatus();
 }
 
 }  // namespace kop::transform

@@ -1,8 +1,12 @@
 #include "kop/transform/compiler.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "kop/kir/parser.hpp"
 #include "kop/kir/printer.hpp"
 #include "kop/kir/verifier.hpp"
+#include "kop/transform/guard_elide.hpp"
 #include "kop/transform/guard_injection.hpp"
 #include "kop/transform/guard_opt.hpp"
 #include "kop/transform/pass.hpp"
@@ -10,6 +14,15 @@
 #include "kop/transform/simplify.hpp"
 
 namespace kop::transform {
+
+bool DefaultElideGuards() {
+  const char* env = std::getenv("KOP_ELIDE");
+  if (env != nullptr) {
+    const std::string_view value(env);
+    if (value == "off" || value == "0") return false;
+  }
+  return true;
+}
 
 Result<CompileOutput> CompileModule(std::unique_ptr<kir::Module> module,
                                     const CompileOptions& options) {
@@ -39,6 +52,19 @@ Result<CompileOutput> CompileModule(std::unique_ptr<kir::Module> module,
 
   KOP_RETURN_IF_ERROR(pm.Run(*module));
 
+  // The elision pass runs LAST, outside the main manager, so pre-elision
+  // guard completeness can be snapshot first: a widened/hoisted module is
+  // complete exactly when its unelided form was.
+  const bool complete_before_elide =
+      options.elide_guards ? GuardsComplete(*module) : false;
+  auto elide = std::make_unique<GuardElidePass>();
+  GuardElidePass* elide_raw = elide.get();
+  PassManager elide_pm(/*verify_each=*/true);
+  elide_pm.Add(std::move(elide));
+  if (options.elide_guards) {
+    KOP_RETURN_IF_ERROR(elide_pm.Run(*module));
+  }
+
   CompileOutput out;
   if (options.inject_guards) out.guard_stats = inject_raw->stats();
   if (options.coalesce_guards) {
@@ -57,6 +83,14 @@ Result<CompileOutput> CompileModule(std::unique_ptr<kir::Module> module,
       options.inject_guards) {
     out.attestation.guards_complete = true;
     out.attestation.guards_optimized = true;
+  }
+  if (options.elide_guards) out.elide_stats = elide_raw->stats();
+  if (options.elide_guards && !elide_raw->provenance().empty()) {
+    out.attestation.elisions = elide_raw->provenance();
+    out.attestation.guards_optimized = true;
+    // Covers break strict adjacency but subsume the guards they replaced,
+    // so completeness carries over from the pre-elision form.
+    if (complete_before_elide) out.attestation.guards_complete = true;
   }
   out.text = kir::PrintModule(*module);
   out.module = std::move(module);

@@ -1,0 +1,409 @@
+// Widening and hoisting are both "replace guards with a covering range
+// guard" rewrites; the cover's availability fact (same lattice as the
+// static verifier) subsumes every replaced guard's fact, which is exactly
+// why the verifier can re-prove the elided module. Covers carry the
+// number of subsumed members as their constant 4th argument so runtime
+// accounting (`guard_calls + elided`) is invariant under widening.
+#include "kop/transform/guard_elide.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kop/analysis/guard_lattice.hpp"
+#include "kop/kir/builder.hpp"
+#include "kop/kir/cfg.hpp"
+#include "kop/kir/intrinsics.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::transform {
+namespace {
+
+using analysis::GuardFact;
+using analysis::MatchGuardCall;
+
+/// Same classification as analysis::ApplyGuardStep: a call that could
+/// transitively reach the policy table kills availability, guards and
+/// kir.* intrinsics do not.
+bool IsKillingCall(const kir::Instruction& inst) {
+  if (inst.opcode() != kir::Opcode::kCall) return false;
+  const std::string& callee = inst.callee();
+  if (callee == kCaratGuardSymbol || callee == kCaratGuardRangeSymbol ||
+      callee == kCaratIntrinsicGuardSymbol) {
+    return false;
+  }
+  return !kir::IsIntrinsicName(callee);
+}
+
+/// A guard call collected while scanning one block, with its position.
+struct Member {
+  kir::BasicBlock::iterator pos;
+  GuardFact fact;
+};
+
+/// A rewrite awaiting final site-id resolution (ids shift as covers are
+/// inserted and members erased, so provenance is resolved in one walk
+/// after all rewrites).
+struct PendingElision {
+  const kir::Instruction* cover = nullptr;
+  std::string kind;
+  uint64_t span = 0;
+  uint64_t flags = 0;
+  std::vector<ElisionMember> members;
+};
+
+/// Declare carat_guard_range if this module does not import it yet.
+Status DeclareRangeGuard(kir::Module& module) {
+  kir::Function* fn = module.FindFunction(kCaratGuardRangeSymbol);
+  if (fn == nullptr) {
+    module.CreateFunction(kCaratGuardRangeSymbol, kir::Type::kVoid,
+                          {{kir::Type::kPtr, "addr"},
+                           {kir::Type::kI64, "size"},
+                           {kir::Type::kI64, "access_flags"},
+                           {kir::Type::kI64, "elided"}},
+                          /*is_external=*/true);
+    return OkStatus();
+  }
+  if (!fn->is_external() || fn->arg_count() != 4) {
+    return BadModule("module declares an incompatible @carat_guard_range");
+  }
+  return OkStatus();
+}
+
+/// Widen one flushed run: group members by (root, flags), and inside each
+/// group replace every maximal contiguous-coverage segment of >= 2 guards
+/// with one carat_guard_range over the segment's interval.
+Status WidenRun(kir::Module& module, kir::BasicBlock& block,
+                std::vector<Member>& run, GuardElideStats& stats,
+                std::vector<PendingElision>& pending) {
+  if (run.size() < 2) {
+    run.clear();
+    return OkStatus();
+  }
+
+  // Group in first-appearance order so output is deterministic. Flags must
+  // match exactly: a union cover would demand (say) write permission over
+  // a read-only member's bytes and could deny what per-member checks
+  // allow.
+  struct Group {
+    const kir::Value* root;
+    uint64_t flags;
+    std::vector<size_t> members;  // indexes into `run`, program order
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < run.size(); ++i) {
+    const GuardFact& fact = run[i].fact;
+    Group* group = nullptr;
+    for (Group& have : groups) {
+      if (have.root == fact.root && have.flags == fact.flags) {
+        group = &have;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{fact.root, fact.flags, {}});
+      group = &groups.back();
+    }
+    group->members.push_back(i);
+  }
+
+  kir::IRBuilder builder(&module);
+  for (Group& group : groups) {
+    if (group.members.size() < 2) continue;
+    // Sort by interval start; program order breaks ties so the walk below
+    // is deterministic.
+    std::vector<size_t> by_offset = group.members;
+    std::sort(by_offset.begin(), by_offset.end(), [&](size_t a, size_t b) {
+      if (run[a].fact.root_offset != run[b].fact.root_offset) {
+        return run[a].fact.root_offset < run[b].fact.root_offset;
+      }
+      return a < b;
+    });
+
+    // Split at coverage holes: a cover may only span bytes some member
+    // actually guarded, else the range check could demand permissions the
+    // module never proved it needed.
+    size_t begin = 0;
+    while (begin < by_offset.size()) {
+      size_t end = begin + 1;
+      uint64_t covered_end = run[by_offset[begin]].fact.root_offset +
+                             run[by_offset[begin]].fact.size;
+      while (end < by_offset.size() &&
+             run[by_offset[end]].fact.root_offset <= covered_end) {
+        covered_end = std::max(covered_end, run[by_offset[end]].fact.root_offset +
+                                                run[by_offset[end]].fact.size);
+        ++end;
+      }
+      const size_t count = end - begin;
+      if (count >= 2) {
+        const uint64_t lo = run[by_offset[begin]].fact.root_offset;
+        const uint64_t span = covered_end - lo;
+
+        // The cover replaces the segment's first guard in program order;
+        // everything the members' address chains derive from is already
+        // defined there.
+        size_t first = by_offset[begin];
+        for (size_t i = begin + 1; i < end; ++i) {
+          first = std::min(first, by_offset[i]);
+        }
+        Member& anchor = run[first];
+
+        KOP_RETURN_IF_ERROR(DeclareRangeGuard(module));
+        builder.SetInsertPoint(&block, anchor.pos);
+        kir::Value* addr;
+        if (anchor.fact.root_offset == lo) {
+          addr = const_cast<kir::Value*>(anchor.fact.addr);
+        } else {
+          addr = builder.CreateGep(const_cast<kir::Value*>(anchor.fact.root),
+                                   builder.I64(0), 1, lo);
+        }
+        const kir::Instruction* cover = builder.CreateCall(
+            kCaratGuardRangeSymbol, kir::Type::kVoid,
+            {addr, builder.I64(span), builder.I64(group.flags),
+             builder.I64(count - 1)});
+
+        PendingElision record;
+        record.cover = cover;
+        record.kind = "widen";
+        record.span = span;
+        record.flags = group.flags;
+        for (size_t i = begin; i < end; ++i) {
+          const GuardFact& fact = run[by_offset[i]].fact;
+          record.members.push_back(
+              ElisionMember{fact.root_offset - lo, fact.size, fact.flags});
+        }
+        pending.push_back(std::move(record));
+
+        for (size_t i = begin; i < end; ++i) {
+          block.Erase(run[by_offset[i]].pos);
+        }
+        ++stats.clusters_widened;
+        ++stats.covers_emitted;
+        stats.guards_elided += count - 1;
+      }
+      begin = end;
+    }
+  }
+  run.clear();
+  return OkStatus();
+}
+
+/// Scan one block, flushing guard runs at killing calls and at the end.
+Status WidenBlock(kir::Module& module, kir::BasicBlock& block,
+                  GuardElideStats& stats,
+                  std::vector<PendingElision>& pending) {
+  std::vector<Member> run;
+  for (auto it = block.begin(); it != block.end(); ++it) {
+    GuardFact fact;
+    if (MatchGuardCall(**it, &fact)) {
+      run.push_back(Member{it, fact});
+      continue;
+    }
+    if (IsKillingCall(**it)) {
+      KOP_RETURN_IF_ERROR(WidenRun(module, block, run, stats, pending));
+    }
+    // Loads, stores and arithmetic between guards do not end a run: guard
+    // calls are pure checks, and a member check moved before an earlier
+    // store only moves a potential violation earlier — the journal
+    // rollback restores identical memory either way.
+  }
+  return WidenRun(module, block, run, stats, pending);
+}
+
+bool DefinedOutside(const kir::Value* value,
+                    const std::unordered_set<const kir::BasicBlock*>& body) {
+  const auto* inst = kir::dyn_cast<kir::Instruction>(value);
+  if (inst == nullptr) return true;  // argument / constant / global
+  return body.count(inst->parent()) == 0;
+}
+
+/// Hoist loop-header guards with loop-invariant operands into the unique
+/// preheader, as a carat_guard_range cover of the single access (elided =
+/// 0: nothing is subsumed, the check just runs once instead of per
+/// iteration).
+Status HoistLoops(kir::Module& module, kir::Function& fn,
+                  GuardElideStats& stats,
+                  std::vector<PendingElision>& pending) {
+  const kir::Cfg cfg(fn);
+  const kir::DominatorTree dt(cfg);
+
+  // Natural loops: back edge latch->header where the header dominates the
+  // latch. Bodies with the same header are merged.
+  struct Loop {
+    const kir::BasicBlock* header;
+    std::unordered_set<const kir::BasicBlock*> body;
+  };
+  std::vector<Loop> loops;
+  for (const kir::BasicBlock* block : cfg.ReversePostorder()) {
+    for (const kir::BasicBlock* succ : cfg.succs(block)) {
+      if (!dt.Dominates(succ, block)) continue;
+      Loop* loop = nullptr;
+      for (Loop& have : loops) {
+        if (have.header == succ) {
+          loop = &have;
+          break;
+        }
+      }
+      if (loop == nullptr) {
+        loops.push_back(Loop{succ, {succ}});
+        loop = &loops.back();
+      }
+      // Everything that reaches the latch without passing the header.
+      std::vector<const kir::BasicBlock*> worklist{block};
+      while (!worklist.empty()) {
+        const kir::BasicBlock* b = worklist.back();
+        worklist.pop_back();
+        if (!loop->body.insert(b).second) continue;
+        for (const kir::BasicBlock* pred : cfg.preds(b)) {
+          worklist.push_back(pred);
+        }
+      }
+    }
+  }
+
+  kir::IRBuilder builder(&module);
+  for (Loop& loop : loops) {
+    // A unique preheader whose only successor is the header: the hoisted
+    // check runs exactly when the loop is entered, never on bypass paths.
+    const kir::BasicBlock* preheader = nullptr;
+    bool unique = true;
+    for (const kir::BasicBlock* pred : cfg.preds(loop.header)) {
+      if (loop.body.count(pred) != 0) continue;
+      if (preheader != nullptr && preheader != pred) unique = false;
+      preheader = pred;
+    }
+    if (preheader == nullptr || !unique) continue;
+    if (cfg.succs(preheader).size() != 1) continue;
+
+    // The guard's verdict must be iteration-invariant: no call in the
+    // loop may mutate the policy between iterations.
+    bool killed = false;
+    for (const kir::BasicBlock* block : loop.body) {
+      for (const auto& inst : *block) {
+        if (IsKillingCall(*inst)) {
+          killed = true;
+          break;
+        }
+      }
+      if (killed) break;
+    }
+    if (killed) continue;
+
+    // Hoistable guards are a prefix of the header: every one before the
+    // first store, non-guard call, or non-invariant guard. The prefix rule
+    // keeps the deny path byte-identical — nothing is journaled before
+    // the check in either placement, and violation order among remaining
+    // guards is preserved.
+    auto* header = const_cast<kir::BasicBlock*>(loop.header);
+    std::vector<Member> candidates;
+    for (auto it = header->begin(); it != header->end(); ++it) {
+      GuardFact fact;
+      if (MatchGuardCall(**it, &fact)) {
+        if (!DefinedOutside(fact.addr, loop.body)) break;
+        candidates.push_back(Member{it, fact});
+        continue;
+      }
+      const kir::Opcode op = (*it)->opcode();
+      if (op == kir::Opcode::kStore || op == kir::Opcode::kCall) break;
+    }
+
+    for (Member& candidate : candidates) {
+      KOP_RETURN_IF_ERROR(DeclareRangeGuard(module));
+      auto* entry = const_cast<kir::BasicBlock*>(preheader);
+      auto term = entry->end();
+      --term;  // verified IR: every block ends in a terminator
+      builder.SetInsertPoint(entry, term);
+      const kir::Instruction* cover = builder.CreateCall(
+          kCaratGuardRangeSymbol, kir::Type::kVoid,
+          {const_cast<kir::Value*>(candidate.fact.addr),
+           builder.I64(candidate.fact.size), builder.I64(candidate.fact.flags),
+           builder.I64(0)});
+      header->Erase(candidate.pos);
+
+      PendingElision record;
+      record.cover = cover;
+      record.kind = "hoist";
+      record.span = candidate.fact.size;
+      record.flags = candidate.fact.flags;
+      record.members.push_back(
+          ElisionMember{0, candidate.fact.size, candidate.fact.flags});
+      pending.push_back(std::move(record));
+      ++stats.guards_hoisted;
+      ++stats.covers_emitted;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status GuardElidePass::Run(kir::Module& module) {
+  stats_ = GuardElideStats();
+  provenance_.clear();
+  std::vector<PendingElision> pending;
+
+  // Snapshot the function list: emitting the first cover declares
+  // @carat_guard_range, which appends to module.functions() and would
+  // invalidate a live iterator. The declaration is external (no blocks),
+  // so skipping it is correct.
+  std::vector<kir::Function*> defined;
+  for (const auto& fn : module.functions()) {
+    if (!fn->is_external() && !fn->blocks().empty()) {
+      defined.push_back(fn.get());
+    }
+  }
+
+  for (kir::Function* fn : defined) {
+    for (const auto& block : fn->blocks()) {
+      KOP_RETURN_IF_ERROR(WidenBlock(module, *block, stats_, pending));
+    }
+  }
+  for (kir::Function* fn : defined) {
+    KOP_RETURN_IF_ERROR(HoistLoops(module, *fn, stats_, pending));
+  }
+  if (pending.empty()) return OkStatus();
+
+  // Resolve provenance against the final IR with the same numbering
+  // EnumerateGuardSites uses: site ids count guard calls module-wide,
+  // instruction indexes count all instructions function-wide.
+  struct SiteRef {
+    uint32_t site_id;
+    uint32_t inst_index;
+    const std::string* function;
+  };
+  std::unordered_map<const kir::Instruction*, SiteRef> site_of;
+  uint32_t site_id = 0;
+  for (const auto& fn : module.functions()) {
+    uint32_t inst_index = 0;
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kCall &&
+            (inst->callee() == kCaratGuardSymbol ||
+             inst->callee() == kCaratGuardRangeSymbol ||
+             inst->callee() == kCaratIntrinsicGuardSymbol)) {
+          site_of[inst.get()] = SiteRef{site_id, inst_index, &fn->name()};
+          ++site_id;
+        }
+        ++inst_index;
+      }
+    }
+  }
+  for (PendingElision& rewrite : pending) {
+    const auto it = site_of.find(rewrite.cover);
+    if (it == site_of.end()) {
+      return Internal("guard-elide: emitted cover vanished from the module");
+    }
+    ElisionRecord record;
+    record.site_id = it->second.site_id;
+    record.function = *it->second.function;
+    record.inst_index = it->second.inst_index;
+    record.kind = std::move(rewrite.kind);
+    record.span = rewrite.span;
+    record.flags = rewrite.flags;
+    record.members = std::move(rewrite.members);
+    provenance_.push_back(std::move(record));
+  }
+  return OkStatus();
+}
+
+}  // namespace kop::transform

@@ -15,16 +15,19 @@ std::vector<GuardSite> EnumerateGuardSites(const kir::Module& module) {
       for (const auto& inst : *block) {
         if (inst->opcode() == kir::Opcode::kCall) {
           const bool is_guard = inst->callee() == kCaratGuardSymbol;
+          const bool is_range = inst->callee() == kCaratGuardRangeSymbol;
           const bool is_intrinsic =
               inst->callee() == kCaratIntrinsicGuardSymbol;
-          if (is_guard || is_intrinsic) {
+          if (is_guard || is_range || is_intrinsic) {
             GuardSite site;
             site.site_id = static_cast<uint32_t>(sites.size());
             site.call_ordinal = call_ordinal;
             site.function = fn->name();
             site.inst_index = inst_index;
             site.is_intrinsic = is_intrinsic;
-            if (is_guard && inst->operand_count() == 3) {
+            site.is_range = is_range;
+            if ((is_guard && inst->operand_count() == 3) ||
+                (is_range && inst->operand_count() == 4)) {
               if (const auto* size =
                       kir::dyn_cast<kir::Constant>(inst->operand(1))) {
                 site.access_size = static_cast<uint32_t>(size->bits());
@@ -32,6 +35,12 @@ std::vector<GuardSite> EnumerateGuardSites(const kir::Module& module) {
               if (const auto* flags =
                       kir::dyn_cast<kir::Constant>(inst->operand(2))) {
                 site.access_flags = static_cast<uint32_t>(flags->bits());
+              }
+              if (is_range) {
+                if (const auto* elided =
+                        kir::dyn_cast<kir::Constant>(inst->operand(3))) {
+                  site.elided = static_cast<uint32_t>(elided->bits());
+                }
               }
             } else if (is_intrinsic && inst->operand_count() == 1) {
               if (const auto* id =
@@ -69,7 +78,11 @@ std::vector<GuardSite> EnumerateGuardSites(
     };
 
     for (const kir::BcInst& inst : fn.code) {
-      if (inst.op != kir::BcOp::kGuard) continue;
+      if (inst.op != kir::BcOp::kGuard &&
+          inst.op != kir::BcOp::kGuardInline &&
+          inst.op != kir::BcOp::kGuardRange) {
+        continue;
+      }
       const kir::BcExtern& ext = bytecode.externs[inst.aux];
       GuardSite site;
       site.site_id = static_cast<uint32_t>(sites.size());
@@ -77,13 +90,20 @@ std::vector<GuardSite> EnumerateGuardSites(
       site.function = fn.name;
       site.inst_index = inst.src_index;
       site.is_intrinsic = ext.is_intrinsic_guard;
+      site.is_range = ext.is_range_guard;
       const uint16_t* args = fn.call_args.data() + inst.imm;
-      if (ext.is_guard && inst.b == 3) {
+      if ((ext.is_guard && inst.b == 3) ||
+          (ext.is_range_guard && inst.b == 4)) {
         if (auto size = constant_of(args[1])) {
           site.access_size = static_cast<uint32_t>(*size);
         }
         if (auto flags = constant_of(args[2])) {
           site.access_flags = static_cast<uint32_t>(*flags);
+        }
+        if (ext.is_range_guard) {
+          if (auto elided = constant_of(args[3])) {
+            site.elided = static_cast<uint32_t>(*elided);
+          }
         }
       } else if (ext.is_intrinsic_guard && inst.b == 1) {
         if (auto id = constant_of(args[0])) {

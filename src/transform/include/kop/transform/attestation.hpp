@@ -13,6 +13,35 @@
 
 namespace kop::transform {
 
+/// One original guarded access subsumed by a covering range guard. Offsets
+/// are relative to the cover's base address.
+struct ElisionMember {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t flags = 0;
+
+  bool operator==(const ElisionMember& other) const = default;
+};
+
+/// Per-site elision provenance: which original guards a covering
+/// carat_guard_range call replaced, and how. The static verifier re-proves
+/// the elided form at insmod from this record: the named site must exist as
+/// a range guard with the claimed span/flags, the members must tile
+/// [0, span) without holes, every member's flags must be a subset of the
+/// cover's, and the cover's constant elided argument must equal
+/// members.size() - 1 (the cover itself stands in for the first member).
+struct ElisionRecord {
+  uint32_t site_id = 0;    // cover site's id in the sites table
+  std::string function;    // defining function (no "@")
+  uint32_t inst_index = 0; // cover's instruction index within the function
+  std::string kind;        // "widen" (same-block cluster) | "hoist" (loop)
+  uint64_t span = 0;       // covering interval length in bytes
+  uint64_t flags = 0;      // union of member access flags
+  std::vector<ElisionMember> members;  // all k original accesses
+
+  bool operator==(const ElisionRecord& other) const = default;
+};
+
 /// What the CARAT KOP compiler asserts about a module it processed.
 struct AttestationRecord {
   std::string module_name;
@@ -28,6 +57,12 @@ struct AttestationRecord {
   /// guard), covered by the signature; the validator rebuilds it from the
   /// shipped IR and the loader registers it for runtime attribution.
   std::vector<GuardSite> sites;
+  /// Elision provenance: one record per covering range guard the elision
+  /// pass emitted, covered by the signature. Empty when elision did not
+  /// run. The validator cross-checks each record against the shipped IR
+  /// (see ElisionRecord) so a forged table cannot smuggle unguarded
+  /// accesses past KOP_VERIFY=static.
+  std::vector<ElisionRecord> elisions;
 
   /// Canonical serialization (covered by the signature).
   std::string Serialize() const;
@@ -50,5 +85,15 @@ bool GuardsComplete(const kir::Module& module);
 
 /// Build the attestation record for a transformed module.
 AttestationRecord Attest(const kir::Module& module);
+
+/// Re-prove the record's elision provenance against `sites`, the guard
+/// site table rebuilt from the IR actually received (never the attested
+/// copy). Each record must name an existing carat_guard_range site whose
+/// span, flags, position and constant elided argument match the claim, and
+/// the claimed members must tile the cover's [0, span) interval without
+/// holes using only covered flags. A forged or stale table fails here
+/// before the module ever runs.
+Status VerifyElisionProvenance(const AttestationRecord& record,
+                               const std::vector<GuardSite>& sites);
 
 }  // namespace kop::transform

@@ -10,10 +10,16 @@
 
 #include "kop/kir/module.hpp"
 #include "kop/transform/attestation.hpp"
+#include "kop/transform/guard_elide.hpp"
 #include "kop/transform/guard_injection.hpp"
 #include "kop/util/status.hpp"
 
 namespace kop::transform {
+
+/// Elision default from the KOP_ELIDE environment variable: unset or any
+/// value other than "off"/"0" enables it. The benchmark matrix's
+/// KOP_ELIDE=off leg compiles the identical module without covers.
+bool DefaultElideGuards();
 
 struct CompileOptions {
   /// Run constant folding / DCE before guard injection (the CAKE-style
@@ -26,6 +32,11 @@ struct CompileOptions {
   /// Ablation-only CAKE-style guard redundancy elimination.
   bool coalesce_guards = false;
   bool dominate_guards = false;
+  /// Proof-driven guard elision (guard_elide.hpp): widen same-object guard
+  /// clusters into one covering carat_guard_range and hoist loop-header
+  /// guards into preheaders, with provenance in the attestation. Runs
+  /// last; on by default (KOP_ELIDE=off disables).
+  bool elide_guards = DefaultElideGuards();
 };
 
 struct CompileOutput {
@@ -34,6 +45,7 @@ struct CompileOutput {
   AttestationRecord attestation;
   GuardInjectionStats guard_stats;
   uint64_t guards_removed_by_opt = 0;
+  GuardElideStats elide_stats;
 };
 
 /// Compile module source text. Fails on parse/verify errors or when the

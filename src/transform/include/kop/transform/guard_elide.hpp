@@ -1,0 +1,52 @@
+// Proof-driven guard elision (the perf half of the guard story): instead
+// of one out-of-line policy check per access, clusters of guards over the
+// same object collapse into a single covering carat_guard_range and
+// loop-header guards on invariant addresses hoist into the preheader.
+// Every rewrite is justified on the same availability lattice the static
+// verifier solves, and every rewrite is recorded as elision provenance in
+// the attestation so the verifier can re-prove the elided form at insmod:
+// the covering fact it establishes subsumes the facts of every guard it
+// replaced.
+//
+// Both rewrites only ever *strengthen* checking: a cover demands that the
+// whole interval be permitted where the members demanded their slices, so
+// elision can never admit an access the per-member guards would have
+// denied. The runtime counts the subsumed members (the cover's constant
+// `elided` argument) so per-site accounting does not silently lose them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kop/transform/attestation.hpp"
+#include "kop/transform/pass.hpp"
+
+namespace kop::transform {
+
+struct GuardElideStats {
+  uint64_t clusters_widened = 0;  // same-block clusters -> one cover each
+  uint64_t guards_hoisted = 0;    // loop-header guards moved to preheaders
+  uint64_t guards_elided = 0;     // member guards subsumed beyond covers
+  uint64_t covers_emitted = 0;    // carat_guard_range calls created
+};
+
+/// Widen same-block clusters of carat_guard calls over one root object
+/// into a single covering carat_guard_range, and hoist loop-invariant
+/// loop-header guards into the unique preheader. Run LAST in the pipeline:
+/// it consumes the guard placement every earlier pass settled on.
+class GuardElidePass : public ModulePass {
+ public:
+  std::string_view name() const override { return "carat-guard-elide"; }
+  Status Run(kir::Module& module) override;
+
+  const GuardElideStats& stats() const { return stats_; }
+  /// One record per emitted cover, with final site ids / instruction
+  /// indices (resolved after all rewrites). Feed into the attestation.
+  const std::vector<ElisionRecord>& provenance() const { return provenance_; }
+
+ private:
+  GuardElideStats stats_;
+  std::vector<ElisionRecord> provenance_;
+};
+
+}  // namespace kop::transform

@@ -21,10 +21,14 @@ struct GuardSite {
                               // matches the interpreter's call-site channel
   std::string function;       // defining function name (no "@")
   uint32_t inst_index = 0;    // instruction index within the function
-  uint32_t access_size = 0;   // guarded access width; 0 if non-constant
+  uint32_t access_size = 0;   // guarded access width (covering span for
+                              // range guards); 0 if non-constant
   uint32_t access_flags = 0;  // kGuardAccessRead/Write; intrinsic id for
                               // intrinsic guards
   bool is_intrinsic = false;  // carat_intrinsic_guard vs carat_guard
+  bool is_range = false;      // carat_guard_range (elision-pass cover)
+  uint32_t elided = 0;        // range guards: member accesses subsumed
+                              // beyond the cover (the constant 4th arg)
 
   bool operator==(const GuardSite& other) const = default;
 };

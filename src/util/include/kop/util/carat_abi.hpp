@@ -21,6 +21,18 @@ inline constexpr const char* kCaratGuardSymbol = "carat_guard";
 inline constexpr const char* kCaratIntrinsicGuardSymbol =
     "carat_intrinsic_guard";
 
+/// Covering-interval guard emitted by the proof-driven elision pass:
+///
+///   void carat_guard_range(void* addr, size_t size, int access_flags,
+///                          size_t elided);
+///
+/// One check over [addr, addr+size) whose flags are the union of the
+/// member accesses it covers; `elided` is the number of original guard
+/// calls this check subsumes beyond itself (for guard.elided accounting).
+/// The attestation's elision-provenance table names the member sites so
+/// the static verifier can re-prove the covering claim at insmod.
+inline constexpr const char* kCaratGuardRangeSymbol = "carat_guard_range";
+
 /// access_flags bits.
 inline constexpr uint64_t kGuardAccessRead = 1u << 0;
 inline constexpr uint64_t kGuardAccessWrite = 1u << 1;

@@ -26,12 +26,17 @@
 #include "kop/kir/vm.hpp"
 #include "kop/kirmods/corpus.hpp"
 #include "kop/nic/e1000_device.hpp"
+#include "kop/policy/engine.hpp"
 #include "kop/policy/policy_module.hpp"
+#include "kop/policy/region_table.hpp"
 #include "kop/signing/signer.hpp"
+#include "kop/transform/attestation.hpp"
 #include "kop/transform/compiler.hpp"
 #include "kop/transform/guard_sites.hpp"
+#include "kop/trace/metrics.hpp"
 #include "kop/trace/site.hpp"
 #include "kop/util/bits.hpp"
+#include "kop/util/carat_abi.hpp"
 
 namespace kop {
 namespace {
@@ -518,7 +523,25 @@ TEST(BytecodeTest, DisassemblyListsGuardsAndFunctions) {
   const std::string listing = kir::DisassembleBytecode(*bytecode);
   EXPECT_NE(listing.find("func @rb_push"), std::string::npos);
   EXPECT_NE(listing.find("[guard]"), std::string::npos);
-  EXPECT_NE(listing.find("guard @carat_guard"), std::string::npos);
+  EXPECT_NE(listing.find("guard.inline @carat_guard"), std::string::npos);
+}
+
+TEST(BytecodeTest, DisassemblyListsRangeGuardCovers) {
+  // memcopy's duplicate @copied loads widen into carat_guard_range
+  // covers, which must lower to the dedicated guard.range op.
+  transform::CompileOptions options;
+  options.elide_guards = true;
+  auto compiled =
+      transform::CompileModuleText(kirmods::MemcopySource(), options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto parsed = ParseModule(compiled->text);
+  ASSERT_TRUE(parsed.ok());
+  auto bytecode = kir::CompileToBytecode(**parsed);
+  ASSERT_TRUE(bytecode.ok());
+  const std::string listing = kir::DisassembleBytecode(*bytecode);
+  EXPECT_NE(listing.find("[range-guard]"), std::string::npos);
+  EXPECT_NE(listing.find("guard.range @carat_guard_range"),
+            std::string::npos);
 }
 
 TEST(BytecodeTest, CompileRejectsNothingInCorpus) {
@@ -693,6 +716,245 @@ TEST(EngineLoaderDifferentialTest,
   EXPECT_FALSE(a.ok());
   EXPECT_FALSE(b.ok());
   EXPECT_EQ(a.status().ToString(), b.status().ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Elision differential: covers must be observationally invisible
+// ---------------------------------------------------------------------------
+
+signing::SignedModule CompileAndSignElide(const std::string& source,
+                                          bool elide) {
+  transform::CompileOptions options;
+  options.elide_guards = elide;
+  auto compiled = transform::CompileModuleText(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return signing::SignModule(compiled->text, compiled->attestation,
+                             signing::SigningKey::DevelopmentKey());
+}
+
+// Every (engine, elision) leg must return the same values and verdicts,
+// and the elided accounting must make the access totals line up: for
+// widening-only modules, guard_calls + elided on an elided build equals
+// guard_calls on the unelided build of the same workload.
+TEST(ElisionDifferentialTest, ResultsAndAccountingMatchAcrossLegs) {
+  const std::pair<std::string, std::string> modules[] = {
+      {"kop_memcopy", kirmods::MemcopySource()},
+      {"kop_ringbuf", kirmods::RingbufSource()},
+  };
+  for (const auto& [name, source] : modules) {
+    SCOPED_TRACE(name);
+
+    struct Leg {
+      kernel::ExecEngine engine;
+      bool elide;
+    };
+    const Leg legs[] = {
+        {kernel::ExecEngine::kInterp, false},
+        {kernel::ExecEngine::kInterp, true},
+        {kernel::ExecEngine::kBytecode, false},
+        {kernel::ExecEngine::kBytecode, true},
+    };
+    std::vector<std::vector<std::string>> results;
+    std::vector<policy::GuardStats> stats;
+    for (const Leg& leg : legs) {
+      Stack stack(leg.engine);
+      auto loaded =
+          stack.loader.Insmod(CompileAndSignElide(source, leg.elide));
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      std::vector<std::string> out;
+      for (const ScriptCall& call : ScriptFor(name)) {
+        auto r = (*loaded)->Call(call.function, call.args);
+        out.push_back(r.ok() ? std::to_string(*r)
+                             : r.status().ToString());
+      }
+      results.push_back(std::move(out));
+      stats.push_back(stack.policy->engine().stats());
+    }
+    for (size_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(results[0], results[i]) << "leg " << i;
+      EXPECT_EQ(stats[0].denied, stats[i].denied) << "leg " << i;
+    }
+    // Unelided legs never credit elided accesses; elided legs must
+    // account for every access the unelided build guarded one by one.
+    EXPECT_EQ(stats[0].elided, 0u);
+    EXPECT_EQ(stats[2].elided, 0u);
+    EXPECT_EQ(stats[0].guard_calls, stats[2].guard_calls);
+    EXPECT_EQ(stats[1].guard_calls, stats[3].guard_calls);
+    EXPECT_EQ(stats[1].guard_calls + stats[1].elided, stats[0].guard_calls);
+    EXPECT_EQ(stats[3].guard_calls + stats[3].elided, stats[2].guard_calls);
+    if (name == "kop_memcopy") {
+      // memcopy's duplicate @copied loads widen: covers must actually
+      // have fired, or this test proves nothing.
+      EXPECT_GT(stats[1].elided, 0u);
+      EXPECT_GT(stats[3].elided, 0u);
+    }
+  }
+}
+
+// Containment with elision on and off: a denial that lands mid-loop
+// must roll back every journaled write identically, quarantine the
+// module identically, and report the same violating access.
+TEST(ElisionDifferentialTest, ContainmentRollbackIdenticalWithElision) {
+  struct Leg {
+    std::string error;
+    std::string reason;
+    std::vector<uint8_t> dst;
+    uint64_t copied = 0;
+    bool quarantined = false;
+  };
+  std::vector<Leg> legs;
+  for (const bool elide : {false, true}) {
+    for (const kernel::ExecEngine engine :
+         {kernel::ExecEngine::kInterp, kernel::ExecEngine::kBytecode}) {
+      Stack stack(engine);
+      auto& engine_ref = stack.policy->engine();
+      engine_ref.SetViolationAction(policy::ViolationAction::kQuarantine);
+      stack.loader.set_recovery_policy(
+          resilience::RecoveryPolicy::kQuarantine);
+      auto loaded = stack.loader.Insmod(
+          CompileAndSignElide(kirmods::MemcopySource(), elide));
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+      auto src = (*loaded)->GlobalAddress("src");
+      auto dst = (*loaded)->GlobalAddress("dst");
+      auto copied = (*loaded)->GlobalAddress("copied");
+      ASSERT_TRUE(src.ok() && dst.ok() && copied.ok());
+      // Allow src and the counter fully, but only the first 64 bytes of
+      // dst: copy(16) denies on its 9th store, after 8 journaled
+      // iterations that containment must undo.
+      engine_ref.SetMode(policy::PolicyMode::kDefaultDeny);
+      ASSERT_TRUE(engine_ref.store()
+                      .Add(policy::Region{*src, 4096, policy::kProtRW})
+                      .ok());
+      ASSERT_TRUE(engine_ref.store()
+                      .Add(policy::Region{*copied, 8, policy::kProtRW})
+                      .ok());
+      ASSERT_TRUE(engine_ref.store()
+                      .Add(policy::Region{*dst, 64, policy::kProtRW})
+                      .ok());
+
+      ASSERT_TRUE((*loaded)->Call("fill", {16, 7}).ok());
+      auto denied = (*loaded)->Call("copy", {16});
+      ASSERT_FALSE(denied.ok());
+
+      Leg leg;
+      leg.error = denied.status().ToString();
+      leg.reason = (*loaded)->quarantine_reason();
+      leg.quarantined = (*loaded)->quarantined();
+      leg.dst.resize(128);
+      ASSERT_TRUE(
+          stack.kernel.mem().Read(*dst, leg.dst.data(), leg.dst.size()).ok());
+      auto counter = stack.kernel.mem().Read64(*copied);
+      ASSERT_TRUE(counter.ok());
+      leg.copied = *counter;
+      legs.push_back(std::move(leg));
+    }
+  }
+  ASSERT_EQ(legs.size(), 4u);
+  for (const Leg& leg : legs) {
+    EXPECT_TRUE(leg.quarantined);
+    // Rollback restored call-entry state: no dst bytes survive, and the
+    // counter is back to zero despite 8 committed-then-undone bumps.
+    EXPECT_EQ(leg.dst, std::vector<uint8_t>(128, 0));
+    EXPECT_EQ(leg.copied, 0u);
+  }
+  // Same engine, different elision: the violating access (addr, size,
+  // flags) is identical; only the site label may differ because site
+  // numbering shifts when member guards vanish.
+  const auto access_of = [](const std::string& error) {
+    return error.substr(0, error.find(" from "));
+  };
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(access_of(legs[0].error), access_of(legs[i].error)) << i;
+  }
+  // Within one elision setting the engines must agree byte for byte.
+  EXPECT_EQ(legs[0].error, legs[1].error);
+  EXPECT_EQ(legs[2].error, legs[3].error);
+  EXPECT_EQ(legs[0].reason, legs[1].reason);
+  EXPECT_EQ(legs[2].reason, legs[3].reason);
+}
+
+// ---------------------------------------------------------------------------
+// The pin/deopt protocol, deterministically
+// ---------------------------------------------------------------------------
+
+// A store mutation between two inline checks must deopt exactly once:
+// the stale pin fails closed (the slow path re-decides), the refresh
+// re-arms the fast path for the rest of the call.
+TEST(ElisionDeoptTest, StoreMutationUnderPinDeoptsOnceThenRecovers) {
+  kernel::Kernel kernel;
+  policy::PolicyEngine engine(&kernel,
+                              std::make_unique<policy::RegionTable64>(),
+                              policy::PolicyMode::kDefaultAllow);
+  engine.SetChargeCycles(false);
+  trace::Counter* deopts = trace::GlobalMetrics().GetCounter("guard.deopt");
+  const uint64_t before = deopts->value();
+
+  // Unpinned: the fast path refuses (not a deopt — there is no pin).
+  EXPECT_FALSE(engine.FastGuard(0x9000, 8, kGuardAccessRead, 0));
+  EXPECT_EQ(deopts->value(), before);
+
+  ASSERT_TRUE(engine.PinFrame());
+  EXPECT_TRUE(engine.FastGuard(0x9000, 8, kGuardAccessRead, 0));
+  EXPECT_TRUE(engine.FastGuardRange(0x9000, 16, kGuardAccessRead, 1, 0));
+
+  // Mutating the live store bumps its generation: the next inline check
+  // must notice the stale pin and bail to the slow path.
+  ASSERT_TRUE(engine.store()
+                  .Add(policy::Region{0x1000, 0x100, policy::kProtNone})
+                  .ok());
+  EXPECT_FALSE(engine.FastGuard(0x9000, 8, kGuardAccessRead, 0));
+  EXPECT_EQ(deopts->value(), before + 1);
+  // The deopt refreshed the pin: fast again, against the new frame.
+  EXPECT_TRUE(engine.FastGuard(0x9000, 8, kGuardAccessRead, 0));
+  EXPECT_FALSE(engine.FastGuard(0x1000, 8, kGuardAccessWrite, 0));
+  engine.UnpinFrame();
+
+  // Elided accesses surfaced in the fold.
+  EXPECT_EQ(engine.stats().elided, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Forged elision provenance is rejected at insmod
+// ---------------------------------------------------------------------------
+
+TEST(ElisionProvenanceTest, ForgedAttestationRejectedUnderStaticVerify) {
+  transform::CompileOptions options;
+  options.elide_guards = true;
+  auto compiled =
+      transform::CompileModuleText(kirmods::MemcopySource(), options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_FALSE(compiled->attestation.elisions.empty());
+
+  // Forge the cover's span: the claim no longer matches the shipped IR,
+  // so even KOP_VERIFY=static (which re-proves coverage instead of
+  // trusting the attestation) must refuse the module.
+  transform::AttestationRecord forged = compiled->attestation;
+  forged.elisions[0].span += 8;
+  const signing::SignedModule image = signing::SignModule(
+      compiled->text, forged, signing::SigningKey::DevelopmentKey());
+
+  for (const kernel::VerifyMode mode :
+       {kernel::VerifyMode::kStatic, kernel::VerifyMode::kBoth,
+        kernel::VerifyMode::kAttest}) {
+    Stack stack(kernel::ExecEngine::kBytecode);
+    stack.loader.set_verify_mode(mode);
+    auto loaded = stack.loader.Insmod(image);
+    EXPECT_FALSE(loaded.ok()) << kernel::VerifyModeName(mode);
+  }
+
+  // The untampered image loads in every mode.
+  const signing::SignedModule good = signing::SignModule(
+      compiled->text, compiled->attestation,
+      signing::SigningKey::DevelopmentKey());
+  for (const kernel::VerifyMode mode :
+       {kernel::VerifyMode::kStatic, kernel::VerifyMode::kBoth,
+        kernel::VerifyMode::kAttest}) {
+    Stack stack(kernel::ExecEngine::kBytecode);
+    stack.loader.set_verify_mode(mode);
+    EXPECT_TRUE(stack.loader.Insmod(good).ok())
+        << kernel::VerifyModeName(mode);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kop/kernel/kernel.hpp"
@@ -26,6 +28,7 @@
 #include "kop/smp/cpu.hpp"
 #include "kop/smp/executor.hpp"
 #include "kop/smp/rcu.hpp"
+#include "kop/trace/metrics.hpp"
 #include "kop/trace/trace.hpp"
 #include "kop/transform/compiler.hpp"
 
@@ -182,17 +185,107 @@ TEST(SmpTest, PerCpuGuardCountsSumToGlobalExactly) {
       summed.denied += slice.denied;
       summed.intrinsic_calls += slice.intrinsic_calls;
       summed.intrinsic_denied += slice.intrinsic_denied;
+      summed.elided += slice.elided;
     }
     EXPECT_EQ(total.guard_calls, summed.guard_calls);
     EXPECT_EQ(total.allowed, summed.allowed);
     EXPECT_EQ(total.denied, summed.denied);
     EXPECT_EQ(total.intrinsic_calls, summed.intrinsic_calls);
     EXPECT_EQ(total.intrinsic_denied, summed.intrinsic_denied);
+    EXPECT_EQ(total.elided, summed.elided);
 
-    // bump guards one load + one store per iteration: exact total.
-    EXPECT_EQ(total.guard_calls, kCpus * kCallsPerCpu * kIters * 2);
+    // bump guards one load + one store per iteration. The load (flags 1)
+    // and store (flags 2) never widen into one cover — flags must match
+    // exactly — so guard_calls + elided is the exact access total on
+    // every elision setting, with elided pinned at zero here.
+    EXPECT_EQ(total.guard_calls + total.elided,
+              kCpus * kCallsPerCpu * kIters * 2);
+    EXPECT_EQ(total.elided, 0u);
     EXPECT_EQ(total.allowed + total.denied, total.guard_calls);
     EXPECT_EQ(total.denied, 0u);
+  }
+}
+
+// --------------------------------------- inline-guard deopt under swap
+
+// Store structure swaps mid-workload must deopt the pinned inline fast
+// path, never corrupt verdicts or counts. Worker CPUs hammer bump()
+// back-to-back while CPU 0 swaps the policy store repeatedly; each swap
+// republishes a frame with a fresh generation while workers hold pins
+// from before the swap, so their next inline guard bails to the slow
+// path (counted once there — totals stay exact) and repins.
+TEST(SmpTest, StoreSwapMidWorkloadDeoptsInlineGuardsAndStaysExact) {
+  constexpr uint32_t kCpus = 4;
+  constexpr uint64_t kIters = 20000;  // long calls, so swaps land mid-call
+  constexpr uint64_t kCallsPerCpu = 12;
+  constexpr int kSwaps = 4;
+  constexpr uint64_t kWorkerCalls = (kCpus - 1) * kCallsPerCpu;
+  for (ExecEngine engine : kEngines) {
+    Rig rig(engine);
+    ASSERT_TRUE(rig.loader.PrepareCpus(kCpus).ok());
+    rig.policy->engine().ResetStats();
+    const uint64_t deopts_before =
+        trace::GlobalMetrics().GetCounter("guard.deopt")->value();
+
+    std::atomic<uint64_t> completed{0};
+    smp::RunOnCpus(kCpus, [&](uint32_t cpu) {
+      if (cpu == 0) {
+        uint64_t next_sliver = 0x1000;
+        for (int swap = 0; swap < kSwaps; ++swap) {
+          // SwapStore blocks for the RCU grace period, which in-flight
+          // pinned calls hold for their whole duration — so every swap
+          // overlaps the workers' calls by construction.
+          (void)rig.policy->engine().SwapStore(
+              std::make_unique<policy::RegionTable64>());
+          // Distinct per-swap Add counts keep the new store's generation
+          // from ever aliasing a worker's pinned generation (ABA). The
+          // slivers sit in already-denied user space the workload never
+          // touches; bases are globally unique because SwapStore carries
+          // regions over and identical regions are rejected.
+          for (int add = 0; add <= swap; ++add) {
+            ASSERT_TRUE(rig.policy->engine()
+                            .store()
+                            .Add(policy::Region{next_sliver, 0x8,
+                                                policy::kProtNone})
+                            .ok());
+            next_sliver += 0x10;
+          }
+          // Pace the swaps across the workload: wait for another worker
+          // call to retire (or the whole workload to drain) first.
+          const uint64_t seen = completed.load(std::memory_order_acquire);
+          while (completed.load(std::memory_order_acquire) == seen &&
+                 completed.load(std::memory_order_acquire) < kWorkerCalls) {
+            std::this_thread::yield();
+          }
+        }
+        return;
+      }
+      // Fixed call count (the engine budget is engine-lifetime, not
+      // per-call) and no early return: `completed` must always reach
+      // kWorkerCalls or the swapper's pacing wait would never drain.
+      for (uint64_t call = 0; call < kCallsPerCpu; ++call) {
+        auto result = rig.module->Call("bump", {rig.ScratchSlot(cpu), kIters});
+        if (result.ok()) {
+          EXPECT_EQ(*result, kIters) << "cpu " << cpu;
+        } else {
+          ADD_FAILURE() << "cpu " << cpu << ": " << result.status().ToString();
+        }
+        completed.fetch_add(1, std::memory_order_release);
+      }
+    });
+
+    for (uint32_t cpu = 1; cpu < kCpus; ++cpu) {
+      EXPECT_EQ(rig.ReadSlot(cpu), kCallsPerCpu * kIters) << "cpu " << cpu;
+    }
+
+    // Deopted guards are re-decided (and counted) out of line exactly
+    // once, so the global total stays exact across every swap.
+    const policy::GuardStats total = rig.policy->engine().stats();
+    EXPECT_EQ(total.guard_calls, kWorkerCalls * kIters * 2);
+    EXPECT_EQ(total.denied, 0u);
+    EXPECT_GT(trace::GlobalMetrics().GetCounter("guard.deopt")->value(),
+              deopts_before)
+        << kernel::ExecEngineName(engine);
   }
 }
 

@@ -671,5 +671,147 @@ TEST(CompilerTest, SyntheticModuleScales) {
   EXPECT_EQ(output->attestation.guard_count, 10u * 20u);
 }
 
+// ------------------------------------------------------- guard elision --
+
+TEST(GuardElideTest, MemcopyWidensDuplicateClustersIntoCovers) {
+  CompileOptions options;
+  options.elide_guards = true;
+  auto elided = CompileModuleText(kirmods::MemcopySource(), options);
+  ASSERT_TRUE(elided.ok()) << elided.status().ToString();
+  options.elide_guards = false;
+  auto plain = CompileModuleText(kirmods::MemcopySource(), options);
+  ASSERT_TRUE(plain.ok());
+
+  // memcopy has two same-block duplicate-load clusters (@copied in @copy,
+  // %p in @checksum); each widens into one cover subsuming one member.
+  EXPECT_EQ(elided->elide_stats.clusters_widened, 2u);
+  EXPECT_EQ(elided->elide_stats.covers_emitted, 2u);
+  EXPECT_EQ(elided->elide_stats.guards_elided, 2u);
+  EXPECT_EQ(elided->elide_stats.guards_hoisted, 0u);
+
+  // Every subsumed guard shows up in the site-count delta — elision never
+  // makes an access disappear from the attribution table silently.
+  EXPECT_EQ(
+      elided->attestation.sites.size() + elided->elide_stats.guards_elided,
+      plain->attestation.sites.size());
+
+  ASSERT_EQ(elided->attestation.elisions.size(), 2u);
+  for (const ElisionRecord& rec : elided->attestation.elisions) {
+    EXPECT_EQ(rec.kind, "widen");
+    EXPECT_EQ(rec.span, 8u);
+    EXPECT_EQ(rec.flags, 1u);  // both clusters are loads
+    ASSERT_EQ(rec.members.size(), 2u);
+    for (const ElisionMember& member : rec.members) {
+      EXPECT_EQ(member.offset, 0u);
+      EXPECT_EQ(member.size, 8u);
+      EXPECT_EQ(member.flags, 1u);
+    }
+    // The cover site exists in the table with the matching constants.
+    ASSERT_LT(rec.site_id, elided->attestation.sites.size());
+    const GuardSite& site = elided->attestation.sites[rec.site_id];
+    EXPECT_TRUE(site.is_range);
+    EXPECT_EQ(site.access_size, rec.span);
+    EXPECT_EQ(site.elided, 1u);
+  }
+
+  // The provenance re-proves against sites enumerated from the IR itself.
+  const std::vector<GuardSite> sites = EnumerateGuardSites(*elided->module);
+  EXPECT_TRUE(VerifyElisionProvenance(elided->attestation, sites).ok());
+}
+
+TEST(GuardElideTest, HoistsLoopInvariantHeaderGuardIntoPreheader) {
+  // A loop-header guard on a loop-invariant address with a unique
+  // preheader: elision moves the check out of the loop as a one-member
+  // cover (elided = 0 — nothing subsumed, the check just runs once).
+  const char* source = R"(module "m"
+global @g size 8 rw
+
+func @spin(i64 %n) -> i64 {
+entry:
+  jmp head
+head:
+  %i = phi i64 [ 0, entry ], [ %i1, head ]
+  %v = load i64, @g
+  %i1 = add i64 %i, 1
+  %done = icmp uge i64 %i1, %n
+  br %done, out, head
+out:
+  ret i64 %v
+}
+)";
+  CompileOptions options;
+  options.elide_guards = true;
+  auto output = CompileModuleText(source, options);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  EXPECT_EQ(output->elide_stats.guards_hoisted, 1u);
+  EXPECT_EQ(output->elide_stats.covers_emitted, 1u);
+  EXPECT_EQ(output->elide_stats.clusters_widened, 0u);
+  EXPECT_EQ(output->elide_stats.guards_elided, 0u);
+
+  ASSERT_EQ(output->attestation.elisions.size(), 1u);
+  const ElisionRecord& rec = output->attestation.elisions[0];
+  EXPECT_EQ(rec.kind, "hoist");
+  EXPECT_EQ(rec.function, "spin");
+  EXPECT_EQ(rec.span, 8u);
+  EXPECT_EQ(rec.flags, 1u);
+  ASSERT_EQ(rec.members.size(), 1u);
+  EXPECT_EQ(rec.members[0], (ElisionMember{0, 8, 1}));
+
+  const std::vector<GuardSite> sites = EnumerateGuardSites(*output->module);
+  ASSERT_LT(rec.site_id, sites.size());
+  EXPECT_TRUE(sites[rec.site_id].is_range);
+  EXPECT_EQ(sites[rec.site_id].elided, 0u);
+  EXPECT_TRUE(VerifyElisionProvenance(output->attestation, sites).ok());
+}
+
+TEST(AttestationTest, ElisionProvenanceRoundTrips) {
+  CompileOptions options;
+  options.elide_guards = true;
+  auto output = CompileModuleText(kirmods::MemcopySource(), options);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_FALSE(output->attestation.elisions.empty());
+
+  auto parsed = AttestationRecord::Deserialize(output->attestation.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->sites, output->attestation.sites);
+  EXPECT_EQ(parsed->elisions, output->attestation.elisions);
+}
+
+TEST(ElisionProvenanceTest, VerifierRejectsForgedRecords) {
+  CompileOptions options;
+  options.elide_guards = true;
+  auto output = CompileModuleText(kirmods::MemcopySource(), options);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  const std::vector<GuardSite> sites = EnumerateGuardSites(*output->module);
+  ASSERT_TRUE(VerifyElisionProvenance(output->attestation, sites).ok());
+
+  {  // Claimed span disagrees with the cover in the IR.
+    AttestationRecord forged = output->attestation;
+    forged.elisions[0].span += 8;
+    EXPECT_FALSE(VerifyElisionProvenance(forged, sites).ok());
+  }
+  {  // Dropped member: elided count no longer matches.
+    AttestationRecord forged = output->attestation;
+    forged.elisions[0].members.pop_back();
+    EXPECT_FALSE(VerifyElisionProvenance(forged, sites).ok());
+  }
+  {  // Member flags escalate beyond what the cover checks.
+    AttestationRecord forged = output->attestation;
+    forged.elisions[0].members[0].flags |= 2;
+    EXPECT_FALSE(VerifyElisionProvenance(forged, sites).ok());
+  }
+  {  // Duplicate provenance for one cover.
+    AttestationRecord forged = output->attestation;
+    forged.elisions.push_back(forged.elisions[0]);
+    EXPECT_FALSE(VerifyElisionProvenance(forged, sites).ok());
+  }
+  {  // Record names a site that does not exist in the shipped IR.
+    AttestationRecord forged = output->attestation;
+    forged.elisions[0].site_id = 9999;
+    EXPECT_FALSE(VerifyElisionProvenance(forged, sites).ok());
+  }
+}
+
 }  // namespace
 }  // namespace kop::transform

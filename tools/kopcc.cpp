@@ -4,11 +4,13 @@
 // containers, and inspects/validates existing containers.
 //
 //   kopcc compile <in.kir> -o <out.kko> [--no-guards] [--simplify]
-//         [--wrap-priv] [--coalesce] [--dominate]
+//         [--wrap-priv] [--coalesce] [--dominate] [--elide|--no-elide]
 //         [--key-id <id> --key-secret <secret>]
 //   kopcc inspect <in.kko>          # header, attestation, disassembly
-//         [--sites]                 # guard-site table only
-//         [--bytecode]              # register-VM bytecode listing
+//         [--sites]                 # guard-site table, annotated with
+//                                   # each cover's elision proof
+//         [--bytecode]              # register-VM bytecode listing plus
+//                                   # the elision provenance table
 //   kopcc verify <in.kko>           # run the insmod-time validator
 //   kopcc check <in.kir|in.kko> [--json] [compile options]
 //                                   # run the static analyses (guard
@@ -100,6 +102,80 @@ Status WriteFile(const std::string& path, const std::string& content) {
   return OkStatus();
 }
 
+/// How a guard site executes at runtime: "inline" (fast-path range check
+/// in the engine), "cover" (a widened/hoisted carat_guard_range), or
+/// "intrinsic" (privileged-intrinsic gate).
+const char* SiteKindName(const transform::GuardSite& site) {
+  if (site.is_intrinsic) return "intrinsic";
+  if (site.is_range) return "cover";
+  return "inline";
+}
+
+const transform::ElisionRecord* FindElision(
+    const std::vector<transform::ElisionRecord>& elisions, uint32_t site_id) {
+  for (const transform::ElisionRecord& rec : elisions) {
+    if (rec.site_id == site_id) return &rec;
+  }
+  return nullptr;
+}
+
+/// One human-readable proof line for a cover site, e.g.
+///   "widen span=16 flags=1 elided=1: [+0 8B f1] [+8 8B f1]".
+std::string RenderElisionProof(const transform::ElisionRecord& rec) {
+  std::string out = rec.kind + " span=" + std::to_string(rec.span) +
+                    " flags=" + std::to_string(rec.flags) +
+                    " elided=" + std::to_string(rec.members.size() - 1) + ":";
+  for (const transform::ElisionMember& m : rec.members) {
+    out += " [+" + std::to_string(m.offset) + " " + std::to_string(m.size) +
+           "B f" + std::to_string(m.flags) + "]";
+  }
+  return out;
+}
+
+std::string RenderElisionJson(const transform::ElisionRecord& rec) {
+  std::string out = "{\"kind\":\"" + analysis::JsonEscape(rec.kind) +
+                    "\",\"span\":" + std::to_string(rec.span) +
+                    ",\"flags\":" + std::to_string(rec.flags) +
+                    ",\"members\":[";
+  bool first = true;
+  for (const transform::ElisionMember& m : rec.members) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"offset\":" + std::to_string(m.offset) +
+           ",\"size\":" + std::to_string(m.size) +
+           ",\"flags\":" + std::to_string(m.flags) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+/// The annotated guard-site table for check --json: every site with its
+/// runtime kind, and for covers the elision proof the validator re-proved.
+std::string RenderSitesJson(
+    const std::vector<transform::GuardSite>& sites,
+    const std::vector<transform::ElisionRecord>& elisions) {
+  std::string out = "[";
+  bool first = true;
+  for (const transform::GuardSite& site : sites) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"site\":" + std::to_string(site.site_id) +
+           ",\"function\":\"" + analysis::JsonEscape(site.function) +
+           "\",\"inst\":" + std::to_string(site.inst_index) +
+           ",\"kind\":\"" + SiteKindName(site) +
+           "\",\"size\":" + std::to_string(site.access_size) +
+           ",\"flags\":" + std::to_string(site.access_flags) +
+           ",\"elided\":" + std::to_string(site.elided);
+    if (const transform::ElisionRecord* rec =
+            FindElision(elisions, site.site_id)) {
+      out += ",\"proof\":" + RenderElisionJson(*rec);
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
 int Compile(const std::vector<std::string>& args) {
   std::string input;
   std::string output;
@@ -120,6 +196,10 @@ int Compile(const std::vector<std::string>& args) {
       options.coalesce_guards = true;
     } else if (arg == "--dominate") {
       options.dominate_guards = true;
+    } else if (arg == "--elide") {
+      options.elide_guards = true;
+    } else if (arg == "--no-elide") {
+      options.elide_guards = false;
     } else if (arg == "--key-id" && i + 1 < args.size()) {
       key.key_id = args[++i];
     } else if (arg == "--key-secret" && i + 1 < args.size()) {
@@ -149,12 +229,21 @@ int Compile(const std::vector<std::string>& args) {
   if (Status status = WriteFile(output, image.Serialize()); !status.ok()) {
     return Fail(status.ToString());
   }
-  std::printf("kopcc: %s -> %s (%llu guards%s, key %s)\n", input.c_str(),
+  std::string elide_note;
+  if (compiled->elide_stats.covers_emitted != 0) {
+    elide_note = ", " + std::to_string(compiled->elide_stats.clusters_widened) +
+                 " widened + " +
+                 std::to_string(compiled->elide_stats.guards_hoisted) +
+                 " hoisted -> " +
+                 std::to_string(compiled->elide_stats.covers_emitted) +
+                 " covers";
+  }
+  std::printf("kopcc: %s -> %s (%llu guards%s%s, key %s)\n", input.c_str(),
               output.c_str(),
               static_cast<unsigned long long>(
                   compiled->attestation.guard_count),
               compiled->attestation.guards_optimized ? ", optimized" : "",
-              key.key_id.c_str());
+              elide_note.c_str(), key.key_id.c_str());
   return 0;
 }
 
@@ -186,6 +275,19 @@ int Inspect(const std::vector<std::string>& args) {
     auto bytecode = kir::CompileToBytecode(**module);
     if (!bytecode.ok()) return Fail(bytecode.status().ToString());
     std::fputs(kir::DisassembleBytecode(*bytecode).c_str(), stdout);
+    // guard.range ops in the listing carry a proof obligation; print the
+    // attested provenance so the listing is auditable on its own.
+    if (auto attestation = transform::AttestationRecord::Deserialize(
+            image->attestation_text);
+        attestation.ok() && !attestation->elisions.empty()) {
+      std::printf("--- elision provenance (%zu covers) ---\n",
+                  attestation->elisions.size());
+      for (const transform::ElisionRecord& rec : attestation->elisions) {
+        std::printf("site %u @%s inst %u: %s\n", rec.site_id,
+                    rec.function.c_str(), rec.inst_index,
+                    RenderElisionProof(rec).c_str());
+      }
+    }
     return 0;
   }
   if (sites_only) {
@@ -201,12 +303,16 @@ int Inspect(const std::vector<std::string>& args) {
     }
     std::printf("%zu guard sites in '%s':\n", sites.size(),
                 attestation->module_name.c_str());
-    std::printf("site  call  inst  kind       size  flags  function\n");
+    std::printf("site  call  inst  kind       size  flags  elided  function\n");
     for (const transform::GuardSite& site : sites) {
-      std::printf("%-5u %-5llu %-5u %-10s %-5u %-6u @%s\n", site.site_id,
+      std::printf("%-5u %-5llu %-5u %-10s %-5u %-6u %-7u @%s\n", site.site_id,
                   static_cast<unsigned long long>(site.call_ordinal),
-                  site.inst_index, site.is_intrinsic ? "intrinsic" : "guard",
-                  site.access_size, site.access_flags, site.function.c_str());
+                  site.inst_index, SiteKindName(site), site.access_size,
+                  site.access_flags, site.elided, site.function.c_str());
+      if (const transform::ElisionRecord* rec =
+              FindElision(attestation->elisions, site.site_id)) {
+        std::printf("      proof: %s\n", RenderElisionProof(*rec).c_str());
+      }
     }
     return 0;
   }
@@ -251,23 +357,39 @@ int Verify(const std::vector<std::string>& args) {
   return 0;
 }
 
+struct CheckResult {
+  analysis::AnalysisReport report;
+  std::vector<transform::GuardSite> sites;
+  std::vector<transform::ElisionRecord> elisions;
+};
+
 /// Analyze module source: a .kko container is analyzed exactly as
 /// shipped; anything else is treated as KIR source and compiled first.
-Result<analysis::AnalysisReport> CheckOne(const std::string& content,
-                                          const transform::CompileOptions&
-                                              options) {
+/// The guard-site table and elision provenance travel along so check
+/// output can annotate each site with its runtime kind and cover proof.
+Result<CheckResult> CheckOne(const std::string& content,
+                             const transform::CompileOptions& options) {
+  CheckResult out;
   std::string module_text;
   if (auto image = signing::SignedModule::Deserialize(content); image.ok()) {
     module_text = image->module_text;
+    if (auto attestation = transform::AttestationRecord::Deserialize(
+            image->attestation_text);
+        attestation.ok()) {
+      out.elisions = attestation->elisions;
+    }
   } else {
     auto compiled = transform::CompileModuleText(content, options);
     if (!compiled.ok()) return compiled.status();
     module_text = compiled->text;
+    out.elisions = compiled->attestation.elisions;
   }
   auto module = kir::ParseModule(module_text);
   if (!module.ok()) return module.status();
   KOP_RETURN_IF_ERROR(kir::VerifyModule(**module));
-  return analysis::AnalyzeModule(**module);
+  out.sites = transform::EnumerateGuardSites(**module);
+  out.report = analysis::AnalyzeModule(**module);
+  return out;
 }
 
 int Check(const std::vector<std::string>& args) {
@@ -290,6 +412,10 @@ int Check(const std::vector<std::string>& args) {
       options.coalesce_guards = true;
     } else if (arg == "--dominate") {
       options.dominate_guards = true;
+    } else if (arg == "--elide") {
+      options.elide_guards = true;
+    } else if (arg == "--no-elide") {
+      options.elide_guards = false;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown check option '" + arg + "'");
     } else if (input.empty()) {
@@ -324,10 +450,10 @@ int Check(const std::vector<std::string>& args) {
       }
     };
     for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
-      auto report = CheckOne(entry.source, options);
-      if (!report.ok()) return Fail(entry.name + ": " +
-                                    report.status().ToString());
-      record(entry.name, /*expect_clean=*/true, *report);
+      auto checked = CheckOne(entry.source, options);
+      if (!checked.ok()) return Fail(entry.name + ": " +
+                                     checked.status().ToString());
+      record(entry.name, /*expect_clean=*/true, checked->report);
     }
     // Adversarial modules ship pre-placed (wrong) guards: analyze the
     // source as-is, no compile step — the compiler would fix them.
@@ -349,14 +475,25 @@ int Check(const std::vector<std::string>& args) {
   if (input.empty()) return Fail("check takes an input file or --corpus");
   auto content = ReadFile(input);
   if (!content.ok()) return Fail(content.status().ToString());
-  auto report = CheckOne(*content, options);
-  if (!report.ok()) return Fail(report.status().ToString());
+  auto checked = CheckOne(*content, options);
+  if (!checked.ok()) return Fail(checked.status().ToString());
   if (json) {
-    std::printf("%s\n", analysis::RenderJson(*report).c_str());
+    std::printf("{\"report\":%s,\"guard_sites\":%s}\n",
+                analysis::RenderJson(checked->report).c_str(),
+                RenderSitesJson(checked->sites, checked->elisions).c_str());
   } else {
-    std::fputs(analysis::RenderText(*report).c_str(), stdout);
+    std::fputs(analysis::RenderText(checked->report).c_str(), stdout);
+    if (!checked->elisions.empty()) {
+      std::printf("elision provenance (%zu covers):\n",
+                  checked->elisions.size());
+      for (const transform::ElisionRecord& rec : checked->elisions) {
+        std::printf("  site %u @%s inst %u: %s\n", rec.site_id,
+                    rec.function.c_str(), rec.inst_index,
+                    RenderElisionProof(rec).c_str());
+      }
+    }
   }
-  return report->ok() ? 0 : 1;
+  return checked->report.ok() ? 0 : 1;
 }
 
 int Run(const std::vector<std::string>& args) {
@@ -689,7 +826,8 @@ int Stats(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     return Fail(
-        "usage: kopcc compile <in.kir> [-o out.kko] [options] | "
+        "usage: kopcc compile <in.kir> [-o out.kko] [options] "
+        "[--elide|--no-elide] | "
         "inspect [--sites|--bytecode] <in.kko> | verify <in.kko> | "
         "check <in.kir|in.kko> [--json] | check --corpus [--json] | "
         "run <in.kko> [--engine=interp|bytecode] [--entry=fn] [--cpus=N] "
