@@ -1,0 +1,349 @@
+#include "kop/analysis/cfi.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "kop/kir/function.hpp"
+#include "kop/kir/instruction.hpp"
+#include "kop/kir/printer.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::analysis {
+namespace {
+
+// The lattice element for one pointer value: unknown (not yet computed —
+// the optimistic fixpoint start), a finite set of function names, or ⊤.
+struct TargetLattice {
+  bool known = false;
+  bool top = false;
+  std::set<std::string> fns;
+};
+
+TargetLattice MakeTop() {
+  TargetLattice t;
+  t.known = true;
+  t.top = true;
+  return t;
+}
+
+// The call-site signature an indirect call demands of its targets.
+struct SiteSignature {
+  kir::Type ret = kir::Type::kVoid;
+  std::vector<kir::Type> params;
+};
+
+SiteSignature SignatureOf(const kir::Instruction& icall) {
+  SiteSignature sig;
+  sig.ret = icall.type();
+  for (size_t i = 1; i < icall.operand_count(); ++i) {
+    sig.params.push_back(icall.operand(i)->type());
+  }
+  return sig;
+}
+
+bool SignatureCompatible(const kir::Function& fn, const SiteSignature& sig) {
+  if (fn.return_type() != sig.ret) return false;
+  if (fn.arg_count() != sig.params.size()) return false;
+  for (size_t i = 0; i < sig.params.size(); ++i) {
+    if (fn.args()[i]->type() != sig.params[i]) return false;
+  }
+  return true;
+}
+
+// Per-function forward points-to fixpoint over function-pointer values.
+// Mirrors ClassifyPointers (provenance.cpp): optimistic start, monotone
+// degradation toward ⊤, so it terminates.
+std::unordered_map<const kir::Value*, TargetLattice> SolveTargets(
+    const kir::Function& fn) {
+  std::unordered_map<const kir::Value*, TargetLattice> state;
+
+  // Non-instruction values (constants, globals, arguments) are never
+  // traceable to a funcaddr root within the function.
+  auto lookup = [&](const kir::Value* v) -> TargetLattice {
+    if (kir::isa<kir::Instruction>(v)) {
+      auto it = state.find(v);
+      return it == state.end() ? TargetLattice{} : it->second;
+    }
+    return MakeTop();
+  };
+
+  auto join = [](TargetLattice a, const TargetLattice& b) {
+    if (!b.known) return a;  // optimistic: skip not-yet-computed inputs
+    if (!a.known) return b;
+    if (a.top || b.top) return MakeTop();
+    a.fns.insert(b.fns.begin(), b.fns.end());
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& block : fn.blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->type() != kir::Type::kPtr) continue;
+        TargetLattice next;
+        switch (inst->opcode()) {
+          case kir::Opcode::kFuncAddr:
+            next.known = true;
+            next.fns.insert(inst->callee());
+            break;
+          case kir::Opcode::kPhi: {
+            for (const kir::Value* in : inst->operands()) {
+              next = join(next, lookup(in));
+            }
+            if (!next.known) continue;  // all inputs pending; retry
+            break;
+          }
+          case kir::Opcode::kSelect: {
+            next = join(lookup(inst->operand(1)), lookup(inst->operand(2)));
+            if (!next.known) continue;
+            break;
+          }
+          default:
+            // load, gep, inttoptr, alloca, call results: the pointer was
+            // laundered through memory or arithmetic — ⊤.
+            next = MakeTop();
+            break;
+        }
+        TargetLattice& cur = state[inst.get()];
+        if (!cur.known || cur.top != next.top || cur.fns != next.fns) {
+          // Monotone: unknown -> finite -> ⊤, and finite sets only grow.
+          cur = std::move(next);
+          changed = true;
+        }
+      }
+    }
+  }
+  return state;
+}
+
+std::string Trimmed(std::string text) {
+  const size_t begin = text.find_first_not_of(" \t\n");
+  const size_t end = text.find_last_not_of(" \t\n");
+  if (begin == std::string::npos) return "";
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+bool IsExportedKernelEntry(const std::string& name) {
+  // The exported kernel API indirect calls may target through the gate.
+  // Mirrors the privileged-lint whitelist minus the guard/CFI symbols:
+  // policy-module entry points are direct-call-only by construction.
+  static const char* const kExported[] = {"printk_str", "kmalloc", "kfree"};
+  for (const char* known : kExported) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+CfiSummary DeriveCfi(const kir::Module& module) {
+  CfiSummary summary;
+
+  // The address-taken set: every function (defined or declared) named by
+  // a funcaddr anywhere in the module — the universe ⊤ resolves against.
+  std::set<std::string> address_taken;
+  for (const auto& fn : module.functions()) {
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kFuncAddr) {
+          address_taken.insert(inst->callee());
+        }
+      }
+    }
+  }
+  summary.address_taken.assign(address_taken.begin(), address_taken.end());
+
+  auto intern_set = [&](CfiTargetSet set) -> uint32_t {
+    for (size_t i = 0; i < summary.sets.size(); ++i) {
+      if (summary.sets[i] == set) return static_cast<uint32_t>(i);
+    }
+    summary.sets.push_back(std::move(set));
+    return static_cast<uint32_t>(summary.sets.size() - 1);
+  };
+
+  uint64_t call_ordinal = 0;
+  for (const auto& fn : module.functions()) {
+    if (fn->is_external() || fn->blocks().empty()) continue;
+    const auto targets = SolveTargets(*fn);
+
+    uint32_t inst_index = 0;
+    for (const auto& block : fn->blocks()) {
+      const kir::Instruction* prev = nullptr;
+      int64_t prev_ordinal = -1;
+      for (const auto& inst : *block) {
+        const bool is_call = inst->opcode() == kir::Opcode::kCall;
+        const bool is_icall = inst->opcode() == kir::Opcode::kCallIndirect;
+        if (is_icall) {
+          const SiteSignature sig = SignatureOf(*inst);
+          const kir::Value* target = inst->operand(0);
+          TargetLattice lat;
+          if (kir::isa<kir::Instruction>(target)) {
+            auto it = targets.find(target);
+            if (it != targets.end()) lat = it->second;
+          }
+          // Unknown (unreachable code) degrades to ⊤ — sound either way.
+          if (!lat.known) lat = MakeTop();
+
+          CfiSite site;
+          site.inst = inst.get();
+          site.function = fn->name();
+          site.block = block->label();
+          site.inst_index = inst_index;
+          site.call_ordinal = call_ordinal;
+          site.derived_top = lat.top;
+
+          CfiTargetSet set;
+          if (lat.top) {
+            for (const std::string& name : address_taken) {
+              const kir::Function* cand = module.FindFunction(name);
+              if (cand != nullptr && SignatureCompatible(*cand, sig)) {
+                set.members.push_back(name);
+              }
+            }
+          } else {
+            for (const std::string& name : lat.fns) {
+              const kir::Function* cand = module.FindFunction(name);
+              if (cand != nullptr && !SignatureCompatible(*cand, sig)) {
+                site.incompatible.push_back(name);
+              } else {
+                set.members.push_back(name);
+              }
+            }
+          }
+          for (const std::string& name : set.members) {
+            const kir::Function* cand = module.FindFunction(name);
+            if (cand != nullptr && cand->is_external()) site.gate = true;
+          }
+          site.set_id = intern_set(std::move(set));
+
+          if (prev != nullptr && prev->opcode() == kir::Opcode::kCall &&
+              prev->callee() == kCaratCfiCheckSymbol &&
+              prev->operand_count() == 2) {
+            site.has_check = true;
+            site.check_ordinal = prev_ordinal;
+            site.check_covers_target = prev->operand(0) == target;
+            if (const auto* id =
+                    kir::dyn_cast<kir::Constant>(prev->operand(1))) {
+              site.check_set_id = static_cast<int64_t>(id->bits());
+            }
+          }
+          summary.sites.push_back(std::move(site));
+        }
+        if (is_call || is_icall) {
+          prev_ordinal = static_cast<int64_t>(call_ordinal);
+          ++call_ordinal;
+        } else {
+          prev_ordinal = -1;
+        }
+        prev = inst.get();
+        ++inst_index;
+      }
+    }
+  }
+  return summary;
+}
+
+void CheckCfi(const kir::Module& module, AnalysisReport& report) {
+  const CfiSummary summary = DeriveCfi(module);
+
+  // The gate lint: an address-taken external symbol must be an exported
+  // kernel entry point, or the icall gate could reach arbitrary kernel
+  // (or policy-module) code the attestation never vouched for.
+  for (const auto& fn : module.functions()) {
+    uint32_t inst_index = 0;
+    for (const auto& block : fn->blocks()) {
+      for (const auto& inst : *block) {
+        if (inst->opcode() == kir::Opcode::kFuncAddr) {
+          const kir::Function* target = module.FindFunction(inst->callee());
+          if (target != nullptr && target->is_external() &&
+              !IsExportedKernelEntry(target->name())) {
+            Diagnostic d;
+            d.severity = Severity::kError;
+            d.analysis = "cfi";
+            d.function = fn->name();
+            d.block = block->label();
+            d.inst_index = inst_index;
+            d.message = "funcaddr of external symbol `" + target->name() +
+                        "` which is not an exported kernel entry point";
+            report.diagnostics.push_back(std::move(d));
+          }
+        }
+        ++inst_index;
+      }
+    }
+  }
+
+  // Completeness is a claim the module makes by importing the check
+  // symbol; modules compiled with KOP_CFI=off load un-gated (notes only).
+  const kir::Function* check_decl = module.FindFunction(kCaratCfiCheckSymbol);
+  const bool claims_cfi = check_decl != nullptr && check_decl->is_external();
+
+  for (const CfiSite& site : summary.sites) {
+    Diagnostic d;
+    d.analysis = "cfi";
+    d.function = site.function;
+    d.block = site.block;
+    d.inst_index = site.inst_index;
+    d.guard_site = static_cast<int64_t>(site.call_ordinal);
+
+    for (const std::string& name : site.incompatible) {
+      Diagnostic bad = d;
+      bad.severity = Severity::kError;
+      bad.message = "indirect call may target `" + name +
+                    "` whose signature is incompatible with this call site";
+      report.diagnostics.push_back(std::move(bad));
+    }
+
+    const CfiTargetSet& set = summary.sets[site.set_id];
+    if (set.members.empty()) {
+      Diagnostic empty = d;
+      empty.severity = Severity::kWarning;
+      empty.message =
+          "indirect call has no legal targets: every execution faults";
+      report.diagnostics.push_back(std::move(empty));
+    }
+
+    if (!claims_cfi) {
+      d.severity = Severity::kNote;
+      d.message =
+          "indirect call is not CFI-gated (module imports no "
+          "carat_cfi_check)";
+      report.diagnostics.push_back(std::move(d));
+      continue;
+    }
+    if (!site.has_check) {
+      d.severity = Severity::kError;
+      d.message = "indirect call without an adjacent carat_cfi_check: `" +
+                  Trimmed(kir::PrintInstruction(*site.inst)) + "`";
+      report.diagnostics.push_back(std::move(d));
+      continue;
+    }
+    if (!site.check_covers_target) {
+      d.severity = Severity::kError;
+      d.message =
+          "carat_cfi_check does not cover the indirect call's target value";
+      report.diagnostics.push_back(std::move(d));
+      continue;
+    }
+    if (site.check_set_id < 0) {
+      d.severity = Severity::kError;
+      d.message = "carat_cfi_check set id is not a constant";
+      report.diagnostics.push_back(std::move(d));
+      continue;
+    }
+    if (site.check_set_id != static_cast<int64_t>(site.set_id)) {
+      std::ostringstream message;
+      message << "carat_cfi_check claims target set " << site.check_set_id
+              << " but the derivation proves set " << site.set_id << " ("
+              << set.members.size() << " legal target(s))";
+      d.severity = Severity::kError;
+      d.message = message.str();
+      report.diagnostics.push_back(std::move(d));
+    }
+  }
+}
+
+}  // namespace kop::analysis

@@ -43,13 +43,15 @@ std::string Trimmed(std::string text) {
 
 void CheckGuardCoverage(const kir::Module& module, AnalysisReport& report) {
   // Module-wide call ordinals, numbered exactly as the guard-site table
-  // (transform::EnumerateGuardSites) numbers them: every kCall counts.
+  // (transform::EnumerateGuardSites) numbers them: every kCall and every
+  // kCallIndirect counts.
   std::unordered_map<const kir::Instruction*, int64_t> call_ordinal;
   int64_t next_ordinal = 0;
   for (const auto& fn : module.functions()) {
     for (const auto& block : fn->blocks()) {
       for (const auto& inst : *block) {
-        if (inst->opcode() == kir::Opcode::kCall) {
+        if (inst->opcode() == kir::Opcode::kCall ||
+            inst->opcode() == kir::Opcode::kCallIndirect) {
           call_ordinal[inst.get()] = next_ordinal++;
         }
       }

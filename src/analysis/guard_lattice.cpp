@@ -215,6 +215,13 @@ bool MatchGuardRangeCall(const kir::Instruction& inst, GuardFact* fact) {
 }
 
 void ApplyGuardStep(const kir::Instruction& inst, GuardSet& state) {
+  if (inst.opcode() == kir::Opcode::kCallIndirect) {
+    // An indirect call may reach any address-taken function, and through
+    // a gate extern the policy module itself; conservatively forget
+    // everything, exactly like an unrecognized direct call.
+    state.Clear();
+    return;
+  }
   if (inst.opcode() != kir::Opcode::kCall) return;
   const std::string& callee = inst.callee();
   if (callee == kCaratGuardSymbol) {
@@ -241,6 +248,9 @@ void ApplyGuardStep(const kir::Instruction& inst, GuardSet& state) {
   // none of them can reach the policy module's mutation paths, so guards
   // stay live across them.
   if (kir::IsIntrinsicName(callee)) return;
+  // The CFI check only reads the policy engine's target-set table; it
+  // cannot mutate the region table, so guards stay live across it.
+  if (callee == kCaratCfiCheckSymbol) return;
   // Any other call (intra-module or external) may transitively reach the
   // policy table; conservatively forget everything.
   state.Clear();

@@ -1,0 +1,100 @@
+// kop::cfi — attested call-graph derivation for indirect calls
+// (DESIGN.md §16). One derivation, three consumers:
+//
+//   - the CfiInjectionPass lowers every `icall` to a preceding
+//     carat_cfi_check(target, set_id) against the sets derived here and
+//     records them in the signed attestation,
+//   - kopcc check surfaces the per-site sets as diagnostics/JSON,
+//   - the insmod static verifier re-derives the sets from the shipped IR
+//     and rejects attestations whose claimed sets differ — forged, stale,
+//     or wider-than-proof tables never reach the policy engine.
+//
+// The derivation is a forward points-to fixpoint over function-pointer
+// values: `funcaddr` roots are singletons, phi/select join by union, and
+// anything that launders a pointer through memory or arithmetic
+// (load, inttoptr, gep, call results) degrades to ⊤. ⊤ resolves to the
+// sound over-approximation "every address-taken function whose signature
+// matches the call site" — the classic type-based CFI fallback. External
+// targets are additionally gated: only exported kernel entry points may
+// ever be address-taken (the module<->kernel call gate), so the guard
+// symbols themselves can never become indirect-call targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kop/analysis/diagnostics.hpp"
+#include "kop/kir/instruction.hpp"
+#include "kop/kir/module.hpp"
+
+namespace kop::analysis {
+
+/// One legal-target set: sorted, unique function names (defined or
+/// declared). Sets are deduplicated by content module-wide.
+struct CfiTargetSet {
+  std::vector<std::string> members;
+
+  bool operator==(const CfiTargetSet& other) const {
+    return members == other.members;
+  }
+};
+
+/// One indirect-call site with its derived legal-target set and the
+/// adjacency facts the completeness must-analysis consumes.
+struct CfiSite {
+  std::string function;
+  std::string block;
+  uint32_t inst_index = 0;    // function-wide instruction index of the icall
+  uint64_t call_ordinal = 0;  // module-wide call ordinal of the icall
+  uint32_t set_id = 0;        // index into CfiSummary::sets
+  bool gate = false;          // set names at least one external symbol
+  bool derived_top = false;   // lattice hit ⊤ (type-compatible closure)
+  const kir::Instruction* inst = nullptr;  // the icall, for attribution
+
+  // The instruction immediately before the icall in the same block, when
+  // it is a carat_cfi_check call (the only placement the injection pass
+  // produces and the only one the verifier accepts):
+  bool has_check = false;            // adjacent carat_cfi_check exists
+  bool check_covers_target = false;  // ...and guards the icall's target SSA
+                                     // value (not some other pointer)
+  int64_t check_set_id = -1;   // constant set-id operand, -1 when absent
+                               // or non-constant
+  int64_t check_ordinal = -1;  // module-wide call ordinal of the check
+
+  // Finite-set members dropped because their signature cannot match this
+  // call site (wrong return type or parameter list) — calling one would
+  // fault at dispatch, so CheckCfi reports each as an error.
+  std::vector<std::string> incompatible;
+};
+
+struct CfiSummary {
+  std::vector<CfiTargetSet> sets;  // deduped, first-use order
+  std::vector<CfiSite> sites;      // icalls in module program order
+  std::vector<std::string> address_taken;  // every funcaddr'd name, sorted
+};
+
+/// True when `name` is an exported kernel entry point that indirect calls
+/// may legally target through the module<->kernel call gate. Deliberately
+/// excludes the guard/CFI symbols: policy-module entry points are direct-
+/// call-only.
+bool IsExportedKernelEntry(const std::string& name);
+
+/// Derive the per-indirect-call legal target sets for `module`.
+/// Deterministic: re-running on the same IR (before or after check
+/// injection — checks are plain calls and do not feed the pointer
+/// lattice) yields identical sets and numbering, which is what lets the
+/// insmod verifier compare attested tables by exact equality.
+CfiSummary DeriveCfi(const kir::Module& module);
+
+/// The CFI completeness/structural must-analysis (analysis name "cfi"):
+///   - funcaddr of an external symbol outside the exported-kernel-entry
+///     whitelist -> error,
+///   - finite-set member with an incompatible signature -> error,
+///   - empty legal-target set -> warning,
+///   - when the module imports carat_cfi_check (i.e. claims CFI):
+///     missing/misplaced/mistargeted/mis-numbered checks -> error,
+///   - otherwise each ungated icall -> note.
+void CheckCfi(const kir::Module& module, AnalysisReport& report);
+
+}  // namespace kop::analysis

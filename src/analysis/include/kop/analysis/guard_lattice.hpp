@@ -130,14 +130,17 @@ bool MatchGuardCall(const kir::Instruction& inst, GuardFact* fact);
 /// cover into an interval fact of `span` bytes. False for anything else.
 bool MatchGuardRangeCall(const kir::Instruction& inst, GuardFact* fact);
 
-/// The per-instruction transfer function. Exactly five cases:
+/// The per-instruction transfer function. Exactly seven cases:
 ///   carat_guard with constant operands      -> gen a GuardFact
 ///   carat_guard_range with constant operands-> gen an interval GuardFact
 ///   carat_intrinsic_guard with constant id  -> gen an IntrinsicGuardFact
 ///   kir.* intrinsic call                    -> no effect (the resolver
 ///     dispatches these through the intrinsic table; none can reach the
 ///     policy module's mutation paths)
-///   any other call                          -> kill everything
+///   carat_cfi_check                         -> no effect (reads the
+///     target-set table, never mutates the region table)
+///   any other direct call                   -> kill everything
+///   indirect call                           -> kill everything
 /// Non-call instructions never touch the set.
 void ApplyGuardStep(const kir::Instruction& inst, GuardSet& state);
 

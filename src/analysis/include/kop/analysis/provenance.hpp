@@ -20,6 +20,7 @@ enum class Provenance : uint8_t {
   kLocal,    // alloca in this function
   kGlobal,   // module global (possibly via gep)
   kKernel,   // function argument or external-call result
+  kCode,     // funcaddr — a function address taken for an indirect call
 };
 
 std::string_view ProvenanceName(Provenance provenance);

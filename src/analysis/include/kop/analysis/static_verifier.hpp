@@ -16,12 +16,15 @@ struct StaticVerifyOptions {
   bool provenance = true;
   /// Run the privileged-intrinsic / callee-whitelist lint.
   bool privileged = true;
+  /// Run the CFI completeness/target-set must-analysis (DESIGN.md §16).
+  bool cfi = true;
   PrivilegedLintOptions privileged_options;
 };
 
 /// Run guard-coverage (always) plus the optional checks; diagnostics
-/// arrive in check order: guard-coverage, provenance, privileged. The
-/// report rejects (ok() == false) only on guard-coverage errors unless
+/// arrive in check order: guard-coverage, provenance, privileged, cfi.
+/// The report rejects (ok() == false) on guard-coverage and cfi errors,
+/// and additionally on privileged-lint errors when
 /// `privileged_options.require_wrapped` escalates the lint.
 AnalysisReport AnalyzeModule(const kir::Module& module,
                              const StaticVerifyOptions& options = {});

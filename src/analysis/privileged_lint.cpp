@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "kop/analysis/guard_lattice.hpp"
+#include "kop/analysis/provenance.hpp"
 #include "kop/kir/cfg.hpp"
 #include "kop/kir/intrinsics.hpp"
 #include "kop/util/carat_abi.hpp"
@@ -19,7 +20,7 @@ bool IsWhitelistedExternal(const std::string& name,
       "kfree",
   };
   if (name == kCaratGuardSymbol || name == kCaratGuardRangeSymbol ||
-      name == kCaratIntrinsicGuardSymbol) {
+      name == kCaratIntrinsicGuardSymbol || name == kCaratCfiCheckSymbol) {
     return true;
   }
   for (const char* known : kKnown) {
@@ -44,15 +45,13 @@ void CheckPrivileged(const kir::Module& module, AnalysisReport& report,
 
     const kir::Cfg cfg(*fn);
     const DataflowResult<GuardSet> availability = SolveGuardAvailability(cfg);
+    // Shared with the provenance check: one classification answers both
+    // "store through what?" and "indirect call through what?".
+    const auto pointer_classes = ClassifyPointers(*fn);
 
     for (const kir::BasicBlock* block : cfg.ReversePostorder()) {
       GuardSet state = availability.in.at(block);
       for (const auto& inst : *block) {
-        if (inst->opcode() != kir::Opcode::kCall) {
-          continue;
-        }
-        const std::string& callee = inst->callee();
-
         const auto emit = [&](Severity severity, std::string message) {
           Diagnostic d;
           d.severity = severity;
@@ -63,6 +62,28 @@ void CheckPrivileged(const kir::Module& module, AnalysisReport& report,
           d.message = std::move(message);
           report.diagnostics.push_back(std::move(d));
         };
+
+        if (inst->opcode() == kir::Opcode::kCallIndirect) {
+          // A function pointer that came out of inttoptr / a load / any
+          // other untraceable source is the control-flow twin of a wild
+          // store: flag it here, and let the CFI must-analysis decide
+          // whether a check gates it.
+          const kir::Value* target = inst->operand(0);
+          auto it = pointer_classes.find(target);
+          const Provenance p =
+              it == pointer_classes.end() ? Provenance::kUnknown : it->second;
+          if (p == Provenance::kUnknown) {
+            emit(Severity::kWarning,
+                 "indirect call through a pointer with no traceable "
+                 "provenance (inttoptr or loaded)");
+          }
+          ApplyGuardStep(*inst, state);
+          continue;
+        }
+        if (inst->opcode() != kir::Opcode::kCall) {
+          continue;
+        }
+        const std::string& callee = inst->callee();
 
         if (kir::IsIntrinsicName(callee)) {
           const kir::Intrinsic intrinsic = kir::IntrinsicFromName(callee);

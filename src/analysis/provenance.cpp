@@ -13,6 +13,7 @@ std::string_view ProvenanceName(Provenance provenance) {
     case Provenance::kLocal: return "local";
     case Provenance::kGlobal: return "global";
     case Provenance::kKernel: return "kernel";
+    case Provenance::kCode: return "code";
   }
   return "?";
 }
@@ -84,9 +85,16 @@ std::unordered_map<const kir::Value*, Provenance> ClassifyPointers(
             break;
           }
           case kir::Opcode::kCall:
+          case kir::Opcode::kCallIndirect:
             // A pointer handed back by a callee is kernel-side memory as
             // far as this module can tell (kmalloc and friends).
             next = Provenance::kKernel;
+            break;
+          case kir::Opcode::kFuncAddr:
+            // A taken function address: traceable, but it is code, not
+            // data — indirect calls through it are fine (the CFI check
+            // polices which code), memory accesses through it are not.
+            next = Provenance::kCode;
             break;
           case kir::Opcode::kPhi:
           case kir::Opcode::kSelect: {

@@ -1,5 +1,6 @@
 #include "kop/analysis/static_verifier.hpp"
 
+#include "kop/analysis/cfi.hpp"
 #include "kop/analysis/guard_coverage.hpp"
 #include "kop/analysis/provenance.hpp"
 
@@ -14,6 +15,7 @@ AnalysisReport AnalyzeModule(const kir::Module& module,
   if (options.privileged) {
     CheckPrivileged(module, report, options.privileged_options);
   }
+  if (options.cfi) CheckCfi(module, report);
   return report;
 }
 

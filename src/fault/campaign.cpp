@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "kop/kernel/kernel.hpp"
+#include "kop/kir/module.hpp"
 #include "kop/kirmods/corpus.hpp"
 #include "kop/nic/e1000_device.hpp"
 #include "kop/nic/packet_sink.hpp"
@@ -26,6 +27,7 @@ using kernel::ModuleLoader;
 std::string SourceFor(const std::string& scenario) {
   if (scenario == "ringbuf") return kirmods::RingbufSource();
   if (scenario == "knic") return kirmods::KnicSource();
+  if (scenario == "icall") return kirmods::IcallSource();
   return FaultTargetSource();
 }
 
@@ -171,6 +173,66 @@ Status Inject(TrialContext& ctx) {
       ctx.result.target = "budget " + std::to_string(plan.point) + " steps";
       return OkStatus();
     }
+    case FaultKind::kCallTargetFlip:
+    case FaultKind::kCallTargetForge: {
+      // Control-flow corruption: the fault hook watches only memory ops
+      // landing inside @vtable — the module's function-pointer table —
+      // and corrupts the Nth one. A flip mutates the pointer the
+      // dispatcher loads; a forge rewrites the pointer as it is stored.
+      uint64_t vt_base = 0;
+      uint64_t vt_end = 0;
+      for (const auto& global : ctx.mod->ir().globals()) {
+        if (global->name() != "vtable") continue;
+        auto addr = ctx.mod->GlobalAddress(global->name());
+        if (!addr.ok()) return addr.status();
+        vt_base = *addr;
+        vt_end = *addr + global->size_bytes();
+      }
+      if (vt_end == 0) return Internal("scenario has no @vtable");
+      const bool flip = plan.kind == FaultKind::kCallTargetFlip;
+      const uint64_t nth = plan.point;
+      uint64_t payload = plan.detail;  // flip: bit index
+      std::string label;
+      if (flip) {
+        label = "vtable load #" + std::to_string(nth) + " bit " +
+                std::to_string(payload);
+      } else {
+        switch (plan.detail % 3) {
+          case 0:
+            payload = 0;
+            label = "NULL";
+            break;
+          case 1:
+            payload = 0xdead4bad0f0full;
+            label = "0xdead4bad0f0f";
+            break;
+          default: {
+            // A real, signature-compatible function that is never
+            // address-taken — the precise hijack CFI exists to refuse.
+            const int index = ctx.mod->ir().FunctionIndex("h_spare");
+            if (index < 0) return Internal("icall scenario lost @h_spare");
+            payload = kir::FunctionAddressForIndex(
+                static_cast<size_t>(index));
+            label = "@h_spare";
+            break;
+          }
+        }
+        label = "vtable store #" + std::to_string(nth) + " <- " + label;
+      }
+      auto seen = std::make_shared<uint64_t>(0);
+      ctx.mod->journaled_memory().SetFaultHook(
+          [flip, vt_base, vt_end, nth, payload, seen](
+              bool is_store, uint64_t /*ordinal*/, uint64_t addr,
+              uint64_t value, uint32_t size) -> uint64_t {
+            if (is_store == flip) return value;
+            if (addr < vt_base || addr >= vt_end) return value;
+            if (++*seen != nth) return value;
+            if (flip) return value ^ (uint64_t{1} << (payload % (size * 8)));
+            return payload;
+          });
+      ctx.result.target = label;
+      return OkStatus();
+    }
   }
   return Internal("corrupt fault kind");
 }
@@ -258,6 +320,20 @@ void RunWorkload(TrialContext& ctx) {
       (void)TrialCall(ctx, "knic_send", {kernel::kVmallocBase, 64});
     }
     (void)TrialCall(ctx, "knic_sent_hw", {kernel::kVmallocBase});
+    return;
+  }
+  if (scenario == "icall") {
+    (void)TrialCall(ctx, "vt_init", {});
+    for (uint64_t i = 0; i < 9; ++i) {
+      (void)TrialCall(ctx, "vt_call", {i % 3, i * 5 + 3, i + 1});
+    }
+    (void)TrialCall(ctx, "vt_pick", {0, 7, 2});
+    (void)TrialCall(ctx, "vt_pick", {1, 7, 2});
+    // Direct call so h_spare's guard sites fire too: the spurious-
+    // violation family picks a random site token and its forced deny
+    // must be reachable in every scenario.
+    (void)TrialCall(ctx, "h_spare", {11, 4});
+    (void)TrialCall(ctx, "vt_acc", {});
     return;
   }
   // "faulty": heap churn through the kernel's kmalloc/kfree exports.
@@ -355,6 +431,27 @@ TrialResult RunTrial(const CampaignConfig& config, const FaultPlan& plan,
             : "postmortem bundle captured without containment");
   }
 
+  // Control-flow containment must be attributed as such: the postmortem
+  // of a flipped/forged call target names "cfi", not a generic guard
+  // violation. (With KOP_CFI=off the checks are never injected — the
+  // corruption is an oops the module observes, never a containment — so
+  // the attribution claim is vacuous there.)
+  if ((plan.kind == FaultKind::kCallTargetFlip ||
+       plan.kind == FaultKind::kCallTargetForge) &&
+      ctx->result.contained && transform::DefaultCfiChecks()) {
+    // Under restart recovery the corruption persists across re-inits, so
+    // the FINAL bundle of an exhausted module is "restart-exhausted";
+    // the cfi attribution lives in the earlier per-incident bundles.
+    flight::PostmortemBundle bundle;
+    if (!flight::GlobalPostmortems().Latest(&bundle) ||
+        (bundle.reason != "cfi" && bundle.reason != "restart-exhausted")) {
+      ctx->result.invariant_failures.push_back(
+          "control-flow containment attributed to \"" +
+          (bundle.reason.empty() ? std::string("?") : bundle.reason) +
+          "\" instead of \"cfi\"");
+    }
+  }
+
   if (calibration_out != nullptr) {
     calibration_out->sites = ctx->mod->site_tokens().size();
     calibration_out->loads = ctx->mod->exec_stats().loads;
@@ -401,6 +498,8 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kKmallocFail: return "kmalloc-fail";
     case FaultKind::kWatchdogExpiry: return "watchdog-expiry";
     case FaultKind::kNicTxError: return "nic-tx-error";
+    case FaultKind::kCallTargetFlip: return "call-target-flip";
+    case FaultKind::kCallTargetForge: return "call-target-forge";
   }
   return "?";
 }
@@ -491,7 +590,8 @@ CampaignReport RunCampaign(const CampaignConfig& config) {
 
   // Calibration pass: one fault-free trial per scenario (watchdog budget
   // 0 disables the watchdog) measures the injection-point spaces.
-  const std::vector<std::string> scenarios = {"ringbuf", "faulty", "knic"};
+  const std::vector<std::string> scenarios = {"ringbuf", "faulty", "knic",
+                                              "icall"};
   std::map<std::string, Calibration> calibration;
   for (const std::string& scenario : scenarios) {
     FaultPlan warmup{FaultKind::kWatchdogExpiry, scenario, 0, 0};
@@ -546,6 +646,23 @@ CampaignReport RunCampaign(const CampaignConfig& config) {
     for (int i = 0; i < 20 && cal.stores > 0; ++i) {
       plans.push_back({FaultKind::kNicTxError, "knic",
                        rng.NextInRange(1, cal.stores), rng.NextBelow(64)});
+    }
+  }
+  // Control-flow corruption family: every vtable pointer load of the
+  // icall workload flipped at a seed-chosen bit (plus extra seed-chosen
+  // load/bit pairs), and every vtable slot force-fed each forged target
+  // (NULL, wild, and a real-but-illegal function).
+  for (uint64_t nth = 1; nth <= 9; ++nth) {
+    plans.push_back(
+        {FaultKind::kCallTargetFlip, "icall", nth, rng.NextBelow(64)});
+  }
+  for (int i = 0; i < 12; ++i) {
+    plans.push_back({FaultKind::kCallTargetFlip, "icall",
+                     rng.NextInRange(1, 9), rng.NextBelow(64)});
+  }
+  for (uint64_t nth = 1; nth <= 3; ++nth) {
+    for (uint64_t forge = 0; forge < 3; ++forge) {
+      plans.push_back({FaultKind::kCallTargetForge, "icall", nth, forge});
     }
   }
   // Pad with extra bit flips until the campaign reaches its floor.

@@ -38,16 +38,20 @@ enum class FaultKind : uint8_t {
   kKmallocFail,        // kernel kmalloc returns NULL at the Nth call
   kWatchdogExpiry,     // per-call step budget far below the call's need
   kNicTxError,         // TX descriptor/doorbell store corrupted mid-send
+  kCallTargetFlip,     // single-bit flip on the Nth vtable pointer load
+  kCallTargetForge,    // Nth vtable store replaced with a forged target
 };
 
 std::string_view FaultKindName(FaultKind kind);
 
 /// One planned injection. `point` is kind-specific: a guard-site index,
 /// a memory-op ordinal, a kmalloc call index, or a step budget. `detail`
-/// carries the bit index for flips.
+/// carries the bit index for flips, or the forged-target selector for
+/// kCallTargetForge (0 = NULL, 1 = wild constant, 2 = a real function
+/// outside every legal-target set).
 struct FaultPlan {
   FaultKind kind = FaultKind::kSpuriousViolation;
-  std::string scenario;  // "ringbuf" | "faulty" | "knic"
+  std::string scenario;  // "ringbuf" | "faulty" | "knic" | "icall"
   uint64_t point = 0;
   uint64_t detail = 0;
 };

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace kop::kernel {
 
@@ -43,6 +44,30 @@ class GuardFastOps {
   /// itself (credited to guard.elided on success).
   virtual bool FastGuardRange(uint64_t addr, uint64_t size, uint64_t flags,
                               uint64_t elided, uint64_t site) = 0;
+
+  /// Register a module's attested CFI legal-target sets (each a list of
+  /// simulated function addresses) and return the engine-global base id
+  /// its module-local set ids were rebased by. Virtual-with-default so
+  /// pre-CFI GuardFastOps implementors keep compiling; the default
+  /// accepts nothing and FastCfiCheck's default deopts everything to the
+  /// slow path, which preserves containment semantics exactly.
+  virtual uint64_t RegisterCfiSets(
+      const std::vector<std::vector<uint64_t>>& sets) {
+    (void)sets;
+    return 0;
+  }
+
+  /// Inline check of one indirect-call target against the pinned frame's
+  /// CFI table. Same contract as FastGuard: true = proven a member of
+  /// set `set_id` AND fully accounted; false = caller must take the
+  /// out-of-line carat_cfi_check slow path, which owns violation
+  /// semantics (containment is byte-identical either way).
+  virtual bool FastCfiCheck(uint64_t target, uint64_t set_id, uint64_t site) {
+    (void)target;
+    (void)set_id;
+    (void)site;
+    return false;
+  }
 };
 
 }  // namespace kop::kernel

@@ -352,6 +352,9 @@ class LoadedModule {
   kir::InterpConfig base_config_;
   std::unordered_map<uint64_t, uint64_t> site_token_map_;
   std::unordered_map<std::string, uint64_t> address_map_;
+  /// Engine-global base the module's local CFI set ids are rebased by
+  /// (RegisterCfiSets' return at insmod; 0 for un-gated modules).
+  uint64_t cfi_base_ = 0;
 
   // Cross-CPU containment protocol (see Contain).
   std::atomic<bool> stop_requested_{false};

@@ -25,12 +25,14 @@ class KernelPanic : public std::runtime_error {
 class GuardViolation : public std::runtime_error {
  public:
   GuardViolation(uint64_t addr, uint64_t size, uint64_t access_flags,
-                 uint64_t site = 0)
-      : std::runtime_error("CARAT KOP guard violation"),
+                 uint64_t site = 0, bool is_cfi = false)
+      : std::runtime_error(is_cfi ? "CARAT KOP cfi violation"
+                                  : "CARAT KOP guard violation"),
         addr(addr),
         size(size),
         access_flags(access_flags),
-        site(site) {}
+        site(site),
+        is_cfi(is_cfi) {}
 
   uint64_t addr;
   uint64_t size;
@@ -39,6 +41,11 @@ class GuardViolation : public std::runtime_error {
   /// from; 0 when the guard ran without site context (direct probes).
   /// The loader resolves it to "module:@fn+inst" for the quarantine log.
   uint64_t site;
+  /// True when the violation is a control-flow-integrity denial (a
+  /// carat_cfi_check rejected the indirect-call target); addr then holds
+  /// the rejected target address and size the engine-global set id. The
+  /// loader keys the "cfi" containment reason off this flag.
+  bool is_cfi;
 };
 
 }  // namespace kop::kernel

@@ -98,10 +98,12 @@ class KernelResolver final : public kir::ExternalResolver {
   /// `site_tokens` maps a module-wide call ordinal to the guard-site
   /// token registered for that ordinal's guard call (only guard calls
   /// appear in it).
+  /// `cfi_base` rebases the module's local CFI set ids into the policy
+  /// engine's global table (RegisterCfiSets' return at insmod).
   KernelResolver(Kernel* kernel,
                  const std::unordered_map<uint64_t, uint64_t>& site_tokens,
-                 HeapLedger* ledger)
-      : kernel_(kernel), ledger_(ledger) {
+                 HeapLedger* ledger, uint64_t cfi_base)
+      : kernel_(kernel), ledger_(ledger), cfi_base_(cfi_base) {
     uint64_t max_ordinal = 0;
     for (const auto& [ordinal, token] : site_tokens) {
       max_ordinal = std::max(max_ordinal, ordinal);
@@ -117,9 +119,20 @@ class KernelResolver final : public kir::ExternalResolver {
   Result<uint64_t> CallExternal(const std::string& name,
                                 const std::vector<uint64_t>& args,
                                 uint64_t call_ordinal) override {
-    // Only guard calls carry site attribution; check the (three) guard
+    // Only guard calls carry site attribution; check the (four) guard
     // names before touching the token table so every other external —
     // printk, netdev hooks, ... — pays nothing for this overload.
+    if (name == kCaratCfiCheckSymbol && args.size() == 2) {
+      // CFI checks additionally rebase their module-local set id into
+      // the engine's global table before crossing the symbol boundary.
+      const std::vector<uint64_t> rebased{args[0], args[1] + cfi_base_};
+      const uint64_t token = TokenForOrdinal(call_ordinal);
+      if (token != kNoSiteToken) {
+        trace::ScopedGuardSite scope(token);
+        return CallExternal(name, rebased);
+      }
+      return CallExternal(name, rebased);
+    }
     if (name == kCaratGuardSymbol || name == kCaratGuardRangeSymbol ||
         name == kCaratIntrinsicGuardSymbol) {
       const uint64_t token = TokenForOrdinal(call_ordinal);
@@ -153,6 +166,8 @@ class KernelResolver final : public kir::ExternalResolver {
     if (name == kCaratGuardSymbol || name == kCaratGuardRangeSymbol ||
         name == kCaratIntrinsicGuardSymbol) {
       binding.kind = Binding::Kind::kGuard;
+    } else if (name == kCaratCfiCheckSymbol) {
+      binding.kind = Binding::Kind::kCfi;
     } else if (kernel_->symbols().HasFunction(name)) {
       binding.kind = Binding::Kind::kSymbol;
       if (name == "kmalloc") binding.heap_op = Binding::HeapOp::kMalloc;
@@ -196,6 +211,17 @@ class KernelResolver final : public kir::ExternalResolver {
           }
         }
         return ret;
+      }
+      case Binding::Kind::kCfi: {
+        KOP_ASSIGN_OR_RETURN(const KernelFunction* fn, Revalidate(binding));
+        std::vector<uint64_t> rebased = args;
+        if (rebased.size() >= 2) rebased[1] += cfi_base_;
+        const uint64_t token = TokenForOrdinal(call_ordinal);
+        if (token != kNoSiteToken) {
+          trace::ScopedGuardSite scope(token);
+          return (*fn)(rebased);
+        }
+        return (*fn)(rebased);
       }
       case Binding::Kind::kIntrinsic:
         return CallIntrinsic(binding.intrinsic, args);
@@ -242,9 +268,17 @@ class KernelResolver final : public kir::ExternalResolver {
                                        token == kNoSiteToken ? 0 : token);
   }
 
+  bool FastCfiCheck(uint64_t target, uint64_t set_id,
+                    uint64_t call_ordinal) override {
+    if (pinned_ops_ == nullptr) return false;
+    const uint64_t token = TokenForOrdinal(call_ordinal);
+    return pinned_ops_->FastCfiCheck(target, set_id + cfi_base_,
+                                     token == kNoSiteToken ? 0 : token);
+  }
+
  private:
   struct Binding {
-    enum class Kind : uint8_t { kSymbol, kGuard, kIntrinsic };
+    enum class Kind : uint8_t { kSymbol, kGuard, kIntrinsic, kCfi };
     enum class HeapOp : uint8_t { kNone, kMalloc, kFree };
     Kind kind = Kind::kSymbol;
     HeapOp heap_op = HeapOp::kNone;
@@ -321,6 +355,8 @@ class KernelResolver final : public kir::ExternalResolver {
 
   Kernel* kernel_;
   HeapLedger* ledger_;
+  /// Module-local CFI set ids become engine-global by adding this.
+  uint64_t cfi_base_;
   /// Guard-site token per module-wide call ordinal (kNoSiteToken for
   /// non-guard ordinals) — a flat array so the per-guard lookup on both
   /// call paths is one bounds check and one load.
@@ -453,11 +489,20 @@ Result<uint64_t> LoadedModule::Call(const std::string& function,
 
   if (violation.has_value()) {
     char buf[96];
-    std::snprintf(buf, sizeof(buf),
-                  "guard violation at 0x%llx (size %llu, flags %llu)",
-                  static_cast<unsigned long long>(violation->addr),
-                  static_cast<unsigned long long>(violation->size),
-                  static_cast<unsigned long long>(violation->access_flags));
+    if (violation->is_cfi) {
+      // CFI violations repurpose the fields: addr = rejected indirect-
+      // call target, size = engine-global legal-target set id.
+      std::snprintf(buf, sizeof(buf),
+                    "cfi violation: indirect call to 0x%llx (set %llu)",
+                    static_cast<unsigned long long>(violation->addr),
+                    static_cast<unsigned long long>(violation->size));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "guard violation at 0x%llx (size %llu, flags %llu)",
+                    static_cast<unsigned long long>(violation->addr),
+                    static_cast<unsigned long long>(violation->size),
+                    static_cast<unsigned long long>(violation->access_flags));
+    }
     std::string what = buf;
     if (violation->site != 0) {
       what += " from ";
@@ -534,7 +579,9 @@ Result<uint64_t> LoadedModule::Contain(CpuSlot& slot,
   // Sole occupant now: flight-record the incident before recovery
   // mutates anything, so the bundle sees the state the module died in.
   const char* incident =
-      reason == resilience::RollbackReason::kTimeout ? "timeout" : "violation";
+      reason == resilience::RollbackReason::kTimeout ? "timeout"
+      : (violation != nullptr && violation->is_cfi)  ? "cfi"
+                                                     : "violation";
   const char* decision = "quarantine";
   switch (recovery_) {
     case resilience::RecoveryPolicy::kPanic: decision = "panic"; break;
@@ -812,7 +859,7 @@ Status LoadedModule::PrepareCpus(uint32_t cpus) {
         });
     slot->journaled->SetStopFlag(&stop_requested_);
     slot->resolver = std::make_unique<KernelResolver>(kernel_, site_token_map_,
-                                                      &heap_ledger_);
+                                                      &heap_ledger_, cfi_base_);
 
     // Each CPU runs on its own frame stack; everything else the config
     // carries (watchdog budget) is shared policy.
@@ -979,6 +1026,58 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
     loaded->site_tokens_.push_back(token);
   }
 
+  // 5b. kop::cfi: register the attested legal-target sets with the policy
+  //     engine's global table (through the same GuardFastOps seam the
+  //     inline guards use) and a trace site per gated indirect-call site.
+  //     Member names resolve to the simulated function addresses both
+  //     engines compute for funcaddr — declaration index — so the runtime
+  //     membership test and the static proof agree on values. Under
+  //     KOP_VERIFY=static|both the validator has already re-derived this
+  //     table from the shipped IR; a forged or widened one never gets
+  //     here.
+  uint64_t cfi_base = 0;
+  if (validated->attestation.cfi_gated) {
+    GuardFastOps* ops = kernel_->guard_fast_ops();
+    if (ops != nullptr) {
+      std::vector<std::vector<uint64_t>> sets;
+      sets.reserve(validated->attestation.cfi_sets.size());
+      for (const transform::CfiAttestedSet& set :
+           validated->attestation.cfi_sets) {
+        std::vector<uint64_t> addrs;
+        addrs.reserve(set.members.size());
+        for (const std::string& member : set.members) {
+          const int index = ir->FunctionIndex(member);
+          if (index < 0) {
+            return BadModule("attested CFI target @" + member +
+                             " is not a function of '" + name + "'");
+          }
+          addrs.push_back(
+              kir::FunctionAddressForIndex(static_cast<size_t>(index)));
+        }
+        sets.push_back(std::move(addrs));
+      }
+      cfi_base = ops->RegisterCfiSets(sets);
+    }
+    for (size_t i = 0; i < validated->attestation.cfi_sites.size(); ++i) {
+      const transform::CfiAttestedSite& site =
+          validated->attestation.cfi_sites[i];
+      if (site.check_ordinal < 0) continue;
+      trace::SiteInfo info;
+      info.module_name = name;
+      info.function = site.function;
+      info.site_id = static_cast<uint32_t>(i);
+      info.inst_index = site.inst_index;
+      char detail[64];
+      std::snprintf(
+          detail, sizeof(detail), "cfi set=%u targets=%zu", site.set_id,
+          validated->attestation.cfi_sets[site.set_id].members.size());
+      info.detail = detail;
+      const uint64_t token = trace::GlobalSites().Register(std::move(info));
+      site_tokens[static_cast<uint64_t>(site.check_ordinal)] = token;
+    }
+  }
+  loaded->cfi_base_ = cfi_base;
+
   // 6. The memory stack both engines execute against: kernel-backed
   //    memory, wrapped in the resilience journal so every module call is
   //    a transaction (interpreter and VM journal identically — they
@@ -993,7 +1092,7 @@ Result<LoadedModule*> ModuleLoader::Insmod(const signing::SignedModule& image) {
       });
   slot0->journaled->SetStopFlag(&loaded->stop_requested_);
   slot0->resolver = std::make_unique<KernelResolver>(
-      kernel_, site_tokens, &loaded->heap_ledger_);
+      kernel_, site_tokens, &loaded->heap_ledger_, cfi_base);
   std::unordered_map<std::string, uint64_t> addresses(
       loaded->global_addresses_.begin(), loaded->global_addresses_.end());
   loaded->ir_ = std::move(ir);

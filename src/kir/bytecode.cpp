@@ -180,6 +180,7 @@ class FunctionCompiler {
     ext.is_guard = name == kCaratGuardSymbol;
     ext.is_range_guard = name == kCaratGuardRangeSymbol;
     ext.is_intrinsic_guard = name == kCaratIntrinsicGuardSymbol;
+    ext.is_cfi_check = name == kCaratCfiCheckSymbol;
     if (IsIntrinsicName(name)) ext.intrinsic = IntrinsicFromName(name);
     out_.externs.push_back(std::move(ext));
     const uint32_t id = static_cast<uint32_t>(out_.externs.size() - 1);
@@ -334,10 +335,41 @@ class FunctionCompiler {
           } else if (ext.is_guard || ext.is_range_guard ||
                      ext.is_intrinsic_guard) {
             out.op = BcOp::kGuard;
+          } else if (ext.is_cfi_check && inst.operand_count() == 2) {
+            out.op = BcOp::kCfiCheck;
           } else {
             out.op = BcOp::kCallExternal;
           }
           out.imm2 = ordinal;
+        }
+        return out;
+      }
+      case Opcode::kFuncAddr: {
+        const int index = module_.FunctionIndex(inst.callee());
+        if (index < 0) {
+          return Internal("funcaddr of unknown function @" + inst.callee());
+        }
+        out.op = BcOp::kFuncAddr;
+        KOP_ASSIGN_OR_RETURN(out.dst, RegOf(&inst));
+        out.imm = FunctionAddressForIndex(static_cast<size_t>(index));
+        return out;
+      }
+      case Opcode::kCallIndirect: {
+        const uint64_t ordinal = call_ordinal_++;
+        const uint32_t arg_offset =
+            static_cast<uint32_t>(bf_.call_args.size());
+        for (size_t i = 1; i < inst.operand_count(); ++i) {
+          KOP_ASSIGN_OR_RETURN(const uint16_t r, RegOf(inst.operand(i)));
+          bf_.call_args.push_back(r);
+        }
+        out.op = BcOp::kCallIndirect;
+        KOP_ASSIGN_OR_RETURN(out.a, RegOf(inst.operand(0)));
+        out.b = static_cast<uint16_t>(inst.operand_count() - 1);
+        out.imm = arg_offset;
+        out.imm2 = ordinal;
+        out.width = static_cast<uint8_t>(BitWidth(type));
+        if (type != Type::kVoid) {
+          KOP_ASSIGN_OR_RETURN(out.dst, RegOf(&inst));
         }
         return out;
       }
@@ -411,6 +443,9 @@ std::string_view BcOpName(BcOp op) {
     case BcOp::kGuard: return "guard";
     case BcOp::kGuardInline: return "guard.inline";
     case BcOp::kGuardRange: return "guard.range";
+    case BcOp::kCfiCheck: return "cfi.check";
+    case BcOp::kFuncAddr: return "funcaddr";
+    case BcOp::kCallIndirect: return "call.ind";
     case BcOp::kTrap: return "trap";
   }
   return "?";
@@ -425,12 +460,51 @@ Result<BytecodeModule> CompileToBytecode(const Module& module) {
     bc.function_index[fn->name()] = defined++;
   }
   uint64_t call_ordinal = 0;
+  bool has_icalls = false;
   for (const auto& fn : module.functions()) {
     if (fn->is_external()) continue;
     FunctionCompiler compiler(module, *fn, bc, call_ordinal);
     auto compiled = compiler.Compile();
     if (!compiled.ok()) return compiled.status();
+    for (const BcInst& inst : compiled->code) {
+      if (inst.op == BcOp::kCallIndirect) has_icalls = true;
+    }
     bc.functions.push_back(std::move(*compiled));
+  }
+  // Indirect-dispatch table: one entry per IR function in declaration
+  // order, mirroring the simulated address space. Extern entries intern
+  // their callee after compilation so extern numbering for icall-free
+  // modules is untouched.
+  if (has_icalls) {
+    for (const auto& fn : module.functions()) {
+      BcIcallTarget target;
+      if (!fn->is_external()) {
+        target.is_internal = true;
+        target.index = bc.function_index.at(fn->name());
+      } else {
+        uint32_t id = static_cast<uint32_t>(bc.externs.size());
+        for (uint32_t i = 0; i < bc.externs.size(); ++i) {
+          if (bc.externs[i].name == fn->name()) {
+            id = i;
+            break;
+          }
+        }
+        if (id == bc.externs.size()) {
+          BcExtern ext;
+          ext.name = fn->name();
+          ext.is_guard = fn->name() == kCaratGuardSymbol;
+          ext.is_range_guard = fn->name() == kCaratGuardRangeSymbol;
+          ext.is_intrinsic_guard = fn->name() == kCaratIntrinsicGuardSymbol;
+          ext.is_cfi_check = fn->name() == kCaratCfiCheckSymbol;
+          if (IsIntrinsicName(fn->name())) {
+            ext.intrinsic = IntrinsicFromName(fn->name());
+          }
+          bc.externs.push_back(std::move(ext));
+        }
+        target.index = id;
+      }
+      bc.icall_targets.push_back(target);
+    }
   }
   return bc;
 }
@@ -446,6 +520,7 @@ std::string DisassembleBytecode(const BytecodeModule& bytecode) {
     if (ext.is_guard) out << " [guard]";
     if (ext.is_range_guard) out << " [range-guard]";
     if (ext.is_intrinsic_guard) out << " [intrinsic-guard]";
+    if (ext.is_cfi_check) out << " [cfi-check]";
     if (ext.intrinsic != Intrinsic::kNone) {
       out << " [intrinsic " << static_cast<uint64_t>(ext.intrinsic) << "]";
     }
@@ -504,11 +579,25 @@ std::string DisassembleBytecode(const BytecodeModule& bytecode) {
         case BcOp::kRet:
           out << " r" << inst.a;
           break;
+        case BcOp::kFuncAddr:
+          out << " r" << inst.dst << ", 0x" << std::hex << inst.imm
+              << std::dec;
+          break;
+        case BcOp::kCallIndirect: {
+          out << " [r" << inst.a << "] ord " << inst.imm2 << " (";
+          for (uint16_t i = 0; i < inst.b; ++i) {
+            out << (i ? ", " : "") << "r" << fn.call_args[inst.imm + i];
+          }
+          out << ")";
+          if (inst.width != 0) out << " -> r" << inst.dst;
+          break;
+        }
         case BcOp::kCallInternal:
         case BcOp::kCallExternal:
         case BcOp::kGuard:
         case BcOp::kGuardInline:
-        case BcOp::kGuardRange: {
+        case BcOp::kGuardRange:
+        case BcOp::kCfiCheck: {
           if (inst.op == BcOp::kCallInternal) {
             out << " @" << bytecode.functions[inst.aux].name;
           } else {

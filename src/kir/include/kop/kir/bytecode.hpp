@@ -79,6 +79,20 @@ enum class BcOp : uint8_t {
   kGuardInline,  // carat_guard(addr, size, flags), exactly 3 args
   kGuardRange,   // carat_guard_range(addr, size, flags, elided), 4 args
 
+  // CFI fast path (DESIGN.md §16). Operand layout of kGuardInline; the
+  // VM reads (target, set_id) from the argument registers and runs the
+  // resolver's pinned-frame target-set membership test; deopt falls
+  // through to the kCallExternal slow path, which owns violation
+  // attribution and containment semantics.
+  kCfiCheck,  // carat_cfi_check(target, set_id), exactly 2 args
+
+  // Indirect control flow. kFuncAddr folds the simulated function
+  // address at compile time (it is deterministic from declaration
+  // order); kCallIndirect reads the target from r(a) and dispatches
+  // through the module's icall_targets table.
+  kFuncAddr,      // dst = imm (simulated function address)
+  kCallIndirect,  // a = target reg; args/ordinal laid out like kCallExternal
+
   kTrap,    // inline asm reached execution; aux = asm_texts index
 };
 
@@ -119,6 +133,16 @@ struct BcExtern {
   bool is_guard = false;                   // carat_guard
   bool is_range_guard = false;             // carat_guard_range
   bool is_intrinsic_guard = false;         // carat_intrinsic_guard
+  bool is_cfi_check = false;               // carat_cfi_check
+};
+
+/// Runtime dispatch entry for one IR function (defined or extern), in
+/// declaration order — the bytecode image of the simulated function
+/// address space. kCallIndirect decodes its target address to an index
+/// into this table.
+struct BcIcallTarget {
+  bool is_internal = false;
+  uint32_t index = 0;  // defined-function index, or extern id
 };
 
 /// A frame-template slot whose value is a global's address, known only at
@@ -158,6 +182,7 @@ struct BytecodeModule {
   std::unordered_map<std::string, uint32_t> function_index;
   std::vector<BcExtern> externs;
   std::vector<std::string> global_names;  // fixup targets, IR order
+  std::vector<BcIcallTarget> icall_targets;  // all IR functions, decl order
 };
 
 /// Compile a (verified) module to bytecode. Fails on IR the verifier

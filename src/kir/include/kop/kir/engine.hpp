@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -104,6 +105,18 @@ class ExternalResolver {
     (void)call_ordinal;
     return false;
   }
+  /// Inline carat_cfi_check(target, set_id) at kCall ordinal
+  /// `call_ordinal` (DESIGN.md §16). True = the indirect-call target was
+  /// proven a member of the pinned frame's target set AND accounted;
+  /// false = deopt to the slow path, which owns violation semantics so
+  /// containment is byte-identical whether the fast path fired or not.
+  virtual bool FastCfiCheck(uint64_t target, uint64_t set_id,
+                            uint64_t call_ordinal) {
+    (void)target;
+    (void)set_id;
+    (void)call_ordinal;
+    return false;
+  }
 };
 
 struct InterpConfig {
@@ -175,6 +188,21 @@ class ExecutionEngine {
   /// "interp" or "bytecode" — for logs and bench annotations.
   virtual std::string_view engine_name() const = 0;
 };
+
+/// The invalid-indirect-target fault both engines report, built in one
+/// place so the text is bit-identical between them. A target that is not
+/// the simulated address of any module function (forged pointer, flipped
+/// bit, mid-function address) faults like a wild memory access: an
+/// oops-style error, not containment — the CFI check that precedes every
+/// gated indirect call owns containment semantics.
+inline Status IndirectCallInvalidTarget(uint64_t target,
+                                        const std::string& fn_name) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(target));
+  return PermissionDenied("indirect call to invalid target " +
+                          std::string(buf) + " in @" + fn_name);
+}
 
 /// The step-budget error both engines report, built in one place so the
 /// text is bit-identical between them (engine_test.cpp pins observable

@@ -41,6 +41,14 @@ enum class Opcode : uint8_t {
   // Calls.
   kCall,    // callee by name (intra-module or external); operands=args
 
+  // Indirect control flow. kFuncAddr materializes the simulated address
+  // of a named function (defined or declared) as a ptr; kCallIndirect
+  // dispatches through a ptr operand. The kop::cfi analysis derives the
+  // legal-target set of every kCallIndirect and the CfiInjectionPass
+  // gates each one with a carat_cfi_check call.
+  kFuncAddr,      // result=ptr; callee_ names the function taken
+  kCallIndirect,  // operand0=ptr target, operands 1.. = args
+
   // Inline assembly marker. Carries opaque text. The CARAT KOP
   // attestation pass refuses to certify modules containing one (§2, §5).
   kInlineAsm,

@@ -49,6 +49,10 @@ class Module {
   /// Names of external declarations (the module's import list).
   std::vector<std::string> ExternalFunctionNames() const;
 
+  /// Position of a function (defined or extern) in declaration order, or
+  /// -1 if absent. The basis of the simulated function-address scheme.
+  int FunctionIndex(const std::string& name) const;
+
   /// Total instruction count over all defined functions.
   size_t InstructionCount() const;
 
@@ -61,5 +65,31 @@ class Module {
   std::vector<std::unique_ptr<Function>> functions_;
   std::map<std::pair<Type, uint64_t>, std::unique_ptr<Constant>> constants_;
 };
+
+// ------------------------------------------------------------------------
+// Simulated function addresses. funcaddr materializes one of these; the
+// indirect-call dispatch in both engines and the CFI target-set tables
+// registered at insmod map them back. Deterministic from declaration
+// order alone, so the compiler, the static verifier's re-derivation, the
+// loader and both engines agree without any side channel. The base sits
+// far outside every simulated RAM region: a module that loads or stores
+// through a function pointer faults like any other wild pointer.
+inline constexpr uint64_t kFunctionAddrBase = 0xF0DE000000000000ull;
+inline constexpr uint64_t kFunctionAddrStride = 16;
+
+inline constexpr uint64_t FunctionAddressForIndex(size_t index) {
+  return kFunctionAddrBase + static_cast<uint64_t>(index) * kFunctionAddrStride;
+}
+
+/// Index encoded by a simulated function address, or -1 when the address
+/// is outside the function-address range, misaligned, or past `count`.
+inline constexpr int FunctionIndexForAddress(uint64_t addr, size_t count) {
+  if (addr < kFunctionAddrBase) return -1;
+  const uint64_t delta = addr - kFunctionAddrBase;
+  if (delta % kFunctionAddrStride != 0) return -1;
+  const uint64_t index = delta / kFunctionAddrStride;
+  if (index >= count) return -1;
+  return static_cast<int>(index);
+}
 
 }  // namespace kop::kir

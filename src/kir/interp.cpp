@@ -22,7 +22,8 @@ Interpreter::Interpreter(
   for (const auto& fn : module_.functions()) {
     for (const auto& block : fn->blocks()) {
       for (const auto& inst : *block) {
-        if (inst->opcode() == Opcode::kCall) {
+        if (inst->opcode() == Opcode::kCall ||
+            inst->opcode() == Opcode::kCallIndirect) {
           call_ordinals_[inst.get()] = ordinal++;
         }
       }
@@ -390,10 +391,57 @@ Result<uint64_t> Interpreter::ExecuteFrame(const Function& fn,
                                                 call_args[2], call_args[3],
                                                 ordinal)) {
               result = uint64_t{1};
+            } else if (call_args.size() == 2 &&
+                       inst.callee() == kCaratCfiCheckSymbol &&
+                       resolver_.FastCfiCheck(call_args[0], call_args[1],
+                                              ordinal)) {
+              result = uint64_t{1};
             } else {
               result = resolver_.CallExternal(inst.callee(), call_args,
                                               ordinal);
             }
+          }
+          if (!result.ok()) return result.status();
+          if (inst.type() != Type::kVoid) {
+            env[&inst] = ClampToType(*result, inst.type());
+          }
+          break;
+        }
+        case Opcode::kFuncAddr: {
+          const int index = module_.FunctionIndex(inst.callee());
+          if (index < 0) {
+            return Internal("funcaddr of unknown function @" + inst.callee());
+          }
+          env[&inst] = FunctionAddressForIndex(static_cast<size_t>(index));
+          break;
+        }
+        case Opcode::kCallIndirect: {
+          auto target = eval(inst.operand(0));
+          if (!target.ok()) return target.status();
+          std::vector<uint64_t> call_args;
+          call_args.reserve(inst.operand_count() - 1);
+          for (size_t i = 1; i < inst.operand_count(); ++i) {
+            auto value = eval(inst.operand(i));
+            if (!value.ok()) return value.status();
+            call_args.push_back(*value);
+          }
+          const int index =
+              FunctionIndexForAddress(*target, module_.functions().size());
+          if (index < 0) {
+            return IndirectCallInvalidTarget(*target, fn.name());
+          }
+          const Function* callee =
+              module_.functions()[static_cast<size_t>(index)].get();
+          Result<uint64_t> result = uint64_t{0};
+          if (!callee->is_external()) {
+            ++stats_.calls_internal;
+            result = Execute(*callee, call_args, depth + 1, sp);
+          } else {
+            ++stats_.calls_external;
+            auto ord = call_ordinals_.find(&inst);
+            const uint64_t ordinal =
+                ord == call_ordinals_.end() ? 0 : ord->second;
+            result = resolver_.CallExternal(callee->name(), call_args, ordinal);
           }
           if (!result.ok()) return result.status();
           if (inst.type() != Type::kVoid) {

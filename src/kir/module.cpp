@@ -97,6 +97,13 @@ std::vector<std::string> Module::ExternalFunctionNames() const {
   return out;
 }
 
+int Module::FunctionIndex(const std::string& name) const {
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 size_t Module::InstructionCount() const {
   size_t count = 0;
   for (const auto& fn : functions_) count += fn->InstructionCount();

@@ -517,7 +517,8 @@ class Parser {
         return DefineLocal(def_name, raw);
       }
       if (raw->type() != Type::kVoid) {
-        if (raw->opcode() != Opcode::kCall) {
+        if (raw->opcode() != Opcode::kCall &&
+            raw->opcode() != Opcode::kCallIndirect) {
           return Err("value-producing instruction must be named");
         }
         // A call whose result is discarded still needs a printable name.
@@ -698,6 +699,36 @@ class Parser {
       if (!callee.ok()) return callee.status();
       auto inst = std::make_unique<Instruction>(Opcode::kCall, *type, "");
       inst->set_callee(*callee);
+      KOP_RETURN_IF_ERROR(ExpectPunct('('));
+      if (!PeekPunct(')')) {
+        while (true) {
+          auto arg_type = ExpectType();
+          if (!arg_type.ok()) return arg_type.status();
+          KOP_RETURN_IF_ERROR(ParseOperand(*arg_type, inst.get()));
+          if (PeekPunct(',')) {
+            Take();
+            continue;
+          }
+          break;
+        }
+      }
+      KOP_RETURN_IF_ERROR(ExpectPunct(')'));
+      return finish(std::move(inst));
+    }
+    if (op == "funcaddr") {
+      auto callee = ExpectGlobalName();
+      if (!callee.ok()) return callee.status();
+      auto inst =
+          std::make_unique<Instruction>(Opcode::kFuncAddr, Type::kPtr, "");
+      inst->set_callee(*callee);
+      return finish(std::move(inst));
+    }
+    if (op == "icall") {
+      auto type = ExpectType();
+      if (!type.ok()) return type.status();
+      auto inst =
+          std::make_unique<Instruction>(Opcode::kCallIndirect, *type, "");
+      KOP_RETURN_IF_ERROR(ParseOperand(Type::kPtr, inst.get()));
       KOP_RETURN_IF_ERROR(ExpectPunct('('));
       if (!PeekPunct(')')) {
         while (true) {

@@ -38,6 +38,8 @@ std::string_view OpcodeName(Opcode op) {
     case Opcode::kPhi: return "phi";
     case Opcode::kSelect: return "select";
     case Opcode::kCall: return "call";
+    case Opcode::kFuncAddr: return "funcaddr";
+    case Opcode::kCallIndirect: return "icall";
     case Opcode::kInlineAsm: return "asm";
   }
   return "?";
@@ -188,6 +190,22 @@ std::string PrintInstruction(const Instruction& inst) {
       out += "call " + type_name(inst.type()) + " @" + inst.callee() + "(";
       for (size_t i = 0; i < inst.operand_count(); ++i) {
         if (i > 0) out += ", ";
+        out += type_name(inst.operand(i)->type()) + " " +
+               OperandRef(inst.operand(i));
+      }
+      out += ")";
+      break;
+    }
+    case Opcode::kFuncAddr:
+      def();
+      out += "funcaddr @" + inst.callee();
+      break;
+    case Opcode::kCallIndirect: {
+      if (inst.type() != Type::kVoid) def();
+      out += "icall " + type_name(inst.type()) + " " +
+             OperandRef(inst.operand(0)) + "(";
+      for (size_t i = 1; i < inst.operand_count(); ++i) {
+        if (i > 1) out += ", ";
         out += type_name(inst.operand(i)->type()) + " " +
                OperandRef(inst.operand(i));
       }

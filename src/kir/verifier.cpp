@@ -242,6 +242,28 @@ class FunctionVerifier {
           case Opcode::kCall:
             KOP_RETURN_IF_ERROR(CheckCall(inst.get()));
             break;
+          case Opcode::kFuncAddr: {
+            if (inst->type() != Type::kPtr) {
+              return Fail(inst.get(), "funcaddr result is not ptr");
+            }
+            const Function* taken = fn_.parent()->FindFunction(inst->callee());
+            if (taken == nullptr) {
+              return Fail(inst.get(),
+                          "funcaddr of undeclared function @" + inst->callee());
+            }
+            break;
+          }
+          case Opcode::kCallIndirect:
+            if (inst->operand_count() == 0 ||
+                inst->operand(0)->type() != Type::kPtr) {
+              return Fail(inst.get(), "icall target is not ptr");
+            }
+            for (size_t i = 1; i < inst->operand_count(); ++i) {
+              if (!IsFirstClass(inst->operand(i)->type())) {
+                return Fail(inst.get(), "icall argument of void type");
+              }
+            }
+            break;
           case Opcode::kAlloca:
             if (inst->alloca_size() == 0) {
               return Fail(inst.get(), "alloca of zero bytes");

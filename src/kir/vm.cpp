@@ -220,7 +220,8 @@ Result<uint64_t> VM::RunFrame(const BytecodeFunction& fn, size_t base,
       &&lbl_kSelect, &&lbl_kBr,    &&lbl_kJmp,   &&lbl_kRetVoid,
       &&lbl_kRet,    &&lbl_kCallInternal,        &&lbl_kCallExternal,
       &&lbl_kGuard,  &&lbl_kGuardInline,         &&lbl_kGuardRange,
-      &&lbl_kTrap};
+      &&lbl_kCfiCheck,                           &&lbl_kFuncAddr,
+      &&lbl_kCallIndirect,                       &&lbl_kTrap};
   static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
                 static_cast<size_t>(BcOp::kTrap) + 1);
 #endif
@@ -452,6 +453,69 @@ dispatch:
         VM_NEXT();
       }
       goto call_external_slow;
+    }
+    VM_CASE(kCfiCheck) : {
+      // Pinned-frame CFI fast path: membership test against the RCU-
+      // pinned frame's target table. Deopt falls into the out-of-line
+      // call body, which owns violation semantics — containment is
+      // byte-identical whether the fast path fired or not.
+      const uint16_t* arg_regs = fn.call_args.data() + ip->imm;
+      stats_.steps = steps;
+      if (resolver_.FastCfiCheck(regs[arg_regs[0]], regs[arg_regs[1]],
+                                 ip->imm2)) [[likely]] {
+        ++stats_.calls_external;
+        if (ip->width != 0) {
+          regs[ip->dst] = uint64_t{1} & MaskOfBits(ip->width);
+        }
+        VM_NEXT();
+      }
+      goto call_external_slow;
+    }
+    VM_CASE(kFuncAddr) : {
+      regs[ip->dst] = ip->imm;
+      VM_NEXT();
+    }
+    VM_CASE(kCallIndirect) : {
+      const uint64_t target = regs[ip->a];
+      const int fn_index =
+          FunctionIndexForAddress(target, bytecode_.icall_targets.size());
+      if (fn_index < 0) {
+        stats_.steps = steps;
+        return IndirectCallInvalidTarget(target, fn.name);
+      }
+      const BcIcallTarget& entry =
+          bytecode_.icall_targets[static_cast<size_t>(fn_index)];
+      std::vector<uint64_t>& call_args = arg_buffers_[depth];
+      call_args.resize(ip->b);
+      const uint16_t* arg_regs = fn.call_args.data() + ip->imm;
+      for (uint16_t i = 0; i < ip->b; ++i) {
+        call_args[i] = regs[arg_regs[i]];
+      }
+      if (entry.is_internal) {
+        ++stats_.calls_internal;
+        stats_.steps = steps;
+        auto result = ExecuteFunction(entry.index, call_args, depth + 1, sp);
+        if (!result.ok()) return result.status();
+        steps = stats_.steps;
+        regs = reg_stack_.data() + base;
+        if (ip->width != 0) regs[ip->dst] = *result & MaskOfBits(ip->width);
+        VM_NEXT();
+      }
+      ++stats_.calls_external;
+      stats_.steps = steps;
+      const std::optional<uint64_t>& handle = bindings_[entry.index];
+      Result<uint64_t> result =
+          handle.has_value()
+              ? resolver_.CallBound(*handle, call_args, ip->imm2)
+              : resolver_.CallExternal(bytecode_.externs[entry.index].name,
+                                       call_args, ip->imm2);
+      if (!result.ok()) return result.status();
+      steps = stats_.steps;
+      regs = reg_stack_.data() + base;
+      if (ip->width != 0) {
+        regs[ip->dst] = *result & MaskOfBits(ip->width);
+      }
+      VM_NEXT();
     }
     VM_CASE(kCallExternal) :
     VM_CASE(kGuard) : {

@@ -314,6 +314,88 @@ entry:
 )";
 }
 
+std::string IcallSource() {
+  // Handlers share the (i64, i64) -> i64 signature, so the ⊤ fallback at
+  // @vt_call's loaded-pointer dispatch resolves to exactly the three
+  // address-taken handlers; @h_spare never appears under funcaddr and so
+  // stays outside every legal-target set.
+  return R"(module "kop_icall"
+
+global @vtable size 32 rw
+global @acc size 8 rw
+
+func @h_add(i64 %a, i64 %b) -> i64 {
+entry:
+  %r = add i64 %a, %b
+  ret i64 %r
+}
+
+func @h_sub(i64 %a, i64 %b) -> i64 {
+entry:
+  %r = sub i64 %a, %b
+  ret i64 %r
+}
+
+func @h_xor(i64 %a, i64 %b) -> i64 {
+entry:
+  %r = xor i64 %a, %b
+  ret i64 %r
+}
+
+func @h_spare(i64 %a, i64 %b) -> i64 {
+entry:
+  store i64 %a, @acc
+  ret i64 %b
+}
+
+func @vt_init() -> i64 {
+entry:
+  %f0 = funcaddr @h_add
+  %i0 = ptrtoint ptr %f0 to i64
+  %p0 = gep @vtable, i64 0, 8, 0
+  store i64 %i0, %p0
+  %f1 = funcaddr @h_sub
+  %i1 = ptrtoint ptr %f1 to i64
+  %p1 = gep @vtable, i64 1, 8, 0
+  store i64 %i1, %p1
+  %f2 = funcaddr @h_xor
+  %i2 = ptrtoint ptr %f2 to i64
+  %p2 = gep @vtable, i64 2, 8, 0
+  store i64 %i2, %p2
+  store i64 0, @acc
+  ret i64 3
+}
+
+func @vt_call(i64 %op, i64 %a, i64 %b) -> i64 {
+entry:
+  %slot = gep @vtable, i64 %op, 8, 0
+  %raw = load i64, %slot
+  %f = inttoptr i64 %raw to ptr
+  %r = icall i64 %f(i64 %a, i64 %b)
+  %acc = load i64, @acc
+  %acc1 = add i64 %acc, %r
+  store i64 %acc1, @acc
+  ret i64 %r
+}
+
+func @vt_pick(i64 %flag, i64 %a, i64 %b) -> i64 {
+entry:
+  %fa = funcaddr @h_add
+  %fs = funcaddr @h_sub
+  %c = icmp ne i64 %flag, 0
+  %f = select %c, ptr %fa, %fs
+  %r = icall i64 %f(i64 %a, i64 %b)
+  ret i64 %r
+}
+
+func @vt_acc() -> i64 {
+entry:
+  %v = load i64, @acc
+  ret i64 %v
+}
+)";
+}
+
 std::string SyntheticModuleSource(uint32_t functions,
                                   uint32_t accesses_per_fn) {
   std::ostringstream out;
@@ -346,6 +428,7 @@ std::vector<CorpusEntry> AllCorpusModules() {
       {"kop_memcopy", MemcopySource()},
       {"kop_privuser", PrivuserSource()},
       {"kop_knic", KnicSource()},
+      {"kop_icall", IcallSource()},
   };
 }
 
@@ -412,11 +495,94 @@ merge:
 )";
 }
 
+std::string AdversarialIcallUncheckedSource() {
+  // The first icall is properly gated; the second jumps through a
+  // pointer laundered via inttoptr with no check anywhere near it — the
+  // control-flow twin of AdversarialUnguardedSource.
+  return R"(module "kop_adv_icall_unchecked"
+
+global @slot size 8 rw
+
+extern func @carat_cfi_check(ptr, i64) -> i64
+
+func @h_a(i64 %x) -> i64 {
+entry:
+  %r = add i64 %x, 1
+  ret i64 %r
+}
+
+func @run(i64 %x) -> i64 {
+entry:
+  %fa = funcaddr @h_a
+  %chk = call i64 @carat_cfi_check(ptr %fa, i64 0)
+  %r1 = icall i64 %fa(i64 %x)
+  %raw = load i64, @slot
+  %f = inttoptr i64 %raw to ptr
+  %r2 = icall i64 %f(i64 %r1)
+  ret i64 %r2
+}
+)";
+}
+
+std::string AdversarialCfiWrongValueSource() {
+  // The check is adjacent and its set id even matches the derivation —
+  // but it vouches for %fa while the icall jumps through %f.
+  return R"(module "kop_adv_cfi_wrongvalue"
+
+extern func @carat_cfi_check(ptr, i64) -> i64
+
+func @h_a(i64 %x) -> i64 {
+entry:
+  %r = add i64 %x, 1
+  ret i64 %r
+}
+
+func @h_b(i64 %x) -> i64 {
+entry:
+  %r = add i64 %x, 2
+  ret i64 %r
+}
+
+func @run(i64 %flag, i64 %x) -> i64 {
+entry:
+  %fa = funcaddr @h_a
+  %fb = funcaddr @h_b
+  %c = icmp ne i64 %flag, 0
+  %f = select %c, ptr %fa, %fb
+  %chk = call i64 @carat_cfi_check(ptr %fa, i64 0)
+  %r = icall i64 %f(i64 %x)
+  ret i64 %r
+}
+)";
+}
+
+std::string AdversarialFuncaddrExternSource() {
+  // `ioremap` is a declared external that is NOT an exported kernel
+  // entry point; taking its address would arm the icall gate with a
+  // jump into arbitrary kernel code.
+  return R"(module "kop_adv_funcaddr_extern"
+
+extern func @carat_cfi_check(ptr, i64) -> i64
+extern func @ioremap(i64) -> i64
+
+func @run(i64 %x) -> i64 {
+entry:
+  %f = funcaddr @ioremap
+  %chk = call i64 @carat_cfi_check(ptr %f, i64 0)
+  %r = icall i64 %f(i64 %x)
+  ret i64 %r
+}
+)";
+}
+
 std::vector<CorpusEntry> AdversarialCorpusModules() {
   return {
       {"kop_adv_unguarded", AdversarialUnguardedSource()},
       {"kop_adv_undersized", AdversarialUndersizedSource()},
       {"kop_adv_wrongbranch", AdversarialWrongBranchSource()},
+      {"kop_adv_icall_unchecked", AdversarialIcallUncheckedSource()},
+      {"kop_adv_cfi_wrongvalue", AdversarialCfiWrongValueSource()},
+      {"kop_adv_funcaddr_extern", AdversarialFuncaddrExternSource()},
   };
 }
 

@@ -40,6 +40,14 @@ std::string KnicSource();
 /// must refuse to certify (§2: attestation asserts its absence).
 std::string InlineAsmSource();
 
+/// An ops-table driver: a vtable global of handler addresses populated
+/// by `vt_init`, dispatched through `vt_call` (loaded pointer, ⊤ set)
+/// and `vt_pick` (select of two funcaddrs, finite set). The workhorse
+/// for kop::cfi tests and the faultcamp control-flow trials. `@h_spare`
+/// is deliberately never address-taken: a forged jump to it is exactly
+/// the hijack CFI must refuse.
+std::string IcallSource();
+
 /// Synthetic module with `functions` functions of `accesses_per_fn`
 /// loads+stores each over a shared global — scales the static guard
 /// count for Table E and stress tests.
@@ -71,6 +79,19 @@ std::string AdversarialUndersizedSource();
 /// Places the guard on only one branch; the access in the merge block is
 /// not dominated by it.
 std::string AdversarialWrongBranchSource();
+
+/// Claims CFI (imports carat_cfi_check) and checks one indirect call,
+/// but leaves a second icall through an inttoptr'd pointer unchecked.
+std::string AdversarialIcallUncheckedSource();
+
+/// The carat_cfi_check guards a different SSA value than the one the
+/// adjacent indirect call actually jumps through.
+std::string AdversarialCfiWrongValueSource();
+
+/// Takes the address of a declared external symbol that is not an
+/// exported kernel entry point — an indirect gate into arbitrary
+/// kernel code the attestation never vouched for.
+std::string AdversarialFuncaddrExternSource();
 
 /// All adversarial modules, for sweeps and the kopcc --corpus self-check.
 std::vector<CorpusEntry> AdversarialCorpusModules();

@@ -69,6 +69,7 @@ const PolicyFrame* PolicyEngine::RepublishFrame() const {
   fresh->intrinsic_denied.assign(intrinsic_denied_.begin(),
                                  intrinsic_denied_.end());
   fresh->intrinsic_default_allow = intrinsic_default_allow_;
+  fresh->cfi_sets = cfi_sets_;
 
   frame_.store(fresh, std::memory_order_release);
   frames_published_.fetch_add(1, std::memory_order_acq_rel);
@@ -251,7 +252,7 @@ bool PolicyEngine::Guard(uint64_t addr, uint64_t size,
     } else {
       my.denied.fetch_add(1, std::memory_order_relaxed);
       RecordViolation(ViolationRecord{addr, size, access_flags,
-                                      FoldGuardCalls(), false, site});
+                                      FoldGuardCalls(), false, site, false});
     }
   }
   KOP_TRACE(kGuardCheck, addr, size, access_flags, site);
@@ -324,7 +325,7 @@ bool PolicyEngine::GuardRange(uint64_t addr, uint64_t size,
       NoteSite(site, false);
       my.denied.fetch_add(1, std::memory_order_relaxed);
       RecordViolation(ViolationRecord{addr, size, access_flags,
-                                      FoldGuardCalls(), false, site});
+                                      FoldGuardCalls(), false, site, false});
     }
   }
   KOP_TRACE(kGuardCheck, addr, size, access_flags, site);
@@ -348,6 +349,83 @@ bool PolicyEngine::GuardRange(uint64_t addr, uint64_t size,
     throw GuardViolation(addr, size, access_flags, site);
   }
   return false;
+}
+
+bool PolicyEngine::CfiCheck(uint64_t target, uint64_t set_id) {
+  KOP_SPAN(kGuardDecision, target);
+  const uint64_t site = trace::CurrentGuardSite();
+  bool allowed;
+  {
+    smp::RcuDomain::ReadGuard rcu(rcu_);
+    const PolicyFrame* frame = CurrentFrame();
+    CpuStats& my = cpu_stats_.Mine();
+    my.cfi_checks.fetch_add(1, std::memory_order_relaxed);
+    // A CFI decision is a guard decision: same machine-model cost, same
+    // latency histogram, so CFI-on vs CFI-off deltas are visible in the
+    // virtual clock the benches read.
+    const double guard_cycles = kernel_->machine().GuardCycles(
+        static_cast<uint32_t>(frame->store_size));
+    if (charge_cycles_.load(std::memory_order_relaxed)) {
+      kernel_->clock().Advance(guard_cycles);
+    }
+    latency_hist_->Observe(guard_cycles);
+
+    // Membership in the attested legal-target set. An out-of-range set
+    // id (a module that skipped registration, or a forged rebase) denies:
+    // unknown provenance is never a licence to jump.
+    allowed = set_id < frame->cfi_sets.size() &&
+              std::binary_search(frame->cfi_sets[set_id].begin(),
+                                 frame->cfi_sets[set_id].end(), target);
+    if (site == force_deny_site_.load(std::memory_order_relaxed))
+        [[unlikely]] {
+      allowed = false;
+    }
+    NoteSite(site, allowed);
+    if (!allowed) {
+      my.cfi_denied.fetch_add(1, std::memory_order_relaxed);
+      RecordViolation(ViolationRecord{target, set_id, 0, FoldGuardCalls(),
+                                      false, site, true});
+    }
+  }
+  KOP_TRACE(kGuardCheck, target, set_id, 0, site);
+  if (allowed) return true;
+  KOP_TRACE(kGuardDeny, target, set_id, 0, site);
+  denied_counter_->Add();
+  kernel_->log().Printk(
+      kernel::KernLevel::kAlert,
+      "CARAT KOP: forbidden indirect call to 0x%llx (set %llu) blocked by "
+      "policy",
+      static_cast<unsigned long long>(target),
+      static_cast<unsigned long long>(set_id));
+  const ViolationAction action = violation_action();
+  if (action == ViolationAction::kPanic) {
+    kernel_->Panic("CARAT KOP cfi violation");  // throws KernelPanic
+  }
+  if (action == ViolationAction::kQuarantine) {
+    throw GuardViolation(target, set_id, 0, site, /*is_cfi=*/true);
+  }
+  return false;
+}
+
+uint64_t PolicyEngine::RegisterCfiSets(
+    const std::vector<std::vector<uint64_t>>& sets) {
+  std::lock_guard<Spinlock> guard(writer_lock_);
+  const uint64_t base = cfi_sets_.size();
+  for (const std::vector<uint64_t>& set : sets) {
+    std::vector<uint64_t> sorted = set;
+    std::sort(sorted.begin(), sorted.end());
+    cfi_sets_.push_back(std::move(sorted));
+  }
+  // Same protocol as the intrinsic mutators: the frame's CFI copy went
+  // stale, so the next check republishes and pinned calls deopt once.
+  config_generation_.fetch_add(1, std::memory_order_acq_rel);
+  mutation_gen_.fetch_add(1, std::memory_order_acq_rel);
+  return base;
+}
+
+size_t PolicyEngine::CfiSetCount() const {
+  std::lock_guard<Spinlock> guard(writer_lock_);
+  return cfi_sets_.size();
 }
 
 bool PolicyEngine::PinFrame() {
@@ -501,6 +579,49 @@ bool PolicyEngine::FastGuardRange(uint64_t addr, uint64_t size,
   return true;
 }
 
+bool PolicyEngine::FastCfiCheck(uint64_t target, uint64_t set_id,
+                                uint64_t site) {
+  PinSlot& pin = pin_slots_.Mine();
+  if (pin.depth == 0) [[unlikely]] {
+    return false;  // not pinned: fast path unavailable, not a deopt
+  }
+  if (pin.mutation_gen !=
+      mutation_gen_.load(std::memory_order_acquire)) [[unlikely]] {
+    deopt_counter_->Add();
+    RefreshPin(pin);
+    return false;
+  }
+  if (site == force_deny_site_.load(std::memory_order_relaxed)) [[unlikely]] {
+    deopt_counter_->Add();
+    return false;  // fault injection: slow path owns the spurious denial
+  }
+#if KOP_SPANS_ENABLED
+  const bool span_active = pin.spans->enabled();
+  const uint64_t span_begin = span_active ? pin.spans->BeginSpan() : 0;
+#endif
+  const std::vector<std::vector<uint64_t>>& sets = pin.frame->cfi_sets;
+  const bool allowed =
+      set_id < sets.size() &&
+      std::binary_search(sets[set_id].begin(), sets[set_id].end(), target);
+#if KOP_SPANS_ENABLED
+  if (span_active) {
+    pin.spans->EndSpan(trace::SpanKind::kGuardDecision, span_begin, target);
+  }
+#endif
+  if (!allowed) [[unlikely]] {
+    deopt_counter_->Add();
+    return false;  // slow path re-decides with full violation semantics
+  }
+  BumpRelaxed(pin.stats->cfi_checks);
+  NoteSiteIn(*pin.sites, site, true, 0);
+  if (charge_cycles_.load(std::memory_order_relaxed)) {
+    pin.clock_cell->store(
+        pin.clock_cell->load(std::memory_order_relaxed) + pin.guard_cycles,
+        std::memory_order_relaxed);
+  }
+  return true;
+}
+
 bool PolicyEngine::IntrinsicGuard(uint64_t intrinsic_id) {
   const uint64_t site = trace::CurrentGuardSite();
   bool allowed;
@@ -523,7 +644,8 @@ bool PolicyEngine::IntrinsicGuard(uint64_t intrinsic_id) {
     if (!allowed) {
       my.intrinsic_denied.fetch_add(1, std::memory_order_relaxed);
       RecordViolation(ViolationRecord{intrinsic_id, 0, 0,
-                                      FoldIntrinsicCalls(), true, site});
+                                      FoldIntrinsicCalls(), true, site,
+                                      false});
     }
   }
   KOP_TRACE(kIntrinsicCheck, intrinsic_id, allowed ? 1 : 0, 0, site);
@@ -573,6 +695,8 @@ GuardStats PolicyEngine::stats() const {
     out.intrinsic_denied +=
         slot.intrinsic_denied.load(std::memory_order_relaxed);
     out.elided += slot.elided.load(std::memory_order_relaxed);
+    out.cfi_checks += slot.cfi_checks.load(std::memory_order_relaxed);
+    out.cfi_denied += slot.cfi_denied.load(std::memory_order_relaxed);
   });
   return out;
 }
@@ -587,6 +711,8 @@ GuardStats PolicyEngine::PerCpuStats(uint32_t cpu) const {
   out.intrinsic_denied =
       slot.intrinsic_denied.load(std::memory_order_relaxed);
   out.elided = slot.elided.load(std::memory_order_relaxed);
+  out.cfi_checks = slot.cfi_checks.load(std::memory_order_relaxed);
+  out.cfi_denied = slot.cfi_denied.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -598,6 +724,8 @@ void PolicyEngine::ResetStats() {
     slot.intrinsic_calls.store(0, std::memory_order_relaxed);
     slot.intrinsic_denied.store(0, std::memory_order_relaxed);
     slot.elided.store(0, std::memory_order_relaxed);
+    slot.cfi_checks.store(0, std::memory_order_relaxed);
+    slot.cfi_denied.store(0, std::memory_order_relaxed);
   });
   store_->ResetStats();
   {

@@ -77,6 +77,9 @@ struct GuardStats {
   /// the access count an unelided build would have reported for
   /// widening-only modules.
   uint64_t elided = 0;
+  /// kop::cfi: carat_cfi_check decisions (slow path + inline fast path).
+  uint64_t cfi_checks = 0;
+  uint64_t cfi_denied = 0;
 };
 
 /// One denied access, kept in the engine's forensic ring (most recent
@@ -88,6 +91,9 @@ struct ViolationRecord {
   uint64_t sequence = 0;   // nth guard call overall when this fired
   bool intrinsic = false;  // true for privileged-intrinsic denials
   uint64_t site = 0;       // guard-site token (trace::GlobalSites)
+  /// True for CFI denials: addr holds the rejected indirect-call target,
+  /// size the engine-global target-set id, access_flags 0.
+  bool cfi = false;
 };
 
 /// Per-guard-site attribution row — the "perf annotate" view: which exact
@@ -114,6 +120,11 @@ struct PolicyFrame {
   std::vector<uint64_t> intrinsic_allowed;  // sorted
   std::vector<uint64_t> intrinsic_denied;   // sorted
   bool intrinsic_default_allow = false;
+  /// kop::cfi legal-target sets, indexed by engine-global set id; each is
+  /// a sorted vector of simulated function addresses for binary search.
+  /// Registration only appends (ids stay stable for the module lifetime),
+  /// so a frame's copy is never narrower than what a pinned caller saw.
+  std::vector<std::vector<uint64_t>> cfi_sets;
 };
 
 class PolicyEngine : public kernel::GuardFastOps {
@@ -172,6 +183,17 @@ class PolicyEngine : public kernel::GuardFastOps {
   void AllowIntrinsic(uint64_t intrinsic_id);
   void DenyIntrinsic(uint64_t intrinsic_id);
   void SetIntrinsicDefaultAllow(bool allow);
+
+  /// kop::cfi: carat_cfi_check(target, set_id) — the out-of-line slow
+  /// path. Returns true when `target` is a member of legal-target set
+  /// `set_id`; a miss (or an out-of-range set id) is a violation with the
+  /// same logging / panic / quarantine semantics as a memory guard, with
+  /// GuardViolation.is_cfi set so the loader contains it under the "cfi"
+  /// reason. Decides against the RCU-published frame, lock-free.
+  bool CfiCheck(uint64_t target, uint64_t set_id);
+
+  /// Number of registered legal-target sets (test/procfs introspection).
+  size_t CfiSetCount() const;
 
   /// Counter totals folded across the per-CPU slots. Returned by value:
   /// concurrent Guard()s keep mutating their own slots, so a reference
@@ -248,6 +270,17 @@ class PolicyEngine : public kernel::GuardFastOps {
                  uint64_t site) override;
   bool FastGuardRange(uint64_t addr, uint64_t size, uint64_t access_flags,
                       uint64_t elided, uint64_t site) override;
+  /// Append a module's attested legal-target sets (insmod time). Each set
+  /// is sorted on registration; the returned base rebases the module's
+  /// local set ids to engine-global ids. Sets are never unregistered —
+  /// ids stay stable and stale frames stay decidable — matching the
+  /// append-only guard-site token space.
+  uint64_t RegisterCfiSets(
+      const std::vector<std::vector<uint64_t>>& sets) override;
+  /// Inline CFI membership check against the pinned frame. Same deopt
+  /// ladder as FastGuard; false sends the caller to CfiCheck(), which
+  /// owns violation semantics.
+  bool FastCfiCheck(uint64_t target, uint64_t set_id, uint64_t site) override;
 
  private:
   struct CpuStats {
@@ -257,6 +290,8 @@ class PolicyEngine : public kernel::GuardFastOps {
     std::atomic<uint64_t> intrinsic_calls{0};
     std::atomic<uint64_t> intrinsic_denied{0};
     std::atomic<uint64_t> elided{0};
+    std::atomic<uint64_t> cfi_checks{0};
+    std::atomic<uint64_t> cfi_denied{0};
   };
 
   /// One row of a shard's site-attribution table. Counters are relaxed
@@ -374,6 +409,9 @@ class PolicyEngine : public kernel::GuardFastOps {
   bool intrinsic_default_allow_ = false;
   std::set<uint64_t> intrinsic_allowed_;
   std::set<uint64_t> intrinsic_denied_;
+  // CFI master table (guarded by writer_lock_; checks read the frame's
+  // copy). Append-only — see RegisterCfiSets.
+  std::vector<std::vector<uint64_t>> cfi_sets_;
 
   smp::PerCpu<CpuStats> cpu_stats_;
   smp::PerCpu<PinSlot> pin_slots_;

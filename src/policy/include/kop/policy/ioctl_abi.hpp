@@ -60,6 +60,10 @@ struct CaratStatsArg {
   /// Accesses proven by a covering-interval guard (appended field; older
   /// readers that unpack the shorter struct still see the ones above).
   uint64_t elided = 0;
+  /// kop::cfi decisions/denials (appended fields, same compatibility
+  /// rule as `elided`).
+  uint64_t cfi_checks = 0;
+  uint64_t cfi_denied = 0;
 };
 
 struct CaratCountArg {

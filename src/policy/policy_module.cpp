@@ -47,6 +47,14 @@ Result<std::unique_ptr<PolicyModule>> PolicyModule::Insert(
       [engine](const std::vector<uint64_t>& args) -> uint64_t {
         return engine->IntrinsicGuard(args.empty() ? 0 : args[0]) ? 1 : 0;
       }));
+  KOP_RETURN_IF_ERROR(kernel->symbols().ExportFunction(
+      kCaratCfiCheckSymbol,
+      [engine](const std::vector<uint64_t>& args) -> uint64_t {
+        // int carat_cfi_check(void* target, size_t set_id)
+        const uint64_t target = args.size() > 0 ? args[0] : 0;
+        const uint64_t set_id = args.size() > 1 ? args[1] : 0;
+        return engine->CfiCheck(target, set_id) ? 1 : 0;
+      }));
 
   // Publish the inline-guard fast path. Engines reach it through the
   // kernel facade (kernel::GuardFastOps), never through kop::policy —
@@ -104,6 +112,7 @@ PolicyModule::~PolicyModule() {
   (void)kernel_->symbols().Unexport(kCaratGuardSymbol);
   (void)kernel_->symbols().Unexport(kCaratGuardRangeSymbol);
   (void)kernel_->symbols().Unexport(kCaratIntrinsicGuardSymbol);
+  (void)kernel_->symbols().Unexport(kCaratCfiCheckSymbol);
   (void)kernel_->devices().Unregister(kCaratDevicePath);
 }
 
@@ -139,6 +148,8 @@ Status PolicyModule::HandleIoctl(uint32_t cmd, std::vector<uint8_t>& arg) {
       reply.intrinsic_calls = stats.intrinsic_calls;
       reply.intrinsic_denied = stats.intrinsic_denied;
       reply.elided = stats.elided;
+      reply.cfi_checks = stats.cfi_checks;
+      reply.cfi_denied = stats.cfi_denied;
       arg = PackArg(reply);
       return OkStatus();
     }

@@ -29,6 +29,15 @@ std::string ProcGuardStats(const PolicyEngine& engine) {
   std::snprintf(line, sizeof(line), "elided:           %llu\n",
                 static_cast<unsigned long long>(stats.elided));
   out += line;
+  std::snprintf(line, sizeof(line), "cfi_checks:       %llu\n",
+                static_cast<unsigned long long>(stats.cfi_checks));
+  out += line;
+  std::snprintf(line, sizeof(line), "cfi_denied:       %llu\n",
+                static_cast<unsigned long long>(stats.cfi_denied));
+  out += line;
+  std::snprintf(line, sizeof(line), "cfi_sets:         %zu\n",
+                engine.CfiSetCount());
+  out += line;
   std::snprintf(line, sizeof(line), "deopts:           %llu\n",
                 static_cast<unsigned long long>(
                     trace::GlobalMetrics().GetCounter("guard.deopt")->value()));

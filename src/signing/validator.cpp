@@ -80,6 +80,13 @@ Result<ValidatedModule> ValidateSignedModuleImpl(
     KOP_RETURN_IF_ERROR(transform::VerifyElisionProvenance(
         *attestation, recomputed.sites));
   }
+  // The CFI table is likewise re-derived from the shipped IR in every
+  // verify mode: the attested legal-target sets and site ordinals must
+  // equal the proof's, member for member. A forged, widened, or stale
+  // table — or a module importing carat_cfi_check with no table at all —
+  // fails here before any indirect call can be dispatched.
+  KOP_RETURN_IF_ERROR(
+      transform::VerifyCfiProvenance(*attestation, **module));
 
   ValidatedModule out;
   out.module = std::move(*module);

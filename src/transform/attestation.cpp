@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "kop/analysis/cfi.hpp"
 #include "kop/util/carat_abi.hpp"
 
 namespace kop::transform {
@@ -35,6 +36,21 @@ std::string AttestationRecord::Serialize() const {
         out << "member: " << member.offset << " " << member.size << " "
             << member.flags << "\n";
       }
+    }
+  }
+  if (cfi_gated) {
+    out << "cfi_gated: 1\n"
+        << "cfi_set_count: " << cfi_sets.size() << "\n";
+    for (const CfiAttestedSet& set : cfi_sets) {
+      out << "cfi_set: " << set.set_id << " " << set.members.size();
+      for (const std::string& member : set.members) out << " @" << member;
+      out << "\n";
+    }
+    out << "cfi_site_count: " << cfi_sites.size() << "\n";
+    for (const CfiAttestedSite& site : cfi_sites) {
+      out << "cfi_site: " << site.set_id << " " << site.inst_index << " "
+          << site.icall_ordinal << " " << site.check_ordinal << " @"
+          << site.function << "\n";
     }
   }
   return out.str();
@@ -107,47 +123,101 @@ Result<AttestationRecord> AttestationRecord::Deserialize(
     site.function = function.substr(1);
     record.sites.push_back(std::move(site));
   }
-  // elision_count (and the records after it) are absent both from
-  // pre-elision attestations and from modules compiled with elision off;
-  // accept both.
+  // The trailing sections are optional: elision_count (absent from
+  // pre-elision attestations and modules compiled with elision off) and
+  // the cfi table (absent from pre-CFI attestations and modules compiled
+  // with KOP_CFI=off or without indirect calls). Accept any combination.
   if (!std::getline(in, line)) return record;
   const std::string elision_count_prefix = "elision_count: ";
-  if (line.rfind(elision_count_prefix, 0) != 0) {
-    return BadModule("attestation: expected field elision_count, got '" +
-                     line + "'");
-  }
-  const uint64_t elision_count =
-      std::strtoull(line.c_str() + elision_count_prefix.size(), nullptr, 10);
-  record.elisions.reserve(elision_count);
-  for (uint64_t i = 0; i < elision_count; ++i) {
-    if (!std::getline(in, line) || line.rfind("elide: ", 0) != 0) {
-      return BadModule("attestation: truncated elision table");
-    }
-    std::istringstream fields(line.substr(7));
-    ElisionRecord rec;
-    uint64_t member_count = 0;
-    std::string function;
-    if (!(fields >> rec.site_id >> rec.inst_index >> rec.kind >> rec.span >>
-          rec.flags >> member_count >> function) ||
-        (rec.kind != "widen" && rec.kind != "hoist") || function.empty() ||
-        function[0] != '@' || member_count == 0) {
-      return BadModule("attestation: malformed elision entry '" + line + "'");
-    }
-    rec.function = function.substr(1);
-    rec.members.reserve(member_count);
-    for (uint64_t m = 0; m < member_count; ++m) {
-      if (!std::getline(in, line) || line.rfind("member: ", 0) != 0) {
-        return BadModule("attestation: truncated elision member table");
+  if (line.rfind(elision_count_prefix, 0) == 0) {
+    const uint64_t elision_count =
+        std::strtoull(line.c_str() + elision_count_prefix.size(), nullptr, 10);
+    record.elisions.reserve(elision_count);
+    for (uint64_t i = 0; i < elision_count; ++i) {
+      if (!std::getline(in, line) || line.rfind("elide: ", 0) != 0) {
+        return BadModule("attestation: truncated elision table");
       }
-      std::istringstream mf(line.substr(8));
-      ElisionMember member;
-      if (!(mf >> member.offset >> member.size >> member.flags)) {
-        return BadModule("attestation: malformed elision member '" + line +
+      std::istringstream fields(line.substr(7));
+      ElisionRecord rec;
+      uint64_t member_count = 0;
+      std::string function;
+      if (!(fields >> rec.site_id >> rec.inst_index >> rec.kind >> rec.span >>
+            rec.flags >> member_count >> function) ||
+          (rec.kind != "widen" && rec.kind != "hoist") || function.empty() ||
+          function[0] != '@' || member_count == 0) {
+        return BadModule("attestation: malformed elision entry '" + line +
                          "'");
       }
-      rec.members.push_back(member);
+      rec.function = function.substr(1);
+      rec.members.reserve(member_count);
+      for (uint64_t m = 0; m < member_count; ++m) {
+        if (!std::getline(in, line) || line.rfind("member: ", 0) != 0) {
+          return BadModule("attestation: truncated elision member table");
+        }
+        std::istringstream mf(line.substr(8));
+        ElisionMember member;
+        if (!(mf >> member.offset >> member.size >> member.flags)) {
+          return BadModule("attestation: malformed elision member '" + line +
+                           "'");
+        }
+        rec.members.push_back(member);
+      }
+      record.elisions.push_back(std::move(rec));
     }
-    record.elisions.push_back(std::move(rec));
+    if (!std::getline(in, line)) return record;
+  }
+  if (line != "cfi_gated: 1") {
+    return BadModule("attestation: expected field elision_count or "
+                     "cfi_gated, got '" + line + "'");
+  }
+  record.cfi_gated = true;
+  auto count_field = [&](const char* key) -> Result<uint64_t> {
+    auto value = field(key);
+    if (!value.ok()) return value.status();
+    return std::strtoull(value->c_str(), nullptr, 10);
+  };
+  const auto cfi_set_count = count_field("cfi_set_count");
+  if (!cfi_set_count.ok()) return cfi_set_count.status();
+  record.cfi_sets.reserve(*cfi_set_count);
+  for (uint64_t i = 0; i < *cfi_set_count; ++i) {
+    if (!std::getline(in, line) || line.rfind("cfi_set: ", 0) != 0) {
+      return BadModule("attestation: truncated cfi set table");
+    }
+    std::istringstream fields(line.substr(9));
+    CfiAttestedSet set;
+    uint64_t member_count = 0;
+    if (!(fields >> set.set_id >> member_count)) {
+      return BadModule("attestation: malformed cfi set entry '" + line + "'");
+    }
+    set.members.reserve(member_count);
+    for (uint64_t m = 0; m < member_count; ++m) {
+      std::string member;
+      if (!(fields >> member) || member.size() < 2 || member[0] != '@') {
+        return BadModule("attestation: malformed cfi set member in '" + line +
+                         "'");
+      }
+      set.members.push_back(member.substr(1));
+    }
+    record.cfi_sets.push_back(std::move(set));
+  }
+  const auto cfi_site_count = count_field("cfi_site_count");
+  if (!cfi_site_count.ok()) return cfi_site_count.status();
+  record.cfi_sites.reserve(*cfi_site_count);
+  for (uint64_t i = 0; i < *cfi_site_count; ++i) {
+    if (!std::getline(in, line) || line.rfind("cfi_site: ", 0) != 0) {
+      return BadModule("attestation: truncated cfi site table");
+    }
+    std::istringstream fields(line.substr(10));
+    CfiAttestedSite site;
+    std::string function;
+    if (!(fields >> site.set_id >> site.inst_index >> site.icall_ordinal >>
+          site.check_ordinal >> function) ||
+        function.size() < 2 || function[0] != '@') {
+      return BadModule("attestation: malformed cfi site entry '" + line +
+                       "'");
+    }
+    site.function = function.substr(1);
+    record.cfi_sites.push_back(std::move(site));
   }
   return record;
 }
@@ -230,6 +300,31 @@ AttestationRecord Attest(const kir::Module& module) {
   }
   record.guard_count = guards;
   record.sites = EnumerateGuardSites(module);
+  // The CFI table is a pure function of the shipped IR (which is what
+  // lets the validator re-derive and compare it): attested exactly when
+  // the module has indirect calls and imports the check symbol.
+  const kir::Function* check = module.FindFunction(kCaratCfiCheckSymbol);
+  if (check != nullptr && check->is_external()) {
+    const analysis::CfiSummary cfi = analysis::DeriveCfi(module);
+    if (!cfi.sites.empty()) {
+      record.cfi_gated = true;
+      for (size_t i = 0; i < cfi.sets.size(); ++i) {
+        CfiAttestedSet set;
+        set.set_id = static_cast<uint32_t>(i);
+        set.members = cfi.sets[i].members;
+        record.cfi_sets.push_back(std::move(set));
+      }
+      for (const analysis::CfiSite& site : cfi.sites) {
+        CfiAttestedSite attested;
+        attested.set_id = site.set_id;
+        attested.function = site.function;
+        attested.inst_index = site.inst_index;
+        attested.icall_ordinal = site.call_ordinal;
+        attested.check_ordinal = site.check_ordinal;
+        record.cfi_sites.push_back(std::move(attested));
+      }
+    }
+  }
   return record;
 }
 
@@ -283,6 +378,86 @@ Status VerifyElisionProvenance(const AttestationRecord& record,
     }
     if (covered_end != rec.span) {
       return BadModule(where + ": members do not tile the cover's span");
+    }
+  }
+  return OkStatus();
+}
+
+Status VerifyCfiProvenance(const AttestationRecord& record,
+                           const kir::Module& module) {
+  const kir::Function* check = module.FindFunction(kCaratCfiCheckSymbol);
+  const bool claims_cfi = check != nullptr && check->is_external();
+
+  if (!record.cfi_gated) {
+    if (!record.cfi_sets.empty() || !record.cfi_sites.empty()) {
+      return BadModule("cfi attestation: table present but cfi_gated is 0");
+    }
+    // A module that imports the check symbol but attests no table would
+    // deny every icall at runtime with no registered sets — and, worse,
+    // would dodge the re-derivation entirely. Reject up front.
+    if (claims_cfi) {
+      return BadModule("cfi attestation: module imports carat_cfi_check but "
+                       "its attestation carries no CFI table");
+    }
+    return OkStatus();
+  }
+
+  if (!claims_cfi) {
+    return BadModule("cfi attestation: cfi_gated set but the shipped IR "
+                     "does not import carat_cfi_check");
+  }
+
+  const analysis::CfiSummary derived = analysis::DeriveCfi(module);
+  if (record.cfi_sets.size() != derived.sets.size()) {
+    return BadModule("cfi attestation: claims " +
+                     std::to_string(record.cfi_sets.size()) +
+                     " target set(s) but the proof derives " +
+                     std::to_string(derived.sets.size()));
+  }
+  for (size_t i = 0; i < derived.sets.size(); ++i) {
+    const CfiAttestedSet& attested = record.cfi_sets[i];
+    const std::string where = "cfi attestation: set " + std::to_string(i);
+    if (attested.set_id != i) {
+      return BadModule(where + ": non-canonical set numbering");
+    }
+    // Exact equality — one extra member is a widened gate, one missing
+    // member a stale table; both mean the attestation was not produced
+    // from this IR.
+    if (attested.members != derived.sets[i].members) {
+      return BadModule(where + ": attested members do not match the derived "
+                       "legal target set (" +
+                       std::to_string(attested.members.size()) +
+                       " attested, " +
+                       std::to_string(derived.sets[i].members.size()) +
+                       " derived)");
+    }
+  }
+  if (record.cfi_sites.size() != derived.sites.size()) {
+    return BadModule("cfi attestation: claims " +
+                     std::to_string(record.cfi_sites.size()) +
+                     " indirect-call site(s) but the shipped IR has " +
+                     std::to_string(derived.sites.size()));
+  }
+  for (size_t i = 0; i < derived.sites.size(); ++i) {
+    const CfiAttestedSite& attested = record.cfi_sites[i];
+    const analysis::CfiSite& site = derived.sites[i];
+    const std::string where = "cfi attestation: site " + std::to_string(i);
+    if (attested.function != site.function ||
+        attested.inst_index != site.inst_index ||
+        attested.icall_ordinal != site.call_ordinal) {
+      return BadModule(where + ": position does not match the IR (@" +
+                       site.function + " inst " +
+                       std::to_string(site.inst_index) + ")");
+    }
+    if (attested.set_id != site.set_id) {
+      return BadModule(where + ": claims set " +
+                       std::to_string(attested.set_id) +
+                       " but the proof derives set " +
+                       std::to_string(site.set_id));
+    }
+    if (!site.has_check || attested.check_ordinal != site.check_ordinal) {
+      return BadModule(where + ": check ordinal does not match the shipped "
+                       "IR's adjacent carat_cfi_check");
     }
   }
   return OkStatus();

@@ -1,0 +1,56 @@
+#include "kop/transform/cfi_injection.hpp"
+
+#include "kop/analysis/cfi.hpp"
+#include "kop/kir/builder.hpp"
+#include "kop/util/carat_abi.hpp"
+
+namespace kop::transform {
+
+Status CfiInjectionPass::Run(kir::Module& module) {
+  stats_ = CfiInjectionStats();
+
+  // Derive first: the sites table indexes icalls in program order, and
+  // inserting plain calls does not disturb the pointer lattice, so the
+  // pre-injection derivation stays valid afterwards.
+  const analysis::CfiSummary summary = analysis::DeriveCfi(module);
+  if (summary.sites.empty()) return OkStatus();
+  stats_.target_sets = summary.sets.size();
+
+  kir::Function* check = module.FindFunction(kCaratCfiCheckSymbol);
+  if (check == nullptr) {
+    check = module.CreateFunction(
+        kCaratCfiCheckSymbol, kir::Type::kI32,
+        {{kir::Type::kPtr, "target"}, {kir::Type::kI64, "set_id"}},
+        /*is_external=*/true);
+  } else if (!check->is_external() || check->arg_count() != 2) {
+    return BadModule("module declares an incompatible @carat_cfi_check");
+  }
+
+  kir::IRBuilder builder(&module);
+  size_t site_index = 0;
+  for (const auto& fn : module.functions()) {
+    if (fn->is_external() || fn->blocks().empty()) continue;
+    for (const auto& block : fn->blocks()) {
+      for (auto it = block->begin(); it != block->end(); ++it) {
+        kir::Instruction* inst = it->get();
+        if (inst->opcode() != kir::Opcode::kCallIndirect) continue;
+        const analysis::CfiSite& site = summary.sites[site_index++];
+        // Idempotent: a site already gated by a correct check (same
+        // target value, same set id) is left alone.
+        if (site.has_check && site.check_covers_target &&
+            site.check_set_id == static_cast<int64_t>(site.set_id)) {
+          ++stats_.sites_already_checked;
+          continue;
+        }
+        builder.SetInsertPoint(block.get(), it);
+        builder.CreateCall(kCaratCfiCheckSymbol, kir::Type::kI32,
+                           {inst->operand(0), builder.I64(site.set_id)});
+        // `it` still points at the icall; the check sits before it.
+        ++stats_.checks_injected;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace kop::transform

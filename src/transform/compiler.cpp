@@ -24,6 +24,15 @@ bool DefaultElideGuards() {
   return true;
 }
 
+bool DefaultCfiChecks() {
+  const char* env = std::getenv("KOP_CFI");
+  if (env != nullptr) {
+    const std::string_view value(env);
+    if (value == "off" || value == "0") return false;
+  }
+  return true;
+}
+
 Result<CompileOutput> CompileModule(std::unique_ptr<kir::Module> module,
                                     const CompileOptions& options) {
   KOP_RETURN_IF_ERROR(kir::VerifyModule(*module));
@@ -65,6 +74,17 @@ Result<CompileOutput> CompileModule(std::unique_ptr<kir::Module> module,
     KOP_RETURN_IF_ERROR(elide_pm.Run(*module));
   }
 
+  // CFI injection runs after elision: covers never see the checks, and
+  // the checks (which read but never mutate the policy tables) never
+  // perturb the guard-availability lattice elision proved against.
+  auto cfi = std::make_unique<CfiInjectionPass>();
+  CfiInjectionPass* cfi_raw = cfi.get();
+  PassManager cfi_pm(/*verify_each=*/true);
+  cfi_pm.Add(std::move(cfi));
+  if (options.inject_cfi_checks) {
+    KOP_RETURN_IF_ERROR(cfi_pm.Run(*module));
+  }
+
   CompileOutput out;
   if (options.inject_guards) out.guard_stats = inject_raw->stats();
   if (options.coalesce_guards) {
@@ -85,6 +105,7 @@ Result<CompileOutput> CompileModule(std::unique_ptr<kir::Module> module,
     out.attestation.guards_optimized = true;
   }
   if (options.elide_guards) out.elide_stats = elide_raw->stats();
+  if (options.inject_cfi_checks) out.cfi_stats = cfi_raw->stats();
   if (options.elide_guards && !elide_raw->provenance().empty()) {
     out.attestation.elisions = elide_raw->provenance();
     out.attestation.guards_optimized = true;

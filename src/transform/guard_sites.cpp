@@ -51,6 +51,11 @@ std::vector<GuardSite> EnumerateGuardSites(const kir::Module& module) {
             sites.push_back(std::move(site));
           }
           ++call_ordinal;
+        } else if (inst->opcode() == kir::Opcode::kCallIndirect) {
+          // Indirect calls share the module-wide ordinal numbering with
+          // kCall in both engines; skipping them here would misalign
+          // every later guard site's token.
+          ++call_ordinal;
         }
         ++inst_index;
       }

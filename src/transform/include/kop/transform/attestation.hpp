@@ -42,6 +42,34 @@ struct ElisionRecord {
   bool operator==(const ElisionRecord& other) const = default;
 };
 
+/// One attested CFI legal-target set (DESIGN.md §16): the functions an
+/// indirect call wearing this set id may dispatch to, by name. The loader
+/// resolves names to simulated function addresses and registers the table
+/// with the policy engine; the static verifier re-derives every set from
+/// the shipped IR and rejects any difference — wider, narrower, or
+/// renumbered.
+struct CfiAttestedSet {
+  uint32_t set_id = 0;
+  std::vector<std::string> members;  // sorted, unique function names
+
+  bool operator==(const CfiAttestedSet& other) const = default;
+};
+
+/// One attested indirect-call site: where the icall lives and which call
+/// ordinals its carat_cfi_check and the icall itself occupy (the loader
+/// keys runtime attribution off the check's ordinal, exactly like guard
+/// sites). check_ordinal is -1 when the shipped IR carries no adjacent
+/// check — a state the static verifier rejects for CFI-gated modules.
+struct CfiAttestedSite {
+  uint32_t set_id = 0;
+  std::string function;
+  uint32_t inst_index = 0;     // the icall's index within the function
+  uint64_t icall_ordinal = 0;  // module-wide call ordinal of the icall
+  int64_t check_ordinal = -1;  // module-wide call ordinal of the check
+
+  bool operator==(const CfiAttestedSite& other) const = default;
+};
+
 /// What the CARAT KOP compiler asserts about a module it processed.
 struct AttestationRecord {
   std::string module_name;
@@ -63,6 +91,12 @@ struct AttestationRecord {
   /// (see ElisionRecord) so a forged table cannot smuggle unguarded
   /// accesses past KOP_VERIFY=static.
   std::vector<ElisionRecord> elisions;
+  /// True when the module's indirect calls are gated by carat_cfi_check
+  /// (KOP_CFI on at compile time and the module has icalls). The CFI
+  /// table below is present exactly when this is set.
+  bool cfi_gated = false;
+  std::vector<CfiAttestedSet> cfi_sets;
+  std::vector<CfiAttestedSite> cfi_sites;
 
   /// Canonical serialization (covered by the signature).
   std::string Serialize() const;
@@ -95,5 +129,15 @@ AttestationRecord Attest(const kir::Module& module);
 /// before the module ever runs.
 Status VerifyElisionProvenance(const AttestationRecord& record,
                                const std::vector<GuardSite>& sites);
+
+/// Re-prove the record's CFI table against the IR actually received: the
+/// attested sets and sites must equal, member for member and ordinal for
+/// ordinal, the sets the kop::cfi derivation computes from `module`. A
+/// forged, stale, renumbered, or wider-than-proof table fails here before
+/// the module ever runs; a module that imports carat_cfi_check while its
+/// attestation carries no table fails too (the gate cannot be attested
+/// away).
+Status VerifyCfiProvenance(const AttestationRecord& record,
+                           const kir::Module& module);
 
 }  // namespace kop::transform

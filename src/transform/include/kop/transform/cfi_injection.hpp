@@ -1,0 +1,35 @@
+// The kop::cfi injection transform (DESIGN.md §16): derive the legal
+// target set of every indirect call (analysis/cfi.hpp) and insert a call
+// to carat_cfi_check(target, set_id) immediately before it — the
+// control-flow analogue of guard injection. The derived sets are
+// deduplicated into a compact per-module table the attestation carries
+// and the loader registers with the policy engine; the static verifier
+// re-derives the table at insmod and rejects any attestation that
+// disagrees, so a forged or widened table never reaches enforcement.
+#pragma once
+
+#include <cstdint>
+
+#include "kop/transform/pass.hpp"
+
+namespace kop::transform {
+
+struct CfiInjectionStats {
+  uint64_t checks_injected = 0;
+  uint64_t sites_already_checked = 0;  // idempotent re-runs insert nothing
+  uint64_t target_sets = 0;            // deduped set-table size
+};
+
+class CfiInjectionPass : public ModulePass {
+ public:
+  std::string_view name() const override { return "carat-kop-cfi-inject"; }
+
+  Status Run(kir::Module& module) override;
+
+  const CfiInjectionStats& stats() const { return stats_; }
+
+ private:
+  CfiInjectionStats stats_;
+};
+
+}  // namespace kop::transform

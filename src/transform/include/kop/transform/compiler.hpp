@@ -10,6 +10,7 @@
 
 #include "kop/kir/module.hpp"
 #include "kop/transform/attestation.hpp"
+#include "kop/transform/cfi_injection.hpp"
 #include "kop/transform/guard_elide.hpp"
 #include "kop/transform/guard_injection.hpp"
 #include "kop/util/status.hpp"
@@ -20,6 +21,12 @@ namespace kop::transform {
 /// value other than "off"/"0" enables it. The benchmark matrix's
 /// KOP_ELIDE=off leg compiles the identical module without covers.
 bool DefaultElideGuards();
+
+/// CFI default from the KOP_CFI environment variable, same convention:
+/// unset or any value other than "off"/"0" enables indirect-call gating.
+/// The matrix's KOP_CFI=off leg compiles the identical module without
+/// checks (and without a CFI table in the attestation).
+bool DefaultCfiChecks();
 
 struct CompileOptions {
   /// Run constant folding / DCE before guard injection (the CAKE-style
@@ -37,6 +44,11 @@ struct CompileOptions {
   /// guards into preheaders, with provenance in the attestation. Runs
   /// last; on by default (KOP_ELIDE=off disables).
   bool elide_guards = DefaultElideGuards();
+  /// kop::cfi indirect-call gating (cfi_injection.hpp): derive legal
+  /// target sets and insert carat_cfi_check before every icall, with the
+  /// set table in the attestation. Runs after elision so covers never see
+  /// the checks; on by default (KOP_CFI=off disables).
+  bool inject_cfi_checks = DefaultCfiChecks();
 };
 
 struct CompileOutput {
@@ -46,6 +58,7 @@ struct CompileOutput {
   GuardInjectionStats guard_stats;
   uint64_t guards_removed_by_opt = 0;
   GuardElideStats elide_stats;
+  CfiInjectionStats cfi_stats;
 };
 
 /// Compile module source text. Fails on parse/verify errors or when the

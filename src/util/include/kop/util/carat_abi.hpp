@@ -33,6 +33,18 @@ inline constexpr const char* kCaratIntrinsicGuardSymbol =
 /// the static verifier can re-prove the covering claim at insmod.
 inline constexpr const char* kCaratGuardRangeSymbol = "carat_guard_range";
 
+/// Control-flow integrity check emitted by the CfiInjectionPass
+/// (DESIGN.md §16) immediately before every indirect call:
+///
+///   int carat_cfi_check(void* target, size_t set_id);
+///
+/// `set_id` indexes the per-module target-set table carried in the
+/// signed attestation and registered with the policy engine at insmod
+/// (the loader's resolver rebases module-local ids into the engine's
+/// global table). Returns nonzero when `target` is a member; a denial
+/// owns the same violation/containment semantics as a memory guard.
+inline constexpr const char* kCaratCfiCheckSymbol = "carat_cfi_check";
+
 /// access_flags bits.
 inline constexpr uint64_t kGuardAccessRead = 1u << 0;
 inline constexpr uint64_t kGuardAccessWrite = 1u << 1;

@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "kop/analysis/cfi.hpp"
 #include "kop/analysis/dataflow.hpp"
 #include "kop/analysis/diagnostics.hpp"
 #include "kop/analysis/guard_coverage.hpp"
@@ -450,6 +451,121 @@ entry:
   AnalysisReport allowed;
   CheckPrivileged(*module, allowed, options);
   EXPECT_TRUE(allowed.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------- CFI --
+
+bool HasDiagnostic(const AnalysisReport& report, Severity severity,
+                   const std::string& fragment) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity == severity &&
+        d.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(CfiDerivationTest, IcallCorpusModuleDerivesTheTwoKnownSets) {
+  auto module = Parse(kirmods::IcallSource());
+  const CfiSummary cfi = DeriveCfi(*module);
+
+  ASSERT_EQ(cfi.sets.size(), 2u);
+  // vt_call launders the pointer through memory: ⊤, resolved to every
+  // address-taken signature-compatible function.
+  EXPECT_EQ(cfi.sets[0].members,
+            (std::vector<std::string>{"h_add", "h_sub", "h_xor"}));
+  // vt_pick selects between two funcaddr roots: a finite set.
+  EXPECT_EQ(cfi.sets[1].members, (std::vector<std::string>{"h_add", "h_sub"}));
+  EXPECT_EQ(cfi.address_taken,
+            (std::vector<std::string>{"h_add", "h_sub", "h_xor"}));
+
+  ASSERT_EQ(cfi.sites.size(), 2u);
+  EXPECT_EQ(cfi.sites[0].function, "vt_call");
+  EXPECT_TRUE(cfi.sites[0].derived_top);
+  EXPECT_FALSE(cfi.sites[0].gate);
+  EXPECT_EQ(cfi.sites[0].set_id, 0u);
+  EXPECT_EQ(cfi.sites[1].function, "vt_pick");
+  EXPECT_FALSE(cfi.sites[1].derived_top);
+  EXPECT_EQ(cfi.sites[1].set_id, 1u);
+  // The raw source ships no checks; that is the injection pass's job.
+  EXPECT_FALSE(cfi.sites[0].has_check);
+  EXPECT_FALSE(cfi.sites[1].has_check);
+}
+
+TEST(CfiDerivationTest, DerivationInvariantUnderCompilation) {
+  // Guards and CFI checks are plain calls that never feed the pointer
+  // lattice, so compiling (guard injection + CFI injection) must leave
+  // the derived sets and per-site numbering untouched — the exact
+  // property the insmod verifier's table comparison relies on.
+  auto raw = Parse(kirmods::IcallSource());
+  transform::CompileOptions options;
+  options.inject_cfi_checks = true;  // pin: this test must not follow KOP_CFI
+  auto compiled = Compile(kirmods::IcallSource(), options);
+  const CfiSummary before = DeriveCfi(*raw);
+  const CfiSummary after = DeriveCfi(*compiled);
+
+  ASSERT_EQ(before.sets.size(), after.sets.size());
+  for (size_t i = 0; i < before.sets.size(); ++i) {
+    EXPECT_EQ(before.sets[i].members, after.sets[i].members) << "set " << i;
+  }
+  ASSERT_EQ(before.sites.size(), after.sites.size());
+  for (size_t i = 0; i < before.sites.size(); ++i) {
+    EXPECT_EQ(before.sites[i].set_id, after.sites[i].set_id) << "site " << i;
+    // The injection pass placed a correct adjacent check at every site.
+    EXPECT_TRUE(after.sites[i].has_check) << "site " << i;
+    EXPECT_TRUE(after.sites[i].check_covers_target) << "site " << i;
+    EXPECT_EQ(after.sites[i].check_set_id,
+              static_cast<int64_t>(after.sites[i].set_id))
+        << "site " << i;
+  }
+}
+
+TEST(CfiCheckTest, UncheckedIcallInClaimingModuleIsAnError) {
+  auto module = Parse(kirmods::AdversarialIcallUncheckedSource());
+  AnalysisReport report;
+  report.module_name = module->name();
+  CheckCfi(*module, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnostic(report, Severity::kError,
+                            "indirect call without an adjacent "
+                            "carat_cfi_check"))
+      << RenderText(report);
+}
+
+TEST(CfiCheckTest, CheckGuardingTheWrongValueIsAnError) {
+  auto module = Parse(kirmods::AdversarialCfiWrongValueSource());
+  AnalysisReport report;
+  report.module_name = module->name();
+  CheckCfi(*module, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnostic(
+      report, Severity::kError,
+      "carat_cfi_check does not cover the indirect call's target value"))
+      << RenderText(report);
+}
+
+TEST(CfiCheckTest, FuncaddrOfNonExportedExternalIsAnError) {
+  auto module = Parse(kirmods::AdversarialFuncaddrExternSource());
+  AnalysisReport report;
+  report.module_name = module->name();
+  CheckCfi(*module, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnostic(report, Severity::kError,
+                            "funcaddr of external symbol `ioremap` which is "
+                            "not an exported kernel entry point"))
+      << RenderText(report);
+}
+
+TEST(CfiCheckTest, CompiledCorpusIsCfiClean) {
+  for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
+    SCOPED_TRACE(entry.name);
+    auto module = Compile(entry.source);
+    AnalysisReport report;
+    report.module_name = module->name();
+    CheckCfi(*module, report);
+    EXPECT_TRUE(report.ok()) << RenderText(report);
+  }
 }
 
 // ------------------------------------------------- aggregate + renderings --

@@ -319,6 +319,16 @@ std::vector<ScriptCall> ScriptFor(const std::string& module_name) {
             {"knic_send", {FlatMemory::kBase, 64}},
             {"knic_sent_hw", {FlatMemory::kBase}}};
   }
+  if (module_name == "kop_icall") {
+    std::vector<ScriptCall> script{{"vt_init", {}}};
+    for (uint64_t i = 0; i < 9; ++i) {
+      script.push_back({"vt_call", {i % 3, i * 5 + 3, i + 1}});
+    }
+    script.push_back({"vt_pick", {0, 7, 2}});
+    script.push_back({"vt_pick", {1, 7, 2}});
+    script.push_back({"vt_acc", {}});
+    return script;
+  }
   ADD_FAILURE() << "no script for corpus module " << module_name;
   return {};
 }
@@ -954,6 +964,112 @@ TEST(ElisionProvenanceTest, ForgedAttestationRejectedUnderStaticVerify) {
     stack.loader.set_verify_mode(mode);
     EXPECT_TRUE(stack.loader.Insmod(good).ok())
         << kernel::VerifyModeName(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CFI differential: gating must be observationally invisible for honest
+// modules and the only thing standing between a forged pointer and a jump
+// ---------------------------------------------------------------------------
+
+signing::SignedModule CompileAndSignCfi(const std::string& source, bool cfi) {
+  transform::CompileOptions options;
+  options.inject_cfi_checks = cfi;
+  auto compiled = transform::CompileModuleText(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return signing::SignModule(compiled->text, compiled->attestation,
+                             signing::SigningKey::DevelopmentKey());
+}
+
+// Every (engine, cfi) leg of the honest icall module must return the same
+// values; CFI-on legs route every indirect call through carat_cfi_check
+// with zero denials, CFI-off legs never consult it.
+TEST(CfiDifferentialTest, HonestModuleIsIdenticalWithCfiOnAndOff) {
+  struct Leg {
+    kernel::ExecEngine engine;
+    bool cfi;
+  };
+  const Leg legs[] = {
+      {kernel::ExecEngine::kInterp, false},
+      {kernel::ExecEngine::kInterp, true},
+      {kernel::ExecEngine::kBytecode, false},
+      {kernel::ExecEngine::kBytecode, true},
+  };
+  std::vector<std::vector<std::string>> results;
+  std::vector<policy::GuardStats> stats;
+  for (const Leg& leg : legs) {
+    Stack stack(leg.engine);
+    auto loaded =
+        stack.loader.Insmod(CompileAndSignCfi(kirmods::IcallSource(), leg.cfi));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    std::vector<std::string> out;
+    for (const ScriptCall& call : ScriptFor("kop_icall")) {
+      auto r = (*loaded)->Call(call.function, call.args);
+      out.push_back(r.ok() ? std::to_string(*r) : r.status().ToString());
+    }
+    results.push_back(std::move(out));
+    stats.push_back(stack.policy->engine().stats());
+  }
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(results[0], results[i]) << "leg " << i;
+  }
+  EXPECT_EQ(stats[0].cfi_checks, 0u);
+  EXPECT_EQ(stats[2].cfi_checks, 0u);
+  // 9 vt_call + 2 vt_pick indirect calls, each gated exactly once.
+  EXPECT_EQ(stats[1].cfi_checks, 11u);
+  EXPECT_EQ(stats[1].cfi_checks, stats[3].cfi_checks);
+  for (const policy::GuardStats& s : stats) {
+    EXPECT_EQ(s.cfi_denied, 0u);
+  }
+}
+
+// A forged vtable entry pointing at a real, signature-compatible function
+// that is outside every attested legal-target set: with CFI the call is
+// contained under the "cfi" reason identically on both engines; without
+// CFI it SUCCEEDS — a silent control-flow hijack the memory guards never
+// see.
+TEST(CfiDifferentialTest, ForgedVtableEntryContainedOnlyUnderCfi) {
+  for (const kernel::ExecEngine engine :
+       {kernel::ExecEngine::kInterp, kernel::ExecEngine::kBytecode}) {
+    SCOPED_TRACE(kernel::ExecEngineName(engine));
+    for (const bool cfi : {true, false}) {
+      Stack stack(engine);
+      stack.policy->engine().SetViolationAction(
+          policy::ViolationAction::kQuarantine);
+      stack.loader.set_recovery_policy(
+          resilience::RecoveryPolicy::kQuarantine);
+      auto loaded = stack.loader.Insmod(
+          CompileAndSignCfi(kirmods::IcallSource(), cfi));
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      ASSERT_TRUE((*loaded)->Call("vt_init", {}).ok());
+
+      // Scribble slot 0 with @h_spare — compatible signature, never
+      // address-taken, so it belongs to no legal-target set.
+      const int spare = (*loaded)->ir().FunctionIndex("h_spare");
+      ASSERT_GE(spare, 0);
+      auto vtable = (*loaded)->GlobalAddress("vtable");
+      ASSERT_TRUE(vtable.ok());
+      ASSERT_TRUE(stack.kernel.mem()
+                      .Write64(*vtable, kir::FunctionAddressForIndex(
+                                            static_cast<uint32_t>(spare)))
+                      .ok());
+
+      auto hijacked = (*loaded)->Call("vt_call", {0, 5, 3});
+      if (cfi) {
+        ASSERT_FALSE(hijacked.ok());
+        EXPECT_TRUE((*loaded)->quarantined());
+        EXPECT_NE((*loaded)->quarantine_reason().find("cfi violation"),
+                  std::string::npos)
+            << (*loaded)->quarantine_reason();
+        EXPECT_GT(stack.policy->engine().stats().cfi_denied, 0u);
+      } else {
+        // h_spare(5, 3) runs to completion: returns %b and side-effects
+        // @acc — the hijack is invisible without CFI.
+        ASSERT_TRUE(hijacked.ok()) << hijacked.status().ToString();
+        EXPECT_EQ(*hijacked, 3u);
+        EXPECT_FALSE((*loaded)->quarantined());
+      }
+    }
   }
 }
 

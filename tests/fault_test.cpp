@@ -8,6 +8,7 @@
 
 #include "kop/fault/campaign.hpp"
 #include "kop/trace/trace.hpp"
+#include "kop/transform/compiler.hpp"
 
 namespace kop {
 namespace {
@@ -126,12 +127,46 @@ TEST(FaultCampaignTest, JsonReportIsWellFormedAndSelfDescribing) {
   EXPECT_NE(text.find("contained"), std::string::npos);
 }
 
+TEST(FaultCampaignTest, ControlFlowCorruptionFamilyBehavesPerCfiMode) {
+  CampaignConfig config;
+  config.seed = 13;
+  CampaignReport report = RunCampaign(config);
+  size_t flips = 0;
+  size_t forges = 0;
+  size_t forges_contained = 0;
+  for (const auto& trial : report.trials) {
+    const bool is_flip = trial.plan.kind == FaultKind::kCallTargetFlip;
+    const bool is_forge = trial.plan.kind == FaultKind::kCallTargetForge;
+    if (!is_flip && !is_forge) continue;
+    flips += is_flip ? 1 : 0;
+    forges += is_forge ? 1 : 0;
+    forges_contained += (is_forge && trial.contained) ? 1 : 0;
+    // RunTrial itself asserts that every contained control-flow trial's
+    // postmortem carries reason "cfi" — a failure there surfaces here.
+    EXPECT_TRUE(trial.invariant_failures.empty())
+        << "trial " << trial.index << ": " << trial.invariant_failures[0];
+  }
+  EXPECT_GT(flips, 0u);
+  EXPECT_GT(forges, 0u);
+  if (transform::DefaultCfiChecks()) {
+    // A forged target is never a legal-set member, so with CFI enforced
+    // every forge trial must be contained. (A bit flip can land on another
+    // legal member and be absorbed; flips carry no such guarantee.)
+    EXPECT_EQ(forges_contained, forges);
+  } else {
+    // The ablation: with KOP_CFI=off the corrupted call is an absorbed
+    // oops — or a silent hijack — never a containment event.
+    EXPECT_EQ(forges_contained, 0u);
+  }
+}
+
 TEST(FaultCampaignTest, FaultKindNamesAreDistinct) {
   const FaultKind kinds[] = {
       FaultKind::kSpuriousViolation, FaultKind::kGuardTableCorrupt,
       FaultKind::kStoreBitFlip,      FaultKind::kLoadBitFlip,
       FaultKind::kKmallocFail,       FaultKind::kWatchdogExpiry,
-      FaultKind::kNicTxError};
+      FaultKind::kNicTxError,      FaultKind::kCallTargetFlip,
+      FaultKind::kCallTargetForge};
   std::set<std::string> names;
   for (FaultKind kind : kinds) {
     const std::string name(fault::FaultKindName(kind));

@@ -2,6 +2,8 @@
 // insmod, runaway modules, wild pointers, oops-not-panic semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "kop/kernel/kernel.hpp"
 #include "kop/kernel/module_loader.hpp"
 #include "kop/kernel/procfs.hpp"
@@ -275,8 +277,12 @@ TEST(LoaderStaticVerifyTest, EachAdversarialModuleRejectedByDefault) {
        kirmods::AdversarialCorpusModules()) {
     auto loaded = loader.Insmod(ForgeAttestationAndSign(entry.source));
     ASSERT_FALSE(loaded.ok()) << entry.name;
-    EXPECT_EQ(loaded.status().code(), ErrorCode::kPermissionDenied)
-        << entry.name;
+    // Two rejection layers are acceptable: the validator (kBadModule —
+    // e.g. a CFI-claiming module with no attested table) or the static
+    // verifier (kPermissionDenied). Either way the module never loads.
+    EXPECT_TRUE(loaded.status().code() == ErrorCode::kPermissionDenied ||
+                loaded.status().code() == ErrorCode::kBadModule)
+        << entry.name << ": " << loaded.status().ToString();
   }
 }
 
@@ -304,6 +310,96 @@ TEST(LoaderStaticVerifyTest, StaticModeAcceptsProofWithoutAttestedClaim) {
   auto loaded = loader.Insmod(image);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_TRUE((*loaded)->Call("rb_init", {}).ok());
+}
+
+TEST(LoaderStaticVerifyTest, WidenedCfiSetRejectedInEveryVerifyMode) {
+  transform::CompileOptions options;
+  options.inject_cfi_checks = true;  // pin: must not follow KOP_CFI
+  auto compiled =
+      transform::CompileModuleText(kirmods::IcallSource(), options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_TRUE(compiled->attestation.cfi_gated);
+  ASSERT_FALSE(compiled->attestation.cfi_sets.empty());
+
+  // Widen set 0 with @h_spare — signature-compatible but never
+  // address-taken — and re-sign with a trusted key. The signature is
+  // genuine; the claim is wider than the proof, which is exactly the
+  // attack the insmod re-derivation exists to stop. CFI provenance is
+  // re-proven in EVERY verify mode (a forged table corrupts enforcement
+  // even when attestation-only trust is acceptable for guards).
+  transform::AttestationRecord forged = compiled->attestation;
+  forged.cfi_sets[0].members.push_back("h_spare");
+  std::sort(forged.cfi_sets[0].members.begin(),
+            forged.cfi_sets[0].members.end());
+  const signing::SignedModule image = signing::SignModule(
+      compiled->text, forged, signing::SigningKey::DevelopmentKey());
+
+  for (const kernel::VerifyMode mode :
+       {kernel::VerifyMode::kStatic, kernel::VerifyMode::kBoth,
+        kernel::VerifyMode::kAttest}) {
+    Kernel kernel;
+    auto policy = policy::PolicyModule::Insert(
+        &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+    ASSERT_TRUE(policy.ok());
+    ModuleLoader loader(&kernel, TrustedKeyring());
+    loader.set_verify_mode(mode);
+    auto loaded = loader.Insmod(image);
+    ASSERT_FALSE(loaded.ok()) << kernel::VerifyModeName(mode);
+    EXPECT_NE(loaded.status().ToString().find("cfi attestation"),
+              std::string::npos)
+        << loaded.status().ToString();
+    EXPECT_TRUE(loader.LoadedNames().empty());
+  }
+
+  // The untampered image loads and dispatches through its gate in every
+  // mode: honest modules pay no admission cost for CFI.
+  const signing::SignedModule good =
+      signing::SignModule(compiled->text, compiled->attestation,
+                          signing::SigningKey::DevelopmentKey());
+  for (const kernel::VerifyMode mode :
+       {kernel::VerifyMode::kStatic, kernel::VerifyMode::kBoth,
+        kernel::VerifyMode::kAttest}) {
+    Kernel kernel;
+    auto policy = policy::PolicyModule::Insert(
+        &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+    ASSERT_TRUE(policy.ok());
+    ModuleLoader loader(&kernel, TrustedKeyring());
+    loader.set_verify_mode(mode);
+    auto loaded = loader.Insmod(good);
+    ASSERT_TRUE(loaded.ok())
+        << kernel::VerifyModeName(mode) << ": " << loaded.status().ToString();
+    ASSERT_TRUE((*loaded)->Call("vt_init", {}).ok());
+    auto r = (*loaded)->Call("vt_call", {0, 5, 3});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, 8u);  // slot 0 is h_add
+  }
+}
+
+TEST(LoaderStaticVerifyTest, RenumberedCfiSiteRejected) {
+  transform::CompileOptions options;
+  options.inject_cfi_checks = true;
+  auto compiled =
+      transform::CompileModuleText(kirmods::IcallSource(), options);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_GE(compiled->attestation.cfi_sites.size(), 2u);
+
+  // Point the first icall at the second (narrower) set: a stale or
+  // maliciously renumbered site table.
+  transform::AttestationRecord forged = compiled->attestation;
+  forged.cfi_sites[0].set_id = forged.cfi_sites[1].set_id;
+
+  Kernel kernel;
+  auto policy = policy::PolicyModule::Insert(
+      &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+  ASSERT_TRUE(policy.ok());
+  ModuleLoader loader(&kernel, TrustedKeyring());
+  loader.set_verify_mode(kernel::VerifyMode::kBoth);
+  auto loaded = loader.Insmod(signing::SignModule(
+      compiled->text, forged, signing::SigningKey::DevelopmentKey()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("cfi attestation"),
+            std::string::npos)
+      << loaded.status().ToString();
 }
 
 TEST(LoaderStaticVerifyTest, VerifyModeNamesAndDefault) {

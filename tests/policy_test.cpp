@@ -583,6 +583,53 @@ TEST_F(EngineTest, ViolationCarriesPinnedGuardSite) {
   EXPECT_EQ(site_denials, 1u);
 }
 
+TEST_F(EngineTest, CfiCheckDecidesMembershipAndCountsDenials) {
+  const uint64_t base = engine_.RegisterCfiSets({{0x40, 0x20, 0x30}, {0x10}});
+  EXPECT_EQ(engine_.CfiSetCount(), 2u);
+  EXPECT_TRUE(engine_.CfiCheck(0x20, base + 0));
+  EXPECT_TRUE(engine_.CfiCheck(0x40, base + 0));
+  EXPECT_FALSE(engine_.CfiCheck(0x10, base + 0));  // member of the OTHER set
+  EXPECT_TRUE(engine_.CfiCheck(0x10, base + 1));
+  // An out-of-range set id denies: unknown provenance never licences a jump.
+  EXPECT_FALSE(engine_.CfiCheck(0x20, base + 2));
+  EXPECT_EQ(engine_.stats().cfi_checks, 5u);
+  EXPECT_EQ(engine_.stats().cfi_denied, 2u);
+  // CFI misses land in the violation ring flagged as cfi, with the target
+  // in the addr field and the set id in the size field.
+  const auto violations = engine_.RecentViolations();
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_TRUE(violations[0].cfi);
+  EXPECT_EQ(violations[0].addr, 0x10u);
+  EXPECT_EQ(violations[0].size, base + 0);
+  EXPECT_TRUE(violations[1].cfi);
+}
+
+TEST_F(EngineTest, FastCfiCheckNeedsPinAndSendsMissesToSlowPath) {
+  const uint64_t base = engine_.RegisterCfiSets({{0x40, 0x20}});
+  // Unpinned: the fast path refuses without deciding anything.
+  EXPECT_FALSE(engine_.FastCfiCheck(0x20, base, 0));
+  EXPECT_EQ(engine_.stats().cfi_checks, 0u);
+  ASSERT_TRUE(engine_.PinFrame());
+  EXPECT_TRUE(engine_.FastCfiCheck(0x20, base, 0));
+  // A miss deopts; the slow path owns violation semantics and must reach
+  // the same verdict.
+  EXPECT_FALSE(engine_.FastCfiCheck(0x99, base, 0));
+  EXPECT_FALSE(engine_.CfiCheck(0x99, base));
+  engine_.UnpinFrame();
+  EXPECT_EQ(engine_.stats().cfi_denied, 1u);
+}
+
+TEST_F(EngineTest, RegisterCfiSetsRebasesPerModule) {
+  // Two "modules" register independently; ids are engine-global and the
+  // returned base rebases each module's local set 0.
+  const uint64_t first = engine_.RegisterCfiSets({{0x100}});
+  const uint64_t second = engine_.RegisterCfiSets({{0x200}});
+  EXPECT_EQ(second, first + 1);
+  EXPECT_TRUE(engine_.CfiCheck(0x100, first));
+  EXPECT_TRUE(engine_.CfiCheck(0x200, second));
+  EXPECT_FALSE(engine_.CfiCheck(0x200, first));
+}
+
 TEST_F(EngineTest, ConcurrentGuardsAndMutationsStaySane) {
   // Hammer the engine from reader threads while a writer churns the
   // table; counts must add up and nothing may crash or deadlock.

@@ -425,6 +425,110 @@ TEST(SmpTest, ConcurrentViolationsElectExactlyOneQuarantineWinner) {
   }
 }
 
+// A CFI violation is a containment event like any guard violation: when
+// every CPU dispatches through a corrupted vtable concurrently, exactly
+// one wins the containment race, the module quarantines under the "cfi"
+// reason, and every CPU's journaled writes roll back.
+const char* kSmpCfiSource = R"(module "kop_smp_cfi"
+
+global @vtable size 8 rw
+global @scratch size 256 rw
+
+func @h_ok(i64 %x) -> i64 {
+entry:
+  %r = add i64 %x, 1
+  ret i64 %r
+}
+
+func @vt_init() -> i64 {
+entry:
+  %f = funcaddr @h_ok
+  %i = ptrtoint ptr %f to i64
+  store i64 %i, @vtable
+  ret i64 1
+}
+
+func @poke_then_icall(ptr %slot, i64 %v, i64 %x) -> i64 {
+entry:
+  store i64 %v, %slot
+  %raw = load i64, @vtable
+  %f = inttoptr i64 %raw to ptr
+  %r = icall i64 %f(i64 %x)
+  ret i64 %r
+}
+)";
+
+TEST(SmpTest, ConcurrentCfiViolationsElectExactlyOneWinner) {
+  constexpr uint32_t kCpus = 4;
+  for (ExecEngine engine : kEngines) {
+    Kernel kernel(SmallKernel());
+    auto inserted = policy::PolicyModule::Insert(
+        &kernel, nullptr, policy::PolicyMode::kDefaultAllow);
+    ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+    auto policy = std::move(*inserted);
+    policy->engine().SetViolationAction(policy::ViolationAction::kQuarantine);
+    ModuleLoader loader(&kernel, TrustedKeyring());
+    loader.set_engine(engine);
+    loader.set_recovery_policy(resilience::RecoveryPolicy::kQuarantine);
+
+    transform::CompileOptions options;
+    options.inject_cfi_checks = true;  // pin: must not follow KOP_CFI
+    auto compiled = transform::CompileModuleText(kSmpCfiSource, options);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    auto loaded = loader.Insmod(
+        signing::SignModule(compiled->text, compiled->attestation,
+                            signing::SigningKey::DevelopmentKey()));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    LoadedModule* module = *loaded;
+    ASSERT_TRUE(loader.PrepareCpus(kCpus).ok());
+    ASSERT_TRUE(module->Call("vt_init", {}).ok());
+
+    auto scratch = module->GlobalAddress("scratch");
+    ASSERT_TRUE(scratch.ok());
+    for (uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      ASSERT_TRUE(
+          kernel.mem().Write64(*scratch + uint64_t{cpu} * 8, 7 + cpu).ok());
+    }
+    // Corrupt the vtable: the target is no legal-set member, so every
+    // CPU's gated dispatch must throw a CFI violation.
+    auto vtable = module->GlobalAddress("vtable");
+    ASSERT_TRUE(vtable.ok());
+    ASSERT_TRUE(kernel.mem().Write64(*vtable, 0x1234).ok());
+
+    std::vector<Status> results(kCpus, OkStatus());
+    smp::RunOnCpus(kCpus, [&](uint32_t cpu) {
+      auto result = module->Call(
+          "poke_then_icall", {*scratch + uint64_t{cpu} * 8, 0xDEAD, 1});
+      results[cpu] = result.status();
+    });
+
+    EXPECT_TRUE(module->quarantined());
+    EXPECT_NE(module->quarantine_reason().find("cfi violation"),
+              std::string::npos)
+        << module->quarantine_reason();
+    int winners = 0;
+    for (uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      EXPECT_FALSE(results[cpu].ok()) << "cpu " << cpu;
+      if (results[cpu].message().find("' quarantined:") !=
+          std::string::npos) {
+        ++winners;
+      }
+    }
+    EXPECT_EQ(winners, 1) << "engine " << kernel::ExecEngineName(engine);
+
+    // Per-CPU rollback: the poke preceding each denied dispatch is gone.
+    for (uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      auto value = kernel.mem().Read64(*scratch + uint64_t{cpu} * 8);
+      ASSERT_TRUE(value.ok());
+      EXPECT_EQ(*value, 7 + cpu)
+          << "cpu " << cpu << " journal residue, engine "
+          << kernel::ExecEngineName(engine);
+    }
+    EXPECT_FALSE(module->journaled_memory().journal().active());
+    EXPECT_TRUE(module->heap_allocations().empty());
+  }
+}
+
 // ------------------------------------------ --cpus 1 differential run
 
 // The SMP dispatcher at --cpus 1 runs on the calling thread against

@@ -4,7 +4,10 @@
 
 #include "kop/kir/kir.hpp"
 #include "kop/kirmods/corpus.hpp"
+#include <algorithm>
+
 #include "kop/transform/attestation.hpp"
+#include "kop/transform/cfi_injection.hpp"
 #include "kop/transform/compiler.hpp"
 #include "kop/transform/guard_injection.hpp"
 #include "kop/transform/guard_opt.hpp"
@@ -810,6 +813,82 @@ TEST(ElisionProvenanceTest, VerifierRejectsForgedRecords) {
     AttestationRecord forged = output->attestation;
     forged.elisions[0].site_id = 9999;
     EXPECT_FALSE(VerifyElisionProvenance(forged, sites).ok());
+  }
+}
+
+// ------------------------------------------------------- CFI injection --
+
+TEST(CfiInjectionTest, InjectsOneCheckPerIcallAndIsIdempotent) {
+  auto module = Parse(kirmods::IcallSource());
+  CfiInjectionPass first;
+  ASSERT_TRUE(first.Run(*module).ok());
+  EXPECT_EQ(first.stats().checks_injected, 2u);  // vt_call + vt_pick
+  EXPECT_EQ(first.stats().sites_already_checked, 0u);
+  EXPECT_EQ(first.stats().target_sets, 2u);
+  ASSERT_TRUE(kir::VerifyModule(*module).ok())
+      << kir::VerifyModule(*module).ToString();
+
+  // Re-running on already-gated IR must insert nothing: the pass is the
+  // repair/no-op boundary the --as-shipped verifier mode depends on.
+  CfiInjectionPass second;
+  ASSERT_TRUE(second.Run(*module).ok());
+  EXPECT_EQ(second.stats().checks_injected, 0u);
+  EXPECT_EQ(second.stats().sites_already_checked, 2u);
+}
+
+TEST(AttestationTest, CfiTableRoundTrips) {
+  CompileOptions options;
+  options.inject_cfi_checks = true;  // pin: this test must not follow KOP_CFI
+  auto output = CompileModuleText(kirmods::IcallSource(), options);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_TRUE(output->attestation.cfi_gated);
+  ASSERT_EQ(output->attestation.cfi_sets.size(), 2u);
+  ASSERT_EQ(output->attestation.cfi_sites.size(), 2u);
+
+  auto parsed = AttestationRecord::Deserialize(output->attestation.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->cfi_gated, output->attestation.cfi_gated);
+  EXPECT_EQ(parsed->cfi_sets, output->attestation.cfi_sets);
+  EXPECT_EQ(parsed->cfi_sites, output->attestation.cfi_sites);
+}
+
+TEST(CfiProvenanceTest, VerifierRejectsForgedTables) {
+  CompileOptions options;
+  options.inject_cfi_checks = true;  // pin: this test must not follow KOP_CFI
+  auto output = CompileModuleText(kirmods::IcallSource(), options);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_TRUE(VerifyCfiProvenance(output->attestation, *output->module).ok());
+
+  {  // Widened set: an extra legal target the derivation never proved.
+    AttestationRecord forged = output->attestation;
+    forged.cfi_sets[0].members.push_back("h_spare");
+    std::sort(forged.cfi_sets[0].members.begin(),
+              forged.cfi_sets[0].members.end());
+    EXPECT_FALSE(VerifyCfiProvenance(forged, *output->module).ok());
+  }
+  {  // Narrowed set: dropping a member is a mismatch too — the table must
+    // equal the proof, not merely under-approximate it.
+    AttestationRecord forged = output->attestation;
+    forged.cfi_sets[0].members.pop_back();
+    EXPECT_FALSE(VerifyCfiProvenance(forged, *output->module).ok());
+  }
+  {  // Renumbered site: the icall claims the wrong set id.
+    AttestationRecord forged = output->attestation;
+    forged.cfi_sites[0].set_id = 1;
+    EXPECT_FALSE(VerifyCfiProvenance(forged, *output->module).ok());
+  }
+  {  // Dropped site: one gated icall vanishes from the table.
+    AttestationRecord forged = output->attestation;
+    forged.cfi_sites.pop_back();
+    EXPECT_FALSE(VerifyCfiProvenance(forged, *output->module).ok());
+  }
+  {  // Attested away entirely: the module imports carat_cfi_check, so an
+    // empty table is a forgery, not an ungated module.
+    AttestationRecord forged = output->attestation;
+    forged.cfi_gated = false;
+    forged.cfi_sets.clear();
+    forged.cfi_sites.clear();
+    EXPECT_FALSE(VerifyCfiProvenance(forged, *output->module).ok());
   }
 }
 

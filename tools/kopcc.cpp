@@ -10,14 +10,22 @@
 //         [--sites]                 # guard-site table, annotated with
 //                                   # each cover's elision proof
 //         [--bytecode]              # register-VM bytecode listing plus
-//                                   # the elision provenance table
+//                                   # the elision provenance table and
+//                                   # the attested CFI target-set table
 //   kopcc verify <in.kko>           # run the insmod-time validator
-//   kopcc check <in.kir|in.kko> [--json] [compile options]
+//   kopcc check <in.kir|in.kko> [--json] [--as-shipped] [compile options]
+//                                   # --as-shipped analyzes .kir source
+//                                   # exactly as written (no guard/CFI
+//                                   # injection) — for adversarial
+//                                   # inputs the compiler would repair
 //                                   # run the static analyses (guard
 //                                   # coverage, provenance, privileged
-//                                   # lint); .kir inputs are compiled
-//                                   # first, .kko inputs analyzed as
-//                                   # shipped; exit 1 on any error
+//                                   # lint, cfi); .kir inputs are
+//                                   # compiled first, .kko inputs
+//                                   # analyzed as shipped; exit 1 on any
+//                                   # error. --json adds the per-icall
+//                                   # CFI annotation block (set id,
+//                                   # target count, gate vs intra)
 //   kopcc check --corpus [--json]   # self-check: every good corpus
 //                                   # module must prove clean, every
 //                                   # adversarial module must be rejected
@@ -57,6 +65,7 @@
 #include <thread>
 #include <vector>
 
+#include "kop/analysis/cfi.hpp"
 #include "kop/analysis/static_verifier.hpp"
 #include "kop/fault/campaign.hpp"
 #include "kop/flight/postmortem.hpp"
@@ -176,6 +185,50 @@ std::string RenderSitesJson(
   return out;
 }
 
+/// "gate" when the legal-target set names an external symbol (the
+/// indirect module->kernel call gate), "intra" for module-local sets.
+const char* CfiSiteKind(const analysis::CfiSite& site) {
+  return site.gate ? "gate" : "intra";
+}
+
+/// The per-indirect-call CFI annotation block for check --json: the
+/// deduped legal-target sets plus one entry per icall with its set id,
+/// target count, gate/intra classification, and check adjacency.
+std::string RenderCfiJson(const analysis::CfiSummary& cfi) {
+  std::string out = "{\"sets\":[";
+  for (size_t i = 0; i < cfi.sets.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "{\"id\":" + std::to_string(i) + ",\"members\":[";
+    for (size_t m = 0; m < cfi.sets[i].members.size(); ++m) {
+      if (m != 0) out += ",";
+      out += "\"" + analysis::JsonEscape(cfi.sets[i].members[m]) + "\"";
+    }
+    out += "]}";
+  }
+  out += "],\"sites\":[";
+  bool first = true;
+  for (const analysis::CfiSite& site : cfi.sites) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"function\":\"" + analysis::JsonEscape(site.function) +
+           "\",\"inst\":" + std::to_string(site.inst_index) +
+           ",\"call\":" + std::to_string(site.call_ordinal) +
+           ",\"set\":" + std::to_string(site.set_id) +
+           ",\"targets\":" +
+           std::to_string(cfi.sets[site.set_id].members.size()) +
+           ",\"kind\":\"" + CfiSiteKind(site) + "\",\"top\":" +
+           (site.derived_top ? "true" : "false") + ",\"checked\":" +
+           (site.has_check && site.check_covers_target &&
+                    site.check_set_id ==
+                        static_cast<int64_t>(site.set_id)
+                ? "true"
+                : "false") +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
 int Compile(const std::vector<std::string>& args) {
   std::string input;
   std::string output;
@@ -277,15 +330,36 @@ int Inspect(const std::vector<std::string>& args) {
     std::fputs(kir::DisassembleBytecode(*bytecode).c_str(), stdout);
     // guard.range ops in the listing carry a proof obligation; print the
     // attested provenance so the listing is auditable on its own.
-    if (auto attestation = transform::AttestationRecord::Deserialize(
-            image->attestation_text);
-        attestation.ok() && !attestation->elisions.empty()) {
+    auto attestation =
+        transform::AttestationRecord::Deserialize(image->attestation_text);
+    if (attestation.ok() && !attestation->elisions.empty()) {
       std::printf("--- elision provenance (%zu covers) ---\n",
                   attestation->elisions.size());
       for (const transform::ElisionRecord& rec : attestation->elisions) {
         std::printf("site %u @%s inst %u: %s\n", rec.site_id,
                     rec.function.c_str(), rec.inst_index,
                     RenderElisionProof(rec).c_str());
+      }
+    }
+    // Same auditability for cfi.check ops: the attested legal-target
+    // sets each set id in the listing resolves against.
+    if (attestation.ok() && attestation->cfi_gated) {
+      std::printf("--- cfi target sets (%zu sets, %zu gated icalls) ---\n",
+                  attestation->cfi_sets.size(),
+                  attestation->cfi_sites.size());
+      for (const transform::CfiAttestedSet& set : attestation->cfi_sets) {
+        std::printf("set %u (%zu targets):", set.set_id, set.members.size());
+        for (const std::string& member : set.members) {
+          std::printf(" @%s", member.c_str());
+        }
+        std::printf("\n");
+      }
+      for (const transform::CfiAttestedSite& site : attestation->cfi_sites) {
+        std::printf("icall @%s inst %u: set %u (check call #%lld, "
+                    "icall call #%llu)\n",
+                    site.function.c_str(), site.inst_index, site.set_id,
+                    static_cast<long long>(site.check_ordinal),
+                    static_cast<unsigned long long>(site.icall_ordinal));
       }
     }
     return 0;
@@ -361,6 +435,7 @@ struct CheckResult {
   analysis::AnalysisReport report;
   std::vector<transform::GuardSite> sites;
   std::vector<transform::ElisionRecord> elisions;
+  analysis::CfiSummary cfi;
 };
 
 /// Analyze module source: a .kko container is analyzed exactly as
@@ -368,7 +443,8 @@ struct CheckResult {
 /// The guard-site table and elision provenance travel along so check
 /// output can annotate each site with its runtime kind and cover proof.
 Result<CheckResult> CheckOne(const std::string& content,
-                             const transform::CompileOptions& options) {
+                             const transform::CompileOptions& options,
+                             bool as_shipped) {
   CheckResult out;
   std::string module_text;
   if (auto image = signing::SignedModule::Deserialize(content); image.ok()) {
@@ -378,6 +454,12 @@ Result<CheckResult> CheckOne(const std::string& content,
         attestation.ok()) {
       out.elisions = attestation->elisions;
     }
+  } else if (as_shipped) {
+    // Analyze the KIR exactly as written: no guard/CFI injection. The
+    // mode for adversarial inputs whose guards are already placed —
+    // wrongly — the way a malicious toolchain would place them; the
+    // compiler would silently repair them.
+    module_text = content;
   } else {
     auto compiled = transform::CompileModuleText(content, options);
     if (!compiled.ok()) return compiled.status();
@@ -389,12 +471,14 @@ Result<CheckResult> CheckOne(const std::string& content,
   KOP_RETURN_IF_ERROR(kir::VerifyModule(**module));
   out.sites = transform::EnumerateGuardSites(**module);
   out.report = analysis::AnalyzeModule(**module);
+  out.cfi = analysis::DeriveCfi(**module);
   return out;
 }
 
 int Check(const std::vector<std::string>& args) {
   bool json = false;
   bool corpus = false;
+  bool as_shipped = false;
   std::string input;
   transform::CompileOptions options;
   for (const std::string& arg : args) {
@@ -402,6 +486,8 @@ int Check(const std::vector<std::string>& args) {
       json = true;
     } else if (arg == "--corpus") {
       corpus = true;
+    } else if (arg == "--as-shipped") {
+      as_shipped = true;
     } else if (arg == "--no-guards") {
       options.inject_guards = false;
     } else if (arg == "--simplify") {
@@ -450,7 +536,7 @@ int Check(const std::vector<std::string>& args) {
       }
     };
     for (const kirmods::CorpusEntry& entry : kirmods::AllCorpusModules()) {
-      auto checked = CheckOne(entry.source, options);
+      auto checked = CheckOne(entry.source, options, /*as_shipped=*/false);
       if (!checked.ok()) return Fail(entry.name + ": " +
                                      checked.status().ToString());
       record(entry.name, /*expect_clean=*/true, checked->report);
@@ -475,12 +561,13 @@ int Check(const std::vector<std::string>& args) {
   if (input.empty()) return Fail("check takes an input file or --corpus");
   auto content = ReadFile(input);
   if (!content.ok()) return Fail(content.status().ToString());
-  auto checked = CheckOne(*content, options);
+  auto checked = CheckOne(*content, options, as_shipped);
   if (!checked.ok()) return Fail(checked.status().ToString());
   if (json) {
-    std::printf("{\"report\":%s,\"guard_sites\":%s}\n",
+    std::printf("{\"report\":%s,\"guard_sites\":%s,\"cfi\":%s}\n",
                 analysis::RenderJson(checked->report).c_str(),
-                RenderSitesJson(checked->sites, checked->elisions).c_str());
+                RenderSitesJson(checked->sites, checked->elisions).c_str(),
+                RenderCfiJson(checked->cfi).c_str());
   } else {
     std::fputs(analysis::RenderText(checked->report).c_str(), stdout);
     if (!checked->elisions.empty()) {
@@ -490,6 +577,17 @@ int Check(const std::vector<std::string>& args) {
         std::printf("  site %u @%s inst %u: %s\n", rec.site_id,
                     rec.function.c_str(), rec.inst_index,
                     RenderElisionProof(rec).c_str());
+      }
+    }
+    if (!checked->cfi.sites.empty()) {
+      std::printf("cfi sites (%zu, %zu target set(s)):\n",
+                  checked->cfi.sites.size(), checked->cfi.sets.size());
+      for (const analysis::CfiSite& site : checked->cfi.sites) {
+        std::printf("  @%s inst %u: set %u (%zu targets, %s%s)\n",
+                    site.function.c_str(), site.inst_index, site.set_id,
+                    checked->cfi.sets[site.set_id].members.size(),
+                    CfiSiteKind(site),
+                    site.has_check ? ", checked" : ", unchecked");
       }
     }
   }
@@ -829,7 +927,8 @@ int main(int argc, char** argv) {
         "usage: kopcc compile <in.kir> [-o out.kko] [options] "
         "[--elide|--no-elide] | "
         "inspect [--sites|--bytecode] <in.kko> | verify <in.kko> | "
-        "check <in.kir|in.kko> [--json] | check --corpus [--json] | "
+        "check <in.kir|in.kko> [--json] [--as-shipped] | "
+        "check --corpus [--json] | "
         "run <in.kko> [--engine=interp|bytecode] [--entry=fn] [--cpus=N] "
         "[args...] | "
         "faultcamp [--seed N] [--trials N] [--json] "
