@@ -1,490 +1,27 @@
 #include "kop/fault/campaign.hpp"
 
-#include <cstring>
 #include <map>
-#include <memory>
 #include <sstream>
 
-#include "kop/kernel/kernel.hpp"
-#include "kop/kir/module.hpp"
-#include "kop/kirmods/corpus.hpp"
-#include "kop/nic/e1000_device.hpp"
-#include "kop/nic/packet_sink.hpp"
-#include "kop/policy/policy_module.hpp"
-#include "kop/signing/signer.hpp"
-#include "kop/trace/metrics.hpp"
-#include "kop/trace/site.hpp"
-#include "kop/transform/compiler.hpp"
+#include "kop/analysis/diagnostics.hpp"
+#include "kop/trace/trace.hpp"
 #include "kop/util/rng.hpp"
+#include "trial_harness.hpp"
 
 namespace kop::fault {
 namespace {
 
-using kernel::Kernel;
-using kernel::LoadedModule;
-using kernel::ModuleLoader;
+using internal::Calibration;
+using internal::RunTrial;
 
-std::string SourceFor(const std::string& scenario) {
-  if (scenario == "ringbuf") return kirmods::RingbufSource();
-  if (scenario == "knic") return kirmods::KnicSource();
-  if (scenario == "icall") return kirmods::IcallSource();
-  return FaultTargetSource();
-}
-
-/// Injection-point space of one scenario, measured by a fault-free
-/// calibration trial (identical across engines: the interpreter and the
-/// VM issue the same load/store sequence by construction).
-struct Calibration {
-  size_t sites = 0;
-  uint64_t loads = 0;
-  uint64_t stores = 0;
-};
-
-/// Trials run under a deliberately small kernel: hundreds of fresh
-/// kernels are built per campaign, and the address-space zeroing cost
-/// dominates wall clock at the default sizes.
-kernel::KernelConfig TrialKernelConfig() {
-  kernel::KernelConfig config;
-  config.ram_bytes = 4ull << 20;
-  config.kernel_text_bytes = 1ull << 20;
-  config.module_area_bytes = 4ull << 20;
-  config.user_bytes = 1ull << 20;
-  return config;
-}
-
-struct TrialContext {
-  CampaignConfig config;
-  FaultPlan plan;
-  Kernel kernel{TrialKernelConfig()};
-  std::unique_ptr<policy::PolicyModule> policy;
-  std::unique_ptr<ModuleLoader> loader;
-  LoadedModule* mod = nullptr;
-  std::unique_ptr<nic::CountingSink> sink;
-  std::unique_ptr<nic::E1000Device> nic;
-  uint64_t heap_baseline = 0;
-  std::vector<policy::Region> policy_baseline;
-  bool check_rollback_bytes = false;
-  bool saw_error = false;
-  TrialResult result;
-};
-
-Status Setup(TrialContext& ctx) {
-  auto policy = policy::PolicyModule::Insert(&ctx.kernel, nullptr,
-                                             policy::PolicyMode::kDefaultAllow);
-  if (!policy.ok()) return policy.status();
-  ctx.policy = std::move(*policy);
-  ctx.policy->engine().SetViolationAction(policy::ViolationAction::kQuarantine);
-  KOP_RETURN_IF_ERROR(ctx.policy->engine().store().Add(
-      policy::Region{0, kernel::kUserSpaceEnd, policy::kProtNone}));
-
-  signing::Keyring keyring;
-  keyring.Trust(signing::SigningKey::DevelopmentKey());
-  ctx.loader = std::make_unique<ModuleLoader>(&ctx.kernel, std::move(keyring));
-  ctx.loader->set_engine(ctx.config.engine);
-  ctx.loader->set_recovery_policy(ctx.config.recovery);
-
-  if (ctx.plan.scenario == "knic") {
-    ctx.sink = std::make_unique<nic::CountingSink>();
-    ctx.nic =
-        std::make_unique<nic::E1000Device>(&ctx.kernel.mem(), ctx.sink.get());
-    KOP_RETURN_IF_ERROR(ctx.nic->MapAt(kernel::kVmallocBase));
-  }
-
-  ctx.heap_baseline = ctx.kernel.heap().Stats().allocation_count;
-
-  auto compiled = transform::CompileModuleText(SourceFor(ctx.plan.scenario));
-  if (!compiled.ok()) return compiled.status();
-  const auto image =
-      signing::SignModule(compiled->text, compiled->attestation,
-                          signing::SigningKey::DevelopmentKey());
-  auto loaded = ctx.loader->Insmod(image);
-  if (!loaded.ok()) return loaded.status();
-  ctx.mod = *loaded;
-  if (ctx.plan.scenario == "knic") {
-    ctx.mod->set_restart_entry("knic_init", {kernel::kVmallocBase});
-  }
-  return OkStatus();
-}
-
-/// Arm the planned fault. Plans are fully materialized up front (point
-/// and bit chosen from the seeded RNG at planning time), so injection
-/// itself draws no randomness — a prerequisite for replay determinism.
-Status Inject(TrialContext& ctx) {
-  const FaultPlan& plan = ctx.plan;
-  switch (plan.kind) {
-    case FaultKind::kSpuriousViolation: {
-      const std::vector<uint64_t>& tokens = ctx.mod->site_tokens();
-      if (tokens.empty()) return Internal("scenario has no guard sites");
-      const uint64_t token = tokens[plan.point % tokens.size()];
-      ctx.policy->engine().ForceDenyAtSite(token);
-      ctx.result.target = trace::GlobalSites().Label(token);
-      return OkStatus();
-    }
-    case FaultKind::kGuardTableCorrupt: {
-      const auto& globals = ctx.mod->ir().globals();
-      if (globals.empty()) return Internal("scenario has no globals");
-      const auto& global = globals[plan.point % globals.size()];
-      auto addr = ctx.mod->GlobalAddress(global->name());
-      if (!addr.ok()) return addr.status();
-      KOP_RETURN_IF_ERROR(ctx.policy->engine().store().Add(
-          policy::Region{*addr, global->size_bytes(), policy::kProtNone}));
-      ctx.result.target = "@" + global->name();
-      return OkStatus();
-    }
-    case FaultKind::kStoreBitFlip:
-    case FaultKind::kLoadBitFlip:
-    case FaultKind::kNicTxError: {
-      const bool store_side = plan.kind != FaultKind::kLoadBitFlip;
-      const uint64_t nth = plan.point;
-      const uint64_t bit = plan.detail;
-      auto seen = std::make_shared<uint64_t>(0);
-      ctx.mod->journaled_memory().SetFaultHook(
-          [store_side, nth, bit, seen](bool is_store, uint64_t /*ordinal*/,
-                                       uint64_t /*addr*/, uint64_t value,
-                                       uint32_t size) -> uint64_t {
-            if (is_store != store_side) return value;
-            if (++*seen != nth) return value;
-            return value ^ (uint64_t{1} << (bit % (size * 8)));
-          });
-      ctx.result.target = std::string(store_side ? "store" : "load") + " #" +
-                          std::to_string(nth) + " bit " + std::to_string(bit);
-      return OkStatus();
-    }
-    case FaultKind::kKmallocFail: {
-      // Replace the kernel's kmalloc export with one that fails (returns
-      // NULL) exactly at the Nth call of this trial.
-      KOP_RETURN_IF_ERROR(ctx.kernel.symbols().Unexport("kmalloc"));
-      Kernel* kernel = &ctx.kernel;
-      auto calls = std::make_shared<uint64_t>(0);
-      const uint64_t fail_at = plan.point;
-      KOP_RETURN_IF_ERROR(ctx.kernel.symbols().ExportFunction(
-          "kmalloc",
-          [kernel, calls, fail_at](const std::vector<uint64_t>& args)
-              -> uint64_t {
-            if (++*calls == fail_at) return 0;
-            auto addr = kernel->heap().Kmalloc(args.empty() ? 0 : args[0]);
-            return addr.ok() ? *addr : 0;
-          }));
-      ctx.result.target = "kmalloc call #" + std::to_string(fail_at);
-      return OkStatus();
-    }
-    case FaultKind::kWatchdogExpiry: {
-      ctx.mod->set_watchdog_steps(plan.point);
-      ctx.result.target = "budget " + std::to_string(plan.point) + " steps";
-      return OkStatus();
-    }
-    case FaultKind::kCallTargetFlip:
-    case FaultKind::kCallTargetForge: {
-      // Control-flow corruption: the fault hook watches only memory ops
-      // landing inside @vtable — the module's function-pointer table —
-      // and corrupts the Nth one. A flip mutates the pointer the
-      // dispatcher loads; a forge rewrites the pointer as it is stored.
-      uint64_t vt_base = 0;
-      uint64_t vt_end = 0;
-      for (const auto& global : ctx.mod->ir().globals()) {
-        if (global->name() != "vtable") continue;
-        auto addr = ctx.mod->GlobalAddress(global->name());
-        if (!addr.ok()) return addr.status();
-        vt_base = *addr;
-        vt_end = *addr + global->size_bytes();
-      }
-      if (vt_end == 0) return Internal("scenario has no @vtable");
-      const bool flip = plan.kind == FaultKind::kCallTargetFlip;
-      const uint64_t nth = plan.point;
-      uint64_t payload = plan.detail;  // flip: bit index
-      std::string label;
-      if (flip) {
-        label = "vtable load #" + std::to_string(nth) + " bit " +
-                std::to_string(payload);
-      } else {
-        switch (plan.detail % 3) {
-          case 0:
-            payload = 0;
-            label = "NULL";
-            break;
-          case 1:
-            payload = 0xdead4bad0f0full;
-            label = "0xdead4bad0f0f";
-            break;
-          default: {
-            // A real, signature-compatible function that is never
-            // address-taken — the precise hijack CFI exists to refuse.
-            const int index = ctx.mod->ir().FunctionIndex("h_spare");
-            if (index < 0) return Internal("icall scenario lost @h_spare");
-            payload = kir::FunctionAddressForIndex(
-                static_cast<size_t>(index));
-            label = "@h_spare";
-            break;
-          }
-        }
-        label = "vtable store #" + std::to_string(nth) + " <- " + label;
-      }
-      auto seen = std::make_shared<uint64_t>(0);
-      ctx.mod->journaled_memory().SetFaultHook(
-          [flip, vt_base, vt_end, nth, payload, seen](
-              bool is_store, uint64_t /*ordinal*/, uint64_t addr,
-              uint64_t value, uint32_t size) -> uint64_t {
-            if (is_store == flip) return value;
-            if (addr < vt_base || addr >= vt_end) return value;
-            if (++*seen != nth) return value;
-            if (flip) return value ^ (uint64_t{1} << (payload % (size * 8)));
-            return payload;
-          });
-      ctx.result.target = label;
-      return OkStatus();
-    }
-  }
-  return Internal("corrupt fault kind");
-}
-
-/// Byte image of every module global, read through the host mapping
-/// (invisible to the simulated clock).
-std::vector<std::vector<uint8_t>> SnapshotGlobals(TrialContext& ctx) {
-  std::vector<std::vector<uint8_t>> out;
-  for (const auto& global : ctx.mod->ir().globals()) {
-    auto addr = ctx.mod->GlobalAddress(global->name());
-    if (!addr.ok()) {
-      out.emplace_back();
-      continue;
-    }
-    const uint8_t* host =
-        ctx.kernel.mem().RawHostPointer(*addr, global->size_bytes());
-    if (host == nullptr) {
-      out.emplace_back();
-      continue;
-    }
-    out.emplace_back(host, host + global->size_bytes());
-  }
-  return out;
-}
-
-/// One workload call, bracketed by the containment checks: when the call
-/// is contained (a rollback ran), kernel memory the module can name must
-/// be byte-identical to call entry, and the containment must be visible
-/// in the metrics.
-Result<uint64_t> TrialCall(TrialContext& ctx, const std::string& fn,
-                           const std::vector<uint64_t>& args) {
-  std::vector<std::vector<uint8_t>> before;
-  if (ctx.check_rollback_bytes) before = SnapshotGlobals(ctx);
-  const uint64_t rollbacks_before =
-      ctx.mod->journaled_memory().journal().total_rollbacks();
-  const uint64_t metric_before =
-      trace::GlobalMetrics().GetCounter("resilience.rollbacks")->value();
-
-  Result<uint64_t> result = [&]() -> Result<uint64_t> {
-    try {
-      return ctx.mod->Call(fn, args);
-    } catch (const kernel::KernelPanic& panic) {
-      return Internal(std::string("kernel panic escaped containment: ") +
-                      panic.what());
-    }
-  }();
-  if (!result.ok()) ctx.saw_error = true;
-
-  const uint64_t rollbacks =
-      ctx.mod->journaled_memory().journal().total_rollbacks() -
-      rollbacks_before;
-  if (rollbacks > 0) {
-    ctx.result.contained = true;
-    if (trace::GlobalMetrics().GetCounter("resilience.rollbacks")->value() ==
-        metric_before) {
-      ctx.result.invariant_failures.push_back(
-          "containment at @" + fn + " not visible in metrics");
-    }
-    if (ctx.check_rollback_bytes) {
-      const auto after = SnapshotGlobals(ctx);
-      if (after != before) {
-        ctx.result.invariant_failures.push_back(
-            "rollback residue: module globals differ from entry of @" + fn);
-      }
-    }
-  }
-  return result;
-}
-
-void RunWorkload(TrialContext& ctx) {
-  const std::string& scenario = ctx.plan.scenario;
-  if (scenario == "ringbuf") {
-    (void)TrialCall(ctx, "rb_init", {});
-    for (uint64_t i = 0; i < 12; ++i) {
-      (void)TrialCall(ctx, "rb_push", {i * 7 + 1});
-    }
-    for (int i = 0; i < 6; ++i) (void)TrialCall(ctx, "rb_pop", {});
-    (void)TrialCall(ctx, "rb_size", {});
-    return;
-  }
-  if (scenario == "knic") {
-    (void)TrialCall(ctx, "knic_init", {kernel::kVmallocBase});
-    (void)TrialCall(ctx, "knic_fill", {64, ctx.config.seed & 0xff});
-    for (int i = 0; i < 8; ++i) {
-      (void)TrialCall(ctx, "knic_send", {kernel::kVmallocBase, 64});
-    }
-    (void)TrialCall(ctx, "knic_sent_hw", {kernel::kVmallocBase});
-    return;
-  }
-  if (scenario == "icall") {
-    (void)TrialCall(ctx, "vt_init", {});
-    for (uint64_t i = 0; i < 9; ++i) {
-      (void)TrialCall(ctx, "vt_call", {i % 3, i * 5 + 3, i + 1});
-    }
-    (void)TrialCall(ctx, "vt_pick", {0, 7, 2});
-    (void)TrialCall(ctx, "vt_pick", {1, 7, 2});
-    // Direct call so h_spare's guard sites fire too: the spurious-
-    // violation family picks a random site token and its forced deny
-    // must be reachable in every scenario.
-    (void)TrialCall(ctx, "h_spare", {11, 4});
-    (void)TrialCall(ctx, "vt_acc", {});
-    return;
-  }
-  // "faulty": heap churn through the kernel's kmalloc/kfree exports.
-  (void)TrialCall(ctx, "init", {});
-  auto a = TrialCall(ctx, "grab", {96});
-  if (a.ok() && *a != 0) {
-    (void)TrialCall(ctx, "poke", {*a, 0x1111});
-  }
-  auto b = TrialCall(ctx, "grab", {160});
-  if (b.ok() && *b != 0) {
-    (void)TrialCall(ctx, "poke", {*b, 0x2222});
-  }
-  (void)TrialCall(ctx, "grab", {224});
-  (void)TrialCall(ctx, "churn", {96});
-  for (int i = 0; i < 3; ++i) (void)TrialCall(ctx, "drop", {});
-}
-
-bool SameRegions(const std::vector<policy::Region>& a,
-                 const std::vector<policy::Region>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].base != b[i].base || a[i].len != b[i].len ||
-        a[i].prot != b[i].prot) {
-      return false;
-    }
-  }
-  return true;
-}
-
-void CheckEndInvariants(TrialContext& ctx) {
-  auto& fails = ctx.result.invariant_failures;
-  if (ctx.kernel.panicked()) fails.push_back("kernel panicked");
-  if (ctx.mod->journaled_memory().journal().active()) {
-    fails.push_back("write journal left open after workload");
-  }
-  if (!SameRegions(ctx.policy->engine().store().Snapshot(),
-                   ctx.policy_baseline)) {
-    fails.push_back("policy table mutated by the workload");
-  }
-
-  // Teardown + leak accounting: after rmmod the simulated heap must be
-  // back to its pre-insmod allocation count (quarantine/restart/dtor
-  // reclaim paths all feed this).
-  ctx.mod->journaled_memory().ClearFaultHook();
-  const std::string name = ctx.mod->name();
-  if (Status rm = ctx.loader->Rmmod(name); !rm.ok()) {
-    fails.push_back("rmmod failed: " + rm.ToString());
-  }
-  ctx.mod = nullptr;
-  const uint64_t allocs = ctx.kernel.heap().Stats().allocation_count;
-  if (allocs != ctx.heap_baseline) {
-    fails.push_back("leaked " +
-                    std::to_string(allocs > ctx.heap_baseline
-                                       ? allocs - ctx.heap_baseline
-                                       : ctx.heap_baseline - allocs) +
-                    " heap allocation(s)");
-  }
-}
-
-TrialResult RunTrial(const CampaignConfig& config, const FaultPlan& plan,
-                     Calibration* calibration_out) {
-  // Fresh incident store per trial: the present-iff-contained invariant
-  // below must see only THIS trial's captures.
-  flight::GlobalPostmortems().Reset();
-  auto ctx = std::make_unique<TrialContext>();
-  ctx->config = config;
-  ctx->plan = plan;
-  ctx->result.plan = plan;
-  // Under restart recovery a contained call legitimately re-inits the
-  // globals, so the byte-identical check only pins quarantine trials.
-  ctx->check_rollback_bytes =
-      config.recovery == resilience::RecoveryPolicy::kQuarantine;
-
-  if (Status setup = Setup(*ctx); !setup.ok()) {
-    ctx->result.invariant_failures.push_back("setup failed: " +
-                                             setup.ToString());
-    return ctx->result;
-  }
-  if (Status armed = Inject(*ctx); !armed.ok()) {
-    ctx->result.invariant_failures.push_back("injection failed: " +
-                                             armed.ToString());
-    return ctx->result;
-  }
-  ctx->policy_baseline = ctx->policy->engine().store().Snapshot();
-
-  RunWorkload(*ctx);
-
-  // Flight-recorder invariant: every contained trial leaves a postmortem
-  // bundle, and no bundle appears without containment.
-  ctx->result.postmortem = flight::GlobalPostmortems().incidents() > 0;
-  if (ctx->result.postmortem != ctx->result.contained) {
-    ctx->result.invariant_failures.push_back(
-        ctx->result.contained
-            ? "contained trial captured no postmortem bundle"
-            : "postmortem bundle captured without containment");
-  }
-
-  // Control-flow containment must be attributed as such: the postmortem
-  // of a flipped/forged call target names "cfi", not a generic guard
-  // violation. (With KOP_CFI=off the checks are never injected — the
-  // corruption is an oops the module observes, never a containment — so
-  // the attribution claim is vacuous there.)
-  if ((plan.kind == FaultKind::kCallTargetFlip ||
-       plan.kind == FaultKind::kCallTargetForge) &&
-      ctx->result.contained && transform::DefaultCfiChecks()) {
-    // Under restart recovery the corruption persists across re-inits, so
-    // the FINAL bundle of an exhausted module is "restart-exhausted";
-    // the cfi attribution lives in the earlier per-incident bundles.
-    flight::PostmortemBundle bundle;
-    if (!flight::GlobalPostmortems().Latest(&bundle) ||
-        (bundle.reason != "cfi" && bundle.reason != "restart-exhausted")) {
-      ctx->result.invariant_failures.push_back(
-          "control-flow containment attributed to \"" +
-          (bundle.reason.empty() ? std::string("?") : bundle.reason) +
-          "\" instead of \"cfi\"");
-    }
-  }
-
-  if (calibration_out != nullptr) {
-    calibration_out->sites = ctx->mod->site_tokens().size();
-    calibration_out->loads = ctx->mod->exec_stats().loads;
-    calibration_out->stores = ctx->mod->exec_stats().stores;
-  }
-
-  ctx->result.outcome =
-      ctx->result.contained
-          ? "contained (" +
-                std::string(ctx->mod != nullptr
-                                ? resilience::ModuleStateName(
-                                      ctx->mod->state())
-                                : "?") +
-                ")"
-          : (ctx->saw_error ? "absorbed (call error, no containment)"
-                            : "absorbed (no containment)");
-
-  CheckEndInvariants(*ctx);
-  return ctx->result;
-}
-
+// Adversarial-content hardening: trial targets and invariant messages
+// embed module-controlled strings (site labels, status text), so every
+// string field goes through the shared analysis::JsonEscape — quotes,
+// backslashes and control bytes included — and the field order below is
+// pinned (DESIGN.md §17): reports must parse and diff cleanly no matter
+// what a fuzzed module smuggles into a label.
 std::string JsonEscape(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (char c : in) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
+  return analysis::JsonEscape(in);
 }
 
 }  // namespace
@@ -500,6 +37,7 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kNicTxError: return "nic-tx-error";
     case FaultKind::kCallTargetFlip: return "call-target-flip";
     case FaultKind::kCallTargetForge: return "call-target-forge";
+    case FaultKind::kNoFault: return "none";
   }
   return "?";
 }
@@ -712,8 +250,8 @@ Result<flight::PostmortemBundle> RunPostmortemDemo(
 
 std::string CampaignReport::ToJson() const {
   std::ostringstream out;
-  out << "{\"seed\":" << seed << ",\"engine\":\"" << engine
-      << "\",\"recovery\":\"" << recovery
+  out << "{\"seed\":" << seed << ",\"engine\":\"" << JsonEscape(engine)
+      << "\",\"recovery\":\"" << JsonEscape(recovery)
       << "\",\"trials\":" << trials.size() << ",\"contained\":" << contained
       << ",\"absorbed\":" << absorbed
       << ",\"invariant_violations\":" << invariant_violations
@@ -723,7 +261,8 @@ std::string CampaignReport::ToJson() const {
     if (i != 0) out << ",";
     out << "{\"i\":" << trial.index << ",\"kind\":\""
         << FaultKindName(trial.plan.kind) << "\",\"scenario\":\""
-        << trial.plan.scenario << "\",\"point\":" << trial.plan.point
+        << JsonEscape(trial.plan.scenario)
+        << "\",\"point\":" << trial.plan.point
         << ",\"detail\":" << trial.plan.detail << ",\"target\":\""
         << JsonEscape(trial.target) << "\",\"contained\":"
         << (trial.contained ? "true" : "false") << ",\"postmortem\":"

@@ -40,6 +40,7 @@ enum class FaultKind : uint8_t {
   kNicTxError,         // TX descriptor/doorbell store corrupted mid-send
   kCallTargetFlip,     // single-bit flip on the Nth vtable pointer load
   kCallTargetForge,    // Nth vtable store replaced with a forged target
+  kNoFault,            // honest kernel — forge fuzzes inputs alone too
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -51,7 +52,7 @@ std::string_view FaultKindName(FaultKind kind);
 /// outside every legal-target set).
 struct FaultPlan {
   FaultKind kind = FaultKind::kSpuriousViolation;
-  std::string scenario;  // "ringbuf" | "faulty" | "knic" | "icall"
+  std::string scenario;  // "ringbuf" | "faulty" | "knic" | "icall" | "forge"
   uint64_t point = 0;
   uint64_t detail = 0;
 };

@@ -1,0 +1,118 @@
+// Internal trial harness shared by the enumerated fault campaign
+// (campaign.cpp) and the coverage-guided forge campaign (forge.cpp).
+// One trial = one fresh simulated kernel + policy module + signed
+// module insmod, one armed fault, one workload, and the kernel
+// invariant checks (rollback byte-identity, metrics visibility, closed
+// journal, unmutated policy table, leak-free rmmod, postmortem
+// present-iff-contained).
+//
+// This header is library-private (it lives next to the sources, not in
+// include/): the public surfaces are kop/fault/campaign.hpp and
+// kop/fault/forge.hpp. Default-constructed hooks reproduce the PR-4
+// campaign behaviour bit for bit — the enumerated campaign's replay
+// contract is the regression oracle for this refactor.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kop/fault/campaign.hpp"
+#include "kop/kernel/kernel.hpp"
+#include "kop/kir/coverage.hpp"
+#include "kop/nic/e1000_device.hpp"
+#include "kop/nic/packet_sink.hpp"
+#include "kop/policy/policy_module.hpp"
+
+namespace kop::fault::internal {
+
+/// Injection-point space of one scenario, measured by a fault-free
+/// calibration trial (identical across engines: the interpreter and the
+/// VM issue the same load/store sequence by construction).
+struct Calibration {
+  size_t sites = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+};
+
+/// Trials run under a deliberately small kernel: hundreds of fresh
+/// kernels are built per campaign, and the address-space zeroing cost
+/// dominates wall clock at the default sizes.
+kernel::KernelConfig TrialKernelConfig();
+
+/// KIR source for a scenario name ("ringbuf" | "knic" | "icall" |
+/// "forge" | anything else = the kmalloc-churning "faulty" module).
+std::string SourceFor(const std::string& scenario);
+
+struct TrialContext;
+
+/// Forge-side parametrization of a trial. The defaults reproduce the
+/// enumerated campaign exactly.
+struct TrialHooks {
+  /// Allocate a harness-owned "protected core-kernel object" (a kernel
+  /// heap block the module is handed a pointer to but must never
+  /// write); its bytes are checked at trial end.
+  bool want_sentinel = false;
+  /// Policy family: true adds a deny region over the sentinel (the
+  /// hardened policy); false ships the deliberately weak policy the
+  /// forge CI leg exists to catch.
+  bool harden_sentinel = true;
+  /// Extra deny regions installed after the family policy — how forge
+  /// verifies a synthesized policy suggestion actually re-contains the
+  /// minimized repro before reporting it.
+  std::vector<policy::Region> extra_regions;
+  /// Replaces the fixed per-scenario call script when set.
+  std::function<void(TrialContext&)> workload;
+  /// Armed as the thread's coverage sink for the workload only.
+  kir::CoverageMap* coverage = nullptr;
+
+  // Out-params (valid after RunTrial returns): copied from the trial
+  // context so callers see forge-specific outcomes without the context.
+  bool reached_flagged_out = false;
+  bool sentinel_scribbled_out = false;
+};
+
+inline constexpr uint64_t kSentinelBytes = 64;
+
+struct TrialContext {
+  CampaignConfig config;
+  FaultPlan plan;
+  kernel::Kernel kernel{TrialKernelConfig()};
+  std::unique_ptr<policy::PolicyModule> policy;
+  std::unique_ptr<kernel::ModuleLoader> loader;
+  kernel::LoadedModule* mod = nullptr;
+  std::unique_ptr<nic::CountingSink> sink;
+  std::unique_ptr<nic::E1000Device> nic;
+  uint64_t heap_baseline = 0;
+  std::vector<policy::Region> policy_baseline;
+  bool check_rollback_bytes = false;
+  bool saw_error = false;
+  TrialHooks* hooks = nullptr;
+
+  // Forge sentinel state (zero / empty when hooks.want_sentinel unset).
+  uint64_t sentinel_addr = 0;
+  std::vector<uint8_t> sentinel_image;
+  bool sentinel_scribbled = false;
+
+  // Set by forge workloads when the analysis-flagged path executed.
+  bool reached_flagged = false;
+
+  TrialResult result;
+};
+
+Status Setup(TrialContext& ctx);
+Status Inject(TrialContext& ctx);
+
+/// One workload call, bracketed by the containment checks.
+Result<uint64_t> TrialCall(TrialContext& ctx, const std::string& fn,
+                           const std::vector<uint64_t>& args);
+
+/// Full trial: setup, inject, workload (fixed script or hooks.workload),
+/// invariant checks, teardown. `calibration_out` receives the measured
+/// injection-point space when non-null.
+TrialResult RunTrial(const CampaignConfig& config, const FaultPlan& plan,
+                     Calibration* calibration_out,
+                     TrialHooks* hooks = nullptr);
+
+}  // namespace kop::fault::internal

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -153,5 +154,34 @@ class PostmortemStore {
 };
 
 PostmortemStore& GlobalPostmortems();
+
+/// RAII: give the calling thread a private flight surface — its own
+/// PostmortemStore plus its own policy/heatmap provider slots — for the
+/// lifetime of the scope. While armed, GlobalPostmortems(),
+/// SetPolicyProvider/SetHeatmapProvider and QueryPolicy/QueryHeatmap on
+/// this thread all resolve to the private surface; other threads (and
+/// this thread outside the scope) keep the process-wide one.
+///
+/// This is the concurrency seam the forge campaign runs on: each worker
+/// CPU hosts a stream of fresh simulated kernels, and every trial
+/// resets the incident store and registers providers pointing into its
+/// own (short-lived) policy engine. Without isolation those would race
+/// across workers and dangle across trials. Scopes nest; the previous
+/// surface is restored on destruction.
+class ScopedFlightIsolation {
+ public:
+  // Opaque to callers; the implementation's thread-local surface slot
+  // needs the name, so it cannot be a private member.
+  struct Surface;
+
+  ScopedFlightIsolation();
+  ~ScopedFlightIsolation();
+  ScopedFlightIsolation(const ScopedFlightIsolation&) = delete;
+  ScopedFlightIsolation& operator=(const ScopedFlightIsolation&) = delete;
+
+ private:
+  std::unique_ptr<Surface> surface_;
+  Surface* prev_;
+};
 
 }  // namespace kop::flight

@@ -20,7 +20,20 @@ struct Providers {
   std::function<std::vector<HeatSite>()> heatmap;
 };
 
+}  // namespace
+
+/// One thread-private flight surface (see ScopedFlightIsolation).
+struct ScopedFlightIsolation::Surface {
+  PostmortemStore store;
+  Providers providers;
+};
+
+namespace {
+
+thread_local ScopedFlightIsolation::Surface* tls_surface = nullptr;
+
 Providers& GlobalProviders() {
+  if (tls_surface != nullptr) return tls_surface->providers;
   static Providers providers;
   return providers;
 }
@@ -418,8 +431,16 @@ void PostmortemStore::Reset() {
 }
 
 PostmortemStore& GlobalPostmortems() {
+  if (tls_surface != nullptr) return tls_surface->store;
   static PostmortemStore store;
   return store;
 }
+
+ScopedFlightIsolation::ScopedFlightIsolation()
+    : surface_(std::make_unique<Surface>()), prev_(tls_surface) {
+  tls_surface = surface_.get();
+}
+
+ScopedFlightIsolation::~ScopedFlightIsolation() { tls_surface = prev_; }
 
 }  // namespace kop::flight

@@ -56,8 +56,8 @@ class VM : public ExecutionEngine {
   Result<uint64_t> ExecuteFunction(uint32_t fn_index,
                                    const std::vector<uint64_t>& args,
                                    uint32_t depth, uint64_t stack_top);
-  Result<uint64_t> RunFrame(const BytecodeFunction& fn, size_t base,
-                            uint32_t depth, uint64_t stack_top);
+  Result<uint64_t> RunFrame(const BytecodeFunction& fn, uint32_t fn_index,
+                            size_t base, uint32_t depth, uint64_t stack_top);
 
   /// First (innermost) fault of the call in flight wins; later frames on
   /// the unwind path see `valid` already set and keep their hands off.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "kop/kir/coverage.hpp"
+
 namespace kop::kir {
 namespace {
 
@@ -168,11 +170,19 @@ Result<uint64_t> VM::ExecuteFunction(uint32_t fn_index,
     regs[i] = args[i] & fn.arg_masks[i];
   }
 
+#if KOP_COVERAGE_ENABLED
+  // Synthetic function-entry edge, so straight-line functions (and the
+  // entry block ahead of the first branch) register in the map too.
+  if (CoverageMap* cov = ThreadCoverage()) {
+    cov->HitEdge(fn_index, 0xffffffffu, 0);
+  }
+#endif
+
   // Frame-granular fault capture: exceptions (guard violations, panics)
   // and error results both stamp this frame into the snapshot on their
   // way out; the innermost frame wins.
   try {
-    Result<uint64_t> result = RunFrame(fn, base, depth, stack_top);
+    Result<uint64_t> result = RunFrame(fn, fn_index, base, depth, stack_top);
     reg_top_ = base;
     if (!result.ok()) RecordFault(fn.name, args, depth);
     return result;
@@ -194,13 +204,22 @@ void VM::RecordFault(const std::string& fn_name,
   fault_state_.stats = stats_;
 }
 
-Result<uint64_t> VM::RunFrame(const BytecodeFunction& fn, size_t base,
-                              uint32_t depth, uint64_t stack_top) {
+Result<uint64_t> VM::RunFrame(const BytecodeFunction& fn, uint32_t fn_index,
+                              size_t base, uint32_t depth,
+                              uint64_t stack_top) {
   uint64_t* regs = reg_stack_.data() + base;
   const BcInst* code = fn.code.data();
   const BcInst* ip = code;
   uint64_t sp = stack_top;
   size_t pc = 0;
+
+#if KOP_COVERAGE_ENABLED
+  // Fetched once per frame: the branch handlers pay one null check when
+  // no sink is armed (the compiled-in-but-disabled cost ext6 gates).
+  CoverageMap* const cov = ThreadCoverage();
+#else
+  (void)fn_index;
+#endif
 
   // The step counter lives in a register for the ALU/branch fast path and
   // is flushed back to stats_ on every edge that leaves this frame or
@@ -390,10 +409,22 @@ dispatch:
         moves = ip->b;
         pc = static_cast<size_t>(ip->imm);
       }
+#if KOP_COVERAGE_ENABLED
+      if (cov != nullptr) [[unlikely]] {
+        cov->HitEdge(fn_index, static_cast<uint32_t>(ip - code),
+                     static_cast<uint32_t>(pc));
+      }
+#endif
       if (moves != kNoMoves) ApplyMoves(regs, fn.edge_moves[moves]);
       VM_DISPATCH();
     }
     VM_CASE(kJmp) : {
+#if KOP_COVERAGE_ENABLED
+      if (cov != nullptr) [[unlikely]] {
+        cov->HitEdge(fn_index, static_cast<uint32_t>(ip - code),
+                     static_cast<uint32_t>(ip->aux));
+      }
+#endif
       if (ip->dst != kNoMoves) ApplyMoves(regs, fn.edge_moves[ip->dst]);
       pc = ip->aux;
       VM_DISPATCH();

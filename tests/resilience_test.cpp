@@ -10,10 +10,12 @@
 #include <string>
 #include <vector>
 
+#include "kop/flight/postmortem.hpp"
 #include "kop/kernel/kernel.hpp"
 #include "kop/kernel/module_loader.hpp"
 #include "kop/kernel/procfs.hpp"
 #include "kop/fault/campaign.hpp"
+#include "kop/trace/metrics.hpp"
 #include "kop/kirmods/corpus.hpp"
 #include "kop/net/socket.hpp"
 #include "kop/nic/e1000_device.hpp"
@@ -301,6 +303,115 @@ TEST(ResilienceTest, RestartChargesExponentialBackoffDowntime) {
             static_cast<double>(backoff.CyclesFor(2)));
 }
 
+// The exhaustion path end to end, under a fault that never clears:
+// every guard site forced to deny, so the init entry fails each restart
+// attempt. The backoff schedule must be exponential (attempt n charges
+// at least base << (n-1) cycles of simulated downtime), every attempt
+// must be visible as a failed kModuleRestart trace event and a
+// resilience.restart_failures count, and the ladder must end in a
+// permanent quarantine carrying the "restart-exhausted" postmortem.
+TEST(ResilienceTest, PersistentFaultWalksFullBackoffLadderToQuarantine) {
+  for (ExecEngine engine : kEngines) {
+    Rig rig(engine, kVictimSource, RecoveryPolicy::kRestart);
+    const BackoffPolicy backoff{3, 50'000, 50'000'000};
+    rig.module->set_backoff(backoff);
+    rig.module->set_restart_entry("init", {});
+    // The persistent fault: policy walls off the module's own @counter
+    // global, so the workload call AND each restart's re-init violate
+    // on their first store. (ForceDenyAtSite holds only one site, and a
+    // single site cannot fail both bump and init.)
+    auto counter_addr = rig.module->GlobalAddress("counter");
+    ASSERT_TRUE(counter_addr.ok());
+    ASSERT_TRUE(rig.policy->engine()
+                    .store()
+                    .Add(policy::Region{*counter_addr, 8, policy::kProtNone})
+                    .ok());
+
+#if KOP_TRACE_ENABLED
+    uint64_t seq_before = 0;
+    for (const auto& record : trace::GlobalTracer().ring().Snapshot()) {
+      seq_before = std::max(seq_before, record.seq);
+    }
+#endif
+    const uint64_t restarts_before =
+        trace::GlobalMetrics().GetCounter("resilience.restarts")->value();
+    const uint64_t failures_before = trace::GlobalMetrics()
+                                         .GetCounter(
+                                             "resilience.restart_failures")
+                                         ->value();
+
+    // Attempts 1..max: each call burns one restart attempt and charges
+    // its rung of the exponential ladder before re-running init.
+    double previous = rig.kernel.clock().NowCycles();
+    for (uint32_t attempt = 1; attempt <= backoff.max_attempts; ++attempt) {
+      ASSERT_FALSE(rig.module->Call("bump", {}).ok());
+      EXPECT_EQ(rig.module->state(), ModuleState::kNeedsRestart);
+      EXPECT_EQ(rig.module->restart_attempts(), attempt);
+      const double now = rig.kernel.clock().NowCycles();
+      EXPECT_GE(now - previous,
+                static_cast<double>(backoff.CyclesFor(attempt)))
+          << "attempt " << attempt << " skipped its backoff rung";
+      previous = now;
+    }
+    EXPECT_EQ(backoff.CyclesFor(1), 50'000u);
+    EXPECT_EQ(backoff.CyclesFor(2), 100'000u);
+    EXPECT_EQ(backoff.CyclesFor(3), 200'000u);
+
+    // Budget exhausted: the next call quarantines for good.
+    ASSERT_FALSE(rig.module->Call("bump", {}).ok());
+    EXPECT_TRUE(rig.module->quarantined());
+    EXPECT_EQ(rig.module->state(), ModuleState::kQuarantined);
+    EXPECT_NE(
+        rig.module->quarantine_reason().find("restart budget exhausted"),
+        std::string::npos);
+    // Permanent: no further attempts are spent.
+    ASSERT_FALSE(rig.module->Call("bump", {}).ok());
+    EXPECT_EQ(rig.module->restart_attempts(), backoff.max_attempts);
+
+    // Counter story: only failures moved, by exactly the budget.
+    EXPECT_EQ(trace::GlobalMetrics()
+                  .GetCounter("resilience.restart_failures")
+                  ->value(),
+              failures_before + backoff.max_attempts);
+    EXPECT_EQ(
+        trace::GlobalMetrics().GetCounter("resilience.restarts")->value(),
+        restarts_before);
+
+#if KOP_TRACE_ENABLED
+    // Trace story: this rig's kModuleRestart records are the ladder,
+    // attempts 1..max in order, every one marked failed. Records are
+    // picked by the process-global seq (each engine iteration builds a
+    // fresh kernel whose virtual clock restarts at zero, so Snapshot's
+    // timestamp order interleaves the two runs).
+    std::vector<trace::TraceRecord> restarts;
+    for (const auto& record : trace::GlobalTracer().ring().Snapshot()) {
+      if (record.event == trace::EventId::kModuleRestart &&
+          record.seq > seq_before) {
+        restarts.push_back(record);
+      }
+    }
+    std::sort(restarts.begin(), restarts.end(),
+              [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
+                return a.seq < b.seq;
+              });
+    ASSERT_EQ(restarts.size(), static_cast<size_t>(backoff.max_attempts));
+    for (uint32_t attempt = 1; attempt <= backoff.max_attempts; ++attempt) {
+      const trace::TraceRecord& record = restarts[attempt - 1];
+      EXPECT_EQ(record.args[0], attempt);
+      EXPECT_EQ(record.args[1], 0u) << "attempt " << attempt
+                                    << " unexpectedly succeeded";
+    }
+#endif  // KOP_TRACE_ENABLED
+
+    // Flight-recorder story: the final bundle is the exhaustion record.
+    flight::PostmortemBundle bundle;
+    ASSERT_TRUE(flight::GlobalPostmortems().Latest(&bundle));
+    EXPECT_EQ(bundle.reason, "restart-exhausted");
+    EXPECT_EQ(bundle.recovery, "quarantine");
+    EXPECT_EQ(bundle.restart_attempts, backoff.max_attempts);
+  }
+}
+
 TEST(ResilienceTest, QuarantineReclaimsHeapAndUnexportsSymbols) {
   for (ExecEngine engine : kEngines) {
     Rig rig(engine, fault::FaultTargetSource());
@@ -325,19 +436,23 @@ TEST(ResilienceTest, QuarantineReclaimsHeapAndUnexportsSymbols) {
 
 TEST(ResilienceTest, ContainmentIsVisibleInTraceAndPrintk) {
   Rig rig(ExecEngine::kBytecode);
+#if KOP_TRACE_ENABLED
   const uint64_t rollbacks_before =
       trace::GlobalTracer().event_count(trace::EventId::kModuleRollback);
   const uint64_t quarantines_before =
       trace::GlobalTracer().event_count(trace::EventId::kModuleQuarantine);
+#endif
 
   ASSERT_FALSE(
       rig.module->Call("touch_then_violate", {kForbiddenAddr, 3}).ok());
 
+#if KOP_TRACE_ENABLED
   EXPECT_GT(trace::GlobalTracer().event_count(trace::EventId::kModuleRollback),
             rollbacks_before);
   EXPECT_GT(
       trace::GlobalTracer().event_count(trace::EventId::kModuleQuarantine),
       quarantines_before);
+#endif
   EXPECT_TRUE(
       rig.kernel.log().Contains("quarantined module 'kop_victim'"));
 }

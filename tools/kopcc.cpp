@@ -42,6 +42,19 @@
 //                                   # campaign against the resilience
 //                                   # layer; exit 1 on any kernel
 //                                   # invariant violation
+//   kopcc forge [--seed N] [--trials N] [--jobs N] [--json]
+//         [--policy=hardened|weak] [--no-minimize]
+//         [--engine=interp|bytecode] [--recovery=quarantine|restart]
+//         [--replay <token>]
+//                                   # coverage-guided adversarial
+//                                   # campaign: analysis-directed
+//                                   # fuzzing of the forge target across
+//                                   # N worker CPUs, crash minimization,
+//                                   # and verified policy suggestions;
+//                                   # report is byte-identical for any
+//                                   # --jobs; exit 1 on any invariant
+//                                   # violation. --replay re-executes a
+//                                   # minimized repro token
 //   kopcc postmortem [--json] [--check-schema] [--seed N]
 //         [--engine=interp|bytecode] [--recovery=quarantine|restart]
 //                                   # force one guard violation to
@@ -68,6 +81,7 @@
 #include "kop/analysis/cfi.hpp"
 #include "kop/analysis/static_verifier.hpp"
 #include "kop/fault/campaign.hpp"
+#include "kop/fault/forge.hpp"
 #include "kop/flight/postmortem.hpp"
 #include "kop/kernel/kernel.hpp"
 #include "kop/kernel/module_loader.hpp"
@@ -772,6 +786,96 @@ int FaultCamp(const std::vector<std::string>& args) {
   return 0;
 }
 
+int Forge(const std::vector<std::string>& args) {
+  fault::ForgeConfig config;
+  bool json = false;
+  std::string replay_token;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--seed" && i + 1 < args.size()) {
+      try {
+        config.seed = std::stoull(args[++i], nullptr, 0);
+      } catch (const std::exception&) {
+        return Fail("bad seed");
+      }
+    } else if (arg == "--trials" && i + 1 < args.size()) {
+      try {
+        config.trials =
+            static_cast<uint32_t>(std::stoul(args[++i], nullptr, 0));
+      } catch (const std::exception&) {
+        return Fail("bad trial count");
+      }
+    } else if (arg == "--jobs" && i + 1 < args.size()) {
+      try {
+        config.jobs =
+            static_cast<uint32_t>(std::stoul(args[++i], nullptr, 0));
+      } catch (const std::exception&) {
+        return Fail("bad job count");
+      }
+    } else if (arg == "--replay" && i + 1 < args.size()) {
+      replay_token = args[++i];
+    } else if (arg == "--no-minimize") {
+      config.minimize = false;
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      const std::string name = arg.substr(9);
+      if (name == "hardened") {
+        config.policy = fault::PolicyFamily::kHardened;
+      } else if (name == "weak") {
+        config.policy = fault::PolicyFamily::kWeak;
+      } else {
+        return Fail("unknown policy family '" + name + "'");
+      }
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      const std::string name = arg.substr(9);
+      if (name == "interp") {
+        config.engine = kernel::ExecEngine::kInterp;
+      } else if (name == "bytecode") {
+        config.engine = kernel::ExecEngine::kBytecode;
+      } else {
+        return Fail("unknown engine '" + name + "'");
+      }
+    } else if (arg.rfind("--recovery=", 0) == 0) {
+      const std::string name = arg.substr(11);
+      if (name == "quarantine") {
+        config.recovery = resilience::RecoveryPolicy::kQuarantine;
+      } else if (name == "restart") {
+        config.recovery = resilience::RecoveryPolicy::kRestart;
+      } else {
+        return Fail("unknown recovery policy '" + name + "'");
+      }
+    } else {
+      return Fail("unknown forge option '" + arg + "'");
+    }
+  }
+
+  if (!replay_token.empty()) {
+    auto row = fault::ReplayForge(config, replay_token);
+    if (!row.ok()) return Fail(row.status().ToString());
+    std::printf("replay %s\n", replay_token.c_str());
+    std::printf("  base %u, %zu step(s), kind %s, outcome: %s\n",
+                row->input.base_seed, row->input.trail.size(),
+                std::string(fault::FaultKindName(row->plan.kind)).c_str(),
+                row->result.outcome.c_str());
+    std::printf("  flagged path: %s, protected object: %s\n",
+                row->reached_flagged ? "reached" : "not reached",
+                row->scribbled ? "SCRIBBLED" : "intact");
+    for (const std::string& failure : row->result.invariant_failures) {
+      std::printf("  INVARIANT: %s\n", failure.c_str());
+    }
+    return row->result.invariant_failures.empty() ? 0 : 1;
+  }
+
+  const fault::ForgeReport report = fault::RunForge(config);
+  if (json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::fputs(report.ToText().c_str(), stdout);
+  }
+  return report.ok() ? 0 : 1;
+}
+
 /// The documented bundle schema (DESIGN.md §14): every key that must be
 /// present in a kop.flight.postmortem/v1 rendering.
 const char* const kPostmortemSchemaKeys[] = {
@@ -933,6 +1037,9 @@ int main(int argc, char** argv) {
         "[args...] | "
         "faultcamp [--seed N] [--trials N] [--json] "
         "[--engine=...] [--recovery=...] | "
+        "forge [--seed N] [--trials N] [--jobs N] [--json] "
+        "[--policy=hardened|weak] [--no-minimize] [--engine=...] "
+        "[--recovery=...] [--replay <token>] | "
         "postmortem [--json] [--check-schema] [--seed N] [--engine=...] "
         "[--recovery=...] | "
         "stats [--watch] [--prom]");
@@ -945,6 +1052,7 @@ int main(int argc, char** argv) {
   if (command == "check") return Check(args);
   if (command == "run") return Run(args);
   if (command == "faultcamp") return FaultCamp(args);
+  if (command == "forge") return Forge(args);
   if (command == "postmortem") return Postmortem(args);
   if (command == "stats") return Stats(args);
   return Fail("unknown command '" + command + "'");
