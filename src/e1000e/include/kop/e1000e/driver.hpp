@@ -77,6 +77,13 @@ struct DriverCounters {
   uint64_t rx_bytes = 0;
 };
 
+/// One frame of a descriptor batch: payload address + length in
+/// simulated memory.
+struct TxFrame {
+  uint64_t addr = 0;
+  uint32_t len = 0;
+};
+
 template <typename Ops>
 class Driver {
  public:
@@ -86,7 +93,17 @@ class Driver {
   static Result<Driver> Probe(Ops ops, uint64_t mmio_base,
                               uint32_t ring_entries = 256);
 
-  /// Tear down: disable the transmitter and free simulated allocations.
+  /// Multi-queue probe: the legacy probe for queue 0, then a private
+  /// adapter block + TX/RX rings per extra queue, MSI-X vector routing
+  /// (TX queue q → vector q, RX queue q → vector q+8) with `itr_cycles`
+  /// of EITR mitigation per vector, and RSS spreading RX across the
+  /// queues. Queue 0's datapath stays byte-identical to `Probe`'s.
+  static Result<Driver> ProbeMq(Ops ops, uint64_t mmio_base,
+                                uint32_t ring_entries, uint32_t num_queues,
+                                uint32_t itr_cycles = 0);
+
+  /// Tear down: disable the transmitter and free simulated allocations
+  /// (all queues' when probed multi-queue).
   Status Remove();
 
   /// The hot path (e1000_xmit_frame): queue one frame whose payload
@@ -107,18 +124,55 @@ class Driver {
   Result<bool> ReceiveFrame(std::vector<uint8_t>* out);
 
   /// Netdev counters, read from adapter memory (guarded on carat builds).
+  /// Queue 0's for the legacy probe; one queue's via CountersOn.
   Result<DriverCounters> Counters();
+
+  /// Netdev counters for a specific queue.
+  Result<DriverCounters> CountersOn(uint32_t queue);
 
   /// Device-side counters via MMIO (GPTC / GOTC).
   Result<uint64_t> HwGoodPacketsTransmitted();
 
+  // ------------------------------------------------------ multi-queue --
+
+  /// XmitFrame on a specific TX queue (queue 0 == XmitFrame exactly).
+  Status XmitFrameOn(uint32_t queue, uint64_t frame_addr, uint32_t len);
+
+  /// CleanTxRing on a specific queue.
+  Result<uint32_t> CleanTxRingOn(uint32_t queue);
+
+  /// ReceiveFrame from a specific RX queue.
+  Result<bool> ReceiveFrameFrom(uint32_t queue, std::vector<uint8_t>* out);
+
+  /// Doorbell batching: stage up to `count` descriptors on `queue` and
+  /// ring TDT once for the whole batch — the hot fields are loaded once
+  /// and the tail/counter stores amortize across the batch, so the
+  /// guarded cost per packet drops from 17 accesses to ~6. Frames must
+  /// be at least kEthZlen (the batch path has no bounce buffer: one
+  /// shared bounce cannot back several in-flight descriptors). Stops
+  /// early (reporting how many were queued via `queued`) when the ring
+  /// fills even after one reclaim attempt.
+  Status XmitBatch(uint32_t queue, const TxFrame* frames, uint32_t count,
+                   uint32_t* queued);
+
+  /// One NAPI poll iteration on `queue`: mask the queue's vectors,
+  /// reclaim completed TX descriptors, drain up to `budget` received
+  /// frames (appended to `frames` when non-null), and — exactly like
+  /// napi_complete_done — re-enable the vectors only when the poll ran
+  /// under budget. Returns RX frames drained + TX descriptors reclaimed.
+  Result<uint32_t> NapiPoll(uint32_t queue, uint32_t budget,
+                            std::vector<std::vector<uint8_t>>* frames);
+
   uint64_t adapter_addr() const { return adapter_; }
   uint32_t ring_entries() const { return ring_entries_; }
+  uint32_t num_queues() const { return num_queues_; }
   Ops& ops() { return ops_; }
 
  private:
   Driver(Ops ops, uint64_t adapter, uint32_t ring_entries)
-      : ops_(ops), adapter_(adapter), ring_entries_(ring_entries) {}
+      : ops_(ops), adapter_(adapter), ring_entries_(ring_entries) {
+    queue_adapter_[0] = adapter;
+  }
 
   // Register helpers (er32/ew32 in the real driver).
   Result<uint32_t> Er32(uint64_t mmio_base, uint64_t reg) {
@@ -128,9 +182,23 @@ class Driver {
     return ops_.MmioWrite32(mmio_base + reg, value);
   }
 
+  // The single-queue entry points delegate to these with queue 0's
+  // adapter block and the legacy register offsets, so the guarded access
+  // sequence of the legacy datapath is unchanged by the refactor.
+  Status XmitOn(uint64_t qadapter, uint64_t tdt_reg, uint64_t frame_addr,
+                uint32_t len);
+  Result<uint32_t> CleanTxOn(uint64_t qadapter);
+  Result<bool> ReceiveOn(uint64_t qadapter, uint64_t rdt_reg,
+                         std::vector<uint8_t>* out);
+
   Ops ops_;
   uint64_t adapter_ = 0;
   uint32_t ring_entries_ = 0;
+  uint32_t num_queues_ = 1;
+  /// Per-queue adapter block addresses ([0] == adapter_). Host-side
+  /// bookkeeping only, like adapter_ itself: all the state behind the
+  /// addresses lives in simulated memory and is accessed through Ops.
+  uint64_t queue_adapter_[nic::kMaxQueues] = {};
 };
 
 // The driver is header-declared, source-defined; both instantiations are

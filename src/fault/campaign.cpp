@@ -35,6 +35,8 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kKmallocFail: return "kmalloc-fail";
     case FaultKind::kWatchdogExpiry: return "watchdog-expiry";
     case FaultKind::kNicTxError: return "nic-tx-error";
+    case FaultKind::kNicQueueDma: return "nic-queue-dma";
+    case FaultKind::kNicDoorbellRange: return "nic-doorbell-range";
     case FaultKind::kCallTargetFlip: return "call-target-flip";
     case FaultKind::kCallTargetForge: return "call-target-forge";
     case FaultKind::kNoFault: return "none";
@@ -129,7 +131,7 @@ CampaignReport RunCampaign(const CampaignConfig& config) {
   // Calibration pass: one fault-free trial per scenario (watchdog budget
   // 0 disables the watchdog) measures the injection-point spaces.
   const std::vector<std::string> scenarios = {"ringbuf", "faulty", "knic",
-                                              "icall"};
+                                              "knic_mq", "icall"};
   std::map<std::string, Calibration> calibration;
   for (const std::string& scenario : scenarios) {
     FaultPlan warmup{FaultKind::kWatchdogExpiry, scenario, 0, 0};
@@ -186,6 +188,19 @@ CampaignReport RunCampaign(const CampaignConfig& config) {
                        rng.NextInRange(1, cal.stores), rng.NextBelow(64)});
     }
   }
+  // Multi-queue NIC family, parameterized by queue: bit flips confined
+  // to one queue's ring slots and doorbell (the mq workload's per-queue
+  // store space is 13 deep), plus the PR-4 spin-bug regression on every
+  // queue — the Nth TDT write forced out of range must wedge that queue
+  // only, never spin the driver or leak a descriptor.
+  for (uint64_t q = 0; q < 4; ++q) {
+    for (int i = 0; i < 5; ++i) {
+      plans.push_back({FaultKind::kNicQueueDma, "knic_mq", q,
+                       (rng.NextInRange(1, 13) << 6) | rng.NextBelow(64)});
+    }
+    plans.push_back({FaultKind::kNicDoorbellRange, "knic_mq", q,
+                     rng.NextInRange(1, 3)});
+  }
   // Control-flow corruption family: every vtable pointer load of the
   // icall workload flipped at a seed-chosen bit (plus extra seed-chosen
   // load/bit pairs), and every vtable slot force-fed each forged target
@@ -209,8 +224,9 @@ CampaignReport RunCampaign(const CampaignConfig& config) {
     const std::string& scenario = scenarios[round_robin++ % scenarios.size()];
     const Calibration& cal = calibration[scenario];
     if (cal.stores == 0) continue;
-    plans.push_back({scenario == "knic" ? FaultKind::kNicTxError
-                                        : FaultKind::kStoreBitFlip,
+    const bool nic_scenario = scenario.rfind("knic", 0) == 0;
+    plans.push_back({nic_scenario ? FaultKind::kNicTxError
+                                  : FaultKind::kStoreBitFlip,
                      scenario, rng.NextInRange(1, cal.stores),
                      rng.NextBelow(64)});
   }

@@ -38,6 +38,8 @@ enum class FaultKind : uint8_t {
   kKmallocFail,        // kernel kmalloc returns NULL at the Nth call
   kWatchdogExpiry,     // per-call step budget far below the call's need
   kNicTxError,         // TX descriptor/doorbell store corrupted mid-send
+  kNicQueueDma,        // one queue's ring/doorbell stores corrupted (MQ)
+  kNicDoorbellRange,   // one queue's Nth TDT write forced out of range
   kCallTargetFlip,     // single-bit flip on the Nth vtable pointer load
   kCallTargetForge,    // Nth vtable store replaced with a forged target
   kNoFault,            // honest kernel — forge fuzzes inputs alone too
@@ -46,13 +48,16 @@ enum class FaultKind : uint8_t {
 std::string_view FaultKindName(FaultKind kind);
 
 /// One planned injection. `point` is kind-specific: a guard-site index,
-/// a memory-op ordinal, a kmalloc call index, or a step budget. `detail`
-/// carries the bit index for flips, or the forged-target selector for
-/// kCallTargetForge (0 = NULL, 1 = wild constant, 2 = a real function
-/// outside every legal-target set).
+/// a memory-op ordinal, a kmalloc call index, a step budget, or — for
+/// the per-queue NIC kinds — the TX queue index. `detail` carries the
+/// bit index for flips, the forged-target selector for kCallTargetForge
+/// (0 = NULL, 1 = wild constant, 2 = a real function outside every
+/// legal-target set), (nth << 6) | bit for kNicQueueDma, or the Nth
+/// doorbell for kNicDoorbellRange.
 struct FaultPlan {
   FaultKind kind = FaultKind::kSpuriousViolation;
-  std::string scenario;  // "ringbuf" | "faulty" | "knic" | "icall" | "forge"
+  std::string scenario;  // "ringbuf" | "faulty" | "knic" | "knic_mq" |
+                         // "icall" | "forge"
   uint64_t point = 0;
   uint64_t detail = 0;
 };

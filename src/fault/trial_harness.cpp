@@ -82,6 +82,20 @@ void RunWorkload(TrialContext& ctx) {
     (void)TrialCall(ctx, "knic_sent_hw", {kernel::kVmallocBase});
     return;
   }
+  if (scenario == "knic_mq") {
+    (void)TrialCall(ctx, "mq_init", {kernel::kVmallocBase, 4});
+    (void)TrialCall(ctx, "mq_fill", {64, ctx.config.seed & 0xff});
+    for (uint64_t q = 0; q < 4; ++q) {
+      (void)TrialCall(ctx, "mq_send", {kernel::kVmallocBase, q, 64});
+      (void)TrialCall(ctx, "mq_send", {kernel::kVmallocBase, q, 64});
+    }
+    for (uint64_t q = 0; q < 4; ++q) {
+      (void)TrialCall(ctx, "mq_send_batch", {kernel::kVmallocBase, q, 64, 3});
+    }
+    for (uint64_t q = 0; q < 4; ++q) (void)TrialCall(ctx, "mq_sent", {q});
+    (void)TrialCall(ctx, "mq_sent_hw", {kernel::kVmallocBase});
+    return;
+  }
   if (scenario == "icall") {
     (void)TrialCall(ctx, "vt_init", {});
     for (uint64_t i = 0; i < 9; ++i) {
@@ -173,6 +187,7 @@ kernel::KernelConfig TrialKernelConfig() {
 std::string SourceFor(const std::string& scenario) {
   if (scenario == "ringbuf") return kirmods::RingbufSource();
   if (scenario == "knic") return kirmods::KnicSource();
+  if (scenario == "knic_mq") return kirmods::KnicMqSource();
   if (scenario == "icall") return kirmods::IcallSource();
   if (scenario == "forge") return ForgeTargetSource();
   return FaultTargetSource();
@@ -219,7 +234,7 @@ Status Setup(TrialContext& ctx) {
   ctx.loader->set_engine(ctx.config.engine);
   ctx.loader->set_recovery_policy(ctx.config.recovery);
 
-  if (ctx.plan.scenario == "knic") {
+  if (ctx.plan.scenario == "knic" || ctx.plan.scenario == "knic_mq") {
     ctx.sink = std::make_unique<nic::CountingSink>();
     ctx.nic =
         std::make_unique<nic::E1000Device>(&ctx.kernel.mem(), ctx.sink.get());
@@ -238,6 +253,9 @@ Status Setup(TrialContext& ctx) {
   ctx.mod = *loaded;
   if (ctx.plan.scenario == "knic") {
     ctx.mod->set_restart_entry("knic_init", {kernel::kVmallocBase});
+  }
+  if (ctx.plan.scenario == "knic_mq") {
+    ctx.mod->set_restart_entry("mq_init", {kernel::kVmallocBase, 4});
   }
   return OkStatus();
 }
@@ -291,6 +309,56 @@ Status Inject(TrialContext& ctx) {
           });
       ctx.result.target = std::string(store_side ? "store" : "load") + " #" +
                           std::to_string(nth) + " bit " + std::to_string(bit);
+      return OkStatus();
+    }
+    case FaultKind::kNicQueueDma: {
+      // Bit flip confined to one queue's TX datapath: ring-slot stores
+      // within @txrings[q] and that queue's TDT doorbell.
+      const uint64_t queue = plan.point % 4;
+      const uint64_t nth = (plan.detail >> 6) == 0 ? 1 : (plan.detail >> 6);
+      const uint64_t bit = plan.detail & 63;
+      auto ring_base = ctx.mod->GlobalAddress("txrings");
+      if (!ring_base.ok()) return ring_base.status();
+      const uint64_t ring_lo = *ring_base + queue * 128;
+      const uint64_t ring_hi = ring_lo + 128;
+      const uint64_t tdt =
+          kernel::kVmallocBase + nic::QReg(nic::REG_TDT, uint32_t(queue));
+      auto seen = std::make_shared<uint64_t>(0);
+      ctx.mod->journaled_memory().SetFaultHook(
+          [ring_lo, ring_hi, tdt, nth, bit, seen](
+              bool is_store, uint64_t /*ordinal*/, uint64_t addr,
+              uint64_t value, uint32_t size) -> uint64_t {
+            if (!is_store) return value;
+            const bool in_ring = addr >= ring_lo && addr < ring_hi;
+            if (!in_ring && addr != tdt) return value;
+            if (++*seen != nth) return value;
+            return value ^ (uint64_t{1} << (bit % (size * 8)));
+          });
+      ctx.result.target = "queue " + std::to_string(queue) + " tx store #" +
+                          std::to_string(nth) + " bit " + std::to_string(bit);
+      return OkStatus();
+    }
+    case FaultKind::kNicDoorbellRange: {
+      // The PR-4 spin-bug regression, per queue: the Nth doorbell write
+      // on queue `point` lands far outside the ring. The device must
+      // wedge that queue (bad_doorbells) rather than chase the tail,
+      // and the driver must terminate, leak nothing, and keep the other
+      // queues transmitting.
+      const uint64_t queue = plan.point % 4;
+      const uint64_t nth = plan.detail == 0 ? 1 : plan.detail;
+      const uint64_t tdt =
+          kernel::kVmallocBase + nic::QReg(nic::REG_TDT, uint32_t(queue));
+      auto seen = std::make_shared<uint64_t>(0);
+      ctx.mod->journaled_memory().SetFaultHook(
+          [tdt, nth, seen](bool is_store, uint64_t /*ordinal*/,
+                           uint64_t addr, uint64_t value,
+                           uint32_t /*size*/) -> uint64_t {
+            if (!is_store || addr != tdt) return value;
+            if (++*seen != nth) return value;
+            return 999;  // 8-slot ring: unambiguously out of range
+          });
+      ctx.result.target = "queue " + std::to_string(queue) + " doorbell #" +
+                          std::to_string(nth) + " -> 999";
       return OkStatus();
     }
     case FaultKind::kKmallocFail: {

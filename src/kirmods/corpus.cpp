@@ -314,6 +314,165 @@ entry:
 )";
 }
 
+std::string KnicMqSource() {
+  // The multi-queue sibling of @knic: four TX queues at the device's
+  // 0x100 (256) register stride, one 8-slot ring per queue carved out of
+  // @txrings, and a batch send that stages descriptors in a loop behind
+  // a single TDT doorbell — the KIR rendering of the native driver's
+  // XmitBatch. Offsets: TDBAL(q)=14336+256q, TDBAH +4, TDLEN +8,
+  // TDH +16, TDT +24; GPTC=16512 reads the device's folded total.
+  return R"(module "kop_knic_mq"
+
+global @txrings size 512 rw
+global @txbuf size 256 rw
+global @tails size 32 rw
+global @sents size 32 rw
+
+func @mq_init(ptr %mmio, i64 %nq) -> i64 {
+entry:
+  %ctrl = gep %mmio, i64 0, 1, 0
+  store i32 64, %ctrl
+  %tctl = gep %mmio, i64 0, 1, 1024
+  store i32 10, %tctl
+  jmp loop
+loop:
+  %q = phi i64 [ 0, entry ], [ %q1, body ]
+  %done = icmp uge i64 %q, %nq
+  br %done, out, body
+body:
+  %ringp = gep @txrings, i64 %q, 128, 0
+  %ringint = ptrtoint ptr %ringp to i64
+  %lo64 = and i64 %ringint, 0xffffffff
+  %lo = trunc i64 %lo64 to i32
+  %hi64 = lshr i64 %ringint, 32
+  %hi = trunc i64 %hi64 to i32
+  %regq = mul i64 %q, 256
+  %tdbaloff = add i64 %regq, 14336
+  %tdbal = gep %mmio, i64 %tdbaloff, 1, 0
+  store i32 %lo, %tdbal
+  %tdbahoff = add i64 %regq, 14340
+  %tdbah = gep %mmio, i64 %tdbahoff, 1, 0
+  store i32 %hi, %tdbah
+  %tdlenoff = add i64 %regq, 14344
+  %tdlen = gep %mmio, i64 %tdlenoff, 1, 0
+  store i32 128, %tdlen
+  %tdhoff = add i64 %regq, 14352
+  %tdh = gep %mmio, i64 %tdhoff, 1, 0
+  store i32 0, %tdh
+  %tdtoff = add i64 %regq, 14360
+  %tdt = gep %mmio, i64 %tdtoff, 1, 0
+  store i32 0, %tdt
+  %tailp = gep @tails, i64 %q, 8, 0
+  store i64 0, %tailp
+  %sentp = gep @sents, i64 %q, 8, 0
+  store i64 0, %sentp
+  %q1 = add i64 %q, 1
+  jmp loop
+out:
+  ret i64 %nq
+}
+
+func @mq_fill(i64 %len, i64 %seed) -> void {
+entry:
+  jmp loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i1, body ]
+  %done = icmp uge i64 %i, %len
+  br %done, out, body
+body:
+  %p = gep @txbuf, i64 %i, 1, 0
+  %v0 = add i64 %i, %seed
+  %v = trunc i64 %v0 to i8
+  store i8 %v, %p
+  %i1 = add i64 %i, 1
+  jmp loop
+out:
+  ret void
+}
+
+func @mq_send(ptr %mmio, i64 %q, i64 %len) -> i64 {
+entry:
+  %tailp = gep @tails, i64 %q, 8, 0
+  %t = load i64, %tailp
+  %slot = urem i64 %t, 8
+  %qring = gep @txrings, i64 %q, 128, 0
+  %desc = gep %qring, i64 %slot, 16, 0
+  %bufint = ptrtoint ptr @txbuf to i64
+  store i64 %bufint, %desc
+  %cmd = shl i64 11, 24
+  %w2 = or i64 %len, %cmd
+  %d2 = gep %desc, i64 0, 1, 8
+  store i64 %w2, %d2
+  %t1 = add i64 %t, 1
+  store i64 %t1, %tailp
+  %newtail = urem i64 %t1, 8
+  %nt32 = trunc i64 %newtail to i32
+  %regq = mul i64 %q, 256
+  %tdtoff = add i64 %regq, 14360
+  %tdt = gep %mmio, i64 %tdtoff, 1, 0
+  store i32 %nt32, %tdt
+  %sentp = gep @sents, i64 %q, 8, 0
+  %s = load i64, %sentp
+  %s1 = add i64 %s, 1
+  store i64 %s1, %sentp
+  ret i64 %s1
+}
+
+func @mq_send_batch(ptr %mmio, i64 %q, i64 %len, i64 %n) -> i64 {
+entry:
+  %tailp = gep @tails, i64 %q, 8, 0
+  %t0 = load i64, %tailp
+  %qring = gep @txrings, i64 %q, 128, 0
+  %bufint = ptrtoint ptr @txbuf to i64
+  %cmd = shl i64 11, 24
+  %w2 = or i64 %len, %cmd
+  jmp loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i1, body ]
+  %t = phi i64 [ %t0, entry ], [ %t1, body ]
+  %done = icmp uge i64 %i, %n
+  br %done, kick, body
+body:
+  %slot = urem i64 %t, 8
+  %desc = gep %qring, i64 %slot, 16, 0
+  store i64 %bufint, %desc
+  %d2 = gep %desc, i64 0, 1, 8
+  store i64 %w2, %d2
+  %t1 = add i64 %t, 1
+  %i1 = add i64 %i, 1
+  jmp loop
+kick:
+  store i64 %t, %tailp
+  %newtail = urem i64 %t, 8
+  %nt32 = trunc i64 %newtail to i32
+  %regq = mul i64 %q, 256
+  %tdtoff = add i64 %regq, 14360
+  %tdt = gep %mmio, i64 %tdtoff, 1, 0
+  store i32 %nt32, %tdt
+  %sentp = gep @sents, i64 %q, 8, 0
+  %s = load i64, %sentp
+  %s1 = add i64 %s, %n
+  store i64 %s1, %sentp
+  ret i64 %s1
+}
+
+func @mq_sent(i64 %q) -> i64 {
+entry:
+  %sentp = gep @sents, i64 %q, 8, 0
+  %s = load i64, %sentp
+  ret i64 %s
+}
+
+func @mq_sent_hw(ptr %mmio) -> i64 {
+entry:
+  %gptc = gep %mmio, i64 0, 1, 16512
+  %v = load i32, %gptc
+  %z = zext i32 %v to i64
+  ret i64 %z
+}
+)";
+}
+
 std::string IcallSource() {
   // Handlers share the (i64, i64) -> i64 signature, so the ⊤ fallback at
   // @vt_call's loaded-pointer dispatch resolves to exactly the three
@@ -428,6 +587,7 @@ std::vector<CorpusEntry> AllCorpusModules() {
       {"kop_memcopy", MemcopySource()},
       {"kop_privuser", PrivuserSource()},
       {"kop_knic", KnicSource()},
+      {"kop_knic_mq", KnicMqSource()},
       {"kop_icall", IcallSource()},
   };
 }

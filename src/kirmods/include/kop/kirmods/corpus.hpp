@@ -36,6 +36,13 @@ std::string PrivuserSource();
 /// store.
 std::string KnicSource();
 
+/// The multi-queue sibling of @knic: four TX queues at the 0x100
+/// register stride with per-queue tails/counters in module globals, a
+/// per-frame send, and a batched send that stages a descriptor loop
+/// behind one TDT doorbell — the KIR rendering of the native driver's
+/// XmitBatch, used by the datapath differential battery.
+std::string KnicMqSource();
+
 /// A module containing inline assembly, which the CARAT KOP compiler
 /// must refuse to certify (§2: attestation asserts its absence).
 std::string InlineAsmSource();

@@ -18,6 +18,7 @@
 
 #include "kop/kernel/kernel.hpp"
 #include "kop/policy/engine.hpp"
+#include "kop/smp/percpu.hpp"
 #include "kop/trace/site.hpp"
 #include "kop/util/carat_abi.hpp"
 
@@ -46,7 +47,10 @@ struct MemOpsStats {
   }
 };
 
-/// Baseline build: plain accesses, no guards.
+/// Baseline build: plain accesses, no guards. One driver instance serves
+/// every queue, and the MQ datapath drives queues from many CPUs at
+/// once, so the access counters are per-CPU single-writer slots (same
+/// contract as the virtual clock) folded on the read side.
 class RawMemOps {
  public:
   static constexpr bool kGuarded = false;
@@ -54,19 +58,19 @@ class RawMemOps {
   explicit RawMemOps(kernel::Kernel* kernel) : kernel_(kernel) {}
 
   Result<uint64_t> Load(uint64_t addr, uint32_t size) {
-    ++stats_.loads;
+    ++stats_.Mine().loads;
     kernel_->clock().Advance(kernel_->machine().mem_read_cycles);
     return DoLoad(addr, size);
   }
 
   Status Store(uint64_t addr, uint64_t value, uint32_t size) {
-    ++stats_.stores;
+    ++stats_.Mine().stores;
     kernel_->clock().Advance(kernel_->machine().mem_write_cycles);
     return DoStore(addr, value, size);
   }
 
   Result<uint32_t> MmioRead32(uint64_t addr) {
-    ++stats_.mmio_reads;
+    ++stats_.Mine().mmio_reads;
     kernel_->clock().Advance(kernel_->machine().mmio_read_cycles);
     auto value = DoLoad(addr, 4);
     if (!value.ok()) return value.status();
@@ -74,19 +78,19 @@ class RawMemOps {
   }
 
   Status MmioWrite32(uint64_t addr, uint32_t value) {
-    ++stats_.mmio_writes;
+    ++stats_.Mine().mmio_writes;
     kernel_->clock().Advance(kernel_->machine().mmio_write_cycles);
     return DoStore(addr, value, 4);
   }
 
   Result<uint64_t> MmioRead64(uint64_t addr) {
-    ++stats_.mmio_reads;
+    ++stats_.Mine().mmio_reads;
     kernel_->clock().Advance(kernel_->machine().mmio_read_cycles);
     return DoLoad(addr, 8);
   }
 
   Status MmioWrite64(uint64_t addr, uint64_t value) {
-    ++stats_.mmio_writes;
+    ++stats_.Mine().mmio_writes;
     kernel_->clock().Advance(kernel_->machine().mmio_write_cycles);
     return DoStore(addr, value, 8);
   }
@@ -104,8 +108,22 @@ class RawMemOps {
   }
 
   kernel::Kernel* kernel() { return kernel_; }
-  const MemOpsStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = MemOpsStats(); }
+
+  /// All-CPU fold of the access counters. Call only while no CPU is
+  /// mid-access (between runs, or after an SMP join).
+  MemOpsStats stats() const {
+    MemOpsStats total;
+    stats_.ForEach([&total](uint32_t, const MemOpsStats& s) {
+      total.loads += s.loads;
+      total.stores += s.stores;
+      total.mmio_reads += s.mmio_reads;
+      total.mmio_writes += s.mmio_writes;
+    });
+    return total;
+  }
+  void ResetStats() {
+    stats_.ForEach([](uint32_t, MemOpsStats& s) { s = MemOpsStats(); });
+  }
 
  protected:
   Result<uint64_t> DoLoad(uint64_t addr, uint32_t size) {
@@ -142,7 +160,7 @@ class RawMemOps {
   }
 
   kernel::Kernel* kernel_;
-  MemOpsStats stats_;
+  smp::PerCpu<MemOpsStats> stats_;
 };
 
 /// CARAT KOP build: every access is preceded by a guard call into the

@@ -62,4 +62,42 @@ EthernetFrame MakeTestFrame(size_t wire_size, uint8_t seed) {
   return frame;
 }
 
+FlowSet::FlowSet(uint32_t num_flows, uint64_t seed,
+                 std::vector<uint32_t> sizes)
+    : num_flows_(num_flows == 0 ? 1 : num_flows),
+      seed_(seed),
+      sizes_(std::move(sizes)) {
+  if (sizes_.empty()) {
+    // Span the copybreak boundary and the common MTU sizes.
+    sizes_ = {64, 128, 256, 512, 1024, 1514};
+  }
+}
+
+uint32_t FlowSet::FrameBytes(uint32_t flow) const {
+  return sizes_[(flow + static_cast<uint32_t>(seed_)) % sizes_.size()];
+}
+
+EthernetFrame FlowSet::MakeFrame(uint32_t flow, uint64_t seq) const {
+  EthernetFrame frame;
+  // Stable per-flow MACs: the RSS hash reads the first 12 wire bytes
+  // (dst | src), so baking the flow id into both gives each flow a
+  // stable queue and different flows different hashes.
+  const uint64_t tag = seed_ * 1099511628211ull + flow;
+  frame.dst = {0x02, uint8_t(tag >> 24), uint8_t(tag >> 16),
+               uint8_t(tag >> 8), uint8_t(tag), uint8_t(flow)};
+  frame.src = {0x02, 0x01, uint8_t(flow >> 8), uint8_t(flow),
+               uint8_t(tag >> 32), uint8_t(tag >> 40)};
+  frame.payload.resize(FrameBytes(flow) - kEthHeaderBytes);
+  uint8_t value = uint8_t(tag ^ (seq * 167));
+  for (uint8_t& byte : frame.payload) {
+    byte = value;
+    value = static_cast<uint8_t>(value * 167 + 13);
+  }
+  return frame;
+}
+
+std::vector<uint8_t> FlowSet::MakeWire(uint32_t flow, uint64_t seq) const {
+  return MakeFrame(flow, seq).Serialize();
+}
+
 }  // namespace kop::net

@@ -40,4 +40,34 @@ std::string MacToString(const MacAddress& mac);
 /// patterned payload). wire_size must be >= kEthHeaderBytes.
 EthernetFrame MakeTestFrame(size_t wire_size, uint8_t seed = 0x5a);
 
+/// A deterministic population of flows for multi-queue experiments: each
+/// flow has a stable (src, dst) MAC pair and frame size, so the device's
+/// RSS hash — which keys on the destination/source header bytes — routes
+/// every frame of a flow to the same RX queue, while different flows
+/// spread across queues. Frame contents depend only on (seed, flow,
+/// sequence), making soak runs replayable byte-for-byte.
+class FlowSet {
+ public:
+  /// `num_flows` flows with frame sizes cycling through `sizes`
+  /// (defaults to a mix spanning the copybreak boundary when empty).
+  FlowSet(uint32_t num_flows, uint64_t seed,
+          std::vector<uint32_t> sizes = {});
+
+  uint32_t num_flows() const { return num_flows_; }
+
+  /// Wire size every frame of `flow` uses.
+  uint32_t FrameBytes(uint32_t flow) const;
+
+  /// The `seq`-th frame of `flow`, fully deterministic.
+  EthernetFrame MakeFrame(uint32_t flow, uint64_t seq) const;
+
+  /// Serialized wire bytes of MakeFrame (what Sendmsg consumes).
+  std::vector<uint8_t> MakeWire(uint32_t flow, uint64_t seq) const;
+
+ private:
+  uint32_t num_flows_;
+  uint64_t seed_;
+  std::vector<uint32_t> sizes_;
+};
+
 }  // namespace kop::net

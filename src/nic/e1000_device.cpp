@@ -8,6 +8,10 @@
 
 namespace kop::nic {
 
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
 E1000Device::E1000Device(kernel::AddressSpace* memory, PacketSink* sink)
     : memory_(memory), sink_(sink) {
   static constexpr uint8_t kDefaultMac[6] = {0x02, 0xca, 0x4a,
@@ -41,49 +45,172 @@ Status E1000Device::MapAt(uint64_t mmio_base) {
 void E1000Device::Reset() {
   ctrl_ = 0;
   status_ = 0;  // link down until CTRL.SLU
-  icr_ = 0;
-  ims_ = 0;
+  icr_.store(0, kRelaxed);
+  ims_.store(0, kRelaxed);
+  eicr_.store(0, kRelaxed);
+  eims_.store(0, kRelaxed);
   tctl_ = 0;
   rctl_ = 0;
   tipg_ = 0;
-  tdbal_ = tdbah_ = tdlen_ = tdh_ = tdt_ = 0;
-  rdbal_ = rdbah_ = rdlen_ = rdh_ = rdt_ = 0;
-  gptc_ = 0;
-  gprc_ = 0;
-  gotc_ = 0;
+  mrqc_ = 0;
+  gptc_.store(0, kRelaxed);
+  gprc_.store(0, kRelaxed);
+  gotc_.store(0, kRelaxed);
   eerd_ = 0;
+  for (uint32_t q = 0; q < kMaxQueues; ++q) {
+    tx_[q] = TxQueue();
+    rx_[q] = RxQueue();
+    ivar_[q].store(0, kRelaxed);
+  }
+  for (uint32_t v = 0; v < kMaxVectors; ++v) {
+    eitr_[v].store(0, kRelaxed);
+    eitr_last_fire_[v].store(0, kRelaxed);
+  }
+}
+
+DeviceStats E1000Device::QueueStats(uint32_t queue) const {
+  DeviceStats out;
+  if (queue >= kMaxQueues) return out;
+  const QueueCounters& c = counters_[queue];
+  out.descriptors_processed = c.descriptors_processed.load(kRelaxed);
+  out.frames_transmitted = c.frames_transmitted.load(kRelaxed);
+  out.bytes_transmitted = c.bytes_transmitted.load(kRelaxed);
+  out.dma_descriptor_reads = c.dma_descriptor_reads.load(kRelaxed);
+  out.dma_payload_reads = c.dma_payload_reads.load(kRelaxed);
+  out.writebacks = c.writebacks.load(kRelaxed);
+  out.tail_writes = c.tail_writes.load(kRelaxed);
+  out.bad_descriptors = c.bad_descriptors.load(kRelaxed);
+  out.bad_doorbells = c.bad_doorbells.load(kRelaxed);
+  out.frames_received = c.frames_received.load(kRelaxed);
+  out.bytes_received = c.bytes_received.load(kRelaxed);
+  out.rx_dropped = c.rx_dropped.load(kRelaxed);
+  return out;
+}
+
+DeviceStats E1000Device::stats() const {
+  DeviceStats out;
+  for (uint32_t q = 0; q < kMaxQueues; ++q) {
+    const DeviceStats qs = QueueStats(q);
+    out.descriptors_processed += qs.descriptors_processed;
+    out.frames_transmitted += qs.frames_transmitted;
+    out.bytes_transmitted += qs.bytes_transmitted;
+    out.dma_descriptor_reads += qs.dma_descriptor_reads;
+    out.dma_payload_reads += qs.dma_payload_reads;
+    out.writebacks += qs.writebacks;
+    out.tail_writes += qs.tail_writes;
+    out.bad_descriptors += qs.bad_descriptors;
+    out.bad_doorbells += qs.bad_doorbells;
+    out.frames_received += qs.frames_received;
+    out.bytes_received += qs.bytes_received;
+    out.rx_dropped += qs.rx_dropped;
+  }
+  return out;
+}
+
+void E1000Device::ResetStats() {
+  for (uint32_t q = 0; q < kMaxQueues; ++q) {
+    counters_[q].descriptors_processed.store(0, kRelaxed);
+    counters_[q].frames_transmitted.store(0, kRelaxed);
+    counters_[q].bytes_transmitted.store(0, kRelaxed);
+    counters_[q].dma_descriptor_reads.store(0, kRelaxed);
+    counters_[q].dma_payload_reads.store(0, kRelaxed);
+    counters_[q].writebacks.store(0, kRelaxed);
+    counters_[q].tail_writes.store(0, kRelaxed);
+    counters_[q].bad_descriptors.store(0, kRelaxed);
+    counters_[q].bad_doorbells.store(0, kRelaxed);
+    counters_[q].frames_received.store(0, kRelaxed);
+    counters_[q].bytes_received.store(0, kRelaxed);
+    counters_[q].rx_dropped.store(0, kRelaxed);
+  }
+  for (uint32_t v = 0; v < kMaxVectors; ++v) {
+    msix_asserts_[v].store(0, kRelaxed);
+    msix_throttled_[v].store(0, kRelaxed);
+  }
+}
+
+void E1000Device::RaiseMsix(uint32_t vector) {
+  vector &= IVAR_VECTOR_MASK;
+  eicr_.fetch_or(1u << vector, kRelaxed);
+  if (((eims_.load(kRelaxed) >> vector) & 1u) == 0) return;  // masked
+  const uint32_t interval = eitr_[vector].load(kRelaxed);
+  if (interval != 0 && clock_ != nullptr) {
+    // ITR mitigation: the cause stays latched in EICR, but the vector
+    // only fires when its throttle window has elapsed on the virtual
+    // clock (the owning CPU's view of time — one queue, one CPU).
+    const uint64_t now = static_cast<uint64_t>(clock_->NowCycles());
+    const uint64_t last = eitr_last_fire_[vector].load(kRelaxed);
+    if (msix_asserts_[vector].load(kRelaxed) != 0 && now - last < interval) {
+      msix_throttled_[vector].fetch_add(1, kRelaxed);
+      return;
+    }
+    eitr_last_fire_[vector].store(now, kRelaxed);
+  }
+  msix_asserts_[vector].fetch_add(1, kRelaxed);
+}
+
+void E1000Device::RaiseQueueVector(uint32_t queue, bool tx) {
+  const uint32_t ivar = ivar_[queue].load(kRelaxed);
+  const uint32_t field = tx ? (ivar >> IVAR_TX_SHIFT) & 0xff : ivar & 0xff;
+  if (field & IVAR_VALID) RaiseMsix(field & IVAR_VECTOR_MASK);
 }
 
 uint64_t E1000Device::MmioRead(uint64_t offset, uint32_t size) {
   (void)size;  // registers are 32-bit; AddressSpace enforces alignment
+  // Queue-strided register blocks first (queue 0 == the legacy block).
+  if (offset >= REG_TDBAL &&
+      offset < REG_TDBAL + kMaxQueues * kQueueRegStride) {
+    const uint32_t q =
+        static_cast<uint32_t>((offset - REG_TDBAL) / kQueueRegStride);
+    switch (offset - uint64_t{q} * kQueueRegStride) {
+      case REG_TDBAL: return tx_[q].tdbal;
+      case REG_TDBAH: return tx_[q].tdbah;
+      case REG_TDLEN: return tx_[q].tdlen;
+      case REG_TDH: return tx_[q].tdh;
+      case REG_TDT: return tx_[q].tdt;
+      default: return 0;
+    }
+  }
+  if (offset >= REG_RDBAL &&
+      offset < REG_RDBAL + kMaxQueues * kQueueRegStride) {
+    const uint32_t q =
+        static_cast<uint32_t>((offset - REG_RDBAL) / kQueueRegStride);
+    switch (offset - uint64_t{q} * kQueueRegStride) {
+      case REG_RDBAL: return rx_[q].rdbal;
+      case REG_RDBAH: return rx_[q].rdbah;
+      case REG_RDLEN: return rx_[q].rdlen;
+      case REG_RDH: return rx_[q].rdh;
+      case REG_RDT: return rx_[q].rdt;
+      default: return 0;
+    }
+  }
+  if (offset >= REG_EITR0 && offset < REG_EITR0 + 4 * kMaxVectors) {
+    return eitr_[(offset - REG_EITR0) / 4].load(kRelaxed);
+  }
+  if (offset >= REG_IVAR0 && offset < REG_IVAR0 + 4 * kMaxQueues) {
+    return ivar_[(offset - REG_IVAR0) / 4].load(kRelaxed);
+  }
   switch (offset) {
     case REG_CTRL: return ctrl_;
     case REG_STATUS: return status_;
-    case REG_ICR: {
+    case REG_ICR:
       // Read-to-clear, like the real part.
-      const uint32_t causes = icr_;
-      icr_ = 0;
-      return causes;
-    }
-    case REG_IMS: return ims_;
+      return icr_.exchange(0, kRelaxed);
+    case REG_IMS: return ims_.load(kRelaxed);
+    case REG_EICR:
+      // The extended cause register is read-to-clear too.
+      return eicr_.exchange(0, kRelaxed);
+    case REG_EIMS: return eims_.load(kRelaxed);
     case REG_EERD: return eerd_;
     case REG_TCTL: return tctl_;
     case REG_RCTL: return rctl_;
     case REG_TIPG: return tipg_;
-    case REG_TDBAL: return tdbal_;
-    case REG_TDBAH: return tdbah_;
-    case REG_TDLEN: return tdlen_;
-    case REG_TDH: return tdh_;
-    case REG_TDT: return tdt_;
-    case REG_RDBAL: return rdbal_;
-    case REG_RDBAH: return rdbah_;
-    case REG_RDLEN: return rdlen_;
-    case REG_RDH: return rdh_;
-    case REG_RDT: return rdt_;
-    case REG_GPTC: return gptc_;
-    case REG_GPRC: return gprc_;
-    case REG_GOTCL: return static_cast<uint32_t>(gotc_);
-    case REG_GOTCH: return static_cast<uint32_t>(gotc_ >> 32);
+    case REG_MRQC: return mrqc_;
+    case REG_GPTC: return gptc_.load(kRelaxed);
+    case REG_GPRC: return gprc_.load(kRelaxed);
+    case REG_GOTCL:
+      return static_cast<uint32_t>(gotc_.load(kRelaxed));
+    case REG_GOTCH:
+      return static_cast<uint32_t>(gotc_.load(kRelaxed) >> 32);
     case REG_RAL0: return ral0_;
     case REG_RAH0: return rah0_;
     default:
@@ -95,6 +222,66 @@ uint64_t E1000Device::MmioRead(uint64_t offset, uint32_t size) {
 void E1000Device::MmioWrite(uint64_t offset, uint64_t value, uint32_t size) {
   (void)size;
   const uint32_t v = static_cast<uint32_t>(value);
+  if (offset >= REG_TDBAL &&
+      offset < REG_TDBAL + kMaxQueues * kQueueRegStride) {
+    const uint32_t q =
+        static_cast<uint32_t>((offset - REG_TDBAL) / kQueueRegStride);
+    switch (offset - uint64_t{q} * kQueueRegStride) {
+      case REG_TDBAL:
+        tx_[q].tdbal = v & ~0xfu;  // 16-byte aligned
+        break;
+      case REG_TDBAH:
+        tx_[q].tdbah = v;
+        break;
+      case REG_TDLEN:
+        tx_[q].tdlen = v & ~0x7fu;  // multiple of 128 bytes
+        break;
+      case REG_TDH:
+        tx_[q].tdh = v;
+        break;
+      case REG_TDT:
+        tx_[q].tdt = v;
+        counters_[q].tail_writes.fetch_add(1, kRelaxed);
+        if (auto_process_) ProcessTransmitRing(q);
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  if (offset >= REG_RDBAL &&
+      offset < REG_RDBAL + kMaxQueues * kQueueRegStride) {
+    const uint32_t q =
+        static_cast<uint32_t>((offset - REG_RDBAL) / kQueueRegStride);
+    switch (offset - uint64_t{q} * kQueueRegStride) {
+      case REG_RDBAL:
+        rx_[q].rdbal = v & ~0xfu;
+        break;
+      case REG_RDBAH:
+        rx_[q].rdbah = v;
+        break;
+      case REG_RDLEN:
+        rx_[q].rdlen = v & ~0x7fu;
+        break;
+      case REG_RDH:
+        rx_[q].rdh = v;
+        break;
+      case REG_RDT:
+        rx_[q].rdt = v;
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  if (offset >= REG_EITR0 && offset < REG_EITR0 + 4 * kMaxVectors) {
+    eitr_[(offset - REG_EITR0) / 4].store(v, kRelaxed);
+    return;
+  }
+  if (offset >= REG_IVAR0 && offset < REG_IVAR0 + 4 * kMaxQueues) {
+    ivar_[(offset - REG_IVAR0) / 4].store(v, kRelaxed);
+    return;
+  }
   switch (offset) {
     case REG_CTRL:
       if (v & CTRL_RST) {
@@ -103,7 +290,7 @@ void E1000Device::MmioWrite(uint64_t offset, uint64_t value, uint32_t size) {
       }
       ctrl_ = v;
       if (v & CTRL_SLU) {
-        if ((status_ & STATUS_LU) == 0) icr_ |= ICR_LSC;
+        if ((status_ & STATUS_LU) == 0) RaiseLegacy(ICR_LSC);
         status_ |= STATUS_LU;
       }
       break;
@@ -118,10 +305,16 @@ void E1000Device::MmioWrite(uint64_t offset, uint64_t value, uint32_t size) {
       }
       break;
     case REG_IMS:
-      ims_ |= v;
+      ims_.fetch_or(v, kRelaxed);
       break;
     case REG_IMC:
-      ims_ &= ~v;
+      ims_.fetch_and(~v, kRelaxed);
+      break;
+    case REG_EIMS:
+      eims_.fetch_or(v, kRelaxed);
+      break;
+    case REG_EIMC:
+      eims_.fetch_and(~v, kRelaxed);
       break;
     case REG_TCTL:
       tctl_ = v;
@@ -132,37 +325,8 @@ void E1000Device::MmioWrite(uint64_t offset, uint64_t value, uint32_t size) {
     case REG_TIPG:
       tipg_ = v;
       break;
-    case REG_TDBAL:
-      tdbal_ = v & ~0xfu;  // 16-byte aligned
-      break;
-    case REG_TDBAH:
-      tdbah_ = v;
-      break;
-    case REG_TDLEN:
-      tdlen_ = v & ~0x7fu;  // multiple of 128 bytes
-      break;
-    case REG_TDH:
-      tdh_ = v;
-      break;
-    case REG_TDT:
-      tdt_ = v;
-      ++stats_.tail_writes;
-      if (auto_process_) ProcessTransmitRing();
-      break;
-    case REG_RDBAL:
-      rdbal_ = v & ~0xfu;
-      break;
-    case REG_RDBAH:
-      rdbah_ = v;
-      break;
-    case REG_RDLEN:
-      rdlen_ = v & ~0x7fu;
-      break;
-    case REG_RDH:
-      rdh_ = v;
-      break;
-    case REG_RDT:
-      rdt_ = v;
+    case REG_MRQC:
+      mrqc_ = v;
       break;
     case REG_RAL0:
       ral0_ = v;
@@ -171,43 +335,78 @@ void E1000Device::MmioWrite(uint64_t offset, uint64_t value, uint32_t size) {
       rah0_ = v;
       break;
     case REG_ICR:
-      icr_ &= ~v;  // write-1-to-clear
+      icr_.fetch_and(~v, kRelaxed);  // write-1-to-clear
+      break;
+    case REG_EICR:
+      eicr_.fetch_and(~v, kRelaxed);
       break;
     default:
       break;  // writes to unimplemented registers are ignored
   }
 }
 
+uint32_t E1000Device::RouteRxQueue(const std::vector<uint8_t>& frame) const {
+  if ((mrqc_ & MRQC_ENABLE) == 0) return 0;
+  uint32_t n = (mrqc_ >> MRQC_QUEUES_SHIFT) & 0xf;
+  if (n > kMaxQueues) n = kMaxQueues;
+  if (n <= 1) return 0;
+  // RSS-lite: FNV-1a over the Ethernet header's address bytes, so a
+  // flow (MAC pair) always lands on the same queue.
+  uint32_t hash = 2166136261u;
+  const size_t header = frame.size() < 12 ? frame.size() : 12;
+  for (size_t i = 0; i < header; ++i) {
+    hash ^= frame[i];
+    hash *= 16777619u;
+  }
+  // Avalanche finalizer: FNV's low bits alone spread poorly modulo a
+  // small queue count when only a byte or two of the header differs.
+  hash ^= hash >> 16;
+  hash *= 0x7feb352du;
+  hash ^= hash >> 15;
+  hash *= 0x846ca68bu;
+  hash ^= hash >> 16;
+  return hash % n;
+}
+
 bool E1000Device::ReceiveFrame(const std::vector<uint8_t>& frame) {
+  return ReceiveFrameOn(RouteRxQueue(frame), frame);
+}
+
+bool E1000Device::ReceiveFrameOn(uint32_t queue,
+                                 const std::vector<uint8_t>& frame) {
+  if (queue >= kMaxQueues) return false;
+  RxQueue& rxq = rx_[queue];
+  QueueCounters& c = counters_[queue];
   if ((rctl_ & RCTL_EN) == 0 || (status_ & STATUS_LU) == 0 ||
       frame.empty() || frame.size() > kRxBufferBytes) {
-    ++stats_.rx_dropped;
-    icr_ |= ICR_RXO;
+    c.rx_dropped.fetch_add(1, kRelaxed);
+    if (queue == 0) RaiseLegacy(ICR_RXO);
     return false;
   }
-  const uint32_t count = RxRingDescriptorCount();
-  if (count == 0 || rdh_ == rdt_) {  // no software-provided buffers
-    ++stats_.rx_dropped;
-    icr_ |= ICR_RXO;
+  const uint32_t count = RxRingCount(rxq);
+  if (count == 0 || rxq.rdh == rxq.rdt) {  // no software-provided buffers
+    c.rx_dropped.fetch_add(1, kRelaxed);
+    if (queue == 0) RaiseLegacy(ICR_RXO);
     return false;
   }
-  const uint64_t ring_base = (static_cast<uint64_t>(rdbah_) << 32) | rdbal_;
-  const uint64_t desc_addr = ring_base + uint64_t{rdh_} * kRxDescBytes;
+  const uint64_t ring_base =
+      (static_cast<uint64_t>(rxq.rdbah) << 32) | rxq.rdbal;
+  const uint64_t desc_addr = ring_base + uint64_t{rxq.rdh} * kRxDescBytes;
 
   LegacyRxDescriptor desc{};
   uint8_t raw[kRxDescBytes];
-  ++stats_.dma_descriptor_reads;
+  c.dma_descriptor_reads.fetch_add(1, kRelaxed);
   if (!memory_->Read(desc_addr, raw, sizeof(raw)).ok()) {
-    ++stats_.bad_descriptors;
-    ++stats_.rx_dropped;
+    c.bad_descriptors.fetch_add(1, kRelaxed);
+    c.rx_dropped.fetch_add(1, kRelaxed);
     return false;
   }
   std::memcpy(&desc, raw, sizeof(desc));
 
   // DMA the frame into the software buffer and write the descriptor back.
   if (!memory_->Write(desc.buffer_addr, frame.data(), frame.size()).ok()) {
-    ++stats_.bad_descriptors;
-    ++stats_.rx_dropped;
+    c.bad_descriptors.fetch_add(1, kRelaxed);
+    c.rx_dropped.fetch_add(1, kRelaxed);
     return false;
   }
   desc.length = static_cast<uint16_t>(frame.size());
@@ -215,50 +414,59 @@ bool E1000Device::ReceiveFrame(const std::vector<uint8_t>& frame) {
   desc.errors = 0;
   std::memcpy(raw, &desc, sizeof(desc));
   if (!memory_->Write(desc_addr, raw, sizeof(raw)).ok()) {
-    ++stats_.bad_descriptors;
+    c.bad_descriptors.fetch_add(1, kRelaxed);
     return false;
   }
-  ++stats_.writebacks;
-  rdh_ = (rdh_ + 1) % count;
-  ++stats_.frames_received;
-  stats_.bytes_received += frame.size();
-  ++gprc_;
-  icr_ |= ICR_RXT0;
+  c.writebacks.fetch_add(1, kRelaxed);
+  rxq.rdh = (rxq.rdh + 1) % count;
+  c.frames_received.fetch_add(1, kRelaxed);
+  c.bytes_received.fetch_add(frame.size(), kRelaxed);
+  gprc_.fetch_add(1, kRelaxed);
+  if (queue == 0) RaiseLegacy(ICR_RXT0);
+  RaiseQueueVector(queue, /*tx=*/false);
   return true;
 }
 
-void E1000Device::ProcessTransmitRing() {
+void E1000Device::ProcessTransmitRing(uint32_t queue) {
+  if (queue >= kMaxQueues) return;
   if ((tctl_ & TCTL_EN) == 0) return;        // transmitter disabled
   if ((status_ & STATUS_LU) == 0) return;    // no link
-  const uint32_t count = RingDescriptorCount();
+  TxQueue& txq = tx_[queue];
+  QueueCounters& c = counters_[queue];
+  const uint32_t count = TxRingCount(txq);
   if (count == 0) return;
   // A head or tail pointer outside the ring (a corrupted doorbell write)
-  // would make the tdh_ != tdt_ sweep spin forever, because head wraps
+  // would make the tdh != tdt sweep spin forever, because head wraps
   // modulo the ring size and can never meet an out-of-range tail. Real
   // hardware wedges on such programming; the model refuses the doorbell.
-  if (tdh_ >= count || tdt_ >= count) {
-    ++stats_.bad_doorbells;
-    KOP_LOG(kWarn) << "e1000e: TX ring pointers out of range (head "
-                   << tdh_ << ", tail " << tdt_ << ", ring " << count
-                   << "); transmitter wedged";
+  if (txq.tdh >= count || txq.tdt >= count) {
+    c.bad_doorbells.fetch_add(1, kRelaxed);
+    KOP_LOG(kWarn) << "e1000e: TX ring pointers out of range (queue "
+                   << queue << ", head " << txq.tdh << ", tail " << txq.tdt
+                   << ", ring " << count << "); transmitter wedged";
     return;
   }
   const uint64_t ring_base =
-      (static_cast<uint64_t>(tdbah_) << 32) | tdbal_;
+      (static_cast<uint64_t>(txq.tdbah) << 32) | txq.tdbal;
 
+  // Queue 0 keeps the legacy occupancy gauge; concurrent queues would
+  // otherwise scribble over each other's sample.
   trace::Gauge* occupancy_gauge =
-      trace::GlobalMetrics().GetGauge("nic.tx_ring_occupancy");
-  occupancy_gauge->Set((tdt_ + count - tdh_) % count);
+      queue == 0 ? trace::GlobalMetrics().GetGauge("nic.tx_ring_occupancy")
+                 : nullptr;
+  if (occupancy_gauge != nullptr) {
+    occupancy_gauge->Set((txq.tdt + count - txq.tdh) % count);
+  }
 
   std::vector<uint8_t> frame;
-  while (tdh_ != tdt_) {
-    const uint64_t desc_addr = ring_base + uint64_t{tdh_} * kTxDescBytes;
+  while (txq.tdh != txq.tdt) {
+    const uint64_t desc_addr = ring_base + uint64_t{txq.tdh} * kTxDescBytes;
     LegacyTxDescriptor desc{};
     uint8_t raw[kTxDescBytes];
-    ++stats_.dma_descriptor_reads;
-    KOP_TRACE(kNicDescFetch, desc_addr, tdh_);
+    c.dma_descriptor_reads.fetch_add(1, kRelaxed);
+    KOP_TRACE(kNicDescFetch, desc_addr, txq.tdh);
     if (!memory_->Read(desc_addr, raw, sizeof(raw)).ok()) {
-      ++stats_.bad_descriptors;
+      c.bad_descriptors.fetch_add(1, kRelaxed);
       KOP_LOG(kWarn) << "e1000e DMA: descriptor fetch failed at 0x"
                      << std::hex << desc_addr;
       break;  // hardware would wedge; stop processing
@@ -268,24 +476,24 @@ void E1000Device::ProcessTransmitRing() {
     // Pull the payload via DMA (unguarded by design).
     if (desc.length > 0) {
       std::vector<uint8_t> chunk(desc.length);
-      ++stats_.dma_payload_reads;
+      c.dma_payload_reads.fetch_add(1, kRelaxed);
       if (!memory_->Read(desc.buffer_addr, chunk.data(), chunk.size()).ok()) {
-        ++stats_.bad_descriptors;
+        c.bad_descriptors.fetch_add(1, kRelaxed);
       } else {
         frame.insert(frame.end(), chunk.begin(), chunk.end());
       }
     }
-    ++stats_.descriptors_processed;
+    c.descriptors_processed.fetch_add(1, kRelaxed);
 
     const bool end_of_packet = (desc.cmd & TXD_CMD_EOP) != 0;
     if (end_of_packet && !frame.empty()) {
       sink_->Deliver(frame);
-      ++stats_.frames_transmitted;
-      stats_.bytes_transmitted += frame.size();
+      c.frames_transmitted.fetch_add(1, kRelaxed);
+      c.bytes_transmitted.fetch_add(frame.size(), kRelaxed);
       KOP_TRACE(kNicXmit, frame.size(),
-                (tdt_ + count - (tdh_ + 1) % count) % count);
-      ++gptc_;
-      gotc_ += frame.size();
+                (txq.tdt + count - (txq.tdh + 1) % count) % count);
+      gptc_.fetch_add(1, kRelaxed);
+      gotc_.fetch_add(frame.size(), kRelaxed);
       frame.clear();
     }
 
@@ -294,14 +502,17 @@ void E1000Device::ProcessTransmitRing() {
       desc.status |= TXD_STAT_DD;
       std::memcpy(raw, &desc, sizeof(desc));
       if (memory_->Write(desc_addr, raw, sizeof(raw)).ok()) {
-        ++stats_.writebacks;
+        c.writebacks.fetch_add(1, kRelaxed);
       }
     }
 
-    tdh_ = (tdh_ + 1) % count;
-    occupancy_gauge->Set((tdt_ + count - tdh_) % count);
-    icr_ |= ICR_TXDW;
-    if (tdh_ == tdt_) icr_ |= ICR_TXQE;
+    txq.tdh = (txq.tdh + 1) % count;
+    if (occupancy_gauge != nullptr) {
+      occupancy_gauge->Set((txq.tdt + count - txq.tdh) % count);
+    }
+    if (queue == 0) RaiseLegacy(ICR_TXDW);
+    if (txq.tdh == txq.tdt && queue == 0) RaiseLegacy(ICR_TXQE);
+    RaiseQueueVector(queue, /*tx=*/true);
   }
 }
 

@@ -37,6 +37,49 @@ inline constexpr uint64_t REG_RAH0 = 0x5404;    // receive address high
 
 inline constexpr uint64_t kMmioBarSize = 0x20000;  // 128 KiB BAR
 
+// --------------------------------------------------------- multi-queue --
+// TX/RX queue register blocks repeat at the real 82571/igb stride of
+// 0x100: queue q's TDBAL is 0x3800 + q*0x100, so queue 0's block IS the
+// legacy register block and single-queue software never notices the
+// other seven.
+inline constexpr uint32_t kMaxQueues = 8;
+inline constexpr uint64_t kQueueRegStride = 0x100;
+
+/// Queue-q variant of a legacy ring register (works for both the TX
+/// block at 0x3800 and the RX block at 0x2800).
+constexpr uint64_t QReg(uint64_t legacy_reg, uint32_t q) {
+  return legacy_reg + uint64_t{q} * kQueueRegStride;
+}
+
+// MSI-X-style extended interrupt block (igb layout). EICR is
+// read-to-clear like ICR; EIMS/EIMC set/clear the extended mask.
+inline constexpr uint64_t REG_EIMS = 0x1524;  // extended mask set
+inline constexpr uint64_t REG_EIMC = 0x1528;  // extended mask clear
+inline constexpr uint64_t REG_EICR = 0x1580;  // extended cause (RC)
+inline constexpr uint64_t REG_EITR0 = 0x1680; // per-vector throttle, +4*v
+inline constexpr uint64_t REG_IVAR0 = 0x1700; // per-queue vector map, +4*q
+
+inline constexpr uint32_t kMaxVectors = 16;
+
+/// EITR(v): interrupt-throttle interval for vector v, in virtual-clock
+/// cycles. 0 disables mitigation (every cause asserts).
+constexpr uint64_t EITR(uint32_t v) { return REG_EITR0 + 4ull * v; }
+
+/// IVAR(q): vector routing for queue q. Low byte = RX vector, byte 1 =
+/// TX vector; bit 7 of each field marks it valid (igb's scheme). An
+/// invalid field leaves that cause on the legacy ICR path only.
+constexpr uint64_t IVAR(uint32_t q) { return REG_IVAR0 + 4ull * q; }
+inline constexpr uint32_t IVAR_VALID = 0x80;
+inline constexpr uint32_t IVAR_VECTOR_MASK = 0x0f;
+inline constexpr uint32_t IVAR_TX_SHIFT = 8;
+
+// RSS-lite multiple-receive-queues control. Software writes
+// MRQC_ENABLE | (n << MRQC_QUEUES_SHIFT) to spread RX across n queues
+// by flow hash; 0 (the reset value) routes everything to queue 0.
+inline constexpr uint64_t REG_MRQC = 0x5818;
+inline constexpr uint32_t MRQC_ENABLE = 1u << 0;
+inline constexpr uint32_t MRQC_QUEUES_SHIFT = 3;
+
 // EERD bits: software writes START|(addr<<8), hardware sets DONE and the
 // 16-bit data in [31:16].
 inline constexpr uint32_t EERD_START = 1u << 0;

@@ -1,10 +1,14 @@
 // Where transmitted frames go. The paper's testbed attaches the NIC to
 // "a packet sink"; ours counts frames/bytes, optionally retains the most
 // recent ones for inspection, and models the wire's drain rate so the
-// link can be a bottleneck when an experiment wants it to be.
+// link can be a bottleneck when an experiment wants it to be. Sinks are
+// thread-safe: with the multi-queue device, concurrent queue sweeps on
+// different CPUs deliver into the same sink.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "kop/util/ring_buffer.hpp"
@@ -31,13 +35,18 @@ class LoopbackWire : public PacketSink {
 
   void Deliver(const std::vector<uint8_t>& frame) override;
 
-  uint64_t forwarded() const { return forwarded_; }
-  uint64_t dropped() const { return dropped_; }
+  uint64_t forwarded() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
+  friend class E1000Device;
   class E1000Device* receiver_ = nullptr;
-  uint64_t forwarded_ = 0;
-  uint64_t dropped_ = 0;
+  std::atomic<uint64_t> forwarded_{0};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 class CountingSink : public PacketSink {
@@ -46,24 +55,34 @@ class CountingSink : public PacketSink {
   explicit CountingSink(size_t retain = 16) : recent_(retain) {}
 
   void Deliver(const std::vector<uint8_t>& frame) override {
+    std::lock_guard<std::mutex> lock(mu_);
     ++packets_;
     bytes_ += frame.size();
     recent_.push(frame);
   }
 
-  uint64_t packets() const { return packets_; }
-  uint64_t bytes() const { return bytes_; }
+  uint64_t packets() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return packets_;
+  }
+  uint64_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
   std::vector<std::vector<uint8_t>> RecentFrames() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return recent_.snapshot();
   }
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     packets_ = 0;
     bytes_ = 0;
     recent_.clear();
   }
 
  private:
+  mutable std::mutex mu_;
   uint64_t packets_ = 0;
   uint64_t bytes_ = 0;
   RingBuffer<std::vector<uint8_t>> recent_;

@@ -33,6 +33,8 @@ enum class SpanKind : uint8_t {
   kJournalCommit,    // committing the call's write journal
   kJournalRollback,  // undoing the journal after containment
   kRecovery,         // containment + recovery (quarantine/restart)
+  kNapiPoll,         // one NAPI poll iteration on a TX/RX queue pair
+  kXmitBatch,        // staging a descriptor batch behind one doorbell
   kSpanKindCount,
 };
 

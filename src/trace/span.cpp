@@ -13,6 +13,7 @@ namespace {
 constexpr const char* kSpanKinds[kSpanKindCount] = {
     "span.module_call",   "span.engine_dispatch", "span.guard_decision",
     "span.journal_commit", "span.journal_rollback", "span.recovery",
+    "span.napi_poll",     "span.xmit_batch",
 };
 
 size_t RoundUpPow2(size_t n) {

@@ -167,6 +167,61 @@ TEST_F(DriverTest, RemoveFreesAllAllocations) {
   EXPECT_EQ(kernel_.heap().Stats().allocation_count, live_before);
 }
 
+// ------------------------------------------------- legacy pin battery --
+// Byte-exact pre-refactor pins: a fixed driver-level sweep with every
+// DeviceStats field and driver counter hardcoded. The multi-queue
+// device in legacy mode (driver never touches queue >0 or MSI-X
+// registers) must reproduce these numbers bit-for-bit.
+
+TEST_F(DriverTest, LegacyPinDriverSweepStatsByteExact) {
+  auto driver = BaselineDriver::Probe(RawMemOps(&kernel_), kMmio, 32);
+  ASSERT_TRUE(driver.ok());
+  const uint32_t kSizes[] = {64, 128, 256, 1514, 60, 100, 512, 1024, 200, 333};
+  for (uint32_t size : kSizes) {
+    ASSERT_TRUE(driver->XmitFrame(StageFrame(size), size).ok()) << size;
+  }
+  const nic::DeviceStats s = device_.stats();
+  EXPECT_EQ(s.descriptors_processed, 10u);
+  EXPECT_EQ(s.frames_transmitted, 10u);
+  EXPECT_EQ(s.bytes_transmitted, 4191u);
+  EXPECT_EQ(s.dma_descriptor_reads, 10u);
+  EXPECT_EQ(s.dma_payload_reads, 10u);
+  EXPECT_EQ(s.writebacks, 10u);  // the driver always sets RS
+  EXPECT_EQ(s.tail_writes, 11u);  // probe's TDT=0 plus 10 kicks
+  EXPECT_EQ(s.bad_descriptors, 0u);
+  EXPECT_EQ(s.bad_doorbells, 0u);
+  EXPECT_EQ(s.rx_dropped, 0u);
+  EXPECT_EQ(sink_.packets(), 10u);
+  EXPECT_EQ(sink_.bytes(), 4191u);
+  auto hw = driver->HwGoodPacketsTransmitted();
+  ASSERT_TRUE(hw.ok());
+  EXPECT_EQ(*hw, 10u);
+  auto cleaned = driver->CleanTxRing();
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_EQ(*cleaned, 10u);
+  auto counters = driver->Counters();
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->tx_packets, 10u);
+  EXPECT_EQ(counters->tx_bytes, 4191u);
+  EXPECT_EQ(counters->tx_busy, 0u);
+  EXPECT_EQ(counters->tx_cleaned, 10u);
+}
+
+TEST_F(DriverTest, LegacyPinDoorbellWedgeThroughDriver) {
+  auto driver = BaselineDriver::Probe(RawMemOps(&kernel_), kMmio, 16);
+  ASSERT_TRUE(driver.ok());
+  // A corrupted store lands an out-of-range tail on the doorbell: the
+  // device refuses it (PR-4: it used to spin the TX sweep forever).
+  ASSERT_TRUE(kernel_.mem().Write32(kMmio + nic::REG_TDT, 999).ok());
+  EXPECT_EQ(device_.stats().bad_doorbells, 1u);
+  EXPECT_EQ(sink_.packets(), 0u);
+  // The driver's next honest kick writes a sane tail and recovers.
+  ASSERT_TRUE(driver->XmitFrame(StageFrame(256), 256).ok());
+  EXPECT_EQ(device_.stats().bad_doorbells, 1u);
+  EXPECT_EQ(sink_.packets(), 1u);
+  EXPECT_EQ(device_.stats().frames_transmitted, 1u);
+}
+
 // ------------------------------------------------------- guarded build --
 
 TEST_F(DriverTest, GuardedBuildCountsGuardsPerPacket) {
@@ -317,6 +372,226 @@ TEST_F(DriverTest, GuardedReceiveCountsGuards) {
   // 2 counters) + 4 stores (status clear, ntc, 2 counters) + the RDT
   // MMIO kick = 14 guarded accesses.
   EXPECT_EQ(policy_->engine().stats().guard_calls, 14u);
+}
+
+
+// ------------------------------------------------------- multi-queue --
+
+TEST_F(DriverTest, ProbeMqAllocatesPerQueueState) {
+  const uint64_t live_before = kernel_.heap().Stats().allocation_count;
+  auto driver =
+      BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 16, 4);
+  ASSERT_TRUE(driver.ok());
+  EXPECT_EQ(driver->num_queues(), 4u);
+  // Legacy probe's 6 blocks + 6 per extra queue.
+  EXPECT_EQ(kernel_.heap().Stats().allocation_count, live_before + 6 + 3 * 6);
+  // Each extra queue's register block was programmed at the 0x100 stride.
+  for (uint32_t q = 1; q < 4; ++q) {
+    auto tdlen = kernel_.mem().Read32(kMmio + nic::QReg(nic::REG_TDLEN, q));
+    ASSERT_TRUE(tdlen.ok());
+    EXPECT_EQ(*tdlen, 16u * nic::kTxDescBytes);
+    auto rdt = kernel_.mem().Read32(kMmio + nic::QReg(nic::REG_RDT, q));
+    ASSERT_TRUE(rdt.ok());
+    EXPECT_EQ(*rdt, 15u);
+  }
+  // RSS on, 4 queues.
+  auto mrqc = kernel_.mem().Read32(kMmio + nic::REG_MRQC);
+  ASSERT_TRUE(mrqc.ok());
+  EXPECT_EQ(*mrqc, nic::MRQC_ENABLE | (4u << nic::MRQC_QUEUES_SHIFT));
+  ASSERT_TRUE(driver->Remove().ok());
+  EXPECT_EQ(kernel_.heap().Stats().allocation_count, live_before);
+}
+
+TEST_F(DriverTest, ProbeMqRejectsBadQueueCounts) {
+  EXPECT_FALSE(BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 16, 0).ok());
+  EXPECT_FALSE(BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 16, 9).ok());
+}
+
+TEST_F(DriverTest, XmitFrameOnKeepsQueuesIndependent) {
+  auto driver =
+      BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 16, 4);
+  ASSERT_TRUE(driver.ok());
+  const uint64_t frame = StageFrame(300);
+  ASSERT_TRUE(driver->XmitFrameOn(0, frame, 300).ok());
+  ASSERT_TRUE(driver->XmitFrameOn(2, frame, 300).ok());
+  ASSERT_TRUE(driver->XmitFrameOn(2, frame, 300).ok());
+  ASSERT_TRUE(driver->XmitFrameOn(3, frame, 300).ok());
+  EXPECT_EQ(sink_.packets(), 4u);
+  auto c0 = driver->CountersOn(0);
+  auto c2 = driver->CountersOn(2);
+  auto c3 = driver->CountersOn(3);
+  ASSERT_TRUE(c0.ok() && c2.ok() && c3.ok());
+  EXPECT_EQ(c0->tx_packets, 1u);
+  EXPECT_EQ(c2->tx_packets, 2u);
+  EXPECT_EQ(c3->tx_packets, 1u);
+  EXPECT_EQ(c2->tx_bytes, 600u);
+  // Device folds the per-queue hardware counters into the legacy shape.
+  auto hw = driver->HwGoodPacketsTransmitted();
+  ASSERT_TRUE(hw.ok());
+  EXPECT_EQ(*hw, 4u);
+  EXPECT_FALSE(driver->XmitFrameOn(4, frame, 300).ok());
+}
+
+TEST_F(DriverTest, QueueZeroEntryPointsMatchLegacy) {
+  // XmitFrameOn(0)/CleanTxRingOn(0)/ReceiveFrameFrom(0) are the legacy
+  // entry points exactly — same counters, same wire bytes.
+  auto driver =
+      BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 16, 2);
+  ASSERT_TRUE(driver.ok());
+  const uint64_t frame = StageFrame(200);
+  ASSERT_TRUE(driver->XmitFrameOn(0, frame, 200).ok());
+  auto legacy = driver->Counters();
+  auto q0 = driver->CountersOn(0);
+  ASSERT_TRUE(legacy.ok() && q0.ok());
+  EXPECT_EQ(legacy->tx_packets, q0->tx_packets);
+  EXPECT_EQ(legacy->tx_bytes, q0->tx_bytes);
+  device_.ReceiveFrameOn(0, std::vector<uint8_t>(128, 0x5a));
+  std::vector<uint8_t> got;
+  auto r = driver->ReceiveFrameFrom(0, &got);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_EQ(got.size(), 128u);
+}
+
+TEST_F(DriverTest, XmitBatchAmortizesGuardsPerPacket) {
+  auto driver = CaratDriver::ProbeMq(
+      GuardedMemOps(&kernel_, &policy_->engine()), kMmio, 64, 2);
+  ASSERT_TRUE(driver.ok());
+  const uint64_t frame = StageFrame(300);
+  std::vector<TxFrame> batch(16, TxFrame{frame, 300});
+  policy_->engine().ResetStats();
+  uint32_t queued = 0;
+  ASSERT_TRUE(driver->XmitBatch(1, batch.data(), 16, &queued).ok());
+  EXPECT_EQ(queued, 16u);
+  // 6 prologue loads + 5 stores per frame + 4 epilogue accesses + the
+  // single TDT doorbell: (6 + 16*5 + 4 + 1) / 16 ≈ 5.7 guards/packet,
+  // versus the pinned 17 on the one-doorbell-per-frame path.
+  const double per_packet =
+      static_cast<double>(policy_->engine().stats().guard_calls) / 16.0;
+  EXPECT_LT(per_packet, 6.0);
+  EXPECT_GT(per_packet, 5.0);
+  auto counters = driver->CountersOn(1);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->tx_packets, 16u);
+  EXPECT_EQ(counters->tx_bytes, 16u * 300u);
+  EXPECT_EQ(sink_.packets(), 16u);
+}
+
+TEST_F(DriverTest, XmitBatchRejectsSubMinimumFrames) {
+  auto driver =
+      BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 16, 2);
+  ASSERT_TRUE(driver.ok());
+  const uint64_t frame = StageFrame(300);
+  TxFrame bad[] = {{frame, 300}, {frame, 32}};
+  uint32_t queued = 7;
+  EXPECT_FALSE(driver->XmitBatch(1, bad, 2, &queued).ok());
+  EXPECT_EQ(queued, 0u);  // rejected up front, nothing staged
+  auto counters = driver->CountersOn(1);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->tx_packets, 0u);
+}
+
+TEST_F(DriverTest, XmitBatchStopsEarlyWhenRingFills) {
+  device_.set_auto_process(false);
+  auto driver =
+      BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 8, 2);
+  ASSERT_TRUE(driver.ok());
+  const uint64_t frame = StageFrame(300);
+  std::vector<TxFrame> batch(12, TxFrame{frame, 300});
+  uint32_t queued = 0;
+  ASSERT_TRUE(driver->XmitBatch(1, batch.data(), 12, &queued).ok());
+  // 8-entry ring, device stalled: 7 slots usable, no reclaim possible.
+  EXPECT_EQ(queued, 7u);
+  device_.set_auto_process(true);
+  device_.ProcessTransmitRing(1);
+  EXPECT_EQ(sink_.packets(), 7u);
+  // With the device running again the rest of the batch fits.
+  ASSERT_TRUE(driver->XmitBatch(1, batch.data(), 5, &queued).ok());
+  EXPECT_EQ(queued, 5u);
+  EXPECT_EQ(sink_.packets(), 12u);
+}
+
+TEST_F(DriverTest, NapiPollDrainsBudgetAndManagesVectors) {
+  auto driver =
+      BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 32, 2);
+  ASSERT_TRUE(driver.ok());
+  // 10 frames for queue 1's RX ring; its vector (1+8=9) latches.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        device_.ReceiveFrameOn(1, std::vector<uint8_t>(256, uint8_t(i))));
+  }
+  EXPECT_NE(device_.PendingMsix() & (1u << 9), 0u);
+
+  // Budget 4: poll stays at budget, so the vectors stay masked (the
+  // handler would re-poll) and EICR keeps the latched cause.
+  std::vector<std::vector<uint8_t>> frames;
+  auto work = driver->NapiPoll(1, 4, &frames);
+  ASSERT_TRUE(work.ok());
+  EXPECT_EQ(*work, 4u);
+  EXPECT_EQ(frames.size(), 4u);
+  auto eims = kernel_.mem().Read32(kMmio + nic::REG_EIMS);
+  ASSERT_TRUE(eims.ok());
+  EXPECT_EQ(*eims & (1u << 9), 0u);
+
+  // Budget 16 drains the remaining 6: under budget, napi_complete_done
+  // re-enables the vectors and acks the latched cause.
+  work = driver->NapiPoll(1, 16, &frames);
+  ASSERT_TRUE(work.ok());
+  EXPECT_EQ(*work, 6u);
+  EXPECT_EQ(frames.size(), 10u);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].size(), 256u);
+    EXPECT_EQ(frames[i][0], uint8_t(i));
+  }
+  eims = kernel_.mem().Read32(kMmio + nic::REG_EIMS);
+  ASSERT_TRUE(eims.ok());
+  EXPECT_NE(*eims & (1u << 9), 0u);
+  EXPECT_EQ(device_.PendingMsix() & (1u << 9), 0u);
+  auto counters = driver->CountersOn(1);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->rx_packets, 10u);
+  EXPECT_EQ(counters->rx_bytes, 2560u);
+}
+
+TEST_F(DriverTest, NapiPollReclaimsTxToo) {
+  device_.set_auto_process(false);
+  auto driver =
+      BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 16, 2);
+  ASSERT_TRUE(driver.ok());
+  const uint64_t frame = StageFrame(300);
+  std::vector<TxFrame> batch(6, TxFrame{frame, 300});
+  uint32_t queued = 0;
+  ASSERT_TRUE(driver->XmitBatch(1, batch.data(), 6, &queued).ok());
+  ASSERT_EQ(queued, 6u);
+  device_.set_auto_process(true);
+  device_.ProcessTransmitRing(1);
+  auto work = driver->NapiPoll(1, 64, nullptr);
+  ASSERT_TRUE(work.ok());
+  EXPECT_EQ(*work, 6u);  // all TX reclaim, no RX
+  auto counters = driver->CountersOn(1);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->tx_cleaned, 6u);
+}
+
+TEST_F(DriverTest, BothBuildsMqProduceIdenticalWireBytes) {
+  auto baseline =
+      BaselineDriver::ProbeMq(RawMemOps(&kernel_), kMmio, 16, 4);
+  ASSERT_TRUE(baseline.ok());
+  const uint64_t frame = StageFrame(500, 0x11);
+  std::vector<TxFrame> batch(3, TxFrame{frame, 500});
+  uint32_t queued = 0;
+  ASSERT_TRUE(baseline->XmitBatch(2, batch.data(), 3, &queued).ok());
+  auto raw_frames = sink_.RecentFrames();
+
+  sink_.Reset();
+  device_.ResetStats();
+  auto guarded = CaratDriver::ProbeMq(
+      GuardedMemOps(&kernel_, &policy_->engine()), kMmio, 16, 4);
+  ASSERT_TRUE(guarded.ok());
+  const uint64_t gframe = StageFrame(500, 0x11);
+  std::vector<TxFrame> gbatch(3, TxFrame{gframe, 500});
+  ASSERT_TRUE(guarded->XmitBatch(2, gbatch.data(), 3, &queued).ok());
+  EXPECT_EQ(sink_.RecentFrames(), raw_frames);
 }
 
 TEST_F(DriverTest, GuardedProbeDeniedByPolicyPanics) {

@@ -319,6 +319,17 @@ std::vector<ScriptCall> ScriptFor(const std::string& module_name) {
             {"knic_send", {FlatMemory::kBase, 64}},
             {"knic_sent_hw", {FlatMemory::kBase}}};
   }
+  if (module_name == "kop_knic_mq") {
+    std::vector<ScriptCall> script{{"mq_init", {FlatMemory::kBase, 4}},
+                                   {"mq_fill", {64, 0x20}}};
+    script.push_back({"mq_send", {FlatMemory::kBase, 0, 64}});
+    script.push_back({"mq_send", {FlatMemory::kBase, 2, 64}});
+    script.push_back({"mq_send_batch", {FlatMemory::kBase, 1, 64, 5}});
+    script.push_back({"mq_send_batch", {FlatMemory::kBase, 3, 60, 2}});
+    for (uint64_t q = 0; q < 4; ++q) script.push_back({"mq_sent", {q}});
+    script.push_back({"mq_sent_hw", {FlatMemory::kBase}});
+    return script;
+  }
   if (module_name == "kop_icall") {
     std::vector<ScriptCall> script{{"vt_init", {}}};
     for (uint64_t i = 0; i < 9; ++i) {

@@ -165,7 +165,8 @@ TEST(FaultCampaignTest, FaultKindNamesAreDistinct) {
       FaultKind::kSpuriousViolation, FaultKind::kGuardTableCorrupt,
       FaultKind::kStoreBitFlip,      FaultKind::kLoadBitFlip,
       FaultKind::kKmallocFail,       FaultKind::kWatchdogExpiry,
-      FaultKind::kNicTxError,      FaultKind::kCallTargetFlip,
+      FaultKind::kNicTxError,      FaultKind::kNicQueueDma,
+      FaultKind::kNicDoorbellRange, FaultKind::kCallTargetFlip,
       FaultKind::kCallTargetForge};
   std::set<std::string> names;
   for (FaultKind kind : kinds) {

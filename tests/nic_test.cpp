@@ -6,6 +6,7 @@
 
 #include "kop/kernel/address_space.hpp"
 #include "kop/nic/e1000_device.hpp"
+#include "kop/sim/clock.hpp"
 
 namespace kop::nic {
 namespace {
@@ -334,6 +335,303 @@ TEST_F(NicRxTest, DropsOversizeFrames) {
   SetupRxRing();
   EXPECT_FALSE(device_.ReceiveFrame(std::vector<uint8_t>(4096, 1)));
   EXPECT_EQ(device_.stats().rx_dropped, 1u);
+}
+
+// ------------------------------------------------- legacy pin battery --
+// Byte-exact pins of the single-queue device captured before the
+// multi-queue refactor. Every DeviceStats field, the hardware counters,
+// and the accumulated interrupt causes are hardcoded: the refactored
+// device in legacy mode (queue 0 only, no MSI-X programming) must
+// reproduce this run bit-for-bit.
+
+TEST_F(NicTest, LegacyPinTxSweepStatsByteExact) {
+  SetupRing();
+  const uint64_t payload = kRam + 0x8000;
+  WritePayload(payload, std::vector<uint8_t>(2048, 0x33));
+  // Four rounds of a mixed trio: 64B single-descriptor RS frame, a
+  // 10B+20B split frame (RS on the EOP half), and a 128B frame without
+  // RS. 16 descriptors exactly fill (and wrap) the 16-entry ring.
+  uint32_t tail = 0;
+  auto doorbell = [&](uint32_t next) {
+    tail = next % kRingEntries;
+    Write32(REG_TDT, tail);
+  };
+  for (int round = 0; round < 4; ++round) {
+    StageDescriptor(tail, payload, 64, TXD_CMD_EOP | TXD_CMD_RS);
+    doorbell(tail + 1);
+    StageDescriptor(tail, payload, 10, 0);
+    StageDescriptor((tail + 1) % kRingEntries, payload + 10, 20,
+                    TXD_CMD_EOP | TXD_CMD_RS);
+    doorbell(tail + 2);
+    StageDescriptor(tail, payload, 128, TXD_CMD_EOP);
+    doorbell(tail + 1);
+  }
+  const DeviceStats s = device_.stats();
+  EXPECT_EQ(s.descriptors_processed, 16u);
+  EXPECT_EQ(s.frames_transmitted, 12u);
+  EXPECT_EQ(s.bytes_transmitted, 888u);  // 4 * (64 + 30 + 128)
+  EXPECT_EQ(s.dma_descriptor_reads, 16u);
+  EXPECT_EQ(s.dma_payload_reads, 16u);
+  EXPECT_EQ(s.writebacks, 8u);
+  EXPECT_EQ(s.tail_writes, 13u);  // SetupRing's TDT=0 plus 12 doorbells
+  EXPECT_EQ(s.bad_descriptors, 0u);
+  EXPECT_EQ(s.bad_doorbells, 0u);
+  EXPECT_EQ(s.frames_received, 0u);
+  EXPECT_EQ(s.bytes_received, 0u);
+  EXPECT_EQ(s.rx_dropped, 0u);
+  EXPECT_EQ(sink_.packets(), 12u);
+  EXPECT_EQ(sink_.bytes(), 888u);
+  EXPECT_EQ(Read32(REG_TDH), 0u);  // wrapped exactly once
+  EXPECT_EQ(Read32(REG_GPTC), 12u);
+  EXPECT_EQ(Read32(REG_GOTCL), 888u);
+  EXPECT_EQ(Read32(REG_GOTCH), 0u);
+  // Accumulated causes: LSC from SetupRing's link-up, TXDW and TXQE
+  // from the sweeps. Read-to-clear.
+  EXPECT_EQ(Read32(REG_ICR), ICR_LSC | ICR_TXDW | ICR_TXQE);
+  EXPECT_EQ(Read32(REG_ICR), 0u);
+}
+
+TEST_F(NicTest, LegacyPinDoorbellWedgeByteExact) {
+  SetupRing();
+  WritePayload(kRam + 0x8000, std::vector<uint8_t>(64, 0x44));
+  StageDescriptor(0, kRam + 0x8000, 64, TXD_CMD_EOP | TXD_CMD_RS);
+  // Out-of-range tail: the doorbell is refused, nothing is processed,
+  // nothing is delivered — the PR-4 regression (head could never meet
+  // an out-of-range tail, so the sweep would spin forever).
+  Write32(REG_TDT, kRingEntries + 5);
+  EXPECT_EQ(device_.stats().bad_doorbells, 1u);
+  EXPECT_EQ(device_.stats().descriptors_processed, 0u);
+  EXPECT_EQ(sink_.packets(), 0u);
+  EXPECT_EQ(Read32(REG_TDH), 0u);
+  // Software rewrites a sane tail: the device recovers and sweeps.
+  Write32(REG_TDT, 1);
+  EXPECT_EQ(device_.stats().bad_doorbells, 1u);
+  EXPECT_EQ(sink_.packets(), 1u);
+  // An out-of-range *head* wedges the same counter.
+  Write32(REG_TDH, 99);
+  StageDescriptor(1, kRam + 0x8000, 64, TXD_CMD_EOP);
+  Write32(REG_TDT, 2);
+  EXPECT_EQ(device_.stats().bad_doorbells, 2u);
+  EXPECT_EQ(sink_.packets(), 1u);
+  EXPECT_EQ(device_.stats().tail_writes, 4u);  // setup + 3 doorbells
+}
+
+TEST_F(NicRxTest, LegacyPinRxStatsByteExact) {
+  SetupRxRing();
+  ASSERT_TRUE(device_.ReceiveFrame(std::vector<uint8_t>(100, 0x01)));
+  ASSERT_TRUE(device_.ReceiveFrame(std::vector<uint8_t>(60, 0x02)));
+  ASSERT_TRUE(device_.ReceiveFrame(std::vector<uint8_t>(1514, 0x03)));
+  EXPECT_FALSE(device_.ReceiveFrame(std::vector<uint8_t>(4096, 0x04)));
+  const DeviceStats s = device_.stats();
+  EXPECT_EQ(s.dma_descriptor_reads, 3u);
+  EXPECT_EQ(s.writebacks, 3u);
+  EXPECT_EQ(s.frames_received, 3u);
+  EXPECT_EQ(s.bytes_received, 1674u);  // 100 + 60 + 1514
+  EXPECT_EQ(s.rx_dropped, 1u);
+  EXPECT_EQ(s.bad_descriptors, 0u);
+  EXPECT_EQ(s.frames_transmitted, 0u);
+  EXPECT_EQ(Read32(REG_RDH), 3u);
+  EXPECT_EQ(Read32(REG_GPRC), 3u);
+  EXPECT_EQ(Read32(REG_ICR), ICR_LSC | ICR_RXO | ICR_RXT0);
+}
+
+// --------------------------------------------------- multi-queue model --
+
+class NicMqTest : public NicTest {
+ protected:
+  /// Bring TX queue `q` up with its own ring carved out of RAM.
+  void SetupTxQueue(uint32_t q) {
+    Write32(REG_CTRL, CTRL_SLU);
+    const uint64_t ring = TxRingBase(q);
+    Write32(QReg(REG_TDBAL, q), static_cast<uint32_t>(ring));
+    Write32(QReg(REG_TDBAH, q), static_cast<uint32_t>(ring >> 32));
+    Write32(QReg(REG_TDLEN, q), kRingEntries * kTxDescBytes);
+    Write32(QReg(REG_TDH, q), 0);
+    Write32(QReg(REG_TDT, q), 0);
+    Write32(REG_TCTL, TCTL_EN | TCTL_PSP);
+  }
+
+  void SetupRxQueue(uint32_t q) {
+    Write32(REG_CTRL, CTRL_SLU);
+    const uint64_t ring = RxRingBase(q);
+    Write32(QReg(REG_RDBAL, q), static_cast<uint32_t>(ring));
+    Write32(QReg(REG_RDBAH, q), static_cast<uint32_t>(ring >> 32));
+    Write32(QReg(REG_RDLEN, q), kRingEntries * kRxDescBytes);
+    Write32(QReg(REG_RDH, q), 0);
+    for (uint32_t i = 0; i < kRingEntries; ++i) {
+      LegacyRxDescriptor desc{};
+      desc.buffer_addr = RxBufBase(q) + uint64_t{i} * 2048;
+      uint8_t raw[kRxDescBytes];
+      std::memcpy(raw, &desc, sizeof(desc));
+      ASSERT_TRUE(
+          mem_.Write(ring + i * kRxDescBytes, raw, sizeof(raw)).ok());
+    }
+    Write32(QReg(REG_RDT, q), kRingEntries - 1);
+    Write32(REG_RCTL, RCTL_EN | RCTL_BAM);
+  }
+
+  uint64_t TxRingBase(uint32_t q) const { return kRam + 0x1000 * q; }
+  uint64_t RxRingBase(uint32_t q) const { return kRam + 0x20000 + 0x1000 * q; }
+  uint64_t RxBufBase(uint32_t q) const { return kRam + 0x40000 + 0x10000 * q; }
+
+  void StageDescriptorOn(uint32_t q, uint32_t i, uint64_t buffer,
+                         uint16_t length, uint8_t cmd) {
+    LegacyTxDescriptor desc{};
+    desc.buffer_addr = buffer;
+    desc.length = length;
+    desc.cmd = cmd;
+    uint8_t raw[kTxDescBytes];
+    std::memcpy(raw, &desc, sizeof(desc));
+    ASSERT_TRUE(mem_.Write(TxRingBase(q) + i * kTxDescBytes, raw,
+                           sizeof(raw)).ok());
+  }
+
+  /// Stage + doorbell one patterned frame on queue q.
+  void SendOn(uint32_t q, uint32_t slot, uint16_t len, uint8_t fill) {
+    const uint64_t payload = kRam + 0x80000 + 0x800 * q;
+    WritePayload(payload, std::vector<uint8_t>(len, fill));
+    StageDescriptorOn(q, slot, payload, len, TXD_CMD_EOP | TXD_CMD_RS);
+    Write32(QReg(REG_TDT, q), (slot + 1) % kRingEntries);
+  }
+};
+
+TEST_F(NicMqTest, QueueZeroBlockIsTheLegacyBlock) {
+  EXPECT_EQ(QReg(REG_TDBAL, 0), REG_TDBAL);
+  EXPECT_EQ(QReg(REG_TDT, 0), REG_TDT);
+  EXPECT_EQ(QReg(REG_TDBAL, 1), 0x3900u);  // real 82571 TDBAL1
+  EXPECT_EQ(QReg(REG_RDBAL, 1), 0x2900u);
+  // Writing queue 1's ring registers is visible at the strided offsets
+  // and leaves the legacy block untouched.
+  Write32(QReg(REG_TDBAL, 1), 0x12340000u);
+  EXPECT_EQ(Read32(QReg(REG_TDBAL, 1)), 0x12340000u);
+  EXPECT_EQ(Read32(REG_TDBAL), 0u);
+}
+
+TEST_F(NicMqTest, IndependentQueuesTransmitAndFoldStats) {
+  for (uint32_t q : {0u, 1u, 3u, 7u}) SetupTxQueue(q);
+  SendOn(0, 0, 64, 0x10);
+  SendOn(1, 0, 128, 0x11);
+  SendOn(3, 0, 256, 0x13);
+  SendOn(7, 0, 512, 0x17);
+  SendOn(1, 1, 100, 0x21);
+  EXPECT_EQ(sink_.packets(), 5u);
+  EXPECT_EQ(sink_.bytes(), 64u + 128 + 256 + 512 + 100);
+  EXPECT_EQ(device_.QueueStats(0).frames_transmitted, 1u);
+  EXPECT_EQ(device_.QueueStats(1).frames_transmitted, 2u);
+  EXPECT_EQ(device_.QueueStats(1).bytes_transmitted, 228u);
+  EXPECT_EQ(device_.QueueStats(3).frames_transmitted, 1u);
+  EXPECT_EQ(device_.QueueStats(7).frames_transmitted, 1u);
+  EXPECT_EQ(device_.QueueStats(2).frames_transmitted, 0u);
+  // The fold matches the per-queue sum and the hardware counters.
+  EXPECT_EQ(device_.stats().frames_transmitted, 5u);
+  EXPECT_EQ(Read32(REG_GPTC), 5u);
+  EXPECT_EQ(Read32(REG_GOTCL), 64u + 128 + 256 + 512 + 100);
+  // Heads advanced independently.
+  EXPECT_EQ(Read32(QReg(REG_TDH, 1)), 2u);
+  EXPECT_EQ(Read32(QReg(REG_TDH, 3)), 1u);
+}
+
+TEST_F(NicMqTest, PerQueueDoorbellWedgesOnlyThatQueue) {
+  SetupTxQueue(0);
+  SetupTxQueue(2);
+  Write32(QReg(REG_TDT, 2), kRingEntries + 9);  // out of range
+  EXPECT_EQ(device_.QueueStats(2).bad_doorbells, 1u);
+  EXPECT_EQ(device_.QueueStats(0).bad_doorbells, 0u);
+  // Queue 0 still transmits.
+  SendOn(0, 0, 64, 0x55);
+  EXPECT_EQ(sink_.packets(), 1u);
+  // Queue 2 recovers once software writes a sane tail.
+  SendOn(2, 0, 64, 0x66);
+  EXPECT_EQ(device_.QueueStats(2).frames_transmitted, 1u);
+  EXPECT_EQ(device_.stats().bad_doorbells, 1u);
+}
+
+TEST_F(NicMqTest, MsixVectorsFollowIvarAndEicrIsReadToClear) {
+  SetupTxQueue(1);
+  // Route queue 1's TX cause to vector 5; unmask it.
+  Write32(IVAR(1), (IVAR_VALID | 5u) << IVAR_TX_SHIFT);
+  Write32(REG_EIMS, 1u << 5);
+  SendOn(1, 0, 64, 0x42);
+  EXPECT_EQ(device_.PendingMsix(), 1u << 5);
+  EXPECT_EQ(device_.MsixAsserts(5), 1u);
+  EXPECT_EQ(Read32(REG_EICR), 1u << 5);
+  EXPECT_EQ(Read32(REG_EICR), 0u);  // read-to-clear
+  // Legacy ICR saw nothing from queue 1 (only the link-up cause).
+  EXPECT_EQ(Read32(REG_ICR), ICR_LSC);
+  // Masked vector: cause latches in EICR but does not assert.
+  Write32(REG_EIMC, 1u << 5);
+  SendOn(1, 1, 64, 0x43);
+  EXPECT_EQ(device_.MsixAsserts(5), 1u);
+  EXPECT_EQ(Read32(REG_EICR), 1u << 5);
+}
+
+TEST_F(NicMqTest, EitrThrottlesVectorAsserts) {
+  sim::VirtualClock clock;
+  device_.AttachClock(&clock);
+  SetupTxQueue(0);
+  Write32(IVAR(0), (IVAR_VALID | 3u) << IVAR_TX_SHIFT);
+  Write32(REG_EIMS, 1u << 3);
+  Write32(EITR(3), 10000);  // 10k-cycle throttle window
+  // A burst within one window: one assert, the rest throttled.
+  for (uint32_t i = 0; i < 5; ++i) SendOn(0, i, 64, uint8_t(i));
+  EXPECT_EQ(device_.MsixAsserts(3), 1u);
+  EXPECT_EQ(device_.MsixThrottled(3), 4u);
+  // Let the window elapse: the next cause fires again.
+  clock.Advance(20000);
+  SendOn(0, 5, 64, 0x99);
+  EXPECT_EQ(device_.MsixAsserts(3), 2u);
+  // EITR=0 disables mitigation entirely.
+  Write32(EITR(3), 0);
+  SendOn(0, 6, 64, 0x9a);
+  SendOn(0, 7, 64, 0x9b);
+  EXPECT_EQ(device_.MsixAsserts(3), 4u);
+}
+
+TEST_F(NicMqTest, RssSpreadsFlowsDeterministically) {
+  for (uint32_t q = 0; q < 4; ++q) SetupRxQueue(q);
+  Write32(REG_MRQC, MRQC_ENABLE | (4u << MRQC_QUEUES_SHIFT));
+  // 32 flows (distinct MAC pairs): every frame lands on the queue the
+  // hash picks, the same flow always lands on the same queue, and all
+  // frames are delivered somewhere.
+  uint64_t per_queue[4] = {};
+  uint32_t rdt[4] = {kRingEntries - 1, kRingEntries - 1, kRingEntries - 1,
+                     kRingEntries - 1};
+  for (uint8_t flow = 0; flow < 32; ++flow) {
+    std::vector<uint8_t> frame(64, 0);
+    frame[5] = flow;        // dst MAC low byte
+    frame[11] = uint8_t(flow * 7);  // src MAC low byte
+    const uint32_t expect_q = device_.RouteRxQueue(frame);
+    ASSERT_LT(expect_q, 4u);
+    EXPECT_EQ(device_.RouteRxQueue(frame), expect_q);  // stable
+    ASSERT_TRUE(device_.ReceiveFrame(frame)) << int(flow);
+    ++per_queue[expect_q];
+    // Software re-arms the consumed slot (RDT chases RDH).
+    rdt[expect_q] = (rdt[expect_q] + 1) % kRingEntries;
+    Write32(QReg(REG_RDT, expect_q), rdt[expect_q]);
+  }
+  uint64_t total = 0;
+  uint32_t used = 0;
+  for (uint32_t q = 0; q < 4; ++q) {
+    EXPECT_EQ(device_.QueueStats(q).frames_received, per_queue[q]) << q;
+    total += per_queue[q];
+    if (per_queue[q] > 0) ++used;
+  }
+  EXPECT_EQ(total, 32u);
+  EXPECT_GE(used, 3u);  // 32 flows over 4 queues: hash spreads
+  // MRQC disabled: everything routes to queue 0 again.
+  Write32(REG_MRQC, 0);
+  EXPECT_EQ(device_.RouteRxQueue(std::vector<uint8_t>(64, 0xab)), 0u);
+}
+
+TEST_F(NicMqTest, ReceiveFrameOnBypassesRss) {
+  SetupRxQueue(3);
+  ASSERT_TRUE(device_.ReceiveFrameOn(3, std::vector<uint8_t>(80, 0x71)));
+  EXPECT_EQ(device_.QueueStats(3).frames_received, 1u);
+  EXPECT_EQ(device_.QueueStats(0).frames_received, 0u);
+  EXPECT_EQ(Read32(QReg(REG_RDH, 3)), 1u);
+  // Queue with no ring set up drops.
+  EXPECT_FALSE(device_.ReceiveFrameOn(5, std::vector<uint8_t>(80, 0x72)));
+  EXPECT_EQ(device_.QueueStats(5).rx_dropped, 1u);
 }
 
 TEST_F(NicTest, SinkRetainsRecentFrames) {
